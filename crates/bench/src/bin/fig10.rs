@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig10 data. See `fpraker_bench::figures`.
+fn main() {
+    println!("{}", fpraker_bench::figures::fig10());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig19 data. See `fpraker_bench::figures`.
+fn main() {
+    println!("{}", fpraker_bench::figures::fig19());
+}

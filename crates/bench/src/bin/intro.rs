@@ -1,0 +1,4 @@
+//! The Section I Bit-Pragmatic comparison. See `fpraker_bench::figures`.
+fn main() {
+    println!("{}", fpraker_bench::figures::intro_pragmatic());
+}

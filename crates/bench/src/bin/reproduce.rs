@@ -1,0 +1,33 @@
+//! Regenerates every table and figure of the evaluation in one run —
+//! the source of the numbers recorded in EXPERIMENTS.md.
+
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    let figs: Vec<(&str, fn() -> String)> = vec![
+        ("table3", fpraker_bench::figures::table3),
+        ("intro", fpraker_bench::figures::intro_pragmatic),
+        ("fig01", fpraker_bench::figures::fig01),
+        ("fig02", fpraker_bench::figures::fig02),
+        ("fig06", fpraker_bench::figures::fig06),
+        ("fig10", fpraker_bench::figures::fig10),
+        ("fig11", fpraker_bench::figures::fig11),
+        ("fig12", fpraker_bench::figures::fig12),
+        ("fig13", fpraker_bench::figures::fig13),
+        ("fig14", fpraker_bench::figures::fig14),
+        ("fig15", fpraker_bench::figures::fig15),
+        ("fig16", fpraker_bench::figures::fig16),
+        ("fig17", fpraker_bench::figures::fig17),
+        ("fig18", fpraker_bench::figures::fig18),
+        ("fig19", fpraker_bench::figures::fig19),
+        ("fig20", fpraker_bench::figures::fig20),
+        ("fig21", fpraker_bench::figures::fig21),
+    ];
+    for (name, f) in figs {
+        let t = Instant::now();
+        println!("{}", f());
+        eprintln!("[{name} done in {:.1?}]", t.elapsed());
+    }
+    eprintln!("[reproduce total {:.1?}]", t0.elapsed());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table3 data. See `fpraker_bench::figures`.
+fn main() {
+    println!("{}", fpraker_bench::figures::table3());
+}

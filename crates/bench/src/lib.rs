@@ -1,0 +1,24 @@
+//! The benchmark harness: regenerates every table and figure of the
+//! paper's evaluation section.
+//!
+//! Each `fig*` binary prints the corresponding figure's rows/series as an
+//! ASCII table; the `reproduce` binary runs them all and is what
+//! `EXPERIMENTS.md` records. Workload traces come from actually training
+//! the Table I analogues ([`fpraker_dnn::models`]) and are cached per
+//! process so multi-figure runs don't retrain.
+//!
+//! Environment knobs (all optional):
+//!
+//! * `FPRAKER_MODELS` — comma-separated zoo names to restrict the model
+//!   set (default: all nine Table I analogues);
+//! * `FPRAKER_EPOCHS` — training epochs before the measurement trace is
+//!   sampled (default 4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod table;
+pub mod workloads;
+
+pub use table::Table;

@@ -1,0 +1,76 @@
+//! Trace generation with per-process caching.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::sync::OnceLock;
+
+use fpraker_dnn::{models, train_and_sample, Engine};
+use fpraker_trace::Trace;
+
+/// The models to benchmark: `FPRAKER_MODELS` (comma separated) or all nine
+/// Table I analogues.
+pub fn model_set() -> Vec<String> {
+    match std::env::var("FPRAKER_MODELS") {
+        Ok(s) if !s.trim().is_empty() => s.split(',').map(|m| m.trim().to_string()).collect(),
+        _ => models::PAPER_MODELS.iter().map(|m| m.to_string()).collect(),
+    }
+}
+
+/// Training epochs before sampling (env `FPRAKER_EPOCHS`, default 4).
+pub fn epochs() -> usize {
+    std::env::var("FPRAKER_EPOCHS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4)
+}
+
+fn cache() -> &'static Mutex<HashMap<(String, Vec<u32>), Vec<Trace>>> {
+    static CACHE: OnceLock<Mutex<HashMap<(String, Vec<u32>), Vec<Trace>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Trains the named workload (caching per process) and returns traces
+/// sampled at the given progress percentages.
+pub fn traces_for(model: &str, sample_at_pct: &[u32]) -> Vec<Trace> {
+    let key = (model.to_string(), sample_at_pct.to_vec());
+    if let Some(hit) = cache().lock().unwrap().get(&key) {
+        return hit.clone();
+    }
+    let mut workload = models::build(model);
+    let mut engine = Engine::f32();
+    let run = train_and_sample(&mut workload, &mut engine, epochs(), sample_at_pct);
+    cache().lock().unwrap().insert(key, run.traces.clone());
+    run.traces
+}
+
+/// One trace per model at mid-training (the default measurement point for
+/// the steady-state figures).
+pub fn steady_state_trace(model: &str) -> Trace {
+    traces_for(model, &[50])
+        .into_iter()
+        .next()
+        .expect("sampling produced no trace")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_set_defaults_to_table_i() {
+        // (Assumes the env var is unset in the test environment.)
+        if std::env::var("FPRAKER_MODELS").is_err() {
+            assert_eq!(model_set().len(), 9);
+        }
+    }
+
+    #[test]
+    fn traces_are_cached() {
+        std::env::set_var("FPRAKER_EPOCHS", "1");
+        let a = traces_for("ncf", &[50]);
+        let b = traces_for("ncf", &[50]);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0], b[0]);
+        std::env::remove_var("FPRAKER_EPOCHS");
+    }
+}

@@ -1,0 +1,136 @@
+//! Configuration types for the FPRaker PE and tile.
+
+use fpraker_num::encode::Encoding;
+use fpraker_num::AccumConfig;
+
+/// Configuration of a single FPRaker processing element.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PeConfig {
+    /// Number of concurrent multiply lanes (the paper uses 8).
+    pub lanes: usize,
+    /// Maximum difference among the per-lane shift offsets `K_i` that can be
+    /// handled in one cycle (the paper limits Δ to 3, Section IV-A: "we limit
+    /// the maximum difference among the K_i offsets ... to be up to 3").
+    pub max_shift_window: u32,
+    /// Significand-to-term encoding (canonical by default).
+    pub encoding: Encoding,
+    /// Accumulator register geometry and out-of-bounds threshold θ.
+    pub accum: AccumConfig,
+    /// Chunk size for chunk-based accumulation (the paper uses 64 MACs).
+    pub chunk_size: u32,
+    /// Whether out-of-bounds terms are skipped (can be disabled for the
+    /// Fig. 11 / Fig. 16 ablations).
+    pub ob_skip: bool,
+}
+
+impl PeConfig {
+    /// The paper's PE: 8 lanes, Δ ≤ 3, canonical encoding, 4+12-bit
+    /// accumulator with θ = 12, chunk size 64, OB skipping on.
+    pub const fn paper() -> Self {
+        PeConfig {
+            lanes: 8,
+            max_shift_window: 3,
+            encoding: Encoding::Canonical,
+            accum: AccumConfig::paper(),
+            chunk_size: 64,
+            ob_skip: true,
+        }
+    }
+}
+
+impl Default for PeConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Configuration of an FPRaker tile (a grid of PEs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TileConfig {
+    /// PE rows. Each row receives its own B operand stream; all PEs in a
+    /// column share the A (serial) operand stream.
+    pub rows: usize,
+    /// PE columns. Each column receives its own A operand stream.
+    pub cols: usize,
+    /// Per-PE configuration.
+    pub pe: PeConfig,
+    /// How many B sets a fast column may run ahead of the slowest column
+    /// (the per-PE B buffers of Section IV-C; the paper finds a run-ahead
+    /// of one set sufficient).
+    pub b_runahead: usize,
+    /// How many A sets a fast PE pair may run ahead of the slowest pair in
+    /// its column (the per-PE buffers of design choice (d), Section I:
+    /// "per processing element buffers reduce the effects of work imbalance
+    /// across the processing elements").
+    pub a_runahead: usize,
+    /// Whether pairs of PEs in a column share one exponent block
+    /// (Section IV-B), flooring each pair's set rate at one set per two
+    /// cycles.
+    pub share_exponent_block: bool,
+}
+
+impl TileConfig {
+    /// The paper's tile: 8×8 PEs, one-set B run-ahead, shared exponent
+    /// blocks.
+    pub const fn paper() -> Self {
+        TileConfig {
+            rows: 8,
+            cols: 8,
+            pe: PeConfig::paper(),
+            b_runahead: 1,
+            a_runahead: 1,
+            share_exponent_block: true,
+        }
+    }
+
+    /// The paper's tile with a different row count (the Fig. 19/20 geometry
+    /// sweep: 2, 4, 8 or 16 rows).
+    pub const fn with_rows(rows: usize) -> Self {
+        TileConfig {
+            rows,
+            ..Self::paper()
+        }
+    }
+
+    /// Number of PEs in the tile.
+    pub const fn num_pes(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Peak MAC throughput per cycle if every lane issued every cycle.
+    pub const fn lanes_total(&self) -> usize {
+        self.rows * self.cols * self.pe.lanes
+    }
+}
+
+impl Default for TileConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs_match_section_iv() {
+        let pe = PeConfig::paper();
+        assert_eq!(pe.lanes, 8);
+        assert_eq!(pe.max_shift_window, 3);
+        assert_eq!(pe.accum.frac_bits, 12);
+        assert_eq!(pe.accum.int_bits, 4);
+        assert_eq!(pe.chunk_size, 64);
+        let tile = TileConfig::paper();
+        assert_eq!(tile.num_pes(), 64);
+        assert_eq!(tile.lanes_total(), 512);
+    }
+
+    #[test]
+    fn with_rows_overrides_only_rows() {
+        let t = TileConfig::with_rows(16);
+        assert_eq!(t.rows, 16);
+        assert_eq!(t.cols, 8);
+        assert_eq!(t.num_pes(), 128);
+    }
+}

@@ -1,0 +1,511 @@
+//! The FPRaker processing element.
+//!
+//! A PE multiplies 8 bfloat16 `(A, B)` value pairs concurrently and
+//! accumulates their sum into one extended-precision output accumulator
+//! (Section IV-A, Figs. 3 and 4). The `A` operands are processed
+//! *term-serially*: their significands are encoded on the fly into signed
+//! powers of two, and multiplying by a term is a shift of the corresponding
+//! `B` significand.
+//!
+//! Timing and values come from one code path — [`Pe::process_set`] *is* both
+//! the functional model (it performs the arithmetic, with round-to-nearest-
+//! even at every shifter, exactly as the datapath would) and the timing
+//! model (it plays the per-cycle issue schedule of the limited-shift window
+//! and produces the Fig. 15 stall taxonomy). The paper's simulator was
+//! likewise validated by checking computed values against golden outputs.
+//!
+//! Per cycle, the PE:
+//!
+//! 1. computes each busy lane's alignment offset
+//!    `k_i = e_acc − (ABe_i − t_i)`, where `ABe_i` is the product exponent
+//!    and `t_i` the lane's current term shift;
+//! 2. terminates lanes whose `k_i` exceeds the out-of-bounds threshold θ
+//!    (all later terms of that lane are even smaller — they are *guaranteed*
+//!    ineffectual, Section IV-A);
+//! 3. sets the shared base shifter to `base = min k_i` and issues every lane
+//!    with `Δ_i = k_i − base ≤ 3`; lanes further away stall ("shift range");
+//! 4. reduces the issued, shifted `B` significands through the adder tree
+//!    into the accumulator, then normalizes it (which may raise `e_acc` and
+//!    push later terms out of bounds — see the paper's Fig. 5, cycle 5).
+
+use fpraker_num::encode::{encode_terms, Terms};
+use fpraker_num::{Bf16, ChunkedAccumulator};
+
+use crate::config::PeConfig;
+use crate::stats::{ExecStats, LaneCycles, TermStats};
+
+/// Outcome of processing one set of value pairs on a PE.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SetOutcome {
+    /// Cycles the PE spent on the set (at least 1).
+    pub cycles: u64,
+    /// Lane-cycle attribution within those cycles (no tile-level categories;
+    /// `inter_pe`/`exponent` are attributed by the tile).
+    pub lane_cycles: LaneCycles,
+    /// Term bookkeeping for the set.
+    pub terms: TermStats,
+}
+
+/// One FPRaker processing element with its output accumulator.
+///
+/// # Example
+///
+/// ```
+/// use fpraker_core::{Pe, PeConfig};
+/// use fpraker_num::Bf16;
+///
+/// let mut pe = Pe::new(PeConfig::paper());
+/// let a: Vec<Bf16> = [1.0f32, 2.0, 0.5, 0.0, 1.5, -1.0, 4.0, 0.25]
+///     .iter().map(|&x| Bf16::from_f32(x)).collect();
+/// let b = vec![Bf16::from_f32(1.0); 8];
+/// let outcome = pe.process_set(&a, &b);
+/// assert!(outcome.cycles >= 1);
+/// assert_eq!(pe.read_output().to_f32(), 8.25);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Pe {
+    cfg: PeConfig,
+    acc: ChunkedAccumulator,
+    stats: ExecStats,
+}
+
+/// Per-lane working state while draining a set.
+#[derive(Clone, Copy, Debug)]
+struct Lane {
+    terms: Terms,
+    cursor: usize,
+    /// Product exponent `Ae + Be`.
+    abe: i32,
+    /// Product sign (A sign XOR B sign).
+    neg: bool,
+    /// B significand with hidden bit.
+    b_sig: u8,
+    /// Lane is done (terms exhausted or OB-terminated).
+    done: bool,
+}
+
+impl Pe {
+    /// Creates a PE with a zeroed accumulator.
+    pub fn new(cfg: PeConfig) -> Self {
+        Pe {
+            cfg,
+            acc: ChunkedAccumulator::new(cfg.accum, cfg.chunk_size),
+            stats: ExecStats::default(),
+        }
+    }
+
+    /// The PE's configuration.
+    pub fn config(&self) -> &PeConfig {
+        &self.cfg
+    }
+
+    /// Cumulative statistics since construction or [`Pe::take_stats`].
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    /// Returns and clears the cumulative statistics.
+    pub fn take_stats(&mut self) -> ExecStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Reads the output accumulator as bfloat16 without disturbing it.
+    pub fn read_output(&self) -> Bf16 {
+        let mut acc = self.acc;
+        acc.finish()
+    }
+
+    /// The output accumulator's exact value (for golden checking).
+    pub fn output_f64(&self) -> f64 {
+        self.acc.value_f64()
+    }
+
+    /// Clears the output accumulator for a new dot product.
+    pub fn reset_output(&mut self) {
+        self.acc.reset();
+    }
+
+    /// Processes one set of `lanes` value pairs, accumulating
+    /// `Σ a[i] * b[i]` into the output accumulator and returning the cycle
+    /// schedule outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` are not exactly `lanes` long, or if any operand
+    /// is non-finite (training data contains no infinities or NaNs; the
+    /// hardware does not handle them).
+    pub fn process_set(&mut self, a: &[Bf16], b: &[Bf16]) -> SetOutcome {
+        let lanes = self.cfg.lanes;
+        assert_eq!(a.len(), lanes, "A operand count");
+        assert_eq!(b.len(), lanes, "B operand count");
+
+        let mut outcome = SetOutcome::default();
+        outcome.terms.macs = lanes as u64;
+        let mut lane_state: Vec<Lane> = Vec::with_capacity(lanes);
+        let mut max_abe = i32::MIN;
+        for i in 0..lanes {
+            assert!(a[i].is_finite() && b[i].is_finite(), "non-finite operand");
+            if a[i].is_zero() || b[i].is_zero() {
+                // Zero *value*: the pair produces no terms at all. A naive
+                // bit-serial unit would still grind through 8 digit slots.
+                outcome.terms.zero_value_macs += 1;
+                outcome.terms.zero_skipped += 8;
+                lane_state.push(Lane {
+                    terms: Terms::EMPTY,
+                    cursor: 0,
+                    abe: 0,
+                    neg: false,
+                    b_sig: 0,
+                    done: true,
+                });
+                continue;
+            }
+            let terms = encode_terms(a[i].significand(), self.cfg.encoding);
+            outcome.terms.zero_skipped += 8u64.saturating_sub(terms.len() as u64);
+            let abe = a[i].exponent() + b[i].exponent();
+            max_abe = max_abe.max(abe);
+            lane_state.push(Lane {
+                terms,
+                cursor: 0,
+                abe,
+                neg: a[i].sign() ^ b[i].sign(),
+                b_sig: b[i].significand(),
+                done: terms.is_empty(),
+            });
+        }
+
+        self.acc.count_macs(lanes as u32);
+
+        if lane_state.iter().all(|l| l.done) {
+            // Nothing to accumulate; the set still occupies the PE for the
+            // minimum one cycle (Section IV-A: "the minimum effective number
+            // of cycles for processing the 8 MACs will be 1 cycle").
+            outcome.cycles = 1;
+            outcome.lane_cycles.no_term += lanes as u64;
+            self.finish_set(outcome);
+            return outcome;
+        }
+
+        // Block 1 — exponent: compute emax and align the accumulator.
+        let acc = self.acc.inner_mut();
+        acc.begin_set(max_abe);
+
+        // Blocks 2 and 3 — stream terms through the shift&reduce window.
+        loop {
+            // Out-of-bounds termination: k grows monotonically within a
+            // lane, so the first out-of-bounds term ends the lane.
+            if self.cfg.ob_skip {
+                for lane in lane_state.iter_mut().filter(|l| !l.done) {
+                    let k = acc.exponent() - lane.abe + lane.terms.as_slice()[lane.cursor].shift as i32;
+                    if acc.is_out_of_bounds(k) {
+                        outcome.terms.ob_skipped += (lane.terms.len() - lane.cursor) as u64;
+                        lane.done = true;
+                    }
+                }
+            }
+
+            let base = lane_state
+                .iter()
+                .filter(|l| !l.done)
+                .map(|l| acc.exponent() - l.abe + l.terms.as_slice()[l.cursor].shift as i32)
+                .min();
+            let Some(base) = base else { break };
+
+            // Issue every lane within the shift window; others stall.
+            for lane in lane_state.iter_mut() {
+                if lane.done {
+                    outcome.lane_cycles.no_term += 1;
+                    continue;
+                }
+                let term = lane.terms.as_slice()[lane.cursor];
+                let k = acc.exponent() - lane.abe + term.shift as i32;
+                if (k - base) as u32 <= self.cfg.max_shift_window {
+                    acc.add_scaled(
+                        lane.neg ^ term.neg,
+                        lane.b_sig as u64,
+                        lane.abe - term.shift as i32 - 7,
+                    );
+                    lane.cursor += 1;
+                    lane.done = lane.cursor == lane.terms.len();
+                    outcome.lane_cycles.useful += 1;
+                    outcome.terms.processed += 1;
+                } else {
+                    outcome.lane_cycles.shift_range += 1;
+                }
+            }
+
+            // The accumulator is normalized (and rounded) every accumulation
+            // step; this can raise e_acc mid-set and push later terms out of
+            // bounds (paper Fig. 5, cycle 5).
+            acc.normalize();
+            outcome.cycles += 1;
+        }
+
+        if outcome.cycles == 0 {
+            // Every lane terminated out-of-bounds before issuing anything;
+            // the set still occupies the PE for the minimum one cycle.
+            outcome.cycles = 1;
+            outcome.lane_cycles.no_term += lanes as u64;
+        }
+        self.finish_set(outcome);
+        outcome
+    }
+
+    fn finish_set(&mut self, outcome: SetOutcome) {
+        self.stats.cycles += outcome.cycles;
+        self.stats.sets += 1;
+        self.stats.lane_cycles += outcome.lane_cycles;
+        self.stats.terms += outcome.terms;
+    }
+
+    /// Convenience: runs a whole dot product through the PE in sets of
+    /// `lanes`, returning the bfloat16 result and total cycles. Inputs are
+    /// zero-padded to a multiple of the lane count.
+    pub fn dot(&mut self, a: &[Bf16], b: &[Bf16]) -> (Bf16, u64) {
+        assert_eq!(a.len(), b.len(), "dot length mismatch");
+        self.reset_output();
+        let lanes = self.cfg.lanes;
+        let mut cycles = 0;
+        let mut buf_a = vec![Bf16::ZERO; lanes];
+        let mut buf_b = vec![Bf16::ZERO; lanes];
+        for (ca, cb) in a.chunks(lanes).zip(b.chunks(lanes)) {
+            buf_a[..ca.len()].copy_from_slice(ca);
+            buf_a[ca.len()..].fill(Bf16::ZERO);
+            buf_b[..cb.len()].copy_from_slice(cb);
+            buf_b[cb.len()..].fill(Bf16::ZERO);
+            cycles += self.process_set(&buf_a, &buf_b).cycles;
+        }
+        (self.read_output(), cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpraker_num::encode::Encoding;
+    use fpraker_num::reference::{
+        dot_f64, dot_magnitude_f64, error_mag_ulps, error_ulps, SplitMix64,
+    };
+    use fpraker_num::AccumConfig;
+
+    fn bf(x: f32) -> Bf16 {
+        Bf16::from_f32(x)
+    }
+
+    /// The paper's Fig. 5 walkthrough: 2 lanes, raw-bit terms,
+    /// A0 = 2^2 x 1.1101, B0 = 2^3 x 1.0011, A1 = 2^1 x 1.1011,
+    /// B1 = 2^1 x 1.1010. The schedule takes 5 cycles.
+    fn fig5_config(ob_threshold: i32) -> PeConfig {
+        PeConfig {
+            lanes: 2,
+            max_shift_window: 3,
+            encoding: Encoding::RawBits,
+            accum: AccumConfig {
+                frac_bits: 12,
+                int_bits: 4,
+                ob_threshold,
+            },
+            chunk_size: 64,
+            ob_skip: true,
+        }
+    }
+
+    fn fig5_inputs() -> (Vec<Bf16>, Vec<Bf16>) {
+        let a0 = Bf16::from_parts(false, 2, 0b1110_1000); // 2^2 * 1.1101
+        let b0 = Bf16::from_parts(false, 3, 0b1001_1000); // 2^3 * 1.0011
+        let a1 = Bf16::from_parts(false, 1, 0b1101_1000); // 2^1 * 1.1011
+        let b1 = Bf16::from_parts(false, 1, 0b1101_0000); // 2^1 * 1.1010
+        (vec![a0, a1], vec![b0, b1])
+    }
+
+    #[test]
+    fn fig5_takes_five_cycles_with_wide_accumulator() {
+        let mut pe = Pe::new(fig5_config(12));
+        let (a, b) = fig5_inputs();
+        let outcome = pe.process_set(&a, &b);
+        assert_eq!(outcome.cycles, 5, "paper's Fig. 5 schedule");
+        // Cycle 3 stalls lane 1 on the shift window.
+        assert_eq!(outcome.lane_cycles.shift_range, 1);
+        // Lane 0 idles during cycle 5.
+        assert_eq!(outcome.lane_cycles.no_term, 1);
+        assert_eq!(outcome.terms.processed, 8);
+        // Value check against the exact product sum.
+        let exact = dot_f64(&a, &b);
+        assert!(error_ulps(pe.output_f64(), exact) <= 1.0);
+    }
+
+    #[test]
+    fn fig5_ob_skip_saves_the_fifth_cycle_with_6b_accumulator() {
+        // "assume the total precision of the accumulator mantissa is 6b...
+        // lane 1 can skip processing its last term and the PE saves one
+        // processing cycle by finishing at cycle 4."
+        //
+        // Our model applies the per-cycle accumulator normalization (Block 3)
+        // immediately, whereas the paper's Fig. 5 exposes it to the issue
+        // logic with the 3-stage pipeline latency (its e_acc grows to 6 only
+        // at cycle 5). The running sum here crosses 2^6 at cycle 2, so we
+        // skip lane 1's last *two* terms — one more than the figure — and
+        // finish at cycle 4 either way.
+        let mut pe = Pe::new(fig5_config(6));
+        let (a, b) = fig5_inputs();
+        let outcome = pe.process_set(&a, &b);
+        assert_eq!(outcome.cycles, 4);
+        assert_eq!(outcome.terms.ob_skipped, 2);
+        assert_eq!(outcome.terms.processed, 6);
+    }
+
+    #[test]
+    fn zero_values_cost_one_cycle() {
+        let mut pe = Pe::new(PeConfig::paper());
+        let outcome = pe.process_set(&vec![Bf16::ZERO; 8], &vec![bf(1.0); 8]);
+        assert_eq!(outcome.cycles, 1);
+        assert_eq!(outcome.terms.zero_value_macs, 8);
+        assert_eq!(outcome.terms.zero_skipped, 64);
+        assert_eq!(pe.read_output(), Bf16::ZERO);
+    }
+
+    #[test]
+    fn powers_of_two_process_in_one_cycle() {
+        // Each A is a single term at the same alignment: one cycle.
+        let mut pe = Pe::new(PeConfig::paper());
+        let a = vec![bf(2.0); 8];
+        let b = vec![bf(1.0); 8];
+        let outcome = pe.process_set(&a, &b);
+        assert_eq!(outcome.cycles, 1);
+        assert_eq!(outcome.lane_cycles.useful, 8);
+        assert_eq!(pe.read_output(), bf(16.0));
+    }
+
+    #[test]
+    fn dot_matches_reference_within_bound() {
+        // A finite accumulator rounds at the scale of the intermediate
+        // magnitudes, so the bound is taken at the magnitude scale (the
+        // exact result may be arbitrarily small after cancellation).
+        let mut rng = SplitMix64::new(0xF00D);
+        let mut pe = Pe::new(PeConfig::paper());
+        for round in 0..100 {
+            let n = 8 * (1 + (round % 8));
+            let a: Vec<Bf16> = (0..n).map(|_| rng.bf16_in_range(4)).collect();
+            let b: Vec<Bf16> = (0..n).map(|_| rng.bf16_in_range(4)).collect();
+            let (out, cycles) = pe.dot(&a, &b);
+            assert!(cycles >= (n as u64) / 8);
+            let exact = dot_f64(&a, &b);
+            let err = error_mag_ulps(out.to_f64(), exact, dot_magnitude_f64(&a, &b));
+            assert!(
+                err <= 1.0,
+                "round {round}: out {out} vs exact {exact} ({err} magnitude-scale ulps)"
+            );
+        }
+    }
+
+    #[test]
+    fn ob_skip_perturbs_at_most_one_sticky_ulp() {
+        // θ = 12 covers the full fractional window: a skipped term lies
+        // below every representable accumulator bit and can only perturb
+        // the RNE sticky path — at most one bfloat16 ULP at magnitude
+        // scale, and identical readouts in the overwhelming majority of
+        // sets (measured ≈97%).
+        let mut rng = SplitMix64::new(42);
+        let total = 500;
+        let mut agree = 0;
+        for _ in 0..total {
+            let a: Vec<Bf16> = (0..8).map(|_| rng.bf16_in_range(8)).collect();
+            let b: Vec<Bf16> = (0..8).map(|_| rng.bf16_in_range(8)).collect();
+            let mut with = Pe::new(PeConfig::paper());
+            let mut without = Pe::new(PeConfig {
+                ob_skip: false,
+                ..PeConfig::paper()
+            });
+            with.process_set(&a, &b);
+            without.process_set(&a, &b);
+            let (x, y) = (with.read_output(), without.read_output());
+            if x == y {
+                agree += 1;
+            }
+            let err = error_mag_ulps(x.to_f64(), y.to_f64(), dot_magnitude_f64(&a, &b));
+            assert!(err <= 1.0, "OB skip changed result by {err} ulps");
+        }
+        assert!(
+            agree * 100 >= total * 95,
+            "only {agree}/{total} sets agree exactly"
+        );
+    }
+
+    #[test]
+    fn ob_skip_is_at_least_as_fast() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..100 {
+            // Wide exponent spread makes OB terms common.
+            let a: Vec<Bf16> = (0..8).map(|_| rng.bf16_in_range(12)).collect();
+            let b: Vec<Bf16> = (0..8).map(|_| rng.bf16_in_range(12)).collect();
+            let mut with = Pe::new(PeConfig::paper());
+            let mut without = Pe::new(PeConfig {
+                ob_skip: false,
+                ..PeConfig::paper()
+            });
+            let cw = with.process_set(&a, &b).cycles;
+            let cwo = without.process_set(&a, &b).cycles;
+            assert!(cw <= cwo, "OB skip slower: {cw} > {cwo}");
+        }
+    }
+
+    #[test]
+    fn canonical_is_at_least_as_fast_as_raw_bits() {
+        let mut rng = SplitMix64::new(99);
+        for _ in 0..100 {
+            let a: Vec<Bf16> = (0..8).map(|_| rng.bf16_in_range(3)).collect();
+            let b: Vec<Bf16> = (0..8).map(|_| rng.bf16_in_range(3)).collect();
+            let mut csd = Pe::new(PeConfig::paper());
+            let mut raw = Pe::new(PeConfig {
+                encoding: Encoding::RawBits,
+                ..PeConfig::paper()
+            });
+            let c1 = csd.process_set(&a, &b).cycles;
+            let c2 = raw.process_set(&a, &b).cycles;
+            assert!(c1 <= c2 + 1, "CSD much slower than raw: {c1} vs {c2}");
+        }
+    }
+
+    #[test]
+    fn stats_accumulate_across_sets() {
+        let mut pe = Pe::new(PeConfig::paper());
+        let a = vec![bf(1.5); 8];
+        let b = vec![bf(1.0); 8];
+        pe.process_set(&a, &b);
+        pe.process_set(&a, &b);
+        assert_eq!(pe.stats().sets, 2);
+        assert_eq!(pe.stats().terms.macs, 16);
+        let taken = pe.take_stats();
+        assert_eq!(taken.sets, 2);
+        assert_eq!(pe.stats().sets, 0);
+    }
+
+    #[test]
+    fn chunked_accumulation_folds_across_long_dots() {
+        let mut pe = Pe::new(PeConfig::paper());
+        let n = 512;
+        let a = vec![bf(1.0); n];
+        let b = vec![bf(1.0); n];
+        let (out, _) = pe.dot(&a, &b);
+        assert_eq!(out.to_f32(), 512.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "A operand count")]
+    fn wrong_lane_count_panics() {
+        let mut pe = Pe::new(PeConfig::paper());
+        let _ = pe.process_set(&[Bf16::ONE], &[Bf16::ONE]);
+    }
+
+    #[test]
+    fn negative_products_accumulate_correctly() {
+        let mut pe = Pe::new(PeConfig::paper());
+        let a: Vec<Bf16> = [1.0f32, -1.0, 2.0, -2.0, 3.0, -3.0, 0.5, -0.5]
+            .iter()
+            .map(|&x| bf(x))
+            .collect();
+        let b = vec![bf(1.25); 8];
+        pe.process_set(&a, &b);
+        assert_eq!(pe.read_output(), Bf16::ZERO);
+    }
+}

@@ -1,0 +1,268 @@
+//! Execution statistics: cycle accounting and term bookkeeping.
+//!
+//! The categories follow the paper's Fig. 15 ("Where Cycles Go"): every
+//! lane-cycle of the tile is attributed to exactly one of
+//!
+//! * **useful** — the lane issued a term into the adder tree;
+//! * **no term** — the lane had no term this cycle (its operand encoded to
+//!   fewer terms than a sibling lane's, it was zero, or it terminated early
+//!   on an out-of-bounds signal) while its PE was still busy;
+//! * **shift range** — the lane had a term but its offset was more than the
+//!   shifter window Δ away from the cycle base;
+//! * **inter-PE** — the PE was idle waiting for tile-level synchronization
+//!   (a column-mate still draining the shared A set, or the B run-ahead
+//!   window exhausted);
+//! * **exponent** — the PE was idle waiting for the shared exponent block.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Lane-cycle attribution counters (Fig. 15 taxonomy).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LaneCycles {
+    /// Lane issued a term.
+    pub useful: u64,
+    /// Lane idle: no term available while the PE was busy.
+    pub no_term: u64,
+    /// Lane stalled: term outside the per-cycle shift window.
+    pub shift_range: u64,
+    /// Lane idle: PE waiting on tile synchronization.
+    pub inter_pe: u64,
+    /// Lane idle: PE waiting for the shared exponent block.
+    pub exponent: u64,
+}
+
+impl LaneCycles {
+    /// Sum of all categories.
+    pub fn total(&self) -> u64 {
+        self.useful + self.no_term + self.shift_range + self.inter_pe + self.exponent
+    }
+
+    /// Fraction of lane-cycles that did useful work (`0.0` for an empty
+    /// record).
+    pub fn utilization(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.useful as f64 / t as f64
+        }
+    }
+
+    /// The fractions of each category, in Fig. 15's order
+    /// `[useful, no_term, shift_range, inter_pe, exponent]`.
+    pub fn fractions(&self) -> [f64; 5] {
+        let t = self.total().max(1) as f64;
+        [
+            self.useful as f64 / t,
+            self.no_term as f64 / t,
+            self.shift_range as f64 / t,
+            self.inter_pe as f64 / t,
+            self.exponent as f64 / t,
+        ]
+    }
+}
+
+impl Add for LaneCycles {
+    type Output = LaneCycles;
+    fn add(self, rhs: LaneCycles) -> LaneCycles {
+        LaneCycles {
+            useful: self.useful + rhs.useful,
+            no_term: self.no_term + rhs.no_term,
+            shift_range: self.shift_range + rhs.shift_range,
+            inter_pe: self.inter_pe + rhs.inter_pe,
+            exponent: self.exponent + rhs.exponent,
+        }
+    }
+}
+
+impl AddAssign for LaneCycles {
+    fn add_assign(&mut self, rhs: LaneCycles) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for LaneCycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fr = self.fractions();
+        write!(
+            f,
+            "useful {:.1}% | no-term {:.1}% | shift-range {:.1}% | inter-PE {:.1}% | exponent {:.1}%",
+            fr[0] * 100.0,
+            fr[1] * 100.0,
+            fr[2] * 100.0,
+            fr[3] * 100.0,
+            fr[4] * 100.0
+        )
+    }
+}
+
+/// Term-level bookkeeping: what was processed and what was skipped
+/// (Fig. 13 taxonomy). The baseline for "skipped" is a bit-serial design
+/// that would process all 8 significand digit positions of every MAC.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TermStats {
+    /// Terms actually issued into adder trees.
+    pub processed: u64,
+    /// Digit positions skipped because they encode to zero (including all
+    /// 8 positions of a MAC whose A or B value is zero).
+    pub zero_skipped: u64,
+    /// Encoded terms skipped because they fell out of the accumulator's
+    /// bounds (θ).
+    pub ob_skipped: u64,
+    /// MAC positions processed (pairs presented to lanes, zero or not).
+    pub macs: u64,
+    /// MAC positions where A or B was a zero value.
+    pub zero_value_macs: u64,
+}
+
+impl TermStats {
+    /// Total digit-position slots a naive bit-serial design would process.
+    pub fn total_slots(&self) -> u64 {
+        self.processed + self.zero_skipped + self.ob_skipped
+    }
+
+    /// Fraction of slots skipped (the realized term sparsity).
+    pub fn skipped_fraction(&self) -> f64 {
+        let t = self.total_slots();
+        if t == 0 {
+            0.0
+        } else {
+            (self.zero_skipped + self.ob_skipped) as f64 / t as f64
+        }
+    }
+
+    /// Of the skipped slots, the fraction skipped for being zero digits
+    /// (versus out-of-bounds) — the Fig. 13 split.
+    pub fn zero_share_of_skipped(&self) -> f64 {
+        let s = self.zero_skipped + self.ob_skipped;
+        if s == 0 {
+            0.0
+        } else {
+            self.zero_skipped as f64 / s as f64
+        }
+    }
+}
+
+impl Add for TermStats {
+    type Output = TermStats;
+    fn add(self, rhs: TermStats) -> TermStats {
+        TermStats {
+            processed: self.processed + rhs.processed,
+            zero_skipped: self.zero_skipped + rhs.zero_skipped,
+            ob_skipped: self.ob_skipped + rhs.ob_skipped,
+            macs: self.macs + rhs.macs,
+            zero_value_macs: self.zero_value_macs + rhs.zero_value_macs,
+        }
+    }
+}
+
+impl AddAssign for TermStats {
+    fn add_assign(&mut self, rhs: TermStats) {
+        *self = *self + rhs;
+    }
+}
+
+/// Combined execution statistics of a PE or tile run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Lane-cycle attribution.
+    pub lane_cycles: LaneCycles,
+    /// Term bookkeeping.
+    pub terms: TermStats,
+    /// Wall-clock cycles of the unit this record describes.
+    pub cycles: u64,
+    /// Number of 8-MAC sets processed.
+    pub sets: u64,
+}
+
+impl Add for ExecStats {
+    type Output = ExecStats;
+    fn add(self, rhs: ExecStats) -> ExecStats {
+        ExecStats {
+            lane_cycles: self.lane_cycles + rhs.lane_cycles,
+            terms: self.terms + rhs.terms,
+            cycles: self.cycles + rhs.cycles,
+            sets: self.sets + rhs.sets,
+        }
+    }
+}
+
+impl AddAssign for ExecStats {
+    fn add_assign(&mut self, rhs: ExecStats) {
+        *self = *self + rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let lc = LaneCycles {
+            useful: 10,
+            no_term: 5,
+            shift_range: 3,
+            inter_pe: 2,
+            exponent: 1,
+        };
+        let s: f64 = lc.fractions().iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+        assert_eq!(lc.total(), 21);
+        assert!((lc.utilization() - 10.0 / 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let lc = LaneCycles::default();
+        assert_eq!(lc.utilization(), 0.0);
+        let ts = TermStats::default();
+        assert_eq!(ts.skipped_fraction(), 0.0);
+        assert_eq!(ts.zero_share_of_skipped(), 0.0);
+    }
+
+    #[test]
+    fn addition_is_fieldwise() {
+        let a = LaneCycles {
+            useful: 1,
+            no_term: 2,
+            shift_range: 3,
+            inter_pe: 4,
+            exponent: 5,
+        };
+        let b = a;
+        let c = a + b;
+        assert_eq!(c.useful, 2);
+        assert_eq!(c.exponent, 10);
+        let mut d = a;
+        d += b;
+        assert_eq!(d, c);
+    }
+
+    #[test]
+    fn term_stats_shares() {
+        let ts = TermStats {
+            processed: 50,
+            zero_skipped: 30,
+            ob_skipped: 20,
+            macs: 100,
+            zero_value_macs: 10,
+        };
+        assert_eq!(ts.total_slots(), 100);
+        assert!((ts.skipped_fraction() - 0.5).abs() < 1e-12);
+        assert!((ts.zero_share_of_skipped() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_all_categories() {
+        let s = LaneCycles {
+            useful: 1,
+            ..Default::default()
+        }
+        .to_string();
+        for cat in ["useful", "no-term", "shift-range", "inter-PE", "exponent"] {
+            assert!(s.contains(cat), "{s}");
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests of the PE: timing monotonicity and numeric
+//! equivalence with the bit-parallel baseline.
+
+use fpraker_core::{BaselinePe, Pe, PeConfig, Tile, TileConfig};
+use fpraker_num::reference::{dot_f64, dot_magnitude_f64, error_mag_ulps, SplitMix64};
+use fpraker_num::Bf16;
+use proptest::prelude::*;
+
+fn arb_operands() -> impl Strategy<Value = (Vec<Bf16>, Vec<Bf16>)> {
+    (any::<u64>(), 0u32..=80, 1i32..10).prop_map(|(seed, zero_pct, spread)| {
+        let mut rng = SplitMix64::new(seed);
+        let mut gen = |n: usize| -> Vec<Bf16> {
+            (0..n)
+                .map(|_| {
+                    if rng.next_u64() % 100 < zero_pct as u64 {
+                        Bf16::ZERO
+                    } else {
+                        rng.bf16_in_range(spread)
+                    }
+                })
+                .collect()
+        };
+        (gen(8), gen(8))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pe_result_is_within_one_magnitude_ulp((a, b) in arb_operands()) {
+        let mut pe = Pe::new(PeConfig::paper());
+        pe.process_set(&a, &b);
+        let exact = dot_f64(&a, &b);
+        let mag = dot_magnitude_f64(&a, &b);
+        if mag > 0.0 {
+            prop_assert!(error_mag_ulps(pe.output_f64(), exact, mag) <= 1.0);
+        } else {
+            prop_assert_eq!(pe.read_output(), Bf16::ZERO);
+        }
+    }
+
+    #[test]
+    fn pe_and_baseline_agree_to_one_ulp((a, b) in arb_operands()) {
+        let mut fp = Pe::new(PeConfig::paper());
+        let mut bl = BaselinePe::new(PeConfig::paper());
+        fp.process_set(&a, &b);
+        bl.process_set(&a, &b);
+        let mag = dot_magnitude_f64(&a, &b);
+        if mag > 0.0 {
+            let err = error_mag_ulps(fp.read_output().to_f64(), bl.read_output().to_f64(), mag);
+            prop_assert!(err <= 1.0, "units differ by {} ulps", err);
+        }
+    }
+
+    #[test]
+    fn set_duration_is_bounded_by_term_counts((a, b) in arb_operands()) {
+        // Without OB skipping, each lane issues at most one term per cycle
+        // (lower bound: the longest lane) and the schedule can at worst
+        // fully serialize the lanes (upper bound: total terms).
+        // (A *wider* shift window is not strictly monotone in cycles: the
+        // issue order feeds back into the accumulator exponent and the
+        // out-of-bounds decisions, a real property of the design.)
+        let cfg = PeConfig { ob_skip: false, ..PeConfig::paper() };
+        let outcome = Pe::new(cfg).process_set(&a, &b);
+        use fpraker_num::encode::{term_count, Encoding};
+        let counts: Vec<u64> = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| {
+                if x.is_zero() || y.is_zero() {
+                    0
+                } else {
+                    term_count(x.significand(), Encoding::Canonical) as u64
+                }
+            })
+            .collect();
+        let longest = counts.iter().copied().max().unwrap_or(0);
+        let total: u64 = counts.iter().sum();
+        prop_assert!(outcome.cycles >= longest.max(1));
+        prop_assert!(outcome.cycles <= total.max(1) + 1);
+    }
+
+    #[test]
+    fn tile_outputs_equal_standalone_pes(seed in any::<u64>(), sets in 1usize..4) {
+        let mut rng = SplitMix64::new(seed);
+        let cfg = TileConfig { rows: 2, cols: 2, ..TileConfig::paper() };
+        let a: Vec<Vec<Bf16>> = (0..2)
+            .map(|_| (0..sets * 8).map(|_| rng.bf16_in_range(4)).collect())
+            .collect();
+        let b: Vec<Vec<Bf16>> = (0..2)
+            .map(|_| (0..sets * 8).map(|_| rng.bf16_in_range(4)).collect())
+            .collect();
+        let mut tile = Tile::new(cfg);
+        let out = tile.run_block(&a, &b);
+        for r in 0..2 {
+            for c in 0..2 {
+                let mut pe = Pe::new(cfg.pe);
+                let (expect, _) = pe.dot(&a[c], &b[r]);
+                prop_assert_eq!(out.output(r, c, 2), expect);
+            }
+        }
+        // Lane-cycle conservation.
+        prop_assert_eq!(out.stats.lane_cycles.total(), out.cycles * 2 * 2 * 8);
+    }
+}

@@ -1,0 +1,323 @@
+//! Activation functions and dropout.
+//!
+//! ReLU is the source of the activation value-sparsity the paper measures
+//! (Fig. 1a: "The activations in the image classification networks exhibit
+//! sparsity exceeding 35% ... since these networks use the ReLU activation
+//! function which clips negative values to zero"). [`PactRelu`] implements
+//! PACT [24], the clipped-and-quantized activation used by the ResNet18-Q
+//! workload.
+
+use fpraker_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::engine::Engine;
+use crate::layer::{Layer, Param};
+
+macro_rules! elementwise_layer {
+    ($(#[$doc:meta])* $name:ident, $fwd:expr, $bwd:expr) => {
+        $(#[$doc])*
+        pub struct $name {
+            name: String,
+            cached_input: Option<Tensor>,
+        }
+
+        impl $name {
+            /// Creates the layer.
+            pub fn new(name: impl Into<String>) -> Self {
+                Self { name: name.into(), cached_input: None }
+            }
+        }
+
+        impl Layer for $name {
+            fn name(&self) -> &str {
+                &self.name
+            }
+
+            fn forward(&mut self, _e: &mut Engine, input: &Tensor, _training: bool) -> Tensor {
+                self.cached_input = Some(input.clone());
+                input.map($fwd)
+            }
+
+            fn backward(&mut self, _e: &mut Engine, grad: &Tensor) -> Tensor {
+                let x = self.cached_input.as_ref().expect("backward before forward");
+                let dfdx = x.map($bwd);
+                grad.zip_map(&dfdx, |g, d| g * d)
+            }
+        }
+    };
+}
+
+elementwise_layer!(
+    /// Rectified linear unit: `max(0, x)`.
+    Relu,
+    |x| x.max(0.0),
+    |x| if x > 0.0 { 1.0 } else { 0.0 }
+);
+
+elementwise_layer!(
+    /// Hyperbolic tangent.
+    Tanh,
+    |x| x.tanh(),
+    |x| 1.0 - x.tanh() * x.tanh()
+);
+
+elementwise_layer!(
+    /// Logistic sigmoid.
+    Sigmoid,
+    |x| 1.0 / (1.0 + (-x).exp()),
+    |x| {
+        let s = 1.0 / (1.0 + (-x).exp());
+        s * (1.0 - s)
+    }
+);
+
+elementwise_layer!(
+    /// Gaussian error linear unit (tanh approximation), the transformer
+    /// activation of the BERT workload.
+    Gelu,
+    gelu_fwd,
+    gelu_bwd
+);
+
+fn gelu_fwd(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
+}
+
+fn gelu_bwd(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let inner = C * (x + 0.044715 * x * x * x);
+    let t = inner.tanh();
+    let dinner = C * (1.0 + 3.0 * 0.044715 * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * dinner
+}
+
+/// PACT: parameterized clipping activation for quantized training [24].
+///
+/// Forward: `y = clip(x, 0, α)` quantized to a `2^bits - 1`-level uniform
+/// grid. Backward: straight-through estimator inside `(0, α)`; gradient
+/// w.r.t. `α` flows from the clipped region. The quantized activations have
+/// at most `bits` significant mantissa bits, which is what gives the
+/// ResNet18-Q workload its high term sparsity (Section V-C).
+pub struct PactRelu {
+    name: String,
+    /// The learnable clipping threshold α (a 1-element parameter).
+    alpha: Param,
+    bits: u32,
+    cached_input: Option<Tensor>,
+}
+
+impl PactRelu {
+    /// Creates a PACT activation with initial clip `alpha0` and the given
+    /// quantization bit-width (the paper's ResNet18-Q uses 4 bits).
+    pub fn new(name: impl Into<String>, alpha0: f32, bits: u32) -> Self {
+        let name = name.into();
+        PactRelu {
+            alpha: Param::new(format!("{name}.alpha"), Tensor::from_vec(vec![1], vec![alpha0])),
+            bits,
+            cached_input: None,
+            name,
+        }
+    }
+
+    fn levels(&self) -> f32 {
+        (1u32 << self.bits) as f32 - 1.0
+    }
+}
+
+impl Layer for PactRelu {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, _e: &mut Engine, input: &Tensor, _training: bool) -> Tensor {
+        self.cached_input = Some(input.clone());
+        let alpha = self.alpha.value.data()[0].max(1e-3);
+        let levels = self.levels();
+        // Power-of-two step: quantized activations are `k * 2^e` with a
+        // `bits`-bit `k`, so their bfloat16 significands carry at most
+        // `bits` meaningful positions — the property FPRaker's term
+        // encoder exploits (Section V-C).
+        let step = 2f32.powi((alpha / levels).log2().ceil() as i32);
+        input.map(|x| {
+            let clipped = x.clamp(0.0, alpha);
+            (clipped / step).round() * step
+        })
+    }
+
+    fn backward(&mut self, _e: &mut Engine, grad: &Tensor) -> Tensor {
+        let x = self.cached_input.as_ref().expect("backward before forward");
+        let alpha = self.alpha.value.data()[0].max(1e-3);
+        // Straight-through estimator inside (0, α); the gradient w.r.t. α
+        // accumulates over the clipped region.
+        let out = grad.zip_map(x, |g, xv| if xv > 0.0 && xv < alpha { g } else { 0.0 });
+        let dalpha: f32 = grad
+            .data()
+            .iter()
+            .zip(x.data())
+            .filter(|(_, &xv)| xv >= alpha)
+            .map(|(g, _)| *g)
+            .sum();
+        self.alpha.grad.data_mut()[0] += dalpha;
+        out
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.alpha]
+    }
+}
+
+/// Inverted dropout: zeroes a fraction `p` of activations during training
+/// and scales the survivors by `1/(1-p)`; identity at evaluation.
+pub struct Dropout {
+    name: String,
+    p: f32,
+    rng: StdRng,
+    mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1)`.
+    pub fn new(name: impl Into<String>, p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0,1)");
+        Dropout {
+            name: name.into(),
+            p,
+            rng: StdRng::seed_from_u64(seed),
+            mask: None,
+        }
+    }
+}
+
+impl Layer for Dropout {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, _e: &mut Engine, input: &Tensor, training: bool) -> Tensor {
+        if !training || self.p == 0.0 {
+            self.mask = None;
+            return input.clone();
+        }
+        let keep = 1.0 - self.p;
+        let mask_data: Vec<f32> = (0..input.len())
+            .map(|_| {
+                if self.rng.gen::<f32>() < self.p {
+                    0.0
+                } else {
+                    1.0 / keep
+                }
+            })
+            .collect();
+        let mask = Tensor::from_vec(input.dims().to_vec(), mask_data);
+        let out = input.zip_map(&mask, |x, m| x * m);
+        self.mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, _e: &mut Engine, grad: &Tensor) -> Tensor {
+        match &self.mask {
+            Some(mask) => grad.zip_map(mask, |g, m| g * m),
+            None => grad.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grad_check(layer: &mut dyn Layer, xs: &[f32]) {
+        let mut e = Engine::f32();
+        let x = Tensor::from_vec(vec![1, xs.len()], xs.to_vec());
+        let _ = layer.forward(&mut e, &x, true);
+        let gy = Tensor::full(vec![1, xs.len()], 1.0);
+        let gx = layer.backward(&mut e, &gy);
+        let eps = 1e-3f32;
+        for i in 0..xs.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let yp = layer.forward(&mut e, &xp, true).sum();
+            let ym = layer.forward(&mut e, &xm, true).sum();
+            let num = (yp - ym) / (2.0 * eps);
+            assert!(
+                (num - gx.data()[i]).abs() < 2e-2,
+                "{}: elem {i} numeric {num} vs analytic {}",
+                layer.name(),
+                gx.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn smooth_activations_match_finite_difference() {
+        grad_check(&mut Tanh::new("tanh"), &[-1.5, -0.2, 0.0, 0.3, 2.0]);
+        grad_check(&mut Sigmoid::new("sig"), &[-2.0, -0.5, 0.1, 1.0]);
+        grad_check(&mut Gelu::new("gelu"), &[-2.0, -0.5, 0.1, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn relu_zeroes_negatives_and_their_grads() {
+        let mut relu = Relu::new("r");
+        let mut e = Engine::f32();
+        let x = Tensor::from_vec(vec![1, 4], vec![-1.0, 2.0, -3.0, 4.0]);
+        let y = relu.forward(&mut e, &x, true);
+        assert_eq!(y.data(), &[0.0, 2.0, 0.0, 4.0]);
+        assert_eq!(y.zero_fraction(), 0.5);
+        let g = relu.backward(&mut e, &Tensor::full(vec![1, 4], 1.0));
+        assert_eq!(g.data(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn pact_output_lands_on_grid_and_clips() {
+        let mut pact = PactRelu::new("p", 2.0, 4);
+        let mut e = Engine::f32();
+        let x = Tensor::from_vec(vec![1, 5], vec![-1.0, 0.4, 1.0, 1.9, 5.0]);
+        let y = pact.forward(&mut e, &x, true);
+        // step = 2^ceil(log2(2/15)) = 2^-3.
+        let step = 0.125;
+        for &v in y.data() {
+            let q = (v / step).round() * step;
+            assert!((v - q).abs() < 1e-6, "{v} off grid");
+            assert!((0.0..=2.0).contains(&v));
+        }
+        assert_eq!(y.data()[0], 0.0);
+        assert_eq!(y.data()[4], 2.0);
+        // Gradients: zero below 0, STE in range, alpha-grad above.
+        let g = pact.backward(&mut e, &Tensor::full(vec![1, 5], 1.0));
+        assert_eq!(g.data(), &[0.0, 1.0, 1.0, 1.0, 0.0]);
+        assert_eq!(pact.alpha.grad.data()[0], 1.0);
+    }
+
+    #[test]
+    fn dropout_scales_survivors_and_is_identity_in_eval() {
+        let mut d = Dropout::new("d", 0.5, 42);
+        let mut e = Engine::f32();
+        let x = Tensor::full(vec![1, 1000], 1.0);
+        let y = d.forward(&mut e, &x, true);
+        let kept = y.data().iter().filter(|&&v| v != 0.0).count();
+        assert!((300..700).contains(&kept), "{kept} kept");
+        for &v in y.data() {
+            assert!(v == 0.0 || (v - 2.0).abs() < 1e-6);
+        }
+        // Backward respects the same mask.
+        let g = d.backward(&mut e, &x);
+        assert_eq!(g.data().iter().filter(|&&v| v != 0.0).count(), kept);
+        // Eval mode is the identity.
+        let y_eval = d.forward(&mut e, &x, false);
+        assert_eq!(y_eval, x);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0,1)")]
+    fn dropout_rejects_bad_probability() {
+        let _ = Dropout::new("d", 1.5, 0);
+    }
+}

@@ -1,0 +1,352 @@
+//! Single-head self-attention — the transformer block of the paper's BERT
+//! workload (Table I: "a transformer-based model using attention").
+
+use fpraker_tensor::{init, transpose2d, Tensor};
+use fpraker_trace::{Phase, TensorKind};
+use rand::Rng;
+
+use crate::engine::Engine;
+use crate::layer::{Layer, Param};
+use crate::loss::softmax_rows;
+
+/// Single-head scaled-dot-product self-attention with input/output
+/// projections. Input and output are `(batch, seq_len * dim)`.
+pub struct SelfAttention {
+    name: String,
+    dim: usize,
+    seq_len: usize,
+    wq: Param,
+    wk: Param,
+    wv: Param,
+    wo: Param,
+    cache: Option<AttnCache>,
+}
+
+struct AttnCache {
+    x: Tensor,              // (batch*T, dim)
+    q: Tensor,              // (batch*T, dim)
+    k: Tensor,              // (batch*T, dim)
+    v: Tensor,              // (batch*T, dim)
+    probs: Vec<Tensor>,     // per batch, (T, T)
+    attended: Tensor,       // (batch*T, dim) before output projection
+    batch: usize,
+}
+
+impl SelfAttention {
+    /// Creates an attention layer over sequences of `seq_len` tokens of
+    /// width `dim`.
+    pub fn new<R: Rng>(name: impl Into<String>, dim: usize, seq_len: usize, rng: &mut R) -> Self {
+        let name = name.into();
+        let mk = |n: &str, rng: &mut R| {
+            Param::new(
+                format!("{name}.{n}"),
+                init::kaiming_uniform(rng, vec![dim, dim], dim),
+            )
+        };
+        SelfAttention {
+            wq: mk("wq", rng),
+            wk: mk("wk", rng),
+            wv: mk("wv", rng),
+            wo: mk("wo", rng),
+            dim,
+            seq_len,
+            cache: None,
+            name,
+        }
+    }
+
+    fn rows(&self, flat: &Tensor, b: usize) -> Tensor {
+        // Extract sequence b as a (T, dim) matrix from (batch*T, dim).
+        let t = self.seq_len;
+        let mut out = vec![0.0f32; t * self.dim];
+        out.copy_from_slice(
+            &flat.data()[b * t * self.dim..(b + 1) * t * self.dim],
+        );
+        Tensor::from_vec(vec![t, self.dim], out)
+    }
+}
+
+impl Layer for SelfAttention {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, engine: &mut Engine, input: &Tensor, _training: bool) -> Tensor {
+        let batch = input.dims()[0];
+        assert_eq!(
+            input.dims()[1],
+            self.seq_len * self.dim,
+            "attention input must be (batch, seq_len*dim)"
+        );
+        let t = self.seq_len;
+        let x = input.clone().reshape(vec![batch * t, self.dim]);
+        let project = |engine: &mut Engine, w: &Param, name: &str| {
+            let _ = name;
+            engine.gemm_nt(
+                name,
+                Phase::AxW,
+                &x,
+                &w.value,
+                TensorKind::Activation,
+                TensorKind::Weight,
+            )
+        };
+        let q = project(engine, &self.wq, &format!("{}.q", self.name));
+        let k = project(engine, &self.wk, &format!("{}.k", self.name));
+        let v = project(engine, &self.wv, &format!("{}.v", self.name));
+
+        let scale = 1.0 / (self.dim as f32).sqrt();
+        let mut probs = Vec::with_capacity(batch);
+        let mut attended = vec![0.0f32; batch * t * self.dim];
+        for b in 0..batch {
+            let qb = self.rows(&q, b);
+            let kb = self.rows(&k, b);
+            let vb = self.rows(&v, b);
+            // scores (T,T) = Q Kᵀ * scale — both operands are activations.
+            let mut scores = engine.gemm_nt(
+                &format!("{}.qk", self.name),
+                Phase::AxW,
+                &qb,
+                &kb,
+                TensorKind::Activation,
+                TensorKind::Activation,
+            );
+            scores.scale(scale);
+            let p = softmax_rows(&scores);
+            // attended (T,dim) = P · V.
+            let vb_t = transpose2d(&vb);
+            let out_b = engine.gemm_nt(
+                &format!("{}.pv", self.name),
+                Phase::AxW,
+                &p,
+                &vb_t,
+                TensorKind::Activation,
+                TensorKind::Activation,
+            );
+            attended[b * t * self.dim..(b + 1) * t * self.dim].copy_from_slice(out_b.data());
+            probs.push(p);
+        }
+        let attended = Tensor::from_vec(vec![batch * t, self.dim], attended);
+        let out = engine.gemm_nt(
+            &format!("{}.out", self.name),
+            Phase::AxW,
+            &attended,
+            &self.wo.value,
+            TensorKind::Activation,
+            TensorKind::Weight,
+        );
+        self.cache = Some(AttnCache {
+            x,
+            q,
+            k,
+            v,
+            probs,
+            attended,
+            batch,
+        });
+        out.reshape(vec![batch, t * self.dim])
+    }
+
+    fn backward(&mut self, engine: &mut Engine, grad: &Tensor) -> Tensor {
+        let cache = self.cache.take().expect("backward before forward");
+        let (batch, t) = (cache.batch, self.seq_len);
+        let dout = grad.clone().reshape(vec![batch * t, self.dim]);
+
+        // Output projection.
+        let dout_t = transpose2d(&dout);
+        let att_t = transpose2d(&cache.attended);
+        let dwo = engine.gemm_nt(
+            &format!("{}.out", self.name),
+            Phase::AxG,
+            &dout_t,
+            &att_t,
+            TensorKind::Gradient,
+            TensorKind::Activation,
+        );
+        self.wo.grad.add_scaled(&dwo, 1.0);
+        let wo_t = transpose2d(&self.wo.value);
+        let datt = engine.gemm_nt(
+            &format!("{}.out", self.name),
+            Phase::GxW,
+            &dout,
+            &wo_t,
+            TensorKind::Gradient,
+            TensorKind::Weight,
+        );
+
+        let scale = 1.0 / (self.dim as f32).sqrt();
+        let mut dq = vec![0.0f32; batch * t * self.dim];
+        let mut dk = vec![0.0f32; batch * t * self.dim];
+        let mut dv = vec![0.0f32; batch * t * self.dim];
+        for b in 0..batch {
+            let p = &cache.probs[b];
+            let datt_b = self.rows(&datt, b);
+            let vb = self.rows(&cache.v, b);
+            // dP (T,T) = dAtt · Vᵀ.
+            let dp = engine.gemm_nt(
+                &format!("{}.pv", self.name),
+                Phase::AxG,
+                &datt_b,
+                &vb,
+                TensorKind::Gradient,
+                TensorKind::Activation,
+            );
+            // dV (T,dim) = Pᵀ · dAtt.
+            let p_t = transpose2d(p);
+            let datt_t = transpose2d(&datt_b);
+            let dv_b = engine.gemm_nt(
+                &format!("{}.pv", self.name),
+                Phase::AxG,
+                &p_t,
+                &datt_t,
+                TensorKind::Gradient,
+                TensorKind::Activation,
+            );
+            dv[b * t * self.dim..(b + 1) * t * self.dim].copy_from_slice(dv_b.data());
+
+            // Softmax backward: dS = P ⊙ (dP − rowsum(dP ⊙ P)).
+            let mut ds = vec![0.0f32; t * t];
+            for r in 0..t {
+                let mut dot = 0.0f32;
+                for c in 0..t {
+                    dot += dp.data()[r * t + c] * p.data()[r * t + c];
+                }
+                for c in 0..t {
+                    ds[r * t + c] =
+                        p.data()[r * t + c] * (dp.data()[r * t + c] - dot) * scale;
+                }
+            }
+            let ds = Tensor::from_vec(vec![t, t], ds);
+
+            // dQ = dS · K ; dK = dSᵀ · Q.
+            let kb = self.rows(&cache.k, b);
+            let kb_t = transpose2d(&kb);
+            let dq_b = engine.gemm_nt(
+                &format!("{}.qk", self.name),
+                Phase::GxW,
+                &ds,
+                &kb_t,
+                TensorKind::Gradient,
+                TensorKind::Activation,
+            );
+            dq[b * t * self.dim..(b + 1) * t * self.dim].copy_from_slice(dq_b.data());
+            let ds_t = transpose2d(&ds);
+            let qb = self.rows(&cache.q, b);
+            let qb_t = transpose2d(&qb);
+            let dk_b = engine.gemm_nt(
+                &format!("{}.qk", self.name),
+                Phase::GxW,
+                &ds_t,
+                &qb_t,
+                TensorKind::Gradient,
+                TensorKind::Activation,
+            );
+            dk[b * t * self.dim..(b + 1) * t * self.dim].copy_from_slice(dk_b.data());
+        }
+
+        // Back through the three input projections.
+        let mut dx = Tensor::zeros(vec![batch * t, self.dim]);
+        let x_t = transpose2d(&cache.x);
+        for (dproj, w) in [
+            (Tensor::from_vec(vec![batch * t, self.dim], dq), &mut self.wq),
+            (Tensor::from_vec(vec![batch * t, self.dim], dk), &mut self.wk),
+            (Tensor::from_vec(vec![batch * t, self.dim], dv), &mut self.wv),
+        ] {
+            let dproj_t = transpose2d(&dproj);
+            let dw = engine.gemm_nt(
+                &self.name,
+                Phase::AxG,
+                &dproj_t,
+                &x_t,
+                TensorKind::Gradient,
+                TensorKind::Activation,
+            );
+            w.grad.add_scaled(&dw, 1.0);
+            let w_t = transpose2d(&w.value);
+            let dxp = engine.gemm_nt(
+                &self.name,
+                Phase::GxW,
+                &dproj,
+                &w_t,
+                TensorKind::Gradient,
+                TensorKind::Weight,
+            );
+            dx.add_scaled(&dxp, 1.0);
+        }
+        dx.reshape(vec![batch, t * self.dim])
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.wq, &mut self.wk, &mut self.wv, &mut self.wo]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_shape_matches_input() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut attn = SelfAttention::new("attn", 4, 3, &mut rng);
+        let mut e = Engine::f32();
+        let x = init::normal(&mut rng, vec![2, 12], 1.0);
+        let y = attn.forward(&mut e, &x, true);
+        assert_eq!(y.dims(), &[2, 12]);
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut attn = SelfAttention::new("attn", 3, 2, &mut rng);
+        let mut e = Engine::f32();
+        let x = init::normal(&mut rng, vec![1, 6], 1.0);
+        let _ = attn.forward(&mut e, &x, true);
+        let gy = Tensor::full(vec![1, 6], 1.0);
+        let gx = attn.backward(&mut e, &gy);
+        let eps = 1e-2f32;
+        for i in 0..6 {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let yp = attn.forward(&mut e, &xp, true).sum();
+            let ym = attn.forward(&mut e, &xm, true).sum();
+            let num = (yp - ym) / (2.0 * eps);
+            assert!(
+                (num - gx.data()[i]).abs() < 3e-2 * (1.0 + num.abs()),
+                "elem {i}: numeric {num} vs analytic {}",
+                gx.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn weight_gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut attn = SelfAttention::new("attn", 3, 2, &mut rng);
+        let mut e = Engine::f32();
+        let x = init::normal(&mut rng, vec![2, 6], 1.0);
+        let _ = attn.forward(&mut e, &x, true);
+        let gy = Tensor::full(vec![2, 6], 1.0);
+        let _ = attn.backward(&mut e, &gy);
+        let analytic = attn.wq.grad.clone();
+        let eps = 1e-2f32;
+        for i in [0usize, 4, 8] {
+            let orig = attn.wq.value.data()[i];
+            attn.wq.value.data_mut()[i] = orig + eps;
+            let yp = attn.forward(&mut e, &x, true).sum();
+            attn.wq.value.data_mut()[i] = orig - eps;
+            let ym = attn.forward(&mut e, &x, true).sum();
+            attn.wq.value.data_mut()[i] = orig;
+            let num = (yp - ym) / (2.0 * eps);
+            assert!(
+                (num - analytic.data()[i]).abs() < 3e-2 * (1.0 + num.abs()),
+                "wq {i}: numeric {num} vs analytic {}",
+                analytic.data()[i]
+            );
+        }
+    }
+}

@@ -1,0 +1,562 @@
+//! Convolutional layers: Conv2d (lowered to GEMM), max pooling, and a
+//! batch-normalization layer.
+
+use fpraker_tensor::{col2im, im2col, init, sum_rows, transpose2d, ConvGeom, Tensor};
+use fpraker_trace::{Phase, TensorKind};
+use rand::Rng;
+
+use crate::engine::Engine;
+use crate::layer::{Layer, Param};
+use crate::quant::quantize_symmetric;
+
+/// Converts a `(N*OH*OW, F)` GEMM output into NCHW `(N, F, OH, OW)`.
+fn rows_to_nchw(rows: &Tensor, n: usize, f: usize, oh: usize, ow: usize) -> Tensor {
+    let mut out = vec![0.0f32; n * f * oh * ow];
+    let rd = rows.data();
+    for img in 0..n {
+        for y in 0..oh {
+            for x in 0..ow {
+                let row = (img * oh + y) * ow + x;
+                for ch in 0..f {
+                    out[((img * f + ch) * oh + y) * ow + x] = rd[row * f + ch];
+                }
+            }
+        }
+    }
+    Tensor::from_vec(vec![n, f, oh, ow], out)
+}
+
+/// Converts NCHW `(N, F, OH, OW)` into `(N*OH*OW, F)` rows (the inverse of
+/// [`rows_to_nchw`]).
+fn nchw_to_rows(t: &Tensor) -> Tensor {
+    let (n, f, oh, ow) = (t.dims()[0], t.dims()[1], t.dims()[2], t.dims()[3]);
+    let mut out = vec![0.0f32; n * f * oh * ow];
+    let td = t.data();
+    for img in 0..n {
+        for ch in 0..f {
+            for y in 0..oh {
+                for x in 0..ow {
+                    let row = (img * oh + y) * ow + x;
+                    out[row * f + ch] = td[((img * f + ch) * oh + y) * ow + x];
+                }
+            }
+        }
+    }
+    Tensor::from_vec(vec![n * oh * ow, f], out)
+}
+
+/// A 2-D convolution, lowered to GEMM via im2col. Weights are stored
+/// `(out_channels, in_channels*k*k)` — exactly the parallel-operand stream
+/// layout the tile consumes.
+pub struct Conv2d {
+    name: String,
+    geom: ConvGeom,
+    weight: Param,
+    bias: Param,
+    /// Forward-pass weight quantization bits (quantization-aware training).
+    pub weight_bits: Option<u32>,
+    cached_cols: Option<Tensor>,
+    cached_input_dims: Vec<usize>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with Kaiming-uniform weights.
+    pub fn new<R: Rng>(name: impl Into<String>, geom: ConvGeom, rng: &mut R) -> Self {
+        let name = name.into();
+        let patch = geom.patch_len();
+        Conv2d {
+            weight: Param::new(
+                format!("{name}.weight"),
+                init::kaiming_uniform(rng, vec![geom.out_channels, patch], patch),
+            ),
+            bias: Param::new(
+                format!("{name}.bias"),
+                Tensor::zeros(vec![geom.out_channels]),
+            ),
+            weight_bits: None,
+            cached_cols: None,
+            cached_input_dims: Vec::new(),
+            geom,
+            name,
+        }
+    }
+
+    /// Enables forward-pass weight quantization to `bits` bits.
+    pub fn with_weight_bits(mut self, bits: u32) -> Self {
+        self.weight_bits = Some(bits);
+        self
+    }
+
+    /// The convolution geometry.
+    pub fn geom(&self) -> &ConvGeom {
+        &self.geom
+    }
+
+    fn forward_weights(&self) -> Tensor {
+        match self.weight_bits {
+            Some(bits) => quantize_symmetric(&self.weight.value, bits),
+            None => self.weight.value.clone(),
+        }
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, engine: &mut Engine, input: &Tensor, _training: bool) -> Tensor {
+        assert_eq!(input.dims().len(), 4, "conv input must be NCHW");
+        let (n, _, h, w) = (
+            input.dims()[0],
+            input.dims()[1],
+            input.dims()[2],
+            input.dims()[3],
+        );
+        let (oh, ow) = self.geom.out_size(h, w);
+        let cols = im2col(input, &self.geom);
+        let weights = self.forward_weights();
+        let dup = cols.len() as f32 / input.len() as f32;
+        let mut rows = engine.gemm_nt_dup(
+            &self.name,
+            Phase::AxW,
+            &cols,
+            &weights,
+            TensorKind::Activation,
+            TensorKind::Weight,
+            [dup, 1.0, 1.0],
+        );
+        fpraker_tensor::add_bias_rows(&mut rows, &self.bias.value);
+        self.cached_cols = Some(cols);
+        self.cached_input_dims = input.dims().to_vec();
+        rows_to_nchw(&rows, n, self.geom.out_channels, oh, ow)
+    }
+
+    fn backward(&mut self, engine: &mut Engine, grad: &Tensor) -> Tensor {
+        let cols = self.cached_cols.take().expect("backward before forward");
+        let g_rows = nchw_to_rows(grad); // (N*OH*OW, F)
+        self.bias.grad.add_scaled(&sum_rows(&g_rows), 1.0);
+
+        // Weight gradient: dW (F, patch) = g_rowsᵀ · cols.
+        let g_t = transpose2d(&g_rows);
+        let cols_t = transpose2d(&cols);
+        let n_in: usize = self.cached_input_dims.iter().product();
+        let cols_dup = cols.len() as f32 / n_in as f32;
+        let dw = engine.gemm_nt_dup(
+            &self.name,
+            Phase::AxG,
+            &g_t,
+            &cols_t,
+            TensorKind::Gradient,
+            TensorKind::Activation,
+            [1.0, cols_dup, 1.0],
+        );
+        self.weight.grad.add_scaled(&dw, 1.0);
+
+        // Input gradient: dcols (rows, patch) = g_rows · W, then col2im;
+        // the dcols matrix is reduced on chip before anything leaves.
+        let w_t = transpose2d(&self.forward_weights());
+        let dcols = engine.gemm_nt_dup(
+            &self.name,
+            Phase::GxW,
+            &g_rows,
+            &w_t,
+            TensorKind::Gradient,
+            TensorKind::Weight,
+            [1.0, 1.0, cols_dup],
+        );
+        let (n, h, w) = (
+            self.cached_input_dims[0],
+            self.cached_input_dims[2],
+            self.cached_input_dims[3],
+        );
+        col2im(&dcols, &self.geom, n, h, w)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+/// 2×2 max pooling with stride 2.
+pub struct MaxPool2d {
+    name: String,
+    cached_argmax: Vec<usize>,
+    cached_dims: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates a 2×2/stride-2 max-pool layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        MaxPool2d {
+            name: name.into(),
+            cached_argmax: Vec::new(),
+            cached_dims: Vec::new(),
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, _e: &mut Engine, input: &Tensor, _training: bool) -> Tensor {
+        assert_eq!(input.dims().len(), 4, "pool input must be NCHW");
+        let (n, c, h, w) = (
+            input.dims()[0],
+            input.dims()[1],
+            input.dims()[2],
+            input.dims()[3],
+        );
+        assert!(h % 2 == 0 && w % 2 == 0, "pool needs even spatial dims");
+        let (oh, ow) = (h / 2, w / 2);
+        let mut out = vec![0.0f32; n * c * oh * ow];
+        self.cached_argmax = vec![0; out.len()];
+        self.cached_dims = input.dims().to_vec();
+        let id = input.data();
+        for img in 0..n {
+            for ch in 0..c {
+                for y in 0..oh {
+                    for x in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_off = 0;
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                let off =
+                                    ((img * c + ch) * h + 2 * y + dy) * w + 2 * x + dx;
+                                if id[off] > best {
+                                    best = id[off];
+                                    best_off = off;
+                                }
+                            }
+                        }
+                        let o = ((img * c + ch) * oh + y) * ow + x;
+                        out[o] = best;
+                        self.cached_argmax[o] = best_off;
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(vec![n, c, oh, ow], out)
+    }
+
+    fn backward(&mut self, _e: &mut Engine, grad: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.cached_dims.clone());
+        for (o, &src) in self.cached_argmax.iter().enumerate() {
+            out.data_mut()[src] += grad.data()[o];
+        }
+        out
+    }
+}
+
+/// Per-channel batch normalization over NCHW inputs with affine scale and
+/// shift; batch statistics in training, running statistics at evaluation.
+pub struct BatchNorm2d {
+    name: String,
+    gamma: Param,
+    beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    momentum: f32,
+    eps: f32,
+    cached: Option<BnCache>,
+}
+
+struct BnCache {
+    input: Tensor,
+    mean: Vec<f32>,
+    var: Vec<f32>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer over `channels`.
+    pub fn new(name: impl Into<String>, channels: usize) -> Self {
+        let name = name.into();
+        BatchNorm2d {
+            gamma: Param::new(format!("{name}.gamma"), Tensor::full(vec![channels], 1.0)),
+            beta: Param::new(format!("{name}.beta"), Tensor::zeros(vec![channels])),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            momentum: 0.1,
+            eps: 1e-5,
+            cached: None,
+            name,
+        }
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, _e: &mut Engine, input: &Tensor, training: bool) -> Tensor {
+        assert_eq!(input.dims().len(), 4, "batchnorm input must be NCHW");
+        let (n, c, h, w) = (
+            input.dims()[0],
+            input.dims()[1],
+            input.dims()[2],
+            input.dims()[3],
+        );
+        let per_ch = (n * h * w) as f32;
+        let mut mean = vec![0.0f32; c];
+        let mut var = vec![0.0f32; c];
+        if training {
+            for img in 0..n {
+                for ch in 0..c {
+                    for i in 0..h * w {
+                        mean[ch] += input.data()[(img * c + ch) * h * w + i];
+                    }
+                }
+            }
+            for m in &mut mean {
+                *m /= per_ch;
+            }
+            for img in 0..n {
+                for ch in 0..c {
+                    for i in 0..h * w {
+                        let d = input.data()[(img * c + ch) * h * w + i] - mean[ch];
+                        var[ch] += d * d;
+                    }
+                }
+            }
+            for v in &mut var {
+                *v /= per_ch;
+            }
+            for ch in 0..c {
+                self.running_mean[ch] =
+                    (1.0 - self.momentum) * self.running_mean[ch] + self.momentum * mean[ch];
+                self.running_var[ch] =
+                    (1.0 - self.momentum) * self.running_var[ch] + self.momentum * var[ch];
+            }
+        } else {
+            mean.copy_from_slice(&self.running_mean);
+            var.copy_from_slice(&self.running_var);
+        }
+        let mut out = input.clone();
+        let gamma = self.gamma.value.data().to_vec();
+        let beta = self.beta.value.data().to_vec();
+        for img in 0..n {
+            for ch in 0..c {
+                let inv = 1.0 / (var[ch] + self.eps).sqrt();
+                for i in 0..h * w {
+                    let off = (img * c + ch) * h * w + i;
+                    out.data_mut()[off] = (out.data()[off] - mean[ch]) * inv * gamma[ch] + beta[ch];
+                }
+            }
+        }
+        if training {
+            self.cached = Some(BnCache {
+                input: input.clone(),
+                mean,
+                var,
+            });
+        }
+        out
+    }
+
+    fn backward(&mut self, _e: &mut Engine, grad: &Tensor) -> Tensor {
+        let cache = self.cached.take().expect("backward before training forward");
+        let input = &cache.input;
+        let (n, c, h, w) = (
+            input.dims()[0],
+            input.dims()[1],
+            input.dims()[2],
+            input.dims()[3],
+        );
+        let m = (n * h * w) as f32;
+        let mut out = Tensor::zeros(input.dims().to_vec());
+        for ch in 0..c {
+            let inv = 1.0 / (cache.var[ch] + self.eps).sqrt();
+            let gamma = self.gamma.value.data()[ch];
+            // Accumulate the channel sums needed by the BN backward formula.
+            let mut sum_g = 0.0f32;
+            let mut sum_gx = 0.0f32;
+            for img in 0..n {
+                for i in 0..h * w {
+                    let off = (img * c + ch) * h * w + i;
+                    let xhat = (input.data()[off] - cache.mean[ch]) * inv;
+                    let g = grad.data()[off];
+                    sum_g += g;
+                    sum_gx += g * xhat;
+                }
+            }
+            self.beta.grad.data_mut()[ch] += sum_g;
+            self.gamma.grad.data_mut()[ch] += sum_gx;
+            for img in 0..n {
+                for i in 0..h * w {
+                    let off = (img * c + ch) * h * w + i;
+                    let xhat = (input.data()[off] - cache.mean[ch]) * inv;
+                    let g = grad.data()[off];
+                    out.data_mut()[off] =
+                        gamma * inv / m * (m * g - sum_g - xhat * sum_gx);
+                }
+            }
+        }
+        out
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn geom() -> ConvGeom {
+        ConvGeom {
+            in_channels: 2,
+            out_channels: 3,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        }
+    }
+
+    #[test]
+    fn conv_preserves_spatial_dims_with_pad1() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new("c", geom(), &mut rng);
+        let mut e = Engine::f32();
+        let x = init::normal(&mut rng, vec![2, 2, 4, 4], 1.0);
+        let y = conv.forward(&mut e, &x, true);
+        assert_eq!(y.dims(), &[2, 3, 4, 4]);
+    }
+
+    #[test]
+    fn conv_input_gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut conv = Conv2d::new("c", geom(), &mut rng);
+        let mut e = Engine::f32();
+        let x = init::normal(&mut rng, vec![1, 2, 3, 3], 1.0);
+        let _ = conv.forward(&mut e, &x, true);
+        let gy = Tensor::full(vec![1, 3, 3, 3], 1.0);
+        let gx = conv.backward(&mut e, &gy);
+        let eps = 1e-2f32;
+        for i in [0usize, 5, 9, 17] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let yp = conv.forward(&mut e, &xp, true).sum();
+            let ym = conv.forward(&mut e, &xm, true).sum();
+            let num = (yp - ym) / (2.0 * eps);
+            assert!(
+                (num - gx.data()[i]).abs() < 2e-2 * (1.0 + num.abs()),
+                "elem {i}: {num} vs {}",
+                gx.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn conv_weight_gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut conv = Conv2d::new("c", geom(), &mut rng);
+        let mut e = Engine::f32();
+        let x = init::normal(&mut rng, vec![1, 2, 3, 3], 1.0);
+        let _ = conv.forward(&mut e, &x, true);
+        let gy = Tensor::full(vec![1, 3, 3, 3], 1.0);
+        let _ = conv.backward(&mut e, &gy);
+        let analytic = conv.weight.grad.clone();
+        let eps = 1e-2f32;
+        for i in [0usize, 7, 20, 53] {
+            let orig = conv.weight.value.data()[i];
+            conv.weight.value.data_mut()[i] = orig + eps;
+            let yp = conv.forward(&mut e, &x, true).sum();
+            conv.weight.value.data_mut()[i] = orig - eps;
+            let ym = conv.forward(&mut e, &x, true).sum();
+            conv.weight.value.data_mut()[i] = orig;
+            let num = (yp - ym) / (2.0 * eps);
+            assert!(
+                (num - analytic.data()[i]).abs() < 2e-2 * (1.0 + num.abs()),
+                "weight {i}: {num} vs {}",
+                analytic.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn nchw_row_conversions_invert() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = init::normal(&mut rng, vec![2, 3, 4, 5], 1.0);
+        let rows = nchw_to_rows(&t);
+        assert_eq!(rows.dims(), &[2 * 4 * 5, 3]);
+        let back = rows_to_nchw(&rows, 2, 3, 4, 5);
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn maxpool_selects_max_and_routes_gradient() {
+        let mut pool = MaxPool2d::new("p");
+        let mut e = Engine::f32();
+        let x = Tensor::from_vec(
+            vec![1, 1, 2, 2],
+            vec![1.0, 5.0, 2.0, 3.0],
+        );
+        let y = pool.forward(&mut e, &x, true);
+        assert_eq!(y.data(), &[5.0]);
+        let g = pool.backward(&mut e, &Tensor::full(vec![1, 1, 1, 1], 2.0));
+        assert_eq!(g.data(), &[0.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn batchnorm_normalizes_each_channel() {
+        let mut bn = BatchNorm2d::new("bn", 2);
+        let mut e = Engine::f32();
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = init::normal(&mut rng, vec![4, 2, 3, 3], 3.0).map(|v| v + 7.0);
+        let y = bn.forward(&mut e, &x, true);
+        // Per-channel mean ~0, var ~1.
+        for ch in 0..2 {
+            let mut vals = Vec::new();
+            for img in 0..4 {
+                for i in 0..9 {
+                    vals.push(y.data()[(img * 2 + ch) * 9 + i]);
+                }
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn batchnorm_gradient_matches_finite_difference() {
+        let mut bn = BatchNorm2d::new("bn", 1);
+        let mut e = Engine::f32();
+        let x = Tensor::from_vec(vec![2, 1, 1, 2], vec![1.0, 2.0, 4.0, -1.0]);
+        let _ = bn.forward(&mut e, &x, true);
+        // Weighted loss to make per-element gradients distinct.
+        let gy = Tensor::from_vec(vec![2, 1, 1, 2], vec![1.0, 0.5, -0.25, 2.0]);
+        let gx = bn.backward(&mut e, &gy);
+        let eps = 1e-3f32;
+        for i in 0..4 {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let loss = |t: &Tensor, bn: &mut BatchNorm2d, e: &mut Engine| {
+                let y = bn.forward(e, t, true);
+                y.data()
+                    .iter()
+                    .zip(gy.data())
+                    .map(|(a, b)| a * b)
+                    .sum::<f32>()
+            };
+            let num = (loss(&xp, &mut bn, &mut e) - loss(&xm, &mut bn, &mut e)) / (2.0 * eps);
+            assert!(
+                (num - gx.data()[i]).abs() < 5e-3 * (1.0 + num.abs()),
+                "elem {i}: {num} vs {}",
+                gx.data()[i]
+            );
+        }
+    }
+}

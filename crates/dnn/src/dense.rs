@@ -1,0 +1,301 @@
+//! Fully-connected and embedding layers.
+
+use fpraker_tensor::{add_bias_rows, init, sum_rows, transpose2d, Tensor};
+use fpraker_trace::{Phase, TensorKind};
+use rand::Rng;
+
+use crate::engine::Engine;
+use crate::layer::{Layer, Param};
+use crate::quant::quantize_symmetric;
+
+/// A fully-connected layer: `y = x · Wᵀ + b` with `W: (out, in)`.
+///
+/// Optional weight quantization (`weight_bits`) emulates quantization-aware
+/// training: the forward pass uses weights rounded to a `2^bits`-level
+/// symmetric grid while gradients update the full-precision master copy
+/// (straight-through estimator) — the mechanism behind the paper's
+/// ResNet18-Q workload (PACT).
+pub struct Linear {
+    name: String,
+    weight: Param,
+    bias: Param,
+    /// Forward-pass weight quantization bits (None = full precision).
+    pub weight_bits: Option<u32>,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a linear layer with Kaiming-uniform weights.
+    pub fn new<R: Rng>(name: impl Into<String>, in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+        let name = name.into();
+        Linear {
+            weight: Param::new(
+                format!("{name}.weight"),
+                init::kaiming_uniform(rng, vec![out_dim, in_dim], in_dim),
+            ),
+            bias: Param::new(format!("{name}.bias"), Tensor::zeros(vec![out_dim])),
+            weight_bits: None,
+            cached_input: None,
+            name,
+        }
+    }
+
+    /// Enables forward-pass weight quantization to `bits` bits.
+    pub fn with_weight_bits(mut self, bits: u32) -> Self {
+        self.weight_bits = Some(bits);
+        self
+    }
+
+    /// The effective forward weights (quantized if configured).
+    fn forward_weights(&self) -> Tensor {
+        match self.weight_bits {
+            Some(bits) => quantize_symmetric(&self.weight.value, bits),
+            None => self.weight.value.clone(),
+        }
+    }
+}
+
+impl Layer for Linear {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, engine: &mut Engine, input: &Tensor, _training: bool) -> Tensor {
+        assert_eq!(input.dims().len(), 2, "linear input must be (batch, in)");
+        self.cached_input = Some(input.clone());
+        let w = self.forward_weights();
+        let mut out = engine.gemm_nt(
+            &self.name,
+            Phase::AxW,
+            input,
+            &w,
+            TensorKind::Activation,
+            TensorKind::Weight,
+        );
+        add_bias_rows(&mut out, &self.bias.value);
+        out
+    }
+
+    fn backward(&mut self, engine: &mut Engine, grad: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .take()
+            .expect("backward called before forward");
+        // Bias gradient.
+        self.bias.grad.add_scaled(&sum_rows(grad), 1.0);
+        // Weight gradient: dW (out, in) = gradᵀ · input.
+        let grad_t = transpose2d(grad);
+        let input_t = transpose2d(&input);
+        let dw = engine.gemm_nt(
+            &self.name,
+            Phase::AxG,
+            &grad_t,
+            &input_t,
+            TensorKind::Gradient,
+            TensorKind::Activation,
+        );
+        self.weight.grad.add_scaled(&dw, 1.0);
+        // Input gradient: dX (batch, in) = grad · W.
+        let w_t = transpose2d(&self.forward_weights());
+        engine.gemm_nt(
+            &self.name,
+            Phase::GxW,
+            grad,
+            &w_t,
+            TensorKind::Gradient,
+            TensorKind::Weight,
+        )
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+/// An embedding table: the input holds indices (as `f32`), the output
+/// concatenates the looked-up rows. Lookups move no MACs through the
+/// engine (they are gathers); the GEMM work of embedding models lives in
+/// the MLP on top (as in the paper's NCF workload).
+pub struct Embedding {
+    name: String,
+    weight: Param,
+    dim: usize,
+    cached_indices: Vec<usize>,
+    cached_shape: (usize, usize),
+}
+
+impl Embedding {
+    /// Creates an embedding table of `vocab` rows of width `dim`.
+    pub fn new<R: Rng>(name: impl Into<String>, vocab: usize, dim: usize, rng: &mut R) -> Self {
+        let name = name.into();
+        Embedding {
+            weight: Param::new(
+                format!("{name}.weight"),
+                init::normal(rng, vec![vocab, dim], 0.1),
+            ),
+            dim,
+            cached_indices: Vec::new(),
+            cached_shape: (0, 0),
+            name,
+        }
+    }
+
+    /// The vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.weight.value.dims()[0]
+    }
+}
+
+impl Layer for Embedding {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, _engine: &mut Engine, input: &Tensor, _training: bool) -> Tensor {
+        assert_eq!(input.dims().len(), 2, "embedding input must be (batch, slots)");
+        let (batch, slots) = (input.dims()[0], input.dims()[1]);
+        let vocab = self.vocab();
+        self.cached_indices = input
+            .data()
+            .iter()
+            .map(|&v| {
+                let idx = v as usize;
+                assert!(idx < vocab, "index {idx} out of vocabulary {vocab}");
+                idx
+            })
+            .collect();
+        self.cached_shape = (batch, slots);
+        let mut out = vec![0.0f32; batch * slots * self.dim];
+        for (pos, &idx) in self.cached_indices.iter().enumerate() {
+            let row = &self.weight.value.data()[idx * self.dim..(idx + 1) * self.dim];
+            out[pos * self.dim..(pos + 1) * self.dim].copy_from_slice(row);
+        }
+        Tensor::from_vec(vec![batch, slots * self.dim], out)
+    }
+
+    fn backward(&mut self, _engine: &mut Engine, grad: &Tensor) -> Tensor {
+        let (batch, slots) = self.cached_shape;
+        assert_eq!(grad.dims(), &[batch, slots * self.dim], "grad shape");
+        for (pos, &idx) in self.cached_indices.iter().enumerate() {
+            let g = &grad.data()[pos * self.dim..(pos + 1) * self.dim];
+            let row = &mut self.weight.grad.data_mut()[idx * self.dim..(idx + 1) * self.dim];
+            for (r, &v) in row.iter_mut().zip(g) {
+                *r += v;
+            }
+        }
+        // Indices carry no gradient.
+        Tensor::zeros(vec![batch, slots])
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn finite_diff_check(in_dim: usize, out_dim: usize) {
+        // Numerical gradient check of Linear wrt input.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut layer = Linear::new("fc", in_dim, out_dim, &mut rng);
+        let mut e = Engine::f32();
+        let x = init::normal(&mut rng, vec![2, in_dim], 1.0);
+        let y = layer.forward(&mut e, &x, true);
+        // Loss = sum(y); dL/dy = ones.
+        let gy = Tensor::full(y.dims().to_vec(), 1.0);
+        let gx = layer.backward(&mut e, &gy);
+        let eps = 1e-2f32;
+        for i in 0..x.len().min(6) {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let yp = layer.forward(&mut e, &xp, true).sum();
+            let ym = layer.forward(&mut e, &xm, true).sum();
+            let num = (yp - ym) / (2.0 * eps);
+            let ana = gx.data()[i];
+            assert!(
+                (num - ana).abs() < 1e-2 * (1.0 + num.abs()),
+                "element {i}: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn linear_input_gradient_matches_finite_difference() {
+        finite_diff_check(5, 3);
+    }
+
+    #[test]
+    fn linear_weight_gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut layer = Linear::new("fc", 3, 2, &mut rng);
+        let mut e = Engine::f32();
+        let x = init::normal(&mut rng, vec![4, 3], 1.0);
+        let _ = layer.forward(&mut e, &x, true);
+        let gy = Tensor::full(vec![4, 2], 1.0);
+        let _ = layer.backward(&mut e, &gy);
+        let analytic = layer.weight.grad.clone();
+        let eps = 1e-2f32;
+        for i in 0..analytic.len() {
+            let orig = layer.weight.value.data()[i];
+            layer.weight.value.data_mut()[i] = orig + eps;
+            let yp = layer.forward(&mut e, &x, true).sum();
+            layer.weight.value.data_mut()[i] = orig - eps;
+            let ym = layer.forward(&mut e, &x, true).sum();
+            layer.weight.value.data_mut()[i] = orig;
+            let num = (yp - ym) / (2.0 * eps);
+            assert!(
+                (num - analytic.data()[i]).abs() < 1e-2 * (1.0 + num.abs()),
+                "weight {i}: numeric {num} vs analytic {}",
+                analytic.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_linear_uses_power_of_two_grid() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let layer = Linear::new("fc", 8, 4, &mut rng).with_weight_bits(4);
+        let w = layer.forward_weights();
+        // The grid step is a power of two and k fits in 4 signed bits.
+        let maxabs = w.data().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let step = 2f32.powi((maxabs / 7.0).log2().ceil() as i32);
+        for &v in w.data() {
+            let q = (v / step).round() * step;
+            assert!((v - q).abs() < 1e-5, "{v} not on grid (step {step})");
+            assert!((v / step).abs() <= 7.5);
+        }
+    }
+
+    #[test]
+    fn embedding_gathers_and_scatters() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut emb = Embedding::new("emb", 10, 3, &mut rng);
+        let mut e = Engine::f32();
+        let input = Tensor::from_vec(vec![2, 2], vec![1.0, 3.0, 3.0, 0.0]);
+        let out = emb.forward(&mut e, &input, true);
+        assert_eq!(out.dims(), &[2, 6]);
+        let row3 = emb.weight.value.data()[9..12].to_vec();
+        assert_eq!(&out.data()[3..6], &row3[..]);
+        // Backward scatters: index 3 appears twice.
+        let g = Tensor::full(vec![2, 6], 1.0);
+        let _ = emb.backward(&mut e, &g);
+        assert_eq!(emb.weight.grad.data()[9], 2.0);
+        assert_eq!(emb.weight.grad.data()[0], 1.0);
+        assert_eq!(emb.weight.grad.data()[6], 0.0); // index 2 unused
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn embedding_checks_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut emb = Embedding::new("emb", 4, 2, &mut rng);
+        let mut e = Engine::f32();
+        let _ = emb.forward(&mut e, &Tensor::from_vec(vec![1, 1], vec![9.0]), true);
+    }
+}

@@ -1,0 +1,291 @@
+//! The GEMM engine: one funnel for every multiply-accumulate in training.
+//!
+//! All layers route their GEMMs through [`Engine::gemm_nt`], which
+//!
+//! 1. rounds operands to bfloat16 (the accelerator's storage format) unless
+//!    running in native-f32 mode,
+//! 2. computes the product under the selected [`Arithmetic`] — fast `f32`,
+//!    the bit-parallel bfloat16 baseline, or cycle-faithful FPRaker PE
+//!    emulation (the Fig. 17 accuracy study trains entire models through
+//!    the PE code path, as the paper did by overriding `mad()` in PlaidML),
+//! 3. optionally captures the operands as a [`TraceOp`] for the simulator
+//!    (the paper's PyTorch-hook trace collection, Section V-A).
+
+use fpraker_core::{BaselinePe, Pe, PeConfig};
+use fpraker_num::Bf16;
+use fpraker_tensor::{matmul_nt, Tensor};
+use fpraker_trace::{Phase, TensorKind, Trace, TraceOp};
+
+/// Which arithmetic implements the MACs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Arithmetic {
+    /// Native `f32` (the paper's "Native_FP32" reference curve).
+    F32,
+    /// Bit-parallel bfloat16 with chunked extended accumulation (the
+    /// paper's "Baseline_BF16").
+    Bf16Baseline,
+    /// Term-serial FPRaker PE emulation ("FPRaker_BF16").
+    FpRaker(PeConfig),
+}
+
+impl Arithmetic {
+    /// `true` if operands are rounded to bfloat16 before multiplying.
+    pub fn quantizes_operands(&self) -> bool {
+        !matches!(self, Arithmetic::F32)
+    }
+}
+
+/// Trace-capture state: when armed, every GEMM is recorded.
+#[derive(Debug, Default)]
+pub struct Capture {
+    armed: bool,
+    ops: Vec<TraceOp>,
+}
+
+/// The engine threaded through every layer's forward and backward pass.
+#[derive(Debug)]
+pub struct Engine {
+    arithmetic: Arithmetic,
+    capture: Capture,
+    /// Total MACs executed (for reporting).
+    pub macs: u64,
+}
+
+impl Engine {
+    /// Creates an engine with the given arithmetic and capture disarmed.
+    pub fn new(arithmetic: Arithmetic) -> Self {
+        Engine {
+            arithmetic,
+            capture: Capture::default(),
+            macs: 0,
+        }
+    }
+
+    /// An engine computing in native `f32`.
+    pub fn f32() -> Self {
+        Self::new(Arithmetic::F32)
+    }
+
+    /// The engine's arithmetic mode.
+    pub fn arithmetic(&self) -> Arithmetic {
+        self.arithmetic
+    }
+
+    /// Arms trace capture: subsequent GEMMs are recorded until
+    /// [`Engine::take_trace`].
+    pub fn arm_capture(&mut self) {
+        self.capture.armed = true;
+        self.capture.ops.clear();
+    }
+
+    /// `true` while GEMMs are being recorded.
+    pub fn capturing(&self) -> bool {
+        self.capture.armed
+    }
+
+    /// Disarms capture and returns the recorded ops as a [`Trace`].
+    pub fn take_trace(&mut self, model: impl Into<String>, progress_pct: u32) -> Trace {
+        self.capture.armed = false;
+        Trace {
+            model: model.into(),
+            progress_pct,
+            ops: std::mem::take(&mut self.capture.ops),
+        }
+    }
+
+    /// Computes `C (m×n) = A (m×k) · Bᵀ` where `b` is given row-major
+    /// `n×k` (each row of `b` is a column of the mathematical `B`). This is
+    /// the operand layout the FPRaker tile consumes, so captured traces
+    /// stream directly into the simulator.
+    ///
+    /// Operands are rounded to bfloat16 first unless the arithmetic is
+    /// [`Arithmetic::F32`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if operands are not rank 2 or their `k` dimensions disagree.
+    pub fn gemm_nt(
+        &mut self,
+        layer: &str,
+        phase: Phase,
+        a: &Tensor,
+        b: &Tensor,
+        a_kind: TensorKind,
+        b_kind: TensorKind,
+    ) -> Tensor {
+        self.gemm_nt_dup(layer, phase, a, b, a_kind, b_kind, [1.0, 1.0, 1.0])
+    }
+
+    /// Like [`Engine::gemm_nt`], with stream-duplication hints
+    /// `[a_dup, b_dup, out_dup]` recorded into captured traces: how many
+    /// times each source-tensor element is replicated in the stream (im2col
+    /// lowering duplicates activations; the real accelerator expands on
+    /// chip, so off-chip traffic models divide by these factors).
+    #[allow(clippy::too_many_arguments)]
+    pub fn gemm_nt_dup(
+        &mut self,
+        layer: &str,
+        phase: Phase,
+        a: &Tensor,
+        b: &Tensor,
+        a_kind: TensorKind,
+        b_kind: TensorKind,
+        dups: [f32; 3],
+    ) -> Tensor {
+        assert_eq!(a.dims().len(), 2, "gemm operands must be rank 2");
+        assert_eq!(b.dims().len(), 2, "gemm operands must be rank 2");
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let (n, kb) = (b.dims()[0], b.dims()[1]);
+        assert_eq!(k, kb, "k mismatch: {k} vs {kb}");
+        self.macs += (m * n * k) as u64;
+
+        let (qa, qb);
+        let (a, b) = if self.arithmetic.quantizes_operands() {
+            qa = a.map(|v| Bf16::from_f32(v).to_f32());
+            qb = b.map(|v| Bf16::from_f32(v).to_f32());
+            (&qa, &qb)
+        } else {
+            (a, b)
+        };
+
+        if self.capture.armed {
+            self.capture.ops.push(TraceOp {
+                layer: layer.to_string(),
+                phase,
+                m,
+                n,
+                k,
+                a: a.to_bf16(),
+                b: b.to_bf16(),
+                a_kind,
+                b_kind,
+                a_dup: dups[0].max(1.0),
+                b_dup: dups[1].max(1.0),
+                out_dup: dups[2].max(1.0),
+            });
+        }
+
+        match self.arithmetic {
+            Arithmetic::F32 => matmul_nt(a, b),
+            Arithmetic::Bf16Baseline => {
+                let av = a.to_bf16();
+                let bv = b.to_bf16();
+                let mut pe = BaselinePe::new(PeConfig::paper());
+                let mut out = vec![0.0f32; m * n];
+                for i in 0..m {
+                    let arow = &av[i * k..(i + 1) * k];
+                    for j in 0..n {
+                        let brow = &bv[j * k..(j + 1) * k];
+                        out[i * n + j] = pe.dot(arow, brow).0.to_f32();
+                    }
+                }
+                Tensor::from_vec(vec![m, n], out)
+            }
+            Arithmetic::FpRaker(cfg) => {
+                let av = a.to_bf16();
+                let bv = b.to_bf16();
+                let mut pe = Pe::new(cfg);
+                let mut out = vec![0.0f32; m * n];
+                for i in 0..m {
+                    let arow = &av[i * k..(i + 1) * k];
+                    for j in 0..n {
+                        let brow = &bv[j * k..(j + 1) * k];
+                        out[i * n + j] = pe.dot(arow, brow).0.to_f32();
+                    }
+                }
+                Tensor::from_vec(vec![m, n], out)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpraker_tensor::transpose2d;
+
+    fn engine_gemm(arith: Arithmetic, a: &Tensor, b: &Tensor) -> Tensor {
+        let mut e = Engine::new(arith);
+        e.gemm_nt(
+            "t",
+            Phase::AxW,
+            a,
+            b,
+            TensorKind::Activation,
+            TensorKind::Weight,
+        )
+    }
+
+    #[test]
+    fn f32_gemm_matches_matmul() {
+        let a = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let bt = Tensor::from_vec(vec![2, 3], vec![1.0, 0.0, 1.0, 0.5, 0.5, 0.0]);
+        let c = engine_gemm(Arithmetic::F32, &a, &bt);
+        let expect = fpraker_tensor::matmul(&a, &transpose2d(&bt));
+        assert_eq!(c, expect);
+    }
+
+    #[test]
+    fn all_arithmetics_agree_on_exact_values() {
+        // Small integers are exact in every mode.
+        let a = Tensor::from_vec(vec![2, 4], vec![1.0, 2.0, 3.0, 4.0, -1.0, 0.0, 2.0, 1.0]);
+        let bt = Tensor::from_vec(vec![3, 4], (0..12).map(|i| (i % 3) as f32).collect());
+        let f = engine_gemm(Arithmetic::F32, &a, &bt);
+        let bl = engine_gemm(Arithmetic::Bf16Baseline, &a, &bt);
+        let fp = engine_gemm(Arithmetic::FpRaker(PeConfig::paper()), &a, &bt);
+        assert_eq!(f, bl);
+        assert_eq!(f, fp);
+    }
+
+    #[test]
+    fn bf16_modes_quantize_operands() {
+        // A value below bf16 resolution relative to 1.0 disappears in the
+        // quantizing modes but not in f32.
+        let a = Tensor::from_vec(vec![1, 1], vec![1.0 + 2f32.powi(-10)]);
+        let bt = Tensor::from_vec(vec![1, 1], vec![1024.0]);
+        let f = engine_gemm(Arithmetic::F32, &a, &bt);
+        let bl = engine_gemm(Arithmetic::Bf16Baseline, &a, &bt);
+        assert!(f.data()[0] > 1024.0);
+        assert_eq!(bl.data()[0], 1024.0);
+    }
+
+    #[test]
+    fn capture_records_stream_layout() {
+        let mut e = Engine::f32();
+        e.arm_capture();
+        let a = Tensor::from_vec(vec![2, 3], vec![1.0; 6]);
+        let bt = Tensor::from_vec(vec![4, 3], vec![0.5; 12]);
+        let _ = e.gemm_nt(
+            "fc",
+            Phase::GxW,
+            &a,
+            &bt,
+            TensorKind::Gradient,
+            TensorKind::Weight,
+        );
+        let trace = e.take_trace("m", 10);
+        assert_eq!(trace.ops.len(), 1);
+        let op = &trace.ops[0];
+        assert_eq!((op.m, op.n, op.k), (2, 4, 3));
+        assert_eq!(op.phase, Phase::GxW);
+        assert!(op.validate().is_ok());
+        assert!(!e.capturing());
+        assert_eq!(e.macs, 24);
+    }
+
+    #[test]
+    fn capture_disarmed_records_nothing() {
+        let mut e = Engine::f32();
+        let a = Tensor::zeros(vec![1, 2]);
+        let b = Tensor::zeros(vec![1, 2]);
+        let _ = e.gemm_nt(
+            "x",
+            Phase::AxW,
+            &a,
+            &b,
+            TensorKind::Activation,
+            TensorKind::Weight,
+        );
+        assert!(e.take_trace("m", 0).ops.is_empty());
+    }
+}

@@ -1,0 +1,298 @@
+//! The layer abstraction of the training framework.
+//!
+//! Layers own their parameters and cached activations; `forward` and
+//! `backward` thread the [`Engine`] through so that every MAC goes through
+//! one funnel (arithmetic selection + trace capture). This mirrors how the
+//! paper instruments training ("we trained each model ... and stored all of
+//! the inputs and outputs for each layer using Pytorch Forward and Backward
+//! hooks").
+
+use fpraker_tensor::Tensor;
+
+use crate::engine::Engine;
+
+/// A trainable parameter: master value, gradient accumulator, and momentum
+/// buffer (all `f32`; operands are rounded to bfloat16 inside the engine).
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Parameter name, unique within a layer.
+    pub name: String,
+    /// Master value.
+    pub value: Tensor,
+    /// Gradient accumulated by the current step.
+    pub grad: Tensor,
+    /// Momentum buffer for SGD.
+    pub momentum: Tensor,
+}
+
+impl Param {
+    /// Creates a parameter with zeroed gradient and momentum.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+        let dims = value.dims().to_vec();
+        Param {
+            name: name.into(),
+            value,
+            grad: Tensor::zeros(dims.clone()),
+            momentum: Tensor::zeros(dims),
+        }
+    }
+
+    /// Clears the gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.data_mut().fill(0.0);
+    }
+}
+
+/// A differentiable layer.
+///
+/// `forward` caches whatever `backward` needs; `backward` consumes the
+/// gradient w.r.t. the layer's output and returns the gradient w.r.t. its
+/// input, accumulating parameter gradients along the way.
+pub trait Layer {
+    /// The layer's name (used in traces and per-layer reports).
+    fn name(&self) -> &str;
+
+    /// Computes the layer's output. `training` distinguishes train/eval
+    /// behaviour (dropout, batch statistics).
+    fn forward(&mut self, engine: &mut Engine, input: &Tensor, training: bool) -> Tensor;
+
+    /// Backpropagates `grad` (w.r.t. the output of the latest `forward`),
+    /// returning the gradient w.r.t. the input.
+    fn backward(&mut self, engine: &mut Engine, grad: &Tensor) -> Tensor;
+
+    /// The layer's trainable parameters, if any.
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+}
+
+/// A sequential stack of layers.
+///
+/// # Example
+///
+/// ```
+/// use fpraker_dnn::{Engine, Layer, Linear, Relu, Sequential};
+/// use fpraker_tensor::Tensor;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut net = Sequential::new("mlp");
+/// net.push(Linear::new("fc1", 4, 8, &mut rng));
+/// net.push(Relu::new("relu1"));
+/// net.push(Linear::new("fc2", 8, 2, &mut rng));
+///
+/// let mut engine = Engine::f32();
+/// let x = Tensor::zeros(vec![3, 4]);
+/// let y = net.forward(&mut engine, &x, true);
+/// assert_eq!(y.dims(), &[3, 2]);
+/// ```
+pub struct Sequential {
+    name: String,
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty stack.
+    pub fn new(name: impl Into<String>) -> Self {
+        Sequential {
+            name: name.into(),
+            layers: Vec::new(),
+        }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: impl Layer + 'static) {
+        self.layers.push(Box::new(layer));
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `true` if the stack has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Zeroes every parameter gradient.
+    pub fn zero_grads(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Total number of trainable scalars.
+    pub fn num_parameters(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.value.len()).sum()
+    }
+}
+
+impl Layer for Sequential {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, engine: &mut Engine, input: &Tensor, training: bool) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(engine, &x, training);
+        }
+        x
+    }
+
+    fn backward(&mut self, engine: &mut Engine, grad: &Tensor) -> Tensor {
+        let mut g = grad.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(engine, &g);
+        }
+        g
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
+    }
+}
+
+/// Flattens `(N, ...)` to `(N, prod(...))`; backward restores the shape.
+pub struct Flatten {
+    name: String,
+    cached_dims: Vec<usize>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        Flatten {
+            name: name.into(),
+            cached_dims: Vec::new(),
+        }
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, _engine: &mut Engine, input: &Tensor, _training: bool) -> Tensor {
+        self.cached_dims = input.dims().to_vec();
+        let n = self.cached_dims[0];
+        let rest: usize = self.cached_dims[1..].iter().product();
+        input.clone().reshape(vec![n, rest])
+    }
+
+    fn backward(&mut self, _engine: &mut Engine, grad: &Tensor) -> Tensor {
+        grad.clone().reshape(self.cached_dims.clone())
+    }
+}
+
+/// A residual block: `output = inner(x) + shortcut(x)` (identity shortcut
+/// when `shortcut` is `None`). Shapes of the two paths must agree.
+pub struct Residual {
+    name: String,
+    inner: Sequential,
+    shortcut: Option<Sequential>,
+}
+
+impl Residual {
+    /// Creates a residual block with an identity shortcut.
+    pub fn new(name: impl Into<String>, inner: Sequential) -> Self {
+        Residual {
+            name: name.into(),
+            inner,
+            shortcut: None,
+        }
+    }
+
+    /// Creates a residual block with a projection shortcut.
+    pub fn with_shortcut(name: impl Into<String>, inner: Sequential, shortcut: Sequential) -> Self {
+        Residual {
+            name: name.into(),
+            inner,
+            shortcut: Some(shortcut),
+        }
+    }
+}
+
+impl Layer for Residual {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, engine: &mut Engine, input: &Tensor, training: bool) -> Tensor {
+        let main = self.inner.forward(engine, input, training);
+        let skip = match &mut self.shortcut {
+            Some(s) => s.forward(engine, input, training),
+            None => input.clone(),
+        };
+        main.zip_map(&skip, |a, b| a + b)
+    }
+
+    fn backward(&mut self, engine: &mut Engine, grad: &Tensor) -> Tensor {
+        let g_main = self.inner.backward(engine, grad);
+        let g_skip = match &mut self.shortcut {
+            Some(s) => s.backward(engine, grad),
+            None => grad.clone(),
+        };
+        g_main.zip_map(&g_skip, |a, b| a + b)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = self.inner.params_mut();
+        if let Some(s) = &mut self.shortcut {
+            p.extend(s.params_mut());
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::act::Relu;
+    use crate::dense::Linear;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn flatten_round_trips() {
+        let mut f = Flatten::new("flat");
+        let mut e = Engine::f32();
+        let x = Tensor::zeros(vec![2, 3, 4, 5]);
+        let y = f.forward(&mut e, &x, true);
+        assert_eq!(y.dims(), &[2, 60]);
+        let g = f.backward(&mut e, &y);
+        assert_eq!(g.dims(), &[2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn sequential_collects_params() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = Sequential::new("net");
+        net.push(Linear::new("a", 4, 8, &mut rng));
+        net.push(Relu::new("r"));
+        net.push(Linear::new("b", 8, 2, &mut rng));
+        // Two weights + two biases.
+        assert_eq!(net.params_mut().len(), 4);
+        assert_eq!(net.num_parameters(), 4 * 8 + 8 + 8 * 2 + 2);
+        net.zero_grads();
+    }
+
+    #[test]
+    fn residual_identity_adds_input() {
+        let inner = Sequential::new("empty");
+        let mut res = Residual::new("res", inner);
+        let mut e = Engine::f32();
+        let x = Tensor::from_vec(vec![1, 3], vec![1.0, 2.0, 3.0]);
+        let y = res.forward(&mut e, &x, true);
+        // Empty inner path is the identity, so output is 2x.
+        assert_eq!(y.data(), &[2.0, 4.0, 6.0]);
+        let g = res.backward(&mut e, &Tensor::full(vec![1, 3], 1.0));
+        assert_eq!(g.data(), &[2.0, 2.0, 2.0]);
+    }
+}

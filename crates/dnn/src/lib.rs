@@ -1,0 +1,58 @@
+//! A from-scratch mini deep-learning training framework — the workload
+//! substrate of the FPRaker reproduction.
+//!
+//! The paper drives its simulator with traces collected from PyTorch
+//! training of nine models (Table I) on GPUs. Neither PyTorch nor the
+//! datasets are available here, so this crate *is* the substitute: real
+//! forward/backward training of scaled-down analogues of all nine
+//! workloads on synthetic datasets, with
+//!
+//! * every MAC routed through one [`Engine`] (arithmetic selection + trace
+//!   capture),
+//! * PACT quantization-aware training ([`PactRelu`], weight grids) for the
+//!   ResNet18-Q analogue,
+//! * dynamic sparse reparameterization ([`Pruner`]) for the ResNet50-S2
+//!   analogue,
+//! * conv/linear/LSTM/attention layers with gradient-checked backward
+//!   passes,
+//! * and the Fig. 17 accuracy-study machinery: training end-to-end under
+//!   native f32, bit-parallel bfloat16, or FPRaker-emulated arithmetic.
+//!
+//! # Example
+//!
+//! ```
+//! use fpraker_dnn::{models, Engine};
+//!
+//! let mut workload = models::build("ncf");
+//! let mut engine = Engine::f32();
+//! let (loss, _acc) = workload.train_step(&mut engine, 0);
+//! assert!(loss.is_finite());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod act;
+mod attention;
+mod conv;
+pub mod data;
+mod dense;
+mod engine;
+mod layer;
+pub mod loss;
+pub mod models;
+mod optim;
+mod quant;
+mod recurrent;
+pub mod train;
+
+pub use act::{Dropout, Gelu, PactRelu, Relu, Sigmoid, Tanh};
+pub use attention::SelfAttention;
+pub use conv::{BatchNorm2d, Conv2d, MaxPool2d};
+pub use dense::{Embedding, Linear};
+pub use engine::{Arithmetic, Engine};
+pub use layer::{Flatten, Layer, Param, Residual, Sequential};
+pub use optim::Sgd;
+pub use quant::{quantize_symmetric, Pruner};
+pub use recurrent::Lstm;
+pub use train::{train_and_sample, TrainingRun, Workload};

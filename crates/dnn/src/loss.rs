@@ -1,0 +1,137 @@
+//! Loss functions: softmax cross-entropy and mean squared error.
+
+use fpraker_tensor::Tensor;
+
+/// Numerically-stable row-wise softmax.
+pub fn softmax_rows(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.dims().len(), 2, "softmax input must be rank 2");
+    let n = logits.dims()[1];
+    let mut out = logits.clone();
+    for row in out.data_mut().chunks_mut(n) {
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+/// Softmax cross-entropy over `(batch, classes)` logits against integer
+/// labels. Returns `(mean loss, gradient w.r.t. logits)` — the gradient is
+/// the familiar `(softmax - onehot) / batch`.
+///
+/// # Panics
+///
+/// Panics if a label is out of range.
+pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    let (batch, classes) = (logits.dims()[0], logits.dims()[1]);
+    assert_eq!(labels.len(), batch, "one label per row");
+    let probs = softmax_rows(logits);
+    let mut loss = 0.0f32;
+    let mut grad = probs.clone();
+    for (i, &label) in labels.iter().enumerate() {
+        assert!(label < classes, "label {label} out of range");
+        let p = probs.data()[i * classes + label].max(1e-12);
+        loss -= p.ln();
+        grad.data_mut()[i * classes + label] -= 1.0;
+    }
+    grad.scale(1.0 / batch as f32);
+    (loss / batch as f32, grad)
+}
+
+/// Mean squared error between predictions and targets. Returns
+/// `(mean loss, gradient w.r.t. predictions)`.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.dims(), target.dims(), "shape mismatch");
+    let n = pred.len().max(1) as f32;
+    let diff = pred.zip_map(target, |p, t| p - t);
+    let loss = diff.data().iter().map(|d| d * d).sum::<f32>() / n;
+    let mut grad = diff;
+    grad.scale(2.0 / n);
+    (loss, grad)
+}
+
+/// Classification accuracy of `(batch, classes)` logits against labels.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
+    let preds = fpraker_tensor::argmax_rows(logits);
+    let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+    correct as f64 / labels.len().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 100.0]);
+        let p = softmax_rows(&logits);
+        for row in p.data().chunks(3) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+            assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+        // The huge logit dominates without overflow.
+        assert!(p.data()[5] > 0.999);
+    }
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let logits = Tensor::from_vec(vec![1, 3], vec![20.0, 0.0, 0.0]);
+        let (loss, grad) = cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-3);
+        assert!(grad.data()[0].abs() < 1e-3);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(vec![2, 3], vec![0.5, -0.2, 0.1, 1.0, 0.0, -1.0]);
+        let labels = [2usize, 0];
+        let (_, grad) = cross_entropy(&logits, &labels);
+        let eps = 1e-3f32;
+        for i in 0..6 {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let num = (cross_entropy(&lp, &labels).0 - cross_entropy(&lm, &labels).0) / (2.0 * eps);
+            assert!(
+                (num - grad.data()[i]).abs() < 1e-3,
+                "elem {i}: {num} vs {}",
+                grad.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn mse_basics() {
+        let pred = Tensor::from_vec(vec![2], vec![1.0, 3.0]);
+        let target = Tensor::from_vec(vec![2], vec![0.0, 5.0]);
+        let (loss, grad) = mse(&pred, &target);
+        assert!((loss - (1.0 + 4.0) / 2.0).abs() < 1e-6);
+        assert_eq!(grad.data(), &[1.0, -2.0]);
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let logits = Tensor::from_vec(vec![2, 2], vec![0.9, 0.1, 0.2, 0.8]);
+        assert_eq!(accuracy(&logits, &[0, 1]), 1.0);
+        assert_eq!(accuracy(&logits, &[1, 1]), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "label 5 out of range")]
+    fn cross_entropy_checks_labels() {
+        let logits = Tensor::zeros(vec![1, 3]);
+        let _ = cross_entropy(&logits, &[5]);
+    }
+}

@@ -1,0 +1,391 @@
+//! The workload zoo: scaled-down analogues of the nine models the paper
+//! studies (Table I), plus the AlexNet/ResNet18 pair of the Fig. 21
+//! accumulator-width study.
+//!
+//! Each analogue preserves the *mechanisms* that shape the paper's
+//! measurements — ReLU-heavy convolutions (activation sparsity), PACT 4-bit
+//! quantization (term sparsity), dynamic sparse reparameterization (weight
+//! sparsity), LSTM/attention/MLP structure (fully-connected GEMMs with
+//! tanh/sigmoid/GELU values) — at laptop scale. Dataset scale, layer count
+//! and widths are reduced; the computation structure per layer is the same.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fpraker_tensor::ConvGeom;
+
+use crate::act::{Dropout, Gelu, PactRelu, Relu, Sigmoid, Tanh};
+use crate::attention::SelfAttention;
+use crate::conv::{BatchNorm2d, Conv2d, MaxPool2d};
+use crate::data::{
+    synth_images, synth_interactions, synth_sequences, synth_tokens, Dataset,
+};
+use crate::dense::{Embedding, Linear};
+use crate::layer::{Flatten, Residual, Sequential};
+use crate::optim::Sgd;
+use crate::quant::Pruner;
+use crate::recurrent::Lstm;
+use crate::train::Workload;
+
+/// The nine studied models, in Table I order, by zoo name.
+pub const PAPER_MODELS: [&str; 9] = [
+    "squeezenet1.1",
+    "vgg16",
+    "resnet18-q",
+    "resnet50-s2",
+    "snli",
+    "image2text",
+    "detectron2",
+    "ncf",
+    "bert",
+];
+
+fn conv_geom(cin: usize, cout: usize, k: usize, stride: usize, pad: usize) -> ConvGeom {
+    ConvGeom {
+        in_channels: cin,
+        out_channels: cout,
+        kernel: k,
+        stride,
+        pad,
+    }
+}
+
+/// Builds a workload analogue by zoo name (see [`PAPER_MODELS`]), or the
+/// extra Fig. 21 models `"alexnet"` / `"resnet18"`.
+///
+/// # Panics
+///
+/// Panics on an unknown name.
+pub fn build(name: &str) -> Workload {
+    match name {
+        "squeezenet1.1" => squeezenet(),
+        "vgg16" => vgg16(),
+        "resnet18-q" => resnet18_q(),
+        "resnet50-s2" => resnet50_s2(),
+        "snli" => snli(),
+        "image2text" => image2text(),
+        "detectron2" => detectron2(),
+        "ncf" => ncf(),
+        "bert" => bert(),
+        "alexnet" => alexnet(),
+        "resnet18" => resnet18_plain(),
+        other => panic!("unknown model '{other}'"),
+    }
+}
+
+/// The paper-facing display name of a zoo model (Table I).
+pub fn display_name(name: &str) -> &'static str {
+    match name {
+        "squeezenet1.1" => "SqueezeNet 1.1",
+        "vgg16" => "VGG16",
+        "resnet18-q" => "ResNet18-Q",
+        "resnet50-s2" => "ResNet50-S2",
+        "snli" => "SNLI",
+        "image2text" => "Image2Text",
+        "detectron2" => "Detectron2",
+        "ncf" => "NCF",
+        "bert" => "Bert",
+        "alexnet" => "AlexNet",
+        "resnet18" => "ResNet18",
+        _ => "unknown",
+    }
+}
+
+fn image_dataset(seed: u64) -> Dataset {
+    synth_images(64, 8, 3, 16, 0.35, seed)
+}
+
+/// SqueezeNet 1.1 analogue: fire-module-style squeeze (1×1) and expand
+/// (3×3) convolutions with ReLU.
+fn squeezenet() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0x5100);
+    let mut net = Sequential::new("squeezenet1.1");
+    net.push(Conv2d::new("conv1", conv_geom(3, 16, 3, 1, 1), &mut rng));
+    net.push(Relu::new("relu1"));
+    net.push(MaxPool2d::new("pool1"));
+    // Fire module: squeeze 1x1 then expand 3x3.
+    net.push(Conv2d::new("fire.squeeze", conv_geom(16, 8, 1, 1, 0), &mut rng));
+    net.push(Relu::new("fire.relu_s"));
+    net.push(Conv2d::new("fire.expand", conv_geom(8, 16, 3, 1, 1), &mut rng));
+    net.push(Relu::new("fire.relu_e"));
+    net.push(MaxPool2d::new("pool2"));
+    net.push(Flatten::new("flat"));
+    net.push(Linear::new("fc", 16 * 4 * 4, 8, &mut rng));
+    Workload::new("squeezenet1.1", net, image_dataset(11), 8, Sgd::new(0.02).with_momentum(0.9))
+}
+
+/// VGG16 analogue: stacked 3×3 convolutions, pooling, big FC head with
+/// dropout.
+fn vgg16() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0x5600);
+    let mut net = Sequential::new("vgg16");
+    net.push(Conv2d::new("conv1_1", conv_geom(3, 16, 3, 1, 1), &mut rng));
+    net.push(Relu::new("relu1_1"));
+    net.push(Conv2d::new("conv1_2", conv_geom(16, 16, 3, 1, 1), &mut rng));
+    net.push(Relu::new("relu1_2"));
+    net.push(MaxPool2d::new("pool1"));
+    net.push(Conv2d::new("conv2_1", conv_geom(16, 32, 3, 1, 1), &mut rng));
+    net.push(Relu::new("relu2_1"));
+    net.push(MaxPool2d::new("pool2"));
+    net.push(Flatten::new("flat"));
+    net.push(Linear::new("fc1", 32 * 4 * 4, 64, &mut rng));
+    net.push(Relu::new("relu_fc1"));
+    net.push(Dropout::new("drop", 0.3, 0x5601));
+    net.push(Linear::new("fc2", 64, 8, &mut rng));
+    Workload::new("vgg16", net, image_dataset(22), 8, Sgd::new(0.02).with_momentum(0.9))
+}
+
+fn residual_block<R: rand::Rng>(
+    name: &str,
+    channels: usize,
+    rng: &mut R,
+    quant_bits: Option<u32>,
+) -> Residual {
+    let mut inner = Sequential::new(format!("{name}.inner"));
+    let mut conv1 = Conv2d::new(
+        format!("{name}.conv1"),
+        conv_geom(channels, channels, 3, 1, 1),
+        rng,
+    );
+    let mut conv2 = Conv2d::new(
+        format!("{name}.conv2"),
+        conv_geom(channels, channels, 3, 1, 1),
+        rng,
+    );
+    if let Some(bits) = quant_bits {
+        conv1 = conv1.with_weight_bits(bits);
+        conv2 = conv2.with_weight_bits(bits);
+    }
+    inner.push(conv1);
+    inner.push(BatchNorm2d::new(format!("{name}.bn1"), channels));
+    match quant_bits {
+        Some(bits) => inner.push(PactRelu::new(format!("{name}.act1"), 4.0, bits)),
+        None => inner.push(Relu::new(format!("{name}.act1"))),
+    }
+    inner.push(conv2);
+    inner.push(BatchNorm2d::new(format!("{name}.bn2"), channels));
+    Residual::new(name.to_string(), inner)
+}
+
+/// ResNet18-Q analogue: residual blocks trained with PACT — activations
+/// and weights quantized to 4 bits during training (the paper's
+/// highest-term-sparsity workload).
+fn resnet18_q() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0x1800);
+    let mut net = Sequential::new("resnet18-q");
+    net.push(Conv2d::new("conv1", conv_geom(3, 16, 3, 1, 1), &mut rng).with_weight_bits(4));
+    net.push(BatchNorm2d::new("bn1", 16));
+    net.push(PactRelu::new("pact1", 4.0, 4));
+    net.push(residual_block("block1", 16, &mut rng, Some(4)));
+    net.push(PactRelu::new("pact2", 4.0, 4));
+    net.push(MaxPool2d::new("pool"));
+    net.push(Flatten::new("flat"));
+    net.push(Linear::new("fc", 16 * 8 * 8, 8, &mut rng).with_weight_bits(4));
+    Workload::new("resnet18-q", net, image_dataset(33), 8, Sgd::new(0.02).with_momentum(0.9))
+}
+
+/// ResNet50-S2 analogue: residual blocks trained with dynamic sparse
+/// reparameterization holding 80% weight sparsity.
+fn resnet50_s2() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0x5000);
+    let mut net = Sequential::new("resnet50-s2");
+    net.push(Conv2d::new("conv1", conv_geom(3, 16, 3, 1, 1), &mut rng));
+    net.push(BatchNorm2d::new("bn1", 16));
+    net.push(Relu::new("relu1"));
+    net.push(residual_block("block1", 16, &mut rng, None));
+    net.push(Relu::new("relu2"));
+    net.push(residual_block("block2", 16, &mut rng, None));
+    net.push(Relu::new("relu3"));
+    net.push(MaxPool2d::new("pool"));
+    net.push(Flatten::new("flat"));
+    net.push(Linear::new("fc", 16 * 8 * 8, 8, &mut rng));
+    let mut w = Workload::new(
+        "resnet50-s2",
+        net,
+        image_dataset(44),
+        8,
+        Sgd::new(0.02).with_momentum(0.9),
+    );
+    w.attach_pruner(Pruner::new(0.8, 4, 0x5001));
+    w
+}
+
+/// SNLI analogue: LSTM encoder + ReLU fully-connected classifier with
+/// dropout (Table I: "fully-connected, LSTM-encoder, ReLU, and dropout
+/// layers").
+fn snli() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0x501);
+    let mut net = Sequential::new("snli");
+    net.push(Lstm::new("encoder", 16, 32, 6, &mut rng));
+    net.push(Linear::new("fc1", 32, 64, &mut rng));
+    net.push(Relu::new("relu"));
+    net.push(Dropout::new("drop", 0.2, 0x502));
+    net.push(Linear::new("fc2", 64, 3, &mut rng));
+    let data = synth_sequences(60, 3, 6, 16, 0.2, 55);
+    Workload::new("snli", net, data, 10, Sgd::new(0.05).with_momentum(0.9).with_grad_clip(5.0))
+}
+
+/// Image2Text analogue: convolutional encoder feeding an LSTM decoder
+/// (encoder-decoder image-to-markup structure).
+fn image2text() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0x12E);
+    let mut net = Sequential::new("image2text");
+    net.push(Conv2d::new("enc.conv1", conv_geom(1, 8, 3, 1, 1), &mut rng));
+    net.push(Relu::new("enc.relu1"));
+    net.push(MaxPool2d::new("enc.pool"));
+    net.push(Flatten::new("flat"));
+    net.push(Linear::new("enc.fc", 8 * 8 * 8, 48, &mut rng));
+    net.push(Tanh::new("enc.tanh"));
+    net.push(Lstm::new("dec.lstm", 8, 16, 6, &mut rng));
+    net.push(Linear::new("dec.fc", 16, 10, &mut rng));
+    let data = synth_images(60, 10, 1, 16, 0.3, 66);
+    Workload::new("image2text", net, data, 10, Sgd::new(0.03).with_momentum(0.9).with_grad_clip(5.0))
+}
+
+/// Detectron2 analogue: a conv-heavy detection backbone and head
+/// (Mask-R-CNN-style convolution stack).
+fn detectron2() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0xDE7);
+    let mut net = Sequential::new("detectron2");
+    net.push(Conv2d::new("backbone.conv1", conv_geom(3, 16, 3, 1, 1), &mut rng));
+    net.push(BatchNorm2d::new("backbone.bn1", 16));
+    net.push(Relu::new("backbone.relu1"));
+    net.push(Conv2d::new("backbone.conv2", conv_geom(16, 32, 3, 2, 1), &mut rng));
+    net.push(Relu::new("backbone.relu2"));
+    net.push(Conv2d::new("head.conv", conv_geom(32, 32, 3, 1, 1), &mut rng));
+    net.push(Relu::new("head.relu"));
+    net.push(MaxPool2d::new("head.pool"));
+    net.push(Flatten::new("flat"));
+    net.push(Linear::new("head.cls", 32 * 4 * 4, 8, &mut rng));
+    Workload::new("detectron2", net, image_dataset(77), 8, Sgd::new(0.02).with_momentum(0.9))
+}
+
+/// NCF analogue: user/item embeddings feeding an MLP with ReLU and a
+/// sigmoid-style head (neural collaborative filtering).
+fn ncf() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0xCF);
+    let mut net = Sequential::new("ncf");
+    net.push(Embedding::new("emb", 48, 16, &mut rng)); // 16 users + 32 items
+    net.push(Linear::new("mlp.fc1", 32, 64, &mut rng));
+    net.push(Relu::new("mlp.relu1"));
+    net.push(Linear::new("mlp.fc2", 64, 32, &mut rng));
+    net.push(Sigmoid::new("mlp.sig"));
+    net.push(Linear::new("mlp.fc3", 32, 2, &mut rng));
+    let data = synth_interactions(80, 16, 32, 88);
+    Workload::new("ncf", net, data, 16, Sgd::new(0.05).with_momentum(0.9))
+}
+
+/// BERT analogue: token embeddings, self-attention, GELU feed-forward
+/// (transformer encoder block + classifier, as in GLUE fine-tuning).
+fn bert() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0xBE2);
+    let mut net = Sequential::new("bert");
+    net.push(Embedding::new("emb", 32, 16, &mut rng));
+    net.push(SelfAttention::new("attn", 16, 6, &mut rng));
+    net.push(Linear::new("ffn.fc1", 96, 128, &mut rng));
+    net.push(Gelu::new("ffn.gelu"));
+    net.push(Linear::new("ffn.fc2", 128, 4, &mut rng));
+    let data = synth_tokens(60, 4, 6, 32, 99);
+    Workload::new("bert", net, data, 10, Sgd::new(0.03).with_momentum(0.9).with_grad_clip(5.0))
+}
+
+/// AlexNet analogue for the Fig. 21 accumulator-width study.
+fn alexnet() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0xA1E);
+    let mut net = Sequential::new("alexnet");
+    net.push(Conv2d::new("conv1", conv_geom(3, 16, 3, 2, 1), &mut rng));
+    net.push(Relu::new("relu1"));
+    net.push(Conv2d::new("conv2", conv_geom(16, 32, 3, 1, 1), &mut rng));
+    net.push(Relu::new("relu2"));
+    net.push(MaxPool2d::new("pool"));
+    net.push(Flatten::new("flat"));
+    net.push(Linear::new("fc1", 32 * 4 * 4, 64, &mut rng));
+    net.push(Relu::new("relu3"));
+    net.push(Linear::new("fc2", 64, 8, &mut rng));
+    Workload::new("alexnet", net, image_dataset(101), 8, Sgd::new(0.02).with_momentum(0.9))
+}
+
+/// Plain (unquantized) ResNet18 analogue for Fig. 21.
+fn resnet18_plain() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0x1801);
+    let mut net = Sequential::new("resnet18");
+    net.push(Conv2d::new("conv1", conv_geom(3, 16, 3, 1, 1), &mut rng));
+    net.push(BatchNorm2d::new("bn1", 16));
+    net.push(Relu::new("relu1"));
+    net.push(residual_block("block1", 16, &mut rng, None));
+    net.push(Relu::new("relu2"));
+    net.push(MaxPool2d::new("pool"));
+    net.push(Flatten::new("flat"));
+    net.push(Linear::new("fc", 16 * 8 * 8, 8, &mut rng));
+    Workload::new("resnet18", net, image_dataset(111), 8, Sgd::new(0.02).with_momentum(0.9))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::layer::Layer;
+
+    #[test]
+    fn every_model_builds_and_runs_one_forward() {
+        for name in PAPER_MODELS.iter().chain(["alexnet", "resnet18"].iter()) {
+            let mut w = build(name);
+            let mut e = Engine::f32();
+            let (x, labels) = w.data.batch(0, w.batch_size);
+            let y = w.net.forward(&mut e, &x, true);
+            assert_eq!(y.dims()[0], w.batch_size, "{name}");
+            assert_eq!(y.dims()[1], w.data.num_classes, "{name}");
+            assert!(labels.iter().all(|&l| l < w.data.num_classes));
+            assert!(
+                y.data().iter().all(|v| v.is_finite()),
+                "{name} produced non-finite logits"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown model")]
+    fn unknown_model_panics() {
+        let _ = build("alexnet-9000");
+    }
+
+    #[test]
+    fn display_names_match_table_i() {
+        assert_eq!(display_name("squeezenet1.1"), "SqueezeNet 1.1");
+        assert_eq!(display_name("bert"), "Bert");
+        for m in PAPER_MODELS {
+            assert_ne!(display_name(m), "unknown");
+        }
+    }
+
+    #[test]
+    fn quantized_model_uses_pact_layers() {
+        let mut w = build("resnet18-q");
+        let mut e = Engine::f32();
+        let (x, _) = w.data.batch(0, w.batch_size);
+        let _ = w.net.forward(&mut e, &x, true);
+        // The PACT alpha parameters exist.
+        let names: Vec<String> = w.net.params_mut().iter().map(|p| p.name.clone()).collect();
+        assert!(names.iter().any(|n| n.contains("alpha")), "{names:?}");
+    }
+
+    #[test]
+    fn pruned_model_has_weight_sparsity_after_steps() {
+        let mut w = build("resnet50-s2");
+        let mut e = Engine::f32();
+        for step in 0..2 {
+            let (loss, _) = w.train_step(&mut e, step);
+            assert!(loss.is_finite());
+        }
+        // Conv weights should be ~80% zero.
+        let mut found = false;
+        for p in w.net.params_mut() {
+            if p.name == "block1.conv1.weight" {
+                let zf = p.value.zero_fraction();
+                assert!(zf > 0.7, "sparsity {zf}");
+                found = true;
+            }
+        }
+        assert!(found);
+    }
+}

@@ -1,0 +1,162 @@
+//! Stochastic gradient descent with momentum and weight decay.
+
+use crate::layer::Param;
+
+/// SGD with classical momentum and decoupled weight decay.
+///
+/// # Example
+///
+/// ```
+/// use fpraker_dnn::{Param, Sgd};
+/// use fpraker_tensor::Tensor;
+///
+/// let mut p = Param::new("w", Tensor::full(vec![1], 1.0));
+/// p.grad = Tensor::full(vec![1], 0.5);
+/// let opt = Sgd::new(0.1);
+/// opt.step_slice(std::slice::from_mut(&mut p));
+/// assert!((p.value.data()[0] - 0.95).abs() < 1e-6);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables momentum).
+    pub momentum: f32,
+    /// L2 weight decay coefficient.
+    pub weight_decay: f32,
+    /// Gradient-norm clip (0 disables clipping), applied per parameter.
+    pub grad_clip: f32,
+}
+
+impl Sgd {
+    /// Plain SGD at the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            grad_clip: 0.0,
+        }
+    }
+
+    /// Adds momentum.
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        self.momentum = momentum;
+        self
+    }
+
+    /// Adds weight decay.
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Adds per-parameter gradient-norm clipping.
+    pub fn with_grad_clip(mut self, clip: f32) -> Self {
+        self.grad_clip = clip;
+        self
+    }
+
+    /// Applies one update to every parameter and clears gradients.
+    pub fn step(&self, params: &mut [&mut Param]) {
+        for p in params.iter_mut() {
+            self.step_one(p);
+        }
+    }
+
+    /// Applies one update to a contiguous parameter slice (convenience for
+    /// tests and the pruner).
+    pub fn step_slice(&self, params: &mut [Param]) {
+        for p in params.iter_mut() {
+            self.step_one(p);
+        }
+    }
+
+    fn step_one(&self, p: &mut Param) {
+        let mut scale = 1.0f32;
+        if self.grad_clip > 0.0 {
+            let norm: f32 = p.grad.data().iter().map(|g| g * g).sum::<f32>().sqrt();
+            if norm > self.grad_clip {
+                scale = self.grad_clip / norm;
+            }
+        }
+        let n = p.value.len();
+        for i in 0..n {
+            let mut g = p.grad.data()[i] * scale;
+            if self.weight_decay > 0.0 {
+                g += self.weight_decay * p.value.data()[i];
+            }
+            let v = if self.momentum > 0.0 {
+                let m = self.momentum * p.momentum.data()[i] + g;
+                p.momentum.data_mut()[i] = m;
+                m
+            } else {
+                g
+            };
+            p.value.data_mut()[i] -= self.lr * v;
+        }
+        p.zero_grad();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpraker_tensor::Tensor;
+
+    fn param(v: f32, g: f32) -> Param {
+        let mut p = Param::new("w", Tensor::full(vec![1], v));
+        p.grad = Tensor::full(vec![1], g);
+        p
+    }
+
+    #[test]
+    fn plain_step_descends() {
+        let mut p = param(1.0, 2.0);
+        Sgd::new(0.1).step_slice(std::slice::from_mut(&mut p));
+        assert!((p.value.data()[0] - 0.8).abs() < 1e-6);
+        assert_eq!(p.grad.data()[0], 0.0, "gradients cleared after step");
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let opt = Sgd::new(0.1).with_momentum(0.9);
+        let mut p = param(0.0, 1.0);
+        opt.step_slice(std::slice::from_mut(&mut p));
+        let after_one = p.value.data()[0];
+        assert!((after_one + 0.1).abs() < 1e-6);
+        p.grad = Tensor::full(vec![1], 1.0);
+        opt.step_slice(std::slice::from_mut(&mut p));
+        // Second step moves further: v = 0.9*1 + 1 = 1.9.
+        assert!((p.value.data()[0] - (after_one - 0.19)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let opt = Sgd::new(0.1).with_weight_decay(0.5);
+        let mut p = param(1.0, 0.0);
+        opt.step_slice(std::slice::from_mut(&mut p));
+        assert!((p.value.data()[0] - 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn grad_clip_bounds_update() {
+        let opt = Sgd::new(1.0).with_grad_clip(1.0);
+        let mut p = param(0.0, 100.0);
+        opt.step_slice(std::slice::from_mut(&mut p));
+        assert!((p.value.data()[0] + 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn converges_on_quadratic() {
+        // Minimize (w - 3)^2 by SGD: w -> 3.
+        let mut p = Param::new("w", Tensor::full(vec![1], 0.0));
+        let opt = Sgd::new(0.1).with_momentum(0.5);
+        for _ in 0..100 {
+            let w = p.value.data()[0];
+            p.grad = Tensor::full(vec![1], 2.0 * (w - 3.0));
+            opt.step_slice(std::slice::from_mut(&mut p));
+        }
+        assert!((p.value.data()[0] - 3.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,265 @@
+//! Quantization and pruning utilities.
+//!
+//! These implement the two training-time compression methods whose
+//! workloads the paper studies:
+//!
+//! * **PACT-style quantization** (ResNet18-Q): activations are handled by
+//!   [`crate::PactRelu`]; weights use [`quantize_symmetric`] in the forward
+//!   pass with straight-through gradients.
+//! * **Dynamic sparse reparameterization** (ResNet50-S2) [22]/[62]:
+//!   [`Pruner`] maintains a fixed weight sparsity throughout training by
+//!   magnitude-pruning and regrowing weights at random positions.
+
+use fpraker_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::layer::Param;
+
+/// Rounds a tensor onto a symmetric uniform grid of `bits`-bit integers
+/// scaled by a **power of two**. Used for quantization-aware training of
+/// weights.
+///
+/// The power-of-two step is what makes quantization visible to FPRaker:
+/// a quantized value is `k * 2^e` with `|k| < 2^(bits-1)`, so its bfloat16
+/// significand has at most `bits - 1` fraction bits and encodes to very few
+/// terms ("most of the activations and weights throughout the training
+/// process can fit in 4b or less. This translates into high term sparsity",
+/// Section V-C). An arbitrary-scale grid would fill the mantissa back up.
+///
+/// # Panics
+///
+/// Panics if `bits` is 0 or greater than 8.
+pub fn quantize_symmetric(t: &Tensor, bits: u32) -> Tensor {
+    assert!((1..=8).contains(&bits), "bits must be in 1..=8");
+    let maxabs = t.data().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    if maxabs == 0.0 {
+        return t.clone();
+    }
+    let kmax = (1i32 << (bits - 1)) - 1;
+    // Smallest power-of-two step whose grid covers maxabs.
+    let step = 2f32.powi((maxabs / kmax as f32).log2().ceil() as i32);
+    t.map(|v| ((v / step).round().clamp(-(kmax as f32), kmax as f32)) * step)
+}
+
+/// Dynamic sparse reparameterization: keeps each registered parameter at a
+/// target sparsity by masking, periodically pruning the smallest-magnitude
+/// survivors and regrowing the same number of weights at random zero
+/// positions.
+///
+/// # Example
+///
+/// ```
+/// use fpraker_dnn::{Pruner, Param};
+/// use fpraker_tensor::Tensor;
+///
+/// let mut p = Param::new("w", Tensor::full(vec![100], 1.0));
+/// let mut pruner = Pruner::new(0.8, 5, 7);
+/// pruner.register(&p);
+/// pruner.apply(std::slice::from_mut(&mut p));
+/// assert!((p.value.zero_fraction() - 0.8).abs() < 0.01);
+/// ```
+#[derive(Debug)]
+pub struct Pruner {
+    sparsity: f64,
+    reparam_interval: u32,
+    steps: u32,
+    rng: StdRng,
+    masks: Vec<(String, Vec<bool>)>,
+}
+
+impl Pruner {
+    /// Creates a pruner targeting the given weight `sparsity` (fraction of
+    /// zeroed weights), re-allocating masks every `reparam_interval` steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sparsity` is not in `[0, 1)`.
+    pub fn new(sparsity: f64, reparam_interval: u32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&sparsity), "sparsity must be in [0,1)");
+        Pruner {
+            sparsity,
+            reparam_interval: reparam_interval.max(1),
+            steps: 0,
+            rng: StdRng::seed_from_u64(seed),
+            masks: Vec::new(),
+        }
+    }
+
+    /// Registers a parameter for pruning, initializing its mask by
+    /// magnitude.
+    pub fn register(&mut self, param: &Param) {
+        let mask = self.magnitude_mask(&param.value);
+        self.masks.push((param.name.clone(), mask));
+    }
+
+    fn magnitude_mask(&self, value: &Tensor) -> Vec<bool> {
+        let n = value.len();
+        let keep = ((1.0 - self.sparsity) * n as f64).round() as usize;
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            value.data()[b]
+                .abs()
+                .partial_cmp(&value.data()[a].abs())
+                .unwrap()
+        });
+        let mut mask = vec![false; n];
+        for &i in order.iter().take(keep) {
+            mask[i] = true;
+        }
+        mask
+    }
+
+    /// Applies masks to the given parameters (zeroing pruned weights and
+    /// their gradients) and advances the step counter; at every reparam
+    /// interval, prunes the smallest surviving weights and regrows the same
+    /// count at random pruned positions (dynamic reparameterization).
+    ///
+    /// Call once per optimizer step, after the update.
+    pub fn apply<'a>(&mut self, params: impl IntoIterator<Item = &'a mut Param>) {
+        self.steps += 1;
+        let reparam = self.steps % self.reparam_interval == 0;
+        let mut params: Vec<&mut Param> = params.into_iter().collect();
+        for (name, mask) in &mut self.masks {
+            let Some(param) = params.iter_mut().find(|p| &p.name == name) else {
+                continue;
+            };
+            if reparam {
+                // Prune the smallest 10% of survivors, regrow at random.
+                let survivors: Vec<usize> =
+                    (0..mask.len()).filter(|&i| mask[i]).collect();
+                let n_swap = (survivors.len() / 10).max(1).min(survivors.len());
+                let mut by_mag = survivors.clone();
+                by_mag.sort_by(|&a, &b| {
+                    param.value.data()[a]
+                        .abs()
+                        .partial_cmp(&param.value.data()[b].abs())
+                        .unwrap()
+                });
+                let mut freed = 0usize;
+                for &i in by_mag.iter().take(n_swap) {
+                    mask[i] = false;
+                    freed += 1;
+                }
+                let zeros: Vec<usize> = (0..mask.len()).filter(|&i| !mask[i]).collect();
+                for _ in 0..freed {
+                    // Regrow at a random pruned position (re-initialized
+                    // small so training can recover it).
+                    let pick = zeros[self.rng.gen_range(0..zeros.len())];
+                    if !mask[pick] {
+                        mask[pick] = true;
+                        param.value.data_mut()[pick] = self.rng.gen_range(-0.01..0.01);
+                    }
+                }
+            }
+            for (i, &m) in mask.iter().enumerate() {
+                if !m {
+                    param.value.data_mut()[i] = 0.0;
+                    param.grad.data_mut()[i] = 0.0;
+                }
+            }
+        }
+    }
+
+    /// The target sparsity.
+    pub fn sparsity(&self) -> f64 {
+        self.sparsity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_symmetric_lands_on_power_of_two_grid() {
+        let t = Tensor::from_vec(vec![5], vec![-1.0, -0.3, 0.0, 0.31, 0.97]);
+        let q = quantize_symmetric(&t, 4);
+        // step = 2^ceil(log2(1/7)) = 2^-2.
+        let step = 0.25;
+        for &v in q.data() {
+            let r = (v / step).round() * step;
+            assert!((v - r).abs() < 1e-6, "{v} off grid");
+            // k fits in 4 signed bits.
+            assert!((v / step).abs() <= 7.5);
+        }
+        assert_eq!(q.data()[0], -1.0);
+    }
+
+    #[test]
+    fn quantized_values_have_short_significands() {
+        use fpraker_num::encode::{term_count, Encoding};
+        use fpraker_num::Bf16;
+        let t = Tensor::from_vec(
+            vec![64],
+            (0..64).map(|i| (i as f32 - 32.0) * 0.031).collect(),
+        );
+        let q = quantize_symmetric(&t, 4);
+        for &v in q.data() {
+            let b = Bf16::from_f32(v);
+            if !b.is_zero() {
+                let terms = term_count(b.significand(), Encoding::Canonical);
+                assert!(terms <= 3, "{v} has {terms} terms");
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_zero_tensor_is_identity() {
+        let t = Tensor::zeros(vec![4]);
+        assert_eq!(quantize_symmetric(&t, 4), t);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in 1..=8")]
+    fn quantize_rejects_zero_bits() {
+        let _ = quantize_symmetric(&Tensor::zeros(vec![1]), 0);
+    }
+
+    #[test]
+    fn pruner_maintains_target_sparsity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data: Vec<f32> = (0..200).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut p = Param::new("w", Tensor::from_vec(vec![200], data));
+        let mut pruner = Pruner::new(0.7, 3, 9);
+        pruner.register(&p);
+        for _ in 0..10 {
+            // Simulate updates drifting the weights.
+            for v in p.value.data_mut() {
+                *v += 0.01;
+            }
+            pruner.apply(std::slice::from_mut(&mut p));
+            let zf = p.value.zero_fraction();
+            assert!((zf - 0.7).abs() < 0.02, "sparsity drifted to {zf}");
+        }
+    }
+
+    #[test]
+    fn pruner_keeps_largest_magnitudes_initially() {
+        let values = vec![0.1, -5.0, 0.2, 4.0, -0.05, 3.0, 0.01, -2.0, 0.3, 1.0];
+        let p = Param::new("w", Tensor::from_vec(vec![10], values));
+        let mut pruner = Pruner::new(0.5, 100, 1);
+        pruner.register(&p);
+        let mut p = p;
+        pruner.apply(std::slice::from_mut(&mut p));
+        // The five largest magnitudes survive.
+        for (i, expect) in [(1, -5.0f32), (3, 4.0), (5, 3.0), (7, -2.0), (9, 1.0)] {
+            assert_eq!(p.value.data()[i], expect);
+        }
+        assert_eq!(p.value.zero_fraction(), 0.5);
+    }
+
+    #[test]
+    fn reparam_changes_the_mask() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let data: Vec<f32> = (0..100).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut p = Param::new("w", Tensor::from_vec(vec![100], data));
+        let mut pruner = Pruner::new(0.5, 1, 3);
+        pruner.register(&p);
+        pruner.apply(std::slice::from_mut(&mut p));
+        let before: Vec<bool> = p.value.data().iter().map(|&v| v != 0.0).collect();
+        pruner.apply(std::slice::from_mut(&mut p));
+        let after: Vec<bool> = p.value.data().iter().map(|&v| v != 0.0).collect();
+        assert_ne!(before, after, "reparameterization should move the mask");
+    }
+}

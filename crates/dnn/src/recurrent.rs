@@ -1,0 +1,339 @@
+//! A single-layer LSTM with full backpropagation through time — the
+//! compute pattern of the paper's SNLI and Image2Text workloads
+//! (LSTM-encoder models, Table I).
+
+use fpraker_tensor::{init, sum_rows, transpose2d, Tensor};
+use fpraker_trace::{Phase, TensorKind};
+use rand::Rng;
+
+use crate::engine::Engine;
+use crate::layer::{Layer, Param};
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Per-timestep cache for BPTT.
+struct StepCache {
+    x: Tensor,       // (batch, in)
+    h_prev: Tensor,  // (batch, H)
+    c_prev: Tensor,  // (batch, H)
+    i: Tensor,
+    f: Tensor,
+    g: Tensor,
+    o: Tensor,
+    c: Tensor,
+}
+
+/// A single-layer LSTM over fixed-length sequences.
+///
+/// Input is `(batch, seq_len * input_size)`; the output is the final
+/// hidden state `(batch, hidden)`. Gate order is `[input, forget, cell,
+/// output]`.
+pub struct Lstm {
+    name: String,
+    input_size: usize,
+    hidden: usize,
+    seq_len: usize,
+    w_ih: Param, // (4H, in)
+    w_hh: Param, // (4H, H)
+    bias: Param, // (4H)
+    cache: Vec<StepCache>,
+}
+
+impl Lstm {
+    /// Creates an LSTM processing `seq_len` steps of `input_size` features
+    /// into a `hidden`-sized state.
+    pub fn new<R: Rng>(
+        name: impl Into<String>,
+        input_size: usize,
+        hidden: usize,
+        seq_len: usize,
+        rng: &mut R,
+    ) -> Self {
+        let name = name.into();
+        Lstm {
+            w_ih: Param::new(
+                format!("{name}.w_ih"),
+                init::kaiming_uniform(rng, vec![4 * hidden, input_size], input_size),
+            ),
+            w_hh: Param::new(
+                format!("{name}.w_hh"),
+                init::kaiming_uniform(rng, vec![4 * hidden, hidden], hidden),
+            ),
+            bias: Param::new(format!("{name}.bias"), {
+                // Forget-gate bias of 1.0 is the standard stabilizer.
+                let mut b = Tensor::zeros(vec![4 * hidden]);
+                for i in hidden..2 * hidden {
+                    b.data_mut()[i] = 1.0;
+                }
+                b
+            }),
+            input_size,
+            hidden,
+            seq_len,
+            cache: Vec::new(),
+            name,
+        }
+    }
+
+    fn slice_cols(z: &Tensor, from: usize, to: usize) -> Tensor {
+        let (rows, cols) = (z.dims()[0], z.dims()[1]);
+        let mut out = vec![0.0f32; rows * (to - from)];
+        for r in 0..rows {
+            out[r * (to - from)..(r + 1) * (to - from)]
+                .copy_from_slice(&z.data()[r * cols + from..r * cols + to]);
+        }
+        Tensor::from_vec(vec![rows, to - from], out)
+    }
+}
+
+impl Layer for Lstm {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, engine: &mut Engine, input: &Tensor, _training: bool) -> Tensor {
+        let batch = input.dims()[0];
+        assert_eq!(
+            input.dims()[1],
+            self.seq_len * self.input_size,
+            "LSTM input must be (batch, seq_len*input_size)"
+        );
+        let h_dim = self.hidden;
+        self.cache.clear();
+        let mut h = Tensor::zeros(vec![batch, h_dim]);
+        let mut c = Tensor::zeros(vec![batch, h_dim]);
+        for t in 0..self.seq_len {
+            // Extract step input x_t.
+            let mut x = vec![0.0f32; batch * self.input_size];
+            for b in 0..batch {
+                let src = b * self.seq_len * self.input_size + t * self.input_size;
+                x[b * self.input_size..(b + 1) * self.input_size]
+                    .copy_from_slice(&input.data()[src..src + self.input_size]);
+            }
+            let x = Tensor::from_vec(vec![batch, self.input_size], x);
+
+            let mut z = engine.gemm_nt(
+                &self.name,
+                Phase::AxW,
+                &x,
+                &self.w_ih.value,
+                TensorKind::Activation,
+                TensorKind::Weight,
+            );
+            let zh = engine.gemm_nt(
+                &self.name,
+                Phase::AxW,
+                &h,
+                &self.w_hh.value,
+                TensorKind::Activation,
+                TensorKind::Weight,
+            );
+            z.add_scaled(&zh, 1.0);
+            fpraker_tensor::add_bias_rows(&mut z, &self.bias.value);
+
+            let i = Self::slice_cols(&z, 0, h_dim).map(sigmoid);
+            let f = Self::slice_cols(&z, h_dim, 2 * h_dim).map(sigmoid);
+            let g = Self::slice_cols(&z, 2 * h_dim, 3 * h_dim).map(|v| v.tanh());
+            let o = Self::slice_cols(&z, 3 * h_dim, 4 * h_dim).map(sigmoid);
+
+            let c_new = f.zip_map(&c, |fv, cv| fv * cv).zip_map(
+                &i.zip_map(&g, |iv, gv| iv * gv),
+                |a, b| a + b,
+            );
+            let h_new = o.zip_map(&c_new, |ov, cv| ov * cv.tanh());
+
+            self.cache.push(StepCache {
+                x,
+                h_prev: h,
+                c_prev: c,
+                i,
+                f,
+                g,
+                o,
+                c: c_new.clone(),
+            });
+            h = h_new;
+            c = c_new;
+        }
+        h
+    }
+
+    fn backward(&mut self, engine: &mut Engine, grad: &Tensor) -> Tensor {
+        let batch = grad.dims()[0];
+        let h_dim = self.hidden;
+        let mut dh = grad.clone();
+        let mut dc = Tensor::zeros(vec![batch, h_dim]);
+        let mut dinput = Tensor::zeros(vec![batch, self.seq_len * self.input_size]);
+
+        for (t, step) in self.cache.iter().enumerate().rev() {
+            let tanh_c = step.c.map(|v| v.tanh());
+            let do_ = dh.zip_map(&tanh_c, |d, tc| d * tc);
+            let dtc = dh.zip_map(&step.o, |d, ov| d * ov);
+            dc = dc.zip_map(&dtc.zip_map(&tanh_c, |d, tc| d * (1.0 - tc * tc)), |a, b| {
+                a + b
+            });
+
+            let di = dc.zip_map(&step.g, |d, g| d * g);
+            let dg = dc.zip_map(&step.i, |d, i| d * i);
+            let df = dc.zip_map(&step.c_prev, |d, c| d * c);
+            let dc_prev = dc.zip_map(&step.f, |d, f| d * f);
+
+            // Through the gate nonlinearities.
+            let dzi = di.zip_map(&step.i, |d, s| d * s * (1.0 - s));
+            let dzf = df.zip_map(&step.f, |d, s| d * s * (1.0 - s));
+            let dzg = dg.zip_map(&step.g, |d, g| d * (1.0 - g * g));
+            let dzo = do_.zip_map(&step.o, |d, s| d * s * (1.0 - s));
+
+            // Concatenate into (batch, 4H).
+            let mut dz = vec![0.0f32; batch * 4 * h_dim];
+            for b in 0..batch {
+                for (gate, src) in [&dzi, &dzf, &dzg, &dzo].iter().enumerate() {
+                    dz[b * 4 * h_dim + gate * h_dim..b * 4 * h_dim + (gate + 1) * h_dim]
+                        .copy_from_slice(&src.data()[b * h_dim..(b + 1) * h_dim]);
+                }
+            }
+            let dz = Tensor::from_vec(vec![batch, 4 * h_dim], dz);
+
+            // Parameter gradients.
+            let dz_t = transpose2d(&dz);
+            let x_t = transpose2d(&step.x);
+            let h_t = transpose2d(&step.h_prev);
+            let dwih = engine.gemm_nt(
+                &self.name,
+                Phase::AxG,
+                &dz_t,
+                &x_t,
+                TensorKind::Gradient,
+                TensorKind::Activation,
+            );
+            self.w_ih.grad.add_scaled(&dwih, 1.0);
+            let dwhh = engine.gemm_nt(
+                &self.name,
+                Phase::AxG,
+                &dz_t,
+                &h_t,
+                TensorKind::Gradient,
+                TensorKind::Activation,
+            );
+            self.w_hh.grad.add_scaled(&dwhh, 1.0);
+            self.bias.grad.add_scaled(&sum_rows(&dz), 1.0);
+
+            // Input and recurrent gradients.
+            let wih_t = transpose2d(&self.w_ih.value);
+            let dx = engine.gemm_nt(
+                &self.name,
+                Phase::GxW,
+                &dz,
+                &wih_t,
+                TensorKind::Gradient,
+                TensorKind::Weight,
+            );
+            for b in 0..batch {
+                let dst = b * self.seq_len * self.input_size + t * self.input_size;
+                for k in 0..self.input_size {
+                    dinput.data_mut()[dst + k] += dx.data()[b * self.input_size + k];
+                }
+            }
+            let whh_t = transpose2d(&self.w_hh.value);
+            dh = engine.gemm_nt(
+                &self.name,
+                Phase::GxW,
+                &dz,
+                &whh_t,
+                TensorKind::Gradient,
+                TensorKind::Weight,
+            );
+            dc = dc_prev;
+        }
+        self.cache.clear();
+        dinput
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w_ih, &mut self.w_hh, &mut self.bias]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_shape_is_final_hidden_state() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut lstm = Lstm::new("lstm", 3, 5, 4, &mut rng);
+        let mut e = Engine::f32();
+        let x = init::normal(&mut rng, vec![2, 12], 1.0);
+        let y = lstm.forward(&mut e, &x, true);
+        assert_eq!(y.dims(), &[2, 5]);
+        // Hidden states are bounded by tanh/sigmoid products.
+        assert!(y.data().iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut lstm = Lstm::new("lstm", 2, 3, 3, &mut rng);
+        let mut e = Engine::f32();
+        let x = init::normal(&mut rng, vec![1, 6], 1.0);
+        let _ = lstm.forward(&mut e, &x, true);
+        let gy = Tensor::full(vec![1, 3], 1.0);
+        let gx = lstm.backward(&mut e, &gy);
+        let eps = 1e-2f32;
+        for i in 0..6 {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let yp = lstm.forward(&mut e, &xp, true).sum();
+            let ym = lstm.forward(&mut e, &xm, true).sum();
+            let num = (yp - ym) / (2.0 * eps);
+            assert!(
+                (num - gx.data()[i]).abs() < 3e-2 * (1.0 + num.abs()),
+                "elem {i}: numeric {num} vs analytic {}",
+                gx.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn weight_gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut lstm = Lstm::new("lstm", 2, 2, 2, &mut rng);
+        let mut e = Engine::f32();
+        let x = init::normal(&mut rng, vec![2, 4], 1.0);
+        let _ = lstm.forward(&mut e, &x, true);
+        let gy = Tensor::full(vec![2, 2], 1.0);
+        let _ = lstm.backward(&mut e, &gy);
+        let analytic = lstm.w_hh.grad.clone();
+        let eps = 1e-2f32;
+        for i in [0usize, 3, 7, 11] {
+            let orig = lstm.w_hh.value.data()[i];
+            lstm.w_hh.value.data_mut()[i] = orig + eps;
+            let yp = lstm.forward(&mut e, &x, true).sum();
+            lstm.w_hh.value.data_mut()[i] = orig - eps;
+            let ym = lstm.forward(&mut e, &x, true).sum();
+            lstm.w_hh.value.data_mut()[i] = orig;
+            let num = (yp - ym) / (2.0 * eps);
+            assert!(
+                (num - analytic.data()[i]).abs() < 3e-2 * (1.0 + num.abs()),
+                "w_hh {i}: numeric {num} vs analytic {}",
+                analytic.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn forget_bias_initialized_to_one() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let lstm = Lstm::new("lstm", 2, 4, 2, &mut rng);
+        let b = lstm.bias.value.data();
+        assert!(b[0..4].iter().all(|&v| v == 0.0));
+        assert!(b[4..8].iter().all(|&v| v == 1.0));
+        assert!(b[8..16].iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,226 @@
+//! The training loop and trace sampling.
+//!
+//! Mirrors the paper's methodology (Section V-A): train each workload,
+//! sample "one random mini-batch during the forward and backward pass" at
+//! several points of training, and hand those traces to the simulator.
+
+use fpraker_trace::Trace;
+
+use crate::data::Dataset;
+use crate::engine::Engine;
+use crate::layer::{Layer, Sequential};
+use crate::loss::{accuracy, cross_entropy};
+use crate::optim::Sgd;
+use crate::quant::Pruner;
+
+/// A trainable workload: a network, its synthetic dataset, and training
+/// hyper-parameters (plus an optional pruner for the sparse-training
+/// analogue).
+pub struct Workload {
+    /// Zoo name.
+    pub name: &'static str,
+    /// The network.
+    pub net: Sequential,
+    /// The dataset.
+    pub data: Dataset,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Optimizer settings.
+    pub opt: Sgd,
+    /// Dynamic sparse reparameterization, if the workload trains pruned.
+    pub pruner: Option<Pruner>,
+}
+
+impl Workload {
+    /// Assembles a workload.
+    pub fn new(
+        name: &'static str,
+        net: Sequential,
+        data: Dataset,
+        batch_size: usize,
+        opt: Sgd,
+    ) -> Self {
+        Workload {
+            name,
+            net,
+            data,
+            batch_size,
+            opt,
+            pruner: None,
+        }
+    }
+
+    /// Attaches a pruner, registering every rank-≥2 weight parameter.
+    pub fn attach_pruner(&mut self, mut pruner: Pruner) {
+        for p in self.net.params_mut() {
+            if p.name.ends_with(".weight") && p.value.dims().len() >= 2 {
+                pruner.register(p);
+            }
+        }
+        // Apply the initial mask immediately.
+        pruner.apply(self.net.params_mut());
+        self.pruner = Some(pruner);
+    }
+
+    /// Runs one optimization step on batch `step` and returns
+    /// `(loss, accuracy)` on that batch.
+    pub fn train_step(&mut self, engine: &mut Engine, step: usize) -> (f32, f64) {
+        let (x, labels) = self.data.batch(step, self.batch_size);
+        self.net.zero_grads();
+        let logits = self.net.forward(engine, &x, true);
+        let (loss, grad) = cross_entropy(&logits, &labels);
+        let acc = accuracy(&logits, &labels);
+        let _ = self.net.backward(engine, &grad);
+        self.opt.step(&mut self.net.params_mut());
+        if let Some(pruner) = &mut self.pruner {
+            pruner.apply(self.net.params_mut());
+        }
+        (loss, acc)
+    }
+
+    /// Runs one full epoch, returning the mean loss and accuracy.
+    pub fn train_epoch(&mut self, engine: &mut Engine, epoch: usize) -> (f32, f64) {
+        let batches = self.data.batches(self.batch_size);
+        let mut loss_sum = 0.0f32;
+        let mut acc_sum = 0.0f64;
+        for b in 0..batches {
+            let (l, a) = self.train_step(engine, epoch * batches + b);
+            loss_sum += l;
+            acc_sum += a;
+        }
+        (loss_sum / batches as f32, acc_sum / batches as f64)
+    }
+
+    /// Evaluation accuracy over the whole dataset.
+    pub fn eval_accuracy(&mut self, engine: &mut Engine) -> f64 {
+        let batches = self.data.batches(self.batch_size);
+        let mut acc_sum = 0.0f64;
+        for b in 0..batches {
+            let (x, labels) = self.data.batch(b, self.batch_size);
+            let logits = self.net.forward(engine, &x, false);
+            acc_sum += accuracy(&logits, &labels);
+        }
+        acc_sum / batches as f64
+    }
+
+    /// Captures one mini-batch's forward+backward GEMMs as a trace, tagged
+    /// with training progress (percent). Parameters are not updated.
+    pub fn capture_trace(&mut self, engine: &mut Engine, progress_pct: u32) -> Trace {
+        let (x, labels) = self.data.batch(0, self.batch_size);
+        self.net.zero_grads();
+        engine.arm_capture();
+        let logits = self.net.forward(engine, &x, true);
+        let (_, grad) = cross_entropy(&logits, &labels);
+        let _ = self.net.backward(engine, &grad);
+        self.net.zero_grads();
+        engine.take_trace(self.name, progress_pct)
+    }
+}
+
+/// The result of [`train_and_sample`]: per-epoch metrics and the sampled
+/// traces.
+#[derive(Debug)]
+pub struct TrainingRun {
+    /// Mean training loss per epoch.
+    pub losses: Vec<f32>,
+    /// Mean training accuracy per epoch.
+    pub accuracies: Vec<f64>,
+    /// Traces sampled at the requested progress points.
+    pub traces: Vec<Trace>,
+}
+
+/// Trains a workload for `epochs` epochs, capturing one trace at each of
+/// the given progress percentages (0 = before training, 100 = after the
+/// final epoch).
+pub fn train_and_sample(
+    workload: &mut Workload,
+    engine: &mut Engine,
+    epochs: usize,
+    sample_at_pct: &[u32],
+) -> TrainingRun {
+    let mut run = TrainingRun {
+        losses: Vec::with_capacity(epochs),
+        accuracies: Vec::with_capacity(epochs),
+        traces: Vec::new(),
+    };
+    let mut sample_points: Vec<u32> = sample_at_pct.to_vec();
+    sample_points.sort_unstable();
+    let progress_of = |epoch: usize| (epoch * 100 / epochs.max(1)) as u32;
+
+    for &pct in sample_points.iter().filter(|&&p| p == 0) {
+        run.traces.push(workload.capture_trace(engine, pct));
+    }
+    for epoch in 0..epochs {
+        let (loss, acc) = workload.train_epoch(engine, epoch);
+        run.losses.push(loss);
+        run.accuracies.push(acc);
+        let reached = progress_of(epoch + 1);
+        let prev = progress_of(epoch);
+        for &pct in &sample_points {
+            if pct > prev && pct <= reached {
+                run.traces.push(workload.capture_trace(engine, pct));
+            }
+        }
+    }
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+
+    #[test]
+    fn training_reduces_loss_on_mlp_workload() {
+        let mut w = models::build("ncf");
+        let mut e = Engine::f32();
+        let (first, _) = w.train_epoch(&mut e, 0);
+        let mut last = first;
+        for epoch in 1..15 {
+            let (l, _) = w.train_epoch(&mut e, epoch);
+            last = l;
+        }
+        assert!(
+            last < first * 0.9,
+            "loss did not drop: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn conv_workload_learns_the_synthetic_classes() {
+        let mut w = models::build("detectron2");
+        let mut e = Engine::f32();
+        for epoch in 0..12 {
+            let _ = w.train_epoch(&mut e, epoch);
+        }
+        let acc = w.eval_accuracy(&mut e);
+        assert!(acc > 0.5, "accuracy only {acc}");
+    }
+
+    #[test]
+    fn capture_trace_produces_all_three_phases() {
+        use fpraker_trace::Phase;
+        let mut w = models::build("vgg16");
+        let mut e = Engine::f32();
+        let trace = w.capture_trace(&mut e, 0);
+        assert!(trace.validate().is_ok());
+        for phase in [Phase::AxW, Phase::AxG, Phase::GxW] {
+            assert!(
+                trace.ops_in_phase(phase).count() > 0,
+                "missing phase {phase}"
+            );
+        }
+        assert!(trace.macs() > 10_000);
+    }
+
+    #[test]
+    fn train_and_sample_collects_traces_at_requested_points() {
+        let mut w = models::build("ncf");
+        let mut e = Engine::f32();
+        let run = train_and_sample(&mut w, &mut e, 4, &[0, 50, 100]);
+        assert_eq!(run.losses.len(), 4);
+        assert_eq!(run.traces.len(), 3);
+        let pcts: Vec<u32> = run.traces.iter().map(|t| t.progress_pct).collect();
+        assert_eq!(pcts, vec![0, 50, 100]);
+    }
+}

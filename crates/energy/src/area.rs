@@ -1,0 +1,121 @@
+//! Area model — Table III constants.
+//!
+//! The paper synthesized both designs in 65 nm TSMC (Synopsys DC + Cadence
+//! Innovus). We cannot re-run synthesis, so the post-layout numbers from
+//! Table III are embedded as constants and drive the iso-compute-area
+//! configuration: an FPRaker tile occupies 22% of the baseline tile, so 8
+//! baseline tiles trade for 36 FPRaker tiles (Section V-B).
+
+/// Post-layout area of one tile, in µm² (Table III).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TileArea {
+    /// PE array area.
+    pub pe_array_um2: f64,
+    /// Shared term-encoder area (zero for the baseline).
+    pub encoders_um2: f64,
+}
+
+impl TileArea {
+    /// The FPRaker tile: 304,118 + 12,950 µm².
+    pub const FPRAKER: TileArea = TileArea {
+        pe_array_um2: 304_118.0,
+        encoders_um2: 12_950.0,
+    };
+
+    /// The baseline bit-parallel tile: 1,421,579 µm².
+    pub const BASELINE: TileArea = TileArea {
+        pe_array_um2: 1_421_579.0,
+        encoders_um2: 0.0,
+    };
+
+    /// Total tile area.
+    pub fn total_um2(&self) -> f64 {
+        self.pe_array_um2 + self.encoders_um2
+    }
+}
+
+/// Area ratio of the FPRaker tile to the baseline tile (Table III: 0.22×).
+pub fn fpraker_tile_ratio() -> f64 {
+    TileArea::FPRAKER.total_um2() / TileArea::BASELINE.total_um2()
+}
+
+/// Number of FPRaker tiles that fit in the compute area of
+/// `baseline_tiles` baseline tiles (Section V-B; 8 → 36).
+pub fn iso_area_fpraker_tiles(baseline_tiles: usize) -> usize {
+    (baseline_tiles as f64 / fpraker_tile_ratio()).round() as usize
+}
+
+/// Power of one tile at 600 MHz, in milliwatts (Table III).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TilePower {
+    /// PE array power.
+    pub pe_array_mw: f64,
+    /// Term encoder power (zero for the baseline).
+    pub encoders_mw: f64,
+}
+
+impl TilePower {
+    /// The FPRaker tile: 104 + 5.5 mW.
+    pub const FPRAKER: TilePower = TilePower {
+        pe_array_mw: 104.0,
+        encoders_mw: 5.5,
+    };
+
+    /// The baseline tile: 475 mW.
+    pub const BASELINE: TilePower = TilePower {
+        pe_array_mw: 475.0,
+        encoders_mw: 0.0,
+    };
+
+    /// Total tile power in mW.
+    pub fn total_mw(&self) -> f64 {
+        self.pe_array_mw + self.encoders_mw
+    }
+
+    /// Energy per cycle at the given clock, in picojoules.
+    pub fn pj_per_cycle(&self, clock_hz: f64) -> f64 {
+        self.total_mw() * 1e-3 / clock_hz * 1e12
+    }
+}
+
+/// The design clock frequency used for synthesis (600 MHz).
+pub const CLOCK_HZ: f64 = 600.0e6;
+
+/// On-chip global-buffer areas in mm² (Section V-B): activations, weights
+/// and gradients memories.
+pub const GB_AREA_MM2: [(&str, f64); 3] = [
+    ("activations", 344.0),
+    ("weights", 93.6),
+    ("gradients", 334.0),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_ratio_matches_table_iii() {
+        let r = fpraker_tile_ratio();
+        assert!((r - 0.22).abs() < 0.005, "ratio {r}");
+    }
+
+    #[test]
+    fn iso_area_gives_36_tiles_for_8() {
+        assert_eq!(iso_area_fpraker_tiles(8), 36);
+    }
+
+    #[test]
+    fn power_ratio_matches_table_iii() {
+        let r = TilePower::FPRAKER.total_mw() / TilePower::BASELINE.total_mw();
+        assert!((r - 0.23).abs() < 0.005, "ratio {r}");
+    }
+
+    #[test]
+    fn pj_per_cycle_at_600mhz() {
+        // 109.5 mW at 600 MHz = 182.5 pJ/cycle.
+        let pj = TilePower::FPRAKER.pj_per_cycle(CLOCK_HZ);
+        assert!((pj - 182.5).abs() < 0.1, "{pj}");
+        let pj = TilePower::BASELINE.pj_per_cycle(CLOCK_HZ);
+        assert!((pj - 791.7).abs() < 0.1, "{pj}");
+    }
+}

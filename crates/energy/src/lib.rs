@@ -1,0 +1,29 @@
+//! Area and energy models for the FPRaker reproduction.
+//!
+//! The paper's area/power numbers come from 65 nm synthesis (Synopsys DC,
+//! Cadence Innovus) and memory tools (CACTI, Micron's DDR4 calculator) we
+//! cannot run. This crate embeds the published Table III constants and
+//! derives per-event energies from them, so that the *accounting* —
+//! iso-compute-area tile counts, Fig. 11 energy efficiency, the Fig. 12
+//! breakdown — reproduces the paper's structure:
+//!
+//! * [`area`] — tile areas/powers (Table III), the 0.22× ratio, and the
+//!   8-baseline-tiles → 36-FPRaker-tiles iso-area configuration;
+//! * [`EnergyModel`] — per-event energies (terms, accumulator cycles,
+//!   exponent blocks, encoders, SRAM/DRAM bytes) calibrated to Table III.
+//!
+//! # Example
+//!
+//! ```
+//! use fpraker_energy::area::iso_area_fpraker_tiles;
+//!
+//! assert_eq!(iso_area_fpraker_tiles(8), 36); // Section V-B
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+mod model;
+
+pub use model::{EnergyBreakdown, EnergyModel, EventCounts};

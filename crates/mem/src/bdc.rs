@@ -1,0 +1,345 @@
+//! Exponent base-delta compression (BDC).
+//!
+//! Section IV-D: consecutive training values are spatially correlated, so
+//! their exponents are similar. Values are blocked into groups of 32; each
+//! group stores one 8-bit base exponent plus a per-value exponent *delta*
+//! whose bit-width δ is chosen per group (the minimum width that covers the
+//! group), recorded in a 3-bit header. Signs and 7-bit mantissas are stored
+//! uncompressed (one byte per value, Fig. 9). The codec is used off-chip
+//! only: values are compressed when written and decompressed when read.
+//!
+//! This implementation uses the group's *minimum* biased exponent as the
+//! base so deltas are unsigned (the paper uses the first value's exponent
+//! and does not specify delta signedness; min-base is the standard
+//! base-delta-immediate variant [70] and never widens δ).
+
+use fpraker_num::Bf16;
+
+/// Values per compression group.
+pub const GROUP: usize = 32;
+/// Header bits per group (the δ width field).
+pub const HEADER_BITS: usize = 3;
+/// Base exponent bits per group.
+pub const BASE_BITS: usize = 8;
+/// Uncompressed bits per value (bfloat16).
+pub const RAW_BITS: usize = 16;
+/// Sign + mantissa bits stored uncompressed per value.
+pub const MANTISSA_BITS: usize = 8;
+
+/// Size accounting for a compressed stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Footprint {
+    /// Number of values compressed.
+    pub values: usize,
+    /// Total compressed bits (headers + bases + deltas + sign/mantissas).
+    pub total_bits: usize,
+    /// Bits spent on exponent information only (headers + bases + deltas).
+    pub exponent_bits: usize,
+}
+
+impl Footprint {
+    /// Compressed exponent bits over raw exponent bits (Fig. 10's
+    /// "normalized exponent footprint").
+    pub fn exponent_ratio(&self) -> f64 {
+        if self.values == 0 {
+            return 1.0;
+        }
+        self.exponent_bits as f64 / (self.values * 8) as f64
+    }
+
+    /// Total compressed bits over raw bfloat16 bits (off-chip traffic
+    /// ratio).
+    pub fn total_ratio(&self) -> f64 {
+        if self.values == 0 {
+            return 1.0;
+        }
+        self.total_bits as f64 / (self.values * RAW_BITS) as f64
+    }
+
+    /// Total compressed size in bytes (rounded up).
+    pub fn total_bytes(&self) -> usize {
+        self.total_bits.div_ceil(8)
+    }
+}
+
+/// The δ bit-width needed for one group: the smallest width that represents
+/// `max(exp) - min(exp)` over the group's biased exponents.
+///
+/// The 3-bit header can encode widths 0–7 directly; a worst-case group
+/// spans the full 8-bit exponent range, so header value 7 denotes an 8-bit
+/// delta (true 7-bit groups are promoted to 8 — they are rare and the cost
+/// is one bit per value).
+pub fn delta_bits(group: &[Bf16]) -> u32 {
+    debug_assert!(!group.is_empty());
+    let mut lo = u8::MAX;
+    let mut hi = u8::MIN;
+    for v in group {
+        let e = v.biased_exponent();
+        lo = lo.min(e);
+        hi = hi.max(e);
+    }
+    let span = (hi - lo) as u32;
+    let bits = if span == 0 { 0 } else { 32 - span.leading_zeros() };
+    if bits >= 7 {
+        8
+    } else {
+        bits
+    }
+}
+
+/// The 3-bit header encoding of a delta width (7 stands for 8 bits).
+fn header_code(delta_bits: u32) -> u32 {
+    if delta_bits >= 7 {
+        7
+    } else {
+        delta_bits
+    }
+}
+
+/// Inverse of [`header_code`].
+fn width_from_header(code: u32) -> u32 {
+    if code == 7 {
+        8
+    } else {
+        code
+    }
+}
+
+/// Computes the compressed footprint of a value stream (grouped in order,
+/// final partial group padded conceptually with its own values only).
+pub fn footprint(values: &[Bf16]) -> Footprint {
+    let mut fp = Footprint {
+        values: values.len(),
+        ..Footprint::default()
+    };
+    for group in values.chunks(GROUP) {
+        let d = delta_bits(group) as usize;
+        fp.exponent_bits += HEADER_BITS + BASE_BITS + d * group.len();
+        fp.total_bits += HEADER_BITS + BASE_BITS + (d + MANTISSA_BITS) * group.len();
+    }
+    fp
+}
+
+/// A bit-level writer used by the codec.
+#[derive(Default)]
+struct BitWriter {
+    bytes: Vec<u8>,
+    bit: u32,
+}
+
+impl BitWriter {
+    fn push(&mut self, value: u32, bits: u32) {
+        for i in (0..bits).rev() {
+            let b = (value >> i) & 1;
+            if self.bit == 0 {
+                self.bytes.push(0);
+            }
+            let last = self.bytes.last_mut().unwrap();
+            *last |= (b as u8) << (7 - self.bit);
+            self.bit = (self.bit + 1) % 8;
+        }
+    }
+}
+
+/// A bit-level reader used by the codec.
+struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl BitReader<'_> {
+    fn pull(&mut self, bits: u32) -> Option<u32> {
+        let mut out = 0u32;
+        for _ in 0..bits {
+            let byte = self.bytes.get(self.pos / 8)?;
+            let b = (byte >> (7 - (self.pos % 8))) & 1;
+            out = (out << 1) | b as u32;
+            self.pos += 1;
+        }
+        Some(out)
+    }
+}
+
+/// Compresses a value stream into the Fig. 9 bitstream layout. Returns the
+/// bytes and the exact footprint.
+pub fn compress(values: &[Bf16]) -> (Vec<u8>, Footprint) {
+    let mut w = BitWriter::default();
+    for group in values.chunks(GROUP) {
+        let base = group.iter().map(|v| v.biased_exponent()).min().unwrap();
+        let d = delta_bits(group);
+        w.push(header_code(d), HEADER_BITS as u32);
+        w.push(base as u32, BASE_BITS as u32);
+        for v in group {
+            w.push((v.biased_exponent() - base) as u32, d);
+            let sign_mant = ((v.sign() as u32) << 7) | (v.fraction() as u32);
+            w.push(sign_mant, MANTISSA_BITS as u32);
+        }
+    }
+    (w.bytes, footprint(values))
+}
+
+/// Decompresses a stream produced by [`compress`].
+///
+/// # Errors
+///
+/// Returns `Err` if the stream is truncated.
+pub fn decompress(bytes: &[u8], num_values: usize) -> Result<Vec<Bf16>, &'static str> {
+    let mut r = BitReader { bytes, pos: 0 };
+    let mut out = Vec::with_capacity(num_values);
+    while out.len() < num_values {
+        let group_len = GROUP.min(num_values - out.len());
+        let d = width_from_header(r.pull(HEADER_BITS as u32).ok_or("truncated header")?);
+        let base = r.pull(BASE_BITS as u32).ok_or("truncated base")?;
+        for _ in 0..group_len {
+            let delta = r.pull(d).ok_or("truncated delta")?;
+            let sm = r.pull(MANTISSA_BITS as u32).ok_or("truncated mantissa")?;
+            let exp = base + delta;
+            let bits = (((sm >> 7) as u16) << 15) | ((exp as u16) << 7) | (sm as u16 & 0x7F);
+            out.push(Bf16::from_bits(bits));
+        }
+    }
+    Ok(out)
+}
+
+/// Reorders an `(channels, height, width)` tensor channel-major per pixel
+/// — the paper's channel-wise blocking ("we block values channel-wise") —
+/// so that each group of 32 spans consecutive channels at the same spatial
+/// position.
+pub fn channelwise_order(values: &[Bf16], c: usize, h: usize, w: usize) -> Vec<Bf16> {
+    assert_eq!(values.len(), c * h * w, "shape mismatch");
+    let mut out = Vec::with_capacity(values.len());
+    for y in 0..h {
+        for x in 0..w {
+            for ch in 0..c {
+                out.push(values[(ch * h + y) * w + x]);
+            }
+        }
+    }
+    out
+}
+
+/// Reorders a `(channels, height, width)` tensor along the H dimension
+/// (the paper's "spatial" alternative, markers in Fig. 10).
+pub fn spatial_order(values: &[Bf16], c: usize, h: usize, w: usize) -> Vec<Bf16> {
+    assert_eq!(values.len(), c * h * w, "shape mismatch");
+    let mut out = Vec::with_capacity(values.len());
+    for ch in 0..c {
+        for x in 0..w {
+            for y in 0..h {
+                out.push(values[(ch * h + y) * w + x]);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpraker_num::reference::SplitMix64;
+
+    #[test]
+    fn delta_bits_examples() {
+        let same = vec![Bf16::from_f32(1.5); 4];
+        assert_eq!(delta_bits(&same), 0);
+        let spread = vec![Bf16::from_f32(1.0), Bf16::from_f32(2.0)];
+        assert_eq!(delta_bits(&spread), 1);
+        let wide = vec![Bf16::from_f32(1.0), Bf16::from_f32(1024.0)];
+        assert_eq!(delta_bits(&wide), 4); // span 10 needs 4 bits
+        let with_zero = vec![Bf16::ZERO, Bf16::from_f32(1.0)];
+        assert_eq!(delta_bits(&with_zero), 8); // span 127 promotes to 8
+    }
+
+    #[test]
+    fn footprint_of_uniform_exponents_is_small() {
+        let values = vec![Bf16::from_f32(1.25); 64];
+        let fp = footprint(&values);
+        // Two groups, δ = 0: exponent cost is just headers + bases.
+        assert_eq!(fp.exponent_bits, 2 * (HEADER_BITS + BASE_BITS));
+        assert!(fp.exponent_ratio() < 0.05);
+        assert!(fp.total_ratio() < 0.55);
+    }
+
+    #[test]
+    fn footprint_of_random_exponents_approaches_raw() {
+        let mut rng = SplitMix64::new(5);
+        let values: Vec<Bf16> = (0..320).map(|_| rng.bf16_in_range(60)).collect();
+        let fp = footprint(&values);
+        assert!(fp.exponent_ratio() > 0.7, "ratio {}", fp.exponent_ratio());
+        // Never worse than raw by more than the header overhead.
+        assert!(fp.exponent_ratio() <= 1.1);
+    }
+
+    #[test]
+    fn compress_round_trips_exactly() {
+        let mut rng = SplitMix64::new(77);
+        for len in [1usize, 31, 32, 33, 100, 512] {
+            let values: Vec<Bf16> = (0..len)
+                .map(|i| {
+                    if i % 7 == 0 {
+                        Bf16::ZERO
+                    } else {
+                        rng.bf16_in_range(20)
+                    }
+                })
+                .collect();
+            let (bytes, fp) = compress(&values);
+            assert_eq!(bytes.len(), fp.total_bits.div_ceil(8));
+            let back = decompress(&bytes, len).expect("decompress");
+            assert_eq!(back, values, "len {len}");
+        }
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let values = vec![Bf16::from_f32(3.0); 40];
+        let (bytes, _) = compress(&values);
+        assert!(decompress(&bytes[..bytes.len() / 2], 40).is_err());
+    }
+
+    #[test]
+    fn negative_values_round_trip() {
+        let values: Vec<Bf16> = (0..32)
+            .map(|i| Bf16::from_f32(if i % 2 == 0 { -1.5 } else { 0.75 }))
+            .collect();
+        let (bytes, _) = compress(&values);
+        assert_eq!(decompress(&bytes, 32).unwrap(), values);
+    }
+
+    #[test]
+    fn channelwise_groups_similar_exponents() {
+        // Values vary wildly across H but are uniform across channels:
+        // channel-wise grouping compresses much better.
+        let (c, h, w) = (32, 8, 4);
+        let mut values = Vec::new();
+        for ch in 0..c {
+            for y in 0..h {
+                for x in 0..w {
+                    let _ = (ch, x);
+                    values.push(Bf16::from_f32(2f32.powi(y as i32 * 4 - 16)));
+                }
+            }
+        }
+        let chw = channelwise_order(&values, c, h, w);
+        let sp = spatial_order(&values, c, h, w);
+        let f_ch = footprint(&chw).exponent_ratio();
+        let f_sp = footprint(&sp).exponent_ratio();
+        assert!(f_ch < f_sp, "channelwise {f_ch} vs spatial {f_sp}");
+        assert!(f_ch < 0.1);
+    }
+
+    #[test]
+    fn reorders_are_permutations() {
+        let (c, h, w) = (4, 3, 5);
+        let values: Vec<Bf16> = (0..c * h * w)
+            .map(|i| Bf16::from_f32(i as f32))
+            .collect();
+        for order in [channelwise_order(&values, c, h, w), spatial_order(&values, c, h, w)] {
+            let mut a: Vec<u16> = order.iter().map(|v| v.to_bits()).collect();
+            let mut b: Vec<u16> = values.iter().map(|v| v.to_bits()).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+}

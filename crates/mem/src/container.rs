@@ -1,0 +1,242 @@
+//! Memory containers and the transposer unit.
+//!
+//! Section IV-E: arrays are stored off-chip in "square" containers of
+//! 32×32 bfloat16 values — a shape that maps well onto DDR4 row sizes and
+//! serves both the forward and (transposed) backward access orders. On
+//! chip, a transposer unit reads 8 blocks of 8 values and emits them as
+//! columns, transposing 8×8 value groups for the backward pass.
+
+use fpraker_num::Bf16;
+
+/// Side length of a memory container.
+pub const CONTAINER_DIM: usize = 32;
+/// Values per container.
+pub const CONTAINER_LEN: usize = CONTAINER_DIM * CONTAINER_DIM;
+
+/// A 32×32 container of bfloat16 values, stored row-major.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Container {
+    values: Vec<Bf16>,
+}
+
+impl Container {
+    /// Builds a container from a `(rows, cols)` window of a larger matrix,
+    /// zero-padding outside the matrix (Section IV-E: "padding is used as
+    /// necessary").
+    pub fn from_matrix(
+        data: &[Bf16],
+        mat_rows: usize,
+        mat_cols: usize,
+        row0: usize,
+        col0: usize,
+    ) -> Self {
+        let mut values = vec![Bf16::ZERO; CONTAINER_LEN];
+        for r in 0..CONTAINER_DIM {
+            for c in 0..CONTAINER_DIM {
+                let (mr, mc) = (row0 + r, col0 + c);
+                if mr < mat_rows && mc < mat_cols {
+                    values[r * CONTAINER_DIM + c] = data[mr * mat_cols + mc];
+                }
+            }
+        }
+        Container { values }
+    }
+
+    /// The container's values, row-major.
+    pub fn values(&self) -> &[Bf16] {
+        &self.values
+    }
+
+    /// Value at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either coordinate is out of range.
+    pub fn at(&self, row: usize, col: usize) -> Bf16 {
+        assert!(row < CONTAINER_DIM && col < CONTAINER_DIM, "out of range");
+        self.values[row * CONTAINER_DIM + col]
+    }
+
+    /// Size of one container in bytes (uncompressed bfloat16).
+    pub const fn bytes() -> usize {
+        CONTAINER_LEN * 2
+    }
+}
+
+/// Number of containers needed to tile a `(rows, cols)` matrix.
+pub fn containers_for(rows: usize, cols: usize) -> usize {
+    rows.div_ceil(CONTAINER_DIM) * cols.div_ceil(CONTAINER_DIM)
+}
+
+/// The on-chip transposer: consumes an 8×8 block of values delivered as 8
+/// row reads and emits it as 8 column reads (Section IV-E). Functionally,
+/// an exact 8×8 transpose.
+#[derive(Clone, Debug, Default)]
+pub struct Transposer {
+    buffer: Vec<Bf16>,
+    rows_loaded: usize,
+}
+
+/// Block dimension handled by the transposer.
+pub const TRANSPOSE_DIM: usize = 8;
+
+impl Transposer {
+    /// Creates an empty transposer.
+    pub fn new() -> Self {
+        Transposer {
+            buffer: vec![Bf16::ZERO; TRANSPOSE_DIM * TRANSPOSE_DIM],
+            rows_loaded: 0,
+        }
+    }
+
+    /// Loads one 8-value row into the internal buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row is not 8 values or the buffer is already full.
+    pub fn load_row(&mut self, row: &[Bf16]) {
+        assert_eq!(row.len(), TRANSPOSE_DIM, "transposer rows are 8 wide");
+        assert!(self.rows_loaded < TRANSPOSE_DIM, "transposer full");
+        let base = self.rows_loaded * TRANSPOSE_DIM;
+        self.buffer[base..base + TRANSPOSE_DIM].copy_from_slice(row);
+        self.rows_loaded += 1;
+    }
+
+    /// `true` once all 8 rows are loaded.
+    pub fn is_full(&self) -> bool {
+        self.rows_loaded == TRANSPOSE_DIM
+    }
+
+    /// Reads column `col` (the transposed row) and, after the last column,
+    /// resets the unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is not full or `col` is out of range.
+    pub fn read_column(&self, col: usize) -> [Bf16; TRANSPOSE_DIM] {
+        assert!(self.is_full(), "transposer not fully loaded");
+        assert!(col < TRANSPOSE_DIM, "column out of range");
+        let mut out = [Bf16::ZERO; TRANSPOSE_DIM];
+        for (r, slot) in out.iter_mut().enumerate() {
+            *slot = self.buffer[r * TRANSPOSE_DIM + col];
+        }
+        out
+    }
+
+    /// Clears the buffer for the next block.
+    pub fn reset(&mut self) {
+        self.rows_loaded = 0;
+    }
+}
+
+/// Transposes an arbitrary `(rows, cols)` bfloat16 matrix by streaming 8×8
+/// blocks through a [`Transposer`] (zero-padding the edges), returning the
+/// `(cols, rows)` result. This is the functional model of the on-chip
+/// transposition performed for the backward-pass access order.
+pub fn transpose_via_unit(data: &[Bf16], rows: usize, cols: usize) -> Vec<Bf16> {
+    assert_eq!(data.len(), rows * cols, "shape mismatch");
+    let mut out = vec![Bf16::ZERO; rows * cols];
+    let mut unit = Transposer::new();
+    for br in (0..rows).step_by(TRANSPOSE_DIM) {
+        for bc in (0..cols).step_by(TRANSPOSE_DIM) {
+            unit.reset();
+            for r in 0..TRANSPOSE_DIM {
+                let mut row = [Bf16::ZERO; TRANSPOSE_DIM];
+                if br + r < rows {
+                    for (c, slot) in row.iter_mut().enumerate() {
+                        if bc + c < cols {
+                            *slot = data[(br + r) * cols + bc + c];
+                        }
+                    }
+                }
+                unit.load_row(&row);
+            }
+            for c in 0..TRANSPOSE_DIM {
+                if bc + c >= cols {
+                    continue;
+                }
+                let col = unit.read_column(c);
+                for (r, v) in col.iter().enumerate() {
+                    if br + r < rows {
+                        out[(bc + c) * rows + br + r] = *v;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpraker_num::reference::SplitMix64;
+
+    #[test]
+    fn container_pads_edges_with_zeros() {
+        let data = vec![Bf16::ONE; 40 * 40];
+        let c = Container::from_matrix(&data, 40, 40, 32, 32);
+        assert_eq!(c.at(0, 0), Bf16::ONE); // (32,32) in range
+        assert_eq!(c.at(8, 8), Bf16::ZERO); // (40,40) out of range
+        assert_eq!(Container::bytes(), 2048);
+    }
+
+    #[test]
+    fn containers_for_rounds_up() {
+        assert_eq!(containers_for(32, 32), 1);
+        assert_eq!(containers_for(33, 32), 2);
+        assert_eq!(containers_for(100, 70), 4 * 3);
+        assert_eq!(containers_for(1, 1), 1);
+    }
+
+    #[test]
+    fn transposer_transposes_a_block() {
+        let mut t = Transposer::new();
+        for r in 0..8 {
+            let row: Vec<Bf16> = (0..8).map(|c| Bf16::from_f32((r * 8 + c) as f32)).collect();
+            t.load_row(&row);
+        }
+        assert!(t.is_full());
+        let col3 = t.read_column(3);
+        for (r, v) in col3.iter().enumerate() {
+            assert_eq!(v.to_f32(), (r * 8 + 3) as f32);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "transposer full")]
+    fn overloading_panics() {
+        let mut t = Transposer::new();
+        for _ in 0..9 {
+            t.load_row(&[Bf16::ZERO; 8]);
+        }
+    }
+
+    #[test]
+    fn transpose_via_unit_matches_software_transpose() {
+        let mut rng = SplitMix64::new(31);
+        for (rows, cols) in [(8, 8), (16, 8), (10, 13), (1, 20), (33, 7)] {
+            let data: Vec<Bf16> = (0..rows * cols).map(|_| rng.bf16_in_range(8)).collect();
+            let hw = transpose_via_unit(&data, rows, cols);
+            for r in 0..rows {
+                for c in 0..cols {
+                    assert_eq!(
+                        hw[c * rows + r],
+                        data[r * cols + c],
+                        "({r},{c}) in {rows}x{cols}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn double_transpose_is_identity() {
+        let mut rng = SplitMix64::new(8);
+        let (rows, cols) = (11, 17);
+        let data: Vec<Bf16> = (0..rows * cols).map(|_| rng.bf16_in_range(5)).collect();
+        let once = transpose_via_unit(&data, rows, cols);
+        let twice = transpose_via_unit(&once, cols, rows);
+        assert_eq!(twice, data);
+    }
+}

@@ -1,0 +1,86 @@
+//! Off-chip memory bandwidth model.
+//!
+//! The paper's configuration (Table II): 16 GB of 4-channel LPDDR4-3200,
+//! modelled with Micron's power calculator. We model bandwidth analytically:
+//! LPDDR4-3200 delivers 3200 MT/s on a ×16 channel = 6.4 GB/s per channel,
+//! 25.6 GB/s over 4 channels. At the accelerator's 600 MHz clock that is
+//! ~42.7 bytes per accelerator cycle. Energy is accounted in
+//! [`fpraker-energy`]; this crate owns traffic → cycles.
+
+/// Bandwidth model of the off-chip memory.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DramModel {
+    /// Deliverable bytes per accelerator cycle.
+    pub bytes_per_cycle: f64,
+}
+
+impl DramModel {
+    /// The paper's configuration: 4-channel LPDDR4-3200 (25.6 GB/s) against
+    /// a 600 MHz accelerator clock.
+    pub fn paper() -> Self {
+        DramModel {
+            bytes_per_cycle: 25.6e9 / 600.0e6,
+        }
+    }
+
+    /// Cycles needed to transfer `bytes` at peak bandwidth.
+    pub fn cycles_for(&self, bytes: u64) -> u64 {
+        (bytes as f64 / self.bytes_per_cycle).ceil() as u64
+    }
+}
+
+impl Default for DramModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Per-layer off-chip traffic of one GEMM, in bytes, with and without
+/// exponent base-delta compression.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Traffic {
+    /// Bytes read for the serial operand.
+    pub a_bytes: u64,
+    /// Bytes read for the parallel operand.
+    pub b_bytes: u64,
+    /// Bytes written for the output.
+    pub out_bytes: u64,
+}
+
+impl Traffic {
+    /// Total bytes moved.
+    pub fn total(&self) -> u64 {
+        self.a_bytes + self.b_bytes + self.out_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_bandwidth_is_about_43_bytes_per_cycle() {
+        let m = DramModel::paper();
+        assert!((m.bytes_per_cycle - 42.67).abs() < 0.1);
+    }
+
+    #[test]
+    fn cycles_round_up() {
+        let m = DramModel {
+            bytes_per_cycle: 32.0,
+        };
+        assert_eq!(m.cycles_for(0), 0);
+        assert_eq!(m.cycles_for(32), 1);
+        assert_eq!(m.cycles_for(33), 2);
+    }
+
+    #[test]
+    fn traffic_totals() {
+        let t = Traffic {
+            a_bytes: 10,
+            b_bytes: 20,
+            out_bytes: 5,
+        };
+        assert_eq!(t.total(), 35);
+    }
+}

@@ -1,0 +1,36 @@
+//! Memory-hierarchy substrate for the FPRaker reproduction.
+//!
+//! Implements the data-supply machinery of Sections IV-D and IV-E:
+//!
+//! * [`bdc`] — exponent base-delta compression for off-chip traffic
+//!   (groups of 32 values, dynamic delta width, Fig. 9/10);
+//! * [`container`] — 32×32-value memory containers and the 8×8 transposer
+//!   unit that serves the backward pass's transposed access order;
+//! * [`dram`] — the LPDDR4-3200 bandwidth model (Table II) converting
+//!   traffic to cycles;
+//! * [`sram`] — the 9-bank global buffer (odd bank count to dodge strided
+//!   conflicts) and 2 KB per-PE scratchpads.
+//!
+//! # Example
+//!
+//! ```
+//! use fpraker_mem::bdc;
+//! use fpraker_num::Bf16;
+//!
+//! let values = vec![Bf16::from_f32(0.5); 64];
+//! let (bytes, footprint) = bdc::compress(&values);
+//! assert!(footprint.exponent_ratio() < 0.1);
+//! assert_eq!(bdc::decompress(&bytes, 64).unwrap(), values);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bdc;
+pub mod container;
+pub mod dram;
+pub mod sram;
+
+pub use container::{Container, Transposer, CONTAINER_DIM, TRANSPOSE_DIM};
+pub use dram::{DramModel, Traffic};
+pub use sram::{GlobalBuffer, Scratchpad};

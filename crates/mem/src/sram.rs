@@ -1,0 +1,165 @@
+//! On-chip SRAM: the banked global buffer and per-PE scratchpads.
+//!
+//! Table II: 2 KB scratchpads, a 4 MB × 9-bank global buffer — "an odd
+//! number of banks to reduce bank conflicts for layers with a stride
+//! greater than one". This module models capacity and bank-conflict
+//! behaviour for access-pattern accounting.
+
+/// The banked on-chip global buffer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GlobalBuffer {
+    /// Number of banks (the paper uses 9 — odd on purpose).
+    pub banks: usize,
+    /// Capacity per bank in bytes.
+    pub bank_bytes: usize,
+    /// Access width in bytes (8 bfloat16 values per access, Section IV-E).
+    pub access_bytes: usize,
+    accesses: u64,
+    conflicts: u64,
+}
+
+impl GlobalBuffer {
+    /// The paper's configuration: 9 banks of 4 MB, 16-byte accesses.
+    pub fn paper() -> Self {
+        GlobalBuffer {
+            banks: 9,
+            bank_bytes: 4 << 20,
+            access_bytes: 16,
+            accesses: 0,
+            conflicts: 0,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.banks * self.bank_bytes
+    }
+
+    /// The bank an address maps to (interleaved at access granularity).
+    pub fn bank_of(&self, addr: usize) -> usize {
+        (addr / self.access_bytes) % self.banks
+    }
+
+    /// Records a group of same-cycle accesses at the given byte addresses;
+    /// returns the cycles the group needs (1 plus any serialization from
+    /// bank conflicts). Conflict statistics accumulate.
+    pub fn access_group(&mut self, addrs: &[usize]) -> u64 {
+        let mut per_bank = vec![0u32; self.banks];
+        for &a in addrs {
+            per_bank[self.bank_of(a)] += 1;
+        }
+        self.accesses += addrs.len() as u64;
+        let worst = per_bank.iter().copied().max().unwrap_or(0) as u64;
+        if worst > 1 {
+            self.conflicts += worst - 1;
+        }
+        worst.max(1)
+    }
+
+    /// Accesses recorded so far.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Serialization cycles lost to bank conflicts so far.
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Cycles to stream `rows` strided accesses with the given element
+    /// stride in bytes — the pattern of a strided convolution reading its
+    /// input rows. An odd bank count keeps power-of-two strides spread.
+    pub fn strided_stream_cycles(&mut self, rows: usize, stride_bytes: usize) -> u64 {
+        let mut cycles = 0;
+        for group in (0..rows).collect::<Vec<_>>().chunks(self.banks) {
+            let addrs: Vec<usize> = group.iter().map(|&r| r * stride_bytes).collect();
+            cycles += self.access_group(&addrs);
+        }
+        cycles
+    }
+}
+
+/// A per-PE scratchpad (Table II: 2 KB each) — capacity bookkeeping for
+/// the operand working set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Scratchpad {
+    /// Capacity in bytes.
+    pub bytes: usize,
+}
+
+impl Scratchpad {
+    /// The paper's 2 KB scratchpad.
+    pub fn paper() -> Self {
+        Scratchpad { bytes: 2048 }
+    }
+
+    /// How many 8-value bfloat16 operand sets fit.
+    pub fn sets_capacity(&self) -> usize {
+        self.bytes / 16
+    }
+
+    /// `true` if a working set of `sets` operand groups fits.
+    pub fn fits(&self, sets: usize) -> bool {
+        sets <= self.sets_capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_capacity() {
+        let gb = GlobalBuffer::paper();
+        assert_eq!(gb.capacity(), 9 * 4 << 20);
+        assert_eq!(gb.banks % 2, 1, "odd bank count per Table II");
+        let sp = Scratchpad::paper();
+        assert_eq!(sp.sets_capacity(), 128);
+        assert!(sp.fits(64));
+        assert!(!sp.fits(1000));
+    }
+
+    #[test]
+    fn conflict_free_group_takes_one_cycle() {
+        let mut gb = GlobalBuffer::paper();
+        // 9 consecutive accesses land in 9 distinct banks.
+        let addrs: Vec<usize> = (0..9).map(|i| i * 16).collect();
+        assert_eq!(gb.access_group(&addrs), 1);
+        assert_eq!(gb.conflicts(), 0);
+    }
+
+    #[test]
+    fn same_bank_group_serializes() {
+        let mut gb = GlobalBuffer::paper();
+        // All accesses hit bank 0 (stride = banks * access width).
+        let addrs: Vec<usize> = (0..4).map(|i| i * 9 * 16).collect();
+        assert_eq!(gb.access_group(&addrs), 4);
+        assert_eq!(gb.conflicts(), 3);
+    }
+
+    #[test]
+    fn odd_bank_count_beats_even_on_power_of_two_strides() {
+        // A stride-2 conv reads every other row: stride 2 * 16 bytes.
+        // With 8 banks the accesses pile onto half the banks; with 9 they
+        // spread — the paper's rationale for an odd count.
+        let run = |banks: usize| {
+            let mut gb = GlobalBuffer {
+                banks,
+                ..GlobalBuffer::paper()
+            };
+            gb.strided_stream_cycles(64, 2 * 16)
+        };
+        let odd = run(9);
+        let even = run(8);
+        assert!(odd < even, "odd {odd} cycles vs even {even}");
+    }
+
+    #[test]
+    fn bank_mapping_is_interleaved() {
+        let gb = GlobalBuffer::paper();
+        assert_eq!(gb.bank_of(0), 0);
+        assert_eq!(gb.bank_of(16), 1);
+        assert_eq!(gb.bank_of(16 * 9), 0);
+        assert_eq!(gb.bank_of(15), 0); // within one access word
+    }
+}

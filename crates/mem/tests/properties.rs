@@ -1,0 +1,50 @@
+//! Property-based tests of the memory substrate.
+
+use fpraker_mem::bdc;
+use fpraker_mem::container::transpose_via_unit;
+use fpraker_num::Bf16;
+use proptest::prelude::*;
+
+fn arb_bf16() -> impl Strategy<Value = Bf16> {
+    prop_oneof![
+        1 => Just(Bf16::ZERO),
+        6 => (any::<bool>(), -30i32..30, 0u8..128).prop_map(|(s, e, f)| {
+            Bf16::from_parts(s, e, 0x80 | f)
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn bdc_round_trips_any_stream(values in prop::collection::vec(arb_bf16(), 0..300)) {
+        let (bytes, fp) = bdc::compress(&values);
+        prop_assert_eq!(bytes.len(), fp.total_bits.div_ceil(8));
+        let back = bdc::decompress(&bytes, values.len()).unwrap();
+        prop_assert_eq!(back, values);
+    }
+
+    #[test]
+    fn bdc_footprint_never_exceeds_raw_plus_header(
+        values in prop::collection::vec(arb_bf16(), 1..200)
+    ) {
+        let fp = bdc::footprint(&values);
+        // Worst case: 8-bit deltas plus 11 header bits per 32-value group.
+        let groups = values.len().div_ceil(32);
+        let worst = values.len() * 16 + groups * 11;
+        prop_assert!(fp.total_bits <= worst);
+    }
+
+    #[test]
+    fn transposer_matches_software_transpose(
+        rows in 1usize..24, cols in 1usize..24, seed in any::<u64>()
+    ) {
+        let mut rng = fpraker_num::reference::SplitMix64::new(seed);
+        let data: Vec<Bf16> = (0..rows * cols).map(|_| rng.bf16_in_range(6)).collect();
+        let t = transpose_via_unit(&data, rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                prop_assert_eq!(t[c * rows + r], data[r * cols + c]);
+            }
+        }
+    }
+}

@@ -1,0 +1,587 @@
+//! The PE's extended-precision accumulator and chunk-based accumulation.
+//!
+//! From Section IV-A of the paper: "The accumulator has an extended 13b
+//! significand; 1b for the leading 1 (hidden), 9b for extended precision
+//! following the chunk-based accumulation scheme as suggested by Sakr et
+//! al. with a chunk-size of 64, plus 3b for rounding to nearest even. It has
+//! 3 additional integer bits following the hidden bit so that it can fit the
+//! worst case carry out from accumulating 8 products. In total the
+//! accumulator has 16b, 4 integer, and 12 fractional."
+//!
+//! [`Accumulator`] models that register as a signed mantissa plus an
+//! exponent: `value = mantissa * 2^(exponent - frac_bits)`. Every right shift
+//! (operand alignment, accumulator alignment to a larger `emax`, and
+//! normalization) applies round-to-nearest-even to the bits shifted out,
+//! mirroring the hardware's RNE shifters.
+//!
+//! The *out-of-bounds threshold* θ decides which term alignments `k` can
+//! still affect the register: a term whose aligned position satisfies
+//! `k > θ` lies entirely below the fractional window and is skipped
+//! (Section IV-A, "skipping out-of-bounds terms"). θ defaults to the
+//! fractional width (12) and is configurable per layer, which is how the
+//! per-layer accumulator-width study (Fig. 21) is modelled.
+
+use crate::bf16::Bf16;
+
+/// Shifts `v` right by `sh` bits, rounding to nearest even (ties to even),
+/// operating on the magnitude so negative values round symmetrically.
+///
+/// `sh == 0` returns `v` unchanged; `sh >= 63` returns the rounded-to-zero
+/// or ±1 result depending on magnitude.
+///
+/// # Example
+///
+/// ```
+/// use fpraker_num::round_shift_rne;
+///
+/// assert_eq!(round_shift_rne(0b1011, 2), 0b11);  // 2.75 -> 3
+/// assert_eq!(round_shift_rne(0b1010, 2), 0b10);  // 2.5 -> 2 (ties to even)
+/// assert_eq!(round_shift_rne(0b1110, 2), 0b100); // 3.5 -> 4 (ties to even)
+/// assert_eq!(round_shift_rne(-0b1010, 2), -0b10);
+/// ```
+#[inline]
+pub fn round_shift_rne(v: i64, sh: u32) -> i64 {
+    if sh == 0 || v == 0 {
+        return v;
+    }
+    let neg = v < 0;
+    let mag = v.unsigned_abs();
+    let rounded = if sh >= 64 {
+        0
+    } else {
+        let floor = mag >> sh;
+        let rem = mag & ((1u64 << sh) - 1);
+        let half = 1u64 << (sh - 1);
+        if rem > half || (rem == half && floor & 1 == 1) {
+            floor + 1
+        } else {
+            floor
+        }
+    };
+    if neg {
+        -(rounded as i64)
+    } else {
+        rounded as i64
+    }
+}
+
+/// Static configuration of an [`Accumulator`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AccumConfig {
+    /// Fractional bits below the hidden-one position (paper: 12).
+    pub frac_bits: u32,
+    /// Integer bits including the hidden one (paper: 4 = hidden + 3 carry).
+    pub int_bits: u32,
+    /// Out-of-bounds threshold θ: a term aligned at `k > θ` cannot affect
+    /// the register and is skipped. The paper sets θ to the fractional width
+    /// (12); smaller values model narrower per-layer accumulators (Fig. 21).
+    pub ob_threshold: i32,
+}
+
+impl AccumConfig {
+    /// The paper's configuration: 4 integer bits, 12 fractional bits,
+    /// θ = 12.
+    pub const fn paper() -> Self {
+        AccumConfig {
+            frac_bits: 12,
+            int_bits: 4,
+            ob_threshold: 12,
+        }
+    }
+
+    /// The paper's register geometry with a custom out-of-bounds threshold
+    /// (the "dynamic bit-width accumulator" of Section IV-A / Fig. 21).
+    pub const fn with_threshold(ob_threshold: i32) -> Self {
+        AccumConfig {
+            ob_threshold,
+            ..Self::paper()
+        }
+    }
+}
+
+impl Default for AccumConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// The extended-precision accumulator register of a PE output lane.
+///
+/// Represents `mantissa() * 2^(exponent() - frac_bits)`. The mantissa is
+/// kept normalized between sets (`2^frac <= |m| < 2^(frac+1)`), with the
+/// hidden one at bit `frac_bits`.
+///
+/// # Example
+///
+/// ```
+/// use fpraker_num::{Accumulator, AccumConfig, Bf16};
+///
+/// let mut acc = Accumulator::new(AccumConfig::paper());
+/// // Accumulate 1.5 * 2^0 expressed as a scaled integer: 3 * 2^-1.
+/// acc.add_scaled(false, 3, -1);
+/// acc.normalize();
+/// assert_eq!(acc.read_bf16(), Bf16::from_f32(1.5));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Accumulator {
+    cfg: AccumConfig,
+    /// Signed mantissa; LSB weight is `2^(eacc - frac_bits)`.
+    mant: i64,
+    /// Exponent of the hidden-one position. Meaningless while `mant == 0`.
+    eacc: i32,
+}
+
+impl Accumulator {
+    /// Creates a zeroed accumulator.
+    pub fn new(cfg: AccumConfig) -> Self {
+        Accumulator {
+            cfg,
+            mant: 0,
+            eacc: i32::MIN / 2,
+        }
+    }
+
+    /// The configuration this accumulator was built with.
+    #[inline]
+    pub fn config(&self) -> AccumConfig {
+        self.cfg
+    }
+
+    /// Clears the register to zero.
+    pub fn reset(&mut self) {
+        self.mant = 0;
+        self.eacc = i32::MIN / 2;
+    }
+
+    /// `true` if the register holds zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.mant == 0
+    }
+
+    /// The current accumulator exponent (`eacc` in the paper). For a zero
+    /// register this is a very small sentinel so that `max` against product
+    /// exponents behaves correctly.
+    #[inline]
+    pub fn exponent(&self) -> i32 {
+        self.eacc
+    }
+
+    /// The signed mantissa, in units of `2^(exponent() - frac_bits)`.
+    #[inline]
+    pub fn mantissa(&self) -> i64 {
+        self.mant
+    }
+
+    /// `true` if a term aligned at distance `k` below the accumulator's
+    /// hidden position lies outside the precision window (`k > θ`): the term
+    /// and — because terms are processed most-significant first — every
+    /// later term of the same operand cannot affect the register.
+    #[inline]
+    pub fn is_out_of_bounds(&self, k: i32) -> bool {
+        k > self.cfg.ob_threshold
+    }
+
+    /// Begins a new set of products: computes `emax` (the maximum of the
+    /// accumulator exponent and the largest product exponent), aligns the
+    /// register to it (right shift with RNE — the `acc_shift` path in
+    /// Fig. 3), and returns it.
+    pub fn begin_set(&mut self, max_product_exp: i32) -> i32 {
+        if self.mant == 0 {
+            self.eacc = max_product_exp;
+            return max_product_exp;
+        }
+        let emax = self.eacc.max(max_product_exp);
+        let sh = emax - self.eacc;
+        if sh > 0 {
+            self.mant = round_shift_rne(self.mant, sh as u32);
+            self.eacc = emax;
+        }
+        emax
+    }
+
+    /// Adds `±sig * 2^pow` into the register. Bits of the operand that fall
+    /// below the register's least-significant bit are rounded in with RNE,
+    /// matching the hardware's per-operand rounding shifters.
+    ///
+    /// This is the primitive both the term-serial PE (8-bit `Bm` shifted by
+    /// `k`) and the bit-parallel baseline (16-bit full product) build on.
+    pub fn add_scaled(&mut self, neg: bool, sig: u64, pow: i32) {
+        if sig == 0 {
+            return;
+        }
+        debug_assert!(sig < (1 << 32), "operand significand too wide");
+        if self.mant == 0 {
+            // Empty register: adopt an exponent that places the operand's
+            // MSB at the hidden position.
+            let msb = 63 - sig.leading_zeros() as i32;
+            self.eacc = pow + msb;
+        }
+        let lsb_weight = self.eacc - self.cfg.frac_bits as i32;
+        let sh = pow - lsb_weight;
+        let signed = if neg { -(sig as i64) } else { sig as i64 };
+        let contrib = if sh >= 0 {
+            debug_assert!(sh < 62, "contribution alignment overflow (sh={sh})");
+            signed << sh
+        } else {
+            round_shift_rne(signed, (-sh) as u32)
+        };
+        self.mant += contrib;
+    }
+
+    /// Adds the contents of another extended register (used when folding a
+    /// chunk partial sum into the running total — Sakr et al.'s chunked
+    /// accumulation).
+    pub fn add_extended(&mut self, mant: i64, exponent: i32) {
+        if mant == 0 {
+            return;
+        }
+        let neg = mant < 0;
+        let mag = mant.unsigned_abs();
+        self.add_scaled(neg, mag, exponent - self.cfg.frac_bits as i32);
+    }
+
+    /// Renormalizes so the leading one sits at the hidden position, with RNE
+    /// on any right shift (the paper normalizes and rounds the register at
+    /// each accumulation step).
+    pub fn normalize(&mut self) {
+        if self.mant == 0 {
+            self.eacc = i32::MIN / 2;
+            return;
+        }
+        let frac = self.cfg.frac_bits as i32;
+        loop {
+            let msb = 63 - self.mant.unsigned_abs().leading_zeros() as i32;
+            let delta = msb - frac;
+            if delta > 0 {
+                self.mant = round_shift_rne(self.mant, delta as u32);
+                self.eacc += delta;
+                // Rounding can carry out (e.g. 0b111...1 -> 0b1000...0);
+                // loop to fix up.
+                if 63 - self.mant.unsigned_abs().leading_zeros() as i32 == frac {
+                    break;
+                }
+            } else if delta < 0 {
+                self.mant <<= -delta;
+                self.eacc += delta;
+                break;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Reads the register out as bfloat16 (7-bit significand, RNE), the
+    /// format written back to memory. Does not modify the register.
+    pub fn read_bf16(&self) -> Bf16 {
+        let mut tmp = *self;
+        tmp.normalize();
+        if tmp.mant == 0 {
+            return Bf16::ZERO;
+        }
+        let neg = tmp.mant < 0;
+        let frac = tmp.cfg.frac_bits as i32;
+        // Normalized: |mant| in [2^frac, 2^(frac+1)); need 8 significand bits.
+        let sh = frac - 7;
+        let mut sig = round_shift_rne(tmp.mant.abs(), sh.max(0) as u32);
+        let mut exp = tmp.eacc;
+        if sig == 0x100 {
+            sig = 0x80;
+            exp += 1;
+        }
+        debug_assert!((0x80..0x100).contains(&sig));
+        Bf16::from_parts(neg, exp, sig as u8)
+    }
+
+    /// The register's exact numeric value, for tests and golden checking.
+    pub fn value_f64(&self) -> f64 {
+        if self.mant == 0 {
+            return 0.0;
+        }
+        self.mant as f64 * 2f64.powi(self.eacc - self.cfg.frac_bits as i32)
+    }
+}
+
+/// Chunk-based accumulation (Sakr et al. [69], chunk size 64): long dot
+/// products accumulate into an inner extended register, which is folded into
+/// an outer register every `chunk_size` MACs. Both the FPRaker PE and the
+/// bit-parallel baseline use this scheme, so their numerics match.
+///
+/// # Example
+///
+/// ```
+/// use fpraker_num::{AccumConfig, Bf16, ChunkedAccumulator};
+///
+/// let mut acc = ChunkedAccumulator::new(AccumConfig::paper(), 64);
+/// for _ in 0..128 {
+///     acc.inner_mut().add_scaled(false, 1, 0); // += 1.0
+///     acc.count_macs(1);
+/// }
+/// assert_eq!(acc.finish(), Bf16::from_f32(128.0));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct ChunkedAccumulator {
+    inner: Accumulator,
+    outer: Accumulator,
+    chunk_size: u32,
+    macs_in_chunk: u32,
+}
+
+impl ChunkedAccumulator {
+    /// Creates a chunked accumulator. `chunk_size` is in MAC operations
+    /// (the paper uses 64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is zero.
+    pub fn new(cfg: AccumConfig, chunk_size: u32) -> Self {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ChunkedAccumulator {
+            inner: Accumulator::new(cfg),
+            outer: Accumulator::new(cfg),
+            chunk_size,
+            macs_in_chunk: 0,
+        }
+    }
+
+    /// The paper's configuration (12 fractional bits, chunk of 64).
+    pub fn paper() -> Self {
+        Self::new(AccumConfig::paper(), 64)
+    }
+
+    /// Access to the inner (per-chunk) register, where products accumulate.
+    #[inline]
+    pub fn inner_mut(&mut self) -> &mut Accumulator {
+        &mut self.inner
+    }
+
+    /// Read-only access to the inner register.
+    #[inline]
+    pub fn inner(&self) -> &Accumulator {
+        &self.inner
+    }
+
+    /// Records `n` MAC operations; folds the chunk into the outer register
+    /// when the chunk boundary is crossed.
+    pub fn count_macs(&mut self, n: u32) {
+        self.macs_in_chunk += n;
+        if self.macs_in_chunk >= self.chunk_size {
+            self.fold();
+        }
+    }
+
+    /// Folds the inner register into the outer one and clears it.
+    pub fn fold(&mut self) {
+        self.inner.normalize();
+        self.outer
+            .add_extended(self.inner.mantissa(), self.inner.exponent());
+        self.outer.normalize();
+        self.inner.reset();
+        self.macs_in_chunk = 0;
+    }
+
+    /// Clears both registers.
+    pub fn reset(&mut self) {
+        self.inner.reset();
+        self.outer.reset();
+        self.macs_in_chunk = 0;
+    }
+
+    /// Folds any residue and reads the total as bfloat16.
+    pub fn finish(&mut self) -> Bf16 {
+        self.fold();
+        self.outer.read_bf16()
+    }
+
+    /// The exact current total, for tests.
+    pub fn value_f64(&self) -> f64 {
+        self.inner.value_f64() + self.outer.value_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rne_shift_basics() {
+        assert_eq!(round_shift_rne(0, 5), 0);
+        assert_eq!(round_shift_rne(7, 0), 7);
+        assert_eq!(round_shift_rne(1, 64), 0);
+        assert_eq!(round_shift_rne(0b101, 1), 0b10); // 2.5 -> 2
+        assert_eq!(round_shift_rne(0b111, 1), 0b100); // 3.5 -> 4
+        assert_eq!(round_shift_rne(-0b101, 1), -0b10);
+        assert_eq!(round_shift_rne(-0b111, 1), -0b100);
+    }
+
+    #[test]
+    fn single_product_reads_back_exactly() {
+        // Any bf16 value accumulated alone must read back exactly.
+        for bits in [0x3FC0u16, 0x0080, 0x7F7F, 0xC1A0, 0x3F80] {
+            let x = Bf16::from_bits(bits);
+            let mut acc = Accumulator::new(AccumConfig::paper());
+            acc.add_scaled(x.sign(), x.significand() as u64, x.exponent() - 7);
+            acc.normalize();
+            assert_eq!(acc.read_bf16(), x, "bits {bits:#06x}");
+        }
+    }
+
+    #[test]
+    fn accumulates_integers_exactly_within_window() {
+        let mut acc = Accumulator::new(AccumConfig::paper());
+        for _ in 0..100 {
+            acc.add_scaled(false, 1, 0);
+            acc.normalize();
+        }
+        assert_eq!(acc.value_f64(), 100.0);
+    }
+
+    #[test]
+    fn swamping_small_addend_is_rounded_away() {
+        // 2^-64 into 2^64 (the paper's introduction example): the small
+        // addend falls entirely below the window and must vanish.
+        let mut acc = Accumulator::new(AccumConfig::paper());
+        acc.add_scaled(false, 1, 64);
+        acc.normalize();
+        acc.add_scaled(false, 1, -64);
+        acc.normalize();
+        assert_eq!(acc.value_f64(), 2f64.powi(64));
+    }
+
+    #[test]
+    fn cancellation_renormalizes_downward() {
+        let mut acc = Accumulator::new(AccumConfig::paper());
+        acc.add_scaled(false, 0x180, -8); // 1.5
+        acc.add_scaled(true, 0x100, -8); // -1.0
+        acc.normalize();
+        assert_eq!(acc.value_f64(), 0.5);
+        assert_eq!(acc.exponent(), -1);
+        assert_eq!(acc.read_bf16(), Bf16::from_f32(0.5));
+    }
+
+    #[test]
+    fn exact_zero_after_cancellation() {
+        let mut acc = Accumulator::new(AccumConfig::paper());
+        acc.add_scaled(false, 3, 0);
+        acc.add_scaled(true, 3, 0);
+        acc.normalize();
+        assert!(acc.is_zero());
+        assert_eq!(acc.read_bf16(), Bf16::ZERO);
+    }
+
+    #[test]
+    fn begin_set_aligns_register_upward() {
+        let mut acc = Accumulator::new(AccumConfig::paper());
+        acc.add_scaled(false, 0x80, -7); // 1.0, eacc = 0
+        acc.normalize();
+        let emax = acc.begin_set(5);
+        assert_eq!(emax, 5);
+        assert_eq!(acc.exponent(), 5);
+        // Value preserved (1.0 still representable in 12 fractional bits
+        // below 2^5).
+        assert_eq!(acc.value_f64(), 1.0);
+    }
+
+    #[test]
+    fn begin_set_keeps_larger_accumulator_exponent() {
+        let mut acc = Accumulator::new(AccumConfig::paper());
+        acc.add_scaled(false, 0x80, 3); // 2^10
+        acc.normalize();
+        assert_eq!(acc.begin_set(2), 10);
+    }
+
+    #[test]
+    fn out_of_bounds_threshold() {
+        let acc = Accumulator::new(AccumConfig::paper());
+        assert!(!acc.is_out_of_bounds(12));
+        assert!(acc.is_out_of_bounds(13));
+        let narrow = Accumulator::new(AccumConfig::with_threshold(4));
+        assert!(narrow.is_out_of_bounds(5));
+        assert!(!narrow.is_out_of_bounds(4));
+    }
+
+    #[test]
+    fn read_bf16_rounds_to_nearest_even() {
+        let mut acc = Accumulator::new(AccumConfig::paper());
+        // 1 + 2^-8: halfway between bf16 neighbours 1.0 and 1 + 2^-7.
+        acc.add_scaled(false, (1 << 8) + 1, -8);
+        acc.normalize();
+        assert_eq!(acc.read_bf16(), Bf16::ONE);
+        // 1 + 3*2^-8 rounds up to 1 + 2^-6 (even significand).
+        let mut acc = Accumulator::new(AccumConfig::paper());
+        acc.add_scaled(false, (1 << 8) + 3, -8);
+        acc.normalize();
+        assert_eq!(acc.read_bf16().to_f32(), 1.0 + 2f32.powi(-6));
+    }
+
+    #[test]
+    fn readout_carry_propagates_to_exponent() {
+        // Value just below 2.0 that rounds up to 2.0 at 7 fraction bits.
+        let mut acc = Accumulator::new(AccumConfig::paper());
+        acc.add_scaled(false, (1 << 13) - 1, -12); // 1.99975...
+        acc.normalize();
+        assert_eq!(acc.read_bf16(), Bf16::from_f32(2.0));
+    }
+
+    #[test]
+    fn chunked_matches_flat_for_exact_sums() {
+        let mut chunked = ChunkedAccumulator::new(AccumConfig::paper(), 8);
+        let mut flat = Accumulator::new(AccumConfig::paper());
+        for i in 1..=32u64 {
+            chunked.inner_mut().add_scaled(false, i, -2);
+            chunked.count_macs(1);
+            flat.add_scaled(false, i, -2);
+            flat.normalize();
+        }
+        let total: f64 = (1..=32).map(|i| i as f64 / 4.0).sum();
+        assert_eq!(chunked.value_f64(), total);
+        assert_eq!(chunked.finish(), flat.read_bf16());
+    }
+
+    #[test]
+    fn chunking_reduces_swamping_error() {
+        // Sum 4096 copies of 1.0 starting from 2^12: flat extended
+        // accumulation loses the ones once the register exponent grows;
+        // chunked accumulation preserves them chunk by chunk.
+        let n = 4096;
+        let mut chunked = ChunkedAccumulator::new(AccumConfig::paper(), 64);
+        let mut flat = Accumulator::new(AccumConfig::paper());
+        flat.add_scaled(false, 0x80, 12 - 7);
+        flat.normalize();
+        chunked.inner_mut().add_scaled(false, 0x80, 12 - 7);
+        chunked.count_macs(1);
+        for _ in 0..n {
+            flat.begin_set(0);
+            flat.add_scaled(false, 0x80, -7);
+            flat.normalize();
+            chunked.inner_mut().begin_set(0);
+            chunked.inner_mut().add_scaled(false, 0x80, -7);
+            chunked.inner_mut().normalize();
+            chunked.count_macs(1);
+        }
+        let exact = 2f64.powi(12) + n as f64;
+        let err_chunked = (chunked.value_f64() - exact).abs();
+        let err_flat = (flat.value_f64() - exact).abs();
+        assert!(
+            err_chunked <= err_flat,
+            "chunked {err_chunked} vs flat {err_flat}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn zero_chunk_size_panics() {
+        let _ = ChunkedAccumulator::new(AccumConfig::paper(), 0);
+    }
+
+    #[test]
+    fn add_extended_is_symmetric_with_value() {
+        let mut a = Accumulator::new(AccumConfig::paper());
+        a.add_scaled(false, 0xAB, -3);
+        a.normalize();
+        let mut b = Accumulator::new(AccumConfig::paper());
+        b.add_extended(a.mantissa(), a.exponent());
+        b.normalize();
+        assert_eq!(a.value_f64(), b.value_f64());
+    }
+}

@@ -1,0 +1,355 @@
+//! Software bfloat16 ("brain floating point").
+//!
+//! The paper stores all tensors in memory as bfloat16 (Section IV-A): 1 sign
+//! bit, 8 exponent bits (bias 127) and a normalized 7-bit significand with an
+//! implied leading one. Denormals are not supported (flushed to zero), as in
+//! the bfloat16 hardware the paper cites [53].
+
+use std::fmt;
+
+/// A bfloat16 value: the 16 most-significant bits of an IEEE-754 `f32`.
+///
+/// Denormal inputs are flushed to zero on construction, matching the paper's
+/// assumption that "the MSBs of the activations are guaranteed to be one
+/// (given denormals are not supported)".
+///
+/// # Example
+///
+/// ```
+/// use fpraker_num::Bf16;
+///
+/// let x = Bf16::from_f32(3.14);
+/// assert!((x.to_f32() - 3.14).abs() < 0.02);
+/// assert_eq!(Bf16::from_f32(0.0), Bf16::ZERO);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Bf16(u16);
+
+/// Exponent bias of the bfloat16 format.
+pub const EXP_BIAS: i32 = 127;
+/// Number of explicit fraction bits.
+pub const FRAC_BITS: u32 = 7;
+/// Biased exponent value reserved for infinities and NaNs.
+const EXP_SPECIAL: u16 = 0xFF;
+
+impl Bf16 {
+    /// Positive zero.
+    pub const ZERO: Bf16 = Bf16(0x0000);
+    /// Negative zero.
+    pub const NEG_ZERO: Bf16 = Bf16(0x8000);
+    /// One.
+    pub const ONE: Bf16 = Bf16(0x3F80);
+    /// Negative one.
+    pub const NEG_ONE: Bf16 = Bf16(0xBF80);
+    /// Largest finite value (`(2 - 2^-7) * 2^127`).
+    pub const MAX: Bf16 = Bf16(0x7F7F);
+    /// Smallest positive normal value (`2^-126`).
+    pub const MIN_POSITIVE: Bf16 = Bf16(0x0080);
+    /// Positive infinity.
+    pub const INFINITY: Bf16 = Bf16(0x7F80);
+    /// Negative infinity.
+    pub const NEG_INFINITY: Bf16 = Bf16(0xFF80);
+    /// A quiet NaN.
+    pub const NAN: Bf16 = Bf16(0x7FC0);
+
+    /// Creates a value from its raw bit pattern.
+    ///
+    /// Denormal bit patterns are preserved by this constructor (it is the
+    /// identity on bits); use [`Bf16::from_f32`] for flush-to-zero semantics.
+    #[inline]
+    pub const fn from_bits(bits: u16) -> Self {
+        Bf16(bits)
+    }
+
+    /// Returns the raw bit pattern.
+    #[inline]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts an `f32` to bfloat16 with round-to-nearest-even.
+    ///
+    /// Denormal results are flushed to (signed) zero; overflow saturates to
+    /// the infinity of the appropriate sign; NaN maps to a quiet NaN.
+    pub fn from_f32(x: f32) -> Self {
+        let bits = x.to_bits();
+        if x.is_nan() {
+            return Bf16::NAN;
+        }
+        // Round to nearest even on the low 16 bits.
+        let round_bit = 0x0000_8000u32;
+        let lsb = (bits >> 16) & 1;
+        let rounded = bits.wrapping_add(0x0000_7FFF + lsb);
+        // Detect overflow into the exponent is handled naturally: adding the
+        // rounding increment may carry into the exponent field which is the
+        // correct IEEE behaviour (e.g. 1.9999999 -> 2.0). Saturation to
+        // infinity also falls out, except we must not produce NaN from a
+        // finite input; the carry can at most reach the infinity encoding.
+        let _ = round_bit;
+        let mut hi = (rounded >> 16) as u16;
+        // Flush denormals (biased exponent 0 with nonzero fraction) to zero.
+        if hi & 0x7F80 == 0 {
+            hi &= 0x8000;
+        }
+        Bf16(hi)
+    }
+
+    /// Converts to `f32` exactly (every bfloat16 value is representable).
+    #[inline]
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits((self.0 as u32) << 16)
+    }
+
+    /// Converts to `f64` exactly.
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.to_f32() as f64
+    }
+
+    /// Returns `true` for +0.0 and -0.0 (and, defensively, denormal bit
+    /// patterns, which this library treats as zero).
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 & 0x7F80 == 0
+    }
+
+    /// Returns `true` for NaN bit patterns.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.0 & 0x7F80 == 0x7F80 && self.0 & 0x007F != 0
+    }
+
+    /// Returns `true` for positive or negative infinity.
+    #[inline]
+    pub fn is_infinite(self) -> bool {
+        self.0 & 0x7FFF == 0x7F80
+    }
+
+    /// Returns `true` for zero or normal values (not infinity, not NaN).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0 & 0x7F80 != 0x7F80
+    }
+
+    /// The sign bit: `true` if negative.
+    #[inline]
+    pub fn sign(self) -> bool {
+        self.0 & 0x8000 != 0
+    }
+
+    /// The biased 8-bit exponent field.
+    #[inline]
+    pub fn biased_exponent(self) -> u8 {
+        ((self.0 >> 7) & 0xFF) as u8
+    }
+
+    /// The unbiased exponent, i.e. `e` such that the value is
+    /// `±1.f * 2^e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the value is zero, infinite or NaN (those
+    /// have no meaningful unbiased exponent).
+    #[inline]
+    pub fn exponent(self) -> i32 {
+        debug_assert!(!self.is_zero() && self.is_finite());
+        self.biased_exponent() as i32 - EXP_BIAS
+    }
+
+    /// The 8-bit significand including the implied leading one
+    /// (`1xxxxxxx`, i.e. value `significand() / 128`), or 0 for zero.
+    ///
+    /// This is the integer the PE's term encoder consumes.
+    #[inline]
+    pub fn significand(self) -> u8 {
+        if self.is_zero() {
+            0
+        } else {
+            0x80 | (self.0 & 0x7F) as u8
+        }
+    }
+
+    /// The 7 explicit fraction bits.
+    #[inline]
+    pub fn fraction(self) -> u8 {
+        (self.0 & 0x7F) as u8
+    }
+
+    /// Assembles a bfloat16 from sign, unbiased exponent and an 8-bit
+    /// significand in `[128, 255]` (or 0 for zero).
+    ///
+    /// Out-of-range exponents saturate to zero / infinity.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `significand` is in `1..=127` (not
+    /// normalized).
+    pub fn from_parts(sign: bool, exponent: i32, significand: u8) -> Self {
+        debug_assert!(significand == 0 || significand >= 0x80);
+        let s = if sign { 0x8000u16 } else { 0 };
+        if significand == 0 {
+            return Bf16(s);
+        }
+        let biased = exponent + EXP_BIAS;
+        if biased <= 0 {
+            return Bf16(s); // flush to zero
+        }
+        if biased >= EXP_SPECIAL as i32 {
+            return Bf16(s | 0x7F80); // saturate to infinity
+        }
+        Bf16(s | ((biased as u16) << 7) | (significand as u16 & 0x7F))
+    }
+
+    /// Negation (flips the sign bit).
+    #[inline]
+    pub fn neg(self) -> Self {
+        Bf16(self.0 ^ 0x8000)
+    }
+
+    /// Absolute value (clears the sign bit).
+    #[inline]
+    pub fn abs(self) -> Self {
+        Bf16(self.0 & 0x7FFF)
+    }
+
+    /// Rounds a slice of `f32` values to bfloat16.
+    pub fn quantize_slice(values: &[f32]) -> Vec<Bf16> {
+        values.iter().map(|&v| Bf16::from_f32(v)).collect()
+    }
+
+    /// Converts a slice of bfloat16 values to `f32`.
+    pub fn dequantize_slice(values: &[Bf16]) -> Vec<f32> {
+        values.iter().map(|v| v.to_f32()).collect()
+    }
+}
+
+impl From<f32> for Bf16 {
+    fn from(x: f32) -> Self {
+        Bf16::from_f32(x)
+    }
+}
+
+impl From<Bf16> for f32 {
+    fn from(x: Bf16) -> Self {
+        x.to_f32()
+    }
+}
+
+impl PartialOrd for Bf16 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+impl fmt::Debug for Bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bf16({})", self.to_f32())
+    }
+}
+
+impl fmt::Display for Bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_f32(), f)
+    }
+}
+
+impl fmt::LowerHex for Bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Binary for Bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_exact_values() {
+        for v in [0.0f32, 1.0, -1.0, 0.5, 2.0, 1.875, -3.5, 1024.0] {
+            assert_eq!(Bf16::from_f32(v).to_f32(), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn rne_rounding() {
+        // 1.0 + 2^-8 is exactly halfway between 1.0 and the next bf16
+        // (1 + 2^-7); round to even keeps 1.0.
+        let halfway = f32::from_bits(0x3F80_8000);
+        assert_eq!(Bf16::from_f32(halfway), Bf16::ONE);
+        // 1 + 2^-8 + ulp rounds up.
+        let above = f32::from_bits(0x3F80_8001);
+        assert_eq!(Bf16::from_f32(above).to_bits(), 0x3F81);
+        // 1 + 3*2^-8 is halfway between odd and even; rounds up to even.
+        let halfway_odd = f32::from_bits(0x3F81_8000);
+        assert_eq!(Bf16::from_f32(halfway_odd).to_bits(), 0x3F82);
+    }
+
+    #[test]
+    fn denormals_flush_to_zero() {
+        let tiny = f32::from_bits(0x0001_0000); // denormal after truncation
+        assert!(Bf16::from_f32(tiny).is_zero());
+        assert!(Bf16::from_f32(-1.0e-40).is_zero());
+        assert!(Bf16::from_f32(-1.0e-40).sign());
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert_eq!(Bf16::from_f32(f32::MAX), Bf16::INFINITY);
+        assert_eq!(Bf16::from_f32(f32::MIN), Bf16::NEG_INFINITY);
+        // Just above the largest bf16 rounds to infinity.
+        // Above the round-to-infinity boundary (2 - 2^-8) * 2^127 ~ 3.396e38.
+        let x = 3.3965e38f32;
+        assert!(Bf16::from_f32(x).is_infinite());
+    }
+
+    #[test]
+    fn nan_is_preserved() {
+        assert!(Bf16::from_f32(f32::NAN).is_nan());
+        assert!(!Bf16::INFINITY.is_nan());
+        assert!(Bf16::NAN.is_nan());
+    }
+
+    #[test]
+    fn significand_includes_hidden_bit() {
+        let x = Bf16::from_f32(1.875); // 1.1110000
+        assert_eq!(x.significand(), 0b1111_0000);
+        assert_eq!(x.exponent(), 0);
+        let y = Bf16::from_f32(6.0); // 1.5 * 2^2
+        assert_eq!(y.significand(), 0b1100_0000);
+        assert_eq!(y.exponent(), 2);
+        assert_eq!(Bf16::ZERO.significand(), 0);
+    }
+
+    #[test]
+    fn from_parts_round_trip() {
+        for bits in 0u16..=u16::MAX {
+            let x = Bf16::from_bits(bits);
+            if x.is_zero() || !x.is_finite() {
+                continue;
+            }
+            let y = Bf16::from_parts(x.sign(), x.exponent(), x.significand());
+            assert_eq!(x, y, "bits {bits:#06x}");
+        }
+    }
+
+    #[test]
+    fn from_parts_saturates() {
+        assert_eq!(Bf16::from_parts(false, 200, 0x80), Bf16::INFINITY);
+        assert!(Bf16::from_parts(false, -150, 0x80).is_zero());
+        assert_eq!(Bf16::from_parts(true, 0, 0), Bf16::NEG_ZERO);
+    }
+
+    #[test]
+    fn ordering_matches_f32() {
+        let a = Bf16::from_f32(1.5);
+        let b = Bf16::from_f32(2.5);
+        assert!(a < b);
+        assert!(b > a);
+    }
+}

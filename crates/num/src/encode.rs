@@ -1,0 +1,405 @@
+//! Term encoding: converting a significand into signed powers of two.
+//!
+//! FPRaker processes the serial operand of each MAC "as a series of signed
+//! powers of two hitherto referred to as terms" (Section III). The encoder
+//! runs on the fly just before the PE input; values stay bfloat16 in memory.
+//!
+//! Two encodings are provided:
+//!
+//! * [`Encoding::Canonical`] — canonical signed-digit (CSD, a variation of
+//!   Booth encoding): the minimal-weight representation with no two adjacent
+//!   non-zero digits. This is the paper's default; term sparsity (Fig. 1b)
+//!   is measured under this encoding.
+//! * [`Encoding::RawBits`] — one term per set mantissa bit, used by the
+//!   paper's worked example (Fig. 5) and as an ablation.
+//!
+//! A term is expressed as a *right-shift distance* `t` from the hidden-bit
+//! position: the term's value is `±2^(-t)` relative to the significand's
+//! `1.xxxxxxx` fixed point. Canonical encoding of a normalized 8-bit
+//! significand produces `t ∈ [-1, 7]` (the `-1` arises from patterns like
+//! `1.111111x → +2^1 - ...`).
+
+use std::fmt;
+
+/// One signed power-of-two term of a significand.
+///
+/// The value represented is `sign * 2^(-shift)` where `shift` is the distance
+/// below the hidden-bit (units) position.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Term {
+    /// Right-shift distance from the hidden-bit position; may be `-1`
+    /// (one position *above* the hidden bit).
+    pub shift: i8,
+    /// `true` if the term is subtracted.
+    pub neg: bool,
+}
+
+impl Term {
+    /// Creates a term.
+    pub const fn new(shift: i8, neg: bool) -> Self {
+        Term { shift, neg }
+    }
+
+    /// The term's numeric value relative to a `1.x` significand.
+    pub fn value(self) -> f64 {
+        let mag = 2f64.powi(-(self.shift as i32));
+        if self.neg {
+            -mag
+        } else {
+            mag
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}2^{}", if self.neg { "-" } else { "+" }, -(self.shift as i32))
+    }
+}
+
+/// The maximum number of terms a single encoded significand can produce.
+///
+/// Raw encoding of an 8-bit significand yields at most 8 terms; canonical
+/// encoding yields at most 5 (no two adjacent non-zero digits over 9 digit
+/// positions).
+pub const MAX_TERMS: usize = 8;
+
+/// A fixed-capacity, stack-allocated sequence of terms in MSB-first order
+/// (most-significant term first, i.e. ascending `shift`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Terms {
+    buf: [Term; MAX_TERMS],
+    len: u8,
+}
+
+impl Terms {
+    /// An empty term sequence (the encoding of a zero significand).
+    pub const EMPTY: Terms = Terms {
+        buf: [Term { shift: 0, neg: false }; MAX_TERMS],
+        len: 0,
+    };
+
+    /// Number of terms.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// `true` if there are no terms (zero value).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The terms as a slice, most-significant first.
+    #[inline]
+    pub fn as_slice(&self) -> &[Term] {
+        &self.buf[..self.len as usize]
+    }
+
+    /// Appends a term.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence is full ([`MAX_TERMS`]).
+    #[inline]
+    pub fn push(&mut self, t: Term) {
+        assert!((self.len as usize) < MAX_TERMS, "term sequence overflow");
+        self.buf[self.len as usize] = t;
+        self.len += 1;
+    }
+
+    /// Iterates over the terms, most-significant first.
+    pub fn iter(&self) -> std::slice::Iter<'_, Term> {
+        self.as_slice().iter()
+    }
+
+    /// Reconstructs the numeric value of the encoded significand
+    /// (relative to the `1.x` fixed point, so a normalized input gives a
+    /// value in `[1, 2)`).
+    pub fn value(&self) -> f64 {
+        self.iter().map(|t| t.value()).sum()
+    }
+}
+
+impl<'a> IntoIterator for &'a Terms {
+    type Item = &'a Term;
+    type IntoIter = std::slice::Iter<'a, Term>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl FromIterator<Term> for Terms {
+    fn from_iter<I: IntoIterator<Item = Term>>(iter: I) -> Self {
+        let mut t = Terms::EMPTY;
+        for item in iter {
+            t.push(item);
+        }
+        t
+    }
+}
+
+/// The significand-to-terms encoding scheme.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Encoding {
+    /// Canonical signed-digit (minimal-weight Booth) encoding — the paper's
+    /// default. Example: `1.1110000 → +2^1 − 2^−3` (two terms).
+    #[default]
+    Canonical,
+    /// One term per set bit of the significand, used in the paper's Fig. 5
+    /// walkthrough and as an ablation baseline.
+    RawBits,
+}
+
+/// Encodes an 8-bit significand (hidden bit included, `0` or `[128, 255]`)
+/// into terms, most-significant first.
+///
+/// A zero significand encodes to the empty sequence — this is how FPRaker
+/// skips zero *values* entirely (Section V: "skipping zero terms").
+///
+/// # Example
+///
+/// ```
+/// use fpraker_num::encode::{encode_terms, Encoding};
+///
+/// // 1.1110000 (= 1.875): CSD finds 2 - 2^-3.
+/// let t = encode_terms(0b1111_0000, Encoding::Canonical);
+/// assert_eq!(t.len(), 2);
+/// assert_eq!(t.value(), 1.875);
+/// // Raw bit-serial needs 4 terms.
+/// let r = encode_terms(0b1111_0000, Encoding::RawBits);
+/// assert_eq!(r.len(), 4);
+/// assert_eq!(r.value(), 1.875);
+/// ```
+pub fn encode_terms(significand: u8, encoding: Encoding) -> Terms {
+    match encoding {
+        Encoding::Canonical => encode_csd(significand),
+        Encoding::RawBits => encode_raw(significand),
+    }
+}
+
+/// Raw bit-serial encoding: one positive term per set bit, MSB first.
+pub fn encode_raw(significand: u8) -> Terms {
+    let mut out = Terms::EMPTY;
+    for bit in (0..8).rev() {
+        if significand & (1 << bit) != 0 {
+            out.push(Term::new(7 - bit as i8, false));
+        }
+    }
+    out
+}
+
+/// Canonical signed-digit (non-adjacent form) encoding, MSB first.
+///
+/// Properties (checked by property tests):
+/// * the encoded value equals the input,
+/// * no two adjacent digit positions are both non-zero,
+/// * the number of terms is minimal over all signed-digit representations,
+///   and never exceeds the raw bit count.
+pub fn encode_csd(significand: u8) -> Terms {
+    // Standard NAF construction, LSB first, then reversed into MSB order.
+    let mut m = significand as i32;
+    let mut digits = [0i8; 10];
+    let mut pos = 0usize;
+    while m != 0 {
+        if m & 1 != 0 {
+            // d in {-1, +1} chosen so that (m - d) is divisible by 4,
+            // guaranteeing the next digit is zero.
+            let d = 2 - (m & 3); // m%4 == 1 -> +1; m%4 == 3 -> -1
+            digits[pos] = d as i8;
+            m -= d;
+        }
+        m >>= 1;
+        pos += 1;
+    }
+    let mut out = Terms::EMPTY;
+    for bit in (0..pos).rev() {
+        let d = digits[bit];
+        if d != 0 {
+            // Bit position `bit` corresponds to weight 2^(bit-7) relative to
+            // the 1.x fixed point, i.e. shift = 7 - bit.
+            out.push(Term::new(7 - bit as i8, d < 0));
+        }
+    }
+    out
+}
+
+/// Counts the terms a significand encodes to, without materializing them.
+///
+/// Used by the statistics pipeline when measuring term sparsity (Fig. 1b)
+/// over whole tensors.
+pub fn term_count(significand: u8, encoding: Encoding) -> u32 {
+    match encoding {
+        Encoding::RawBits => significand.count_ones(),
+        Encoding::Canonical => {
+            let mut m = significand as i32;
+            let mut n = 0;
+            while m != 0 {
+                if m & 1 != 0 {
+                    m -= 2 - (m & 3);
+                    n += 1;
+                }
+                m >>= 1;
+            }
+            n
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exhaustive_value_check(encoding: Encoding) {
+        for m in 0u16..=255 {
+            let t = encode_terms(m as u8, encoding);
+            let expect = m as f64 / 128.0;
+            assert!(
+                (t.value() - expect).abs() < 1e-12,
+                "significand {m:#010b} encodes to {:?} = {} (expected {expect})",
+                t.as_slice(),
+                t.value()
+            );
+        }
+    }
+
+    #[test]
+    fn raw_encoding_is_exact_for_all_significands() {
+        exhaustive_value_check(Encoding::RawBits);
+    }
+
+    #[test]
+    fn csd_encoding_is_exact_for_all_significands() {
+        exhaustive_value_check(Encoding::Canonical);
+    }
+
+    #[test]
+    fn csd_is_nonadjacent_and_no_longer_than_raw() {
+        for m in 0u16..=255 {
+            let t = encode_csd(m as u8);
+            let r = encode_raw(m as u8);
+            assert!(t.len() <= r.len(), "CSD longer than raw for {m:#b}");
+            for w in t.as_slice().windows(2) {
+                assert!(
+                    (w[0].shift - w[1].shift).abs() >= 2,
+                    "adjacent digits in CSD of {m:#b}: {:?}",
+                    t.as_slice()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn csd_introduction_example() {
+        // Paper Section IV-A: A = 1.1110000 encodes as two terms. (The paper
+        // prints (+2^+1, −2^−4); correct CSD is (+2^+1, −2^−3) since
+        // 2 − 2^−3 = 1.875 = 1.1110000b. We implement the mathematically
+        // correct encoding.)
+        let t = encode_csd(0b1111_0000);
+        assert_eq!(t.as_slice(), &[Term::new(-1, false), Term::new(3, true)]);
+    }
+
+    #[test]
+    fn fig5_raw_positions() {
+        // Fig. 5 processes A0 = 1.1101 with terms at distances 0, 1, 2, 4.
+        let t = encode_raw(0b1110_1000);
+        let shifts: Vec<i8> = t.iter().map(|t| t.shift).collect();
+        assert_eq!(shifts, vec![0, 1, 2, 4]);
+    }
+
+    #[test]
+    fn zero_encodes_to_empty() {
+        assert!(encode_csd(0).is_empty());
+        assert!(encode_raw(0).is_empty());
+        assert_eq!(term_count(0, Encoding::Canonical), 0);
+    }
+
+    #[test]
+    fn terms_are_msb_first() {
+        for m in 1u16..=255 {
+            for enc in [Encoding::Canonical, Encoding::RawBits] {
+                let t = encode_terms(m as u8, enc);
+                for w in t.as_slice().windows(2) {
+                    assert!(w[0].shift < w[1].shift, "not MSB-first for {m:#b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn term_count_matches_encoding_len() {
+        for m in 0u16..=255 {
+            for enc in [Encoding::Canonical, Encoding::RawBits] {
+                assert_eq!(
+                    term_count(m as u8, enc) as usize,
+                    encode_terms(m as u8, enc).len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn csd_is_minimal_weight() {
+        // Brute-force minimal signed-digit weight over digits -1/0/+1 at
+        // positions 0..=8 for every 8-bit value, compare with CSD length.
+        fn min_weight(target: i32) -> u32 {
+            // BFS over reachable sums with k terms.
+            let mut best = u32::MAX;
+            // There are 3^9 digit vectors; enumerate cheaply.
+            for mask in 0..3i32.pow(9) {
+                let mut v = mask;
+                let mut sum = 0i32;
+                let mut w = 0u32;
+                for p in 0..9 {
+                    let d = v % 3;
+                    v /= 3;
+                    match d {
+                        1 => {
+                            sum += 1 << p;
+                            w += 1;
+                        }
+                        2 => {
+                            sum -= 1 << p;
+                            w += 1;
+                        }
+                        _ => {}
+                    }
+                }
+                if sum == target && w < best {
+                    best = w;
+                }
+            }
+            best
+        }
+        for m in [0u8, 1, 85, 170, 255, 0b1111_0000, 0b1011_0111, 127] {
+            assert_eq!(
+                encode_csd(m).len() as u32,
+                min_weight(m as i32),
+                "CSD not minimal for {m:#b}"
+            );
+        }
+    }
+
+    #[test]
+    fn terms_from_iterator_round_trips() {
+        let t = encode_csd(0b1010_1010);
+        let u: Terms = t.iter().copied().collect();
+        assert_eq!(t, u);
+    }
+
+    #[test]
+    #[should_panic(expected = "term sequence overflow")]
+    fn push_overflow_panics() {
+        let mut t = Terms::EMPTY;
+        for i in 0..=MAX_TERMS {
+            t.push(Term::new(i as i8, false));
+        }
+    }
+
+    #[test]
+    fn display_formats_sign_and_power() {
+        assert_eq!(Term::new(3, true).to_string(), "-2^-3");
+        assert_eq!(Term::new(-1, false).to_string(), "+2^1");
+    }
+}

@@ -1,0 +1,41 @@
+//! Numerics substrate for the FPRaker reproduction.
+//!
+//! This crate provides the floating-point machinery that both the FPRaker
+//! processing element ([`fpraker-core`]) and the bit-parallel baseline build
+//! on:
+//!
+//! * [`Bf16`] — a software bfloat16 (1 sign, 8 exponent, 7 fraction bits,
+//!   no denormal support, round-to-nearest-even), the storage format used by
+//!   the accelerator in the paper (Section IV-A).
+//! * [`encode`] — conversion of a normalized significand into a series of
+//!   signed powers of two ("terms"), either canonical signed-digit (Booth
+//!   style, the paper's default) or raw bit positions.
+//! * [`Accumulator`] — the extended-precision accumulator register of the PE:
+//!   4 integer + 12 fractional bits, round-to-nearest-even on every shift,
+//!   out-of-bounds detection for term skipping.
+//! * [`ChunkedAccumulator`] — chunk-based accumulation (Sakr et al., chunk
+//!   size 64) used by both FPRaker and the baseline MAC unit.
+//! * [`reference`] — exact `f64` reference arithmetic used by tests and the
+//!   simulator's golden-value checking.
+//!
+//! # Example
+//!
+//! ```
+//! use fpraker_num::{Bf16, encode::{encode_terms, Encoding}};
+//!
+//! let a = Bf16::from_f32(1.875); // significand 1.1110000
+//! let terms = encode_terms(a.significand(), Encoding::Canonical);
+//! // 1.875 = 2 - 0.125: two terms instead of four bits.
+//! assert_eq!(terms.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accum;
+mod bf16;
+pub mod encode;
+pub mod reference;
+
+pub use accum::{round_shift_rne, AccumConfig, Accumulator, ChunkedAccumulator};
+pub use bf16::{Bf16, EXP_BIAS, FRAC_BITS};

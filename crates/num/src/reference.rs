@@ -1,0 +1,175 @@
+//! Exact reference arithmetic used for golden-value checking and test
+//! error bounds.
+//!
+//! The paper's simulator "models value transfers and computation in time
+//! faithfully and checks the produced values for correctness against the
+//! golden values" (Section V-A). Our golden values come from `f64`
+//! arithmetic — exact for any realistic dot-product length of bfloat16
+//! inputs (8-bit significands leave 45 bits of slack in an `f64`).
+
+use crate::bf16::Bf16;
+
+/// Exact dot product of two bfloat16 slices in `f64`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot_f64(a: &[Bf16], b: &[Bf16]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| x.to_f64() * y.to_f64())
+        .sum()
+}
+
+/// The dot product rounded once to bfloat16 — the "infinitely precise then
+/// round" ideal a finite accumulator approximates.
+pub fn dot_bf16(a: &[Bf16], b: &[Bf16]) -> Bf16 {
+    Bf16::from_f32(dot_f64(a, b) as f32)
+}
+
+/// The sum of magnitudes `Σ |a_i * b_i|` — the scale at which a finite
+/// accumulator rounds. Error bounds for cancellation-prone dot products
+/// must be taken at this scale, not at the (possibly tiny) exact result's.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot_magnitude_f64(a: &[Bf16], b: &[Bf16]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x.to_f64() * y.to_f64()).abs())
+        .sum()
+}
+
+/// Absolute error between `measured` and `exact` in units of the bfloat16
+/// ULP at the *magnitude* scale `mag` (see [`dot_magnitude_f64`]).
+pub fn error_mag_ulps(measured: f64, exact: f64, mag: f64) -> f64 {
+    (measured - exact).abs() / ulp_bf16(mag)
+}
+
+/// The magnitude of one bfloat16 unit-in-the-last-place at the scale of
+/// `x` (for a zero `x`, the smallest positive normal's ULP is returned).
+pub fn ulp_bf16(x: f64) -> f64 {
+    if x == 0.0 {
+        return 2f64.powi(-126 - 7);
+    }
+    let e = x.abs().log2().floor() as i32;
+    2f64.powi(e - 7)
+}
+
+/// Absolute error between `measured` and `exact`, in units of the bfloat16
+/// ULP at the exact value's scale. Tests use this to bound accumulator
+/// error independent of magnitude.
+pub fn error_ulps(measured: f64, exact: f64) -> f64 {
+    (measured - exact).abs() / ulp_bf16(exact)
+}
+
+/// A reproducible xorshift64* pseudo-random generator for tests and
+/// deterministic workload generation where pulling in `rand` is not
+/// warranted (e.g. doctests and the trace codec's fuzz seeds).
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 {
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * 2f64.powi(-53)
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.next_f64() as f32
+    }
+
+    /// Approximately standard-normal `f32` (sum of uniforms).
+    pub fn normal(&mut self) -> f32 {
+        let mut s = 0.0f64;
+        for _ in 0..12 {
+            s += self.next_f64();
+        }
+        (s - 6.0) as f32
+    }
+
+    /// A random finite bfloat16 with exponent confined to `[-eexp, eexp]`,
+    /// convenient for arithmetic property tests.
+    pub fn bf16_in_range(&mut self, eexp: i32) -> Bf16 {
+        let sign = self.next_u64() & 1 == 1;
+        let exp = (self.next_u64() % (2 * eexp as u64 + 1)) as i32 - eexp;
+        let sig = 0x80 | (self.next_u64() & 0x7F) as u8;
+        Bf16::from_parts(sign, exp, sig)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_of_ones() {
+        let a = vec![Bf16::ONE; 16];
+        let b = vec![Bf16::ONE; 16];
+        assert_eq!(dot_f64(&a, &b), 16.0);
+        assert_eq!(dot_bf16(&a, &b), Bf16::from_f32(16.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        let _ = dot_f64(&[Bf16::ONE], &[]);
+    }
+
+    #[test]
+    fn ulp_scales_with_exponent() {
+        assert_eq!(ulp_bf16(1.0), 2f64.powi(-7));
+        assert_eq!(ulp_bf16(2.0), 2f64.powi(-6));
+        assert_eq!(ulp_bf16(-4.0), 2f64.powi(-5));
+        assert!(ulp_bf16(0.0) > 0.0);
+    }
+
+    #[test]
+    fn error_ulps_is_zero_for_exact() {
+        assert_eq!(error_ulps(3.0, 3.0), 0.0);
+        assert_eq!(error_ulps(1.0 + 2f64.powi(-7), 1.0), 1.0);
+    }
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let f = a.next_f64();
+        assert!((0.0..1.0).contains(&f));
+    }
+
+    #[test]
+    fn bf16_in_range_respects_bounds() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..100 {
+            let x = rng.bf16_in_range(4);
+            assert!(!x.is_zero());
+            assert!((-4..=4).contains(&x.exponent()));
+        }
+    }
+}

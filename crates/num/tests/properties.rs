@@ -1,0 +1,92 @@
+//! Property-based tests of the numerics substrate.
+
+use fpraker_num::encode::{encode_csd, encode_raw, encode_terms, Encoding};
+use fpraker_num::reference::{dot_f64, dot_magnitude_f64, error_mag_ulps};
+use fpraker_num::{round_shift_rne, AccumConfig, Accumulator, Bf16, ChunkedAccumulator};
+use proptest::prelude::*;
+
+fn arb_bf16() -> impl Strategy<Value = Bf16> {
+    // Finite normal values with moderate exponents plus zero.
+    prop_oneof![
+        1 => Just(Bf16::ZERO),
+        8 => (any::<bool>(), -20i32..20, 0u8..128).prop_map(|(s, e, f)| {
+            Bf16::from_parts(s, e, 0x80 | f)
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn bf16_f32_round_trip_is_idempotent(bits in 0u16..0x7F80) {
+        let x = Bf16::from_bits(bits);
+        if x.is_finite() {
+            let y = Bf16::from_f32(x.to_f32());
+            // Denormal patterns flush to zero; all others round-trip.
+            if x.is_zero() || x.biased_exponent() > 0 {
+                prop_assert_eq!(if x.biased_exponent() == 0 { Bf16::ZERO } else { x }, y);
+            }
+        }
+    }
+
+    #[test]
+    fn rne_shift_is_within_half_ulp(v in -(1i64 << 40)..(1i64 << 40), sh in 0u32..20) {
+        let r = round_shift_rne(v, sh);
+        let exact = v as f64 / 2f64.powi(sh as i32);
+        prop_assert!((r as f64 - exact).abs() <= 0.5);
+    }
+
+    #[test]
+    fn csd_and_raw_encode_the_same_value(m in 0u8..=255) {
+        let c = encode_csd(m);
+        let r = encode_raw(m);
+        prop_assert!((c.value() - r.value()).abs() < 1e-12);
+        prop_assert!(c.len() <= r.len());
+    }
+
+    #[test]
+    fn csd_is_nonadjacent(m in 0u8..=255) {
+        let c = encode_csd(m);
+        for w in c.as_slice().windows(2) {
+            prop_assert!((w[0].shift - w[1].shift).abs() >= 2);
+        }
+    }
+
+    #[test]
+    fn single_value_accumulates_exactly(x in arb_bf16()) {
+        prop_assume!(!x.is_zero());
+        let mut acc = Accumulator::new(AccumConfig::paper());
+        acc.add_scaled(x.sign(), x.significand() as u64, x.exponent() - 7);
+        acc.normalize();
+        prop_assert_eq!(acc.read_bf16(), x);
+    }
+
+    #[test]
+    fn chunked_accumulation_is_within_one_magnitude_ulp(
+        values in prop::collection::vec((arb_bf16(), arb_bf16()), 1..64)
+    ) {
+        let (a, b): (Vec<Bf16>, Vec<Bf16>) = values.into_iter().unzip();
+        let mut acc = ChunkedAccumulator::paper();
+        for (&x, &y) in a.iter().zip(&b) {
+            if x.is_zero() || y.is_zero() { continue; }
+            let sig = x.significand() as u64 * y.significand() as u64;
+            acc.inner_mut().begin_set(x.exponent() + y.exponent());
+            acc.inner_mut().add_scaled(x.sign() ^ y.sign(), sig, x.exponent() + y.exponent() - 14);
+            acc.inner_mut().normalize();
+            acc.count_macs(1);
+        }
+        let out = acc.finish();
+        let exact = dot_f64(&a, &b);
+        let mag = dot_magnitude_f64(&a, &b);
+        if mag > 0.0 {
+            prop_assert!(error_mag_ulps(out.to_f64(), exact, mag) <= 1.0);
+        }
+    }
+
+    #[test]
+    fn term_count_never_exceeds_popcount_budget(m in 0u8..=255, raw in any::<bool>()) {
+        let enc = if raw { Encoding::RawBits } else { Encoding::Canonical };
+        let t = encode_terms(m, enc);
+        prop_assert!(t.len() <= 8);
+        prop_assert!((t.value() - m as f64 / 128.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,135 @@
+//! Accelerator configurations (Table II).
+
+use fpraker_core::TileConfig;
+use fpraker_energy::area::iso_area_fpraker_tiles;
+use fpraker_mem::DramModel;
+
+/// Which operand is processed term-serially (Section IV: "FPRaker allows
+/// us to choose which tensor input we wish to process serially per layer").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SerialPolicy {
+    /// Always stream the trace's A operand serially.
+    #[default]
+    AlwaysA,
+    /// Always stream the trace's B operand serially (swapped).
+    AlwaysB,
+    /// Per op, stream whichever operand has higher term sparsity.
+    Sparser,
+}
+
+/// Full accelerator configuration.
+#[derive(Clone, Debug)]
+pub struct AcceleratorConfig {
+    /// Number of tiles (iso-compute-area: 36 FPRaker vs 8 baseline).
+    pub tiles: usize,
+    /// Per-tile configuration.
+    pub tile: TileConfig,
+    /// Exponent base-delta compression of off-chip traffic (Section IV-D).
+    pub bdc_offchip: bool,
+    /// Serial-operand selection policy.
+    pub serial_policy: SerialPolicy,
+    /// Off-chip bandwidth model.
+    pub dram: DramModel,
+    /// Verify every output against the exact `f64` reference (the paper's
+    /// golden-value checking). Slows simulation; enabled in tests.
+    pub check_golden: bool,
+    /// Per-layer out-of-bounds-threshold overrides (layer name → θ), the
+    /// per-layer accumulator-width mechanism of Fig. 21.
+    pub theta_overrides: Vec<(String, i32)>,
+}
+
+impl AcceleratorConfig {
+    /// The paper's FPRaker configuration: 36 tiles of 8×8 PEs (Table II).
+    pub fn fpraker_paper() -> Self {
+        AcceleratorConfig {
+            tiles: iso_area_fpraker_tiles(8),
+            tile: TileConfig::paper(),
+            bdc_offchip: true,
+            serial_policy: SerialPolicy::Sparser,
+            dram: DramModel::paper(),
+            check_golden: false,
+            theta_overrides: Vec::new(),
+        }
+    }
+
+    /// The bfloat16 Bit-Pragmatic point of comparison from the paper's
+    /// introduction: term-serial like FPRaker but with full-width shifters
+    /// (no Δ window), no out-of-bounds skipping and no exponent-block
+    /// sharing. Its PE is only 2.5× smaller than the bit-parallel PE
+    /// (Section I), so iso-compute-area affords just 20 tiles — "we cannot
+    /// fit enough of them to boost performance via parallelism".
+    pub fn pragmatic_paper() -> Self {
+        let mut tile = TileConfig::paper();
+        tile.pe.max_shift_window = 15; // full-range shifters
+        tile.pe.ob_skip = false;
+        tile.share_exponent_block = false; // per-PE exponent hardware
+        AcceleratorConfig {
+            tiles: 20, // 8 baseline tiles × 2.5 area ratio
+            tile,
+            bdc_offchip: false,
+            serial_policy: SerialPolicy::AlwaysA,
+            dram: DramModel::paper(),
+            check_golden: false,
+            theta_overrides: Vec::new(),
+        }
+    }
+
+    /// The paper's baseline: 8 tiles of 8×8 bit-parallel PEs, 4096
+    /// bfloat16 MACs/cycle (Table II), no compression.
+    pub fn baseline_paper() -> Self {
+        AcceleratorConfig {
+            tiles: 8,
+            tile: TileConfig::paper(),
+            bdc_offchip: false,
+            serial_policy: SerialPolicy::AlwaysA,
+            dram: DramModel::paper(),
+            check_golden: false,
+            theta_overrides: Vec::new(),
+        }
+    }
+
+    /// Looks up a per-layer θ override.
+    pub fn theta_for(&self, layer: &str) -> Option<i32> {
+        self.theta_overrides
+            .iter()
+            .find(|(l, _)| l == layer)
+            .map(|(_, t)| *t)
+    }
+
+    /// Peak MACs per cycle of this configuration.
+    pub fn peak_macs_per_cycle(&self) -> u64 {
+        (self.tiles * self.tile.lanes_total()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs_match_table_ii() {
+        let fp = AcceleratorConfig::fpraker_paper();
+        assert_eq!(fp.tiles, 36);
+        assert_eq!(fp.tile.num_pes(), 64);
+        let bl = AcceleratorConfig::baseline_paper();
+        assert_eq!(bl.tiles, 8);
+        assert_eq!(bl.peak_macs_per_cycle(), 4096);
+    }
+
+    #[test]
+    fn pragmatic_config_matches_the_introduction() {
+        let pr = AcceleratorConfig::pragmatic_paper();
+        assert_eq!(pr.tiles, 20);
+        assert!(!pr.tile.pe.ob_skip);
+        assert!(!pr.tile.share_exponent_block);
+        assert!(pr.tile.pe.max_shift_window >= 12);
+    }
+
+    #[test]
+    fn theta_lookup() {
+        let mut cfg = AcceleratorConfig::fpraker_paper();
+        cfg.theta_overrides.push(("conv1".into(), 6));
+        assert_eq!(cfg.theta_for("conv1"), Some(6));
+        assert_eq!(cfg.theta_for("conv2"), None);
+    }
+}

@@ -1,0 +1,38 @@
+//! The accelerator-level simulator of the FPRaker reproduction.
+//!
+//! Mirrors the paper's custom cycle-accurate simulator (Section V-A):
+//! GEMM traces stream through the cycle-faithful tile model of
+//! [`fpraker-core`], tiled over the accelerator's tiles under the
+//! iso-compute-area configurations of Table II (36 FPRaker tiles vs 8
+//! bit-parallel tiles, 4096 bfloat16 MACs/cycle each way); produced values
+//! are optionally checked against exact golden references, off-chip
+//! traffic is modelled with optional exponent base-delta compression, and
+//! event counts feed the Table III-calibrated energy model.
+//!
+//! # Example
+//!
+//! ```
+//! use fpraker_sim::{simulate_trace_fpraker, simulate_trace_baseline, speedup, AcceleratorConfig};
+//! use fpraker_trace::Trace;
+//!
+//! let trace = Trace::new("empty", 0);
+//! let fp = simulate_trace_fpraker(&trace, &AcceleratorConfig::fpraker_paper());
+//! let bl = simulate_trace_baseline(&trace, &AcceleratorConfig::baseline_paper());
+//! assert_eq!(fp.cycles(), 0);
+//! assert_eq!(bl.cycles(), 0);
+//! assert!(speedup(&fp, &bl).is_finite());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod op;
+mod run;
+
+pub use config::{AcceleratorConfig, SerialPolicy};
+pub use op::{pe_dot_with_reference, simulate_op_baseline, simulate_op_fpraker, OpOutcome};
+pub use run::{
+    energy_efficiency, simulate_trace_baseline, simulate_trace_fpraker, speedup, Machine,
+    RunResult,
+};

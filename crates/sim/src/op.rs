@@ -1,0 +1,408 @@
+//! Simulation of a single GEMM (one `TraceOp`) on the accelerator.
+//!
+//! The GEMM is tiled into 8×8 output blocks (the tile's vector-matrix
+//! shape); blocks are distributed round-robin over the accelerator's tiles;
+//! per-block cycle counts come from the cycle-faithful tile model
+//! ([`fpraker_core::Tile`]). Off-chip traffic (optionally BDC-compressed)
+//! is overlapped with compute double-buffered: the op's latency is
+//! `max(compute, memory)`.
+
+use fpraker_core::{ExecStats, Pe, Tile, TileConfig};
+use fpraker_energy::EventCounts;
+use fpraker_mem::{bdc, Traffic};
+use fpraker_num::encode::Encoding;
+use fpraker_num::reference::{dot_f64, dot_magnitude_f64, ulp_bf16};
+use fpraker_num::{AccumConfig, Bf16};
+use fpraker_trace::{Phase, TraceOp};
+
+use crate::config::{AcceleratorConfig, SerialPolicy};
+
+/// The simulated outcome of one GEMM.
+#[derive(Clone, Debug, Default)]
+pub struct OpOutcome {
+    /// Layer the op came from.
+    pub layer: String,
+    /// Training phase.
+    pub phase: Option<Phase>,
+    /// MAC count (excluding padding).
+    pub macs: u64,
+    /// Compute cycles (slowest tile).
+    pub compute_cycles: u64,
+    /// Off-chip transfer cycles.
+    pub mem_cycles: u64,
+    /// Op latency: `max(compute, memory)`.
+    pub cycles: u64,
+    /// Tile statistics (zeroed for the analytic baseline).
+    pub stats: ExecStats,
+    /// Off-chip traffic.
+    pub traffic: Traffic,
+    /// On-chip (global buffer) bytes moved.
+    pub sram_bytes: u64,
+    /// Event counts for the energy model.
+    pub counts: EventCounts,
+    /// Outputs that failed the golden check (0 when checking is off).
+    pub golden_failures: u64,
+}
+
+fn padded_sets(k: usize, lanes: usize) -> usize {
+    k.div_ceil(lanes)
+}
+
+/// Builds the padded operand stream for logical row `row` of an `rows×k`
+/// operand (all-zero beyond the edge).
+fn stream_for(data: &[Bf16], rows: usize, k: usize, row: usize, k_padded: usize) -> Vec<Bf16> {
+    let mut out = vec![Bf16::ZERO; k_padded];
+    if row < rows {
+        out[..k].copy_from_slice(&data[row * k..(row + 1) * k]);
+    }
+    out
+}
+
+fn offchip_bytes(values: &[Bf16], bdc_enabled: bool, dup: f32) -> u64 {
+    let raw = if bdc_enabled {
+        bdc::footprint(values).total_bytes() as u64
+    } else {
+        (values.len() * 2) as u64
+    };
+    // Streams duplicate source-tensor values (im2col); the hardware reads
+    // the source once and expands on chip.
+    (raw as f64 / dup.max(1.0) as f64).ceil() as u64
+}
+
+/// Simulates one GEMM on the FPRaker accelerator.
+pub fn simulate_op_fpraker(op: &TraceOp, cfg: &AcceleratorConfig) -> OpOutcome {
+    let swapped;
+    let op = match cfg.serial_policy {
+        SerialPolicy::AlwaysA => op,
+        SerialPolicy::AlwaysB => {
+            swapped = op.swapped();
+            &swapped
+        }
+        SerialPolicy::Sparser => {
+            if fpraker_trace::stats::preferred_serial_is_a(op, Encoding::Canonical) {
+                op
+            } else {
+                swapped = op.swapped();
+                &swapped
+            }
+        }
+    };
+
+    let mut tile_cfg = cfg.tile;
+    if let Some(theta) = cfg.theta_for(&op.layer) {
+        tile_cfg.pe.accum = AccumConfig {
+            ob_threshold: theta,
+            ..tile_cfg.pe.accum
+        };
+    }
+    let (rows, cols, lanes) = (tile_cfg.rows, tile_cfg.cols, tile_cfg.pe.lanes);
+    let ksets = padded_sets(op.k, lanes);
+    let k_padded = ksets * lanes;
+    let blocks_m = op.m.div_ceil(cols);
+    let blocks_n = op.n.div_ceil(rows);
+
+    let mut tile = Tile::new(tile_cfg);
+    let mut tile_cycles = vec![0u64; cfg.tiles];
+    let mut stats = ExecStats::default();
+    let mut golden_failures = 0u64;
+    let mut next_tile = 0usize;
+
+    for bi in 0..blocks_m {
+        for bj in 0..blocks_n {
+            let a_streams: Vec<Vec<Bf16>> = (0..cols)
+                .map(|c| stream_for(&op.a, op.m, op.k, bi * cols + c, k_padded))
+                .collect();
+            let b_streams: Vec<Vec<Bf16>> = (0..rows)
+                .map(|r| stream_for(&op.b, op.n, op.k, bj * rows + r, k_padded))
+                .collect();
+            let out = tile.run_block(&a_streams, &b_streams);
+            tile_cycles[next_tile] += out.cycles;
+            next_tile = (next_tile + 1) % cfg.tiles;
+            stats += out.stats;
+            if cfg.check_golden {
+                for r in 0..rows {
+                    for c in 0..cols {
+                        let exact = dot_f64(&a_streams[c], &b_streams[r]);
+                        let mag = dot_magnitude_f64(&a_streams[c], &b_streams[r]);
+                        let got = out.output(r, c, cols).to_f64();
+                        if (got - exact).abs() > 2.0 * ulp_bf16(mag.max(1e-30)) {
+                            golden_failures += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let compute_cycles = tile_cycles.iter().copied().max().unwrap_or(0);
+    let out_raw = ((op.m * op.n) as f64 * 2.0 / op.out_dup.max(1.0) as f64).ceil() as u64;
+    let traffic = Traffic {
+        a_bytes: offchip_bytes(&op.a, cfg.bdc_offchip, op.a_dup),
+        b_bytes: offchip_bytes(&op.b, cfg.bdc_offchip, op.b_dup),
+        out_bytes: if cfg.bdc_offchip {
+            // Outputs are compressed before writing off-chip; approximate
+            // with the average input compression ratio.
+            let in_ratio = (offchip_bytes(&op.a, true, op.a_dup)
+                + offchip_bytes(&op.b, true, op.b_dup)) as f64
+                / (offchip_bytes(&op.a, false, op.a_dup)
+                    + offchip_bytes(&op.b, false, op.b_dup)) as f64;
+            (out_raw as f64 * in_ratio) as u64
+        } else {
+            out_raw
+        },
+    };
+    let mem_cycles = cfg.dram.cycles_for(traffic.total());
+    let blocks = (blocks_m * blocks_n) as u64;
+    let sram_bytes =
+        blocks * ((cols + rows) * k_padded * 2) as u64 + (op.m * op.n * 2) as u64;
+
+    let lane_total = stats.lane_cycles;
+    let pe_active =
+        (lane_total.useful + lane_total.no_term + lane_total.shift_range) / lanes as u64;
+    let pe_stall = (lane_total.inter_pe + lane_total.exponent) / lanes as u64;
+    let counts = EventCounts {
+        terms: stats.terms.processed,
+        pe_active_cycles: pe_active,
+        pe_stall_cycles: pe_stall,
+        sets: stats.sets,
+        a_values_encoded: stats.sets / rows as u64 * lanes as u64,
+        baseline_pe_cycles: 0,
+        sram_bytes,
+        dram_bytes: traffic.total(),
+    };
+
+    OpOutcome {
+        layer: op.layer.clone(),
+        phase: Some(op.phase),
+        macs: op.macs(),
+        compute_cycles,
+        mem_cycles,
+        cycles: compute_cycles.max(mem_cycles),
+        stats,
+        traffic,
+        sram_bytes,
+        counts,
+        golden_failures,
+    }
+}
+
+/// Simulates one GEMM on the bit-parallel baseline accelerator
+/// (analytically: the baseline never stalls — every 8×8 output block takes
+/// `ceil(k/8)` cycles).
+pub fn simulate_op_baseline(op: &TraceOp, cfg: &AcceleratorConfig) -> OpOutcome {
+    let (rows, cols, lanes) = (cfg.tile.rows, cfg.tile.cols, cfg.tile.pe.lanes);
+    let ksets = padded_sets(op.k, lanes) as u64;
+    let blocks = (op.m.div_ceil(cols) * op.n.div_ceil(rows)) as u64;
+    // Round-robin block assignment: the slowest tile gets ceil(blocks/T).
+    let blocks_max = blocks.div_ceil(cfg.tiles as u64);
+    let compute_cycles = blocks_max * ksets;
+
+    let traffic = Traffic {
+        a_bytes: offchip_bytes(&op.a, false, op.a_dup),
+        b_bytes: offchip_bytes(&op.b, false, op.b_dup),
+        out_bytes: ((op.m * op.n) as f64 * 2.0 / op.out_dup.max(1.0) as f64).ceil() as u64,
+    };
+    let mem_cycles = cfg.dram.cycles_for(traffic.total());
+    let k_padded = ksets as usize * lanes;
+    let sram_bytes =
+        blocks * ((cols + rows) * k_padded * 2) as u64 + (op.m * op.n * 2) as u64;
+    let counts = EventCounts {
+        baseline_pe_cycles: blocks * ksets * (rows * cols) as u64,
+        sram_bytes,
+        dram_bytes: traffic.total(),
+        ..EventCounts::default()
+    };
+
+    OpOutcome {
+        layer: op.layer.clone(),
+        phase: Some(op.phase),
+        macs: op.macs(),
+        compute_cycles,
+        mem_cycles,
+        cycles: compute_cycles.max(mem_cycles),
+        stats: ExecStats::default(),
+        traffic,
+        sram_bytes,
+        counts,
+        golden_failures: 0,
+    }
+}
+
+/// Convenience: runs a single dot product through a lone PE and the f64
+/// reference, returning `(pe result, reference, cycles)` — used by examples
+/// and docs.
+pub fn pe_dot_with_reference(a: &[Bf16], b: &[Bf16], tile: &TileConfig) -> (Bf16, f64, u64) {
+    let mut pe = Pe::new(tile.pe);
+    let (out, cycles) = pe.dot(a, b);
+    (out, dot_f64(a, b), cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpraker_num::reference::SplitMix64;
+    use fpraker_trace::TensorKind;
+
+    fn random_op(m: usize, n: usize, k: usize, spread: i32, seed: u64) -> TraceOp {
+        let mut rng = SplitMix64::new(seed);
+        TraceOp {
+            layer: "test".into(),
+            phase: Phase::AxW,
+            m,
+            n,
+            k,
+            a: (0..m * k).map(|_| rng.bf16_in_range(spread)).collect(),
+            b: (0..n * k).map(|_| rng.bf16_in_range(spread)).collect(),
+            a_kind: TensorKind::Activation,
+            b_kind: TensorKind::Weight,
+            a_dup: 1.0,
+            b_dup: 1.0,
+            out_dup: 1.0,
+        }
+    }
+
+    fn small_cfg(tiles: usize) -> AcceleratorConfig {
+        AcceleratorConfig {
+            tiles,
+            check_golden: true,
+            ..AcceleratorConfig::fpraker_paper()
+        }
+    }
+
+    #[test]
+    fn golden_check_passes_on_random_gemm() {
+        let op = random_op(20, 12, 24, 3, 1);
+        let out = simulate_op_fpraker(&op, &small_cfg(2));
+        assert_eq!(out.golden_failures, 0);
+        assert_eq!(out.macs, 20 * 12 * 24);
+        assert!(out.compute_cycles > 0);
+    }
+
+    #[test]
+    fn baseline_cycles_match_formula() {
+        let op = random_op(16, 16, 32, 2, 2);
+        let cfg = AcceleratorConfig {
+            tiles: 1,
+            ..AcceleratorConfig::baseline_paper()
+        };
+        let out = simulate_op_baseline(&op, &cfg);
+        // 2x2 blocks of 8x8 outputs, 4 k-sets each, 1 tile: 16 cycles.
+        assert_eq!(out.compute_cycles, 16);
+        // With 8 tiles the 4 blocks round-robin: 4 cycles.
+        let out8 = simulate_op_baseline(&op, &AcceleratorConfig::baseline_paper());
+        assert_eq!(out8.compute_cycles, 4);
+    }
+
+    #[test]
+    fn more_tiles_never_slower() {
+        let op = random_op(64, 16, 16, 4, 3);
+        let c1 = simulate_op_fpraker(&op, &small_cfg(4)).compute_cycles;
+        let c2 = simulate_op_fpraker(&op, &small_cfg(8)).compute_cycles;
+        assert!(c2 <= c1, "{c2} > {c1}");
+    }
+
+    #[test]
+    fn power_of_two_values_run_faster_than_dense_mantissas() {
+        // Single-term significands stream in fewer cycles than full ones.
+        let mut sparse = random_op(16, 16, 16, 2, 4);
+        for v in &mut sparse.a {
+            *v = Bf16::from_parts(v.sign(), v.exponent(), 0x80); // 1.0000000
+        }
+        let mut dense = sparse.clone();
+        for v in &mut dense.a {
+            *v = Bf16::from_parts(v.sign(), v.exponent(), 0xD5); // 1.1010101
+        }
+        let cfg = AcceleratorConfig {
+            serial_policy: SerialPolicy::AlwaysA,
+            ..small_cfg(1)
+        };
+        let cs = simulate_op_fpraker(&sparse, &cfg).compute_cycles;
+        let cd = simulate_op_fpraker(&dense, &cfg).compute_cycles;
+        assert!(cs < cd, "sparse {cs} vs dense {cd}");
+    }
+
+    #[test]
+    fn bdc_reduces_offchip_traffic_on_correlated_exponents() {
+        let mut op = random_op(32, 32, 32, 0, 5); // all exponents equal
+        for v in op.a.iter_mut().chain(op.b.iter_mut()) {
+            *v = Bf16::from_parts(v.sign(), 0, v.significand());
+        }
+        let with = simulate_op_fpraker(&op, &small_cfg(1));
+        let without = simulate_op_fpraker(
+            &op,
+            &AcceleratorConfig {
+                bdc_offchip: false,
+                ..small_cfg(1)
+            },
+        );
+        assert!(
+            with.traffic.total() < without.traffic.total() * 3 / 4,
+            "{} vs {}",
+            with.traffic.total(),
+            without.traffic.total()
+        );
+        // Compression never changes compute cycles.
+        assert_eq!(with.compute_cycles, without.compute_cycles);
+    }
+
+    #[test]
+    fn serial_policy_sparser_picks_the_better_side() {
+        let mut op = random_op(16, 16, 16, 2, 6);
+        // Make B single-term, A dense: Sparser should match AlwaysB.
+        for v in &mut op.b {
+            *v = Bf16::from_parts(v.sign(), v.exponent(), 0x80);
+        }
+        for v in &mut op.a {
+            *v = Bf16::from_parts(v.sign(), v.exponent(), 0xFF);
+        }
+        let base = small_cfg(1);
+        let auto = simulate_op_fpraker(
+            &op,
+            &AcceleratorConfig {
+                serial_policy: SerialPolicy::Sparser,
+                ..base.clone()
+            },
+        );
+        let forced_b = simulate_op_fpraker(
+            &op,
+            &AcceleratorConfig {
+                serial_policy: SerialPolicy::AlwaysB,
+                ..base.clone()
+            },
+        );
+        let forced_a = simulate_op_fpraker(
+            &op,
+            &AcceleratorConfig {
+                serial_policy: SerialPolicy::AlwaysA,
+                ..base
+            },
+        );
+        assert_eq!(auto.compute_cycles, forced_b.compute_cycles);
+        assert!(auto.compute_cycles < forced_a.compute_cycles);
+    }
+
+    #[test]
+    fn narrower_theta_never_slower() {
+        let op = random_op(16, 16, 32, 6, 7);
+        let mut narrow = small_cfg(1);
+        narrow.theta_overrides.push(("test".into(), 4));
+        narrow.check_golden = false;
+        let mut wide = small_cfg(1);
+        wide.check_golden = false;
+        let cn = simulate_op_fpraker(&op, &narrow).compute_cycles;
+        let cw = simulate_op_fpraker(&op, &wide).compute_cycles;
+        assert!(cn <= cw, "narrow θ slower: {cn} > {cw}");
+    }
+
+    #[test]
+    fn event_counts_are_consistent() {
+        let op = random_op(8, 8, 16, 3, 8);
+        let out = simulate_op_fpraker(&op, &small_cfg(1));
+        assert_eq!(out.counts.terms, out.stats.terms.processed);
+        assert!(out.counts.pe_active_cycles > 0);
+        assert_eq!(out.counts.dram_bytes, out.traffic.total());
+        // Two k-sets per PE over one block: 64 PEs * 2 sets.
+        assert_eq!(out.stats.sets, 128);
+        assert_eq!(out.counts.a_values_encoded, 128 / 8 * 8);
+    }
+}

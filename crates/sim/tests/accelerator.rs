@@ -1,0 +1,153 @@
+//! Accelerator-level integration tests: configuration sweeps and the
+//! Section I three-machine comparison.
+
+use fpraker_num::reference::SplitMix64;
+use fpraker_num::Bf16;
+use fpraker_sim::{
+    simulate_trace_baseline, simulate_trace_fpraker, AcceleratorConfig, SerialPolicy,
+};
+use fpraker_trace::{Phase, TensorKind, Trace, TraceOp};
+
+/// A quantized-looking trace (short mantissas, bursty zeros, narrow
+/// exponents) big enough to occupy every tile.
+fn quantized_trace() -> Trace {
+    let mut rng = SplitMix64::new(0x51AB);
+    let mut tr = Trace::new("quantized", 50);
+    for phase in [Phase::AxW, Phase::GxW, Phase::AxG] {
+        let (m, n, k) = (128, 64, 64);
+        let gen = |rng: &mut SplitMix64, count: usize| -> Vec<Bf16> {
+            let mut out = Vec::with_capacity(count);
+            let mut burst = 0u32;
+            for _ in 0..count {
+                if burst > 0 {
+                    burst -= 1;
+                    out.push(Bf16::ZERO);
+                    continue;
+                }
+                if rng.next_f64() < 0.18 {
+                    burst = 5; // bursty zeros, like post-ReLU feature maps
+                    out.push(Bf16::ZERO);
+                } else {
+                    let v = rng.bf16_in_range(2);
+                    // 3-bit mantissa, as PACT training produces.
+                    out.push(Bf16::from_parts(v.sign(), v.exponent(), v.significand() & 0xE0));
+                }
+            }
+            out
+        };
+        tr.ops.push(TraceOp {
+            layer: format!("{phase}"),
+            phase,
+            m,
+            n,
+            k,
+            a: gen(&mut rng, m * k),
+            b: gen(&mut rng, n * k),
+            a_kind: TensorKind::Activation,
+            b_kind: TensorKind::Weight,
+            a_dup: 1.0,
+            b_dup: 1.0,
+            out_dup: 1.0,
+        });
+    }
+    tr
+}
+
+#[test]
+fn three_machine_ordering_matches_section_i() {
+    // FPRaker (36 tiles) must out-compute the baseline (8 tiles), and the
+    // bfloat16 Bit-Pragmatic design (20 tiles, full shifters, no OB skip,
+    // no sharing) must trail FPRaker — the paper's Section I motivation.
+    let trace = quantized_trace();
+    let bl = simulate_trace_baseline(&trace, &AcceleratorConfig::baseline_paper());
+    let fp = simulate_trace_fpraker(&trace, &AcceleratorConfig::fpraker_paper());
+    let pr = simulate_trace_fpraker(&trace, &AcceleratorConfig::pragmatic_paper());
+    let s_fp = bl.compute_cycles() as f64 / fp.compute_cycles().max(1) as f64;
+    let s_pr = bl.compute_cycles() as f64 / pr.compute_cycles().max(1) as f64;
+    assert!(s_fp > 1.0, "FPRaker compute speedup {s_fp} <= 1");
+    assert!(
+        s_fp > s_pr,
+        "FPRaker ({s_fp}) should beat Bit-Pragmatic ({s_pr})"
+    );
+}
+
+#[test]
+fn more_tiles_scale_until_blocks_run_out() {
+    let trace = quantized_trace();
+    let mut prev = u64::MAX;
+    for tiles in [4usize, 9, 18, 36] {
+        let cfg = AcceleratorConfig {
+            tiles,
+            ..AcceleratorConfig::fpraker_paper()
+        };
+        let run = simulate_trace_fpraker(&trace, &cfg);
+        assert!(
+            run.compute_cycles() <= prev,
+            "{tiles} tiles slower than fewer tiles"
+        );
+        prev = run.compute_cycles();
+    }
+}
+
+#[test]
+fn serial_side_choice_is_visible_in_cycles() {
+    let mut trace = quantized_trace();
+    // Make B dense (in *canonical terms* — note 0xFF would be the opposite:
+    // 1.1111111 = 2 - 2^-7 is only two terms!) so the A side is clearly
+    // preferable.
+    use fpraker_num::encode::{term_count, Encoding};
+    assert!(term_count(0xD5, Encoding::Canonical) >= 4);
+    for op in &mut trace.ops {
+        for v in &mut op.b {
+            if !v.is_zero() {
+                *v = Bf16::from_parts(v.sign(), v.exponent(), 0xD5);
+            }
+        }
+    }
+    let run = |policy| {
+        let cfg = AcceleratorConfig {
+            serial_policy: policy,
+            ..AcceleratorConfig::fpraker_paper()
+        };
+        simulate_trace_fpraker(&trace, &cfg).compute_cycles()
+    };
+    let auto = run(SerialPolicy::Sparser);
+    let a = run(SerialPolicy::AlwaysA);
+    let b = run(SerialPolicy::AlwaysB);
+    assert_eq!(auto, a.min(b), "Sparser should match the better side");
+    assert!(b > a, "dense serial side should be slower");
+}
+
+#[test]
+fn golden_checking_holds_across_all_machines_configs() {
+    let mut trace = quantized_trace();
+    trace.ops.truncate(1);
+    for rows in [2usize, 8] {
+        let mut cfg = AcceleratorConfig::fpraker_paper();
+        cfg.tile = fpraker_core::TileConfig::with_rows(rows);
+        cfg.check_golden = true;
+        let run = simulate_trace_fpraker(&trace, &cfg);
+        assert_eq!(run.golden_failures(), 0, "rows={rows}");
+    }
+}
+
+#[test]
+fn narrow_accumulators_trade_cycles_monotonically() {
+    let mut trace = quantized_trace();
+    trace.ops.truncate(1);
+    let mut prev = u64::MAX;
+    for theta in [12i32, 8, 4] {
+        let mut cfg = AcceleratorConfig::fpraker_paper();
+        cfg.theta_overrides = trace
+            .ops
+            .iter()
+            .map(|o| (o.layer.clone(), theta))
+            .collect();
+        let run = simulate_trace_fpraker(&trace, &cfg);
+        assert!(
+            run.compute_cycles() <= prev,
+            "theta={theta} slower than wider"
+        );
+        prev = run.compute_cycles();
+    }
+}

@@ -1,0 +1,293 @@
+//! Convolution lowering: im2col / col2im.
+//!
+//! Convolutional layers are lowered to GEMM, the computation structure the
+//! FPRaker tile consumes (8×8 vector-matrix blocks). `im2col` unrolls input
+//! windows into rows; the convolution is then `cols · Wᵀ`-style GEMMs, and
+//! `col2im` scatters gradients back for the backward pass.
+
+use crate::tensor::Tensor;
+
+/// Geometry of a 2-D convolution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConvGeom {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels (filters).
+    pub out_channels: usize,
+    /// Kernel height and width (square kernels).
+    pub kernel: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Zero padding on every border.
+    pub pad: usize,
+}
+
+impl ConvGeom {
+    /// Output spatial size for an input of `h × w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not fit the input (output would be
+    /// empty).
+    pub fn out_size(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.pad).checked_sub(self.kernel).map(|x| x / self.stride + 1);
+        let ow = (w + 2 * self.pad).checked_sub(self.kernel).map(|x| x / self.stride + 1);
+        match (oh, ow) {
+            (Some(oh), Some(ow)) if oh > 0 && ow > 0 => (oh, ow),
+            _ => panic!("convolution geometry does not fit input {h}x{w}"),
+        }
+    }
+
+    /// Columns of the im2col matrix: `in_channels * kernel * kernel`.
+    pub fn patch_len(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+}
+
+/// Unrolls an NCHW input into the im2col matrix of shape
+/// `(N*OH*OW, C*KH*KW)`: row `r` holds the input window that produces
+/// output pixel `r`.
+///
+/// # Panics
+///
+/// Panics if `input` is not rank 4 or its channel count disagrees with the
+/// geometry.
+pub fn im2col(input: &Tensor, g: &ConvGeom) -> Tensor {
+    assert_eq!(input.dims().len(), 4, "im2col input must be NCHW");
+    let (n, c, h, w) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
+    assert_eq!(c, g.in_channels, "channel mismatch");
+    let (oh, ow) = g.out_size(h, w);
+    let patch = g.patch_len();
+    let mut out = vec![0.0f32; n * oh * ow * patch];
+    let id = input.data();
+    let mut row = 0usize;
+    for img in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let base = row * patch;
+                let mut col = 0usize;
+                for ch in 0..c {
+                    for ky in 0..g.kernel {
+                        let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                        for kx in 0..g.kernel {
+                            let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                            if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                                out[base + col] =
+                                    id[((img * c + ch) * h + iy as usize) * w + ix as usize];
+                            }
+                            col += 1;
+                        }
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+    Tensor::from_vec(vec![n * oh * ow, patch], out)
+}
+
+/// Scatters an im2col-shaped gradient back to NCHW input space — the
+/// adjoint of [`im2col`] (overlapping windows accumulate).
+///
+/// # Panics
+///
+/// Panics if `cols` does not have the shape `im2col` would produce for the
+/// given input dimensions.
+pub fn col2im(cols: &Tensor, g: &ConvGeom, n: usize, h: usize, w: usize) -> Tensor {
+    let (oh, ow) = g.out_size(h, w);
+    let patch = g.patch_len();
+    assert_eq!(
+        cols.dims(),
+        &[n * oh * ow, patch],
+        "col2im shape mismatch"
+    );
+    let c = g.in_channels;
+    let mut out = vec![0.0f32; n * c * h * w];
+    let cd = cols.data();
+    let mut row = 0usize;
+    for img in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let base = row * patch;
+                let mut col = 0usize;
+                for ch in 0..c {
+                    for ky in 0..g.kernel {
+                        let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                        for kx in 0..g.kernel {
+                            let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                            if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                                out[((img * c + ch) * h + iy as usize) * w + ix as usize] +=
+                                    cd[base + col];
+                            }
+                            col += 1;
+                        }
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+    Tensor::from_vec(vec![n, c, h, w], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg::{matmul, matmul_nt};
+
+    fn simple_geom() -> ConvGeom {
+        ConvGeom {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 2,
+            stride: 1,
+            pad: 0,
+        }
+    }
+
+    #[test]
+    fn out_size_formula() {
+        let g = ConvGeom {
+            in_channels: 3,
+            out_channels: 8,
+            kernel: 3,
+            stride: 2,
+            pad: 1,
+        };
+        assert_eq!(g.out_size(8, 8), (4, 4));
+        assert_eq!(g.patch_len(), 27);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_kernel_panics() {
+        let g = ConvGeom {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 5,
+            stride: 1,
+            pad: 0,
+        };
+        let _ = g.out_size(3, 3);
+    }
+
+    #[test]
+    fn im2col_extracts_windows() {
+        // 1x1x3x3 input, 2x2 kernel: four windows.
+        let input = Tensor::from_vec(
+            vec![1, 1, 3, 3],
+            (1..=9).map(|i| i as f32).collect(),
+        );
+        let cols = im2col(&input, &simple_geom());
+        assert_eq!(cols.dims(), &[4, 4]);
+        assert_eq!(&cols.data()[0..4], &[1.0, 2.0, 4.0, 5.0]);
+        assert_eq!(&cols.data()[12..16], &[5.0, 6.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn padding_inserts_zeros() {
+        let g = ConvGeom {
+            pad: 1,
+            ..simple_geom()
+        };
+        let input = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let cols = im2col(&input, &g);
+        // 3x3 output positions, first window is all padding except corner.
+        assert_eq!(cols.dims(), &[9, 4]);
+        assert_eq!(&cols.data()[0..4], &[0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn conv_via_gemm_matches_direct() {
+        // Direct convolution vs im2col + GEMM on a small case.
+        let g = ConvGeom {
+            in_channels: 2,
+            out_channels: 3,
+            kernel: 2,
+            stride: 1,
+            pad: 0,
+        };
+        let input = Tensor::from_vec(
+            vec![1, 2, 3, 3],
+            (0..18).map(|i| (i as f32) * 0.5 - 3.0).collect(),
+        );
+        // Weights (out_channels, patch).
+        let weights = Tensor::from_vec(
+            vec![3, g.patch_len()],
+            (0..3 * 8).map(|i| ((i % 5) as f32) - 2.0).collect(),
+        );
+        let cols = im2col(&input, &g);
+        let out = matmul_nt(&cols, &weights); // (OH*OW, out_channels)
+
+        // Direct computation.
+        let (oh, ow) = g.out_size(3, 3);
+        for oy in 0..oh {
+            for ox in 0..ow {
+                for f in 0..3 {
+                    let mut acc = 0.0f32;
+                    for ch in 0..2 {
+                        for ky in 0..2 {
+                            for kx in 0..2 {
+                                let iv = input.at(&[0, ch, oy + ky, ox + kx]);
+                                let wv = weights.at(&[f, (ch * 2 + ky) * 2 + kx]);
+                                acc += iv * wv;
+                            }
+                        }
+                    }
+                    let got = out.at(&[oy * ow + ox, f]);
+                    assert!((got - acc).abs() < 1e-5, "({oy},{ox},{f}): {got} vs {acc}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random-ish x, y — the
+        // defining property of the adjoint used by backprop.
+        let g = ConvGeom {
+            in_channels: 2,
+            out_channels: 1,
+            kernel: 3,
+            stride: 2,
+            pad: 1,
+        };
+        let (n, h, w) = (2, 5, 5);
+        let x = Tensor::from_vec(
+            vec![n, 2, h, w],
+            (0..n * 2 * h * w).map(|i| ((i * 7 % 13) as f32) - 6.0).collect(),
+        );
+        let cols = im2col(&x, &g);
+        let y = Tensor::from_vec(
+            cols.dims().to_vec(),
+            (0..cols.len()).map(|i| ((i * 3 % 11) as f32) - 5.0).collect(),
+        );
+        let lhs: f32 = cols.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let back = col2im(&y, &g, n, h, w);
+        let rhs: f32 = x.data().iter().zip(back.data()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        // 1x1 kernel, stride 1: im2col is the identity layout.
+        let g = ConvGeom {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 1,
+            stride: 1,
+            pad: 0,
+        };
+        let input = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let cols = im2col(&input, &g);
+        assert_eq!(cols.data(), input.data());
+        let w = Tensor::from_vec(vec![1, 1], vec![1.0]);
+        let out = matmul(&cols, &w);
+        assert_eq!(out.data(), input.data());
+    }
+}

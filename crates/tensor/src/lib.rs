@@ -1,0 +1,88 @@
+//! Dense tensor substrate for the FPRaker reproduction.
+//!
+//! Provides the data structures and linear algebra that the mini training
+//! framework ([`fpraker-dnn`]) and workload generators build on:
+//!
+//! * [`Tensor`] — a dense row-major `f32` tensor with bfloat16 rounding at
+//!   operator boundaries;
+//! * [`matmul`] / [`matmul_tn`] / [`matmul_nt`] — the three GEMM
+//!   orientations of the training operations (paper Eqs. 1–3);
+//! * [`im2col`] / [`col2im`] — convolution lowering to GEMM, the
+//!   computation structure the FPRaker tile consumes.
+//!
+//! # Example
+//!
+//! ```
+//! use fpraker_tensor::{matmul, Tensor};
+//!
+//! let a = Tensor::from_vec(vec![1, 2], vec![1.0, 2.0]);
+//! let b = Tensor::from_vec(vec![2, 1], vec![3.0, 4.0]);
+//! assert_eq!(matmul(&a, &b).data(), &[11.0]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod conv;
+mod linalg;
+mod tensor;
+
+pub use conv::{col2im, im2col, ConvGeom};
+pub use linalg::{add_bias_rows, argmax_rows, matmul, matmul_nt, matmul_tn, sum_rows, transpose2d};
+pub use tensor::Tensor;
+
+/// Random tensor initialisation helpers.
+pub mod init {
+    use super::Tensor;
+    use rand::Rng;
+
+    /// Kaiming/He-style uniform initialisation for a layer with the given
+    /// fan-in: values in `±sqrt(6 / fan_in)`.
+    pub fn kaiming_uniform<R: Rng>(rng: &mut R, dims: Vec<usize>, fan_in: usize) -> Tensor {
+        let bound = (6.0 / fan_in.max(1) as f32).sqrt();
+        let len = dims.iter().product();
+        let data = (0..len).map(|_| rng.gen_range(-bound..bound)).collect();
+        Tensor::from_vec(dims, data)
+    }
+
+    /// Standard-normal initialisation scaled by `std`.
+    pub fn normal<R: Rng>(rng: &mut R, dims: Vec<usize>, std: f32) -> Tensor {
+        let len = dims.iter().product();
+        let data = (0..len)
+            .map(|_| {
+                // Box-Muller transform.
+                let u1: f32 = rng.gen_range(1e-7f32..1.0);
+                let u2: f32 = rng.gen_range(0.0f32..1.0);
+                std * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+            })
+            .collect();
+        Tensor::from_vec(dims, data)
+    }
+}
+
+#[cfg(test)]
+mod init_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kaiming_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = init::kaiming_uniform(&mut rng, vec![16, 16], 16);
+        let bound = (6.0f32 / 16.0).sqrt();
+        assert!(t.data().iter().all(|v| v.abs() <= bound));
+        assert!(t.data().iter().any(|v| *v != 0.0));
+    }
+
+    #[test]
+    fn normal_has_roughly_right_spread() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = init::normal(&mut rng, vec![4096], 0.5);
+        let mean = t.mean();
+        let var: f32 =
+            t.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / t.len() as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.05, "std {}", var.sqrt());
+    }
+}

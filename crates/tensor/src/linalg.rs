@@ -1,0 +1,260 @@
+//! Dense linear algebra: GEMM in the variants training needs.
+//!
+//! The three training operations (paper Eqs. 1–3) are all GEMMs over
+//! differently-oriented operands:
+//!
+//! * forward:       `Z = I · W`            — [`matmul`]
+//! * input grads:   `∂E/∂I = ∂E/∂Z · Wᵀ`   — [`matmul_nt`]
+//! * weight grads:  `∂E/∂W = Iᵀ · ∂E/∂Z`   — [`matmul_tn`]
+
+use crate::tensor::Tensor;
+
+fn mm_dims(a: &Tensor, b: &Tensor) -> (usize, usize, usize, usize) {
+    assert_eq!(a.dims().len(), 2, "matmul operands must be rank 2");
+    assert_eq!(b.dims().len(), 2, "matmul operands must be rank 2");
+    (a.dims()[0], a.dims()[1], b.dims()[0], b.dims()[1])
+}
+
+/// `C = A · B` for `A: (m, k)`, `B: (k, n)`.
+///
+/// # Panics
+///
+/// Panics if operands are not rank 2 or the inner dimensions disagree.
+///
+/// # Example
+///
+/// ```
+/// use fpraker_tensor::{Tensor, matmul};
+///
+/// let a = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+/// let b = Tensor::from_vec(vec![2, 2], vec![5.0, 6.0, 7.0, 8.0]);
+/// assert_eq!(matmul(&a, &b).data(), &[19.0, 22.0, 43.0, 50.0]);
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, ka, kb, n) = mm_dims(a, b);
+    assert_eq!(ka, kb, "inner dimension mismatch: {ka} vs {kb}");
+    let k = ka;
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        for p in 0..k {
+            let av = ad[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(vec![m, n], out)
+}
+
+/// `C = Aᵀ · B` for `A: (k, m)`, `B: (k, n)` (the weight-gradient GEMM).
+///
+/// # Panics
+///
+/// Panics if operands are not rank 2 or the shared dimension disagrees.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (ka, m, kb, n) = mm_dims(a, b);
+    assert_eq!(ka, kb, "shared dimension mismatch: {ka} vs {kb}");
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for p in 0..ka {
+        let arow = &ad[p * m..(p + 1) * m];
+        let brow = &bd[p * n..(p + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(vec![m, n], out)
+}
+
+/// `C = A · Bᵀ` for `A: (m, k)`, `B: (n, k)` (the input-gradient GEMM).
+///
+/// # Panics
+///
+/// Panics if operands are not rank 2 or the shared dimension disagrees.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, ka, n, kb) = mm_dims(a, b);
+    assert_eq!(ka, kb, "shared dimension mismatch: {ka} vs {kb}");
+    let k = ka;
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&x, &y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec(vec![m, n], out)
+}
+
+/// Transposes a rank-2 tensor.
+///
+/// # Panics
+///
+/// Panics if the tensor is not rank 2.
+pub fn transpose2d(a: &Tensor) -> Tensor {
+    assert_eq!(a.dims().len(), 2, "transpose2d needs rank 2");
+    let (m, n) = (a.dims()[0], a.dims()[1]);
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = ad[i * n + j];
+        }
+    }
+    Tensor::from_vec(vec![n, m], out)
+}
+
+/// Adds a length-`n` bias row to every row of an `(m, n)` matrix.
+///
+/// # Panics
+///
+/// Panics if shapes disagree.
+pub fn add_bias_rows(a: &mut Tensor, bias: &Tensor) {
+    assert_eq!(a.dims().len(), 2, "bias add needs rank 2");
+    let n = a.dims()[1];
+    assert_eq!(bias.len(), n, "bias length mismatch");
+    let bd = bias.data().to_vec();
+    for row in a.data_mut().chunks_mut(n) {
+        for (v, &b) in row.iter_mut().zip(&bd) {
+            *v += b;
+        }
+    }
+}
+
+/// Sums an `(m, n)` matrix over its rows, producing a length-`n` vector
+/// (bias gradients).
+///
+/// # Panics
+///
+/// Panics if the tensor is not rank 2.
+pub fn sum_rows(a: &Tensor) -> Tensor {
+    assert_eq!(a.dims().len(), 2, "sum_rows needs rank 2");
+    let (m, n) = (a.dims()[0], a.dims()[1]);
+    let mut out = vec![0.0f32; n];
+    for i in 0..m {
+        for j in 0..n {
+            out[j] += a.data()[i * n + j];
+        }
+    }
+    Tensor::from_vec(vec![n], out)
+}
+
+/// Row-wise argmax of an `(m, n)` matrix (classification predictions).
+///
+/// # Panics
+///
+/// Panics if the tensor is not rank 2 or has zero columns.
+pub fn argmax_rows(a: &Tensor) -> Vec<usize> {
+    assert_eq!(a.dims().len(), 2, "argmax_rows needs rank 2");
+    let n = a.dims()[1];
+    assert!(n > 0, "argmax of empty rows");
+    a.data()
+        .chunks(n)
+        .map(|row| {
+            row.iter()
+                .enumerate()
+                .max_by(|x, y| x.1.partial_cmp(y.1).unwrap())
+                .map(|(i, _)| i)
+                .unwrap()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(m: usize, n: usize, v: &[f32]) -> Tensor {
+        Tensor::from_vec(vec![m, n], v.to_vec())
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = t(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let i = t(2, 2, &[1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(matmul(&a, &i), a);
+        assert_eq!(matmul(&i, &a), a);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = t(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn transposed_variants_agree_with_explicit_transpose() {
+        let a = t(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t(3, 4, &(0..12).map(|i| i as f32).collect::<Vec<_>>());
+        let via_tn = matmul_tn(&a, &b);
+        let explicit = matmul(&transpose2d(&a), &b);
+        assert_eq!(via_tn, explicit);
+
+        let c = t(2, 3, &[1.0, -1.0, 2.0, 0.0, 3.0, 1.0]);
+        let d = t(4, 3, &(0..12).map(|i| i as f32 - 5.0).collect::<Vec<_>>());
+        let via_nt = matmul_nt(&c, &d);
+        let explicit = matmul(&c, &transpose2d(&d));
+        assert_eq!(via_nt, explicit);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_dim_mismatch_panics() {
+        let _ = matmul(&Tensor::zeros(vec![2, 3]), &Tensor::zeros(vec![4, 2]));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = t(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(transpose2d(&transpose2d(&a)), a);
+    }
+
+    #[test]
+    fn bias_and_row_sums() {
+        let mut a = t(2, 3, &[0.0; 6]);
+        let bias = Tensor::from_vec(vec![3], vec![1.0, 2.0, 3.0]);
+        add_bias_rows(&mut a, &bias);
+        assert_eq!(a.data(), &[1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+        let s = sum_rows(&a);
+        assert_eq!(s.data(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn argmax_rows_picks_largest() {
+        let a = t(2, 3, &[0.1, 0.9, 0.0, 5.0, -1.0, 2.0]);
+        assert_eq!(argmax_rows(&a), vec![1, 0]);
+    }
+
+    #[test]
+    fn zero_rows_skipped_fast_path_is_correct() {
+        // The matmul fast path skips zero A elements; results must be
+        // identical to the naive product.
+        let a = t(2, 3, &[0.0, 2.0, 0.0, 1.0, 0.0, 3.0]);
+        let b = t(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[6.0, 8.0, 16.0, 20.0]);
+    }
+}

@@ -1,0 +1,308 @@
+//! A dense row-major `f32` tensor.
+//!
+//! Training state (master weights, activations, gradients) lives in `f32`;
+//! operands are rounded to bfloat16 at operator boundaries, exactly like the
+//! mixed-precision training flows the paper targets (bfloat16 storage with
+//! higher-precision master copies).
+
+use std::fmt;
+
+use fpraker_num::Bf16;
+
+/// A dense, row-major tensor of `f32` values.
+///
+/// # Example
+///
+/// ```
+/// use fpraker_tensor::Tensor;
+///
+/// let t = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+/// assert_eq!(t.dims(), &[2, 3]);
+/// assert_eq!(t.at(&[1, 2]), 6.0);
+/// assert_eq!(t.len(), 6);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    dims: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a zero-filled tensor.
+    pub fn zeros(dims: Vec<usize>) -> Self {
+        let len = dims.iter().product();
+        Tensor {
+            dims,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(dims: Vec<usize>, value: f32) -> Self {
+        let len = dims.iter().product();
+        Tensor {
+            dims,
+            data: vec![value; len],
+        }
+    }
+
+    /// Wraps existing data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the product of `dims`.
+    pub fn from_vec(dims: Vec<usize>, data: Vec<f32>) -> Self {
+        assert_eq!(
+            dims.iter().product::<usize>(),
+            data.len(),
+            "shape/data mismatch"
+        );
+        Tensor { dims, data }
+    }
+
+    /// The tensor's dimensions.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the tensor has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The underlying data, row-major.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its data.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Flat offset of a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank or any coordinate is out of range.
+    pub fn offset(&self, idx: &[usize]) -> usize {
+        assert_eq!(idx.len(), self.dims.len(), "index rank mismatch");
+        let mut off = 0;
+        for (i, (&x, &d)) in idx.iter().zip(&self.dims).enumerate() {
+            assert!(x < d, "index {x} out of range for dim {i} (size {d})");
+            off = off * d + x;
+        }
+        off
+    }
+
+    /// Element at a multi-dimensional index.
+    pub fn at(&self, idx: &[usize]) -> f32 {
+        self.data[self.offset(idx)]
+    }
+
+    /// Mutable element at a multi-dimensional index.
+    pub fn at_mut(&mut self, idx: &[usize]) -> &mut f32 {
+        let off = self.offset(idx);
+        &mut self.data[off]
+    }
+
+    /// Reinterprets the tensor with new dimensions of the same total size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sizes differ.
+    pub fn reshape(mut self, dims: Vec<usize>) -> Self {
+        assert_eq!(
+            dims.iter().product::<usize>(),
+            self.data.len(),
+            "reshape size mismatch"
+        );
+        self.dims = dims;
+        self
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Returns a new tensor with `f` applied to every element.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            dims: self.dims.clone(),
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Elementwise combination of two same-shaped tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.dims, other.dims, "shape mismatch");
+        Tensor {
+            dims: self.dims.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// `self += scale * other`, elementwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add_scaled(&mut self, other: &Tensor, scale: f32) {
+        assert_eq!(self.dims, other.dims, "shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += scale * b;
+        }
+    }
+
+    /// Multiplies every element by `scale`.
+    pub fn scale(&mut self, scale: f32) {
+        for v in &mut self.data {
+            *v *= scale;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Fraction of elements that are exactly zero (the paper's value
+    /// sparsity metric, Fig. 1a).
+    pub fn zero_fraction(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let zeros = self.data.iter().filter(|&&v| v == 0.0).count();
+        zeros as f64 / self.data.len() as f64
+    }
+
+    /// Rounds every element to bfloat16 precision in place (the storage
+    /// format of the simulated accelerator).
+    pub fn quantize_bf16(&mut self) {
+        for v in &mut self.data {
+            *v = Bf16::from_f32(*v).to_f32();
+        }
+    }
+
+    /// The tensor's values rounded to bfloat16.
+    pub fn to_bf16(&self) -> Vec<Bf16> {
+        self.data.iter().map(|&v| Bf16::from_f32(v)).collect()
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor(dims={:?}", self.dims)?;
+        if self.data.len() <= 8 {
+            write!(f, ", data={:?})", self.data)
+        } else {
+            write!(f, ", data=[{} values])", self.data.len())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let t = Tensor::from_vec(vec![2, 2, 2], (0..8).map(|i| i as f32).collect());
+        assert_eq!(t.at(&[0, 0, 0]), 0.0);
+        assert_eq!(t.at(&[1, 0, 1]), 5.0);
+        assert_eq!(t.at(&[1, 1, 1]), 7.0);
+        assert_eq!(t.offset(&[1, 1, 0]), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape/data mismatch")]
+    fn bad_shape_panics() {
+        let _ = Tensor::from_vec(vec![2, 3], vec![0.0; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_index_panics() {
+        let t = Tensor::zeros(vec![2, 2]);
+        let _ = t.at(&[0, 2]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![2, 3], (0..6).map(|i| i as f32).collect());
+        let r = t.clone().reshape(vec![3, 2]);
+        assert_eq!(r.dims(), &[3, 2]);
+        assert_eq!(r.data(), t.data());
+    }
+
+    #[test]
+    fn map_and_zip_map() {
+        let a = Tensor::from_vec(vec![3], vec![1.0, -2.0, 3.0]);
+        let b = a.map(|x| x.abs());
+        assert_eq!(b.data(), &[1.0, 2.0, 3.0]);
+        let c = a.zip_map(&b, |x, y| x + y);
+        assert_eq!(c.data(), &[2.0, 0.0, 6.0]);
+    }
+
+    #[test]
+    fn arithmetic_helpers() {
+        let mut a = Tensor::full(vec![4], 1.0);
+        let b = Tensor::full(vec![4], 2.0);
+        a.add_scaled(&b, 0.5);
+        assert_eq!(a.data(), &[2.0; 4]);
+        a.scale(2.0);
+        assert_eq!(a.sum(), 16.0);
+        assert_eq!(a.mean(), 4.0);
+    }
+
+    #[test]
+    fn zero_fraction_counts_exact_zeros() {
+        let t = Tensor::from_vec(vec![4], vec![0.0, 1.0, 0.0, -0.0]);
+        assert_eq!(t.zero_fraction(), 0.75);
+    }
+
+    #[test]
+    fn quantize_bf16_rounds() {
+        let mut t = Tensor::from_vec(vec![2], vec![1.0, 1.0 + 2f32.powi(-10)]);
+        t.quantize_bf16();
+        assert_eq!(t.data(), &[1.0, 1.0]);
+        let q = t.to_bf16();
+        assert_eq!(q[0], Bf16::ONE);
+    }
+}

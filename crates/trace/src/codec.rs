@@ -1,0 +1,292 @@
+//! Compact binary serialization for traces.
+//!
+//! The offline dependency set contains no serde *format* crate, so traces
+//! use a small hand-rolled little-endian codec over [`bytes`]: a magic
+//! header, a version byte, then length-prefixed records. The format is
+//! fuzzed by property tests (arbitrary traces round-trip; corrupted inputs
+//! error rather than panic).
+
+use std::error::Error;
+use std::fmt;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use fpraker_num::Bf16;
+
+use crate::format::{Phase, TensorKind, Trace, TraceOp};
+
+/// Magic bytes identifying a trace file.
+pub const MAGIC: &[u8; 4] = b"FPRK";
+/// Current codec version.
+pub const VERSION: u8 = 1;
+
+/// Decoding error: the input is not a valid trace of the current version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    message: String,
+}
+
+impl DecodeError {
+    fn new(message: impl Into<String>) -> Self {
+        DecodeError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid trace encoding: {}", self.message)
+    }
+}
+
+impl Error for DecodeError {}
+
+/// Serializes a trace.
+pub fn encode(trace: &Trace) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + trace.ops.iter().map(|o| 2 * (o.a.len() + o.b.len()) + 64).sum::<usize>());
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    put_string(&mut buf, &trace.model);
+    buf.put_u32_le(trace.progress_pct);
+    buf.put_u32_le(trace.ops.len() as u32);
+    for op in &trace.ops {
+        put_string(&mut buf, &op.layer);
+        buf.put_u8(op.phase.to_tag());
+        buf.put_u8(op.a_kind.to_tag());
+        buf.put_u8(op.b_kind.to_tag());
+        buf.put_u32_le(op.m as u32);
+        buf.put_u32_le(op.n as u32);
+        buf.put_u32_le(op.k as u32);
+        buf.put_f32_le(op.a_dup);
+        buf.put_f32_le(op.b_dup);
+        buf.put_f32_le(op.out_dup);
+        for v in &op.a {
+            buf.put_u16_le(v.to_bits());
+        }
+        for v in &op.b {
+            buf.put_u16_le(v.to_bits());
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserializes a trace.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on wrong magic/version, truncated input, or
+/// inconsistent lengths.
+pub fn decode(mut input: &[u8]) -> Result<Trace, DecodeError> {
+    let buf = &mut input;
+    let mut magic = [0u8; 4];
+    take_exact(buf, &mut magic)?;
+    if &magic != MAGIC {
+        return Err(DecodeError::new("bad magic"));
+    }
+    let version = take_u8(buf)?;
+    if version != VERSION {
+        return Err(DecodeError::new(format!("unsupported version {version}")));
+    }
+    let model = take_string(buf)?;
+    let progress_pct = take_u32(buf)?;
+    let num_ops = take_u32(buf)? as usize;
+    // Each op needs at least 19 bytes of fixed fields.
+    if num_ops > buf.remaining() / 19 + 1 {
+        return Err(DecodeError::new("op count exceeds input size"));
+    }
+    let mut ops = Vec::with_capacity(num_ops);
+    for _ in 0..num_ops {
+        let layer = take_string(buf)?;
+        let phase = Phase::from_tag(take_u8(buf)?).ok_or_else(|| DecodeError::new("bad phase tag"))?;
+        let a_kind =
+            TensorKind::from_tag(take_u8(buf)?).ok_or_else(|| DecodeError::new("bad kind tag"))?;
+        let b_kind =
+            TensorKind::from_tag(take_u8(buf)?).ok_or_else(|| DecodeError::new("bad kind tag"))?;
+        let m = take_u32(buf)? as usize;
+        let n = take_u32(buf)? as usize;
+        let k = take_u32(buf)? as usize;
+        let a_dup = take_f32(buf)?;
+        let b_dup = take_f32(buf)?;
+        let out_dup = take_f32(buf)?;
+        let a_len = m
+            .checked_mul(k)
+            .ok_or_else(|| DecodeError::new("operand size overflow"))?;
+        let b_len = n
+            .checked_mul(k)
+            .ok_or_else(|| DecodeError::new("operand size overflow"))?;
+        if buf.remaining() < 2 * (a_len + b_len) {
+            return Err(DecodeError::new("truncated operand data"));
+        }
+        let a = take_bf16s(buf, a_len)?;
+        let b = take_bf16s(buf, b_len)?;
+        ops.push(TraceOp {
+            layer,
+            phase,
+            m,
+            n,
+            k,
+            a,
+            b,
+            a_kind,
+            b_kind,
+            a_dup,
+            b_dup,
+            out_dup,
+        });
+    }
+    if buf.has_remaining() {
+        return Err(DecodeError::new("trailing bytes"));
+    }
+    Ok(Trace {
+        model,
+        progress_pct,
+        ops,
+    })
+}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u16_le(s.len() as u16);
+    buf.put_slice(s.as_bytes());
+}
+
+fn take_exact(buf: &mut &[u8], out: &mut [u8]) -> Result<(), DecodeError> {
+    if buf.remaining() < out.len() {
+        return Err(DecodeError::new("unexpected end of input"));
+    }
+    buf.copy_to_slice(out);
+    Ok(())
+}
+
+fn take_u8(buf: &mut &[u8]) -> Result<u8, DecodeError> {
+    if !buf.has_remaining() {
+        return Err(DecodeError::new("unexpected end of input"));
+    }
+    Ok(buf.get_u8())
+}
+
+fn take_u32(buf: &mut &[u8]) -> Result<u32, DecodeError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeError::new("unexpected end of input"));
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn take_f32(buf: &mut &[u8]) -> Result<f32, DecodeError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeError::new("unexpected end of input"));
+    }
+    Ok(buf.get_f32_le())
+}
+
+fn take_string(buf: &mut &[u8]) -> Result<String, DecodeError> {
+    if buf.remaining() < 2 {
+        return Err(DecodeError::new("unexpected end of input"));
+    }
+    let len = buf.get_u16_le() as usize;
+    if buf.remaining() < len {
+        return Err(DecodeError::new("truncated string"));
+    }
+    let mut bytes = vec![0u8; len];
+    buf.copy_to_slice(&mut bytes);
+    String::from_utf8(bytes).map_err(|_| DecodeError::new("invalid utf-8"))
+}
+
+fn take_bf16s(buf: &mut &[u8], n: usize) -> Result<Vec<Bf16>, DecodeError> {
+    if buf.remaining() < 2 * n {
+        return Err(DecodeError::new("truncated bf16 array"));
+    }
+    Ok((0..n).map(|_| Bf16::from_bits(buf.get_u16_le())).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let mut tr = Trace::new("vgg16-analogue", 30);
+        tr.ops.push(TraceOp {
+            layer: "conv1".into(),
+            phase: Phase::AxW,
+            m: 4,
+            n: 2,
+            k: 8,
+            a: (0..32).map(|i| Bf16::from_f32(i as f32 * 0.25 - 4.0)).collect(),
+            b: (0..16).map(|i| Bf16::from_f32(1.0 / (i + 1) as f32)).collect(),
+            a_kind: TensorKind::Activation,
+            b_kind: TensorKind::Weight,
+            a_dup: 9.0,
+            b_dup: 1.0,
+            out_dup: 1.0,
+        });
+        tr.ops.push(TraceOp {
+            layer: "conv1".into(),
+            phase: Phase::GxW,
+            m: 2,
+            n: 4,
+            k: 8,
+            a: vec![Bf16::ZERO; 16],
+            b: vec![Bf16::NEG_ONE; 32],
+            a_kind: TensorKind::Gradient,
+            b_kind: TensorKind::Weight,
+            a_dup: 1.0,
+            b_dup: 1.0,
+            out_dup: 4.0,
+        });
+        tr
+    }
+
+    #[test]
+    fn round_trip() {
+        let tr = sample_trace();
+        let bytes = encode(&tr);
+        let back = decode(&bytes).expect("decode");
+        assert_eq!(back, tr);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let tr = Trace::new("empty", 0);
+        assert_eq!(decode(&encode(&tr)).unwrap(), tr);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = encode(&sample_trace()).to_vec();
+        bytes[0] = b'X';
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn bad_version_is_rejected() {
+        let mut bytes = encode(&sample_trace()).to_vec();
+        bytes[4] = 99;
+        let err = decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let bytes = encode(&sample_trace());
+        for cut in [5, 11, 20, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = encode(&sample_trace()).to_vec();
+        bytes.push(0);
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn corrupt_tags_are_rejected() {
+        let tr = sample_trace();
+        let bytes = encode(&tr).to_vec();
+        // Find the phase tag of op 0 (after magic+ver+model+u32+u32+layer).
+        let off = 4 + 1 + 2 + tr.model.len() + 4 + 4 + 2 + 5;
+        let mut bad = bytes.clone();
+        bad[off] = 200;
+        assert!(decode(&bad).is_err());
+    }
+}

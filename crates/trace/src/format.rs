@@ -1,0 +1,328 @@
+//! Training trace format.
+//!
+//! The paper's methodology (Section V-A): "we collected traces for one
+//! random mini-batch during the forward and backward pass in each epoch of
+//! training ... The simulator uses the traces to model execution time and
+//! collects activity statistics so that energy can be modeled."
+//!
+//! A [`Trace`] is a sampled snapshot of one model at one training step: the
+//! sequence of GEMM operations ([`TraceOp`]) of the three training phases
+//! with their full bfloat16 operand tensors.
+
+use std::fmt;
+
+use fpraker_num::Bf16;
+
+/// The three bulk operations of training (paper Eqs. 1–3, plotted as the
+/// phase labels of Figs. 2 and 14).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Phase {
+    /// Forward pass: `Z = I · W` (activations × weights).
+    AxW,
+    /// Weight gradients: `∂E/∂W = Iᵀ · ∂E/∂Z` (activations × gradients).
+    AxG,
+    /// Input gradients: `∂E/∂I = ∂E/∂Z · Wᵀ` (gradients × weights).
+    GxW,
+}
+
+impl Phase {
+    /// All phases, in the paper's plotting order.
+    pub const ALL: [Phase; 3] = [Phase::AxG, Phase::GxW, Phase::AxW];
+
+    /// Numeric tag used by the codec.
+    pub(crate) fn to_tag(self) -> u8 {
+        match self {
+            Phase::AxW => 0,
+            Phase::AxG => 1,
+            Phase::GxW => 2,
+        }
+    }
+
+    pub(crate) fn from_tag(tag: u8) -> Option<Phase> {
+        match tag {
+            0 => Some(Phase::AxW),
+            1 => Some(Phase::AxG),
+            2 => Some(Phase::GxW),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Phase::AxW => "AxW",
+            Phase::AxG => "AxG",
+            Phase::GxW => "GxW",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Which training tensor an operand came from (Fig. 1's legend).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TensorKind {
+    /// Layer input activations (`I`).
+    Activation,
+    /// Layer weights (`W`).
+    Weight,
+    /// Gradients (`G = ∂E/∂Z`).
+    Gradient,
+}
+
+impl TensorKind {
+    /// All tensor kinds, in Fig. 1's legend order.
+    pub const ALL: [TensorKind; 3] = [
+        TensorKind::Gradient,
+        TensorKind::Weight,
+        TensorKind::Activation,
+    ];
+
+    pub(crate) fn to_tag(self) -> u8 {
+        match self {
+            TensorKind::Activation => 0,
+            TensorKind::Weight => 1,
+            TensorKind::Gradient => 2,
+        }
+    }
+
+    pub(crate) fn from_tag(tag: u8) -> Option<TensorKind> {
+        match tag {
+            0 => Some(TensorKind::Activation),
+            1 => Some(TensorKind::Weight),
+            2 => Some(TensorKind::Gradient),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TensorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TensorKind::Activation => "Activation",
+            TensorKind::Weight => "Weight",
+            TensorKind::Gradient => "Gradient",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One GEMM captured from training: `C (m×n) = A (m×k) · B (k×n)`.
+///
+/// Operands are stored in *stream layout*: `a` is row-major `m×k` (each row
+/// is one serial-operand stream) and `b` is row-major `n×k` (each row is
+/// one column of the original `B`, i.e. one parallel-operand stream). This
+/// is the orientation the tile consumes directly.
+#[derive(Clone, PartialEq)]
+pub struct TraceOp {
+    /// Layer name (for per-layer reports such as Fig. 21).
+    pub layer: String,
+    /// Which of the three training operations this GEMM belongs to.
+    pub phase: Phase,
+    /// Output rows.
+    pub m: usize,
+    /// Output columns.
+    pub n: usize,
+    /// Reduction length.
+    pub k: usize,
+    /// Serial operand, `m×k` row-major.
+    pub a: Vec<Bf16>,
+    /// Parallel operand, `n×k` row-major (transposed `B`).
+    pub b: Vec<Bf16>,
+    /// Which training tensor `a` is.
+    pub a_kind: TensorKind,
+    /// Which training tensor `b` is.
+    pub b_kind: TensorKind,
+    /// Stream-duplication factor of `a`: how many times each *source
+    /// tensor* element appears in the stream (im2col lowering duplicates
+    /// each input pixel up to `k²` times; the hardware reads the source
+    /// tensor once and expands on chip, so off-chip traffic is
+    /// `a.len() / a_dup`). 1.0 when the stream is the tensor itself.
+    pub a_dup: f32,
+    /// Stream-duplication factor of `b`.
+    pub b_dup: f32,
+    /// Duplication factor of the output (e.g. a `dcols` gradient that is
+    /// reduced by col2im on chip before leaving).
+    pub out_dup: f32,
+}
+
+impl TraceOp {
+    /// Total MAC operations in the GEMM.
+    pub fn macs(&self) -> u64 {
+        (self.m * self.n * self.k) as u64
+    }
+
+    /// Validates internal consistency (operand lengths match dimensions).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.a.len() != self.m * self.k {
+            return Err(format!(
+                "op {}: A has {} values, expected {}x{}",
+                self.layer,
+                self.a.len(),
+                self.m,
+                self.k
+            ));
+        }
+        if self.b.len() != self.n * self.k {
+            return Err(format!(
+                "op {}: B has {} values, expected {}x{}",
+                self.layer,
+                self.b.len(),
+                self.n,
+                self.k
+            ));
+        }
+        Ok(())
+    }
+
+    /// Row `i` of the serial operand.
+    pub fn a_row(&self, i: usize) -> &[Bf16] {
+        &self.a[i * self.k..(i + 1) * self.k]
+    }
+
+    /// Row `j` of the parallel operand (column `j` of the original `B`).
+    pub fn b_row(&self, j: usize) -> &[Bf16] {
+        &self.b[j * self.k..(j + 1) * self.k]
+    }
+
+    /// Returns a copy with the serial and parallel operands swapped (the
+    /// paper "allows us to choose which tensor input we wish to process
+    /// serially per layer"). The represented GEMM output is transposed,
+    /// which leaves cycle and energy totals meaningful.
+    pub fn swapped(&self) -> TraceOp {
+        TraceOp {
+            layer: self.layer.clone(),
+            phase: self.phase,
+            m: self.n,
+            n: self.m,
+            k: self.k,
+            a: self.b.clone(),
+            b: self.a.clone(),
+            a_kind: self.b_kind,
+            b_kind: self.a_kind,
+            a_dup: self.b_dup,
+            b_dup: self.a_dup,
+            out_dup: self.out_dup,
+        }
+    }
+}
+
+impl fmt::Debug for TraceOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TraceOp({} {} {}x{}x{} a={} b={})",
+            self.layer, self.phase, self.m, self.n, self.k, self.a_kind, self.b_kind
+        )
+    }
+}
+
+/// A sampled training step: every GEMM of one forward+backward pass.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Trace {
+    /// Model name (Table I).
+    pub model: String,
+    /// Training progress of the sample, in percent of total training.
+    pub progress_pct: u32,
+    /// The captured GEMMs, in execution order.
+    pub ops: Vec<TraceOp>,
+}
+
+impl Trace {
+    /// Creates an empty trace for a model.
+    pub fn new(model: impl Into<String>, progress_pct: u32) -> Self {
+        Trace {
+            model: model.into(),
+            progress_pct,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Total MACs across all ops.
+    pub fn macs(&self) -> u64 {
+        self.ops.iter().map(TraceOp::macs).sum()
+    }
+
+    /// Ops belonging to one phase.
+    pub fn ops_in_phase(&self, phase: Phase) -> impl Iterator<Item = &TraceOp> {
+        self.ops.iter().filter(move |op| op.phase == phase)
+    }
+
+    /// Validates every op.
+    pub fn validate(&self) -> Result<(), String> {
+        for op in &self.ops {
+            op.validate()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_op() -> TraceOp {
+        TraceOp {
+            layer: "fc1".into(),
+            phase: Phase::AxW,
+            m: 2,
+            n: 3,
+            k: 4,
+            a: vec![Bf16::ONE; 8],
+            b: vec![Bf16::from_f32(2.0); 12],
+            a_kind: TensorKind::Activation,
+            b_kind: TensorKind::Weight,
+            a_dup: 1.0,
+            b_dup: 1.0,
+            out_dup: 1.0,
+        }
+    }
+
+    #[test]
+    fn macs_and_rows() {
+        let op = tiny_op();
+        assert_eq!(op.macs(), 24);
+        assert_eq!(op.a_row(1).len(), 4);
+        assert_eq!(op.b_row(2).len(), 4);
+        assert!(op.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_lengths() {
+        let mut op = tiny_op();
+        op.a.pop();
+        assert!(op.validate().is_err());
+    }
+
+    #[test]
+    fn swap_exchanges_operands() {
+        let op = tiny_op();
+        let sw = op.swapped();
+        assert_eq!(sw.m, 3);
+        assert_eq!(sw.n, 2);
+        assert_eq!(sw.a_kind, TensorKind::Weight);
+        assert_eq!(sw.swapped(), op);
+    }
+
+    #[test]
+    fn phase_tags_round_trip() {
+        for p in Phase::ALL {
+            assert_eq!(Phase::from_tag(p.to_tag()), Some(p));
+        }
+        assert_eq!(Phase::from_tag(9), None);
+        for k in TensorKind::ALL {
+            assert_eq!(TensorKind::from_tag(k.to_tag()), Some(k));
+        }
+    }
+
+    #[test]
+    fn trace_aggregates() {
+        let mut tr = Trace::new("toy", 50);
+        tr.ops.push(tiny_op());
+        tr.ops.push(tiny_op().swapped());
+        assert_eq!(tr.macs(), 48);
+        assert_eq!(tr.ops_in_phase(Phase::AxW).count(), 2);
+        assert_eq!(tr.ops_in_phase(Phase::GxW).count(), 0);
+        assert!(tr.validate().is_ok());
+    }
+}

@@ -1,0 +1,33 @@
+//! Training-trace substrate for the FPRaker reproduction.
+//!
+//! The paper drives its simulator with traces sampled from real training
+//! runs (one random mini-batch per epoch, Section V-A). This crate defines
+//! that trace format and the statistics computed over it:
+//!
+//! * [`Trace`] / [`TraceOp`] — a sampled training step as a sequence of
+//!   GEMMs with full bfloat16 operands, tagged by training phase and tensor
+//!   kind;
+//! * [`codec`] — a compact binary serialization (hand-rolled; the offline
+//!   dependency set has no serde format crate);
+//! * [`stats`] — value sparsity (Fig. 1a), term sparsity (Fig. 1b),
+//!   ideal-speedup potential (Fig. 2 / Eq. 4) and exponent histograms
+//!   (Fig. 6).
+//!
+//! # Example
+//!
+//! ```
+//! use fpraker_trace::{Trace, codec};
+//!
+//! let trace = Trace::new("my-model", 10);
+//! let bytes = codec::encode(&trace);
+//! assert_eq!(codec::decode(&bytes).unwrap(), trace);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+mod format;
+pub mod stats;
+
+pub use format::{Phase, TensorKind, Trace, TraceOp};

@@ -1,0 +1,376 @@
+//! Sparsity and exponent statistics over traces.
+//!
+//! These implement the measurements of Section II:
+//!
+//! * **value sparsity** (Fig. 1a) — the fraction of MAC operands that are
+//!   zero, per tensor kind, with "each value weighted according to
+//!   frequency of use";
+//! * **term sparsity** (Fig. 1b) — the fraction of significand digit slots
+//!   that encode to zero under canonical encoding, same weighting;
+//! * **potential speedup** (Fig. 2, Eq. 4) —
+//!   `#MACs / ((1 - term_sparsity) × #MACs)` per training phase;
+//! * **exponent histograms** (Fig. 6) — the distribution of exponents per
+//!   tensor kind.
+
+use std::collections::BTreeMap;
+
+use fpraker_num::encode::{term_count, Encoding};
+use fpraker_num::Bf16;
+
+use crate::format::{Phase, TensorKind, Trace, TraceOp};
+
+/// Weighted zero/term statistics for one tensor kind.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SparsityStat {
+    /// Weighted count of values observed.
+    pub values: u64,
+    /// Weighted count of zero values.
+    pub zeros: u64,
+    /// Weighted count of significand digit slots (8 per value).
+    pub slots: u64,
+    /// Weighted count of non-zero terms after canonical encoding.
+    pub terms: u64,
+}
+
+impl SparsityStat {
+    /// Fraction of values that are zero (Fig. 1a).
+    pub fn value_sparsity(&self) -> f64 {
+        if self.values == 0 {
+            0.0
+        } else {
+            self.zeros as f64 / self.values as f64
+        }
+    }
+
+    /// Fraction of digit slots that carry no term (Fig. 1b).
+    pub fn term_sparsity(&self) -> f64 {
+        if self.slots == 0 {
+            0.0
+        } else {
+            1.0 - self.terms as f64 / self.slots as f64
+        }
+    }
+
+    fn absorb(&mut self, values: &[Bf16], weight: u64, encoding: Encoding) {
+        for &v in values {
+            self.values += weight;
+            self.slots += 8 * weight;
+            if v.is_zero() {
+                self.zeros += weight;
+            } else {
+                self.terms += term_count(v.significand(), encoding) as u64 * weight;
+            }
+        }
+    }
+}
+
+/// Per-tensor-kind sparsity statistics of a trace (Fig. 1).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TraceSparsity {
+    /// Statistics for activations.
+    pub activation: SparsityStat,
+    /// Statistics for weights.
+    pub weight: SparsityStat,
+    /// Statistics for gradients.
+    pub gradient: SparsityStat,
+}
+
+impl TraceSparsity {
+    /// The statistic for one tensor kind.
+    pub fn kind(&self, kind: TensorKind) -> &SparsityStat {
+        match kind {
+            TensorKind::Activation => &self.activation,
+            TensorKind::Weight => &self.weight,
+            TensorKind::Gradient => &self.gradient,
+        }
+    }
+
+    fn kind_mut(&mut self, kind: TensorKind) -> &mut SparsityStat {
+        match kind {
+            TensorKind::Activation => &mut self.activation,
+            TensorKind::Weight => &mut self.weight,
+            TensorKind::Gradient => &mut self.gradient,
+        }
+    }
+}
+
+/// Measures value and term sparsity over a trace, weighting each operand
+/// element by its frequency of use (an `m×k` serial operand element
+/// participates in `n` MACs and vice versa).
+pub fn sparsity(trace: &Trace, encoding: Encoding) -> TraceSparsity {
+    let mut out = TraceSparsity::default();
+    for op in &trace.ops {
+        out.kind_mut(op.a_kind).absorb(&op.a, op.n as u64, encoding);
+        out.kind_mut(op.b_kind).absorb(&op.b, op.m as u64, encoding);
+    }
+    out
+}
+
+/// Term sparsity of the *serial* operand per phase, and the resulting ideal
+/// speedup (Eq. 4): `1 / (1 - term_sparsity)`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhasePotential {
+    /// Weighted digit slots of the serial operands in this phase.
+    pub slots: u64,
+    /// Weighted non-zero terms.
+    pub terms: u64,
+    /// Total MACs in this phase.
+    pub macs: u64,
+}
+
+impl PhasePotential {
+    /// Term sparsity of the serial operand (zero values contribute 8 empty
+    /// slots).
+    pub fn term_sparsity(&self) -> f64 {
+        if self.slots == 0 {
+            0.0
+        } else {
+            1.0 - self.terms as f64 / self.slots as f64
+        }
+    }
+
+    /// Eq. 4: `#MACs / (term_occupancy × #MACs)`.
+    pub fn potential_speedup(&self) -> f64 {
+        let occupancy = 1.0 - self.term_sparsity();
+        if occupancy <= 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / occupancy
+        }
+    }
+}
+
+/// Computes the per-phase ideal-speedup potential of a trace (Fig. 2).
+pub fn potential_by_phase(trace: &Trace, encoding: Encoding) -> BTreeMap<&'static str, PhasePotential> {
+    let mut map: BTreeMap<&'static str, PhasePotential> = BTreeMap::new();
+    for op in &trace.ops {
+        let name = phase_name(op.phase);
+        let entry = map.entry(name).or_default();
+        entry.macs += op.macs();
+        for &v in &op.a {
+            entry.slots += 8 * op.n as u64;
+            if !v.is_zero() {
+                entry.terms += term_count(v.significand(), encoding) as u64 * op.n as u64;
+            }
+        }
+    }
+    map
+}
+
+fn phase_name(p: Phase) -> &'static str {
+    match p {
+        Phase::AxW => "AxW",
+        Phase::AxG => "AxG",
+        Phase::GxW => "GxW",
+    }
+}
+
+/// An exponent histogram (Fig. 6): counts of unbiased exponents, with zeros
+/// tracked separately.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ExponentHistogram {
+    counts: BTreeMap<i32, u64>,
+    /// Number of zero values (no exponent).
+    pub zeros: u64,
+    /// Total values observed.
+    pub total: u64,
+}
+
+impl ExponentHistogram {
+    /// Adds values to the histogram.
+    pub fn absorb(&mut self, values: &[Bf16]) {
+        for &v in values {
+            self.total += 1;
+            if v.is_zero() {
+                self.zeros += 1;
+            } else {
+                *self.counts.entry(v.exponent()).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Iterates `(exponent, fraction-of-total)` pairs in ascending order.
+    pub fn fractions(&self) -> impl Iterator<Item = (i32, f64)> + '_ {
+        let total = self.total.max(1) as f64;
+        self.counts.iter().map(move |(&e, &c)| (e, c as f64 / total))
+    }
+
+    /// The exponent range observed, if any values were non-zero.
+    pub fn range(&self) -> Option<(i32, i32)> {
+        let lo = self.counts.keys().next()?;
+        let hi = self.counts.keys().last()?;
+        Some((*lo, *hi))
+    }
+
+    /// The smallest exponent span containing at least `fraction` of the
+    /// non-zero values (the paper's observation is that the "vast majority
+    /// of the exponents ... lie within a narrow range").
+    pub fn span_containing(&self, fraction: f64) -> u32 {
+        let nonzero: u64 = self.counts.values().sum();
+        if nonzero == 0 {
+            return 0;
+        }
+        let need = (fraction * nonzero as f64).ceil() as u64;
+        let entries: Vec<(i32, u64)> = self.counts.iter().map(|(&e, &c)| (e, c)).collect();
+        let mut best = u32::MAX;
+        let mut lo = 0usize;
+        let mut acc = 0u64;
+        for hi in 0..entries.len() {
+            acc += entries[hi].1;
+            while acc - entries[lo].1 >= need {
+                acc -= entries[lo].1;
+                lo += 1;
+            }
+            if acc >= need {
+                best = best.min((entries[hi].0 - entries[lo].0) as u32 + 1);
+            }
+        }
+        best
+    }
+}
+
+/// Exponent histograms per tensor kind over a trace (Fig. 6's three
+/// series).
+pub fn exponent_histograms(trace: &Trace) -> [(TensorKind, ExponentHistogram); 3] {
+    let mut hists = [
+        (TensorKind::Activation, ExponentHistogram::default()),
+        (TensorKind::Weight, ExponentHistogram::default()),
+        (TensorKind::Gradient, ExponentHistogram::default()),
+    ];
+    let mut absorb = |kind: TensorKind, values: &[Bf16]| {
+        for (k, h) in hists.iter_mut() {
+            if *k == kind {
+                h.absorb(values);
+            }
+        }
+    };
+    for op in &trace.ops {
+        absorb(op.a_kind, &op.a);
+        absorb(op.b_kind, &op.b);
+    }
+    hists
+}
+
+/// Picks the serial side for an op: the operand whose term sparsity is
+/// higher (Section IV: "This allows us to target those tensors that have
+/// more sparsity depending on the layer and the pass").
+pub fn preferred_serial_is_a(op: &TraceOp, encoding: Encoding) -> bool {
+    let mut a = SparsityStat::default();
+    a.absorb(&op.a, 1, encoding);
+    let mut b = SparsityStat::default();
+    b.absorb(&op.b, 1, encoding);
+    a.term_sparsity() >= b.term_sparsity()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op_with(a: Vec<Bf16>, b: Vec<Bf16>, m: usize, n: usize, k: usize) -> TraceOp {
+        TraceOp {
+            layer: "l".into(),
+            phase: Phase::AxW,
+            m,
+            n,
+            k,
+            a,
+            b,
+            a_kind: TensorKind::Activation,
+            b_kind: TensorKind::Weight,
+            a_dup: 1.0,
+            b_dup: 1.0,
+            out_dup: 1.0,
+        }
+    }
+
+    #[test]
+    fn value_sparsity_counts_zeros() {
+        let mut tr = Trace::new("t", 0);
+        // A: half zeros; B: no zeros.
+        tr.ops.push(op_with(
+            vec![Bf16::ZERO, Bf16::ONE, Bf16::ZERO, Bf16::ONE],
+            vec![Bf16::ONE; 4],
+            2,
+            2,
+            2,
+        ));
+        let s = sparsity(&tr, Encoding::Canonical);
+        assert!((s.activation.value_sparsity() - 0.5).abs() < 1e-12);
+        assert_eq!(s.weight.value_sparsity(), 0.0);
+        assert_eq!(s.gradient.values, 0);
+    }
+
+    #[test]
+    fn term_sparsity_of_powers_of_two_is_seven_eighths() {
+        let mut tr = Trace::new("t", 0);
+        tr.ops.push(op_with(
+            vec![Bf16::from_f32(2.0); 4], // one term each
+            vec![Bf16::ONE; 4],
+            2,
+            2,
+            2,
+        ));
+        let s = sparsity(&tr, Encoding::Canonical);
+        assert!((s.activation.term_sparsity() - 7.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn potential_speedup_matches_eq4() {
+        let mut tr = Trace::new("t", 0);
+        tr.ops.push(op_with(
+            vec![Bf16::from_f32(2.0); 4],
+            vec![Bf16::ONE; 4],
+            2,
+            2,
+            2,
+        ));
+        let pot = potential_by_phase(&tr, Encoding::Canonical);
+        let axw = &pot["AxW"];
+        assert_eq!(axw.macs, 8);
+        assert!((axw.potential_speedup() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighting_follows_frequency_of_use() {
+        // Same values, but in a GEMM with larger n: the A-side weight
+        // grows with n.
+        let mut tr1 = Trace::new("t", 0);
+        tr1.ops.push(op_with(vec![Bf16::ZERO; 2], vec![Bf16::ONE; 2], 1, 2, 2));
+        let mut tr2 = Trace::new("t", 0);
+        tr2.ops.push(op_with(vec![Bf16::ZERO; 2], vec![Bf16::ONE; 8], 1, 8, 2));
+        let s1 = sparsity(&tr1, Encoding::Canonical);
+        let s2 = sparsity(&tr2, Encoding::Canonical);
+        assert_eq!(s1.activation.values, 4);
+        assert_eq!(s2.activation.values, 16);
+    }
+
+    #[test]
+    fn exponent_histogram_tracks_range_and_span() {
+        let mut h = ExponentHistogram::default();
+        let values: Vec<Bf16> = [1.0f32, 2.0, 2.0, 4.0, 0.0]
+            .iter()
+            .map(|&x| Bf16::from_f32(x))
+            .collect();
+        h.absorb(&values);
+        assert_eq!(h.total, 5);
+        assert_eq!(h.zeros, 1);
+        assert_eq!(h.range(), Some((0, 2)));
+        // 2 of 4 non-zero values have exponent 1: span for 50% is 1.
+        assert_eq!(h.span_containing(0.5), 1);
+        assert_eq!(h.span_containing(1.0), 3);
+    }
+
+    #[test]
+    fn preferred_serial_picks_sparser_operand() {
+        // A is dense (all significand bits set), B is a power of two.
+        let op = op_with(
+            vec![Bf16::from_bits(0x3FFF); 4], // 1.1111111
+            vec![Bf16::from_f32(2.0); 4],
+            2,
+            2,
+            2,
+        );
+        assert!(!preferred_serial_is_a(&op, Encoding::Canonical));
+        assert!(preferred_serial_is_a(&op.swapped(), Encoding::Canonical));
+    }
+}

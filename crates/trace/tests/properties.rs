@@ -1,0 +1,64 @@
+//! Property-based tests of the trace codec: arbitrary traces round-trip,
+//! corrupted inputs error rather than panic.
+
+use fpraker_num::Bf16;
+use fpraker_trace::{codec, Phase, TensorKind, Trace, TraceOp};
+use proptest::prelude::*;
+
+fn arb_op() -> impl Strategy<Value = TraceOp> {
+    (
+        "[a-z]{1,12}",
+        0usize..3,
+        1usize..6,
+        1usize..6,
+        1usize..10,
+        any::<u64>(),
+    )
+        .prop_map(|(layer, phase, m, n, k, seed)| {
+            let mut rng = fpraker_num::reference::SplitMix64::new(seed);
+            TraceOp {
+                layer,
+                phase: [Phase::AxW, Phase::AxG, Phase::GxW][phase],
+                m,
+                n,
+                k,
+                a: (0..m * k).map(|_| rng.bf16_in_range(8)).collect(),
+                b: (0..n * k).map(|_| rng.bf16_in_range(8)).collect(),
+                a_kind: TensorKind::Activation,
+                b_kind: TensorKind::Weight,
+                a_dup: 1.0 + (seed % 9) as f32,
+                b_dup: 1.0,
+                out_dup: 1.0,
+            }
+        })
+}
+
+proptest! {
+    #[test]
+    fn any_trace_round_trips(
+        model in "[a-zA-Z0-9_-]{0,20}",
+        pct in 0u32..=100,
+        ops in prop::collection::vec(arb_op(), 0..5),
+    ) {
+        let trace = Trace { model, progress_pct: pct, ops };
+        let bytes = codec::encode(&trace);
+        let back = codec::decode(&bytes).unwrap();
+        prop_assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn corrupted_bytes_never_panic(
+        ops in prop::collection::vec(arb_op(), 1..3),
+        flip in any::<usize>(),
+        cut in any::<usize>(),
+    ) {
+        let trace = Trace { model: "m".into(), progress_pct: 1, ops };
+        let mut bytes = codec::encode(&trace).to_vec();
+        let n = bytes.len();
+        bytes[flip % n] ^= 0xFF;
+        let cut = cut % (n + 1);
+        // Either decodes (to something) or errors; must never panic.
+        let _ = codec::decode(&bytes[..cut]);
+        let _ = codec::decode(&bytes);
+    }
+}

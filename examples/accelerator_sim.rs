@@ -1,0 +1,68 @@
+//! Full accelerator simulation of one training step, with the paper's
+//! Fig. 13/15-style accounting: where the cycles go, what was skipped, and
+//! what the memory system moved.
+//!
+//! Run with: `cargo run --release --example accelerator_sim [model]`
+//! where `model` is a zoo name (default `vgg16`; see
+//! `fpraker::dnn::models::PAPER_MODELS`).
+
+use fpraker::dnn::{models, Engine};
+use fpraker::energy::EnergyModel;
+use fpraker::sim::{
+    energy_efficiency, simulate_trace_baseline, simulate_trace_fpraker, speedup,
+    AcceleratorConfig,
+};
+
+fn main() {
+    let model = std::env::args().nth(1).unwrap_or_else(|| "vgg16".into());
+    println!("training the {model} analogue and capturing one step...");
+    let mut w = models::build(&model);
+    let mut engine = Engine::f32();
+    for epoch in 0..3 {
+        let _ = w.train_epoch(&mut engine, epoch);
+    }
+    let trace = w.capture_trace(&mut engine, 50);
+    println!("captured {} GEMMs, {} MACs\n", trace.ops.len(), trace.macs());
+
+    let mut cfg = AcceleratorConfig::fpraker_paper();
+    cfg.check_golden = true; // verify every output against f64 references
+    let fp = simulate_trace_fpraker(&trace, &cfg);
+    let bl = simulate_trace_baseline(&trace, &AcceleratorConfig::baseline_paper());
+    assert_eq!(fp.golden_failures(), 0, "golden check failed");
+
+    println!("FPRaker (36 tiles)  : {:>9} cycles", fp.cycles());
+    println!("Baseline (8 tiles)  : {:>9} cycles", bl.cycles());
+    println!("speedup             : {:.2}x", speedup(&fp, &bl));
+
+    let stats = fp.stats();
+    println!("\nwhere FPRaker's lane-cycles went (Fig. 15):");
+    println!("  {}", stats.lane_cycles);
+    println!(
+        "skipped work (Fig. 13): {:.1}% of digit slots ({:.1}% zero, {:.1}% out-of-bounds)",
+        stats.terms.skipped_fraction() * 100.0,
+        stats.terms.zero_share_of_skipped() * 100.0,
+        (1.0 - stats.terms.zero_share_of_skipped()) * 100.0,
+    );
+
+    let em = EnergyModel::paper();
+    println!("\nenergy (Fig. 12):");
+    for (name, run) in [("FPRaker", &fp), ("baseline", &bl)] {
+        let e = run.energy(&em);
+        let f = e.fractions();
+        println!(
+            "  {name:>8}: {:.1} uJ (compute {:.0}%, control {:.0}%, accum {:.0}%, on-chip {:.0}%, off-chip {:.0}%)",
+            e.total_pj() / 1e6,
+            f[0] * 100.0,
+            f[1] * 100.0,
+            f[2] * 100.0,
+            f[3] * 100.0,
+            f[4] * 100.0
+        );
+    }
+    println!(
+        "  core energy efficiency: {:.2}x, total: {:.2}x",
+        energy_efficiency(&fp, &bl, &em, true),
+        energy_efficiency(&fp, &bl, &em, false)
+    );
+    println!("\n(golden-value checking passed: every tile output matched the f64 reference)");
+}

@@ -1,0 +1,56 @@
+//! Exponent base-delta compression on real training tensors (Fig. 10).
+//!
+//! Trains a workload, then compresses each captured tensor stream with the
+//! BDC codec and verifies a bit-exact round trip.
+//!
+//! Run with: `cargo run --release --example compress_tensors`
+
+use std::collections::BTreeMap;
+
+use fpraker::dnn::{models, Engine};
+use fpraker::mem::bdc;
+use fpraker::num::Bf16;
+
+fn main() {
+    let mut w = models::build("detectron2");
+    let mut engine = Engine::f32();
+    for epoch in 0..3 {
+        let _ = w.train_epoch(&mut engine, epoch);
+    }
+    let trace = w.capture_trace(&mut engine, 50);
+
+    let mut by_kind: BTreeMap<String, Vec<Bf16>> = BTreeMap::new();
+    for op in &trace.ops {
+        by_kind
+            .entry(op.a_kind.to_string())
+            .or_default()
+            .extend_from_slice(&op.a);
+        by_kind
+            .entry(op.b_kind.to_string())
+            .or_default()
+            .extend_from_slice(&op.b);
+    }
+
+    println!("exponent base-delta compression (groups of 32, Fig. 9 layout):\n");
+    println!(
+        "{:>12} | {:>10} | {:>12} | {:>12}",
+        "tensor", "values", "exp ratio", "total ratio"
+    );
+    for (kind, values) in &by_kind {
+        let (bytes, fp) = bdc::compress(values);
+        let back = bdc::decompress(&bytes, values.len()).expect("decompress");
+        assert_eq!(&back, values, "round trip must be bit exact");
+        println!(
+            "{kind:>12} | {:>10} | {:>11.1}% | {:>11.1}%",
+            values.len(),
+            fp.exponent_ratio() * 100.0,
+            fp.total_ratio() * 100.0
+        );
+    }
+    println!(
+        "\nexponents compress because trained values cluster in a narrow\n\
+         range (Fig. 6); the codec stores one 8-bit base per 32 values plus\n\
+         per-value deltas of dynamically chosen width. Round trips verified\n\
+         bit-exact above."
+    );
+}

@@ -1,0 +1,60 @@
+//! Quickstart: watch one FPRaker PE process a set of MACs term by term.
+//!
+//! Reproduces the flavour of the paper's Fig. 5 walkthrough: encode the
+//! serial operands, process the set, and compare cycles and skipped work
+//! against the bit-parallel baseline.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use fpraker::core::{BaselinePe, Pe, PeConfig};
+use fpraker::num::encode::{encode_terms, Encoding};
+use fpraker::num::Bf16;
+
+fn main() {
+    // Eight value pairs: a mix of dense mantissas, powers of two and zeros
+    // (the kind of mix a ReLU network produces).
+    let a: Vec<Bf16> = [1.875f32, 2.0, 0.0, -0.75, 4.0, 0.0, 1.1875, -0.5]
+        .iter()
+        .map(|&x| Bf16::from_f32(x))
+        .collect();
+    let b: Vec<Bf16> = [0.5f32, 1.25, 3.0, -2.0, 0.375, 7.0, 1.0, -1.5]
+        .iter()
+        .map(|&x| Bf16::from_f32(x))
+        .collect();
+
+    println!("Serial (A) operands and their canonical terms:");
+    for v in &a {
+        let terms = encode_terms(v.significand(), Encoding::Canonical);
+        let rendered: Vec<String> = terms.iter().map(|t| t.to_string()).collect();
+        println!("  {:>8} -> [{}]", v.to_f32(), rendered.join(", "));
+    }
+
+    let mut pe = Pe::new(PeConfig::paper());
+    let outcome = pe.process_set(&a, &b);
+    let mut baseline = BaselinePe::new(PeConfig::paper());
+    let baseline_cycles = baseline.process_set(&a, &b);
+
+    println!("\nFPRaker PE:  {} cycles", outcome.cycles);
+    println!("  terms processed: {}", outcome.terms.processed);
+    println!(
+        "  skipped: {} zero digit slots, {} out-of-bounds terms",
+        outcome.terms.zero_skipped, outcome.terms.ob_skipped
+    );
+    println!("  lane cycles: {}", outcome.lane_cycles);
+    println!("Baseline PE: {baseline_cycles} cycle (8 parallel multipliers)");
+
+    let exact: f64 = a
+        .iter()
+        .zip(&b)
+        .map(|(x, y)| x.to_f64() * y.to_f64())
+        .sum();
+    println!("\nresults: FPRaker = {}", pe.read_output());
+    println!("         baseline = {}", baseline.read_output());
+    println!("         exact    = {exact}");
+    println!(
+        "\nOne FPRaker PE is slower than one baseline PE — but it is 4.5x\n\
+         smaller, so the iso-area accelerator fits 4.5x more of them\n\
+         (Table III: 36 tiles vs 8). See `cargo run --release -p\n\
+         fpraker-bench --bin fig11` for the accelerator-level comparison."
+    );
+}

@@ -1,0 +1,52 @@
+//! # FPRaker — reproduction of "FPRaker: A Processing Element For
+//! # Accelerating Neural Network Training" (MICRO 2021)
+//!
+//! FPRaker is a term-serial bfloat16 processing element for DNN training
+//! accelerators: one operand of every multiply-accumulate is decomposed
+//! into signed powers of two on the fly, and the PE skips the work that
+//! cannot affect the result — zero terms and terms falling outside the
+//! accumulator's precision window. Under iso-compute-area (an FPRaker tile
+//! is 0.22x the baseline tile), the paper reports 1.5x speedup and 1.4x
+//! energy efficiency over an optimized bit-parallel bfloat16 accelerator.
+//!
+//! This crate re-exports the whole reproduction workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`num`] | `fpraker-num` | bfloat16, term encoding, extended accumulator |
+//! | [`core`] | `fpraker-core` | the FPRaker PE, tile, and baseline PE |
+//! | [`tensor`] | `fpraker-tensor` | dense tensors, GEMM, im2col |
+//! | [`dnn`] | `fpraker-dnn` | training framework + Table I workload zoo |
+//! | [`trace`] | `fpraker-trace` | training traces, sparsity statistics |
+//! | [`mem`] | `fpraker-mem` | BDC compression, containers, transposer, DRAM |
+//! | [`sim`] | `fpraker-sim` | the accelerator-level simulator |
+//! | [`energy`] | `fpraker-energy` | Table III area/power + event energies |
+//!
+//! # Quick start
+//!
+//! ```
+//! use fpraker::core::{Pe, PeConfig};
+//! use fpraker::num::Bf16;
+//!
+//! let mut pe = Pe::new(PeConfig::paper());
+//! let a: Vec<Bf16> = (1..=16).map(|i| Bf16::from_f32(i as f32)).collect();
+//! let b: Vec<Bf16> = (1..=16).map(|i| Bf16::from_f32(1.0 / i as f32)).collect();
+//! let (result, cycles) = pe.dot(&a, &b);
+//! assert_eq!(result.to_f32(), 16.0);
+//! assert!(cycles >= 2);
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios and `crates/bench` for the
+//! harness that regenerates every table and figure of the evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use fpraker_core as core;
+pub use fpraker_dnn as dnn;
+pub use fpraker_energy as energy;
+pub use fpraker_mem as mem;
+pub use fpraker_num as num;
+pub use fpraker_sim as sim;
+pub use fpraker_tensor as tensor;
+pub use fpraker_trace as trace;

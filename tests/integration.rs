@@ -1,0 +1,137 @@
+//! Cross-crate integration tests: training → trace → simulator → energy,
+//! end to end.
+
+use fpraker::dnn::{models, Engine};
+use fpraker::energy::EnergyModel;
+use fpraker::num::encode::Encoding;
+use fpraker::sim::{
+    energy_efficiency, simulate_trace_baseline, simulate_trace_fpraker, AcceleratorConfig,
+};
+use fpraker::trace::stats::sparsity;
+use fpraker::trace::{codec, Phase};
+
+fn quick_trace(model: &str) -> fpraker::trace::Trace {
+    let mut w = models::build(model);
+    let mut e = Engine::f32();
+    let _ = w.train_epoch(&mut e, 0);
+    w.capture_trace(&mut e, 10)
+}
+
+#[test]
+fn captured_traces_survive_serialization_and_simulation() {
+    let trace = quick_trace("ncf");
+    assert!(trace.validate().is_ok());
+    // Serialize, deserialize, and simulate the decoded trace.
+    let bytes = codec::encode(&trace);
+    let back = codec::decode(&bytes).expect("decode");
+    assert_eq!(back, trace);
+    let mut cfg = AcceleratorConfig::fpraker_paper();
+    cfg.check_golden = true;
+    let run = simulate_trace_fpraker(&back, &cfg);
+    assert_eq!(run.golden_failures(), 0, "simulated values match references");
+    assert!(run.cycles() > 0);
+}
+
+#[test]
+fn relu_models_show_activation_sparsity_and_gradient_sparsity() {
+    let trace = quick_trace("vgg16");
+    let s = sparsity(&trace, Encoding::Canonical);
+    assert!(
+        s.activation.value_sparsity() > 0.2,
+        "ReLU activations should be sparse: {}",
+        s.activation.value_sparsity()
+    );
+    assert!(
+        s.activation.term_sparsity() > s.activation.value_sparsity(),
+        "term sparsity exceeds value sparsity (paper Fig. 1)"
+    );
+    assert!(s.weight.term_sparsity() > 0.3);
+}
+
+#[test]
+fn quantized_training_boosts_term_sparsity_and_speedup() {
+    // The ResNet18-Q analogue (PACT 4-bit) must show more term sparsity
+    // and a better compute speedup than its unquantized twin — the paper's
+    // central ResNet18-Q result (Section V-C).
+    let build_measure = |name: &str| {
+        let mut w = models::build(name);
+        let mut e = Engine::f32();
+        for epoch in 0..2 {
+            let _ = w.train_epoch(&mut e, epoch);
+        }
+        let trace = w.capture_trace(&mut e, 30);
+        let s = sparsity(&trace, Encoding::Canonical);
+        let fp = simulate_trace_fpraker(&trace, &AcceleratorConfig::fpraker_paper());
+        let bl = simulate_trace_baseline(&trace, &AcceleratorConfig::baseline_paper());
+        (
+            s.activation.term_sparsity(),
+            bl.compute_cycles() as f64 / fp.compute_cycles().max(1) as f64,
+        )
+    };
+    let (ts_q, speed_q) = build_measure("resnet18-q");
+    let (ts_p, speed_p) = build_measure("resnet18");
+    assert!(ts_q > ts_p, "quantized term sparsity {ts_q} <= plain {ts_p}");
+    assert!(
+        speed_q > speed_p,
+        "quantized compute speedup {speed_q} <= plain {speed_p}"
+    );
+}
+
+#[test]
+fn all_three_training_phases_are_simulated() {
+    let trace = quick_trace("squeezenet1.1");
+    let run = simulate_trace_fpraker(&trace, &AcceleratorConfig::fpraker_paper());
+    let phases = run.cycles_by_phase();
+    for p in [Phase::AxW, Phase::AxG, Phase::GxW] {
+        let key = p.to_string();
+        assert!(
+            phases.get(key.as_str()).copied().unwrap_or(0) > 0,
+            "phase {p} missing from simulation"
+        );
+    }
+}
+
+#[test]
+fn fpraker_is_more_core_energy_efficient_than_baseline() {
+    let trace = quick_trace("vgg16");
+    let fp = simulate_trace_fpraker(&trace, &AcceleratorConfig::fpraker_paper());
+    let bl = simulate_trace_baseline(&trace, &AcceleratorConfig::baseline_paper());
+    let eff = energy_efficiency(&fp, &bl, &EnergyModel::paper(), true);
+    assert!(eff > 1.0, "core energy efficiency {eff} <= 1");
+}
+
+#[test]
+fn ablations_compose_monotonically() {
+    // Adding OB-term skipping on top of zero-term skipping never slows
+    // compute; adding BDC never increases traffic cycles on trained data.
+    let trace = quick_trace("detectron2");
+    let full = simulate_trace_fpraker(&trace, &AcceleratorConfig::fpraker_paper());
+    let mut no_ob = AcceleratorConfig::fpraker_paper();
+    no_ob.tile.pe.ob_skip = false;
+    let without = simulate_trace_fpraker(&trace, &no_ob);
+    assert!(
+        full.compute_cycles() <= without.compute_cycles(),
+        "OB skipping slowed compute"
+    );
+    let mut no_bdc = no_ob.clone();
+    no_bdc.bdc_offchip = false;
+    let raw = simulate_trace_fpraker(&trace, &no_bdc);
+    let mem = |r: &fpraker::sim::RunResult| r.ops.iter().map(|o| o.mem_cycles).sum::<u64>();
+    assert!(mem(&without) <= mem(&raw), "BDC increased traffic");
+}
+
+#[test]
+fn emulated_training_step_is_close_to_f32() {
+    use fpraker::core::PeConfig;
+    use fpraker::dnn::Arithmetic;
+    // One training step under FPRaker arithmetic stays close to the f32
+    // step (loss within a few percent) — the Fig. 17 property in miniature.
+    let mut w32 = models::build("ncf");
+    let mut wfp = models::build("ncf");
+    let mut e32 = Engine::f32();
+    let mut efp = Engine::new(Arithmetic::FpRaker(PeConfig::paper()));
+    let (l32, _) = w32.train_step(&mut e32, 0);
+    let (lfp, _) = wfp.train_step(&mut efp, 0);
+    let rel = ((l32 - lfp) / l32).abs();
+    assert!(rel < 0.05, "loss diverged: f32 {l32} vs emulated {lfp}");
+}
