@@ -1,5 +1,5 @@
-//! Criterion microbenchmarks of the core components, one group per
-//! evaluation artifact the component underlies:
+//! Microbenchmarks of the core components, one group per evaluation
+//! artifact the component underlies:
 //!
 //! * `fig01_encoding`   — term encoding throughput (sparsity measurement);
 //! * `fig05_pe`         — PE set processing (the cycle-level kernel);
@@ -7,9 +7,11 @@
 //! * `fig11_tile`       — tile block simulation (the iso-area comparison);
 //! * `fig11_baseline`   — baseline PE for reference;
 //! * `table2_accum`     — the extended-precision accumulator.
+//!
+//! Built with `harness = false` on the dependency-free
+//! [`fpraker_bench::harness`] (no criterion in the offline set).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-
+use fpraker_bench::harness::bench;
 use fpraker_core::{BaselinePe, Pe, PeConfig, Tile, TileConfig};
 use fpraker_mem::bdc;
 use fpraker_num::encode::{encode_terms, Encoding};
@@ -21,102 +23,93 @@ fn rand_values(n: usize, spread: i32, seed: u64) -> Vec<Bf16> {
     (0..n).map(|_| rng.bf16_in_range(spread)).collect()
 }
 
-fn bench_encoding(c: &mut Criterion) {
+fn bench_encoding() {
     let values = rand_values(4096, 8, 1);
-    let mut g = c.benchmark_group("fig01_encoding");
-    g.throughput(Throughput::Elements(values.len() as u64));
     for enc in [Encoding::Canonical, Encoding::RawBits] {
-        g.bench_function(format!("{enc:?}"), |b| {
-            b.iter(|| {
+        bench(
+            &format!("fig01_encoding/{enc:?}"),
+            200,
+            Some(values.len() as u64),
+            || {
                 let mut total = 0usize;
                 for v in &values {
                     total += encode_terms(v.significand(), enc).len();
                 }
                 total
-            })
-        });
+            },
+        );
     }
-    g.finish();
 }
 
-fn bench_pe(c: &mut Criterion) {
+fn bench_pe() {
     let a = rand_values(8, 4, 2);
     let b = rand_values(8, 4, 3);
-    let mut g = c.benchmark_group("fig05_pe");
-    g.throughput(Throughput::Elements(8));
-    g.bench_function("process_set", |bench| {
-        bench.iter_batched(
-            || Pe::new(PeConfig::paper()),
-            |mut pe| pe.process_set(&a, &b),
-            BatchSize::SmallInput,
-        )
+    bench("fig05_pe/process_set", 2000, Some(8), || {
+        let mut pe = Pe::new(PeConfig::paper());
+        pe.process_set(&a, &b)
     });
-    g.finish();
 }
 
-fn bench_baseline(c: &mut Criterion) {
+fn bench_baseline() {
     let a = rand_values(8, 4, 2);
     let b = rand_values(8, 4, 3);
-    let mut g = c.benchmark_group("fig11_baseline");
-    g.throughput(Throughput::Elements(8));
-    g.bench_function("process_set", |bench| {
-        bench.iter_batched(
-            || BaselinePe::new(PeConfig::paper()),
-            |mut pe| pe.process_set(&a, &b),
-            BatchSize::SmallInput,
-        )
+    bench("fig11_baseline/process_set", 2000, Some(8), || {
+        let mut pe = BaselinePe::new(PeConfig::paper());
+        pe.process_set(&a, &b)
     });
-    g.finish();
 }
 
-fn bench_bdc(c: &mut Criterion) {
+fn bench_bdc() {
     let values = rand_values(4096, 3, 4);
-    let mut g = c.benchmark_group("fig10_bdc");
-    g.throughput(Throughput::Elements(values.len() as u64));
-    g.bench_function("compress", |b| b.iter(|| bdc::compress(&values)));
-    let (bytes, _) = bdc::compress(&values);
-    g.bench_function("decompress", |b| {
-        b.iter(|| bdc::decompress(&bytes, values.len()).unwrap())
+    bench("fig10_bdc/compress", 200, Some(values.len() as u64), || {
+        bdc::compress(&values)
     });
-    g.bench_function("footprint", |b| b.iter(|| bdc::footprint(&values)));
-    g.finish();
+    let (bytes, _) = bdc::compress(&values);
+    bench(
+        "fig10_bdc/decompress",
+        200,
+        Some(values.len() as u64),
+        || bdc::decompress(&bytes, values.len()).unwrap(),
+    );
+    bench(
+        "fig10_bdc/footprint",
+        200,
+        Some(values.len() as u64),
+        || bdc::footprint(&values),
+    );
 }
 
-fn bench_tile(c: &mut Criterion) {
+fn bench_tile() {
     let sets = 8;
     let a: Vec<Vec<Bf16>> = (0..8).map(|i| rand_values(sets * 8, 3, 10 + i)).collect();
     let b: Vec<Vec<Bf16>> = (0..8).map(|i| rand_values(sets * 8, 3, 20 + i)).collect();
-    let mut g = c.benchmark_group("fig11_tile");
-    g.throughput(Throughput::Elements((64 * sets * 8) as u64));
-    g.bench_function("run_block_8x8", |bench| {
-        bench.iter_batched(
-            || Tile::new(TileConfig::paper()),
-            |mut tile| tile.run_block(&a, &b),
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
+    bench(
+        "fig11_tile/run_block_8x8",
+        50,
+        Some((64 * sets * 8) as u64),
+        || {
+            let mut tile = Tile::new(TileConfig::paper());
+            tile.run_block(&a, &b)
+        },
+    );
 }
 
-fn bench_accumulator(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table2_accum");
-    g.throughput(Throughput::Elements(1024));
-    g.bench_function("add_scaled_normalize", |b| {
-        b.iter(|| {
-            let mut acc = Accumulator::new(AccumConfig::paper());
-            for i in 0..1024u64 {
-                acc.add_scaled(i % 3 == 0, 0x80 + (i & 0x7F), (i % 17) as i32 - 8);
-                acc.normalize();
-            }
-            acc.read_bf16()
-        })
+fn bench_accumulator() {
+    bench("table2_accum/add_scaled_normalize", 500, Some(1024), || {
+        let mut acc = Accumulator::new(AccumConfig::paper());
+        for i in 0..1024u64 {
+            acc.add_scaled(i % 3 == 0, 0x80 + (i & 0x7F), (i % 17) as i32 - 8);
+            acc.normalize();
+        }
+        acc.read_bf16()
     });
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_encoding, bench_pe, bench_baseline, bench_bdc, bench_tile, bench_accumulator
+fn main() {
+    bench_encoding();
+    bench_pe();
+    bench_baseline();
+    bench_bdc();
+    bench_tile();
+    bench_accumulator();
 }
-criterion_main!(benches);

@@ -1,66 +1,20 @@
-//! Criterion benchmarks of the trace-level simulator — the engine behind
-//! Figs. 11–16 and 18–21. Runs a fixed synthetic GEMM trace through both
-//! machines.
+//! Wall-clock benchmarks of the trace-level simulator — the engine behind
+//! Figs. 11–16 and 18–21. Runs the canonical measurement set
+//! ([`fpraker_bench::simbench`]): the fixed synthetic GEMM trace through
+//! both machines, sequentially and with the parallel block fan-out.
+//!
+//! Built with `harness = false` on the dependency-free
+//! [`fpraker_bench::harness`] (no criterion in the offline set). The
+//! machine-readable variant of this measurement is the `bench_sim` binary,
+//! which writes `BENCH_sim.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fpraker_bench::simbench::simulator_measurements;
 
-use fpraker_num::reference::SplitMix64;
-use fpraker_num::Bf16;
-use fpraker_sim::{simulate_trace_baseline, simulate_trace_fpraker, AcceleratorConfig};
-use fpraker_trace::{Phase, TensorKind, Trace, TraceOp};
-
-fn synthetic_trace() -> Trace {
-    let mut rng = SplitMix64::new(99);
-    let mut tr = Trace::new("bench", 50);
-    let (m, n, k) = (96, 32, 64);
-    let gen = |rng: &mut SplitMix64, count: usize| -> Vec<Bf16> {
-        (0..count)
-            .map(|_| {
-                if rng.next_f64() < 0.4 {
-                    Bf16::ZERO
-                } else {
-                    rng.bf16_in_range(3)
-                }
-            })
-            .collect()
-    };
-    for phase in [Phase::AxW, Phase::GxW, Phase::AxG] {
-        tr.ops.push(TraceOp {
-            layer: "bench".into(),
-            phase,
-            m,
-            n,
-            k,
-            a: gen(&mut rng, m * k),
-            b: gen(&mut rng, n * k),
-            a_kind: TensorKind::Activation,
-            b_kind: TensorKind::Weight,
-            a_dup: 1.0,
-            b_dup: 1.0,
-            out_dup: 1.0,
-        });
-    }
-    tr
+fn main() {
+    let b = simulator_measurements(10);
+    println!(
+        "parallel speedup at {} thread(s): {:.2}x",
+        b.threads,
+        b.parallel_speedup()
+    );
 }
-
-fn bench_sim(c: &mut Criterion) {
-    let trace = synthetic_trace();
-    let macs = trace.macs();
-    let mut g = c.benchmark_group("fig11_simulator");
-    g.throughput(Throughput::Elements(macs));
-    g.sample_size(10);
-    g.bench_function("fpraker_36_tiles", |b| {
-        b.iter(|| simulate_trace_fpraker(&trace, &AcceleratorConfig::fpraker_paper()))
-    });
-    g.bench_function("baseline_8_tiles", |b| {
-        b.iter(|| simulate_trace_baseline(&trace, &AcceleratorConfig::baseline_paper()))
-    });
-    g.finish();
-}
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_sim
-}
-criterion_main!(benches);

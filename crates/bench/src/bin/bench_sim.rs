@@ -1,0 +1,50 @@
+//! Machine-readable simulator benchmark: times the fixed synthetic trace
+//! at 1 thread and at the machine's core count, and writes `BENCH_sim.json`
+//! so future PRs have a wall-clock trajectory to regress against.
+//!
+//! Usage: `cargo run --release -p fpraker-bench --bin bench_sim [out.json]`
+//! (default output path: `BENCH_sim.json` in the current directory).
+
+use std::fmt::Write as _;
+
+use fpraker_bench::harness::Measurement;
+use fpraker_bench::simbench::simulator_measurements;
+
+fn json_entry(m: &Measurement) -> String {
+    let mut s = String::new();
+    write!(
+        s,
+        "    {{\"name\": \"{}\", \"iters\": {}, \"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}",
+        m.name, m.iters, m.min_ns, m.median_ns, m.mean_ns
+    )
+    .unwrap();
+    if let Some(e) = m.elements {
+        write!(s, ", \"elements\": {e}").unwrap();
+    }
+    s.push('}');
+    s
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sim.json".to_string());
+    let b = simulator_measurements(10);
+    let speedup = b.parallel_speedup();
+    println!("parallel speedup at {} thread(s): {speedup:.2}x", b.threads);
+
+    let mut json = String::from("{\n");
+    writeln!(json, "  \"benchmark\": \"fpraker_sim synthetic trace\",").unwrap();
+    writeln!(json, "  \"trace_macs\": {},", b.macs).unwrap();
+    writeln!(json, "  \"threads\": {},", b.threads).unwrap();
+    writeln!(json, "  \"parallel_speedup\": {speedup:.4},").unwrap();
+    writeln!(json, "  \"measurements\": [").unwrap();
+    let entries: Vec<String> = [&b.seq, &b.par, &b.baseline]
+        .iter()
+        .map(|m| json_entry(m))
+        .collect();
+    json.push_str(&entries.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+}

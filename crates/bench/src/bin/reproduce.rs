@@ -5,7 +5,8 @@ use std::time::Instant;
 
 fn main() {
     let t0 = Instant::now();
-    let figs: Vec<(&str, fn() -> String)> = vec![
+    type FigureFn = fn() -> String;
+    let figs: Vec<(&str, FigureFn)> = vec![
         ("table3", fpraker_bench::figures::table3),
         ("intro", fpraker_bench::figures::intro_pragmatic),
         ("fig01", fpraker_bench::figures::fig01),

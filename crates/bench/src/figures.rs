@@ -7,17 +7,17 @@
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
 
-use fpraker_core::TileConfig;
 use fpraker_core::PeConfig;
-use fpraker_dnn::{data, models, Arithmetic, Conv2d, Engine, Flatten, Linear, MaxPool2d, Relu,
-    Sequential, Sgd, Workload};
+use fpraker_core::TileConfig;
+use fpraker_dnn::{
+    data, models, Arithmetic, Conv2d, Engine, Flatten, Linear, MaxPool2d, Relu, Sequential, Sgd,
+    Workload,
+};
 use fpraker_energy::area::{fpraker_tile_ratio, iso_area_fpraker_tiles, TileArea, TilePower};
 use fpraker_energy::EnergyModel;
 use fpraker_mem::bdc;
 use fpraker_num::encode::Encoding;
-use fpraker_sim::{
-    simulate_trace_baseline, simulate_trace_fpraker, AcceleratorConfig, RunResult,
-};
+use fpraker_sim::{AcceleratorConfig, Engine as SimEngine, Machine, RunResult};
 use fpraker_trace::stats::{exponent_histograms, potential_by_phase, sparsity};
 use fpraker_trace::{TensorKind, Trace};
 
@@ -27,6 +27,12 @@ use crate::workloads::{model_set, steady_state_trace, traces_for};
 fn run_cache() -> &'static Mutex<HashMap<String, RunResult>> {
     static CACHE: OnceLock<Mutex<HashMap<String, RunResult>>> = OnceLock::new();
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The simulation engine every figure shares: one worker per core (results
+/// are bit-identical to a sequential run; see `fpraker_sim::Engine`).
+fn sim_engine() -> SimEngine {
+    SimEngine::new()
 }
 
 /// FPRaker configuration variants of Fig. 11.
@@ -54,17 +60,22 @@ pub fn run_for(model: &str, tag: &str) -> RunResult {
         return hit.clone();
     }
     let trace = steady_state_trace(model);
+    let engine = sim_engine();
     let result = match tag {
-        "baseline" => simulate_trace_baseline(&trace, &AcceleratorConfig::baseline_paper()),
+        "baseline" => engine.run(
+            Machine::Baseline,
+            &trace,
+            &AcceleratorConfig::baseline_paper(),
+        ),
         t if t.starts_with("rows") => {
             let rows: usize = t[4..].parse().expect("rows tag");
             let mut cfg = AcceleratorConfig::fpraker_paper();
             cfg.tile = TileConfig::with_rows(rows);
             // Hold the total PE count constant across geometries.
             cfg.tiles = (36 * 8) / rows;
-            simulate_trace_fpraker(&trace, &cfg)
+            engine.run(Machine::FpRaker, &trace, &cfg)
         }
-        t => simulate_trace_fpraker(&trace, &fp_variant(t)),
+        t => engine.run(Machine::FpRaker, &trace, &fp_variant(t)),
     };
     run_cache().lock().unwrap().insert(key, result.clone());
     result
@@ -94,7 +105,10 @@ pub fn fig01() -> String {
             pct(s.gradient.term_sparsity()),
         ]);
     }
-    format!("Fig. 1 — Value and term sparsity during training\n{}", t.render())
+    format!(
+        "Fig. 1 — Value and term sparsity during training\n{}",
+        t.render()
+    )
 }
 
 /// Fig. 2: ideal potential speedup from term sparsity, per phase (Eq. 4).
@@ -129,7 +143,10 @@ pub fn fig02() -> String {
 /// Fig. 6: exponent histograms of a conv layer early and late in training.
 pub fn fig06() -> String {
     let mut out = String::from("Fig. 6 — Exponent distributions (ResNet18 analogue)\n");
-    for (label, pcts) in [("epoch 0 (0%)", vec![0u32]), ("trained (100%)", vec![100u32])] {
+    for (label, pcts) in [
+        ("epoch 0 (0%)", vec![0u32]),
+        ("trained (100%)", vec![100u32]),
+    ] {
         let trace = traces_for("resnet18", &pcts).remove(0);
         out.push_str(&format!("-- {label} --\n"));
         let mut t = Table::new(vec![
@@ -171,8 +188,14 @@ pub fn fig10() -> String {
         let trace = steady_state_trace(&model);
         let mut by_kind: HashMap<TensorKind, Vec<fpraker_num::Bf16>> = HashMap::new();
         for op in &trace.ops {
-            by_kind.entry(op.a_kind).or_default().extend_from_slice(&op.a);
-            by_kind.entry(op.b_kind).or_default().extend_from_slice(&op.b);
+            by_kind
+                .entry(op.a_kind)
+                .or_default()
+                .extend_from_slice(&op.a);
+            by_kind
+                .entry(op.b_kind)
+                .or_default()
+                .extend_from_slice(&op.b);
         }
         let footprint = |kind: TensorKind, transposed: bool| -> String {
             let Some(values) = by_kind.get(&kind) else {
@@ -222,8 +245,7 @@ pub fn fig11() -> String {
         let zero = run_for(name, "zero");
         let bdc = run_for(name, "bdc");
         let full = run_for(name, "full");
-        let perf =
-            |fp: &RunResult| bl.cycles() as f64 / fp.cycles().max(1) as f64;
+        let perf = |fp: &RunResult| bl.cycles() as f64 / fp.cycles().max(1) as f64;
         let compute = bl.compute_cycles() as f64 / full.compute_cycles().max(1) as f64;
         let eff = fpraker_sim::energy_efficiency(&full, &bl, &model, true);
         let vals = [perf(&zero), perf(&bdc), perf(&full), compute, eff];
@@ -289,7 +311,10 @@ pub fn fig12() -> String {
             ]);
         }
     }
-    format!("Fig. 12 — Energy breakdown (fractions of each machine's total)\n{}", t.render())
+    format!(
+        "Fig. 12 — Energy breakdown (fractions of each machine's total)\n{}",
+        t.render()
+    )
 }
 
 /// Fig. 13: breakdown of skipped terms (zero vs out-of-bounds).
@@ -367,7 +392,10 @@ pub fn fig15() -> String {
             pct(f[4]),
         ]);
     }
-    format!("Fig. 15 — Where cycles go (lane-cycle attribution)\n{}", t.render())
+    format!(
+        "Fig. 15 — Where cycles go (lane-cycle attribution)\n{}",
+        t.render()
+    )
 }
 
 /// Fig. 16: effect of out-of-bounds skipping on synchronization overhead.
@@ -383,8 +411,7 @@ pub fn fig16() -> String {
         let without = run_for(&name, "bdc"); // same config, OB skip off
         let sync = |r: &RunResult| {
             let f = r.stats().lane_cycles;
-            (f.no_term + f.shift_range + f.inter_pe + f.exponent) as f64
-                / f.total().max(1) as f64
+            (f.no_term + f.shift_range + f.inter_pe + f.exponent) as f64 / f.total().max(1) as f64
         };
         let (s_with, s_without) = (sync(&with), sync(&without));
         t.row(vec![
@@ -428,10 +455,12 @@ fn fig17_workload(classes: usize, seed: u64) -> Workload {
 /// bfloat16 and FPRaker-emulated arithmetic ("SynthCIFAR" substitutes for
 /// CIFAR-10/100 — no datasets offline).
 pub fn fig17() -> String {
-    let mut out = String::from(
-        "Fig. 17 — Training accuracy: FPRaker arithmetic vs baselines (SynthCIFAR)\n",
-    );
-    for (label, classes) in [("SynthCIFAR-10", 10usize), ("SynthCIFAR-100 (20-class)", 20)] {
+    let mut out =
+        String::from("Fig. 17 — Training accuracy: FPRaker arithmetic vs baselines (SynthCIFAR)\n");
+    for (label, classes) in [
+        ("SynthCIFAR-10", 10usize),
+        ("SynthCIFAR-100 (20-class)", 20),
+    ] {
         let mut t = Table::new(vec![
             "epoch".into(),
             "Native_FP32".into(),
@@ -454,6 +483,7 @@ pub fn fig17() -> String {
             }
             curves.push(curve);
         }
+        #[allow(clippy::needless_range_loop)]
         for epoch in 0..epochs {
             t.row(vec![
                 format!("{}", epoch + 1),
@@ -484,8 +514,12 @@ pub fn fig18() -> String {
         let traces = traces_for(&name, &points);
         let mut row = vec![models::display_name(&name).to_string()];
         for trace in &traces {
-            let fp = simulate_trace_fpraker(trace, &AcceleratorConfig::fpraker_paper());
-            let bl = simulate_trace_baseline(trace, &AcceleratorConfig::baseline_paper());
+            let fp = sim_engine().run(Machine::FpRaker, trace, &AcceleratorConfig::fpraker_paper());
+            let bl = sim_engine().run(
+                Machine::Baseline,
+                trace,
+                &AcceleratorConfig::baseline_paper(),
+            );
             row.push(ratio(fpraker_sim::speedup(&fp, &bl)));
         }
         while row.len() < points.len() + 1 {
@@ -550,7 +584,10 @@ pub fn fig20() -> String {
             ]);
         }
     }
-    format!("Fig. 20 — Lane-cycle breakdown vs rows per tile\n{}", t.render())
+    format!(
+        "Fig. 20 — Lane-cycle breakdown vs rows per tile\n{}",
+        t.render()
+    )
 }
 
 /// Per-layer accumulator-width profile for Fig. 21 (the Sakr et al. [61]
@@ -588,10 +625,14 @@ pub fn fig21() -> String {
     ]);
     for name in ["alexnet", "resnet18"] {
         let trace = steady_state_trace(name);
-        let fixed = simulate_trace_fpraker(&trace, &AcceleratorConfig::fpraker_paper());
+        let fixed = sim_engine().run(
+            Machine::FpRaker,
+            &trace,
+            &AcceleratorConfig::fpraker_paper(),
+        );
         let mut cfg = AcceleratorConfig::fpraker_paper();
         cfg.theta_overrides = theta_profile(&trace);
-        let profiled = simulate_trace_fpraker(&trace, &cfg);
+        let profiled = sim_engine().run(Machine::FpRaker, &trace, &cfg);
         // The accumulator width moves *compute*; the paper's layers are
         // compute-bound, so the comparison is on compute cycles.
         let fph = fixed.compute_cycles_by_phase();
@@ -634,7 +675,11 @@ pub fn intro_pragmatic() -> String {
         let trace = steady_state_trace(name);
         let bl = run_for(name, "baseline");
         let fp = run_for(name, "full");
-        let pr = simulate_trace_fpraker(&trace, &AcceleratorConfig::pragmatic_paper());
+        let pr = sim_engine().run(
+            Machine::FpRaker,
+            &trace,
+            &AcceleratorConfig::pragmatic_paper(),
+        );
         let compute = |r: &RunResult| bl.compute_cycles() as f64 / r.compute_cycles().max(1) as f64;
         let vals = [compute(&pr), compute(&fp)];
         geo[0] *= vals[0];

@@ -1,0 +1,115 @@
+//! Dependency-free wall-clock benchmark harness.
+//!
+//! The offline dependency set contains no criterion, so the `benches/`
+//! targets are plain `harness = false` binaries built on this module: each
+//! measurement runs a closure repeatedly, reports min/median/mean wall
+//! time and, when an element count is given, throughput. Timings are also
+//! collectable as [`Measurement`]s for machine-readable output
+//! (`BENCH_sim.json`).
+
+use std::time::Instant;
+
+/// One benchmark measurement.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Benchmark name (`group/function`).
+    pub name: String,
+    /// Number of timed iterations.
+    pub iters: u32,
+    /// Minimum iteration wall time in nanoseconds.
+    pub min_ns: u128,
+    /// Median iteration wall time in nanoseconds.
+    pub median_ns: u128,
+    /// Mean iteration wall time in nanoseconds.
+    pub mean_ns: u128,
+    /// Optional elements processed per iteration (for throughput).
+    pub elements: Option<u64>,
+}
+
+impl Measurement {
+    /// Elements per second at the median time, when an element count is set.
+    pub fn throughput(&self) -> Option<f64> {
+        self.elements
+            .map(|e| e as f64 / (self.median_ns.max(1) as f64 / 1e9))
+    }
+
+    /// Renders one human-readable summary line.
+    pub fn summary(&self) -> String {
+        let mut line = format!(
+            "{:<40} {:>12} median  {:>12} min  {:>12} mean",
+            self.name,
+            format_ns(self.median_ns),
+            format_ns(self.min_ns),
+            format_ns(self.mean_ns),
+        );
+        if let Some(t) = self.throughput() {
+            line.push_str(&format!("  {:>12.3e} elem/s", t));
+        }
+        line
+    }
+}
+
+fn format_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Times `f` for `iters` iterations (after one untimed warm-up call) and
+/// prints the summary line. The closure's result is passed to
+/// `std::hint::black_box` so the work is not optimized away.
+pub fn bench<T>(
+    name: &str,
+    iters: u32,
+    elements: Option<u64>,
+    mut f: impl FnMut() -> T,
+) -> Measurement {
+    assert!(iters > 0, "at least one iteration");
+    std::hint::black_box(f());
+    let mut samples: Vec<u128> = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        samples.push(t.elapsed().as_nanos());
+    }
+    samples.sort_unstable();
+    let m = Measurement {
+        name: name.to_string(),
+        iters,
+        min_ns: samples[0],
+        median_ns: samples[samples.len() / 2],
+        mean_ns: samples.iter().sum::<u128>() / samples.len() as u128,
+        elements,
+    };
+    println!("{}", m.summary());
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_orders_are_consistent() {
+        let m = bench("test/sleepless", 5, Some(100), || {
+            std::hint::black_box((0..1000u64).sum::<u64>())
+        });
+        assert!(m.min_ns <= m.median_ns);
+        assert!(m.throughput().unwrap() > 0.0);
+        assert_eq!(m.iters, 5);
+    }
+
+    #[test]
+    fn ns_formatting_picks_sane_units() {
+        assert_eq!(format_ns(12), "12ns");
+        assert_eq!(format_ns(1_500), "1.500us");
+        assert_eq!(format_ns(2_500_000), "2.500ms");
+        assert_eq!(format_ns(3_000_000_000), "3.000s");
+    }
+}

@@ -18,6 +18,8 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod harness;
+pub mod simbench;
 pub mod table;
 pub mod workloads;
 

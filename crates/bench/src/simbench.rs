@@ -1,0 +1,88 @@
+//! The canonical simulator wall-clock measurement set, shared by the
+//! `benches/simulator.rs` target (human-readable) and the `bench_sim`
+//! binary (machine-readable `BENCH_sim.json`), so the two cannot drift
+//! apart.
+
+use fpraker_sim::{AcceleratorConfig, Engine, Machine};
+
+use crate::harness::{bench, Measurement};
+use crate::workloads::synthetic_bench_trace;
+
+/// The three measurements every simulator benchmark reports.
+#[derive(Clone, Debug)]
+pub struct SimulatorBench {
+    /// Worker count the parallel measurement resolved to.
+    pub threads: usize,
+    /// MACs in the fixed synthetic trace.
+    pub macs: u64,
+    /// FPRaker, sequential reference engine (1 worker).
+    pub seq: Measurement,
+    /// FPRaker, one worker per core.
+    pub par: Measurement,
+    /// Bit-parallel baseline (analytic fast path).
+    pub baseline: Measurement,
+}
+
+impl SimulatorBench {
+    /// Parallel wall-clock speedup over the sequential engine (medians).
+    pub fn parallel_speedup(&self) -> f64 {
+        self.seq.median_ns as f64 / self.par.median_ns.max(1) as f64
+    }
+}
+
+/// Times the fixed synthetic trace on both machines, at 1 thread and at
+/// the machine's core count (each measurement prints its summary line).
+pub fn simulator_measurements(iters: u32) -> SimulatorBench {
+    let trace = synthetic_bench_trace();
+    let macs = trace.macs();
+    let threads = Engine::new().resolved_threads();
+    let seq = bench("fpraker/threads_1", iters, Some(macs), || {
+        Engine::with_threads(1).run(
+            Machine::FpRaker,
+            &trace,
+            &AcceleratorConfig::fpraker_paper(),
+        )
+    });
+    let par = bench(
+        &format!("fpraker/parallel_threads_{threads}"),
+        iters,
+        Some(macs),
+        || {
+            Engine::new().run(
+                Machine::FpRaker,
+                &trace,
+                &AcceleratorConfig::fpraker_paper(),
+            )
+        },
+    );
+    let baseline = bench("baseline/threads_1", iters, Some(macs), || {
+        Engine::with_threads(1).run(
+            Machine::Baseline,
+            &trace,
+            &AcceleratorConfig::baseline_paper(),
+        )
+    });
+    SimulatorBench {
+        threads,
+        macs,
+        seq,
+        par,
+        baseline,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_set_is_complete_and_consistent() {
+        let b = simulator_measurements(1);
+        assert_eq!(b.seq.elements, Some(b.macs));
+        assert_eq!(b.par.elements, Some(b.macs));
+        assert_eq!(b.baseline.elements, Some(b.macs));
+        assert!(b.threads >= 1);
+        assert!(b.parallel_speedup() > 0.0);
+        assert!(b.par.name.contains(&b.threads.to_string()));
+    }
+}

@@ -5,7 +5,9 @@ use std::sync::Mutex;
 use std::sync::OnceLock;
 
 use fpraker_dnn::{models, train_and_sample, Engine};
-use fpraker_trace::Trace;
+use fpraker_num::reference::SplitMix64;
+use fpraker_num::Bf16;
+use fpraker_trace::{Phase, TensorKind, Trace, TraceOp};
 
 /// The models to benchmark: `FPRAKER_MODELS` (comma separated) or all nine
 /// Table I analogues.
@@ -24,8 +26,11 @@ pub fn epochs() -> usize {
         .unwrap_or(4)
 }
 
-fn cache() -> &'static Mutex<HashMap<(String, Vec<u32>), Vec<Trace>>> {
-    static CACHE: OnceLock<Mutex<HashMap<(String, Vec<u32>), Vec<Trace>>>> = OnceLock::new();
+/// Cache key: (model name, sampled progress percentages).
+type TraceCache = Mutex<HashMap<(String, Vec<u32>), Vec<Trace>>>;
+
+fn cache() -> &'static TraceCache {
+    static CACHE: OnceLock<TraceCache> = OnceLock::new();
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
@@ -52,9 +57,56 @@ pub fn steady_state_trace(model: &str) -> Trace {
         .expect("sampling produced no trace")
 }
 
+/// The fixed synthetic GEMM trace the simulator wall-clock benchmarks use
+/// (`benches/simulator.rs` and the `bench_sim` binary): three mid-sized
+/// phases with 40% zeros and trained-tensor-shaped values. Deterministic —
+/// identical across processes and machines.
+pub fn synthetic_bench_trace() -> Trace {
+    let mut rng = SplitMix64::new(99);
+    let mut tr = Trace::new("bench", 50);
+    let (m, n, k) = (96, 32, 64);
+    let gen = |rng: &mut SplitMix64, count: usize| -> Vec<Bf16> {
+        (0..count)
+            .map(|_| {
+                if rng.next_f64() < 0.4 {
+                    Bf16::ZERO
+                } else {
+                    rng.bf16_in_range(3)
+                }
+            })
+            .collect()
+    };
+    for phase in [Phase::AxW, Phase::GxW, Phase::AxG] {
+        tr.ops.push(TraceOp {
+            layer: "bench".into(),
+            phase,
+            m,
+            n,
+            k,
+            a: gen(&mut rng, m * k),
+            b: gen(&mut rng, n * k),
+            a_kind: TensorKind::Activation,
+            b_kind: TensorKind::Weight,
+            a_dup: 1.0,
+            b_dup: 1.0,
+            out_dup: 1.0,
+        });
+    }
+    tr
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn synthetic_bench_trace_is_deterministic() {
+        let a = synthetic_bench_trace();
+        let b = synthetic_bench_trace();
+        assert_eq!(a, b);
+        assert_eq!(a.ops.len(), 3);
+        assert!(a.macs() > 0);
+    }
 
     #[test]
     fn model_set_defaults_to_table_i() {

@@ -153,7 +153,7 @@ mod tests {
     #[test]
     fn one_cycle_per_set_regardless_of_values() {
         let mut pe = BaselinePe::new(PeConfig::paper());
-        assert_eq!(pe.process_set(&vec![Bf16::ZERO; 8], &vec![Bf16::ONE; 8]), 1);
+        assert_eq!(pe.process_set(&[Bf16::ZERO; 8], &[Bf16::ONE; 8]), 1);
         let mut rng = SplitMix64::new(1);
         let a: Vec<Bf16> = (0..8).map(|_| rng.bf16_in_range(10)).collect();
         let b: Vec<Bf16> = (0..8).map(|_| rng.bf16_in_range(10)).collect();
@@ -209,7 +209,7 @@ mod tests {
     #[test]
     fn zero_set_is_counted_but_harmless() {
         let mut pe = BaselinePe::new(PeConfig::paper());
-        pe.process_set(&vec![Bf16::ZERO; 8], &vec![Bf16::ZERO; 8]);
+        pe.process_set(&[Bf16::ZERO; 8], &[Bf16::ZERO; 8]);
         assert_eq!(pe.read_output(), Bf16::ZERO);
         assert_eq!(pe.stats().terms.zero_value_macs, 8);
     }

@@ -22,6 +22,9 @@
 //! * [`Tile`] — the `rows × cols` PE grid with shared A streams per column,
 //!   shared B streams per row, paired exponent blocks and bounded B
 //!   run-ahead (Section IV-C);
+//! * [`machine`] — the [`MachineModel`] trait abstracting block-level
+//!   machines, with [`FpRakerMachine`] and [`BaselineMachine`]
+//!   implementations the simulator engine drives generically;
 //! * [`stats`] — the Fig. 13/15 bookkeeping (skipped-term and lane-cycle
 //!   taxonomies).
 //!
@@ -44,12 +47,14 @@
 
 mod baseline;
 mod config;
+pub mod machine;
 mod pe;
 pub mod stats;
 mod tile;
 
 pub use baseline::BaselinePe;
 pub use config::{PeConfig, TileConfig};
+pub use machine::{BaselineMachine, FpRakerMachine, MachineBlock, MachineEvents, MachineModel};
 pub use pe::{Pe, SetOutcome};
 pub use stats::{ExecStats, LaneCycles, TermStats};
 pub use tile::{BlockOutcome, Tile};

@@ -196,7 +196,8 @@ impl Pe {
             // lane, so the first out-of-bounds term ends the lane.
             if self.cfg.ob_skip {
                 for lane in lane_state.iter_mut().filter(|l| !l.done) {
-                    let k = acc.exponent() - lane.abe + lane.terms.as_slice()[lane.cursor].shift as i32;
+                    let k =
+                        acc.exponent() - lane.abe + lane.terms.as_slice()[lane.cursor].shift as i32;
                     if acc.is_out_of_bounds(k) {
                         outcome.terms.ob_skipped += (lane.terms.len() - lane.cursor) as u64;
                         lane.done = true;
@@ -357,7 +358,7 @@ mod tests {
     #[test]
     fn zero_values_cost_one_cycle() {
         let mut pe = Pe::new(PeConfig::paper());
-        let outcome = pe.process_set(&vec![Bf16::ZERO; 8], &vec![bf(1.0); 8]);
+        let outcome = pe.process_set(&[Bf16::ZERO; 8], &[bf(1.0); 8]);
         assert_eq!(outcome.cycles, 1);
         assert_eq!(outcome.terms.zero_value_macs, 8);
         assert_eq!(outcome.terms.zero_skipped, 64);

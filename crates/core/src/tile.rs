@@ -108,7 +108,11 @@ impl Tile {
         for s in a_streams.iter().chain(b_streams) {
             assert_eq!(s.len(), len, "stream length mismatch");
         }
-        assert_eq!(len % lanes.max(1), 0, "stream length must be a multiple of lanes");
+        assert_eq!(
+            len % lanes.max(1),
+            0,
+            "stream length must be a multiple of lanes"
+        );
         let num_sets = len / lanes;
 
         for pe in &mut self.pes {
@@ -159,7 +163,9 @@ impl Tile {
 
                     let mut natural = 0u64;
                     let mut spans = [0u64; 2];
-                    for (i, r) in (g * group_rows..(g + 1) * group_rows).take(rows_here).enumerate()
+                    for (i, r) in (g * group_rows..(g + 1) * group_rows)
+                        .take(rows_here)
+                        .enumerate()
                     {
                         let b_set = &b_streams[r][s * lanes..(s + 1) * lanes];
                         let outcome = self.pes[r * cols + c].process_set(a_set, b_set);
@@ -211,7 +217,9 @@ mod tests {
     use fpraker_num::reference::{dot_f64, error_ulps, SplitMix64};
 
     fn rand_stream(rng: &mut SplitMix64, sets: usize, lanes: usize, spread: i32) -> Vec<Bf16> {
-        (0..sets * lanes).map(|_| rng.bf16_in_range(spread)).collect()
+        (0..sets * lanes)
+            .map(|_| rng.bf16_in_range(spread))
+            .collect()
     }
 
     fn small_tile(rows: usize, cols: usize) -> Tile {
@@ -230,6 +238,7 @@ mod tests {
         let a: Vec<Vec<Bf16>> = (0..4).map(|_| rand_stream(&mut rng, sets, 8, 3)).collect();
         let b: Vec<Vec<Bf16>> = (0..4).map(|_| rand_stream(&mut rng, sets, 8, 3)).collect();
         let out = tile.run_block(&a, &b);
+        #[allow(clippy::needless_range_loop)]
         for r in 0..4 {
             for c in 0..4 {
                 let mut pe = Pe::new(PeConfig::paper());
@@ -250,6 +259,7 @@ mod tests {
         let a: Vec<Vec<Bf16>> = (0..2).map(|_| rand_stream(&mut rng, 8, 8, 2)).collect();
         let b: Vec<Vec<Bf16>> = (0..2).map(|_| rand_stream(&mut rng, 8, 8, 2)).collect();
         let out = tile.run_block(&a, &b);
+        #[allow(clippy::needless_range_loop)]
         for r in 0..2 {
             for c in 0..2 {
                 let exact = dot_f64(&a[c], &b[r]);
@@ -265,8 +275,12 @@ mod tests {
         for (rows, cols) in [(2, 2), (4, 2), (8, 4), (1, 3)] {
             let mut tile = small_tile(rows, cols);
             let sets = 5;
-            let a: Vec<Vec<Bf16>> = (0..cols).map(|_| rand_stream(&mut rng, sets, 8, 6)).collect();
-            let b: Vec<Vec<Bf16>> = (0..rows).map(|_| rand_stream(&mut rng, sets, 8, 6)).collect();
+            let a: Vec<Vec<Bf16>> = (0..cols)
+                .map(|_| rand_stream(&mut rng, sets, 8, 6))
+                .collect();
+            let b: Vec<Vec<Bf16>> = (0..rows)
+                .map(|_| rand_stream(&mut rng, sets, 8, 6))
+                .collect();
             let out = tile.run_block(&a, &b);
             let expected = out.cycles * (rows * cols * 8) as u64;
             assert_eq!(
@@ -401,6 +415,9 @@ mod tests {
         let mut t4 = small_tile(4, 2);
         let c2 = t2.run_block(&a, &b2).cycles;
         let c4 = t4.run_block(&a, &b4).cycles;
-        assert!(c4 >= c2, "4-row tile faster than 2-row on same A: {c4} < {c2}");
+        assert!(
+            c4 >= c2,
+            "4-row tile faster than 2-row on same A: {c4} < {c2}"
+        );
     }
 }

@@ -1,7 +1,10 @@
 //! Property-based tests of the PE: timing monotonicity and numeric
-//! equivalence with the bit-parallel baseline.
+//! equivalence with the bit-parallel baseline, plus the machine-level
+//! contract both `MachineModel` implementations must satisfy.
 
-use fpraker_core::{BaselinePe, Pe, PeConfig, Tile, TileConfig};
+use fpraker_core::{
+    BaselineMachine, BaselinePe, FpRakerMachine, MachineModel, Pe, PeConfig, Tile, TileConfig,
+};
 use fpraker_num::reference::{dot_f64, dot_magnitude_f64, error_mag_ulps, SplitMix64};
 use fpraker_num::Bf16;
 use proptest::prelude::*;
@@ -82,6 +85,43 @@ proptest! {
     }
 
     #[test]
+    fn both_machines_agree_with_the_f64_reference(seed in any::<u64>(), sets in 1usize..5) {
+        // The MachineModel contract: every output of every machine stays
+        // within one bfloat16 ulp (at the dot product's magnitude scale) of
+        // the exact f64 reference — the property the golden checker and the
+        // paper's "negligible accuracy impact" claim both rest on.
+        let mut rng = SplitMix64::new(seed);
+        let cfg = TileConfig { rows: 2, cols: 2, ..TileConfig::paper() };
+        let a: Vec<Vec<Bf16>> = (0..2)
+            .map(|_| (0..sets * 8).map(|_| rng.bf16_in_range(4)).collect())
+            .collect();
+        let b: Vec<Vec<Bf16>> = (0..2)
+            .map(|_| (0..sets * 8).map(|_| rng.bf16_in_range(4)).collect())
+            .collect();
+        let mut fp = FpRakerMachine::from_tile(cfg);
+        let mut bl = BaselineMachine::from_tile(cfg);
+        let fp_out = fp.run_block(&a, &b).outputs.expect("fpraker outputs");
+        let bl_out = bl.run_block(&a, &b).outputs.expect("baseline outputs");
+        for r in 0..2 {
+            for c in 0..2 {
+                let exact = dot_f64(&a[c], &b[r]);
+                let mag = dot_magnitude_f64(&a[c], &b[r]);
+                if mag == 0.0 {
+                    continue;
+                }
+                for (name, out) in [("fpraker", &fp_out), ("baseline", &bl_out)] {
+                    let err = error_mag_ulps(out[r * 2 + c].to_f64(), exact, mag);
+                    prop_assert!(
+                        err <= 1.0,
+                        "{} output ({},{}) is {} magnitude-scale ulps from the reference",
+                        name, r, c, err
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn tile_outputs_equal_standalone_pes(seed in any::<u64>(), sets in 1usize..4) {
         let mut rng = SplitMix64::new(seed);
         let cfg = TileConfig { rows: 2, cols: 2, ..TileConfig::paper() };
@@ -93,6 +133,7 @@ proptest! {
             .collect();
         let mut tile = Tile::new(cfg);
         let out = tile.run_block(&a, &b);
+        #[allow(clippy::needless_range_loop)]
         for r in 0..2 {
             for c in 0..2 {
                 let mut pe = Pe::new(cfg.pe);

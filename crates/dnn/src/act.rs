@@ -114,7 +114,10 @@ impl PactRelu {
     pub fn new(name: impl Into<String>, alpha0: f32, bits: u32) -> Self {
         let name = name.into();
         PactRelu {
-            alpha: Param::new(format!("{name}.alpha"), Tensor::from_vec(vec![1], vec![alpha0])),
+            alpha: Param::new(
+                format!("{name}.alpha"),
+                Tensor::from_vec(vec![1], vec![alpha0]),
+            ),
             bits,
             cached_input: None,
             name,

@@ -23,12 +23,12 @@ pub struct SelfAttention {
 }
 
 struct AttnCache {
-    x: Tensor,              // (batch*T, dim)
-    q: Tensor,              // (batch*T, dim)
-    k: Tensor,              // (batch*T, dim)
-    v: Tensor,              // (batch*T, dim)
-    probs: Vec<Tensor>,     // per batch, (T, T)
-    attended: Tensor,       // (batch*T, dim) before output projection
+    x: Tensor,          // (batch*T, dim)
+    q: Tensor,          // (batch*T, dim)
+    k: Tensor,          // (batch*T, dim)
+    v: Tensor,          // (batch*T, dim)
+    probs: Vec<Tensor>, // per batch, (T, T)
+    attended: Tensor,   // (batch*T, dim) before output projection
     batch: usize,
 }
 
@@ -59,9 +59,7 @@ impl SelfAttention {
         // Extract sequence b as a (T, dim) matrix from (batch*T, dim).
         let t = self.seq_len;
         let mut out = vec![0.0f32; t * self.dim];
-        out.copy_from_slice(
-            &flat.data()[b * t * self.dim..(b + 1) * t * self.dim],
-        );
+        out.copy_from_slice(&flat.data()[b * t * self.dim..(b + 1) * t * self.dim]);
         Tensor::from_vec(vec![t, self.dim], out)
     }
 }
@@ -212,8 +210,7 @@ impl Layer for SelfAttention {
                     dot += dp.data()[r * t + c] * p.data()[r * t + c];
                 }
                 for c in 0..t {
-                    ds[r * t + c] =
-                        p.data()[r * t + c] * (dp.data()[r * t + c] - dot) * scale;
+                    ds[r * t + c] = p.data()[r * t + c] * (dp.data()[r * t + c] - dot) * scale;
                 }
             }
             let ds = Tensor::from_vec(vec![t, t], ds);
@@ -248,9 +245,18 @@ impl Layer for SelfAttention {
         let mut dx = Tensor::zeros(vec![batch * t, self.dim]);
         let x_t = transpose2d(&cache.x);
         for (dproj, w) in [
-            (Tensor::from_vec(vec![batch * t, self.dim], dq), &mut self.wq),
-            (Tensor::from_vec(vec![batch * t, self.dim], dk), &mut self.wk),
-            (Tensor::from_vec(vec![batch * t, self.dim], dv), &mut self.wv),
+            (
+                Tensor::from_vec(vec![batch * t, self.dim], dq),
+                &mut self.wq,
+            ),
+            (
+                Tensor::from_vec(vec![batch * t, self.dim], dk),
+                &mut self.wk,
+            ),
+            (
+                Tensor::from_vec(vec![batch * t, self.dim], dv),
+                &mut self.wv,
+            ),
         ] {
             let dproj_t = transpose2d(&dproj);
             let dw = engine.gemm_nt(

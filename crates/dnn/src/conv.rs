@@ -223,8 +223,7 @@ impl Layer for MaxPool2d {
                         let mut best_off = 0;
                         for dy in 0..2 {
                             for dx in 0..2 {
-                                let off =
-                                    ((img * c + ch) * h + 2 * y + dy) * w + 2 * x + dx;
+                                let off = ((img * c + ch) * h + 2 * y + dy) * w + 2 * x + dx;
                                 if id[off] > best {
                                     best = id[off];
                                     best_off = off;
@@ -304,9 +303,9 @@ impl Layer for BatchNorm2d {
         let mut var = vec![0.0f32; c];
         if training {
             for img in 0..n {
-                for ch in 0..c {
+                for (ch, m) in mean.iter_mut().enumerate() {
                     for i in 0..h * w {
-                        mean[ch] += input.data()[(img * c + ch) * h * w + i];
+                        *m += input.data()[(img * c + ch) * h * w + i];
                     }
                 }
             }
@@ -357,7 +356,10 @@ impl Layer for BatchNorm2d {
     }
 
     fn backward(&mut self, _e: &mut Engine, grad: &Tensor) -> Tensor {
-        let cache = self.cached.take().expect("backward before training forward");
+        let cache = self
+            .cached
+            .take()
+            .expect("backward before training forward");
         let input = &cache.input;
         let (n, c, h, w) = (
             input.dims()[0],
@@ -389,8 +391,7 @@ impl Layer for BatchNorm2d {
                     let off = (img * c + ch) * h * w + i;
                     let xhat = (input.data()[off] - cache.mean[ch]) * inv;
                     let g = grad.data()[off];
-                    out.data_mut()[off] =
-                        gamma * inv / m * (m * g - sum_g - xhat * sum_gx);
+                    out.data_mut()[off] = gamma * inv / m * (m * g - sum_g - xhat * sum_gx);
                 }
             }
         }
@@ -495,10 +496,7 @@ mod tests {
     fn maxpool_selects_max_and_routes_gradient() {
         let mut pool = MaxPool2d::new("p");
         let mut e = Engine::f32();
-        let x = Tensor::from_vec(
-            vec![1, 1, 2, 2],
-            vec![1.0, 5.0, 2.0, 3.0],
-        );
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 5.0, 2.0, 3.0]);
         let y = pool.forward(&mut e, &x, true);
         assert_eq!(y.data(), &[5.0]);
         let g = pool.backward(&mut e, &Tensor::full(vec![1, 1, 1, 1], 2.0));

@@ -83,13 +83,13 @@ pub fn synth_images(
     for s in 0..samples {
         let class = s % classes;
         labels.push(class);
-        for f in 0..feat {
+        for &proto in prototypes[class].iter().take(feat) {
             let n: f32 = if noise > 0.0 {
                 rng.gen_range(-noise..noise)
             } else {
                 0.0
             };
-            features.push(prototypes[class][f] + n);
+            features.push(proto + n);
         }
     }
     Dataset {
@@ -152,7 +152,9 @@ pub fn synth_interactions(samples: usize, users: usize, items: usize, seed: u64)
     for _ in 0..samples {
         let u = rng.gen_range(0..users);
         let i = rng.gen_range(0..items);
-        let score: f32 = (0..dim).map(|d| uvec[u * dim + d] * ivec[i * dim + d]).sum();
+        let score: f32 = (0..dim)
+            .map(|d| uvec[u * dim + d] * ivec[i * dim + d])
+            .sum();
         features.push(u as f32);
         // Items are offset into a shared vocabulary after the users.
         features.push((users + i) as f32);
@@ -241,7 +243,7 @@ mod tests {
             assert!((10.0..30.0).contains(&pair[1]));
         }
         // Both labels occur.
-        assert!(y.iter().any(|&l| l == 0) && y.iter().any(|&l| l == 1));
+        assert!(y.contains(&0) && y.contains(&1));
     }
 
     #[test]
@@ -260,9 +262,11 @@ mod tests {
         let sl = d.sample_len();
         // Use sample i as its class's reference.
         let mut refs: Vec<&[f32]> = vec![&[]; 4];
+        #[allow(clippy::needless_range_loop)]
         for i in 0..4 {
             refs[y[i]] = &x.data()[i * sl..(i + 1) * sl];
         }
+        #[allow(clippy::needless_range_loop)]
         for i in 0..40 {
             let s = &x.data()[i * sl..(i + 1) * sl];
             let best = (0..4)

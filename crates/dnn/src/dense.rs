@@ -26,7 +26,12 @@ pub struct Linear {
 
 impl Linear {
     /// Creates a linear layer with Kaiming-uniform weights.
-    pub fn new<R: Rng>(name: impl Into<String>, in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+    pub fn new<R: Rng>(
+        name: impl Into<String>,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut R,
+    ) -> Self {
         let name = name.into();
         Linear {
             weight: Param::new(
@@ -152,7 +157,11 @@ impl Layer for Embedding {
     }
 
     fn forward(&mut self, _engine: &mut Engine, input: &Tensor, _training: bool) -> Tensor {
-        assert_eq!(input.dims().len(), 2, "embedding input must be (batch, slots)");
+        assert_eq!(
+            input.dims().len(),
+            2,
+            "embedding input must be (batch, slots)"
+        );
         let (batch, slots) = (input.dims()[0], input.dims()[1]);
         let vocab = self.vocab();
         self.cached_indices = input

@@ -17,9 +17,7 @@ use fpraker_tensor::ConvGeom;
 use crate::act::{Dropout, Gelu, PactRelu, Relu, Sigmoid, Tanh};
 use crate::attention::SelfAttention;
 use crate::conv::{BatchNorm2d, Conv2d, MaxPool2d};
-use crate::data::{
-    synth_images, synth_interactions, synth_sequences, synth_tokens, Dataset,
-};
+use crate::data::{synth_images, synth_interactions, synth_sequences, synth_tokens, Dataset};
 use crate::dense::{Embedding, Linear};
 use crate::layer::{Flatten, Residual, Sequential};
 use crate::optim::Sgd;
@@ -104,14 +102,28 @@ fn squeezenet() -> Workload {
     net.push(Relu::new("relu1"));
     net.push(MaxPool2d::new("pool1"));
     // Fire module: squeeze 1x1 then expand 3x3.
-    net.push(Conv2d::new("fire.squeeze", conv_geom(16, 8, 1, 1, 0), &mut rng));
+    net.push(Conv2d::new(
+        "fire.squeeze",
+        conv_geom(16, 8, 1, 1, 0),
+        &mut rng,
+    ));
     net.push(Relu::new("fire.relu_s"));
-    net.push(Conv2d::new("fire.expand", conv_geom(8, 16, 3, 1, 1), &mut rng));
+    net.push(Conv2d::new(
+        "fire.expand",
+        conv_geom(8, 16, 3, 1, 1),
+        &mut rng,
+    ));
     net.push(Relu::new("fire.relu_e"));
     net.push(MaxPool2d::new("pool2"));
     net.push(Flatten::new("flat"));
     net.push(Linear::new("fc", 16 * 4 * 4, 8, &mut rng));
-    Workload::new("squeezenet1.1", net, image_dataset(11), 8, Sgd::new(0.02).with_momentum(0.9))
+    Workload::new(
+        "squeezenet1.1",
+        net,
+        image_dataset(11),
+        8,
+        Sgd::new(0.02).with_momentum(0.9),
+    )
 }
 
 /// VGG16 analogue: stacked 3×3 convolutions, pooling, big FC head with
@@ -132,7 +144,13 @@ fn vgg16() -> Workload {
     net.push(Relu::new("relu_fc1"));
     net.push(Dropout::new("drop", 0.3, 0x5601));
     net.push(Linear::new("fc2", 64, 8, &mut rng));
-    Workload::new("vgg16", net, image_dataset(22), 8, Sgd::new(0.02).with_momentum(0.9))
+    Workload::new(
+        "vgg16",
+        net,
+        image_dataset(22),
+        8,
+        Sgd::new(0.02).with_momentum(0.9),
+    )
 }
 
 fn residual_block<R: rand::Rng>(
@@ -181,7 +199,13 @@ fn resnet18_q() -> Workload {
     net.push(MaxPool2d::new("pool"));
     net.push(Flatten::new("flat"));
     net.push(Linear::new("fc", 16 * 8 * 8, 8, &mut rng).with_weight_bits(4));
-    Workload::new("resnet18-q", net, image_dataset(33), 8, Sgd::new(0.02).with_momentum(0.9))
+    Workload::new(
+        "resnet18-q",
+        net,
+        image_dataset(33),
+        8,
+        Sgd::new(0.02).with_momentum(0.9),
+    )
 }
 
 /// ResNet50-S2 analogue: residual blocks trained with dynamic sparse
@@ -222,7 +246,13 @@ fn snli() -> Workload {
     net.push(Dropout::new("drop", 0.2, 0x502));
     net.push(Linear::new("fc2", 64, 3, &mut rng));
     let data = synth_sequences(60, 3, 6, 16, 0.2, 55);
-    Workload::new("snli", net, data, 10, Sgd::new(0.05).with_momentum(0.9).with_grad_clip(5.0))
+    Workload::new(
+        "snli",
+        net,
+        data,
+        10,
+        Sgd::new(0.05).with_momentum(0.9).with_grad_clip(5.0),
+    )
 }
 
 /// Image2Text analogue: convolutional encoder feeding an LSTM decoder
@@ -239,7 +269,13 @@ fn image2text() -> Workload {
     net.push(Lstm::new("dec.lstm", 8, 16, 6, &mut rng));
     net.push(Linear::new("dec.fc", 16, 10, &mut rng));
     let data = synth_images(60, 10, 1, 16, 0.3, 66);
-    Workload::new("image2text", net, data, 10, Sgd::new(0.03).with_momentum(0.9).with_grad_clip(5.0))
+    Workload::new(
+        "image2text",
+        net,
+        data,
+        10,
+        Sgd::new(0.03).with_momentum(0.9).with_grad_clip(5.0),
+    )
 }
 
 /// Detectron2 analogue: a conv-heavy detection backbone and head
@@ -247,17 +283,35 @@ fn image2text() -> Workload {
 fn detectron2() -> Workload {
     let mut rng = StdRng::seed_from_u64(0xDE7);
     let mut net = Sequential::new("detectron2");
-    net.push(Conv2d::new("backbone.conv1", conv_geom(3, 16, 3, 1, 1), &mut rng));
+    net.push(Conv2d::new(
+        "backbone.conv1",
+        conv_geom(3, 16, 3, 1, 1),
+        &mut rng,
+    ));
     net.push(BatchNorm2d::new("backbone.bn1", 16));
     net.push(Relu::new("backbone.relu1"));
-    net.push(Conv2d::new("backbone.conv2", conv_geom(16, 32, 3, 2, 1), &mut rng));
+    net.push(Conv2d::new(
+        "backbone.conv2",
+        conv_geom(16, 32, 3, 2, 1),
+        &mut rng,
+    ));
     net.push(Relu::new("backbone.relu2"));
-    net.push(Conv2d::new("head.conv", conv_geom(32, 32, 3, 1, 1), &mut rng));
+    net.push(Conv2d::new(
+        "head.conv",
+        conv_geom(32, 32, 3, 1, 1),
+        &mut rng,
+    ));
     net.push(Relu::new("head.relu"));
     net.push(MaxPool2d::new("head.pool"));
     net.push(Flatten::new("flat"));
     net.push(Linear::new("head.cls", 32 * 4 * 4, 8, &mut rng));
-    Workload::new("detectron2", net, image_dataset(77), 8, Sgd::new(0.02).with_momentum(0.9))
+    Workload::new(
+        "detectron2",
+        net,
+        image_dataset(77),
+        8,
+        Sgd::new(0.02).with_momentum(0.9),
+    )
 }
 
 /// NCF analogue: user/item embeddings feeding an MLP with ReLU and a
@@ -286,7 +340,13 @@ fn bert() -> Workload {
     net.push(Gelu::new("ffn.gelu"));
     net.push(Linear::new("ffn.fc2", 128, 4, &mut rng));
     let data = synth_tokens(60, 4, 6, 32, 99);
-    Workload::new("bert", net, data, 10, Sgd::new(0.03).with_momentum(0.9).with_grad_clip(5.0))
+    Workload::new(
+        "bert",
+        net,
+        data,
+        10,
+        Sgd::new(0.03).with_momentum(0.9).with_grad_clip(5.0),
+    )
 }
 
 /// AlexNet analogue for the Fig. 21 accumulator-width study.
@@ -302,7 +362,13 @@ fn alexnet() -> Workload {
     net.push(Linear::new("fc1", 32 * 4 * 4, 64, &mut rng));
     net.push(Relu::new("relu3"));
     net.push(Linear::new("fc2", 64, 8, &mut rng));
-    Workload::new("alexnet", net, image_dataset(101), 8, Sgd::new(0.02).with_momentum(0.9))
+    Workload::new(
+        "alexnet",
+        net,
+        image_dataset(101),
+        8,
+        Sgd::new(0.02).with_momentum(0.9),
+    )
 }
 
 /// Plain (unquantized) ResNet18 analogue for Fig. 21.
@@ -317,7 +383,13 @@ fn resnet18_plain() -> Workload {
     net.push(MaxPool2d::new("pool"));
     net.push(Flatten::new("flat"));
     net.push(Linear::new("fc", 16 * 8 * 8, 8, &mut rng));
-    Workload::new("resnet18", net, image_dataset(111), 8, Sgd::new(0.02).with_momentum(0.9))
+    Workload::new(
+        "resnet18",
+        net,
+        image_dataset(111),
+        8,
+        Sgd::new(0.02).with_momentum(0.9),
+    )
 }
 
 #[cfg(test)]

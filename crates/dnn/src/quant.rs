@@ -118,7 +118,7 @@ impl Pruner {
     /// Call once per optimizer step, after the update.
     pub fn apply<'a>(&mut self, params: impl IntoIterator<Item = &'a mut Param>) {
         self.steps += 1;
-        let reparam = self.steps % self.reparam_interval == 0;
+        let reparam = self.steps.is_multiple_of(self.reparam_interval);
         let mut params: Vec<&mut Param> = params.into_iter().collect();
         for (name, mask) in &mut self.masks {
             let Some(param) = params.iter_mut().find(|p| &p.name == name) else {
@@ -126,8 +126,7 @@ impl Pruner {
             };
             if reparam {
                 // Prune the smallest 10% of survivors, regrow at random.
-                let survivors: Vec<usize> =
-                    (0..mask.len()).filter(|&i| mask[i]).collect();
+                let survivors: Vec<usize> = (0..mask.len()).filter(|&i| mask[i]).collect();
                 let n_swap = (survivors.len() / 10).max(1).min(survivors.len());
                 let mut by_mag = survivors.clone();
                 by_mag.sort_by(|&a, &b| {

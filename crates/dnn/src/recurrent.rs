@@ -15,9 +15,9 @@ fn sigmoid(x: f32) -> f32 {
 
 /// Per-timestep cache for BPTT.
 struct StepCache {
-    x: Tensor,       // (batch, in)
-    h_prev: Tensor,  // (batch, H)
-    c_prev: Tensor,  // (batch, H)
+    x: Tensor,      // (batch, in)
+    h_prev: Tensor, // (batch, H)
+    c_prev: Tensor, // (batch, H)
     i: Tensor,
     f: Tensor,
     g: Tensor,
@@ -138,10 +138,9 @@ impl Layer for Lstm {
             let g = Self::slice_cols(&z, 2 * h_dim, 3 * h_dim).map(|v| v.tanh());
             let o = Self::slice_cols(&z, 3 * h_dim, 4 * h_dim).map(sigmoid);
 
-            let c_new = f.zip_map(&c, |fv, cv| fv * cv).zip_map(
-                &i.zip_map(&g, |iv, gv| iv * gv),
-                |a, b| a + b,
-            );
+            let c_new = f
+                .zip_map(&c, |fv, cv| fv * cv)
+                .zip_map(&i.zip_map(&g, |iv, gv| iv * gv), |a, b| a + b);
             let h_new = o.zip_map(&c_new, |ov, cv| ov * cv.tanh());
 
             self.cache.push(StepCache {
@@ -171,9 +170,10 @@ impl Layer for Lstm {
             let tanh_c = step.c.map(|v| v.tanh());
             let do_ = dh.zip_map(&tanh_c, |d, tc| d * tc);
             let dtc = dh.zip_map(&step.o, |d, ov| d * ov);
-            dc = dc.zip_map(&dtc.zip_map(&tanh_c, |d, tc| d * (1.0 - tc * tc)), |a, b| {
-                a + b
-            });
+            dc = dc.zip_map(
+                &dtc.zip_map(&tanh_c, |d, tc| d * (1.0 - tc * tc)),
+                |a, b| a + b,
+            );
 
             let di = dc.zip_map(&step.g, |d, g| d * g);
             let dg = dc.zip_map(&step.i, |d, i| d * i);

@@ -180,10 +180,7 @@ mod tests {
             let (l, _) = w.train_epoch(&mut e, epoch);
             last = l;
         }
-        assert!(
-            last < first * 0.9,
-            "loss did not drop: {first} -> {last}"
-        );
+        assert!(last < first * 0.9, "loss did not drop: {first} -> {last}");
     }
 
     #[test]

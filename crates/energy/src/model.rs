@@ -183,7 +183,7 @@ mod tests {
             terms: 64 * 8 * cycles,        // every lane issues
             pe_active_cycles: 64 * cycles, // every PE busy
             pe_stall_cycles: 0,
-            sets: 64 * cycles / 2, // one set per 2 cycles per PE
+            sets: 64 * cycles / 2,                // one set per 2 cycles per PE
             a_values_encoded: 8 * 8 * cycles / 2, // 8 columns × 8 values / 2 cycles
             ..EventCounts::default()
         };

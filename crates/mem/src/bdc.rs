@@ -79,7 +79,11 @@ pub fn delta_bits(group: &[Bf16]) -> u32 {
         hi = hi.max(e);
     }
     let span = (hi - lo) as u32;
-    let bits = if span == 0 { 0 } else { 32 - span.leading_zeros() };
+    let bits = if span == 0 {
+        0
+    } else {
+        32 - span.leading_zeros()
+    };
     if bits >= 7 {
         8
     } else {
@@ -331,10 +335,11 @@ mod tests {
     #[test]
     fn reorders_are_permutations() {
         let (c, h, w) = (4, 3, 5);
-        let values: Vec<Bf16> = (0..c * h * w)
-            .map(|i| Bf16::from_f32(i as f32))
-            .collect();
-        for order in [channelwise_order(&values, c, h, w), spatial_order(&values, c, h, w)] {
+        let values: Vec<Bf16> = (0..c * h * w).map(|i| Bf16::from_f32(i as f32)).collect();
+        for order in [
+            channelwise_order(&values, c, h, w),
+            spatial_order(&values, c, h, w),
+        ] {
             let mut a: Vec<u16> = order.iter().map(|v| v.to_bits()).collect();
             let mut b: Vec<u16> = values.iter().map(|v| v.to_bits()).collect();
             a.sort_unstable();

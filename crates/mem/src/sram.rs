@@ -111,7 +111,7 @@ mod tests {
     #[test]
     fn paper_capacity() {
         let gb = GlobalBuffer::paper();
-        assert_eq!(gb.capacity(), 9 * 4 << 20);
+        assert_eq!(gb.capacity(), (9 * 4) << 20);
         assert_eq!(gb.banks % 2, 1, "odd bank count per Table II");
         let sp = Scratchpad::paper();
         assert_eq!(sp.sets_capacity(), 128);

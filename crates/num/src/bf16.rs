@@ -200,7 +200,9 @@ impl Bf16 {
         Bf16(s | ((biased as u16) << 7) | (significand as u16 & 0x7F))
     }
 
-    /// Negation (flips the sign bit).
+    /// Negation (flips the sign bit). Also available as the unary `-`
+    /// operator.
+    #[allow(clippy::should_implement_trait)]
     #[inline]
     pub fn neg(self) -> Self {
         Bf16(self.0 ^ 0x8000)
@@ -220,6 +222,13 @@ impl Bf16 {
     /// Converts a slice of bfloat16 values to `f32`.
     pub fn dequantize_slice(values: &[Bf16]) -> Vec<f32> {
         values.iter().map(|v| v.to_f32()).collect()
+    }
+}
+
+impl std::ops::Neg for Bf16 {
+    type Output = Bf16;
+    fn neg(self) -> Bf16 {
+        Bf16::neg(self)
     }
 }
 

@@ -53,7 +53,12 @@ impl Term {
 
 impl fmt::Display for Term {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}2^{}", if self.neg { "-" } else { "+" }, -(self.shift as i32))
+        write!(
+            f,
+            "{}2^{}",
+            if self.neg { "-" } else { "+" },
+            -(self.shift as i32)
+        )
     }
 }
 
@@ -75,7 +80,10 @@ pub struct Terms {
 impl Terms {
     /// An empty term sequence (the encoding of a zero significand).
     pub const EMPTY: Terms = Terms {
-        buf: [Term { shift: 0, neg: false }; MAX_TERMS],
+        buf: [Term {
+            shift: 0,
+            neg: false,
+        }; MAX_TERMS],
         len: 0,
     };
 

@@ -1,0 +1,107 @@
+//! The simulation engine: drives any [`MachineModel`] over a trace, in
+//! parallel.
+//!
+//! [`Engine`] owns exactly one policy knob — the worker-thread count for
+//! the per-op block fan-out (see [`crate::simulate_op`]). Everything else
+//! (tile geometry, tiling, traffic, golden checking) comes from the
+//! [`AcceleratorConfig`] and the machine itself. Results are bit-identical
+//! for every thread count, so parallelism is purely a wall-clock choice.
+//!
+//! ```
+//! use fpraker_sim::{AcceleratorConfig, Engine, Machine};
+//! use fpraker_trace::Trace;
+//!
+//! let engine = Engine::new(); // one worker per core
+//! let trace = Trace::new("empty", 0);
+//! let run = engine.run(Machine::FpRaker, &trace, &AcceleratorConfig::fpraker_paper());
+//! assert_eq!(run.cycles(), 0);
+//! ```
+
+use fpraker_core::{BaselineMachine, FpRakerMachine, MachineModel};
+use fpraker_trace::Trace;
+
+use crate::config::AcceleratorConfig;
+use crate::op::{resolve_threads, simulate_op};
+use crate::run::{Machine, RunResult};
+
+/// A reusable, parallel trace-simulation engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Engine {
+    threads: usize,
+}
+
+impl Engine {
+    /// An engine using one worker per available core.
+    pub fn new() -> Self {
+        Engine { threads: 0 }
+    }
+
+    /// An engine with an explicit worker count (`0` = one per core).
+    /// `with_threads(1)` is the fully sequential reference engine.
+    pub fn with_threads(threads: usize) -> Self {
+        Engine { threads }
+    }
+
+    /// The number of workers this engine will actually use.
+    pub fn resolved_threads(&self) -> usize {
+        resolve_threads(self.threads)
+    }
+
+    /// Simulates a trace on one of the built-in machines.
+    pub fn run(&self, machine: Machine, trace: &Trace, cfg: &AcceleratorConfig) -> RunResult {
+        match machine {
+            Machine::FpRaker => self.simulate_trace_with::<FpRakerMachine>(machine, trace, cfg),
+            Machine::Baseline => self.simulate_trace_with::<BaselineMachine>(machine, trace, cfg),
+        }
+    }
+
+    /// Simulates a trace on any [`MachineModel`] — the extension point for
+    /// new machines (alternative term encodings, accumulator widths, …).
+    ///
+    /// `label` selects which of the two energy accounting families
+    /// ([`Machine::FpRaker`]'s term-serial events or
+    /// [`Machine::Baseline`]'s bit-parallel events) applies to `M`.
+    pub fn simulate_trace_with<M: MachineModel>(
+        &self,
+        label: Machine,
+        trace: &Trace,
+        cfg: &AcceleratorConfig,
+    ) -> RunResult {
+        RunResult {
+            machine: label,
+            ops: trace
+                .ops
+                .iter()
+                .map(|op| simulate_op::<M>(op, cfg, self.threads))
+                .collect(),
+        }
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolved_threads_is_positive() {
+        assert!(Engine::new().resolved_threads() >= 1);
+        assert_eq!(Engine::with_threads(3).resolved_threads(), 3);
+    }
+
+    #[test]
+    fn empty_trace_runs_on_both_machines() {
+        let trace = Trace::new("empty", 0);
+        let engine = Engine::with_threads(2);
+        for machine in [Machine::FpRaker, Machine::Baseline] {
+            let run = engine.run(machine, &trace, &AcceleratorConfig::fpraker_paper());
+            assert_eq!(run.machine, machine);
+            assert_eq!(run.cycles(), 0);
+        }
+    }
+}

@@ -1,13 +1,52 @@
 //! The accelerator-level simulator of the FPRaker reproduction.
 //!
 //! Mirrors the paper's custom cycle-accurate simulator (Section V-A):
-//! GEMM traces stream through the cycle-faithful tile model of
-//! [`fpraker-core`], tiled over the accelerator's tiles under the
-//! iso-compute-area configurations of Table II (36 FPRaker tiles vs 8
-//! bit-parallel tiles, 4096 bfloat16 MACs/cycle each way); produced values
-//! are optionally checked against exact golden references, off-chip
-//! traffic is modelled with optional exponent base-delta compression, and
-//! event counts feed the Table III-calibrated energy model.
+//! GEMM traces stream through a block-level machine model, tiled over the
+//! accelerator's tiles under the iso-compute-area configurations of
+//! Table II (36 FPRaker tiles vs 8 bit-parallel tiles, 4096 bfloat16
+//! MACs/cycle each way); produced values are optionally checked against
+//! exact golden references, off-chip traffic is modelled with optional
+//! exponent base-delta compression, and event counts feed the
+//! Table III-calibrated energy model.
+//!
+//! # Architecture: one engine, pluggable machines
+//!
+//! Both machines of the paper's comparison — and any future datapath
+//! variant — implement the [`fpraker_core::MachineModel`] trait: *given
+//! one output block's operand streams, report its cycles, statistics and
+//! outputs*. A single generic driver ([`simulate_op`]) handles everything
+//! around the block model:
+//!
+//! * serial-operand policy and per-layer θ overrides;
+//! * tiling the GEMM into `rows × cols` blocks and round-robin block
+//!   scheduling over tiles;
+//! * fanning blocks out across worker threads ([`Engine`]), with a
+//!   fixed-order unsigned reduction so results are **bit-identical for
+//!   every thread count**;
+//! * golden-value checking against the exact `f64` reference;
+//! * off-chip traffic (optionally BDC-compressed) overlapped with compute,
+//!   and the event counts the energy model consumes.
+//!
+//! # Adding a machine
+//!
+//! Implement `MachineModel` in one file (see
+//! [`fpraker_core::machine`] for the contract and the two built-ins),
+//! then either extend [`Machine`] or call
+//! [`Engine::simulate_trace_with`] directly:
+//!
+//! ```
+//! use fpraker_core::FpRakerMachine; // your machine here
+//! use fpraker_sim::{AcceleratorConfig, Engine, Machine};
+//! use fpraker_trace::Trace;
+//!
+//! let engine = Engine::with_threads(2);
+//! let run = engine.simulate_trace_with::<FpRakerMachine>(
+//!     Machine::FpRaker, // energy accounting family
+//!     &Trace::new("empty", 0),
+//!     &AcceleratorConfig::fpraker_paper(),
+//! );
+//! assert_eq!(run.cycles(), 0);
+//! ```
 //!
 //! # Example
 //!
@@ -27,12 +66,16 @@
 #![warn(missing_docs)]
 
 mod config;
+mod engine;
 mod op;
 mod run;
 
 pub use config::{AcceleratorConfig, SerialPolicy};
-pub use op::{pe_dot_with_reference, simulate_op_baseline, simulate_op_fpraker, OpOutcome};
+pub use engine::Engine;
+pub use fpraker_core::{
+    BaselineMachine, FpRakerMachine, MachineBlock, MachineEvents, MachineModel,
+};
+pub use op::{pe_dot_with_reference, simulate_op, OpOutcome};
 pub use run::{
-    energy_efficiency, simulate_trace_baseline, simulate_trace_fpraker, speedup, Machine,
-    RunResult,
+    energy_efficiency, simulate_trace_baseline, simulate_trace_fpraker, speedup, Machine, RunResult,
 };

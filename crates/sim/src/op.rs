@@ -1,13 +1,22 @@
-//! Simulation of a single GEMM (one `TraceOp`) on the accelerator.
+//! Simulation of a single GEMM (one `TraceOp`) on any [`MachineModel`].
 //!
-//! The GEMM is tiled into 8×8 output blocks (the tile's vector-matrix
+//! The GEMM is tiled into `rows × cols` output blocks (the machine's tile
 //! shape); blocks are distributed round-robin over the accelerator's tiles;
-//! per-block cycle counts come from the cycle-faithful tile model
-//! ([`fpraker_core::Tile`]). Off-chip traffic (optionally BDC-compressed)
-//! is overlapped with compute double-buffered: the op's latency is
-//! `max(compute, memory)`.
+//! per-block cycles, statistics and outputs come from the machine's
+//! block model (for FPRaker, the cycle-faithful [`fpraker_core::Tile`]).
+//! Off-chip traffic (optionally BDC-compressed) is overlapped with compute
+//! double-buffered: the op's latency is `max(compute, memory)`.
+//!
+//! Blocks are mutually independent, so the driver fans them out across
+//! worker threads in contiguous index ranges. Every per-block quantity is
+//! reduced with unsigned integer addition in a fixed order, so the result
+//! is **bit-identical for any thread count** — the determinism tests pin
+//! this down.
 
-use fpraker_core::{ExecStats, Pe, Tile, TileConfig};
+use std::num::NonZeroUsize;
+use std::thread;
+
+use fpraker_core::{ExecStats, MachineModel, Pe, TileConfig};
 use fpraker_energy::EventCounts;
 use fpraker_mem::{bdc, Traffic};
 use fpraker_num::encode::Encoding;
@@ -32,7 +41,7 @@ pub struct OpOutcome {
     pub mem_cycles: u64,
     /// Op latency: `max(compute, memory)`.
     pub cycles: u64,
-    /// Tile statistics (zeroed for the analytic baseline).
+    /// Tile statistics (zeroed for analytic machines).
     pub stats: ExecStats,
     /// Off-chip traffic.
     pub traffic: Traffic,
@@ -69,8 +78,110 @@ fn offchip_bytes(values: &[Bf16], bdc_enabled: bool, dup: f32) -> u64 {
     (raw as f64 / dup.max(1.0) as f64).ceil() as u64
 }
 
-/// Simulates one GEMM on the FPRaker accelerator.
-pub fn simulate_op_fpraker(op: &TraceOp, cfg: &AcceleratorConfig) -> OpOutcome {
+/// Resolves a thread-count knob: `0` means one worker per available core.
+pub(crate) fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// Per-worker reduction state: everything a range of blocks contributes.
+struct BlockAccum {
+    tile_cycles: Vec<u64>,
+    stats: ExecStats,
+    golden_failures: u64,
+}
+
+impl BlockAccum {
+    fn new(tiles: usize) -> Self {
+        BlockAccum {
+            tile_cycles: vec![0; tiles],
+            stats: ExecStats::default(),
+            golden_failures: 0,
+        }
+    }
+
+    fn merge(&mut self, other: &BlockAccum) {
+        for (t, o) in self.tile_cycles.iter_mut().zip(&other.tile_cycles) {
+            *t += o;
+        }
+        self.stats += other.stats;
+        self.golden_failures += other.golden_failures;
+    }
+}
+
+/// Runs the contiguous block range `[lo, hi)` of the op on a fresh machine
+/// instance, accumulating per-tile cycles (round-robin assignment by global
+/// block index), statistics and golden-check failures.
+#[allow(clippy::too_many_arguments)]
+fn run_block_range<M: MachineModel>(
+    machine: &mut M,
+    op: &TraceOp,
+    cfg: &AcceleratorConfig,
+    k_padded: usize,
+    blocks_n: usize,
+    lo: usize,
+    hi: usize,
+) -> BlockAccum {
+    let tile_cfg = *machine.tile_config();
+    let (rows, cols) = (tile_cfg.rows, tile_cfg.cols);
+    let mut acc = BlockAccum::new(cfg.tiles);
+    // Blocks are visited in row-major order, so the A streams (a function
+    // of `bi` alone) are reused across the `blocks_n` blocks of a row.
+    let mut a_streams: Vec<Vec<Bf16>> = Vec::new();
+    let mut cached_bi = usize::MAX;
+    for idx in lo..hi {
+        let (bi, bj) = (idx / blocks_n, idx % blocks_n);
+        if bi != cached_bi {
+            a_streams = (0..cols)
+                .map(|c| stream_for(&op.a, op.m, op.k, bi * cols + c, k_padded))
+                .collect();
+            cached_bi = bi;
+        }
+        let b_streams: Vec<Vec<Bf16>> = (0..rows)
+            .map(|r| stream_for(&op.b, op.n, op.k, bj * rows + r, k_padded))
+            .collect();
+        let out = machine.run_block(&a_streams, &b_streams);
+        acc.tile_cycles[idx % cfg.tiles] += out.cycles;
+        acc.stats += out.stats;
+        if cfg.check_golden {
+            // A silent skip here would make `golden_failures == 0` vacuous.
+            let outputs = out.outputs.as_ref().unwrap_or_else(|| {
+                panic!(
+                    "{} returned no outputs under golden checking",
+                    machine.name()
+                )
+            });
+            for r in 0..rows {
+                for c in 0..cols {
+                    let exact = dot_f64(&a_streams[c], &b_streams[r]);
+                    let mag = dot_magnitude_f64(&a_streams[c], &b_streams[r]);
+                    let got = outputs[r * cols + c].to_f64();
+                    if (got - exact).abs() > 2.0 * ulp_bf16(mag.max(1e-30)) {
+                        acc.golden_failures += 1;
+                    }
+                }
+            }
+        }
+    }
+    acc
+}
+
+/// Simulates one GEMM on machine `M` — the single driver behind every
+/// machine comparison (formerly the duplicated `simulate_op_fpraker` /
+/// `simulate_op_baseline` paths).
+///
+/// `threads` bounds the block-level fan-out (`0` = one worker per core);
+/// results are bit-identical for every thread count.
+pub fn simulate_op<M: MachineModel>(
+    op: &TraceOp,
+    cfg: &AcceleratorConfig,
+    threads: usize,
+) -> OpOutcome {
     let swapped;
     let op = match cfg.serial_policy {
         SerialPolicy::AlwaysA => op,
@@ -100,41 +211,59 @@ pub fn simulate_op_fpraker(op: &TraceOp, cfg: &AcceleratorConfig) -> OpOutcome {
     let k_padded = ksets * lanes;
     let blocks_m = op.m.div_ceil(cols);
     let blocks_n = op.n.div_ceil(rows);
+    let blocks = blocks_m * blocks_n;
 
-    let mut tile = Tile::new(tile_cfg);
-    let mut tile_cycles = vec![0u64; cfg.tiles];
-    let mut stats = ExecStats::default();
-    let mut golden_failures = 0u64;
-    let mut next_tile = 0usize;
-
-    for bi in 0..blocks_m {
-        for bj in 0..blocks_n {
-            let a_streams: Vec<Vec<Bf16>> = (0..cols)
-                .map(|c| stream_for(&op.a, op.m, op.k, bi * cols + c, k_padded))
-                .collect();
-            let b_streams: Vec<Vec<Bf16>> = (0..rows)
-                .map(|r| stream_for(&op.b, op.n, op.k, bj * rows + r, k_padded))
-                .collect();
-            let out = tile.run_block(&a_streams, &b_streams);
-            tile_cycles[next_tile] += out.cycles;
-            next_tile = (next_tile + 1) % cfg.tiles;
-            stats += out.stats;
-            if cfg.check_golden {
-                for r in 0..rows {
-                    for c in 0..cols {
-                        let exact = dot_f64(&a_streams[c], &b_streams[r]);
-                        let mag = dot_magnitude_f64(&a_streams[c], &b_streams[r]);
-                        let got = out.output(r, c, cols).to_f64();
-                        if (got - exact).abs() > 2.0 * ulp_bf16(mag.max(1e-30)) {
-                            golden_failures += 1;
-                        }
-                    }
-                }
+    let mut machine = M::from_tile(tile_cfg);
+    let mut acc = BlockAccum::new(cfg.tiles);
+    if machine.value_dependent() {
+        let workers = resolve_threads(threads).min(blocks.max(1));
+        if workers <= 1 {
+            acc = run_block_range(&mut machine, op, cfg, k_padded, blocks_n, 0, blocks);
+        } else {
+            let chunk = blocks.div_ceil(workers);
+            // Rounding up the chunk can leave trailing workers with empty
+            // ranges; don't spawn them.
+            let workers = blocks.div_ceil(chunk);
+            let partials = thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let (lo, hi) = (w * chunk, ((w + 1) * chunk).min(blocks));
+                        scope.spawn(move || {
+                            let mut worker_machine = M::from_tile(tile_cfg);
+                            run_block_range(
+                                &mut worker_machine,
+                                op,
+                                cfg,
+                                k_padded,
+                                blocks_n,
+                                lo,
+                                hi,
+                            )
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("simulation worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            // Worker-ordered merge of unsigned sums: bit-identical to the
+            // sequential reduction regardless of scheduling.
+            for partial in &partials {
+                acc.merge(partial);
             }
+        }
+    } else {
+        // Value-independent timing: no operand streams, no golden check —
+        // the block loop is just round-robin arithmetic.
+        for idx in 0..blocks {
+            let out = machine.run_block_analytic(ksets);
+            acc.tile_cycles[idx % cfg.tiles] += out.cycles;
+            acc.stats += out.stats;
         }
     }
 
-    let compute_cycles = tile_cycles.iter().copied().max().unwrap_or(0);
+    let compute_cycles = acc.tile_cycles.iter().copied().max().unwrap_or(0);
     let out_raw = ((op.m * op.n) as f64 * 2.0 / op.out_dup.max(1.0) as f64).ceil() as u64;
     let traffic = Traffic {
         a_bytes: offchip_bytes(&op.a, cfg.bdc_offchip, op.a_dup),
@@ -144,29 +273,25 @@ pub fn simulate_op_fpraker(op: &TraceOp, cfg: &AcceleratorConfig) -> OpOutcome {
             // with the average input compression ratio.
             let in_ratio = (offchip_bytes(&op.a, true, op.a_dup)
                 + offchip_bytes(&op.b, true, op.b_dup)) as f64
-                / (offchip_bytes(&op.a, false, op.a_dup)
-                    + offchip_bytes(&op.b, false, op.b_dup)) as f64;
+                / (offchip_bytes(&op.a, false, op.a_dup) + offchip_bytes(&op.b, false, op.b_dup))
+                    as f64;
             (out_raw as f64 * in_ratio) as u64
         } else {
             out_raw
         },
     };
     let mem_cycles = cfg.dram.cycles_for(traffic.total());
-    let blocks = (blocks_m * blocks_n) as u64;
     let sram_bytes =
-        blocks * ((cols + rows) * k_padded * 2) as u64 + (op.m * op.n * 2) as u64;
+        blocks as u64 * ((cols + rows) * k_padded * 2) as u64 + (op.m * op.n * 2) as u64;
 
-    let lane_total = stats.lane_cycles;
-    let pe_active =
-        (lane_total.useful + lane_total.no_term + lane_total.shift_range) / lanes as u64;
-    let pe_stall = (lane_total.inter_pe + lane_total.exponent) / lanes as u64;
+    let events = machine.events(&acc.stats, blocks as u64, ksets as u64);
     let counts = EventCounts {
-        terms: stats.terms.processed,
-        pe_active_cycles: pe_active,
-        pe_stall_cycles: pe_stall,
-        sets: stats.sets,
-        a_values_encoded: stats.sets / rows as u64 * lanes as u64,
-        baseline_pe_cycles: 0,
+        terms: events.terms,
+        pe_active_cycles: events.pe_active_cycles,
+        pe_stall_cycles: events.pe_stall_cycles,
+        sets: events.sets,
+        a_values_encoded: events.a_values_encoded,
+        baseline_pe_cycles: events.baseline_pe_cycles,
         sram_bytes,
         dram_bytes: traffic.total(),
     };
@@ -178,53 +303,11 @@ pub fn simulate_op_fpraker(op: &TraceOp, cfg: &AcceleratorConfig) -> OpOutcome {
         compute_cycles,
         mem_cycles,
         cycles: compute_cycles.max(mem_cycles),
-        stats,
+        stats: acc.stats,
         traffic,
         sram_bytes,
         counts,
-        golden_failures,
-    }
-}
-
-/// Simulates one GEMM on the bit-parallel baseline accelerator
-/// (analytically: the baseline never stalls — every 8×8 output block takes
-/// `ceil(k/8)` cycles).
-pub fn simulate_op_baseline(op: &TraceOp, cfg: &AcceleratorConfig) -> OpOutcome {
-    let (rows, cols, lanes) = (cfg.tile.rows, cfg.tile.cols, cfg.tile.pe.lanes);
-    let ksets = padded_sets(op.k, lanes) as u64;
-    let blocks = (op.m.div_ceil(cols) * op.n.div_ceil(rows)) as u64;
-    // Round-robin block assignment: the slowest tile gets ceil(blocks/T).
-    let blocks_max = blocks.div_ceil(cfg.tiles as u64);
-    let compute_cycles = blocks_max * ksets;
-
-    let traffic = Traffic {
-        a_bytes: offchip_bytes(&op.a, false, op.a_dup),
-        b_bytes: offchip_bytes(&op.b, false, op.b_dup),
-        out_bytes: ((op.m * op.n) as f64 * 2.0 / op.out_dup.max(1.0) as f64).ceil() as u64,
-    };
-    let mem_cycles = cfg.dram.cycles_for(traffic.total());
-    let k_padded = ksets as usize * lanes;
-    let sram_bytes =
-        blocks * ((cols + rows) * k_padded * 2) as u64 + (op.m * op.n * 2) as u64;
-    let counts = EventCounts {
-        baseline_pe_cycles: blocks * ksets * (rows * cols) as u64,
-        sram_bytes,
-        dram_bytes: traffic.total(),
-        ..EventCounts::default()
-    };
-
-    OpOutcome {
-        layer: op.layer.clone(),
-        phase: Some(op.phase),
-        macs: op.macs(),
-        compute_cycles,
-        mem_cycles,
-        cycles: compute_cycles.max(mem_cycles),
-        stats: ExecStats::default(),
-        traffic,
-        sram_bytes,
-        counts,
-        golden_failures: 0,
+        golden_failures: acc.golden_failures,
     }
 }
 
@@ -240,6 +323,7 @@ pub fn pe_dot_with_reference(a: &[Bf16], b: &[Bf16], tile: &TileConfig) -> (Bf16
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fpraker_core::{BaselineMachine, FpRakerMachine};
     use fpraker_num::reference::SplitMix64;
     use fpraker_trace::TensorKind;
 
@@ -269,10 +353,14 @@ mod tests {
         }
     }
 
+    fn fpraker_op(op: &TraceOp, cfg: &AcceleratorConfig) -> OpOutcome {
+        simulate_op::<FpRakerMachine>(op, cfg, 1)
+    }
+
     #[test]
     fn golden_check_passes_on_random_gemm() {
         let op = random_op(20, 12, 24, 3, 1);
-        let out = simulate_op_fpraker(&op, &small_cfg(2));
+        let out = fpraker_op(&op, &small_cfg(2));
         assert_eq!(out.golden_failures, 0);
         assert_eq!(out.macs, 20 * 12 * 24);
         assert!(out.compute_cycles > 0);
@@ -285,19 +373,19 @@ mod tests {
             tiles: 1,
             ..AcceleratorConfig::baseline_paper()
         };
-        let out = simulate_op_baseline(&op, &cfg);
+        let out = simulate_op::<BaselineMachine>(&op, &cfg, 1);
         // 2x2 blocks of 8x8 outputs, 4 k-sets each, 1 tile: 16 cycles.
         assert_eq!(out.compute_cycles, 16);
         // With 8 tiles the 4 blocks round-robin: 4 cycles.
-        let out8 = simulate_op_baseline(&op, &AcceleratorConfig::baseline_paper());
+        let out8 = simulate_op::<BaselineMachine>(&op, &AcceleratorConfig::baseline_paper(), 1);
         assert_eq!(out8.compute_cycles, 4);
     }
 
     #[test]
     fn more_tiles_never_slower() {
         let op = random_op(64, 16, 16, 4, 3);
-        let c1 = simulate_op_fpraker(&op, &small_cfg(4)).compute_cycles;
-        let c2 = simulate_op_fpraker(&op, &small_cfg(8)).compute_cycles;
+        let c1 = fpraker_op(&op, &small_cfg(4)).compute_cycles;
+        let c2 = fpraker_op(&op, &small_cfg(8)).compute_cycles;
         assert!(c2 <= c1, "{c2} > {c1}");
     }
 
@@ -316,8 +404,8 @@ mod tests {
             serial_policy: SerialPolicy::AlwaysA,
             ..small_cfg(1)
         };
-        let cs = simulate_op_fpraker(&sparse, &cfg).compute_cycles;
-        let cd = simulate_op_fpraker(&dense, &cfg).compute_cycles;
+        let cs = fpraker_op(&sparse, &cfg).compute_cycles;
+        let cd = fpraker_op(&dense, &cfg).compute_cycles;
         assert!(cs < cd, "sparse {cs} vs dense {cd}");
     }
 
@@ -327,8 +415,8 @@ mod tests {
         for v in op.a.iter_mut().chain(op.b.iter_mut()) {
             *v = Bf16::from_parts(v.sign(), 0, v.significand());
         }
-        let with = simulate_op_fpraker(&op, &small_cfg(1));
-        let without = simulate_op_fpraker(
+        let with = fpraker_op(&op, &small_cfg(1));
+        let without = fpraker_op(
             &op,
             &AcceleratorConfig {
                 bdc_offchip: false,
@@ -356,21 +444,21 @@ mod tests {
             *v = Bf16::from_parts(v.sign(), v.exponent(), 0xFF);
         }
         let base = small_cfg(1);
-        let auto = simulate_op_fpraker(
+        let auto = fpraker_op(
             &op,
             &AcceleratorConfig {
                 serial_policy: SerialPolicy::Sparser,
                 ..base.clone()
             },
         );
-        let forced_b = simulate_op_fpraker(
+        let forced_b = fpraker_op(
             &op,
             &AcceleratorConfig {
                 serial_policy: SerialPolicy::AlwaysB,
                 ..base.clone()
             },
         );
-        let forced_a = simulate_op_fpraker(
+        let forced_a = fpraker_op(
             &op,
             &AcceleratorConfig {
                 serial_policy: SerialPolicy::AlwaysA,
@@ -389,20 +477,35 @@ mod tests {
         narrow.check_golden = false;
         let mut wide = small_cfg(1);
         wide.check_golden = false;
-        let cn = simulate_op_fpraker(&op, &narrow).compute_cycles;
-        let cw = simulate_op_fpraker(&op, &wide).compute_cycles;
+        let cn = fpraker_op(&op, &narrow).compute_cycles;
+        let cw = fpraker_op(&op, &wide).compute_cycles;
         assert!(cn <= cw, "narrow θ slower: {cn} > {cw}");
     }
 
     #[test]
     fn event_counts_are_consistent() {
         let op = random_op(8, 8, 16, 3, 8);
-        let out = simulate_op_fpraker(&op, &small_cfg(1));
+        let out = fpraker_op(&op, &small_cfg(1));
         assert_eq!(out.counts.terms, out.stats.terms.processed);
         assert!(out.counts.pe_active_cycles > 0);
         assert_eq!(out.counts.dram_bytes, out.traffic.total());
         // Two k-sets per PE over one block: 64 PEs * 2 sets.
         assert_eq!(out.stats.sets, 128);
         assert_eq!(out.counts.a_values_encoded, 128 / 8 * 8);
+    }
+
+    #[test]
+    fn parallel_fan_out_is_bit_identical_to_sequential() {
+        let op = random_op(48, 40, 24, 4, 9);
+        let cfg = small_cfg(3);
+        let seq = simulate_op::<FpRakerMachine>(&op, &cfg, 1);
+        for threads in [2, 3, 5, 8] {
+            let par = simulate_op::<FpRakerMachine>(&op, &cfg, threads);
+            assert_eq!(par.compute_cycles, seq.compute_cycles, "{threads} threads");
+            assert_eq!(par.cycles, seq.cycles);
+            assert_eq!(par.stats, seq.stats);
+            assert_eq!(par.counts, seq.counts);
+            assert_eq!(par.golden_failures, seq.golden_failures);
+        }
     }
 }

@@ -7,14 +7,17 @@ use fpraker_energy::{EnergyBreakdown, EnergyModel, EventCounts};
 use fpraker_trace::{Phase, Trace};
 
 use crate::config::AcceleratorConfig;
-use crate::op::{simulate_op_baseline, simulate_op_fpraker, OpOutcome};
+use crate::engine::Engine;
+use crate::op::OpOutcome;
 
-/// Which accelerator a run modelled.
+/// Which accelerator a run modelled — and, for
+/// [`Engine::simulate_trace_with`], which energy accounting family a
+/// custom [`fpraker_core::MachineModel`] belongs to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Machine {
-    /// The FPRaker accelerator.
+    /// The FPRaker accelerator (term-serial energy events).
     FpRaker,
-    /// The bit-parallel baseline.
+    /// The bit-parallel baseline (per-cycle MAC energy events).
     Baseline,
 }
 
@@ -106,28 +109,16 @@ impl RunResult {
     }
 }
 
-/// Simulates a trace on the FPRaker accelerator.
+/// Simulates a trace on the FPRaker accelerator with a default (one worker
+/// per core) [`Engine`].
 pub fn simulate_trace_fpraker(trace: &Trace, cfg: &AcceleratorConfig) -> RunResult {
-    RunResult {
-        machine: Machine::FpRaker,
-        ops: trace
-            .ops
-            .iter()
-            .map(|op| simulate_op_fpraker(op, cfg))
-            .collect(),
-    }
+    Engine::new().run(Machine::FpRaker, trace, cfg)
 }
 
-/// Simulates a trace on the bit-parallel baseline accelerator.
+/// Simulates a trace on the bit-parallel baseline accelerator with a
+/// default (one worker per core) [`Engine`].
 pub fn simulate_trace_baseline(trace: &Trace, cfg: &AcceleratorConfig) -> RunResult {
-    RunResult {
-        machine: Machine::Baseline,
-        ops: trace
-            .ops
-            .iter()
-            .map(|op| simulate_op_baseline(op, cfg))
-            .collect(),
-    }
+    Engine::new().run(Machine::Baseline, trace, cfg)
 }
 
 /// Speedup of `fpraker` over `baseline` on total cycles.

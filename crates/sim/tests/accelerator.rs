@@ -30,7 +30,11 @@ fn quantized_trace() -> Trace {
                 } else {
                     let v = rng.bf16_in_range(2);
                     // 3-bit mantissa, as PACT training produces.
-                    out.push(Bf16::from_parts(v.sign(), v.exponent(), v.significand() & 0xE0));
+                    out.push(Bf16::from_parts(
+                        v.sign(),
+                        v.exponent(),
+                        v.significand() & 0xE0,
+                    ));
                 }
             }
             out
@@ -138,11 +142,7 @@ fn narrow_accumulators_trade_cycles_monotonically() {
     let mut prev = u64::MAX;
     for theta in [12i32, 8, 4] {
         let mut cfg = AcceleratorConfig::fpraker_paper();
-        cfg.theta_overrides = trace
-            .ops
-            .iter()
-            .map(|o| (o.layer.clone(), theta))
-            .collect();
+        cfg.theta_overrides = trace.ops.iter().map(|o| (o.layer.clone(), theta)).collect();
         let run = simulate_trace_fpraker(&trace, &cfg);
         assert!(
             run.compute_cycles() <= prev,

@@ -1,0 +1,125 @@
+//! Sequential-vs-parallel determinism: the engine's block fan-out must be
+//! invisible in the results. Same trace, 1 worker vs N workers → identical
+//! cycles, statistics, event counts, traffic and golden-check outcomes,
+//! on both machines.
+
+use fpraker_num::reference::SplitMix64;
+use fpraker_num::Bf16;
+use fpraker_sim::{AcceleratorConfig, Engine, Machine, OpOutcome, RunResult};
+use fpraker_trace::{Phase, TensorKind, Trace, TraceOp};
+
+/// A trace big enough to fan out over many blocks per op (several tiles'
+/// worth of 8×8 output blocks), with mixed sparsity so FPRaker's timing is
+/// genuinely value-dependent.
+fn fan_out_trace() -> Trace {
+    let mut rng = SplitMix64::new(0xD17E);
+    let mut tr = Trace::new("determinism", 50);
+    for (i, (phase, zero_pct)) in [(Phase::AxW, 0.3), (Phase::GxW, 0.6), (Phase::AxG, 0.0)]
+        .iter()
+        .enumerate()
+    {
+        let (m, n, k) = (72, 40, 24);
+        let gen = |rng: &mut SplitMix64, count: usize| -> Vec<Bf16> {
+            (0..count)
+                .map(|_| {
+                    if rng.next_f64() < *zero_pct {
+                        Bf16::ZERO
+                    } else {
+                        rng.bf16_in_range(4)
+                    }
+                })
+                .collect()
+        };
+        tr.ops.push(TraceOp {
+            layer: format!("layer{i}"),
+            phase: *phase,
+            m,
+            n,
+            k,
+            a: gen(&mut rng, m * k),
+            b: gen(&mut rng, n * k),
+            a_kind: TensorKind::Activation,
+            b_kind: TensorKind::Weight,
+            a_dup: 1.0,
+            b_dup: 1.0,
+            out_dup: 1.0,
+        });
+    }
+    tr
+}
+
+fn assert_ops_identical(seq: &OpOutcome, par: &OpOutcome, what: &str) {
+    assert_eq!(seq.cycles, par.cycles, "{what}: op cycles");
+    assert_eq!(
+        seq.compute_cycles, par.compute_cycles,
+        "{what}: compute cycles"
+    );
+    assert_eq!(seq.mem_cycles, par.mem_cycles, "{what}: memory cycles");
+    assert_eq!(seq.stats, par.stats, "{what}: exec stats");
+    assert_eq!(seq.counts, par.counts, "{what}: event counts");
+    assert_eq!(seq.traffic, par.traffic, "{what}: traffic");
+    assert_eq!(seq.sram_bytes, par.sram_bytes, "{what}: sram bytes");
+    assert_eq!(
+        seq.golden_failures, par.golden_failures,
+        "{what}: golden failures"
+    );
+}
+
+fn assert_runs_identical(seq: &RunResult, par: &RunResult, what: &str) {
+    assert_eq!(seq.ops.len(), par.ops.len(), "{what}: op count");
+    for (i, (s, p)) in seq.ops.iter().zip(&par.ops).enumerate() {
+        assert_ops_identical(s, p, &format!("{what} op{i}"));
+    }
+}
+
+#[test]
+fn fpraker_runs_are_identical_across_thread_counts() {
+    let trace = fan_out_trace();
+    let mut cfg = AcceleratorConfig::fpraker_paper();
+    // Golden checking recomputes every output from the f64 reference: if
+    // the parallel path scrambled accumulator state, this would see it.
+    cfg.check_golden = true;
+    cfg.tiles = 4;
+    let seq = Engine::with_threads(1).run(Machine::FpRaker, &trace, &cfg);
+    assert_eq!(seq.golden_failures(), 0, "sequential golden check");
+    for threads in [2, 3, 4, 7, 16] {
+        let par = Engine::with_threads(threads).run(Machine::FpRaker, &trace, &cfg);
+        assert_runs_identical(&seq, &par, &format!("{threads} threads"));
+    }
+    // And the auto engine (one worker per core).
+    let auto = Engine::new().run(Machine::FpRaker, &trace, &cfg);
+    assert_runs_identical(&seq, &auto, "auto threads");
+}
+
+#[test]
+fn baseline_runs_are_identical_across_thread_counts() {
+    let trace = fan_out_trace();
+    let cfg = AcceleratorConfig::baseline_paper();
+    let seq = Engine::with_threads(1).run(Machine::Baseline, &trace, &cfg);
+    for threads in [2, 8] {
+        let par = Engine::with_threads(threads).run(Machine::Baseline, &trace, &cfg);
+        assert_runs_identical(&seq, &par, &format!("baseline {threads} threads"));
+    }
+}
+
+#[test]
+fn thread_count_does_not_leak_into_derived_metrics() {
+    let trace = fan_out_trace();
+    let cfg = AcceleratorConfig::fpraker_paper();
+    let bl_cfg = AcceleratorConfig::baseline_paper();
+    let (fp1, bl1) = (
+        Engine::with_threads(1).run(Machine::FpRaker, &trace, &cfg),
+        Engine::with_threads(1).run(Machine::Baseline, &trace, &bl_cfg),
+    );
+    let (fp4, bl4) = (
+        Engine::with_threads(4).run(Machine::FpRaker, &trace, &cfg),
+        Engine::with_threads(4).run(Machine::Baseline, &trace, &bl_cfg),
+    );
+    assert_eq!(
+        fpraker_sim::speedup(&fp1, &bl1),
+        fpraker_sim::speedup(&fp4, &bl4),
+        "speedup must not depend on the worker count"
+    );
+    assert_eq!(fp1.cycles_by_phase(), fp4.cycles_by_phase());
+    assert_eq!(fp1.stats(), fp4.stats());
+}

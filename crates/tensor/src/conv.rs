@@ -30,8 +30,12 @@ impl ConvGeom {
     /// Panics if the geometry does not fit the input (output would be
     /// empty).
     pub fn out_size(&self, h: usize, w: usize) -> (usize, usize) {
-        let oh = (h + 2 * self.pad).checked_sub(self.kernel).map(|x| x / self.stride + 1);
-        let ow = (w + 2 * self.pad).checked_sub(self.kernel).map(|x| x / self.stride + 1);
+        let oh = (h + 2 * self.pad)
+            .checked_sub(self.kernel)
+            .map(|x| x / self.stride + 1);
+        let ow = (w + 2 * self.pad)
+            .checked_sub(self.kernel)
+            .map(|x| x / self.stride + 1);
         match (oh, ow) {
             (Some(oh), Some(ow)) if oh > 0 && ow > 0 => (oh, ow),
             _ => panic!("convolution geometry does not fit input {h}x{w}"),
@@ -101,11 +105,7 @@ pub fn im2col(input: &Tensor, g: &ConvGeom) -> Tensor {
 pub fn col2im(cols: &Tensor, g: &ConvGeom, n: usize, h: usize, w: usize) -> Tensor {
     let (oh, ow) = g.out_size(h, w);
     let patch = g.patch_len();
-    assert_eq!(
-        cols.dims(),
-        &[n * oh * ow, patch],
-        "col2im shape mismatch"
-    );
+    assert_eq!(cols.dims(), &[n * oh * ow, patch], "col2im shape mismatch");
     let c = g.in_channels;
     let mut out = vec![0.0f32; n * c * h * w];
     let cd = cols.data();
@@ -179,10 +179,7 @@ mod tests {
     #[test]
     fn im2col_extracts_windows() {
         // 1x1x3x3 input, 2x2 kernel: four windows.
-        let input = Tensor::from_vec(
-            vec![1, 1, 3, 3],
-            (1..=9).map(|i| i as f32).collect(),
-        );
+        let input = Tensor::from_vec(vec![1, 1, 3, 3], (1..=9).map(|i| i as f32).collect());
         let cols = im2col(&input, &simple_geom());
         assert_eq!(cols.dims(), &[4, 4]);
         assert_eq!(&cols.data()[0..4], &[1.0, 2.0, 4.0, 5.0]);
@@ -260,12 +257,16 @@ mod tests {
         let (n, h, w) = (2, 5, 5);
         let x = Tensor::from_vec(
             vec![n, 2, h, w],
-            (0..n * 2 * h * w).map(|i| ((i * 7 % 13) as f32) - 6.0).collect(),
+            (0..n * 2 * h * w)
+                .map(|i| ((i * 7 % 13) as f32) - 6.0)
+                .collect(),
         );
         let cols = im2col(&x, &g);
         let y = Tensor::from_vec(
             cols.dims().to_vec(),
-            (0..cols.len()).map(|i| ((i * 3 % 11) as f32) - 5.0).collect(),
+            (0..cols.len())
+                .map(|i| ((i * 3 % 11) as f32) - 5.0)
+                .collect(),
         );
         let lhs: f32 = cols.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
         let back = col2im(&y, &g, n, h, w);

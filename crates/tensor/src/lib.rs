@@ -80,8 +80,12 @@ mod init_tests {
         let mut rng = StdRng::seed_from_u64(2);
         let t = init::normal(&mut rng, vec![4096], 0.5);
         let mean = t.mean();
-        let var: f32 =
-            t.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / t.len() as f32;
+        let var: f32 = t
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / t.len() as f32;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var.sqrt() - 0.5).abs() < 0.05, "std {}", var.sqrt());
     }

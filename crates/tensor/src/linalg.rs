@@ -152,8 +152,8 @@ pub fn sum_rows(a: &Tensor) -> Tensor {
     let (m, n) = (a.dims()[0], a.dims()[1]);
     let mut out = vec![0.0f32; n];
     for i in 0..m {
-        for j in 0..n {
-            out[j] += a.data()[i * n + j];
+        for (j, o) in out.iter_mut().enumerate() {
+            *o += a.data()[i * n + j];
         }
     }
     Tensor::from_vec(vec![n], out)

@@ -43,7 +43,13 @@ impl Error for DecodeError {}
 
 /// Serializes a trace.
 pub fn encode(trace: &Trace) -> Bytes {
-    let mut buf = BytesMut::with_capacity(64 + trace.ops.iter().map(|o| 2 * (o.a.len() + o.b.len()) + 64).sum::<usize>());
+    let mut buf = BytesMut::with_capacity(
+        64 + trace
+            .ops
+            .iter()
+            .map(|o| 2 * (o.a.len() + o.b.len()) + 64)
+            .sum::<usize>(),
+    );
     buf.put_slice(MAGIC);
     buf.put_u8(VERSION);
     put_string(&mut buf, &trace.model);
@@ -97,7 +103,8 @@ pub fn decode(mut input: &[u8]) -> Result<Trace, DecodeError> {
     let mut ops = Vec::with_capacity(num_ops);
     for _ in 0..num_ops {
         let layer = take_string(buf)?;
-        let phase = Phase::from_tag(take_u8(buf)?).ok_or_else(|| DecodeError::new("bad phase tag"))?;
+        let phase =
+            Phase::from_tag(take_u8(buf)?).ok_or_else(|| DecodeError::new("bad phase tag"))?;
         let a_kind =
             TensorKind::from_tag(take_u8(buf)?).ok_or_else(|| DecodeError::new("bad kind tag"))?;
         let b_kind =
@@ -210,8 +217,12 @@ mod tests {
             m: 4,
             n: 2,
             k: 8,
-            a: (0..32).map(|i| Bf16::from_f32(i as f32 * 0.25 - 4.0)).collect(),
-            b: (0..16).map(|i| Bf16::from_f32(1.0 / (i + 1) as f32)).collect(),
+            a: (0..32)
+                .map(|i| Bf16::from_f32(i as f32 * 0.25 - 4.0))
+                .collect(),
+            b: (0..16)
+                .map(|i| Bf16::from_f32(1.0 / (i + 1) as f32))
+                .collect(),
             a_kind: TensorKind::Activation,
             b_kind: TensorKind::Weight,
             a_dup: 9.0,

@@ -141,7 +141,10 @@ impl PhasePotential {
 }
 
 /// Computes the per-phase ideal-speedup potential of a trace (Fig. 2).
-pub fn potential_by_phase(trace: &Trace, encoding: Encoding) -> BTreeMap<&'static str, PhasePotential> {
+pub fn potential_by_phase(
+    trace: &Trace,
+    encoding: Encoding,
+) -> BTreeMap<&'static str, PhasePotential> {
     let mut map: BTreeMap<&'static str, PhasePotential> = BTreeMap::new();
     for op in &trace.ops {
         let name = phase_name(op.phase);
@@ -192,7 +195,9 @@ impl ExponentHistogram {
     /// Iterates `(exponent, fraction-of-total)` pairs in ascending order.
     pub fn fractions(&self) -> impl Iterator<Item = (i32, f64)> + '_ {
         let total = self.total.max(1) as f64;
-        self.counts.iter().map(move |(&e, &c)| (e, c as f64 / total))
+        self.counts
+            .iter()
+            .map(move |(&e, &c)| (e, c as f64 / total))
     }
 
     /// The exponent range observed, if any values were non-zero.
@@ -335,9 +340,11 @@ mod tests {
         // Same values, but in a GEMM with larger n: the A-side weight
         // grows with n.
         let mut tr1 = Trace::new("t", 0);
-        tr1.ops.push(op_with(vec![Bf16::ZERO; 2], vec![Bf16::ONE; 2], 1, 2, 2));
+        tr1.ops
+            .push(op_with(vec![Bf16::ZERO; 2], vec![Bf16::ONE; 2], 1, 2, 2));
         let mut tr2 = Trace::new("t", 0);
-        tr2.ops.push(op_with(vec![Bf16::ZERO; 2], vec![Bf16::ONE; 8], 1, 8, 2));
+        tr2.ops
+            .push(op_with(vec![Bf16::ZERO; 2], vec![Bf16::ONE; 8], 1, 8, 2));
         let s1 = sparsity(&tr1, Encoding::Canonical);
         let s2 = sparsity(&tr2, Encoding::Canonical);
         assert_eq!(s1.activation.values, 4);

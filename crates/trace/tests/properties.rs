@@ -1,7 +1,6 @@
 //! Property-based tests of the trace codec: arbitrary traces round-trip,
 //! corrupted inputs error rather than panic.
 
-use fpraker_num::Bf16;
 use fpraker_trace::{codec, Phase, TensorKind, Trace, TraceOp};
 use proptest::prelude::*;
 

@@ -6,12 +6,11 @@
 //! where `model` is a zoo name (default `vgg16`; see
 //! `fpraker::dnn::models::PAPER_MODELS`).
 
+use std::time::Instant;
+
 use fpraker::dnn::{models, Engine};
 use fpraker::energy::EnergyModel;
-use fpraker::sim::{
-    energy_efficiency, simulate_trace_baseline, simulate_trace_fpraker, speedup,
-    AcceleratorConfig,
-};
+use fpraker::sim::{energy_efficiency, speedup, AcceleratorConfig, Engine as SimEngine, Machine};
 
 fn main() {
     let model = std::env::args().nth(1).unwrap_or_else(|| "vgg16".into());
@@ -22,13 +21,35 @@ fn main() {
         let _ = w.train_epoch(&mut engine, epoch);
     }
     let trace = w.capture_trace(&mut engine, 50);
-    println!("captured {} GEMMs, {} MACs\n", trace.ops.len(), trace.macs());
+    println!(
+        "captured {} GEMMs, {} MACs\n",
+        trace.ops.len(),
+        trace.macs()
+    );
 
     let mut cfg = AcceleratorConfig::fpraker_paper();
     cfg.check_golden = true; // verify every output against f64 references
-    let fp = simulate_trace_fpraker(&trace, &cfg);
-    let bl = simulate_trace_baseline(&trace, &AcceleratorConfig::baseline_paper());
+
+    // Both machines run through the same parallel engine; results are
+    // bit-identical at every thread count, so check that while we're here.
+    let sim = SimEngine::new();
+    let t0 = Instant::now();
+    let fp = sim.run(Machine::FpRaker, &trace, &cfg);
+    let wall_par = t0.elapsed();
+    let t0 = Instant::now();
+    let fp_seq = SimEngine::with_threads(1).run(Machine::FpRaker, &trace, &cfg);
+    let wall_seq = t0.elapsed();
+    assert_eq!(fp.cycles(), fp_seq.cycles(), "engine must be deterministic");
+    let bl = sim.run(
+        Machine::Baseline,
+        &trace,
+        &AcceleratorConfig::baseline_paper(),
+    );
     assert_eq!(fp.golden_failures(), 0, "golden check failed");
+    println!(
+        "simulated on {} worker(s) in {wall_par:.1?} (sequential: {wall_seq:.1?})",
+        sim.resolved_threads()
+    );
 
     println!("FPRaker (36 tiles)  : {:>9} cycles", fp.cycles());
     println!("Baseline (8 tiles)  : {:>9} cycles", bl.cycles());

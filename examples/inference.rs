@@ -7,9 +7,7 @@
 //! Run with: `cargo run --release --example inference`
 
 use fpraker::dnn::{models, Engine};
-use fpraker::sim::{
-    simulate_trace_baseline, simulate_trace_fpraker, AcceleratorConfig,
-};
+use fpraker::sim::{AcceleratorConfig, Engine as SimEngine, Machine};
 use fpraker::trace::{Phase, Trace};
 
 fn main() {
@@ -31,8 +29,17 @@ fn main() {
             .cloned()
             .collect(),
     };
-    let fp = simulate_trace_fpraker(&inference, &AcceleratorConfig::fpraker_paper());
-    let bl = simulate_trace_baseline(&inference, &AcceleratorConfig::baseline_paper());
+    let sim = SimEngine::new();
+    let fp = sim.run(
+        Machine::FpRaker,
+        &inference,
+        &AcceleratorConfig::fpraker_paper(),
+    );
+    let bl = sim.run(
+        Machine::Baseline,
+        &inference,
+        &AcceleratorConfig::baseline_paper(),
+    );
     println!(
         "inference (forward pass only): FPRaker {} cycles vs baseline {} -> {:.2}x total, {:.2}x compute",
         fp.cycles(),
@@ -45,14 +52,18 @@ fn main() {
     // width near convergence ("training can start with lower precision and
     // increase the precision per epoch near conversion").
     println!("\nprecision-scheduled training (theta per training phase):");
-    for (stage, theta) in [("early (0-50%)", 6i32), ("mid (50-90%)", 9), ("late (90-100%)", 12)] {
+    for (stage, theta) in [
+        ("early (0-50%)", 6i32),
+        ("mid (50-90%)", 9),
+        ("late (90-100%)", 12),
+    ] {
         let mut cfg = AcceleratorConfig::fpraker_paper();
         for op in &trace.ops {
             if !cfg.theta_overrides.iter().any(|(l, _)| *l == op.layer) {
                 cfg.theta_overrides.push((op.layer.clone(), theta));
             }
         }
-        let run = simulate_trace_fpraker(&trace, &cfg);
+        let run = sim.run(Machine::FpRaker, &trace, &cfg);
         println!("  {stage:>15} theta={theta:>2}b: {} cycles", run.cycles());
     }
     println!(

@@ -6,7 +6,7 @@
 //! Run with: `cargo run --release --example mixed_precision`
 
 use fpraker::dnn::{models, Engine};
-use fpraker::sim::{simulate_trace_fpraker, AcceleratorConfig};
+use fpraker::sim::{AcceleratorConfig, Engine as SimEngine, Machine};
 
 fn main() {
     let mut w = models::build("alexnet");
@@ -30,7 +30,7 @@ fn main() {
                 cfg.theta_overrides.push((layer, theta));
             }
         }
-        let run = simulate_trace_fpraker(&trace, &cfg);
+        let run = SimEngine::new().run(Machine::FpRaker, &trace, &cfg);
         if theta == 12 {
             base = run.cycles();
         }
@@ -56,7 +56,7 @@ fn main() {
         println!("profiled layer {layer}: theta = {theta}b");
         cfg.theta_overrides.push((layer.clone(), theta));
     }
-    let run = simulate_trace_fpraker(&trace, &cfg);
+    let run = SimEngine::new().run(Machine::FpRaker, &trace, &cfg);
     println!(
         "\nper-layer profile: {} cycles — {:.2}x over the fixed 12b accumulator\n\
          (no hardware change needed: the OB comparator threshold is just a register)",

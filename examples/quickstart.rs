@@ -43,11 +43,7 @@ fn main() {
     println!("  lane cycles: {}", outcome.lane_cycles);
     println!("Baseline PE: {baseline_cycles} cycle (8 parallel multipliers)");
 
-    let exact: f64 = a
-        .iter()
-        .zip(&b)
-        .map(|(x, y)| x.to_f64() * y.to_f64())
-        .sum();
+    let exact: f64 = a.iter().zip(&b).map(|(x, y)| x.to_f64() * y.to_f64()).sum();
     println!("\nresults: FPRaker = {}", pe.read_output());
     println!("         baseline = {}", baseline.read_output());
     println!("         exact    = {exact}");

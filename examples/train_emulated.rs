@@ -33,12 +33,21 @@ fn main() {
             let (loss, _) = w.train_epoch(&mut engine, epoch);
             let acc = w.eval_accuracy(&mut engine);
             curve.push(acc);
-            println!("[{label}] epoch {epoch}: loss {loss:.3}, val acc {:.1}%", acc * 100.0);
+            println!(
+                "[{label}] epoch {epoch}: loss {loss:.3}, val acc {:.1}%",
+                acc * 100.0
+            );
         }
         rows.push((label.to_string(), curve));
     }
 
-    println!("\nepoch | {}", rows.iter().map(|(l, _)| l.clone()).collect::<Vec<_>>().join(" | "));
+    println!(
+        "\nepoch | {}",
+        rows.iter()
+            .map(|(l, _)| l.clone())
+            .collect::<Vec<_>>()
+            .join(" | ")
+    );
     for e in 0..epochs {
         let cells: Vec<String> = rows
             .iter()

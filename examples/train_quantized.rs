@@ -10,9 +10,7 @@
 
 use fpraker::dnn::{models, Engine};
 use fpraker::num::encode::Encoding;
-use fpraker::sim::{
-    simulate_trace_baseline, simulate_trace_fpraker, speedup, AcceleratorConfig,
-};
+use fpraker::sim::{speedup, AcceleratorConfig, Engine as SimEngine, Machine};
 use fpraker::trace::stats::sparsity;
 
 fn main() {
@@ -23,7 +21,10 @@ fn main() {
     for (name, w) in [("resnet18-q", &mut quantized), ("resnet18", &mut plain)] {
         for epoch in 0..3 {
             let (loss, acc) = w.train_epoch(&mut engine, epoch);
-            println!("[{name}] epoch {epoch}: loss {loss:.3}, acc {:.1}%", acc * 100.0);
+            println!(
+                "[{name}] epoch {epoch}: loss {loss:.3}, acc {:.1}%",
+                acc * 100.0
+            );
         }
     }
 
@@ -31,8 +32,17 @@ fn main() {
     for (name, w) in [("resnet18-q", &mut quantized), ("resnet18", &mut plain)] {
         let trace = w.capture_trace(&mut engine, 50);
         let s = sparsity(&trace, Encoding::Canonical);
-        let fp = simulate_trace_fpraker(&trace, &AcceleratorConfig::fpraker_paper());
-        let bl = simulate_trace_baseline(&trace, &AcceleratorConfig::baseline_paper());
+        let sim = SimEngine::new();
+        let fp = sim.run(
+            Machine::FpRaker,
+            &trace,
+            &AcceleratorConfig::fpraker_paper(),
+        );
+        let bl = sim.run(
+            Machine::Baseline,
+            &trace,
+            &AcceleratorConfig::baseline_paper(),
+        );
         println!(
             "[{name}] term sparsity: A {:.0}%  W {:.0}%  G {:.0}%",
             s.activation.term_sparsity() * 100.0,

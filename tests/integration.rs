@@ -28,7 +28,11 @@ fn captured_traces_survive_serialization_and_simulation() {
     let mut cfg = AcceleratorConfig::fpraker_paper();
     cfg.check_golden = true;
     let run = simulate_trace_fpraker(&back, &cfg);
-    assert_eq!(run.golden_failures(), 0, "simulated values match references");
+    assert_eq!(
+        run.golden_failures(),
+        0,
+        "simulated values match references"
+    );
     assert!(run.cycles() > 0);
 }
 
@@ -70,7 +74,10 @@ fn quantized_training_boosts_term_sparsity_and_speedup() {
     };
     let (ts_q, speed_q) = build_measure("resnet18-q");
     let (ts_p, speed_p) = build_measure("resnet18");
-    assert!(ts_q > ts_p, "quantized term sparsity {ts_q} <= plain {ts_p}");
+    assert!(
+        ts_q > ts_p,
+        "quantized term sparsity {ts_q} <= plain {ts_p}"
+    );
     assert!(
         speed_q > speed_p,
         "quantized compute speedup {speed_q} <= plain {speed_p}"

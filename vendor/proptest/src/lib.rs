@@ -1,0 +1,573 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! the subset of the proptest API its property tests use:
+//!
+//! * the [`Strategy`] trait with `prop_map`, [`Just`], [`any`], integer
+//!   range strategies, tuple strategies (arity 1–8),
+//!   [`prop::collection::vec`], weighted [`prop_oneof!`], and
+//!   character-class string strategies (`"[a-z]{1,12}"`);
+//! * the [`proptest!`] macro with optional
+//!   `#![proptest_config(ProptestConfig::with_cases(N))]`;
+//! * [`prop_assert!`], [`prop_assert_eq!`] and [`prop_assume!`].
+//!
+//! Semantics differ from upstream in one deliberate way: failing cases are
+//! **not shrunk** — the failing case number and assertion message are
+//! reported as-is. Sampling is deterministic per test name, so failures
+//! reproduce exactly on re-run.
+
+#![forbid(unsafe_code)]
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic SplitMix64 sampling source for strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from a test name (FNV-1a hash), so every test
+    /// gets a distinct but reproducible stream.
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `u64` below `bound` (`bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// Why a generated case did not count as a pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` filtered the inputs; try another case.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with a message.
+    pub fn fail(message: String) -> Self {
+        TestCaseError::Fail(message)
+    }
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of passing cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Samples one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Object-safe strategy wrapper, so [`prop_oneof!`] arms can differ in type.
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+trait DynStrategy<T> {
+    fn dyn_new_value(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_new_value(&self, rng: &mut TestRng) -> S::Value {
+        self.new_value(rng)
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_new_value(rng)
+    }
+}
+
+/// Weighted choice between boxed strategies (built by [`prop_oneof!`]).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T> Union<T> {
+    /// Builds a weighted union; total weight must be positive.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(
+            arms.iter().map(|(w, _)| *w as u64).sum::<u64>() > 0,
+            "prop_oneof! needs a positive total weight"
+        );
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+        let mut pick = rng.below(total);
+        for (w, s) in &self.arms {
+            if pick < *w as u64 {
+                return s.new_value(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weights sum checked in Union::new")
+    }
+}
+
+/// Integer types usable as range strategies.
+pub trait RangeValue: Copy {
+    /// Uniform sample from `[lo, hi)` (`hi` included when `inclusive`).
+    fn sample_range(rng: &mut TestRng, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_range_value {
+    ($($t:ty),*) => {$(
+        impl RangeValue for $t {
+            fn sample_range(rng: &mut TestRng, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let span = (hi as i128 - lo as i128) + if inclusive { 1 } else { 0 };
+                assert!(span > 0, "cannot sample from an empty range");
+                let r = (rng.next_u64() as u128 % span as u128) as i128;
+                (lo as i128 + r) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_value!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: RangeValue> Strategy for Range<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::sample_range(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: RangeValue> Strategy for RangeInclusive<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::sample_range(rng, *self.start(), *self.end(), true)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// `any::<T>()` strategy for a type's full value domain.
+pub struct Any<T>(PhantomData<T>);
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Samples an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Full-domain strategy for `T`, e.g. `any::<u64>()`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// String strategies from character-class patterns.
+///
+/// Supports exactly the `"[class]{lo,hi}"` shape (e.g. `"[a-z]{1,12}"`,
+/// `"[a-zA-Z0-9_-]{0,20}"`): a single character class with ranges and
+/// literal characters, repeated a bounded number of times.
+impl Strategy for &'static str {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        let (alphabet, lo, hi) = parse_class_pattern(self);
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..len)
+            .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+            .collect()
+    }
+}
+
+fn bad_pattern(pattern: &str) -> ! {
+    panic!("unsupported string pattern {pattern:?}: expected \"[class]{{lo,hi}}\"")
+}
+
+fn parse_class_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+    let rest = pattern
+        .strip_prefix('[')
+        .unwrap_or_else(|| bad_pattern(pattern));
+    let (class, reps) = rest.split_once(']').unwrap_or_else(|| bad_pattern(pattern));
+    let mut alphabet = Vec::new();
+    let chars: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (a, b) = (chars[i] as u32, chars[i + 2] as u32);
+            assert!(a <= b, "bad range in pattern {pattern:?}");
+            alphabet.extend((a..=b).filter_map(char::from_u32));
+            i += 3;
+        } else {
+            alphabet.push(chars[i]);
+            i += 1;
+        }
+    }
+    assert!(!alphabet.is_empty(), "empty class in pattern {pattern:?}");
+    let reps = reps
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| bad_pattern(pattern));
+    let (lo, hi) = reps.split_once(',').unwrap_or_else(|| bad_pattern(pattern));
+    let lo: usize = lo.trim().parse().unwrap_or_else(|_| bad_pattern(pattern));
+    let hi: usize = hi.trim().parse().unwrap_or_else(|_| bad_pattern(pattern));
+    assert!(lo <= hi, "bad repetition in pattern {pattern:?}");
+    (alphabet, lo, hi)
+}
+
+/// Namespaced strategy constructors (`prop::collection::vec`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// Strategy for `Vec`s whose length is drawn from `len`.
+        pub struct VecStrategy<S> {
+            elem: S,
+            len: Range<usize>,
+        }
+
+        /// Generates vectors of values from `elem` with a length in `len`.
+        pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+            assert!(!len.is_empty(), "empty length range");
+            VecStrategy { elem, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.len.end - self.len.start) as u64;
+                let n = self.len.start + rng.below(span) as usize;
+                (0..n).map(|_| self.elem.new_value(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+}
+
+/// Weighted choice between strategies: `prop_oneof![ 1 => a, 8 => b ]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $weight:expr => $strategy:expr ),+ $(,)? ) => {
+        $crate::Union::new(vec![
+            $( ($weight as u32, $crate::Strategy::boxed($strategy)) ),+
+        ])
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        l,
+                        r
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+                }
+            }
+        }
+    };
+}
+
+/// Discards the current case (does not count toward the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Declares property tests:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn holds(x in 0u32..100, (a, b) in arb_pair()) { prop_assert!(x < 100); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($config:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( config = ($config:expr);
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $pat:pat_param in $strategy:expr ),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                let mut __rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+                let __strategies = ( $( $strategy, )+ );
+                let mut __passed: u32 = 0;
+                let mut __attempts: u64 = 0;
+                while __passed < __config.cases {
+                    __attempts += 1;
+                    assert!(
+                        __attempts <= __config.cases as u64 * 20,
+                        "proptest {}: too many rejected cases ({} attempts for {} passes)",
+                        stringify!($name), __attempts, __passed
+                    );
+                    let ( $( $pat, )+ ) =
+                        $crate::Strategy::new_value(&__strategies, &mut __rng);
+                    // The immediately-invoked closure gives `prop_assert!`
+                    // and `prop_assume!` an early-return scope per case.
+                    #[allow(clippy::redundant_closure_call)]
+                    let __outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                        (|| {
+                            $body;
+                            ::core::result::Result::Ok(())
+                        })();
+                    match __outcome {
+                        ::core::result::Result::Ok(()) => __passed += 1,
+                        ::core::result::Result::Err($crate::TestCaseError::Reject) => {}
+                        ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!("proptest {} failed at case {}: {}", stringify!($name), __passed + 1, msg);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_small_even() -> impl Strategy<Value = u32> {
+        (0u32..50).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u8..17, y in -5i64..=5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+        }
+
+        #[test]
+        fn maps_and_tuples_compose((a, b) in (arb_small_even(), any::<bool>())) {
+            prop_assert_eq!(a % 2, 0);
+            let _ = b;
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..10) {
+            prop_assume!(x != 3);
+            prop_assert!(x != 3);
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in prop::collection::vec(0u8..5, 2..7)) {
+            prop_assert!((2..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn string_patterns_generate_from_class(s in "[a-c]{1,4}") {
+            prop_assert!((1..=4).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn oneof_respects_arms(x in prop_oneof![1 => Just(0u32), 1 => 10u32..20]) {
+            prop_assert!(x == 0 || (10..20).contains(&x));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_is_honoured(_x in 0u32..2) {
+            // Runs exactly 7 cases; nothing to assert beyond not panicking.
+        }
+    }
+
+    #[test]
+    fn parse_class_pattern_handles_mixed_classes() {
+        let (alpha, lo, hi) = super::parse_class_pattern("[a-zA-Z0-9_-]{0,20}");
+        assert_eq!((lo, hi), (0, 20));
+        assert!(alpha.contains(&'k') && alpha.contains(&'Q'));
+        assert!(alpha.contains(&'7') && alpha.contains(&'_') && alpha.contains(&'-'));
+    }
+}
