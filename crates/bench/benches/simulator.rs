@@ -17,4 +17,8 @@ fn main() {
         b.threads,
         b.parallel_speedup()
     );
+    println!(
+        "op-level scheduling speedup on the many-small-ops trace: {:.2}x",
+        b.parallel_ops_speedup()
+    );
 }

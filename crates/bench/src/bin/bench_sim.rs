@@ -31,15 +31,21 @@ fn main() {
         .unwrap_or_else(|| "BENCH_sim.json".to_string());
     let b = simulator_measurements(10);
     let speedup = b.parallel_speedup();
+    let ops_speedup = b.parallel_ops_speedup();
     println!("parallel speedup at {} thread(s): {speedup:.2}x", b.threads);
+    println!(
+        "op-level scheduling speedup on the many-small-ops trace: {ops_speedup:.2}x (serial ops vs parallel ops)"
+    );
 
     let mut json = String::from("{\n");
     writeln!(json, "  \"benchmark\": \"fpraker_sim synthetic trace\",").unwrap();
     writeln!(json, "  \"trace_macs\": {},", b.macs).unwrap();
+    writeln!(json, "  \"small_ops_trace_macs\": {},", b.small_ops_macs).unwrap();
     writeln!(json, "  \"threads\": {},", b.threads).unwrap();
     writeln!(json, "  \"parallel_speedup\": {speedup:.4},").unwrap();
+    writeln!(json, "  \"parallel_ops_speedup\": {ops_speedup:.4},").unwrap();
     writeln!(json, "  \"measurements\": [").unwrap();
-    let entries: Vec<String> = [&b.seq, &b.par, &b.baseline]
+    let entries: Vec<String> = [&b.seq, &b.par, &b.baseline, &b.serial_ops, &b.parallel_ops]
         .iter()
         .map(|m| json_entry(m))
         .collect();

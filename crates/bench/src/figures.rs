@@ -451,9 +451,29 @@ fn fig17_workload(classes: usize, seed: u64) -> Workload {
     Workload::new("fig17-cnn", net, data, 8, Sgd::new(0.05).with_momentum(0.9))
 }
 
+/// Trains one fig17 workload under the given arithmetic and returns its
+/// per-epoch accuracy curve. Self-contained (builds its own workload and
+/// training engine) so the three arithmetic modes can run concurrently.
+fn fig17_curve(classes: usize, arith: Arithmetic, epochs: usize) -> Vec<f64> {
+    let mut w = fig17_workload(classes, 0xC1FA);
+    let mut e = Engine::new(arith);
+    let mut curve = Vec::new();
+    for epoch in 0..epochs {
+        let _ = w.train_epoch(&mut e, epoch);
+        curve.push(w.eval_accuracy(&mut e));
+    }
+    curve
+}
+
 /// Fig. 17: end-to-end training accuracy under native f32, bit-parallel
 /// bfloat16 and FPRaker-emulated arithmetic ("SynthCIFAR" substitutes for
 /// CIFAR-10/100 — no datasets offline).
+///
+/// The three arithmetic modes are independent end-to-end training runs —
+/// the wall-clock bulk of `reproduce` — so they share the same parallelism
+/// budget as the simulation engine: on a multi-core machine they train
+/// concurrently (results are deterministic either way; each run is
+/// self-contained and seeded), on one core they run in sequence.
 pub fn fig17() -> String {
     let mut out =
         String::from("Fig. 17 — Training accuracy: FPRaker arithmetic vs baselines (SynthCIFAR)\n");
@@ -468,21 +488,37 @@ pub fn fig17() -> String {
             "FPRaker_BF16".into(),
         ]);
         let epochs = 8;
-        let mut curves: Vec<Vec<f64>> = Vec::new();
-        for arith in [
+        let arithmetics = [
             Arithmetic::F32,
             Arithmetic::Bf16Baseline,
             Arithmetic::FpRaker(PeConfig::paper()),
-        ] {
-            let mut w = fig17_workload(classes, 0xC1FA);
-            let mut e = Engine::new(arith);
-            let mut curve = Vec::new();
-            for epoch in 0..epochs {
-                let _ = w.train_epoch(&mut e, epoch);
-                curve.push(w.eval_accuracy(&mut e));
-            }
-            curves.push(curve);
-        }
+        ];
+        let budget = sim_engine().resolved_threads().min(arithmetics.len());
+        let curves: Vec<Vec<f64>> = if budget > 1 {
+            // Waves of at most `budget` concurrent training runs, so fig17
+            // never oversubscribes the engine's worker budget (3 runs on a
+            // 2-core budget train 2-then-1, not 3 at once).
+            std::thread::scope(|scope| {
+                let mut curves = Vec::new();
+                for wave in arithmetics.chunks(budget) {
+                    let handles: Vec<_> = wave
+                        .iter()
+                        .map(|&arith| scope.spawn(move || fig17_curve(classes, arith, epochs)))
+                        .collect();
+                    curves.extend(
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("fig17 training run panicked")),
+                    );
+                }
+                curves
+            })
+        } else {
+            arithmetics
+                .iter()
+                .map(|&arith| fig17_curve(classes, arith, epochs))
+                .collect()
+        };
         #[allow(clippy::needless_range_loop)]
         for epoch in 0..epochs {
             t.row(vec![

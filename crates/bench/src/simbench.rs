@@ -3,24 +3,32 @@
 //! binary (machine-readable `BENCH_sim.json`), so the two cannot drift
 //! apart.
 
-use fpraker_sim::{AcceleratorConfig, Engine, Machine};
+use fpraker_sim::{simulate_op, AcceleratorConfig, Engine, FpRakerMachine, Machine};
 
 use crate::harness::{bench, Measurement};
-use crate::workloads::synthetic_bench_trace;
+use crate::workloads::{many_small_ops_bench_trace, synthetic_bench_trace};
 
-/// The three measurements every simulator benchmark reports.
+/// The measurements every simulator benchmark reports.
 #[derive(Clone, Debug)]
 pub struct SimulatorBench {
-    /// Worker count the parallel measurement resolved to.
+    /// Worker count the parallel measurements resolved to.
     pub threads: usize,
     /// MACs in the fixed synthetic trace.
     pub macs: u64,
+    /// MACs in the many-small-ops trace.
+    pub small_ops_macs: u64,
     /// FPRaker, sequential reference engine (1 worker).
     pub seq: Measurement,
     /// FPRaker, one worker per core.
     pub par: Measurement,
     /// Bit-parallel baseline (analytic fast path).
     pub baseline: Measurement,
+    /// Many-small-ops trace, ops scheduled one at a time (each op gets its
+    /// own scoped fan-out and barrier — the pre-scheduler behavior).
+    pub serial_ops: Measurement,
+    /// Many-small-ops trace, ops and blocks scheduled together on the
+    /// shared worker pool.
+    pub parallel_ops: Measurement,
 }
 
 impl SimulatorBench {
@@ -28,10 +36,18 @@ impl SimulatorBench {
     pub fn parallel_speedup(&self) -> f64 {
         self.seq.median_ns as f64 / self.par.median_ns.max(1) as f64
     }
+
+    /// Wall-clock speedup of op×block scheduling over per-op fan-out on
+    /// the many-small-ops trace (medians).
+    pub fn parallel_ops_speedup(&self) -> f64 {
+        self.serial_ops.median_ns as f64 / self.parallel_ops.median_ns.max(1) as f64
+    }
 }
 
-/// Times the fixed synthetic trace on both machines, at 1 thread and at
-/// the machine's core count (each measurement prints its summary line).
+/// Times the fixed synthetic trace on both machines at 1 thread and at the
+/// machine's core count, plus the many-small-ops trace under per-op
+/// fan-out vs the op×block scheduler (each measurement prints its summary
+/// line).
 pub fn simulator_measurements(iters: u32) -> SimulatorBench {
     let trace = synthetic_bench_trace();
     let macs = trace.macs();
@@ -62,12 +78,38 @@ pub fn simulator_measurements(iters: u32) -> SimulatorBench {
             &AcceleratorConfig::baseline_paper(),
         )
     });
+    let small = many_small_ops_bench_trace();
+    let small_ops_macs = small.macs();
+    let cfg = AcceleratorConfig::fpraker_paper();
+    // Per-op fan-out: each `simulate_op` call fans its own blocks out and
+    // joins before the next op starts — 64 barrier-separated fan-outs.
+    let serial_ops = bench(
+        &format!("fpraker/serial_ops_threads_{threads}"),
+        iters,
+        Some(small_ops_macs),
+        || {
+            small
+                .ops
+                .iter()
+                .map(|op| simulate_op::<FpRakerMachine>(op, &cfg, threads))
+                .collect::<Vec<_>>()
+        },
+    );
+    let parallel_ops = bench(
+        &format!("fpraker/parallel_ops_threads_{threads}"),
+        iters,
+        Some(small_ops_macs),
+        || Engine::new().run(Machine::FpRaker, &small, &cfg),
+    );
     SimulatorBench {
         threads,
         macs,
+        small_ops_macs,
         seq,
         par,
         baseline,
+        serial_ops,
+        parallel_ops,
     }
 }
 
@@ -81,8 +123,31 @@ mod tests {
         assert_eq!(b.seq.elements, Some(b.macs));
         assert_eq!(b.par.elements, Some(b.macs));
         assert_eq!(b.baseline.elements, Some(b.macs));
+        assert_eq!(b.serial_ops.elements, Some(b.small_ops_macs));
+        assert_eq!(b.parallel_ops.elements, Some(b.small_ops_macs));
         assert!(b.threads >= 1);
         assert!(b.parallel_speedup() > 0.0);
+        assert!(b.parallel_ops_speedup() > 0.0);
         assert!(b.par.name.contains(&b.threads.to_string()));
+        assert!(b.serial_ops.name.contains("serial_ops"));
+        assert!(b.parallel_ops.name.contains("parallel_ops"));
+    }
+
+    #[test]
+    fn serial_and_parallel_ops_agree_on_simulated_results() {
+        // The two scheduling modes are timing-only: per-op outcomes match.
+        let small = many_small_ops_bench_trace();
+        let cfg = AcceleratorConfig::fpraker_paper();
+        let per_op: Vec<_> = small
+            .ops
+            .iter()
+            .map(|op| simulate_op::<FpRakerMachine>(op, &cfg, 2))
+            .collect();
+        let scheduled = Engine::with_threads(2).run(Machine::FpRaker, &small, &cfg);
+        assert_eq!(per_op.len(), scheduled.ops.len());
+        for (a, b) in per_op.iter().zip(&scheduled.ops) {
+            assert_eq!(a.cycles, b.cycles);
+            assert_eq!(a.stats, b.stats);
+        }
     }
 }

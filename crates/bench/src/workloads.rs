@@ -95,9 +95,57 @@ pub fn synthetic_bench_trace() -> Trace {
     tr
 }
 
+/// A trace of many small GEMMs (64 ops of a few 8×8 output blocks each) —
+/// the NCF/BERT-analogue shape where op-level scheduling matters: under
+/// per-op fan-out these ops serialize; under the op×block scheduler they
+/// share one worker pool. Deterministic, like [`synthetic_bench_trace`].
+pub fn many_small_ops_bench_trace() -> Trace {
+    let mut rng = SplitMix64::new(777);
+    let mut tr = Trace::new("small-ops-bench", 50);
+    let phases = [Phase::AxW, Phase::GxW, Phase::AxG];
+    for i in 0..64 {
+        let (m, n, k) = (16, 16, 32);
+        let gen = |rng: &mut SplitMix64, count: usize| -> Vec<Bf16> {
+            (0..count)
+                .map(|_| {
+                    if rng.next_f64() < 0.4 {
+                        Bf16::ZERO
+                    } else {
+                        rng.bf16_in_range(3)
+                    }
+                })
+                .collect()
+        };
+        tr.ops.push(TraceOp {
+            layer: format!("small{}", i % 8),
+            phase: phases[i % 3],
+            m,
+            n,
+            k,
+            a: gen(&mut rng, m * k),
+            b: gen(&mut rng, n * k),
+            a_kind: TensorKind::Activation,
+            b_kind: TensorKind::Weight,
+            a_dup: 1.0,
+            b_dup: 1.0,
+            out_dup: 1.0,
+        });
+    }
+    tr
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn many_small_ops_trace_is_deterministic_and_small_per_op() {
+        let a = many_small_ops_bench_trace();
+        assert_eq!(a, many_small_ops_bench_trace());
+        assert_eq!(a.ops.len(), 64);
+        // Each op is 2x2 = 4 output blocks of the paper's 8x8 tile.
+        assert!(a.ops.iter().all(|op| op.m * op.n <= 16 * 16));
+    }
 
     #[test]
     fn synthetic_bench_trace_is_deterministic() {

@@ -34,6 +34,20 @@ use crate::stats::ExecStats;
 use crate::tile::Tile;
 
 /// The outcome of one output block on a machine.
+///
+/// ```
+/// use fpraker_core::{FpRakerMachine, MachineModel, TileConfig};
+/// use fpraker_num::Bf16;
+///
+/// let mut machine = FpRakerMachine::from_tile(TileConfig::paper());
+/// let cols = machine.tile_config().cols;
+/// let rows = machine.tile_config().rows;
+/// let a = vec![vec![Bf16::ONE; 8]; cols];
+/// let b = vec![vec![Bf16::ONE; 8]; rows];
+/// let block = machine.run_block(&a, &b);
+/// assert_eq!(block.outputs.as_ref().map(Vec::len), Some(rows * cols));
+/// assert!(block.cycles > 0);
+/// ```
 #[derive(Clone, Debug)]
 pub struct MachineBlock {
     /// `rows × cols` output values, row-major — `None` for machines that
@@ -67,10 +81,43 @@ pub struct MachineEvents {
 /// A block-level accelerator datapath: everything the simulation engine
 /// needs to know about one machine.
 ///
-/// Machines are cheap to construct from a [`TileConfig`] (the engine builds
-/// one instance per worker thread) and process one output block at a time;
-/// blocks are independent, so any block order — including parallel
-/// execution — produces identical results.
+/// Machines are cheap to construct from a [`TileConfig`] (the engine
+/// builds one instance per scheduled work unit, on whichever worker thread
+/// claims it — hence the `Send` supertrait) and process one output block
+/// at a time; blocks are independent, so any block order — including
+/// parallel execution — produces identical results.
+///
+/// A new machine is typically a one-file wrapper that tweaks the tile
+/// configuration and delegates. The wider-accumulator (θ-sweep) variant
+/// from the paper's Fig. 21 design space:
+///
+/// ```
+/// use fpraker_core::{
+///     ExecStats, FpRakerMachine, MachineBlock, MachineEvents, MachineModel, TileConfig,
+/// };
+/// use fpraker_num::{AccumConfig, Bf16};
+///
+/// /// FPRaker with a narrowed 8-bit precision window (θ = 8).
+/// struct NarrowAccumMachine(FpRakerMachine);
+///
+/// impl MachineModel for NarrowAccumMachine {
+///     fn from_tile(mut cfg: TileConfig) -> Self {
+///         cfg.pe.accum = AccumConfig::with_threshold(8);
+///         NarrowAccumMachine(FpRakerMachine::from_tile(cfg))
+///     }
+///     fn name(&self) -> &'static str { "fpraker-theta8" }
+///     fn tile_config(&self) -> &TileConfig { self.0.tile_config() }
+///     fn run_block(&mut self, a: &[Vec<Bf16>], b: &[Vec<Bf16>]) -> MachineBlock {
+///         self.0.run_block(a, b)
+///     }
+///     fn events(&self, stats: &ExecStats, blocks: u64, sets: u64) -> MachineEvents {
+///         self.0.events(stats, blocks, sets)
+///     }
+/// }
+///
+/// let machine = NarrowAccumMachine::from_tile(TileConfig::paper());
+/// assert_eq!(machine.tile_config().pe.accum.ob_threshold, 8);
+/// ```
 pub trait MachineModel: Send {
     /// Builds a machine for one tile of the given geometry.
     fn from_tile(cfg: TileConfig) -> Self
@@ -111,6 +158,14 @@ pub trait MachineModel: Send {
 
 /// The FPRaker machine: a term-serial [`Tile`], cycle faithful and value
 /// exact.
+///
+/// ```
+/// use fpraker_core::{FpRakerMachine, MachineModel, TileConfig};
+///
+/// let machine = FpRakerMachine::from_tile(TileConfig::paper());
+/// assert_eq!(machine.name(), "fpraker");
+/// assert!(machine.value_dependent()); // timing depends on operand values
+/// ```
 #[derive(Clone, Debug)]
 pub struct FpRakerMachine {
     tile: Tile,
@@ -163,6 +218,15 @@ impl MachineModel for FpRakerMachine {
 /// value model is still exact: [`BaselineMachine::run_block`] computes
 /// outputs with [`BaselinePe`], which the numeric-equivalence property
 /// tests exercise.
+///
+/// ```
+/// use fpraker_core::{BaselineMachine, MachineModel, TileConfig};
+///
+/// let mut machine = BaselineMachine::from_tile(TileConfig::paper());
+/// assert!(!machine.value_dependent());
+/// // One block of 4 k-sets retires in 4 cycles, values unseen.
+/// assert_eq!(machine.run_block_analytic(4).cycles, 4);
+/// ```
 #[derive(Clone, Debug)]
 pub struct BaselineMachine {
     cfg: TileConfig,

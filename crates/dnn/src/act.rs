@@ -93,7 +93,7 @@ fn gelu_bwd(x: f32) -> f32 {
     0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * dinner
 }
 
-/// PACT: parameterized clipping activation for quantized training [24].
+/// PACT: parameterized clipping activation for quantized training \[24\].
 ///
 /// Forward: `y = clip(x, 0, α)` quantized to a `2^bits - 1`-level uniform
 /// grid. Backward: straight-through estimator inside `(0, α)`; gradient

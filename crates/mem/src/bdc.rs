@@ -11,7 +11,7 @@
 //! This implementation uses the group's *minimum* biased exponent as the
 //! base so deltas are unsigned (the paper uses the first value's exponent
 //! and does not specify delta signedness; min-base is the standard
-//! base-delta-immediate variant [70] and never widens δ).
+//! base-delta-immediate variant \[70\] and never widens δ).
 
 use fpraker_num::Bf16;
 

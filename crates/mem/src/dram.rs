@@ -5,7 +5,7 @@
 //! LPDDR4-3200 delivers 3200 MT/s on a ×16 channel = 6.4 GB/s per channel,
 //! 25.6 GB/s over 4 channels. At the accelerator's 600 MHz clock that is
 //! ~42.7 bytes per accelerator cycle. Energy is accounted in
-//! [`fpraker-energy`]; this crate owns traffic → cycles.
+//! `fpraker-energy`; this crate owns traffic → cycles.
 
 /// Bandwidth model of the off-chip memory.
 #[derive(Clone, Copy, Debug, PartialEq)]

@@ -302,7 +302,7 @@ impl Accumulator {
     }
 }
 
-/// Chunk-based accumulation (Sakr et al. [69], chunk size 64): long dot
+/// Chunk-based accumulation (Sakr et al. \[69\], chunk size 64): long dot
 /// products accumulate into an inner extended register, which is folded into
 /// an outer register every `chunk_size` MACs. Both the FPRaker PE and the
 /// bit-parallel baseline use this scheme, so their numerics match.

@@ -1,7 +1,7 @@
 //! Numerics substrate for the FPRaker reproduction.
 //!
 //! This crate provides the floating-point machinery that both the FPRaker
-//! processing element ([`fpraker-core`]) and the bit-parallel baseline build
+//! processing element (`fpraker-core`) and the bit-parallel baseline build
 //! on:
 //!
 //! * [`Bf16`] — a software bfloat16 (1 sign, 8 exponent, 7 fraction bits,
@@ -15,7 +15,7 @@
 //!   out-of-bounds detection for term skipping.
 //! * [`ChunkedAccumulator`] — chunk-based accumulation (Sakr et al., chunk
 //!   size 64) used by both FPRaker and the baseline MAC unit.
-//! * [`reference`] — exact `f64` reference arithmetic used by tests and the
+//! * [`mod@reference`] — exact `f64` reference arithmetic used by tests and the
 //!   simulator's golden-value checking.
 //!
 //! # Example

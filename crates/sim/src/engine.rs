@@ -1,11 +1,11 @@
 //! The simulation engine: drives any [`MachineModel`] over a trace, in
 //! parallel.
 //!
-//! [`Engine`] owns exactly one policy knob — the worker-thread count for
-//! the per-op block fan-out (see [`crate::simulate_op`]). Everything else
-//! (tile geometry, tiling, traffic, golden checking) comes from the
+//! [`Engine`] owns exactly one policy knob — the worker budget of the
+//! op×block scheduler (see [`crate::sched`]). Everything else (tile
+//! geometry, tiling, traffic, golden checking) comes from the
 //! [`AcceleratorConfig`] and the machine itself. Results are bit-identical
-//! for every thread count, so parallelism is purely a wall-clock choice.
+//! for every worker count, so parallelism is purely a wall-clock choice.
 //!
 //! ```
 //! use fpraker_sim::{AcceleratorConfig, Engine, Machine};
@@ -21,10 +21,23 @@ use fpraker_core::{BaselineMachine, FpRakerMachine, MachineModel};
 use fpraker_trace::Trace;
 
 use crate::config::AcceleratorConfig;
-use crate::op::{resolve_threads, simulate_op};
+use crate::op::resolve_threads;
 use crate::run::{Machine, RunResult};
+use crate::sched;
 
 /// A reusable, parallel trace-simulation engine.
+///
+/// One engine value is a worker budget; [`Engine::run`] spawns a worker
+/// pool once per call and schedules every `(op, block-range)` work unit of
+/// the trace across it, so traces of many small GEMMs parallelize as well
+/// as one large GEMM.
+///
+/// ```
+/// use fpraker_sim::Engine;
+///
+/// assert_eq!(Engine::with_threads(4).resolved_threads(), 4);
+/// assert!(Engine::new().resolved_threads() >= 1); // one per core
+/// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Engine {
     threads: usize,
@@ -36,18 +49,77 @@ impl Engine {
         Engine { threads: 0 }
     }
 
-    /// An engine with an explicit worker count (`0` = one per core).
-    /// `with_threads(1)` is the fully sequential reference engine.
+    /// An engine with an explicit worker budget.
+    ///
+    /// Semantics of `threads`:
+    ///
+    /// * `0` — resolve to one worker per available core at run time
+    ///   (equivalent to [`Engine::new`]);
+    /// * `1` — the fully sequential reference engine: no pool is spawned,
+    ///   the trace runs on the calling thread;
+    /// * `n > 1` — at most `n` pool workers. A run never spawns more
+    ///   workers than it has work units, so oversized budgets (including
+    ///   `usize::MAX`) are safe and merely clamp — see
+    ///   [`Engine::resolved_threads_for`].
+    ///
+    /// ```
+    /// use fpraker_sim::Engine;
+    ///
+    /// assert_eq!(Engine::with_threads(0), Engine::new());
+    /// assert_eq!(Engine::with_threads(1).resolved_threads(), 1);
+    /// ```
     pub fn with_threads(threads: usize) -> Self {
         Engine { threads }
     }
 
-    /// The number of workers this engine will actually use.
+    /// The engine's worker budget after resolving `0` to the available
+    /// core count. This is an upper bound: a run also clamps to the work
+    /// available (see [`Engine::resolved_threads_for`]).
+    ///
+    /// ```
+    /// use fpraker_sim::Engine;
+    ///
+    /// assert_eq!(Engine::with_threads(3).resolved_threads(), 3);
+    /// ```
     pub fn resolved_threads(&self) -> usize {
         resolve_threads(self.threads)
     }
 
+    /// The number of workers a run over `trace` would actually use: the
+    /// resolved budget clamped to the number of op×block work units the
+    /// scheduler would build for it (surplus workers would have nothing to
+    /// pull from the queue), and never below 1. Uses the scheduler's own
+    /// chunking, so this is exactly the pool size [`Engine::run`] spawns.
+    ///
+    /// ```
+    /// use fpraker_sim::{AcceleratorConfig, Engine};
+    /// use fpraker_trace::Trace;
+    ///
+    /// // An empty trace has no work units: any budget clamps to 1.
+    /// let trace = Trace::new("empty", 0);
+    /// let cfg = AcceleratorConfig::fpraker_paper();
+    /// assert_eq!(Engine::with_threads(64).resolved_threads_for(&trace, &cfg), 1);
+    /// ```
+    pub fn resolved_threads_for(&self, trace: &Trace, cfg: &AcceleratorConfig) -> usize {
+        let budget = self.resolved_threads();
+        budget
+            .min(sched::planned_units(&trace.ops, cfg, budget))
+            .max(1)
+    }
+
     /// Simulates a trace on one of the built-in machines.
+    ///
+    /// ```
+    /// use fpraker_sim::{AcceleratorConfig, Engine, Machine};
+    /// use fpraker_trace::Trace;
+    ///
+    /// let run = Engine::with_threads(2).run(
+    ///     Machine::Baseline,
+    ///     &Trace::new("empty", 0),
+    ///     &AcceleratorConfig::baseline_paper(),
+    /// );
+    /// assert_eq!(run.machine, Machine::Baseline);
+    /// ```
     pub fn run(&self, machine: Machine, trace: &Trace, cfg: &AcceleratorConfig) -> RunResult {
         match machine {
             Machine::FpRaker => self.simulate_trace_with::<FpRakerMachine>(machine, trace, cfg),
@@ -61,6 +133,19 @@ impl Engine {
     /// `label` selects which of the two energy accounting families
     /// ([`Machine::FpRaker`]'s term-serial events or
     /// [`Machine::Baseline`]'s bit-parallel events) applies to `M`.
+    ///
+    /// ```
+    /// use fpraker_core::FpRakerMachine; // your machine here
+    /// use fpraker_sim::{AcceleratorConfig, Engine, Machine};
+    /// use fpraker_trace::Trace;
+    ///
+    /// let run = Engine::with_threads(2).simulate_trace_with::<FpRakerMachine>(
+    ///     Machine::FpRaker,
+    ///     &Trace::new("empty", 0),
+    ///     &AcceleratorConfig::fpraker_paper(),
+    /// );
+    /// assert_eq!(run.cycles(), 0);
+    /// ```
     pub fn simulate_trace_with<M: MachineModel>(
         &self,
         label: Machine,
@@ -69,11 +154,7 @@ impl Engine {
     ) -> RunResult {
         RunResult {
             machine: label,
-            ops: trace
-                .ops
-                .iter()
-                .map(|op| simulate_op::<M>(op, cfg, self.threads))
-                .collect(),
+            ops: sched::simulate_ops_scheduled::<M>(&trace.ops, cfg, self.threads),
         }
     }
 }
@@ -92,6 +173,35 @@ mod tests {
     fn resolved_threads_is_positive() {
         assert!(Engine::new().resolved_threads() >= 1);
         assert_eq!(Engine::with_threads(3).resolved_threads(), 3);
+    }
+
+    #[test]
+    fn resolved_threads_for_clamps_to_available_work() {
+        let mut trace = Trace::new("one-block", 0);
+        trace.ops.push(fpraker_trace::TraceOp {
+            layer: "l".into(),
+            phase: fpraker_trace::Phase::AxW,
+            m: 4,
+            n: 4,
+            k: 8,
+            a: vec![fpraker_num::Bf16::ONE; 32],
+            b: vec![fpraker_num::Bf16::ONE; 32],
+            a_kind: fpraker_trace::TensorKind::Activation,
+            b_kind: fpraker_trace::TensorKind::Weight,
+            a_dup: 1.0,
+            b_dup: 1.0,
+            out_dup: 1.0,
+        });
+        let cfg = AcceleratorConfig::fpraker_paper();
+        // One 4x4x8 GEMM is a single 8x8 output block.
+        assert_eq!(
+            Engine::with_threads(usize::MAX).resolved_threads_for(&trace, &cfg),
+            1
+        );
+        assert_eq!(
+            Engine::with_threads(1).resolved_threads_for(&trace, &cfg),
+            1
+        );
     }
 
     #[test]

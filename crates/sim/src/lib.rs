@@ -20,9 +20,10 @@
 //! * serial-operand policy and per-layer θ overrides;
 //! * tiling the GEMM into `rows × cols` blocks and round-robin block
 //!   scheduling over tiles;
-//! * fanning blocks out across worker threads ([`Engine`]), with a
+//! * scheduling `(op, block-range)` work units across one shared worker
+//!   pool ([`Engine`]): ops and blocks fan out *together*, with a
 //!   fixed-order unsigned reduction so results are **bit-identical for
-//!   every thread count**;
+//!   every worker count**;
 //! * golden-value checking against the exact `f64` reference;
 //! * off-chip traffic (optionally BDC-compressed) overlapped with compute,
 //!   and the event counts the energy model consumes.
@@ -63,12 +64,13 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod config;
 mod engine;
 mod op;
 mod run;
+mod sched;
 
 pub use config::{AcceleratorConfig, SerialPolicy};
 pub use engine::Engine;

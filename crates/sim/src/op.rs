@@ -13,6 +13,7 @@
 //! is **bit-identical for any thread count** — the determinism tests pin
 //! this down.
 
+use std::borrow::Cow;
 use std::num::NonZeroUsize;
 use std::thread;
 
@@ -90,14 +91,17 @@ pub(crate) fn resolve_threads(threads: usize) -> usize {
 }
 
 /// Per-worker reduction state: everything a range of blocks contributes.
-struct BlockAccum {
+/// Every field is an unsigned sum (or a vector of them), so merging
+/// partials in a fixed order reproduces the sequential reduction bit for
+/// bit.
+pub(crate) struct BlockAccum {
     tile_cycles: Vec<u64>,
     stats: ExecStats,
     golden_failures: u64,
 }
 
 impl BlockAccum {
-    fn new(tiles: usize) -> Self {
+    pub(crate) fn new(tiles: usize) -> Self {
         BlockAccum {
             tile_cycles: vec![0; tiles],
             stats: ExecStats::default(),
@@ -105,7 +109,7 @@ impl BlockAccum {
         }
     }
 
-    fn merge(&mut self, other: &BlockAccum) {
+    pub(crate) fn merge(&mut self, other: &BlockAccum) {
         for (t, o) in self.tile_cycles.iter_mut().zip(&other.tile_cycles) {
             *t += o;
         }
@@ -171,34 +175,44 @@ fn run_block_range<M: MachineModel>(
     acc
 }
 
-/// Simulates one GEMM on machine `M` — the single driver behind every
-/// machine comparison (formerly the duplicated `simulate_op_fpraker` /
-/// `simulate_op_baseline` paths).
-///
-/// `threads` bounds the block-level fan-out (`0` = one worker per core);
-/// results are bit-identical for every thread count.
-pub fn simulate_op<M: MachineModel>(
-    op: &TraceOp,
-    cfg: &AcceleratorConfig,
-    threads: usize,
-) -> OpOutcome {
-    let swapped;
-    let op = match cfg.serial_policy {
-        SerialPolicy::AlwaysA => op,
-        SerialPolicy::AlwaysB => {
-            swapped = op.swapped();
-            &swapped
-        }
+/// Whether the serial operand ends up being the trace's A side under the
+/// configured [`SerialPolicy`].
+fn serial_is_a(op: &TraceOp, cfg: &AcceleratorConfig) -> bool {
+    match cfg.serial_policy {
+        SerialPolicy::AlwaysA => true,
+        SerialPolicy::AlwaysB => false,
         SerialPolicy::Sparser => {
-            if fpraker_trace::stats::preferred_serial_is_a(op, Encoding::Canonical) {
-                op
-            } else {
-                swapped = op.swapped();
-                &swapped
-            }
+            fpraker_trace::stats::preferred_serial_is_a(op, Encoding::Canonical)
         }
-    };
+    }
+}
 
+/// Everything the scheduler needs to know about one GEMM before any block
+/// runs: the serial-policy-resolved op, the (θ-overridden) tile geometry,
+/// and the block tiling. Machine-independent — the machine type only enters
+/// when a work unit executes ([`run_unit`]) or an op is folded
+/// ([`finish_op`]).
+pub(crate) struct OpPlan<'a> {
+    /// The op with the serial operand on the A side (borrowed when the
+    /// policy keeps the trace orientation, owned when it swaps).
+    pub(crate) op: Cow<'a, TraceOp>,
+    pub(crate) tile_cfg: TileConfig,
+    pub(crate) ksets: usize,
+    pub(crate) k_padded: usize,
+    pub(crate) blocks_n: usize,
+    /// Total output blocks of this op (`blocks_m * blocks_n`) — the op's
+    /// share of the schedulable work.
+    pub(crate) blocks: usize,
+}
+
+/// Stage 1 of [`simulate_op`]: resolves the serial policy and per-layer θ
+/// override, and tiles the GEMM into output blocks.
+pub(crate) fn plan_op<'a>(op: &'a TraceOp, cfg: &AcceleratorConfig) -> OpPlan<'a> {
+    let op: Cow<'a, TraceOp> = if serial_is_a(op, cfg) {
+        Cow::Borrowed(op)
+    } else {
+        Cow::Owned(op.swapped())
+    };
     let mut tile_cfg = cfg.tile;
     if let Some(theta) = cfg.theta_for(&op.layer) {
         tile_cfg.pe.accum = AccumConfig {
@@ -211,58 +225,106 @@ pub fn simulate_op<M: MachineModel>(
     let k_padded = ksets * lanes;
     let blocks_m = op.m.div_ceil(cols);
     let blocks_n = op.n.div_ceil(rows);
-    let blocks = blocks_m * blocks_n;
+    OpPlan {
+        op,
+        tile_cfg,
+        ksets,
+        k_padded,
+        blocks_n,
+        blocks: blocks_m * blocks_n,
+    }
+}
 
-    let mut machine = M::from_tile(tile_cfg);
-    let mut acc = BlockAccum::new(cfg.tiles);
+/// The number of output blocks `op` contributes to the schedule, without
+/// materializing the (possibly swapped) operand streams.
+pub(crate) fn planned_blocks(op: &TraceOp, cfg: &AcceleratorConfig) -> usize {
+    let (m, n) = if serial_is_a(op, cfg) {
+        (op.m, op.n)
+    } else {
+        (op.n, op.m)
+    };
+    m.div_ceil(cfg.tile.cols) * n.div_ceil(cfg.tile.rows)
+}
+
+/// Stage 2 of [`simulate_op`]: executes one work unit — the contiguous
+/// block range `[lo, hi)` of a planned op — on a fresh machine instance.
+/// Pure with respect to the rest of the op: the returned [`BlockAccum`]
+/// is this range's entire contribution.
+pub(crate) fn run_unit<M: MachineModel>(
+    plan: &OpPlan,
+    cfg: &AcceleratorConfig,
+    lo: usize,
+    hi: usize,
+) -> BlockAccum {
+    let mut machine = M::from_tile(plan.tile_cfg);
     if machine.value_dependent() {
-        let workers = resolve_threads(threads).min(blocks.max(1));
-        if workers <= 1 {
-            acc = run_block_range(&mut machine, op, cfg, k_padded, blocks_n, 0, blocks);
-        } else {
-            let chunk = blocks.div_ceil(workers);
-            // Rounding up the chunk can leave trailing workers with empty
-            // ranges; don't spawn them.
-            let workers = blocks.div_ceil(chunk);
-            let partials = thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|w| {
-                        let (lo, hi) = (w * chunk, ((w + 1) * chunk).min(blocks));
-                        scope.spawn(move || {
-                            let mut worker_machine = M::from_tile(tile_cfg);
-                            run_block_range(
-                                &mut worker_machine,
-                                op,
-                                cfg,
-                                k_padded,
-                                blocks_n,
-                                lo,
-                                hi,
-                            )
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("simulation worker panicked"))
-                    .collect::<Vec<_>>()
-            });
-            // Worker-ordered merge of unsigned sums: bit-identical to the
-            // sequential reduction regardless of scheduling.
-            for partial in &partials {
-                acc.merge(partial);
-            }
-        }
+        run_block_range(
+            &mut machine,
+            &plan.op,
+            cfg,
+            plan.k_padded,
+            plan.blocks_n,
+            lo,
+            hi,
+        )
     } else {
         // Value-independent timing: no operand streams, no golden check —
         // the block loop is just round-robin arithmetic.
-        for idx in 0..blocks {
-            let out = machine.run_block_analytic(ksets);
+        let mut acc = BlockAccum::new(cfg.tiles);
+        for idx in lo..hi {
+            let out = machine.run_block_analytic(plan.ksets);
             acc.tile_cycles[idx % cfg.tiles] += out.cycles;
             acc.stats += out.stats;
         }
+        acc
     }
+}
 
+/// Simulates one GEMM on machine `M` — the single driver behind every
+/// machine comparison (formerly the duplicated `simulate_op_fpraker` /
+/// `simulate_op_baseline` paths). A thin wrapper over the trace-level
+/// scheduler with a one-op trace.
+///
+/// `threads` bounds the block-level fan-out (`0` = one worker per core);
+/// results are bit-identical for every thread count.
+///
+/// ```
+/// use fpraker_core::FpRakerMachine;
+/// use fpraker_sim::{simulate_op, AcceleratorConfig};
+/// use fpraker_num::Bf16;
+/// use fpraker_trace::{Phase, TensorKind, TraceOp};
+///
+/// let op = TraceOp {
+///     layer: "fc".into(), phase: Phase::AxW, m: 4, n: 4, k: 8,
+///     a: vec![Bf16::ONE; 32], b: vec![Bf16::ONE; 32],
+///     a_kind: TensorKind::Activation, b_kind: TensorKind::Weight,
+///     a_dup: 1.0, b_dup: 1.0, out_dup: 1.0,
+/// };
+/// let out = simulate_op::<FpRakerMachine>(&op, &AcceleratorConfig::fpraker_paper(), 1);
+/// assert_eq!(out.macs, 4 * 4 * 8);
+/// assert!(out.cycles > 0);
+/// ```
+pub fn simulate_op<M: MachineModel>(
+    op: &TraceOp,
+    cfg: &AcceleratorConfig,
+    threads: usize,
+) -> OpOutcome {
+    crate::sched::simulate_ops_scheduled::<M>(std::slice::from_ref(op), cfg, threads)
+        .pop()
+        .expect("one op in, one outcome out")
+}
+
+/// Stage 3 of [`simulate_op`]: folds an op's merged block contributions
+/// into its [`OpOutcome`] — compute/memory latency, off-chip traffic and
+/// the energy-model event counts. Single-threaded and deterministic.
+pub(crate) fn finish_op<M: MachineModel>(
+    plan: &OpPlan,
+    cfg: &AcceleratorConfig,
+    acc: BlockAccum,
+) -> OpOutcome {
+    let op = &*plan.op;
+    let (rows, cols) = (plan.tile_cfg.rows, plan.tile_cfg.cols);
+    let (ksets, k_padded, blocks) = (plan.ksets, plan.k_padded, plan.blocks);
     let compute_cycles = acc.tile_cycles.iter().copied().max().unwrap_or(0);
     let out_raw = ((op.m * op.n) as f64 * 2.0 / op.out_dup.max(1.0) as f64).ceil() as u64;
     let traffic = Traffic {
@@ -284,7 +346,7 @@ pub fn simulate_op<M: MachineModel>(
     let sram_bytes =
         blocks as u64 * ((cols + rows) * k_padded * 2) as u64 + (op.m * op.n * 2) as u64;
 
-    let events = machine.events(&acc.stats, blocks as u64, ksets as u64);
+    let events = M::from_tile(plan.tile_cfg).events(&acc.stats, blocks as u64, ksets as u64);
     let counts = EventCounts {
         terms: events.terms,
         pe_active_cycles: events.pe_active_cycles,

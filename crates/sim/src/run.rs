@@ -22,6 +22,25 @@ pub enum Machine {
 }
 
 /// The simulated execution of a whole trace.
+///
+/// Per-op outcomes are kept in trace order; every aggregate below is a
+/// deterministic fold over them, so a `RunResult` is identical whatever
+/// worker budget produced it.
+///
+/// ```
+/// use fpraker_sim::{AcceleratorConfig, Engine, Machine};
+/// use fpraker_trace::Trace;
+///
+/// let run = Engine::new().run(
+///     Machine::FpRaker,
+///     &Trace::new("empty", 0),
+///     &AcceleratorConfig::fpraker_paper(),
+/// );
+/// assert_eq!(run.ops.len(), 0);
+/// assert_eq!(run.cycles(), 0);
+/// assert_eq!(run.macs(), 0);
+/// assert_eq!(run.golden_failures(), 0);
+/// ```
 #[derive(Clone, Debug)]
 pub struct RunResult {
     /// Which machine was simulated.

@@ -1,0 +1,273 @@
+//! The op×block work scheduler: one shared worker budget for a whole trace.
+//!
+//! The per-op fan-out of the first parallel engine serialized trace ops: a
+//! trace of 200 small GEMMs ran as 200 barrier-separated scoped fan-outs,
+//! each too small to occupy the workers. This module schedules *ops and
+//! blocks together*:
+//!
+//! 1. **Plan** — every op is tiled up front ([`plan_op`]) and split into
+//!    contiguous block-range *work units* (`(op, [lo, hi))`), all pushed
+//!    into one injector queue in trace order.
+//! 2. **Execute** — a persistent pool of `workers` threads (spawned once
+//!    per run, not once per op) claims units off the queue with an atomic
+//!    cursor and deposits each unit's [`BlockAccum`] into its pre-sized
+//!    slot in a slot table. Units from different ops interleave freely, so
+//!    many small ops saturate the pool just like one large op.
+//! 3. **Fold** — after the pool drains, a single-threaded pass walks the
+//!    slot table *in unit order* (which is trace order), merges each op's
+//!    partials with unsigned addition, and finishes the op
+//!    ([`finish_op`]: latency, traffic, energy events).
+//!
+//! Because every per-block quantity reduces with unsigned integer addition
+//! in a fixed order, the result is **bit-identical for every worker
+//! count** — scheduling only ever moves wall-clock time, never simulated
+//! results. `crates/sim/tests/determinism.rs` and
+//! `crates/sim/tests/scheduler.rs` pin this invariant.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+use fpraker_core::MachineModel;
+use fpraker_trace::TraceOp;
+
+use crate::config::AcceleratorConfig;
+use crate::op::{finish_op, plan_op, resolve_threads, run_unit, BlockAccum, OpOutcome, OpPlan};
+
+/// One schedulable unit: a contiguous block range of one op.
+struct WorkUnit {
+    /// Index of the op in the trace.
+    op: usize,
+    /// First block (inclusive).
+    lo: usize,
+    /// Last block (exclusive).
+    hi: usize,
+}
+
+/// Splits every op's blocks into work units, in trace order.
+///
+/// Granularity: each op is cut into at most `workers` contiguous chunks
+/// (the same chunking the per-op fan-out used), so a single large GEMM
+/// still spreads over the whole pool while a small GEMM stays one unit and
+/// keeps its A-stream row cache intact.
+fn build_units(plans: &[OpPlan], workers: usize) -> Vec<WorkUnit> {
+    let mut units = Vec::new();
+    for (op, plan) in plans.iter().enumerate() {
+        if plan.blocks == 0 {
+            continue;
+        }
+        let chunk = plan.blocks.div_ceil(workers).max(1);
+        let mut lo = 0;
+        while lo < plan.blocks {
+            let hi = (lo + chunk).min(plan.blocks);
+            units.push(WorkUnit { op, lo, hi });
+            lo = hi;
+        }
+    }
+    units
+}
+
+/// Simulates a slice of ops under one shared worker budget and returns
+/// their outcomes in input order.
+///
+/// `threads = 0` means one worker per available core; the effective worker
+/// count is additionally clamped to the number of work units (there is
+/// nothing for surplus workers to do). With one worker the trace runs on
+/// the calling thread with no pool at all — that is the sequential
+/// reference every other worker count must match bit for bit.
+pub(crate) fn simulate_ops_scheduled<M: MachineModel>(
+    ops: &[TraceOp],
+    cfg: &AcceleratorConfig,
+    threads: usize,
+) -> Vec<OpOutcome> {
+    let budget = resolve_threads(threads);
+    if budget <= 1 {
+        // Sequential reference path: each op is planned, run as one
+        // contiguous range, and finished before the next is touched — at
+        // most one serial-policy-swapped operand copy is alive at a time.
+        return ops
+            .iter()
+            .map(|op| {
+                let plan = plan_op(op, cfg);
+                let acc = if plan.blocks > 0 {
+                    run_unit::<M>(&plan, cfg, 0, plan.blocks)
+                } else {
+                    BlockAccum::new(cfg.tiles)
+                };
+                finish_op::<M>(&plan, cfg, acc)
+            })
+            .collect();
+    }
+
+    // Parallel path: plan the whole trace up front so any worker can claim
+    // any unit. Note the memory trade-off: ops whose serial policy swaps
+    // operands hold an owned swapped copy for the run's duration, so a
+    // fully-swapped trace peaks at ~2x operand memory (the planned trace
+    // streaming work on ROADMAP.md is the structural fix).
+    let plans: Vec<OpPlan> = ops.iter().map(|op| plan_op(op, cfg)).collect();
+    let units = build_units(&plans, budget);
+    let workers = budget.min(units.len()).max(1);
+
+    if workers <= 1 {
+        return plans
+            .iter()
+            .map(|plan| {
+                let acc = if plan.blocks > 0 {
+                    run_unit::<M>(plan, cfg, 0, plan.blocks)
+                } else {
+                    BlockAccum::new(cfg.tiles)
+                };
+                finish_op::<M>(plan, cfg, acc)
+            })
+            .collect();
+    }
+
+    // Injector queue (an atomic cursor over the unit list) and the
+    // pre-sized slot table the workers deposit partial results into. Each
+    // slot is written exactly once, by whichever worker claimed the unit.
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<BlockAccum>>> =
+        (0..units.len()).map(|_| Mutex::new(None)).collect();
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(unit) = units.get(i) else { break };
+                let acc = run_unit::<M>(&plans[unit.op], cfg, unit.lo, unit.hi);
+                *slots[i].lock().expect("slot lock poisoned") = Some(acc);
+            });
+        }
+    });
+
+    // Deterministic fold: units were built in trace order, so walking the
+    // slot table front to back merges every op's partials in block order —
+    // bit-identical to the sequential reduction.
+    let mut results = Vec::with_capacity(plans.len());
+    let mut unit_idx = 0;
+    for (op_idx, plan) in plans.iter().enumerate() {
+        let mut acc = BlockAccum::new(cfg.tiles);
+        while unit_idx < units.len() && units[unit_idx].op == op_idx {
+            let partial = slots[unit_idx]
+                .lock()
+                .expect("slot lock poisoned")
+                .take()
+                .expect("worker pool drained every unit");
+            acc.merge(&partial);
+            unit_idx += 1;
+        }
+        results.push(finish_op::<M>(plan, cfg, acc));
+    }
+    results
+}
+
+/// The number of work units a run with the given worker budget would
+/// schedule — what the budget is clamped against. Mirrors the chunking in
+/// [`build_units`] exactly (each op yields `ceil(blocks / chunk)` units
+/// with `chunk = ceil(blocks / budget)`), without materializing any plan.
+pub(crate) fn planned_units(ops: &[TraceOp], cfg: &AcceleratorConfig, budget: usize) -> usize {
+    ops.iter()
+        .map(|op| {
+            let blocks = crate::op::planned_blocks(op, cfg);
+            if blocks == 0 {
+                0
+            } else {
+                blocks.div_ceil(blocks.div_ceil(budget.max(1)).max(1))
+            }
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpraker_core::{BaselineMachine, FpRakerMachine};
+    use fpraker_num::reference::SplitMix64;
+    use fpraker_trace::{Phase, TensorKind};
+
+    fn tiny_ops(count: usize) -> Vec<TraceOp> {
+        let mut rng = SplitMix64::new(42);
+        (0..count)
+            .map(|i| {
+                let (m, n, k) = (4 + (i % 3) * 4, 4 + (i % 2) * 4, 8);
+                TraceOp {
+                    layer: format!("l{i}"),
+                    phase: Phase::AxW,
+                    m,
+                    n,
+                    k,
+                    a: (0..m * k).map(|_| rng.bf16_in_range(3)).collect(),
+                    b: (0..n * k).map(|_| rng.bf16_in_range(3)).collect(),
+                    a_kind: TensorKind::Activation,
+                    b_kind: TensorKind::Weight,
+                    a_dup: 1.0,
+                    b_dup: 1.0,
+                    out_dup: 1.0,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn units_cover_every_block_exactly_once() {
+        let ops = tiny_ops(5);
+        let cfg = AcceleratorConfig::fpraker_paper();
+        let plans: Vec<OpPlan> = ops.iter().map(|op| plan_op(op, &cfg)).collect();
+        for workers in [1, 2, 7] {
+            let units = build_units(&plans, workers);
+            for (op_idx, plan) in plans.iter().enumerate() {
+                let mut covered = 0;
+                let mut expect_lo = 0;
+                for u in units.iter().filter(|u| u.op == op_idx) {
+                    assert_eq!(u.lo, expect_lo, "contiguous ranges");
+                    assert!(u.hi > u.lo);
+                    covered += u.hi - u.lo;
+                    expect_lo = u.hi;
+                }
+                assert_eq!(covered, plan.blocks, "op {op_idx} at {workers} workers");
+            }
+        }
+    }
+
+    #[test]
+    fn scheduled_ops_match_sequential_on_both_machines() {
+        let ops = tiny_ops(12);
+        let cfg = AcceleratorConfig::fpraker_paper();
+        let seq = simulate_ops_scheduled::<FpRakerMachine>(&ops, &cfg, 1);
+        let par = simulate_ops_scheduled::<FpRakerMachine>(&ops, &cfg, 4);
+        for (s, p) in seq.iter().zip(&par) {
+            assert_eq!(s.cycles, p.cycles);
+            assert_eq!(s.stats, p.stats);
+        }
+        let bl_cfg = AcceleratorConfig::baseline_paper();
+        let seq = simulate_ops_scheduled::<BaselineMachine>(&ops, &bl_cfg, 1);
+        let par = simulate_ops_scheduled::<BaselineMachine>(&ops, &bl_cfg, 4);
+        for (s, p) in seq.iter().zip(&par) {
+            assert_eq!(s.cycles, p.cycles);
+        }
+    }
+
+    #[test]
+    fn empty_op_list_yields_no_outcomes() {
+        let cfg = AcceleratorConfig::fpraker_paper();
+        assert!(simulate_ops_scheduled::<FpRakerMachine>(&[], &cfg, 8).is_empty());
+    }
+
+    #[test]
+    fn planned_units_mirror_the_built_schedule() {
+        let ops = tiny_ops(5);
+        let cfg = AcceleratorConfig::fpraker_paper();
+        let plans: Vec<OpPlan> = ops.iter().map(|op| plan_op(op, &cfg)).collect();
+        for budget in [1usize, 2, 7, 64, usize::MAX] {
+            assert_eq!(
+                planned_units(&ops, &cfg, budget),
+                build_units(&plans, budget).len(),
+                "budget {budget}"
+            );
+        }
+        // Unbounded budget degenerates to one unit per block; budget 1 to
+        // one unit per op.
+        let total: usize = plans.iter().map(|p| p.blocks).sum();
+        assert_eq!(planned_units(&ops, &cfg, usize::MAX), total);
+        assert_eq!(planned_units(&ops, &cfg, 1), ops.len());
+    }
+}

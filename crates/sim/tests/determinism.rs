@@ -102,6 +102,42 @@ fn baseline_runs_are_identical_across_thread_counts() {
     }
 }
 
+/// Mixed op sizes — a few large fan-out ops interleaved with a tail of
+/// tiny GEMMs — exercise the op×block scheduler's interleaving: work units
+/// of different ops run concurrently on the shared pool, and the fold must
+/// still be bit-identical to the sequential reference, golden checking on.
+#[test]
+fn mixed_large_and_small_ops_are_identical_across_worker_counts() {
+    let mut trace = fan_out_trace();
+    let mut rng = SplitMix64::new(0x51AB);
+    for i in 0..24 {
+        let (m, n, k) = (4 + (i % 3) * 4, 8, 8);
+        trace.ops.push(TraceOp {
+            layer: format!("tiny{i}"),
+            phase: Phase::AxW,
+            m,
+            n,
+            k,
+            a: (0..m * k).map(|_| rng.bf16_in_range(3)).collect(),
+            b: (0..n * k).map(|_| rng.bf16_in_range(3)).collect(),
+            a_kind: TensorKind::Activation,
+            b_kind: TensorKind::Weight,
+            a_dup: 1.0,
+            b_dup: 1.0,
+            out_dup: 1.0,
+        });
+    }
+    let mut cfg = AcceleratorConfig::fpraker_paper();
+    cfg.check_golden = true;
+    cfg.tiles = 4;
+    let seq = Engine::with_threads(1).run(Machine::FpRaker, &trace, &cfg);
+    assert_eq!(seq.golden_failures(), 0, "sequential golden check");
+    for threads in [2, 5, 16] {
+        let par = Engine::with_threads(threads).run(Machine::FpRaker, &trace, &cfg);
+        assert_runs_identical(&seq, &par, &format!("mixed {threads} threads"));
+    }
+}
+
 #[test]
 fn thread_count_does_not_leak_into_derived_metrics() {
     let trace = fan_out_trace();

@@ -1,0 +1,168 @@
+//! Stress and property tests of the op×block work scheduler: traces of
+//! many small GEMMs — the shape that serialized under the old per-op
+//! fan-out — must produce bit-identical results at every worker count,
+//! and trace-level aggregates must always be the fold of the per-op
+//! outcomes, regardless of how units were scheduled.
+
+use fpraker_core::ExecStats;
+use fpraker_num::reference::SplitMix64;
+use fpraker_num::Bf16;
+use fpraker_sim::{AcceleratorConfig, Engine, Machine, RunResult};
+use fpraker_trace::{Phase, TensorKind, Trace, TraceOp};
+use proptest::prelude::*;
+
+/// A trace of `count` small GEMMs with varied shapes, sparsity and layer
+/// names (so per-layer θ overrides and the Sparser policy both see
+/// variety). Each op is at most a few 8×8 output blocks: the worst case
+/// for op-serial scheduling.
+fn many_small_ops(count: usize, seed: u64) -> Trace {
+    let mut rng = SplitMix64::new(seed);
+    let mut tr = Trace::new("small-ops", 50);
+    let phases = [Phase::AxW, Phase::GxW, Phase::AxG];
+    for i in 0..count {
+        let m = 4 + (i % 4) * 4; // 4..16
+        let n = 4 + (i % 3) * 4; // 4..12
+        let k = 8 + (i % 2) * 8; // 8 or 16
+        let zero_pct = (i % 5) as f64 / 5.0;
+        let gen = |rng: &mut SplitMix64, n: usize| -> Vec<Bf16> {
+            (0..n)
+                .map(|_| {
+                    if rng.next_f64() < zero_pct {
+                        Bf16::ZERO
+                    } else {
+                        rng.bf16_in_range(4)
+                    }
+                })
+                .collect()
+        };
+        tr.ops.push(TraceOp {
+            layer: format!("l{}", i % 7),
+            phase: phases[i % 3],
+            m,
+            n,
+            k,
+            a: gen(&mut rng, m * k),
+            b: gen(&mut rng, n * k),
+            a_kind: TensorKind::Activation,
+            b_kind: TensorKind::Weight,
+            a_dup: 1.0,
+            b_dup: 1.0,
+            out_dup: 1.0,
+        });
+    }
+    tr
+}
+
+fn assert_identical(seq: &RunResult, par: &RunResult, what: &str) {
+    assert_eq!(seq.ops.len(), par.ops.len(), "{what}: op count");
+    for (i, (s, p)) in seq.ops.iter().zip(&par.ops).enumerate() {
+        assert_eq!(s.cycles, p.cycles, "{what} op{i}: cycles");
+        assert_eq!(
+            s.compute_cycles, p.compute_cycles,
+            "{what} op{i}: compute cycles"
+        );
+        assert_eq!(s.mem_cycles, p.mem_cycles, "{what} op{i}: mem cycles");
+        assert_eq!(s.stats, p.stats, "{what} op{i}: stats");
+        assert_eq!(s.counts, p.counts, "{what} op{i}: counts");
+        assert_eq!(s.traffic, p.traffic, "{what} op{i}: traffic");
+        assert_eq!(
+            s.golden_failures, p.golden_failures,
+            "{what} op{i}: golden failures"
+        );
+    }
+}
+
+/// The headline stress test: 64 tiny GEMMs, golden checking on, pinned
+/// bit-identical at 1, 2 and 8 workers.
+#[test]
+fn sixty_four_tiny_gemms_are_bit_identical_at_1_2_and_8_workers() {
+    let trace = many_small_ops(64, 0xBEEF);
+    let mut cfg = AcceleratorConfig::fpraker_paper();
+    cfg.check_golden = true;
+    cfg.tiles = 4;
+    let seq = Engine::with_threads(1).run(Machine::FpRaker, &trace, &cfg);
+    assert_eq!(seq.golden_failures(), 0, "sequential golden check");
+    for workers in [2usize, 8] {
+        let par = Engine::with_threads(workers).run(Machine::FpRaker, &trace, &cfg);
+        assert_identical(&seq, &par, &format!("{workers} workers"));
+    }
+}
+
+/// Per-layer θ overrides narrow some layers' accumulators (deliberately
+/// diverging from the exact reference, so golden checking stays off); the
+/// scheduler must still be invisible in the results.
+#[test]
+fn theta_overrides_schedule_identically() {
+    let trace = many_small_ops(32, 0x7E7A);
+    let mut cfg = AcceleratorConfig::fpraker_paper();
+    cfg.theta_overrides = vec![("l1".into(), 8), ("l4".into(), 6)];
+    let seq = Engine::with_threads(1).run(Machine::FpRaker, &trace, &cfg);
+    for workers in [2usize, 8] {
+        let par = Engine::with_threads(workers).run(Machine::FpRaker, &trace, &cfg);
+        assert_identical(&seq, &par, &format!("theta {workers} workers"));
+    }
+}
+
+#[test]
+fn baseline_machine_schedules_identically_on_small_ops() {
+    let trace = many_small_ops(64, 0xF00D);
+    let cfg = AcceleratorConfig::baseline_paper();
+    let seq = Engine::with_threads(1).run(Machine::Baseline, &trace, &cfg);
+    for workers in [2usize, 8] {
+        let par = Engine::with_threads(workers).run(Machine::Baseline, &trace, &cfg);
+        assert_identical(&seq, &par, &format!("baseline {workers} workers"));
+    }
+}
+
+/// The budget clamp: a worker budget far beyond the available op×block
+/// work must behave exactly like a fitting one.
+#[test]
+fn oversized_worker_budgets_clamp_to_available_work() {
+    let trace = many_small_ops(3, 0xC1A);
+    let cfg = AcceleratorConfig::fpraker_paper();
+    let seq = Engine::with_threads(1).run(Machine::FpRaker, &trace, &cfg);
+    let huge = Engine::with_threads(10_000).run(Machine::FpRaker, &trace, &cfg);
+    assert_identical(&seq, &huge, "10k workers");
+    let resolved = Engine::with_threads(10_000).resolved_threads_for(&trace, &cfg);
+    assert!(resolved <= 3 * 4, "clamped to op x block work: {resolved}");
+}
+
+fn fold_stats(run: &RunResult) -> ExecStats {
+    run.ops
+        .iter()
+        .fold(ExecStats::default(), |acc, o| acc + o.stats)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Whatever the trace shape and worker count, trace-level aggregates
+    /// are exactly the fold of the per-op outcomes, and agree with the
+    /// sequential reference — scheduling order never leaks into results.
+    #[test]
+    fn per_op_results_sum_to_trace_totals(
+        count in 1usize..24,
+        seed in any::<u64>(),
+        workers in 1usize..9,
+    ) {
+        let trace = many_small_ops(count, seed);
+        let cfg = AcceleratorConfig::fpraker_paper();
+        let run = Engine::with_threads(workers).run(Machine::FpRaker, &trace, &cfg);
+        prop_assert_eq!(run.ops.len(), count);
+        prop_assert_eq!(run.cycles(), run.ops.iter().map(|o| o.cycles).sum::<u64>());
+        prop_assert_eq!(
+            run.compute_cycles(),
+            run.ops.iter().map(|o| o.compute_cycles).sum::<u64>()
+        );
+        prop_assert_eq!(run.macs(), trace.macs());
+        prop_assert_eq!(run.stats(), fold_stats(&run));
+        prop_assert_eq!(
+            run.cycles_by_phase().values().sum::<u64>(),
+            run.cycles()
+        );
+        let seq = Engine::with_threads(1).run(Machine::FpRaker, &trace, &cfg);
+        prop_assert_eq!(run.cycles(), seq.cycles());
+        prop_assert_eq!(run.stats(), seq.stats());
+        prop_assert_eq!(run.counts(), seq.counts());
+    }
+}

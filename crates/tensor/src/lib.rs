@@ -1,7 +1,7 @@
 //! Dense tensor substrate for the FPRaker reproduction.
 //!
 //! Provides the data structures and linear algebra that the mini training
-//! framework ([`fpraker-dnn`]) and workload generators build on:
+//! framework (`fpraker-dnn`) and workload generators build on:
 //!
 //! * [`Tensor`] — a dense row-major `f32` tensor with bfloat16 rounding at
 //!   operator boundaries;
