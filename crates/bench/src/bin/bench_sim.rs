@@ -1,9 +1,12 @@
 //! Machine-readable simulator benchmark: times the fixed synthetic trace
-//! at 1 thread and at the machine's core count, and writes `BENCH_sim.json`
-//! so future PRs have a wall-clock trajectory to regress against.
+//! at 1 thread and at the machine's core count, the many-small-ops trace
+//! under both scheduling modes, and a disk-backed trace streamed vs fully
+//! loaded (`fpraker/stream_*`), and writes `BENCH_sim.json` so future PRs
+//! have a wall-clock trajectory to regress against.
 //!
 //! Usage: `cargo run --release -p fpraker-bench --bin bench_sim [out.json]`
 //! (default output path: `BENCH_sim.json` in the current directory).
+//! `FPRAKER_BENCH_SMOKE=1` shrinks the disk-backed streaming trace (CI).
 
 use std::fmt::Write as _;
 
@@ -32,9 +35,14 @@ fn main() {
     let b = simulator_measurements(10);
     let speedup = b.parallel_speedup();
     let ops_speedup = b.parallel_ops_speedup();
+    let stream_overhead = b.stream_overhead();
     println!("parallel speedup at {} thread(s): {speedup:.2}x", b.threads);
     println!(
         "op-level scheduling speedup on the many-small-ops trace: {ops_speedup:.2}x (serial ops vs parallel ops)"
+    );
+    println!(
+        "streaming a {}-op trace from disk: {stream_overhead:.2}x the in-memory wall-clock, peak {} of {} ops resident (window {})",
+        b.stream_total_ops, b.stream_peak_resident_ops, b.stream_total_ops, b.stream_window
     );
 
     let mut json = String::from("{\n");
@@ -44,11 +52,28 @@ fn main() {
     writeln!(json, "  \"threads\": {},", b.threads).unwrap();
     writeln!(json, "  \"parallel_speedup\": {speedup:.4},").unwrap();
     writeln!(json, "  \"parallel_ops_speedup\": {ops_speedup:.4},").unwrap();
+    writeln!(json, "  \"stream_overhead\": {stream_overhead:.4},").unwrap();
+    writeln!(json, "  \"stream_total_ops\": {},", b.stream_total_ops).unwrap();
+    writeln!(json, "  \"stream_window\": {},", b.stream_window).unwrap();
+    writeln!(
+        json,
+        "  \"stream_peak_resident_ops\": {},",
+        b.stream_peak_resident_ops
+    )
+    .unwrap();
     writeln!(json, "  \"measurements\": [").unwrap();
-    let entries: Vec<String> = [&b.seq, &b.par, &b.baseline, &b.serial_ops, &b.parallel_ops]
-        .iter()
-        .map(|m| json_entry(m))
-        .collect();
+    let entries: Vec<String> = [
+        &b.seq,
+        &b.par,
+        &b.baseline,
+        &b.serial_ops,
+        &b.parallel_ops,
+        &b.stream_streamed,
+        &b.stream_inmemory,
+    ]
+    .iter()
+    .map(|m| json_entry(m))
+    .collect();
     json.push_str(&entries.join(",\n"));
     json.push_str("\n  ]\n}\n");
     std::fs::write(&out_path, json).expect("write benchmark JSON");

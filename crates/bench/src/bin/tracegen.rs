@@ -1,0 +1,89 @@
+//! Synthesizes a parameterized GEMM trace and streams it to disk through
+//! the incremental `fpraker_trace::codec::Writer` — one op resident at a
+//! time, so traces far larger than RAM can be generated.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p fpraker-bench --bin tracegen -- OUT.trace \
+//!     [--ops N] [--m M] [--n N] [--k K] [--zeros F] [--seed S] [--model NAME]
+//! ```
+//!
+//! Defaults: 256 ops of 16×16×32 with 40% zeros, seed 0x5EED, model
+//! `tracegen`. The written file decodes with `fpraker_trace::codec` and
+//! simulates with `fpraker_sim::Engine::run_source` without ever being
+//! fully loaded.
+
+use std::fs::File;
+use std::io::BufWriter;
+use std::process::exit;
+
+use fpraker_bench::workloads::SyntheticTraceSpec;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tracegen OUT.trace [--ops N] [--m M] [--n N] [--k K] \
+         [--zeros F] [--seed S] [--model NAME]"
+    );
+    exit(2);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let Some(v) = value else {
+        eprintln!("{flag} needs a value");
+        usage();
+    };
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("{flag}: cannot parse {v:?}");
+        usage();
+    })
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(out_path) = args.next().filter(|a| !a.starts_with("--")) else {
+        usage();
+    };
+    let mut spec = SyntheticTraceSpec {
+        model: "tracegen".into(),
+        ops: 256,
+        m: 16,
+        n: 16,
+        k: 32,
+        zero_fraction: 0.4,
+        seed: 0x5EED,
+    };
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--ops" => spec.ops = parse(&flag, args.next()),
+            "--m" => spec.m = parse(&flag, args.next()),
+            "--n" => spec.n = parse(&flag, args.next()),
+            "--k" => spec.k = parse(&flag, args.next()),
+            "--zeros" => spec.zero_fraction = parse(&flag, args.next()),
+            "--seed" => spec.seed = parse(&flag, args.next()),
+            "--model" => spec.model = parse(&flag, args.next()),
+            _ => usage(),
+        }
+    }
+    if spec.m == 0 || spec.n == 0 || spec.k == 0 || !(0.0..=1.0).contains(&spec.zero_fraction) {
+        eprintln!("dimensions must be positive and --zeros within [0, 1]");
+        exit(2);
+    }
+
+    let file = File::create(&out_path).unwrap_or_else(|e| {
+        eprintln!("cannot create {out_path}: {e}");
+        exit(1);
+    });
+    let ops = spec.write_to(BufWriter::new(file)).unwrap_or_else(|e| {
+        eprintln!("write failed: {e}");
+        exit(1);
+    });
+    let bytes = std::fs::metadata(&out_path).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "wrote {out_path}: {ops} ops of {}x{}x{} ({} MACs, {bytes} bytes), streamed one op at a time",
+        spec.m,
+        spec.n,
+        spec.k,
+        spec.macs()
+    );
+}

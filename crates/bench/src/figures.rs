@@ -18,7 +18,7 @@ use fpraker_energy::EnergyModel;
 use fpraker_mem::bdc;
 use fpraker_num::encode::Encoding;
 use fpraker_sim::{AcceleratorConfig, Engine as SimEngine, Machine, RunResult};
-use fpraker_trace::stats::{exponent_histograms, potential_by_phase, sparsity};
+use fpraker_trace::stats::{exponent_histograms, TraceStatistics};
 use fpraker_trace::{TensorKind, Trace};
 
 use crate::table::{pct, ratio, Table};
@@ -27,6 +27,30 @@ use crate::workloads::{model_set, steady_state_trace, traces_for};
 fn run_cache() -> &'static Mutex<HashMap<String, RunResult>> {
     static CACHE: OnceLock<Mutex<HashMap<String, RunResult>>> = OnceLock::new();
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn stats_cache() -> &'static Mutex<HashMap<String, TraceStatistics>> {
+    static CACHE: OnceLock<Mutex<HashMap<String, TraceStatistics>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// All Section II statistics of a model's steady-state trace, computed in
+/// one shared pass (and cached): Figs. 1 and 2 read from the same
+/// [`TraceStatistics`] fold the streaming path uses, so the in-memory and
+/// larger-than-RAM statistics cannot drift apart. (Fig. 6 uses different
+/// sample points — epoch 0 and fully trained — so it folds its own traces
+/// through the exponent-only wrapper.)
+fn stats_for(model: &str) -> TraceStatistics {
+    if let Some(hit) = stats_cache().lock().unwrap().get(model) {
+        return hit.clone();
+    }
+    let trace = steady_state_trace(model);
+    let stats = TraceStatistics::from_trace(&trace, Encoding::Canonical);
+    stats_cache()
+        .lock()
+        .unwrap()
+        .insert(model.to_string(), stats.clone());
+    stats
 }
 
 /// The simulation engine every figure shares: one worker per core (results
@@ -93,8 +117,7 @@ pub fn fig01() -> String {
         "term G".into(),
     ]);
     for model in model_set() {
-        let trace = steady_state_trace(&model);
-        let s = sparsity(&trace, Encoding::Canonical);
+        let s = stats_for(&model).sparsity;
         t.row(vec![
             models::display_name(&model).into(),
             pct(s.activation.value_sparsity()),
@@ -120,8 +143,7 @@ pub fn fig02() -> String {
         "AxW".into(),
     ]);
     for model in model_set() {
-        let trace = steady_state_trace(&model);
-        let pot = potential_by_phase(&trace, Encoding::Canonical);
+        let pot = stats_for(&model).potential;
         let get = |k: &str| {
             pot.get(k)
                 .map(|p| ratio(p.potential_speedup()))

@@ -2,11 +2,26 @@
 //! `benches/simulator.rs` target (human-readable) and the `bench_sim`
 //! binary (machine-readable `BENCH_sim.json`), so the two cannot drift
 //! apart.
+//!
+//! Set `FPRAKER_BENCH_SMOKE=1` to shrink the disk-backed streaming
+//! benchmark to a tiny trace — CI uses this so the write→stream→simulate
+//! round trip is exercised on every push without inflating the run.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::PathBuf;
 
 use fpraker_sim::{simulate_op, AcceleratorConfig, Engine, FpRakerMachine, Machine};
+use fpraker_trace::codec;
 
 use crate::harness::{bench, Measurement};
-use crate::workloads::{many_small_ops_bench_trace, synthetic_bench_trace};
+use crate::workloads::{many_small_ops_bench_trace, synthetic_bench_trace, SyntheticTraceSpec};
+
+/// Whether the smoke-mode env toggle (`FPRAKER_BENCH_SMOKE`) is set to a
+/// non-empty, non-`0` value.
+pub fn smoke_mode() -> bool {
+    std::env::var("FPRAKER_BENCH_SMOKE").is_ok_and(|v| !v.trim().is_empty() && v.trim() != "0")
+}
 
 /// The measurements every simulator benchmark reports.
 #[derive(Clone, Debug)]
@@ -29,6 +44,19 @@ pub struct SimulatorBench {
     /// Many-small-ops trace, ops and blocks scheduled together on the
     /// shared worker pool.
     pub parallel_ops: Measurement,
+    /// Disk-backed trace simulated through the streaming path (incremental
+    /// `Reader` → bounded op window).
+    pub stream_streamed: Measurement,
+    /// The same disk-backed trace fully loaded (`decode`) then simulated
+    /// in memory.
+    pub stream_inmemory: Measurement,
+    /// Ops in the disk-backed streaming trace.
+    pub stream_total_ops: u64,
+    /// Bounded window the streamed runs used.
+    pub stream_window: usize,
+    /// Peak ops simultaneously resident during the streamed runs — the
+    /// memory bound streaming buys (strictly below `stream_total_ops`).
+    pub stream_peak_resident_ops: usize,
 }
 
 impl SimulatorBench {
@@ -41,6 +69,12 @@ impl SimulatorBench {
     /// the many-small-ops trace (medians).
     pub fn parallel_ops_speedup(&self) -> f64 {
         self.serial_ops.median_ns as f64 / self.parallel_ops.median_ns.max(1) as f64
+    }
+
+    /// Wall-clock overhead of streaming from disk vs simulating fully
+    /// loaded (medians; ≈1.0 means streaming is free at this trace size).
+    pub fn stream_overhead(&self) -> f64 {
+        self.stream_streamed.median_ns as f64 / self.stream_inmemory.median_ns.max(1) as f64
     }
 }
 
@@ -101,6 +135,47 @@ pub fn simulator_measurements(iters: u32) -> SimulatorBench {
         Some(small_ops_macs),
         || Engine::new().run(Machine::FpRaker, &small, &cfg),
     );
+
+    // Streaming benchmark: write a synthetic many-op trace to disk once,
+    // then time simulating it streamed (incremental decode, bounded op
+    // window) vs fully loaded. Smoke mode shrinks the trace so CI
+    // exercises the disk round trip cheaply.
+    let spec = SyntheticTraceSpec::stream_bench(if smoke_mode() { 12 } else { 96 });
+    let window = usize::max(2, spec.ops as usize / 4);
+    let path: PathBuf =
+        std::env::temp_dir().join(format!("fpraker_stream_bench_{}.trace", std::process::id()));
+    let file = BufWriter::new(File::create(&path).expect("create stream bench trace"));
+    spec.write_to(file).expect("write stream bench trace");
+    let stream_engine = Engine::new().stream_window(window);
+    let mut peak = 0usize;
+    let stream_streamed = bench(
+        &format!("fpraker/stream_streamed_threads_{threads}"),
+        iters,
+        Some(spec.macs()),
+        || {
+            let reader = codec::Reader::new(BufReader::new(
+                File::open(&path).expect("open stream bench trace"),
+            ))
+            .expect("stream bench trace header");
+            let run = stream_engine
+                .run_source(Machine::FpRaker, reader, &cfg)
+                .expect("stream bench trace is well-formed");
+            peak = peak.max(run.peak_resident_ops);
+            run
+        },
+    );
+    let stream_inmemory = bench(
+        &format!("fpraker/stream_inmemory_threads_{threads}"),
+        iters,
+        Some(spec.macs()),
+        || {
+            let bytes = std::fs::read(&path).expect("read stream bench trace");
+            let trace = codec::decode(&bytes).expect("decode stream bench trace");
+            Engine::new().run(Machine::FpRaker, &trace, &cfg)
+        },
+    );
+    std::fs::remove_file(&path).ok();
+
     SimulatorBench {
         threads,
         macs,
@@ -110,6 +185,11 @@ pub fn simulator_measurements(iters: u32) -> SimulatorBench {
         baseline,
         serial_ops,
         parallel_ops,
+        stream_streamed,
+        stream_inmemory,
+        stream_total_ops: u64::from(spec.ops),
+        stream_window: window,
+        stream_peak_resident_ops: peak,
     }
 }
 
@@ -131,6 +211,20 @@ mod tests {
         assert!(b.par.name.contains(&b.threads.to_string()));
         assert!(b.serial_ops.name.contains("serial_ops"));
         assert!(b.parallel_ops.name.contains("parallel_ops"));
+        // Streaming entries: the disk round trip ran, and the bounded
+        // window kept residency strictly below the trace length.
+        assert!(b.stream_streamed.name.starts_with("fpraker/stream_"));
+        assert!(b.stream_inmemory.name.starts_with("fpraker/stream_"));
+        assert!(b.stream_overhead() > 0.0);
+        assert!(b.stream_total_ops > 0);
+        assert!(b.stream_peak_resident_ops >= 1);
+        assert!(b.stream_peak_resident_ops <= b.stream_window);
+        assert!(
+            (b.stream_peak_resident_ops as u64) < b.stream_total_ops,
+            "peak {} must stay below the {}-op trace",
+            b.stream_peak_resident_ops,
+            b.stream_total_ops
+        );
     }
 
     #[test]

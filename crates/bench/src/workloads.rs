@@ -1,13 +1,15 @@
-//! Trace generation with per-process caching.
+//! Trace generation with per-process caching, plus a parameterized
+//! synthetic-trace spec that streams ops straight to disk.
 
 use std::collections::HashMap;
+use std::io;
 use std::sync::Mutex;
 use std::sync::OnceLock;
 
 use fpraker_dnn::{models, train_and_sample, Engine};
 use fpraker_num::reference::SplitMix64;
 use fpraker_num::Bf16;
-use fpraker_trace::{Phase, TensorKind, Trace, TraceOp};
+use fpraker_trace::{codec, Phase, TensorKind, Trace, TraceOp};
 
 /// The models to benchmark: `FPRAKER_MODELS` (comma separated) or all nine
 /// Table I analogues.
@@ -134,9 +136,119 @@ pub fn many_small_ops_bench_trace() -> Trace {
     tr
 }
 
+/// A parameterized synthetic GEMM trace that can be generated **op by
+/// op**: each op is seeded from `(seed, index)` alone, so a trace of any
+/// length streams to disk through the incremental [`codec::Writer`]
+/// without ever materializing a `Trace`. Used by the `tracegen` binary
+/// and the `fpraker/stream_*` benchmark.
+#[derive(Clone, Debug)]
+pub struct SyntheticTraceSpec {
+    /// Model name written to the trace header.
+    pub model: String,
+    /// Number of ops.
+    pub ops: u32,
+    /// Output rows per op.
+    pub m: usize,
+    /// Output columns per op.
+    pub n: usize,
+    /// Reduction length per op.
+    pub k: usize,
+    /// Fraction of operand values forced to zero.
+    pub zero_fraction: f64,
+    /// Base seed; each op derives its own generator from `(seed, index)`.
+    pub seed: u64,
+}
+
+impl SyntheticTraceSpec {
+    /// The spec the `stream` benchmark uses: enough small-GEMM ops that a
+    /// bounded window is visibly smaller than the trace.
+    pub fn stream_bench(ops: u32) -> Self {
+        SyntheticTraceSpec {
+            model: "stream-bench".into(),
+            ops,
+            m: 16,
+            n: 16,
+            k: 32,
+            zero_fraction: 0.4,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Generates op `index` (deterministic; independent of the other ops).
+    pub fn op(&self, index: u32) -> TraceOp {
+        let mut rng = SplitMix64::new(self.seed ^ (u64::from(index) + 1).wrapping_mul(0x9E37_79B9));
+        let gen = |rng: &mut SplitMix64, count: usize| -> Vec<Bf16> {
+            (0..count)
+                .map(|_| {
+                    if rng.next_f64() < self.zero_fraction {
+                        Bf16::ZERO
+                    } else {
+                        rng.bf16_in_range(3)
+                    }
+                })
+                .collect()
+        };
+        TraceOp {
+            layer: format!("syn{}", index % 8),
+            phase: [Phase::AxW, Phase::GxW, Phase::AxG][(index % 3) as usize],
+            m: self.m,
+            n: self.n,
+            k: self.k,
+            a: gen(&mut rng, self.m * self.k),
+            b: gen(&mut rng, self.n * self.k),
+            a_kind: TensorKind::Activation,
+            b_kind: TensorKind::Weight,
+            a_dup: 1.0,
+            b_dup: 1.0,
+            out_dup: 1.0,
+        }
+    }
+
+    /// Total MACs of the whole trace.
+    pub fn macs(&self) -> u64 {
+        u64::from(self.ops) * (self.m * self.n * self.k) as u64
+    }
+
+    /// Streams the trace into `w` through the incremental writer, one op
+    /// resident at a time. Returns the number of ops written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_to<W: io::Write>(&self, w: W) -> io::Result<u32> {
+        let mut writer = codec::Writer::new(w, &self.model, 50, self.ops)?;
+        for i in 0..self.ops {
+            writer.write_op(&self.op(i))?;
+        }
+        writer.finish()?;
+        Ok(self.ops)
+    }
+
+    /// Materializes the whole trace in memory (the comparison path for
+    /// the streaming benchmark and tests).
+    pub fn trace(&self) -> Trace {
+        let mut tr = Trace::new(self.model.clone(), 50);
+        tr.ops = (0..self.ops).map(|i| self.op(i)).collect();
+        tr
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn synthetic_spec_streams_exactly_its_materialized_trace() {
+        let spec = SyntheticTraceSpec::stream_bench(7);
+        let mut bytes = Vec::new();
+        assert_eq!(spec.write_to(&mut bytes).unwrap(), 7);
+        let decoded = codec::decode(&bytes).unwrap();
+        assert_eq!(decoded, spec.trace());
+        assert_eq!(decoded.macs(), spec.macs());
+        // Index-seeded generation: the same op twice is the same op.
+        assert_eq!(spec.op(3), spec.op(3));
+        assert_ne!(spec.op(3).a, spec.op(4).a);
+    }
 
     #[test]
     fn many_small_ops_trace_is_deterministic_and_small_per_op() {

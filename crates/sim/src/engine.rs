@@ -18,19 +18,22 @@
 //! ```
 
 use fpraker_core::{BaselineMachine, FpRakerMachine, MachineModel};
-use fpraker_trace::Trace;
+use fpraker_trace::{DecodeError, Trace, TraceSource};
 
 use crate::config::AcceleratorConfig;
 use crate::op::resolve_threads;
-use crate::run::{Machine, RunResult};
+use crate::run::{Machine, RunResult, StreamRun};
 use crate::sched;
 
 /// A reusable, parallel trace-simulation engine.
 ///
-/// One engine value is a worker budget; [`Engine::run`] spawns a worker
-/// pool once per call and schedules every `(op, block-range)` work unit of
-/// the trace across it, so traces of many small GEMMs parallelize as well
-/// as one large GEMM.
+/// One engine value is a worker budget (plus a streaming window, see
+/// [`Engine::stream_window`]); [`Engine::run`] spawns a worker pool once
+/// per call and schedules every `(op, block-range)` work unit of the
+/// trace across it, so traces of many small GEMMs parallelize as well as
+/// one large GEMM. [`Engine::run_source`] is the same engine fed by a
+/// [`TraceSource`] under a bounded in-flight op window, for traces larger
+/// than RAM.
 ///
 /// ```
 /// use fpraker_sim::Engine;
@@ -41,12 +44,16 @@ use crate::sched;
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Engine {
     threads: usize,
+    window: usize,
 }
 
 impl Engine {
     /// An engine using one worker per available core.
     pub fn new() -> Self {
-        Engine { threads: 0 }
+        Engine {
+            threads: 0,
+            window: 0,
+        }
     }
 
     /// An engine with an explicit worker budget.
@@ -69,7 +76,37 @@ impl Engine {
     /// assert_eq!(Engine::with_threads(1).resolved_threads(), 1);
     /// ```
     pub fn with_threads(threads: usize) -> Self {
-        Engine { threads }
+        Engine { threads, window: 0 }
+    }
+
+    /// Sets the streaming window: the maximum number of ops
+    /// [`Engine::run_source`] keeps in flight (decoded and planned but
+    /// not yet folded). This bounds peak operand memory at `window` ops
+    /// regardless of trace length. `0` (the default) resolves to twice
+    /// the worker budget — enough look-ahead to keep the pool fed — and
+    /// any explicit value is clamped to at least 1. The window never
+    /// affects simulated results, only memory and wall-clock.
+    ///
+    /// ```
+    /// use fpraker_sim::Engine;
+    ///
+    /// let engine = Engine::with_threads(4).stream_window(8);
+    /// assert_eq!(engine.resolved_window(), 8);
+    /// assert_eq!(Engine::with_threads(4).resolved_window(), 8); // auto: 2× workers
+    /// ```
+    pub fn stream_window(mut self, window: usize) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// The in-flight op window [`Engine::run_source`] will use, after
+    /// resolving the `0` (auto) setting to twice the worker budget.
+    pub fn resolved_window(&self) -> usize {
+        if self.window == 0 {
+            (2 * self.resolved_threads()).max(2)
+        } else {
+            self.window.max(1)
+        }
     }
 
     /// The engine's worker budget after resolving `0` to the available
@@ -156,6 +193,73 @@ impl Engine {
             machine: label,
             ops: sched::simulate_ops_scheduled::<M>(&trace.ops, cfg, self.threads),
         }
+    }
+
+    /// Simulates a [`TraceSource`] on one of the built-in machines under
+    /// a bounded in-flight op window: ops are planned as they are
+    /// decoded and their operand buffers are dropped once folded, so peak
+    /// memory is [`Engine::resolved_window`] ops regardless of trace
+    /// length. The [`RunResult`] is **bit-identical** to
+    /// [`Engine::run`] on the equivalent in-memory trace, at every worker
+    /// count and window size.
+    ///
+    /// ```
+    /// use fpraker_sim::{AcceleratorConfig, Engine, Machine};
+    /// use fpraker_trace::{codec, Trace};
+    ///
+    /// let bytes = codec::encode(&Trace::new("empty", 0));
+    /// let reader = codec::Reader::new(&bytes[..]).unwrap();
+    /// let run = Engine::with_threads(2)
+    ///     .run_source(Machine::FpRaker, reader, &AcceleratorConfig::fpraker_paper())
+    ///     .unwrap();
+    /// assert_eq!(run.result.cycles(), 0);
+    /// assert_eq!(run.peak_resident_ops, 0);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates the source's [`DecodeError`] (truncated or corrupt
+    /// stream); outcomes of ops decoded before the error are discarded.
+    pub fn run_source<S: TraceSource>(
+        &self,
+        machine: Machine,
+        source: S,
+        cfg: &AcceleratorConfig,
+    ) -> Result<StreamRun, DecodeError> {
+        match machine {
+            Machine::FpRaker => self.stream_source_with::<FpRakerMachine, S>(machine, source, cfg),
+            Machine::Baseline => {
+                self.stream_source_with::<BaselineMachine, S>(machine, source, cfg)
+            }
+        }
+    }
+
+    /// [`Engine::run_source`] for any [`MachineModel`] — the streaming
+    /// counterpart of [`Engine::simulate_trace_with`], with the same
+    /// `label` semantics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the source's [`DecodeError`].
+    pub fn stream_source_with<M: MachineModel, S: TraceSource>(
+        &self,
+        label: Machine,
+        mut source: S,
+        cfg: &AcceleratorConfig,
+    ) -> Result<StreamRun, DecodeError> {
+        let sched = sched::simulate_source_scheduled::<M, _>(
+            &mut source,
+            cfg,
+            self.threads,
+            self.resolved_window(),
+        )?;
+        Ok(StreamRun {
+            result: RunResult {
+                machine: label,
+                ops: sched.outcomes,
+            },
+            peak_resident_ops: sched.peak_resident_ops,
+        })
     }
 }
 

@@ -24,6 +24,11 @@
 //!   pool ([`Engine`]): ops and blocks fan out *together*, with a
 //!   fixed-order unsigned reduction so results are **bit-identical for
 //!   every worker count**;
+//! * streaming: [`Engine::run_source`] drives the same scheduler from any
+//!   [`fpraker_trace::TraceSource`] (e.g. an incremental
+//!   `fpraker_trace::codec::Reader` over a file) under a bounded
+//!   in-flight op window, so traces far larger than RAM simulate in
+//!   bounded memory with bit-identical results;
 //! * golden-value checking against the exact `f64` reference;
 //! * off-chip traffic (optionally BDC-compressed) overlapped with compute,
 //!   and the event counts the energy model consumes.
@@ -77,7 +82,9 @@ pub use engine::Engine;
 pub use fpraker_core::{
     BaselineMachine, FpRakerMachine, MachineBlock, MachineEvents, MachineModel,
 };
+pub use fpraker_trace::{DecodeError, TraceSource};
 pub use op::{pe_dot_with_reference, simulate_op, OpOutcome};
 pub use run::{
-    energy_efficiency, simulate_trace_baseline, simulate_trace_fpraker, speedup, Machine, RunResult,
+    energy_efficiency, simulate_trace_baseline, simulate_trace_fpraker, speedup, Machine,
+    RunResult, StreamRun,
 };

@@ -213,6 +213,23 @@ pub(crate) fn plan_op<'a>(op: &'a TraceOp, cfg: &AcceleratorConfig) -> OpPlan<'a
     } else {
         Cow::Owned(op.swapped())
     };
+    plan_resolved(op, cfg)
+}
+
+/// [`plan_op`] for an op the caller owns (the streaming path): a serial
+/// policy swap moves the operand buffers instead of cloning them, and the
+/// resulting plan has no borrow tying it to a trace.
+pub(crate) fn plan_owned_op(op: TraceOp, cfg: &AcceleratorConfig) -> OpPlan<'static> {
+    let op = if serial_is_a(&op, cfg) {
+        op
+    } else {
+        op.into_swapped()
+    };
+    plan_resolved(Cow::Owned(op), cfg)
+}
+
+/// The serial-policy-independent tail of planning: θ override + tiling.
+fn plan_resolved<'a>(op: Cow<'a, TraceOp>, cfg: &AcceleratorConfig) -> OpPlan<'a> {
     let mut tile_cfg = cfg.tile;
     if let Some(theta) = cfg.theta_for(&op.layer) {
         tile_cfg.pe.accum = AccumConfig {
@@ -554,6 +571,28 @@ mod tests {
         // Two k-sets per PE over one block: 64 PEs * 2 sets.
         assert_eq!(out.stats.sets, 128);
         assert_eq!(out.counts.a_values_encoded, 128 / 8 * 8);
+    }
+
+    #[test]
+    fn owned_and_borrowed_plans_agree() {
+        // The streaming path plans owned ops; it must produce the same
+        // resolved op and tiling as the borrowed in-memory planner, under
+        // a value-dependent serial policy.
+        let mut op = random_op(16, 12, 16, 3, 10);
+        for v in &mut op.b {
+            *v = Bf16::from_parts(v.sign(), v.exponent(), 0x80); // B sparser
+        }
+        let cfg = AcceleratorConfig {
+            serial_policy: SerialPolicy::Sparser,
+            ..small_cfg(2)
+        };
+        let borrowed = plan_op(&op, &cfg);
+        let owned = plan_owned_op(op.clone(), &cfg);
+        assert_eq!(&*borrowed.op, &*owned.op);
+        assert_eq!(borrowed.blocks, owned.blocks);
+        assert_eq!(borrowed.blocks_n, owned.blocks_n);
+        assert_eq!(borrowed.ksets, owned.ksets);
+        assert_eq!(borrowed.k_padded, owned.k_padded);
     }
 
     #[test]

@@ -128,6 +128,23 @@ impl RunResult {
     }
 }
 
+/// The result of a streamed simulation ([`Engine::run_source`]): the
+/// ordinary [`RunResult`] plus what streaming adds — how much of the
+/// trace was ever resident.
+///
+/// The embedded result is bit-identical to running the same trace fully
+/// loaded; `peak_resident_ops` is the evidence the run was actually
+/// bounded (`crates/sim/tests/streaming.rs` pins both).
+#[derive(Clone, Debug)]
+pub struct StreamRun {
+    /// The simulated execution, identical to the in-memory path's.
+    pub result: RunResult,
+    /// Most ops simultaneously in flight (decoded and planned but not
+    /// yet folded) — bounded by [`Engine::resolved_window`], however long
+    /// the trace.
+    pub peak_resident_ops: usize,
+}
+
 /// Simulates a trace on the FPRaker accelerator with a default (one worker
 /// per core) [`Engine`].
 pub fn simulate_trace_fpraker(trace: &Trace, cfg: &AcceleratorConfig) -> RunResult {

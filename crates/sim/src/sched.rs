@@ -23,16 +23,33 @@
 //! count** — scheduling only ever moves wall-clock time, never simulated
 //! results. `crates/sim/tests/determinism.rs` and
 //! `crates/sim/tests/scheduler.rs` pin this invariant.
+//!
+//! # Streaming: the bounded in-flight op window
+//!
+//! The plan-everything-up-front pipeline above needs the whole trace in
+//! memory. [`simulate_source_scheduled`] is the same three stages driven
+//! by any [`TraceSource`] under a **bounded window** of in-flight ops:
+//! the calling thread decodes and plans ops only while fewer than
+//! `window` are in flight, workers execute their block-range units, and
+//! ops are folded (and their operand buffers dropped) in trace order as
+//! soon as their last unit finishes. Peak resident operand memory is
+//! `window` ops, whatever the trace length — the fold order and the
+//! unsigned merges are unchanged, so streamed results are bit-identical
+//! to the in-memory path at every worker count
+//! (`crates/sim/tests/streaming.rs`).
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 
 use fpraker_core::MachineModel;
-use fpraker_trace::TraceOp;
+use fpraker_trace::{DecodeError, TraceOp, TraceSource};
 
 use crate::config::AcceleratorConfig;
-use crate::op::{finish_op, plan_op, resolve_threads, run_unit, BlockAccum, OpOutcome, OpPlan};
+use crate::op::{
+    finish_op, plan_op, plan_owned_op, resolve_threads, run_unit, BlockAccum, OpOutcome, OpPlan,
+};
 
 /// One schedulable unit: a contiguous block range of one op.
 struct WorkUnit {
@@ -177,6 +194,245 @@ pub(crate) fn planned_units(ops: &[TraceOp], cfg: &AcceleratorConfig, budget: us
         .sum()
 }
 
+/// The outcome of a streamed run: per-op outcomes in trace order plus the
+/// observed peak of the in-flight op window.
+#[derive(Debug)]
+pub(crate) struct StreamSchedule {
+    pub(crate) outcomes: Vec<OpOutcome>,
+    /// Most ops simultaneously resident (planned but not yet folded).
+    pub(crate) peak_resident_ops: usize,
+}
+
+/// One op in flight on the streaming path: its plan (owning the operand
+/// buffers), one result slot per work unit, and the count of units still
+/// executing. Shared `Arc`-style between the window (which folds it) and
+/// the unit queue (which executes it); the operand buffers are freed when
+/// the last reference drops, right after the op is folded.
+struct InFlightOp {
+    plan: OpPlan<'static>,
+    slots: Vec<Mutex<Option<BlockAccum>>>,
+    remaining: AtomicUsize,
+}
+
+/// One queued work unit of the streaming path.
+struct StreamUnit {
+    op: Arc<InFlightOp>,
+    slot: usize,
+    lo: usize,
+    hi: usize,
+}
+
+/// The streaming pool's shared state: a unit queue the decoder refills and
+/// workers drain, plus the two wakeup channels (workers waiting for units,
+/// the folder waiting for a completed op).
+struct StreamQueue {
+    state: Mutex<StreamQueueState>,
+    work: Condvar,
+    op_done: Condvar,
+}
+
+struct StreamQueueState {
+    units: VecDeque<StreamUnit>,
+    closed: bool,
+}
+
+impl StreamQueue {
+    fn new() -> Self {
+        StreamQueue {
+            state: Mutex::new(StreamQueueState {
+                units: VecDeque::new(),
+                closed: false,
+            }),
+            work: Condvar::new(),
+            op_done: Condvar::new(),
+        }
+    }
+
+    /// Marks the queue closed and wakes every parked worker so the pool
+    /// can drain and exit.
+    fn close(&self) {
+        self.state.lock().expect("queue lock poisoned").closed = true;
+        self.work.notify_all();
+    }
+}
+
+/// Worker loop of the streaming pool: claim a unit, run its block range,
+/// deposit the partial into the unit's slot, and signal the folder when an
+/// op's last unit lands. Exits when the queue is closed and empty.
+fn stream_worker<M: MachineModel>(queue: &StreamQueue, cfg: &AcceleratorConfig) {
+    loop {
+        let unit = {
+            let mut st = queue.state.lock().expect("queue lock poisoned");
+            loop {
+                if let Some(u) = st.units.pop_front() {
+                    break u;
+                }
+                if st.closed {
+                    return;
+                }
+                st = queue.work.wait(st).expect("queue lock poisoned");
+            }
+        };
+        let acc = run_unit::<M>(&unit.op.plan, cfg, unit.lo, unit.hi);
+        *unit.op.slots[unit.slot].lock().expect("slot lock poisoned") = Some(acc);
+        if unit.op.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last unit of this op: wake the folder. Taking the state lock
+            // orders the notify after the folder's wait, so no wakeup is
+            // lost.
+            let _guard = queue.state.lock().expect("queue lock poisoned");
+            queue.op_done.notify_all();
+        }
+    }
+}
+
+/// Plans one decoded op, splits it into work units (same chunking as
+/// [`build_units`]) and enqueues them.
+fn enqueue_op(
+    op: TraceOp,
+    cfg: &AcceleratorConfig,
+    budget: usize,
+    queue: &StreamQueue,
+) -> Arc<InFlightOp> {
+    let plan = plan_owned_op(op, cfg);
+    let chunk = if plan.blocks == 0 {
+        0
+    } else {
+        plan.blocks.div_ceil(budget).max(1)
+    };
+    let mut ranges = Vec::new();
+    let mut lo = 0;
+    while lo < plan.blocks {
+        let hi = (lo + chunk).min(plan.blocks);
+        ranges.push((lo, hi));
+        lo = hi;
+    }
+    let in_flight = Arc::new(InFlightOp {
+        plan,
+        slots: ranges.iter().map(|_| Mutex::new(None)).collect(),
+        remaining: AtomicUsize::new(ranges.len()),
+    });
+    {
+        let mut st = queue.state.lock().expect("queue lock poisoned");
+        for (slot, &(lo, hi)) in ranges.iter().enumerate() {
+            st.units.push_back(StreamUnit {
+                op: Arc::clone(&in_flight),
+                slot,
+                lo,
+                hi,
+            });
+        }
+    }
+    queue.work.notify_all();
+    in_flight
+}
+
+/// The decoder+folder loop of the streaming path, run on the calling
+/// thread while the pool executes units. Keeps at most `window` ops in
+/// flight; folds ops in trace order as their last unit completes.
+fn pump_source<M: MachineModel, S: TraceSource>(
+    source: &mut S,
+    cfg: &AcceleratorConfig,
+    queue: &StreamQueue,
+    budget: usize,
+    window: usize,
+) -> Result<StreamSchedule, DecodeError> {
+    let mut in_flight: VecDeque<Arc<InFlightOp>> = VecDeque::new();
+    let mut outcomes = Vec::new();
+    let mut peak = 0usize;
+    let mut drained = false;
+    loop {
+        // Refill: decode and plan ahead while the window has room.
+        while !drained && in_flight.len() < window {
+            match source.next_op()? {
+                Some(op) => {
+                    in_flight.push_back(enqueue_op(op, cfg, budget, queue));
+                    peak = peak.max(in_flight.len());
+                }
+                None => drained = true,
+            }
+        }
+        // Fold: wait for the front op (trace order) to finish, merge its
+        // unit partials in block order, and drop its operand buffers.
+        let Some(front) = in_flight.front() else {
+            debug_assert!(drained);
+            break;
+        };
+        {
+            let mut st = queue.state.lock().expect("queue lock poisoned");
+            while front.remaining.load(Ordering::Acquire) != 0 {
+                st = queue.op_done.wait(st).expect("queue lock poisoned");
+            }
+        }
+        let done = in_flight.pop_front().expect("front exists");
+        let mut acc = BlockAccum::new(cfg.tiles);
+        for slot in &done.slots {
+            let partial = slot
+                .lock()
+                .expect("slot lock poisoned")
+                .take()
+                .expect("completed op deposited every unit");
+            acc.merge(&partial);
+        }
+        outcomes.push(finish_op::<M>(&done.plan, cfg, acc));
+    }
+    Ok(StreamSchedule {
+        outcomes,
+        peak_resident_ops: peak,
+    })
+}
+
+/// Simulates every op of a [`TraceSource`] under one shared worker budget
+/// and a bounded in-flight op window, returning outcomes in trace order.
+///
+/// `window` is the maximum number of ops simultaneously resident
+/// (clamped to at least 1): the decoder plans ahead only while the window
+/// has room, so peak operand memory is `window` ops regardless of trace
+/// length. With a budget of one worker the source is processed strictly
+/// one op at a time on the calling thread (peak residency 1) — the
+/// sequential reference every other configuration must match bit for bit.
+///
+/// On a decode error the pool is shut down and the error is returned;
+/// outcomes of ops decoded before the error are discarded.
+pub(crate) fn simulate_source_scheduled<M: MachineModel, S: TraceSource>(
+    source: &mut S,
+    cfg: &AcceleratorConfig,
+    threads: usize,
+    window: usize,
+) -> Result<StreamSchedule, DecodeError> {
+    let budget = resolve_threads(threads);
+    let window = window.max(1);
+    if budget <= 1 {
+        let mut outcomes = Vec::new();
+        let mut peak = 0;
+        while let Some(op) = source.next_op()? {
+            peak = 1;
+            let plan = plan_owned_op(op, cfg);
+            let acc = if plan.blocks > 0 {
+                run_unit::<M>(&plan, cfg, 0, plan.blocks)
+            } else {
+                BlockAccum::new(cfg.tiles)
+            };
+            outcomes.push(finish_op::<M>(&plan, cfg, acc));
+        }
+        return Ok(StreamSchedule {
+            outcomes,
+            peak_resident_ops: peak,
+        });
+    }
+
+    let queue = StreamQueue::new();
+    thread::scope(|scope| {
+        for _ in 0..budget {
+            scope.spawn(|| stream_worker::<M>(&queue, cfg));
+        }
+        let run = pump_source::<M, S>(source, cfg, &queue, budget, window);
+        // Always close the queue — also on a decode error — so the pool
+        // drains and the scope's implicit join cannot deadlock.
+        queue.close();
+        run
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,6 +506,108 @@ mod tests {
     fn empty_op_list_yields_no_outcomes() {
         let cfg = AcceleratorConfig::fpraker_paper();
         assert!(simulate_ops_scheduled::<FpRakerMachine>(&[], &cfg, 8).is_empty());
+    }
+
+    /// A source over a pre-built op list, for exercising the streaming
+    /// scheduler without the codec.
+    struct VecSource {
+        ops: Vec<TraceOp>,
+        next: usize,
+    }
+
+    impl TraceSource for VecSource {
+        fn model(&self) -> &str {
+            "vec"
+        }
+        fn progress_pct(&self) -> u32 {
+            0
+        }
+        fn ops_remaining(&self) -> Option<u64> {
+            Some((self.ops.len() - self.next) as u64)
+        }
+        fn next_op(&mut self) -> Result<Option<TraceOp>, DecodeError> {
+            let op = self.ops.get(self.next).cloned();
+            if op.is_some() {
+                self.next += 1;
+            }
+            Ok(op)
+        }
+    }
+
+    #[test]
+    fn streamed_schedule_matches_in_memory_schedule() {
+        let ops = tiny_ops(12);
+        let cfg = AcceleratorConfig::fpraker_paper();
+        let in_memory = simulate_ops_scheduled::<FpRakerMachine>(&ops, &cfg, 1);
+        for (threads, window) in [(1, 1), (2, 2), (4, 3), (8, 64)] {
+            let mut src = VecSource {
+                ops: ops.clone(),
+                next: 0,
+            };
+            let streamed =
+                simulate_source_scheduled::<FpRakerMachine, _>(&mut src, &cfg, threads, window)
+                    .expect("in-memory source cannot fail");
+            assert_eq!(streamed.outcomes.len(), in_memory.len());
+            assert!(streamed.peak_resident_ops <= window.max(1));
+            for (s, m) in streamed.outcomes.iter().zip(&in_memory) {
+                assert_eq!(s.cycles, m.cycles, "{threads} threads window {window}");
+                assert_eq!(s.stats, m.stats);
+                assert_eq!(s.counts, m.counts);
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_empty_source_yields_no_outcomes() {
+        let cfg = AcceleratorConfig::fpraker_paper();
+        let mut src = VecSource {
+            ops: Vec::new(),
+            next: 0,
+        };
+        let out = simulate_source_scheduled::<FpRakerMachine, _>(&mut src, &cfg, 4, 8).unwrap();
+        assert!(out.outcomes.is_empty());
+        assert_eq!(out.peak_resident_ops, 0);
+    }
+
+    /// A source that fails after a few good ops — the pool must shut down
+    /// cleanly (no deadlock, no panic) and surface the error.
+    struct FailingSource {
+        good: Vec<TraceOp>,
+        next: usize,
+    }
+
+    impl TraceSource for FailingSource {
+        fn model(&self) -> &str {
+            "failing"
+        }
+        fn progress_pct(&self) -> u32 {
+            0
+        }
+        fn ops_remaining(&self) -> Option<u64> {
+            None
+        }
+        fn next_op(&mut self) -> Result<Option<TraceOp>, DecodeError> {
+            if self.next < self.good.len() {
+                self.next += 1;
+                Ok(Some(self.good[self.next - 1].clone()))
+            } else {
+                Err(DecodeError::at(99, "synthetic failure"))
+            }
+        }
+    }
+
+    #[test]
+    fn source_errors_propagate_without_deadlocking_the_pool() {
+        let cfg = AcceleratorConfig::fpraker_paper();
+        for threads in [1, 2, 8] {
+            let mut src = FailingSource {
+                good: tiny_ops(5),
+                next: 0,
+            };
+            let err = simulate_source_scheduled::<FpRakerMachine, _>(&mut src, &cfg, threads, 2)
+                .unwrap_err();
+            assert_eq!(err.offset(), 99, "{threads} threads");
+        }
     }
 
     #[test]

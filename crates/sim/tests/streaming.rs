@@ -1,0 +1,201 @@
+//! Streamed-vs-in-memory determinism: simulating a trace through the
+//! streaming path (incremental codec `Reader` → bounded in-flight op
+//! window) must produce a `RunResult` bit-identical to loading the whole
+//! trace and running it, at every worker count — and the window must
+//! actually bound residency (peak resident ops strictly below the trace's
+//! op count).
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+use fpraker_num::reference::SplitMix64;
+use fpraker_num::Bf16;
+use fpraker_sim::{AcceleratorConfig, Engine, Machine, OpOutcome, RunResult};
+use fpraker_trace::{codec, Phase, TensorKind, Trace, TraceOp};
+
+/// A trace mixing large fan-out ops with a tail of tiny GEMMs, the shape
+/// that exercises unit interleaving and the window refill logic.
+fn mixed_trace() -> Trace {
+    let mut rng = SplitMix64::new(0x57E4);
+    let mut tr = Trace::new("streaming", 50);
+    let phases = [Phase::AxW, Phase::GxW, Phase::AxG];
+    for i in 0..20usize {
+        let (m, n, k) = if i % 5 == 0 {
+            (40, 24, 16)
+        } else {
+            (8 + (i % 3) * 4, 8, 8)
+        };
+        let zero_pct = (i % 4) as f64 * 0.2;
+        let gen = |rng: &mut SplitMix64, count: usize| -> Vec<Bf16> {
+            (0..count)
+                .map(|_| {
+                    if rng.next_f64() < zero_pct {
+                        Bf16::ZERO
+                    } else {
+                        rng.bf16_in_range(4)
+                    }
+                })
+                .collect()
+        };
+        tr.ops.push(TraceOp {
+            layer: format!("l{i}"),
+            phase: phases[i % 3],
+            m,
+            n,
+            k,
+            a: gen(&mut rng, m * k),
+            b: gen(&mut rng, n * k),
+            a_kind: TensorKind::Activation,
+            b_kind: TensorKind::Weight,
+            a_dup: 1.0,
+            b_dup: 1.0,
+            out_dup: 1.0,
+        });
+    }
+    tr
+}
+
+fn assert_ops_identical(a: &OpOutcome, b: &OpOutcome, what: &str) {
+    assert_eq!(a.layer, b.layer, "{what}: layer");
+    assert_eq!(a.cycles, b.cycles, "{what}: cycles");
+    assert_eq!(a.compute_cycles, b.compute_cycles, "{what}: compute");
+    assert_eq!(a.mem_cycles, b.mem_cycles, "{what}: memory");
+    assert_eq!(a.stats, b.stats, "{what}: stats");
+    assert_eq!(a.counts, b.counts, "{what}: counts");
+    assert_eq!(a.traffic, b.traffic, "{what}: traffic");
+    assert_eq!(a.sram_bytes, b.sram_bytes, "{what}: sram");
+    assert_eq!(a.golden_failures, b.golden_failures, "{what}: golden");
+}
+
+fn assert_runs_identical(a: &RunResult, b: &RunResult, what: &str) {
+    assert_eq!(a.ops.len(), b.ops.len(), "{what}: op count");
+    for (i, (x, y)) in a.ops.iter().zip(&b.ops).enumerate() {
+        assert_ops_identical(x, y, &format!("{what} op{i}"));
+    }
+}
+
+/// The tentpole invariant: streamed == in-memory, bit for bit, at 1, 2
+/// and 8 workers, under a window far smaller than the trace.
+#[test]
+fn streamed_run_is_bit_identical_to_in_memory_at_1_2_and_8_workers() {
+    let trace = mixed_trace();
+    let bytes = codec::encode(&trace);
+    let mut cfg = AcceleratorConfig::fpraker_paper();
+    cfg.check_golden = true;
+    cfg.tiles = 4;
+    let window = 3;
+    for workers in [1usize, 2, 8] {
+        let engine = Engine::with_threads(workers).stream_window(window);
+        let in_memory = engine.run(Machine::FpRaker, &trace, &cfg);
+        let reader = codec::Reader::new(&bytes[..]).expect("header");
+        let streamed = engine
+            .run_source(Machine::FpRaker, reader, &cfg)
+            .expect("stream");
+        assert_runs_identical(&streamed.result, &in_memory, &format!("{workers} workers"));
+        assert_eq!(streamed.result.golden_failures(), 0);
+        // The window genuinely bounded residency.
+        assert!(
+            streamed.peak_resident_ops <= window,
+            "{workers} workers: peak {} > window {window}",
+            streamed.peak_resident_ops
+        );
+        assert!(
+            streamed.peak_resident_ops < trace.ops.len(),
+            "{workers} workers: whole trace was resident"
+        );
+    }
+}
+
+#[test]
+fn streamed_run_from_disk_matches_in_memory() {
+    let trace = mixed_trace();
+    let path = std::env::temp_dir().join(format!(
+        "fpraker_streaming_test_{}.trace",
+        std::process::id()
+    ));
+    {
+        let file = BufWriter::new(File::create(&path).expect("create"));
+        let mut w = codec::Writer::new(file, &trace.model, trace.progress_pct, 20).expect("header");
+        for op in &trace.ops {
+            w.write_op(op).expect("op");
+        }
+        w.finish().expect("finish");
+    }
+    let cfg = AcceleratorConfig::fpraker_paper();
+    let engine = Engine::with_threads(4).stream_window(2);
+    let reader =
+        codec::Reader::new(BufReader::new(File::open(&path).expect("open"))).expect("header");
+    let streamed = engine
+        .run_source(Machine::FpRaker, reader, &cfg)
+        .expect("stream");
+    std::fs::remove_file(&path).ok();
+    let in_memory = engine.run(Machine::FpRaker, &trace, &cfg);
+    assert_runs_identical(&streamed.result, &in_memory, "disk round-trip");
+    assert!(streamed.peak_resident_ops <= 2);
+}
+
+#[test]
+fn in_memory_trace_source_streams_identically() {
+    let trace = mixed_trace();
+    let cfg = AcceleratorConfig::fpraker_paper();
+    for workers in [1usize, 4] {
+        let engine = Engine::with_threads(workers).stream_window(1);
+        let streamed = engine
+            .run_source(Machine::FpRaker, trace.source(), &cfg)
+            .expect("in-memory source cannot fail");
+        let in_memory = engine.run(Machine::FpRaker, &trace, &cfg);
+        assert_runs_identical(&streamed.result, &in_memory, "Trace::source");
+        assert!(streamed.peak_resident_ops <= 1);
+    }
+}
+
+#[test]
+fn baseline_machine_streams_identically() {
+    let trace = mixed_trace();
+    let cfg = AcceleratorConfig::baseline_paper();
+    let engine = Engine::with_threads(8).stream_window(4);
+    let bytes = codec::encode(&trace);
+    let reader = codec::Reader::new(&bytes[..]).expect("header");
+    let streamed = engine
+        .run_source(Machine::Baseline, reader, &cfg)
+        .expect("stream");
+    let in_memory = engine.run(Machine::Baseline, &trace, &cfg);
+    assert_runs_identical(&streamed.result, &in_memory, "baseline");
+    assert_eq!(streamed.result.machine, Machine::Baseline);
+}
+
+#[test]
+fn truncated_stream_is_an_error_at_every_worker_count() {
+    let trace = mixed_trace();
+    let bytes = codec::encode(&trace);
+    let cfg = AcceleratorConfig::fpraker_paper();
+    // Cut mid-stream: several ops decode fine, then the source fails. The
+    // pool must shut down cleanly and report the error, not hang or panic.
+    let cut = bytes.len() * 2 / 3;
+    for workers in [1usize, 2, 8] {
+        let engine = Engine::with_threads(workers).stream_window(4);
+        let reader = codec::Reader::new(&bytes[..cut]).expect("header survives this cut");
+        let err = engine
+            .run_source(Machine::FpRaker, reader, &cfg)
+            .expect_err("truncated stream must error");
+        assert!(
+            err.to_string().contains("at byte"),
+            "{workers} workers: {err}"
+        );
+    }
+}
+
+#[test]
+fn empty_trace_streams_to_empty_run() {
+    let bytes = codec::encode(&Trace::new("empty", 0));
+    let cfg = AcceleratorConfig::fpraker_paper();
+    let run = Engine::with_threads(4)
+        .run_source(
+            Machine::FpRaker,
+            codec::Reader::new(&bytes[..]).unwrap(),
+            &cfg,
+        )
+        .unwrap();
+    assert_eq!(run.result.cycles(), 0);
+    assert_eq!(run.peak_resident_ops, 0);
+}

@@ -1,15 +1,28 @@
-//! Compact binary serialization for traces.
+//! Compact binary serialization for traces — incremental and in-memory.
 //!
 //! The offline dependency set contains no serde *format* crate, so traces
-//! use a small hand-rolled little-endian codec over [`bytes`]: a magic
-//! header, a version byte, then length-prefixed records. The format is
-//! fuzzed by property tests (arbitrary traces round-trip; corrupted inputs
-//! error rather than panic).
+//! use a small hand-rolled little-endian format: a magic header, a version
+//! byte, the model name, the training progress, a declared op count, then
+//! the ops as length-prefixed records.
+//!
+//! There is exactly **one** codec implementation: the streaming
+//! [`Writer`]/[`Reader`] pair over [`std::io::Write`]/[`std::io::Read`].
+//! The whole-trace [`encode`]/[`decode`] helpers are thin wrappers over
+//! them, so the on-disk format cannot drift between the in-memory and the
+//! streaming paths. [`Reader`] decodes one [`TraceOp`] at a time (it
+//! implements [`crate::TraceSource`]), which is what lets the simulator
+//! process traces much larger than RAM.
+//!
+//! The format is fuzzed by property tests: arbitrary traces round-trip
+//! through `Writer`→`Reader`, and truncating the byte stream at *every*
+//! prefix length yields a [`DecodeError`] (with the byte offset of the
+//! failure), never a panic.
 
 use std::error::Error;
 use std::fmt;
+use std::io;
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::Bytes;
 use fpraker_num::Bf16;
 
 use crate::format::{Phase, TensorKind, Trace, TraceOp};
@@ -19,114 +32,302 @@ pub const MAGIC: &[u8; 4] = b"FPRK";
 /// Current codec version.
 pub const VERSION: u8 = 1;
 
+/// Operand values are written/read through a bounded scratch buffer so a
+/// corrupt header claiming a huge operand cannot force a huge allocation
+/// before the (truncated) input runs out.
+const VALUE_CHUNK: usize = 16 * 1024;
+
 /// Decoding error: the input is not a valid trace of the current version.
+///
+/// Carries the byte offset at which decoding failed, so corrupt files can
+/// be located with a hex dump.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DecodeError {
     message: String,
+    offset: u64,
 }
 
 impl DecodeError {
-    fn new(message: impl Into<String>) -> Self {
+    /// Builds an error located at a byte offset. Public so custom
+    /// [`crate::TraceSource`] implementations outside this crate can
+    /// report their own failures.
+    pub fn at(offset: u64, message: impl Into<String>) -> Self {
         DecodeError {
             message: message.into(),
+            offset,
         }
+    }
+
+    /// The byte offset in the input at which decoding failed.
+    pub fn offset(&self) -> u64 {
+        self.offset
     }
 }
 
 impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid trace encoding: {}", self.message)
+        write!(
+            f,
+            "invalid trace encoding at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
 impl Error for DecodeError {}
 
-/// Serializes a trace.
-pub fn encode(trace: &Trace) -> Bytes {
-    let mut buf = BytesMut::with_capacity(
-        64 + trace
-            .ops
-            .iter()
-            .map(|o| 2 * (o.a.len() + o.b.len()) + 64)
-            .sum::<usize>(),
-    );
-    buf.put_slice(MAGIC);
-    buf.put_u8(VERSION);
-    put_string(&mut buf, &trace.model);
-    buf.put_u32_le(trace.progress_pct);
-    buf.put_u32_le(trace.ops.len() as u32);
-    for op in &trace.ops {
-        put_string(&mut buf, &op.layer);
-        buf.put_u8(op.phase.to_tag());
-        buf.put_u8(op.a_kind.to_tag());
-        buf.put_u8(op.b_kind.to_tag());
-        buf.put_u32_le(op.m as u32);
-        buf.put_u32_le(op.n as u32);
-        buf.put_u32_le(op.k as u32);
-        buf.put_f32_le(op.a_dup);
-        buf.put_f32_le(op.b_dup);
-        buf.put_f32_le(op.out_dup);
-        for v in &op.a {
-            buf.put_u16_le(v.to_bits());
-        }
-        for v in &op.b {
-            buf.put_u16_le(v.to_bits());
-        }
-    }
-    buf.freeze()
+/// Incremental trace serializer over any [`io::Write`].
+///
+/// The header declares the op count up front (the format has no
+/// end-of-stream sentinel), so the writer is constructed with the number
+/// of ops it will receive; [`Writer::finish`] fails if the promise was not
+/// kept. Ops are written one at a time and never retained, so a trace of
+/// any length streams to disk in bounded memory — see the `tracegen`
+/// binary in `fpraker-bench` for a generator built on this.
+///
+/// Writes are not internally buffered; wrap files in
+/// [`std::io::BufWriter`].
+///
+/// ```
+/// use fpraker_trace::{codec, Trace};
+///
+/// let trace = Trace::new("streamed", 10);
+/// let mut out = Vec::new();
+/// let writer = codec::Writer::new(&mut out, &trace.model, 10, 0).unwrap();
+/// writer.finish().unwrap();
+/// assert_eq!(codec::decode(&out).unwrap(), trace);
+/// ```
+pub struct Writer<W: io::Write> {
+    w: W,
+    declared_ops: u32,
+    written_ops: u32,
 }
 
-/// Deserializes a trace.
+impl<W: io::Write> Writer<W> {
+    /// Starts a trace stream: writes the header declaring `ops` upcoming
+    /// ops for model `model` at training progress `progress_pct`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn new(mut w: W, model: &str, progress_pct: u32, ops: u32) -> io::Result<Self> {
+        w.write_all(MAGIC)?;
+        w.write_all(&[VERSION])?;
+        write_string(&mut w, model)?;
+        w.write_all(&progress_pct.to_le_bytes())?;
+        w.write_all(&ops.to_le_bytes())?;
+        Ok(Writer {
+            w,
+            declared_ops: ops,
+            written_ops: 0,
+        })
+    }
+
+    /// Appends one op to the stream.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`io::ErrorKind::InvalidInput`] if the op's operand
+    /// lengths are inconsistent with its dimensions (the reader derives
+    /// lengths from `m`/`n`/`k`, so writing such an op would corrupt the
+    /// stream) or if more ops are written than were declared; otherwise
+    /// propagates I/O errors.
+    pub fn write_op(&mut self, op: &TraceOp) -> io::Result<()> {
+        if self.written_ops == self.declared_ops {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("trace header declared {} ops", self.declared_ops),
+            ));
+        }
+        if let Err(e) = op.validate() {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, e));
+        }
+        write_string(&mut self.w, &op.layer)?;
+        self.w
+            .write_all(&[op.phase.to_tag(), op.a_kind.to_tag(), op.b_kind.to_tag()])?;
+        self.w.write_all(&(op.m as u32).to_le_bytes())?;
+        self.w.write_all(&(op.n as u32).to_le_bytes())?;
+        self.w.write_all(&(op.k as u32).to_le_bytes())?;
+        self.w.write_all(&op.a_dup.to_le_bytes())?;
+        self.w.write_all(&op.b_dup.to_le_bytes())?;
+        self.w.write_all(&op.out_dup.to_le_bytes())?;
+        write_bf16s(&mut self.w, &op.a)?;
+        write_bf16s(&mut self.w, &op.b)?;
+        self.written_ops += 1;
+        Ok(())
+    }
+
+    /// Ends the stream, flushes, and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`io::ErrorKind::InvalidInput`] if fewer ops were
+    /// written than the header declared; otherwise propagates I/O errors.
+    pub fn finish(mut self) -> io::Result<W> {
+        if self.written_ops != self.declared_ops {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "trace header declared {} ops but {} were written",
+                    self.declared_ops, self.written_ops
+                ),
+            ));
+        }
+        self.w.flush()?;
+        Ok(self.w)
+    }
+}
+
+fn write_string<W: io::Write>(w: &mut W, s: &str) -> io::Result<()> {
+    // The format's length prefix is a u16; a longer string would have its
+    // length silently truncated and corrupt everything after it.
+    let len = u16::try_from(s.len()).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("string of {} bytes exceeds the u16 length prefix", s.len()),
+        )
+    })?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(s.as_bytes())
+}
+
+fn write_bf16s<W: io::Write>(w: &mut W, values: &[Bf16]) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(2 * values.len().min(VALUE_CHUNK));
+    for chunk in values.chunks(VALUE_CHUNK) {
+        buf.clear();
+        for v in chunk {
+            buf.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        w.write_all(&buf)?;
+    }
+    Ok(())
+}
+
+/// Incremental trace decoder over any [`io::Read`].
 ///
-/// # Errors
+/// [`Reader::new`] reads and validates the header; [`Reader::next_op`]
+/// then yields one owned [`TraceOp`] at a time until the declared op count
+/// is exhausted, holding only the op currently being decoded in memory.
+/// `Reader` implements [`crate::TraceSource`], so it plugs directly into
+/// `fpraker_sim::Engine::run_source`.
 ///
-/// Returns [`DecodeError`] on wrong magic/version, truncated input, or
-/// inconsistent lengths.
-pub fn decode(mut input: &[u8]) -> Result<Trace, DecodeError> {
-    let buf = &mut input;
-    let mut magic = [0u8; 4];
-    take_exact(buf, &mut magic)?;
-    if &magic != MAGIC {
-        return Err(DecodeError::new("bad magic"));
+/// Reads are not internally buffered; wrap files in
+/// [`std::io::BufReader`].
+///
+/// ```
+/// use fpraker_trace::{codec, Trace};
+///
+/// let bytes = codec::encode(&Trace::new("m", 30));
+/// let mut reader = codec::Reader::new(&bytes[..]).unwrap();
+/// assert_eq!(reader.model(), "m");
+/// assert_eq!(reader.progress_pct(), 30);
+/// assert!(reader.next_op().unwrap().is_none());
+/// ```
+pub struct Reader<R: io::Read> {
+    r: R,
+    offset: u64,
+    model: String,
+    progress_pct: u32,
+    total_ops: u32,
+    read_ops: u32,
+}
+
+impl<R: io::Read> Reader<R> {
+    /// Reads and validates the stream header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] (with the byte offset) on wrong magic or
+    /// version, a truncated header, or an I/O failure.
+    pub fn new(r: R) -> Result<Self, DecodeError> {
+        let mut reader = Reader {
+            r,
+            offset: 0,
+            model: String::new(),
+            progress_pct: 0,
+            total_ops: 0,
+            read_ops: 0,
+        };
+        let mut magic = [0u8; 4];
+        reader.fill(&mut magic, "magic")?;
+        if &magic != MAGIC {
+            return Err(DecodeError::at(0, "bad magic"));
+        }
+        let version = reader.read_u8("version")?;
+        if version != VERSION {
+            return Err(DecodeError::at(
+                reader.offset - 1,
+                format!("unsupported version {version}"),
+            ));
+        }
+        reader.model = reader.read_string("model name")?;
+        reader.progress_pct = reader.read_u32("progress")?;
+        reader.total_ops = reader.read_u32("op count")?;
+        Ok(reader)
     }
-    let version = take_u8(buf)?;
-    if version != VERSION {
-        return Err(DecodeError::new(format!("unsupported version {version}")));
+
+    /// Model name from the header.
+    pub fn model(&self) -> &str {
+        &self.model
     }
-    let model = take_string(buf)?;
-    let progress_pct = take_u32(buf)?;
-    let num_ops = take_u32(buf)? as usize;
-    // Each op needs at least 19 bytes of fixed fields.
-    if num_ops > buf.remaining() / 19 + 1 {
-        return Err(DecodeError::new("op count exceeds input size"));
+
+    /// Training progress (percent) from the header.
+    pub fn progress_pct(&self) -> u32 {
+        self.progress_pct
     }
-    let mut ops = Vec::with_capacity(num_ops);
-    for _ in 0..num_ops {
-        let layer = take_string(buf)?;
-        let phase =
-            Phase::from_tag(take_u8(buf)?).ok_or_else(|| DecodeError::new("bad phase tag"))?;
-        let a_kind =
-            TensorKind::from_tag(take_u8(buf)?).ok_or_else(|| DecodeError::new("bad kind tag"))?;
-        let b_kind =
-            TensorKind::from_tag(take_u8(buf)?).ok_or_else(|| DecodeError::new("bad kind tag"))?;
-        let m = take_u32(buf)? as usize;
-        let n = take_u32(buf)? as usize;
-        let k = take_u32(buf)? as usize;
-        let a_dup = take_f32(buf)?;
-        let b_dup = take_f32(buf)?;
-        let out_dup = take_f32(buf)?;
+
+    /// Total ops the header declared.
+    pub fn total_ops(&self) -> u32 {
+        self.total_ops
+    }
+
+    /// Ops decoded so far.
+    pub fn ops_read(&self) -> u32 {
+        self.read_ops
+    }
+
+    /// Current byte offset into the stream.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Decodes the next op, or `Ok(None)` once the declared op count has
+    /// been read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on truncated input, invalid tags or
+    /// inconsistent lengths, reporting the byte offset of the failure.
+    pub fn next_op(&mut self) -> Result<Option<TraceOp>, DecodeError> {
+        if self.read_ops == self.total_ops {
+            return Ok(None);
+        }
+        let layer = self.read_string("layer name")?;
+        let at = self.offset;
+        let phase = Phase::from_tag(self.read_u8("phase tag")?)
+            .ok_or_else(|| DecodeError::at(at, "bad phase tag"))?;
+        let at = self.offset;
+        let a_kind = TensorKind::from_tag(self.read_u8("kind tag")?)
+            .ok_or_else(|| DecodeError::at(at, "bad kind tag"))?;
+        let at = self.offset;
+        let b_kind = TensorKind::from_tag(self.read_u8("kind tag")?)
+            .ok_or_else(|| DecodeError::at(at, "bad kind tag"))?;
+        let m = self.read_u32("m")? as usize;
+        let n = self.read_u32("n")? as usize;
+        let k = self.read_u32("k")? as usize;
+        let a_dup = self.read_f32("a_dup")?;
+        let b_dup = self.read_f32("b_dup")?;
+        let out_dup = self.read_f32("out_dup")?;
         let a_len = m
             .checked_mul(k)
-            .ok_or_else(|| DecodeError::new("operand size overflow"))?;
+            .ok_or_else(|| DecodeError::at(self.offset, "operand size overflow"))?;
         let b_len = n
             .checked_mul(k)
-            .ok_or_else(|| DecodeError::new("operand size overflow"))?;
-        if buf.remaining() < 2 * (a_len + b_len) {
-            return Err(DecodeError::new("truncated operand data"));
-        }
-        let a = take_bf16s(buf, a_len)?;
-        let b = take_bf16s(buf, b_len)?;
-        ops.push(TraceOp {
+            .ok_or_else(|| DecodeError::at(self.offset, "operand size overflow"))?;
+        let a = self.read_bf16s(a_len, "A operand")?;
+        let b = self.read_bf16s(b_len, "B operand")?;
+        self.read_ops += 1;
+        Ok(Some(TraceOp {
             layer,
             phase,
             m,
@@ -139,70 +340,130 @@ pub fn decode(mut input: &[u8]) -> Result<Trace, DecodeError> {
             a_dup,
             b_dup,
             out_dup,
-        });
+        }))
     }
-    if buf.has_remaining() {
-        return Err(DecodeError::new("trailing bytes"));
+
+    /// Returns the underlying reader (positioned after the last op read).
+    pub fn into_inner(self) -> R {
+        self.r
+    }
+
+    fn fill(&mut self, out: &mut [u8], what: &str) -> Result<(), DecodeError> {
+        let at = self.offset;
+        self.r.read_exact(out).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                DecodeError::at(at, format!("unexpected end of input while reading {what}"))
+            } else {
+                DecodeError::at(at, format!("io error while reading {what}: {e}"))
+            }
+        })?;
+        self.offset += out.len() as u64;
+        Ok(())
+    }
+
+    fn read_u8(&mut self, what: &str) -> Result<u8, DecodeError> {
+        let mut b = [0u8; 1];
+        self.fill(&mut b, what)?;
+        Ok(b[0])
+    }
+
+    fn read_u32(&mut self, what: &str) -> Result<u32, DecodeError> {
+        let mut b = [0u8; 4];
+        self.fill(&mut b, what)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn read_f32(&mut self, what: &str) -> Result<f32, DecodeError> {
+        let mut b = [0u8; 4];
+        self.fill(&mut b, what)?;
+        Ok(f32::from_le_bytes(b))
+    }
+
+    fn read_string(&mut self, what: &str) -> Result<String, DecodeError> {
+        let mut b = [0u8; 2];
+        self.fill(&mut b, what)?;
+        let len = u16::from_le_bytes(b) as usize;
+        let at = self.offset;
+        let mut bytes = vec![0u8; len];
+        self.fill(&mut bytes, what)?;
+        String::from_utf8(bytes).map_err(|_| DecodeError::at(at, format!("{what}: invalid utf-8")))
+    }
+
+    /// Reads `n` bf16 values through a bounded scratch buffer, so the
+    /// allocation grows only as data actually arrives.
+    fn read_bf16s(&mut self, n: usize, what: &str) -> Result<Vec<Bf16>, DecodeError> {
+        let mut out = Vec::new();
+        let mut buf = [0u8; 2 * VALUE_CHUNK];
+        let mut remaining = n;
+        while remaining > 0 {
+            let take = remaining.min(VALUE_CHUNK);
+            self.fill(&mut buf[..2 * take], what)?;
+            out.reserve(take);
+            for pair in buf[..2 * take].chunks_exact(2) {
+                out.push(Bf16::from_bits(u16::from_le_bytes([pair[0], pair[1]])));
+            }
+            remaining -= take;
+        }
+        Ok(out)
+    }
+}
+
+/// Serializes a whole in-memory trace — a thin wrapper over [`Writer`].
+///
+/// # Panics
+///
+/// Panics if an op's operand lengths are inconsistent with its dimensions
+/// (see [`TraceOp::validate`]); such an op has no valid encoding.
+pub fn encode(trace: &Trace) -> Bytes {
+    let mut out = Vec::with_capacity(
+        64 + trace
+            .ops
+            .iter()
+            .map(|o| 2 * (o.a.len() + o.b.len()) + 64)
+            .sum::<usize>(),
+    );
+    let mut writer = Writer::new(
+        &mut out,
+        &trace.model,
+        trace.progress_pct,
+        trace.ops.len() as u32,
+    )
+    .expect("writing to a Vec cannot fail");
+    for op in &trace.ops {
+        writer.write_op(op).expect("trace op must be encodable");
+    }
+    writer.finish().expect("declared op count was honored");
+    Bytes::from(out)
+}
+
+/// Deserializes a whole trace — a thin wrapper over [`Reader`].
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on wrong magic/version, truncated input,
+/// inconsistent lengths, or trailing bytes, reporting the byte offset of
+/// the failure.
+pub fn decode(input: &[u8]) -> Result<Trace, DecodeError> {
+    let mut slice = input;
+    let mut reader = Reader::new(&mut slice)?;
+    let mut ops = Vec::new();
+    while let Some(op) = reader.next_op()? {
+        ops.push(op);
+    }
+    let model = reader.model().to_string();
+    let progress_pct = reader.progress_pct();
+    drop(reader);
+    if !slice.is_empty() {
+        return Err(DecodeError::at(
+            (input.len() - slice.len()) as u64,
+            format!("{} trailing bytes", slice.len()),
+        ));
     }
     Ok(Trace {
         model,
         progress_pct,
         ops,
     })
-}
-
-fn put_string(buf: &mut BytesMut, s: &str) {
-    buf.put_u16_le(s.len() as u16);
-    buf.put_slice(s.as_bytes());
-}
-
-fn take_exact(buf: &mut &[u8], out: &mut [u8]) -> Result<(), DecodeError> {
-    if buf.remaining() < out.len() {
-        return Err(DecodeError::new("unexpected end of input"));
-    }
-    buf.copy_to_slice(out);
-    Ok(())
-}
-
-fn take_u8(buf: &mut &[u8]) -> Result<u8, DecodeError> {
-    if !buf.has_remaining() {
-        return Err(DecodeError::new("unexpected end of input"));
-    }
-    Ok(buf.get_u8())
-}
-
-fn take_u32(buf: &mut &[u8]) -> Result<u32, DecodeError> {
-    if buf.remaining() < 4 {
-        return Err(DecodeError::new("unexpected end of input"));
-    }
-    Ok(buf.get_u32_le())
-}
-
-fn take_f32(buf: &mut &[u8]) -> Result<f32, DecodeError> {
-    if buf.remaining() < 4 {
-        return Err(DecodeError::new("unexpected end of input"));
-    }
-    Ok(buf.get_f32_le())
-}
-
-fn take_string(buf: &mut &[u8]) -> Result<String, DecodeError> {
-    if buf.remaining() < 2 {
-        return Err(DecodeError::new("unexpected end of input"));
-    }
-    let len = buf.get_u16_le() as usize;
-    if buf.remaining() < len {
-        return Err(DecodeError::new("truncated string"));
-    }
-    let mut bytes = vec![0u8; len];
-    buf.copy_to_slice(&mut bytes);
-    String::from_utf8(bytes).map_err(|_| DecodeError::new("invalid utf-8"))
-}
-
-fn take_bf16s(buf: &mut &[u8], n: usize) -> Result<Vec<Bf16>, DecodeError> {
-    if buf.remaining() < 2 * n {
-        return Err(DecodeError::new("truncated bf16 array"));
-    }
-    Ok((0..n).map(|_| Bf16::from_bits(buf.get_u16_le())).collect())
 }
 
 #[cfg(test)]
@@ -261,6 +522,89 @@ mod tests {
     }
 
     #[test]
+    fn streaming_writer_matches_encode_byte_for_byte() {
+        let tr = sample_trace();
+        let mut streamed = Vec::new();
+        let mut w = Writer::new(
+            &mut streamed,
+            &tr.model,
+            tr.progress_pct,
+            tr.ops.len() as u32,
+        )
+        .expect("header");
+        for op in &tr.ops {
+            w.write_op(op).expect("op");
+        }
+        w.finish().expect("finish");
+        assert_eq!(streamed, encode(&tr).to_vec());
+    }
+
+    #[test]
+    fn incremental_reader_round_trips() {
+        let tr = sample_trace();
+        let bytes = encode(&tr);
+        let mut r = Reader::new(&bytes[..]).expect("header");
+        assert_eq!(r.model(), tr.model);
+        assert_eq!(r.progress_pct(), tr.progress_pct);
+        assert_eq!(r.total_ops(), tr.ops.len() as u32);
+        for (i, want) in tr.ops.iter().enumerate() {
+            assert_eq!(r.ops_read(), i as u32);
+            let got = r.next_op().expect("op").expect("present");
+            assert_eq!(&got, want);
+        }
+        assert_eq!(r.next_op().unwrap(), None);
+        assert_eq!(r.next_op().unwrap(), None, "exhausted reader stays None");
+    }
+
+    #[test]
+    fn writer_rejects_more_ops_than_declared() {
+        let tr = sample_trace();
+        let mut out = Vec::new();
+        let mut w = Writer::new(&mut out, "m", 0, 1).unwrap();
+        w.write_op(&tr.ops[0]).unwrap();
+        let err = w.write_op(&tr.ops[1]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn finish_rejects_fewer_ops_than_declared() {
+        let mut out = Vec::new();
+        let w = Writer::new(&mut out, "m", 0, 3).unwrap();
+        let err = w.finish().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("declared 3 ops"));
+    }
+
+    #[test]
+    fn writer_rejects_strings_longer_than_the_length_prefix() {
+        let long = "x".repeat(usize::from(u16::MAX) + 1);
+        let err = match Writer::new(Vec::new(), &long, 0, 0) {
+            Err(e) => e,
+            Ok(_) => panic!("oversized model name accepted"),
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        let mut op = sample_trace().ops.remove(0);
+        op.layer = long;
+        let mut w = Writer::new(Vec::new(), "m", 0, 1).unwrap();
+        assert_eq!(
+            w.write_op(&op).unwrap_err().kind(),
+            io::ErrorKind::InvalidInput
+        );
+    }
+
+    #[test]
+    fn writer_rejects_inconsistent_ops() {
+        let mut op = sample_trace().ops.remove(0);
+        op.a.pop();
+        let mut out = Vec::new();
+        let mut w = Writer::new(&mut out, "m", 0, 1).unwrap();
+        assert_eq!(
+            w.write_op(&op).unwrap_err().kind(),
+            io::ErrorKind::InvalidInput
+        );
+    }
+
+    #[test]
     fn bad_magic_is_rejected() {
         let mut bytes = encode(&sample_trace()).to_vec();
         bytes[0] = b'X';
@@ -273,6 +617,7 @@ mod tests {
         bytes[4] = 99;
         let err = decode(&bytes).unwrap_err();
         assert!(err.to_string().contains("version"));
+        assert_eq!(err.offset(), 4);
     }
 
     #[test]
@@ -284,10 +629,21 @@ mod tests {
     }
 
     #[test]
+    fn decode_errors_carry_the_byte_offset() {
+        let bytes = encode(&sample_trace());
+        let cut = bytes.len() / 2;
+        let err = decode(&bytes[..cut]).unwrap_err();
+        assert!(err.offset() <= cut as u64);
+        assert!(err.to_string().contains("at byte"), "{err}");
+    }
+
+    #[test]
     fn trailing_garbage_is_rejected() {
         let mut bytes = encode(&sample_trace()).to_vec();
         bytes.push(0);
-        assert!(decode(&bytes).is_err());
+        let err = decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+        assert_eq!(err.offset(), (bytes.len() - 1) as u64);
     }
 
     #[test]
@@ -298,6 +654,7 @@ mod tests {
         let off = 4 + 1 + 2 + tr.model.len() + 4 + 4 + 2 + 5;
         let mut bad = bytes.clone();
         bad[off] = 200;
-        assert!(decode(&bad).is_err());
+        let err = decode(&bad).unwrap_err();
+        assert_eq!(err.offset(), off as u64);
     }
 }

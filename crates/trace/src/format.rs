@@ -190,14 +190,22 @@ impl TraceOp {
     /// serially per layer"). The represented GEMM output is transposed,
     /// which leaves cycle and energy totals meaningful.
     pub fn swapped(&self) -> TraceOp {
+        self.clone().into_swapped()
+    }
+
+    /// [`TraceOp::swapped`] by value: swaps the operands without cloning
+    /// the operand buffers. This is what the streaming simulation path
+    /// uses, so a serial-policy swap of an op decoded from disk never
+    /// duplicates its tensors.
+    pub fn into_swapped(self) -> TraceOp {
         TraceOp {
-            layer: self.layer.clone(),
+            layer: self.layer,
             phase: self.phase,
             m: self.n,
             n: self.m,
             k: self.k,
-            a: self.b.clone(),
-            b: self.a.clone(),
+            a: self.b,
+            b: self.a,
             a_kind: self.b_kind,
             b_kind: self.a_kind,
             a_dup: self.b_dup,

@@ -7,20 +7,32 @@
 //! * [`Trace`] / [`TraceOp`] — a sampled training step as a sequence of
 //!   GEMMs with full bfloat16 operands, tagged by training phase and tensor
 //!   kind;
-//! * [`codec`] — a compact binary serialization (hand-rolled; the offline
-//!   dependency set has no serde format crate);
+//! * [`TraceSource`] — a trace as a *stream* of ops (header + fallible
+//!   iterator of owned ops), the contract that lets the simulator and the
+//!   statistics process traces larger than RAM;
+//! * [`codec`] — the binary serialization: an incremental
+//!   [`codec::Writer`]/[`codec::Reader`] pair over `io::Write`/`io::Read`
+//!   (hand-rolled; the offline dependency set has no serde format crate),
+//!   with whole-trace [`codec::encode`]/[`codec::decode`] wrappers;
 //! * [`stats`] — value sparsity (Fig. 1a), term sparsity (Fig. 1b),
 //!   ideal-speedup potential (Fig. 2 / Eq. 4) and exponent histograms
-//!   (Fig. 6).
+//!   (Fig. 6), all computable in one pass over any [`TraceSource`].
 //!
 //! # Example
 //!
 //! ```
-//! use fpraker_trace::{Trace, codec};
+//! use fpraker_trace::{codec, Trace, TraceSource};
 //!
 //! let trace = Trace::new("my-model", 10);
 //! let bytes = codec::encode(&trace);
 //! assert_eq!(codec::decode(&bytes).unwrap(), trace);
+//!
+//! // The same bytes, decoded incrementally (one op resident at a time):
+//! let mut reader = codec::Reader::new(&bytes[..]).unwrap();
+//! assert_eq!(reader.model(), "my-model");
+//! while let Some(op) = reader.next_op().unwrap() {
+//!     let _ = op.macs();
+//! }
 //! ```
 
 #![forbid(unsafe_code)]
@@ -28,6 +40,9 @@
 
 pub mod codec;
 mod format;
+mod source;
 pub mod stats;
 
+pub use codec::DecodeError;
 pub use format::{Phase, TensorKind, Trace, TraceOp};
+pub use source::{TraceOps, TraceSource};

@@ -1,0 +1,211 @@
+//! The [`TraceSource`] abstraction: a trace as a *stream* of ops.
+//!
+//! The paper's methodology drives the simulator with traces sampled from
+//! real training runs; production-scale traces do not fit in memory. A
+//! `TraceSource` is the minimal contract the simulator needs from a trace:
+//! the header (model name, training progress) plus a fallible iterator of
+//! owned [`TraceOp`]s. Implementations:
+//!
+//! * [`crate::codec::Reader`] — incremental decoding from any
+//!   [`std::io::Read`] (files, sockets, in-memory buffers), holding one op
+//!   at a time;
+//! * [`TraceOps`] (via [`Trace::source`]) — an in-memory [`Trace`] handed
+//!   out op by op, for code written against the streaming API;
+//! * `&mut S` for any source `S`, so a source can be passed by reference.
+//!
+//! Consumers (the simulator's bounded-window scheduler, the single-pass
+//! statistics in [`crate::stats`]) pull ops one at a time and drop them as
+//! soon as they are folded, so peak memory is bounded by the consumer's
+//! window, not the trace length.
+
+use std::io;
+
+use crate::codec::{DecodeError, Reader};
+use crate::format::{Trace, TraceOp};
+
+/// A stream of trace ops with a header — the simulator's input contract.
+///
+/// `next_op` yields owned ops so the consumer controls their lifetime
+/// (and can drop each op's operand buffers as soon as it is done with
+/// them); `Ok(None)` marks the end of the trace. Sources are not
+/// rewindable: decoding statistics *and* simulating the same on-disk
+/// trace takes two passes over two sources.
+pub trait TraceSource {
+    /// Model name from the trace header.
+    fn model(&self) -> &str;
+
+    /// Training progress of the sample, in percent of total training.
+    fn progress_pct(&self) -> u32;
+
+    /// Ops not yet yielded, when the source knows (used for reporting and
+    /// pre-sizing; never required for correctness).
+    fn ops_remaining(&self) -> Option<u64>;
+
+    /// Pulls the next op; `Ok(None)` once the trace is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] when the underlying stream is truncated,
+    /// corrupt, or fails to read. In-memory sources never error.
+    fn next_op(&mut self) -> Result<Option<TraceOp>, DecodeError>;
+}
+
+impl<S: TraceSource + ?Sized> TraceSource for &mut S {
+    fn model(&self) -> &str {
+        (**self).model()
+    }
+
+    fn progress_pct(&self) -> u32 {
+        (**self).progress_pct()
+    }
+
+    fn ops_remaining(&self) -> Option<u64> {
+        (**self).ops_remaining()
+    }
+
+    fn next_op(&mut self) -> Result<Option<TraceOp>, DecodeError> {
+        (**self).next_op()
+    }
+}
+
+impl<R: io::Read> TraceSource for Reader<R> {
+    fn model(&self) -> &str {
+        Reader::model(self)
+    }
+
+    fn progress_pct(&self) -> u32 {
+        Reader::progress_pct(self)
+    }
+
+    fn ops_remaining(&self) -> Option<u64> {
+        Some(u64::from(self.total_ops() - self.ops_read()))
+    }
+
+    fn next_op(&mut self) -> Result<Option<TraceOp>, DecodeError> {
+        Reader::next_op(self)
+    }
+}
+
+/// An in-memory [`Trace`] viewed as a [`TraceSource`]: ops are cloned out
+/// one at a time, in trace order. The clone cost is per *in-flight* op —
+/// a bounded-window consumer never holds more than its window's worth of
+/// copies.
+///
+/// ```
+/// use fpraker_trace::{Trace, TraceSource};
+///
+/// let trace = Trace::new("in-memory", 50);
+/// let mut source = trace.source();
+/// assert_eq!(source.model(), "in-memory");
+/// assert_eq!(source.ops_remaining(), Some(0));
+/// assert!(source.next_op().unwrap().is_none());
+/// ```
+pub struct TraceOps<'a> {
+    trace: &'a Trace,
+    next: usize,
+}
+
+impl TraceSource for TraceOps<'_> {
+    fn model(&self) -> &str {
+        &self.trace.model
+    }
+
+    fn progress_pct(&self) -> u32 {
+        self.trace.progress_pct
+    }
+
+    fn ops_remaining(&self) -> Option<u64> {
+        Some((self.trace.ops.len() - self.next) as u64)
+    }
+
+    fn next_op(&mut self) -> Result<Option<TraceOp>, DecodeError> {
+        let op = self.trace.ops.get(self.next).cloned();
+        if op.is_some() {
+            self.next += 1;
+        }
+        Ok(op)
+    }
+}
+
+impl Trace {
+    /// Views this in-memory trace as a [`TraceSource`] (see [`TraceOps`]).
+    pub fn source(&self) -> TraceOps<'_> {
+        TraceOps {
+            trace: self,
+            next: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec;
+    use fpraker_num::Bf16;
+
+    fn two_op_trace() -> Trace {
+        let mut tr = Trace::new("src", 25);
+        for i in 0..2usize {
+            tr.ops.push(TraceOp {
+                layer: format!("l{i}"),
+                phase: crate::Phase::AxW,
+                m: 2,
+                n: 2,
+                k: 4,
+                a: vec![Bf16::ONE; 8],
+                b: vec![Bf16::from_f32(i as f32); 8],
+                a_kind: crate::TensorKind::Activation,
+                b_kind: crate::TensorKind::Weight,
+                a_dup: 1.0,
+                b_dup: 1.0,
+                out_dup: 1.0,
+            });
+        }
+        tr
+    }
+
+    #[test]
+    fn in_memory_source_yields_ops_in_order() {
+        let tr = two_op_trace();
+        let mut src = tr.source();
+        assert_eq!(src.progress_pct(), 25);
+        assert_eq!(src.ops_remaining(), Some(2));
+        assert_eq!(src.next_op().unwrap().unwrap(), tr.ops[0]);
+        assert_eq!(src.ops_remaining(), Some(1));
+        assert_eq!(src.next_op().unwrap().unwrap(), tr.ops[1]);
+        assert_eq!(src.next_op().unwrap(), None);
+        assert_eq!(src.ops_remaining(), Some(0));
+    }
+
+    #[test]
+    fn reader_source_matches_in_memory_source() {
+        let tr = two_op_trace();
+        let bytes = codec::encode(&tr);
+        let mut reader = codec::Reader::new(&bytes[..]).unwrap();
+        let mut mem = tr.source();
+        assert_eq!(TraceSource::model(&reader), mem.model());
+        assert_eq!(TraceSource::progress_pct(&reader), mem.progress_pct());
+        loop {
+            let a = TraceSource::next_op(&mut reader).unwrap();
+            let b = mem.next_op().unwrap();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn sources_pass_by_mutable_reference() {
+        fn drain<S: TraceSource>(mut s: S) -> usize {
+            let mut n = 0;
+            while s.next_op().unwrap().is_some() {
+                n += 1;
+            }
+            n
+        }
+        let tr = two_op_trace();
+        let mut src = tr.source();
+        assert_eq!(drain(&mut src), 2);
+    }
+}

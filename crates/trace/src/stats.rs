@@ -11,13 +11,24 @@
 //!   `#MACs / ((1 - term_sparsity) × #MACs)` per training phase;
 //! * **exponent histograms** (Fig. 6) — the distribution of exponents per
 //!   tensor kind.
+//!
+//! Every statistic is a **single-pass, op-at-a-time fold**: the shared
+//! collector is [`TraceStatistics`], which absorbs one [`TraceOp`] at a
+//! time and therefore works over any [`TraceSource`] — including a
+//! [`crate::codec::Reader`] streaming a trace far larger than RAM from
+//! disk ([`TraceStatistics::from_source`] computes all of Figs. 1/2/6 in
+//! one pass with one op resident). The historical `&Trace` entry points
+//! ([`sparsity`], [`potential_by_phase`], [`exponent_histograms`]) are
+//! wrappers over the same per-op folds.
 
 use std::collections::BTreeMap;
 
 use fpraker_num::encode::{term_count, Encoding};
 use fpraker_num::Bf16;
 
+use crate::codec::DecodeError;
 use crate::format::{Phase, TensorKind, Trace, TraceOp};
+use crate::source::TraceSource;
 
 /// Weighted zero/term statistics for one tensor kind.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -92,16 +103,24 @@ impl TraceSparsity {
             TensorKind::Gradient => &mut self.gradient,
         }
     }
+
+    /// Folds one op into the statistics, weighting each operand element
+    /// by its frequency of use (an `m×k` serial operand element
+    /// participates in `n` MACs and vice versa).
+    pub fn absorb_op(&mut self, op: &TraceOp, encoding: Encoding) {
+        self.kind_mut(op.a_kind)
+            .absorb(&op.a, op.n as u64, encoding);
+        self.kind_mut(op.b_kind)
+            .absorb(&op.b, op.m as u64, encoding);
+    }
 }
 
-/// Measures value and term sparsity over a trace, weighting each operand
-/// element by its frequency of use (an `m×k` serial operand element
-/// participates in `n` MACs and vice versa).
+/// Measures value and term sparsity over an in-memory trace — a wrapper
+/// over the per-op fold [`TraceSparsity::absorb_op`].
 pub fn sparsity(trace: &Trace, encoding: Encoding) -> TraceSparsity {
     let mut out = TraceSparsity::default();
     for op in &trace.ops {
-        out.kind_mut(op.a_kind).absorb(&op.a, op.n as u64, encoding);
-        out.kind_mut(op.b_kind).absorb(&op.b, op.m as u64, encoding);
+        out.absorb_op(op, encoding);
     }
     out
 }
@@ -140,22 +159,33 @@ impl PhasePotential {
     }
 }
 
-/// Computes the per-phase ideal-speedup potential of a trace (Fig. 2).
+/// Folds one op's serial operand into a per-phase potential map — the
+/// shared implementation behind [`potential_by_phase`] and
+/// [`TraceStatistics`].
+fn absorb_potential(
+    map: &mut BTreeMap<&'static str, PhasePotential>,
+    op: &TraceOp,
+    encoding: Encoding,
+) {
+    let entry = map.entry(phase_name(op.phase)).or_default();
+    entry.macs += op.macs();
+    for &v in &op.a {
+        entry.slots += 8 * op.n as u64;
+        if !v.is_zero() {
+            entry.terms += term_count(v.significand(), encoding) as u64 * op.n as u64;
+        }
+    }
+}
+
+/// Computes the per-phase ideal-speedup potential of an in-memory trace
+/// (Fig. 2).
 pub fn potential_by_phase(
     trace: &Trace,
     encoding: Encoding,
 ) -> BTreeMap<&'static str, PhasePotential> {
     let mut map: BTreeMap<&'static str, PhasePotential> = BTreeMap::new();
     for op in &trace.ops {
-        let name = phase_name(op.phase);
-        let entry = map.entry(name).or_default();
-        entry.macs += op.macs();
-        for &v in &op.a {
-            entry.slots += 8 * op.n as u64;
-            if !v.is_zero() {
-                entry.terms += term_count(v.significand(), encoding) as u64 * op.n as u64;
-            }
-        }
+        absorb_potential(&mut map, op, encoding);
     }
     map
 }
@@ -234,26 +264,107 @@ impl ExponentHistogram {
     }
 }
 
-/// Exponent histograms per tensor kind over a trace (Fig. 6's three
-/// series).
-pub fn exponent_histograms(trace: &Trace) -> [(TensorKind, ExponentHistogram); 3] {
-    let mut hists = [
-        (TensorKind::Activation, ExponentHistogram::default()),
-        (TensorKind::Weight, ExponentHistogram::default()),
-        (TensorKind::Gradient, ExponentHistogram::default()),
-    ];
-    let mut absorb = |kind: TensorKind, values: &[Bf16]| {
+fn absorb_exponents(hists: &mut [(TensorKind, ExponentHistogram); 3], op: &TraceOp) {
+    for (kind, values) in [(op.a_kind, &op.a), (op.b_kind, &op.b)] {
         for (k, h) in hists.iter_mut() {
             if *k == kind {
                 h.absorb(values);
             }
         }
-    };
+    }
+}
+
+fn empty_histograms() -> [(TensorKind, ExponentHistogram); 3] {
+    [
+        (TensorKind::Activation, ExponentHistogram::default()),
+        (TensorKind::Weight, ExponentHistogram::default()),
+        (TensorKind::Gradient, ExponentHistogram::default()),
+    ]
+}
+
+/// Exponent histograms per tensor kind over an in-memory trace (Fig. 6's
+/// three series).
+pub fn exponent_histograms(trace: &Trace) -> [(TensorKind, ExponentHistogram); 3] {
+    let mut hists = empty_histograms();
     for op in &trace.ops {
-        absorb(op.a_kind, &op.a);
-        absorb(op.b_kind, &op.b);
+        absorb_exponents(&mut hists, op);
     }
     hists
+}
+
+/// Every Section II statistic of a trace — Fig. 1's sparsity, Fig. 2's
+/// per-phase potential and Fig. 6's exponent histograms — computed in
+/// **one pass, one op resident at a time**.
+///
+/// Use [`TraceStatistics::from_source`] to fold a [`TraceSource`] (e.g. a
+/// [`crate::codec::Reader`] over a file larger than RAM), or
+/// [`TraceStatistics::absorb_op`] to drive the fold by hand.
+///
+/// ```
+/// use fpraker_num::encode::Encoding;
+/// use fpraker_trace::stats::TraceStatistics;
+/// use fpraker_trace::{codec, Trace};
+///
+/// let bytes = codec::encode(&Trace::new("empty", 0));
+/// let reader = codec::Reader::new(&bytes[..]).unwrap();
+/// let stats = TraceStatistics::from_source(reader, Encoding::Canonical).unwrap();
+/// assert_eq!(stats.sparsity.activation.values, 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TraceStatistics {
+    /// Per-tensor-kind value/term sparsity (Fig. 1).
+    pub sparsity: TraceSparsity,
+    /// Per-phase ideal-speedup potential (Fig. 2, Eq. 4).
+    pub potential: BTreeMap<&'static str, PhasePotential>,
+    /// Exponent histograms per tensor kind (Fig. 6).
+    pub exponents: [(TensorKind, ExponentHistogram); 3],
+    encoding: Encoding,
+}
+
+impl TraceStatistics {
+    /// An empty collector using `encoding` for term counting.
+    pub fn new(encoding: Encoding) -> Self {
+        TraceStatistics {
+            sparsity: TraceSparsity::default(),
+            potential: BTreeMap::new(),
+            exponents: empty_histograms(),
+            encoding,
+        }
+    }
+
+    /// Folds one op into every statistic.
+    pub fn absorb_op(&mut self, op: &TraceOp) {
+        self.sparsity.absorb_op(op, self.encoding);
+        absorb_potential(&mut self.potential, op, self.encoding);
+        absorb_exponents(&mut self.exponents, op);
+    }
+
+    /// Drains a [`TraceSource`], folding every op — the streaming entry
+    /// point for all of Figs. 1/2/6 at once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the source's [`DecodeError`] (truncated or corrupt
+    /// stream); statistics accumulated up to the error are discarded.
+    pub fn from_source<S: TraceSource>(
+        mut source: S,
+        encoding: Encoding,
+    ) -> Result<Self, DecodeError> {
+        let mut out = TraceStatistics::new(encoding);
+        while let Some(op) = source.next_op()? {
+            out.absorb_op(&op);
+        }
+        Ok(out)
+    }
+
+    /// Folds an in-memory trace (no per-op cloning).
+    pub fn from_trace(trace: &Trace, encoding: Encoding) -> Self {
+        let mut out = TraceStatistics::new(encoding);
+        for op in &trace.ops {
+            out.absorb_op(op);
+        }
+        out
+    }
 }
 
 /// Picks the serial side for an op: the operand whose term sparsity is
@@ -365,6 +476,37 @@ mod tests {
         // 2 of 4 non-zero values have exponent 1: span for 50% is 1.
         assert_eq!(h.span_containing(0.5), 1);
         assert_eq!(h.span_containing(1.0), 3);
+    }
+
+    #[test]
+    fn single_pass_collector_matches_the_whole_trace_entry_points() {
+        let mut tr = Trace::new("t", 0);
+        tr.ops.push(op_with(
+            vec![Bf16::ZERO, Bf16::ONE, Bf16::from_f32(2.0), Bf16::ONE],
+            vec![Bf16::from_f32(0.5); 4],
+            2,
+            2,
+            2,
+        ));
+        tr.ops.push(op_with(
+            vec![Bf16::from_f32(4.0); 6],
+            vec![Bf16::ZERO; 6],
+            2,
+            3,
+            3,
+        ));
+        let collected = TraceStatistics::from_trace(&tr, Encoding::Canonical);
+        assert_eq!(collected.sparsity, sparsity(&tr, Encoding::Canonical));
+        assert_eq!(
+            collected.potential,
+            potential_by_phase(&tr, Encoding::Canonical)
+        );
+        assert_eq!(collected.exponents, exponent_histograms(&tr));
+        // And the streaming source path agrees with the in-memory path.
+        let streamed = TraceStatistics::from_source(tr.source(), Encoding::Canonical).unwrap();
+        assert_eq!(streamed.sparsity, collected.sparsity);
+        assert_eq!(streamed.potential, collected.potential);
+        assert_eq!(streamed.exponents, collected.exponents);
     }
 
     #[test]

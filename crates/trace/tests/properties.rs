@@ -1,7 +1,11 @@
-//! Property-based tests of the trace codec: arbitrary traces round-trip,
-//! corrupted inputs error rather than panic.
+//! Property-based tests of the trace codec: arbitrary traces round-trip
+//! (both whole-trace and through the incremental `Writer`→`Reader` pair),
+//! corrupted or truncated inputs error rather than panic, and the
+//! single-pass statistics agree with the in-memory entry points.
 
-use fpraker_trace::{codec, Phase, TensorKind, Trace, TraceOp};
+use fpraker_num::encode::Encoding;
+use fpraker_trace::stats::TraceStatistics;
+use fpraker_trace::{codec, Phase, TensorKind, Trace, TraceOp, TraceSource};
 use proptest::prelude::*;
 
 fn arb_op() -> impl Strategy<Value = TraceOp> {
@@ -59,5 +63,79 @@ proptest! {
         // Either decodes (to something) or errors; must never panic.
         let _ = codec::decode(&bytes[..cut]);
         let _ = codec::decode(&bytes);
+    }
+
+    #[test]
+    fn any_trace_round_trips_through_writer_and_reader(
+        model in "[a-zA-Z0-9_-]{0,20}",
+        pct in 0u32..=100,
+        ops in prop::collection::vec(arb_op(), 0..5),
+    ) {
+        let trace = Trace { model, progress_pct: pct, ops };
+        // Incremental write: one op at a time, never a whole `Trace`.
+        let mut bytes = Vec::new();
+        let mut w = codec::Writer::new(
+            &mut bytes, &trace.model, trace.progress_pct, trace.ops.len() as u32,
+        ).unwrap();
+        for op in &trace.ops {
+            w.write_op(op).unwrap();
+        }
+        w.finish().unwrap();
+        // The streaming writer and the whole-trace encoder are the same
+        // codec: identical bytes.
+        prop_assert_eq!(&bytes[..], &codec::encode(&trace)[..]);
+        // Incremental read: one op at a time.
+        let mut r = codec::Reader::new(&bytes[..]).unwrap();
+        prop_assert_eq!(r.model(), trace.model.as_str());
+        prop_assert_eq!(r.progress_pct(), trace.progress_pct);
+        let mut back = Vec::new();
+        while let Some(op) = r.next_op().unwrap() {
+            back.push(op);
+        }
+        prop_assert_eq!(back, trace.ops);
+    }
+
+    #[test]
+    fn truncation_at_every_prefix_is_an_error_never_a_panic(
+        ops in prop::collection::vec(arb_op(), 1..3),
+    ) {
+        let trace = Trace { model: "prefix".into(), progress_pct: 7, ops };
+        let bytes = codec::encode(&trace);
+        for cut in 0..bytes.len() {
+            // Whole-trace decode of every proper prefix fails cleanly...
+            let err = codec::decode(&bytes[..cut])
+                .expect_err(&format!("prefix of {cut} bytes decoded"));
+            prop_assert!(err.offset() <= cut as u64, "offset past the input at cut {}", cut);
+            // ...and so does draining the incremental reader.
+            match codec::Reader::new(&bytes[..cut]) {
+                Err(_) => {}
+                Ok(mut r) => loop {
+                    match r.next_op() {
+                        Ok(Some(_)) => {}
+                        Ok(None) => prop_assert!(false, "prefix of {} bytes drained", cut),
+                        Err(_) => break,
+                    }
+                },
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_statistics_match_in_memory_statistics(
+        ops in prop::collection::vec(arb_op(), 0..4),
+    ) {
+        let trace = Trace { model: "stats".into(), progress_pct: 50, ops };
+        let bytes = codec::encode(&trace);
+        let reader = codec::Reader::new(&bytes[..]).unwrap();
+        let streamed = TraceStatistics::from_source(reader, Encoding::Canonical).unwrap();
+        let in_memory = TraceStatistics::from_trace(&trace, Encoding::Canonical);
+        prop_assert_eq!(streamed.sparsity, in_memory.sparsity);
+        prop_assert_eq!(streamed.potential, in_memory.potential);
+        prop_assert_eq!(streamed.exponents, in_memory.exponents);
+        // And the trait-driven source over the in-memory trace agrees.
+        let mut src = trace.source();
+        let mut n = 0u64;
+        while src.next_op().unwrap().is_some() { n += 1; }
+        prop_assert_eq!(n, trace.ops.len() as u64);
     }
 }

@@ -37,6 +37,40 @@ fn captured_traces_survive_serialization_and_simulation() {
 }
 
 #[test]
+fn captured_traces_stream_through_the_bounded_window_engine() {
+    use fpraker::sim::{Engine, Machine};
+
+    // Training → incremental serialization → streamed simulation, end to
+    // end: the streamed run must equal the fully-loaded one bit for bit.
+    let trace = quick_trace("ncf");
+    let mut bytes = Vec::new();
+    let mut writer = codec::Writer::new(
+        &mut bytes,
+        &trace.model,
+        trace.progress_pct,
+        trace.ops.len() as u32,
+    )
+    .expect("header");
+    for op in &trace.ops {
+        writer.write_op(op).expect("op");
+    }
+    writer.finish().expect("finish");
+
+    let cfg = AcceleratorConfig::fpraker_paper();
+    let engine = Engine::new().stream_window(2);
+    let reader = codec::Reader::new(&bytes[..]).expect("header");
+    let streamed = engine
+        .run_source(Machine::FpRaker, reader, &cfg)
+        .expect("streamed run");
+    let in_memory = engine.run(Machine::FpRaker, &trace, &cfg);
+    assert_eq!(streamed.result.cycles(), in_memory.cycles());
+    assert_eq!(streamed.result.stats(), in_memory.stats());
+    assert_eq!(streamed.result.counts(), in_memory.counts());
+    assert!(streamed.peak_resident_ops <= 2);
+    assert!(streamed.peak_resident_ops < trace.ops.len());
+}
+
+#[test]
 fn relu_models_show_activation_sparsity_and_gradient_sparsity() {
     let trace = quick_trace("vgg16");
     let s = sparsity(&trace, Encoding::Canonical);
