@@ -21,4 +21,10 @@ fn main() {
         "op-level scheduling speedup on the many-small-ops trace: {:.2}x",
         b.parallel_ops_speedup()
     );
+    println!(
+        "service: {:.1} cold jobs/s, {:.1} cached jobs/s ({:.1}x cache speedup)",
+        b.serve_cold_jobs_per_sec(),
+        b.serve_cached_jobs_per_sec(),
+        b.serve_cache_speedup()
+    );
 }

@@ -1,12 +1,14 @@
 //! Machine-readable simulator benchmark: times the fixed synthetic trace
 //! at 1 thread and at the machine's core count, the many-small-ops trace
-//! under both scheduling modes, and a disk-backed trace streamed vs fully
-//! loaded (`fpraker/stream_*`), and writes `BENCH_sim.json` so future PRs
-//! have a wall-clock trajectory to regress against.
+//! under both scheduling modes, a disk-backed trace streamed vs fully
+//! loaded (`fpraker/stream_*`), and the trace-simulation service cold vs
+//! cached (`serve/*`), and writes `BENCH_sim.json` so future PRs have a
+//! wall-clock trajectory to regress against.
 //!
 //! Usage: `cargo run --release -p fpraker-bench --bin bench_sim [out.json]`
 //! (default output path: `BENCH_sim.json` in the current directory).
-//! `FPRAKER_BENCH_SMOKE=1` shrinks the disk-backed streaming trace (CI).
+//! `FPRAKER_BENCH_SMOKE=1` shrinks the disk-backed streaming and service
+//! traces (CI).
 
 use std::fmt::Write as _;
 
@@ -44,6 +46,13 @@ fn main() {
         "streaming a {}-op trace from disk: {stream_overhead:.2}x the in-memory wall-clock, peak {} of {} ops resident (window {})",
         b.stream_total_ops, b.stream_peak_resident_ops, b.stream_total_ops, b.stream_window
     );
+    println!(
+        "service over loopback TCP: {:.1} cold jobs/s vs {:.1} cached jobs/s ({:.1}x from the content-addressed cache, {} hits recorded)",
+        b.serve_cold_jobs_per_sec(),
+        b.serve_cached_jobs_per_sec(),
+        b.serve_cache_speedup(),
+        b.serve_cache_hits
+    );
 
     let mut json = String::from("{\n");
     writeln!(json, "  \"benchmark\": \"fpraker_sim synthetic trace\",").unwrap();
@@ -61,6 +70,26 @@ fn main() {
         b.stream_peak_resident_ops
     )
     .unwrap();
+    writeln!(json, "  \"serve_trace_macs\": {},", b.serve_trace_macs).unwrap();
+    writeln!(
+        json,
+        "  \"serve_cold_jobs_per_sec\": {:.4},",
+        b.serve_cold_jobs_per_sec()
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"serve_cached_jobs_per_sec\": {:.4},",
+        b.serve_cached_jobs_per_sec()
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"serve_cache_speedup\": {:.4},",
+        b.serve_cache_speedup()
+    )
+    .unwrap();
+    writeln!(json, "  \"serve_cache_hits\": {},", b.serve_cache_hits).unwrap();
     writeln!(json, "  \"measurements\": [").unwrap();
     let entries: Vec<String> = [
         &b.seq,
@@ -70,6 +99,8 @@ fn main() {
         &b.parallel_ops,
         &b.stream_streamed,
         &b.stream_inmemory,
+        &b.serve_cold,
+        &b.serve_cached,
     ]
     .iter()
     .map(|m| json_entry(m))

@@ -74,7 +74,7 @@ fn main() {
         eprintln!("cannot create {out_path}: {e}");
         exit(1);
     });
-    let ops = spec.write_to(BufWriter::new(file)).unwrap_or_else(|e| {
+    let (ops, digest) = spec.write_to(BufWriter::new(file)).unwrap_or_else(|e| {
         eprintln!("write failed: {e}");
         exit(1);
     });
@@ -86,4 +86,5 @@ fn main() {
         spec.k,
         spec.macs()
     );
+    println!("content digest: {digest:#018x} (the fpraker-serve cache key for this trace)");
 }

@@ -3,14 +3,20 @@
 //! binary (machine-readable `BENCH_sim.json`), so the two cannot drift
 //! apart.
 //!
-//! Set `FPRAKER_BENCH_SMOKE=1` to shrink the disk-backed streaming
-//! benchmark to a tiny trace — CI uses this so the write→stream→simulate
-//! round trip is exercised on every push without inflating the run.
+//! Includes the `serve/*` service measurements: jobs submitted to an
+//! in-process `fpraker-serve` server over loopback TCP, cold (distinct
+//! trace per job: upload + simulate) vs cached (same trace: a
+//! content-addressed hit answered without upload or simulation).
+//!
+//! Set `FPRAKER_BENCH_SMOKE=1` to shrink the disk-backed streaming and
+//! service benchmarks to tiny traces — CI uses this so the full round
+//! trips are exercised on every push without inflating the run.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::PathBuf;
 
+use fpraker_serve::{Client, Server, ServerConfig};
 use fpraker_sim::{simulate_op, AcceleratorConfig, Engine, FpRakerMachine, Machine};
 use fpraker_trace::codec;
 
@@ -57,6 +63,17 @@ pub struct SimulatorBench {
     /// Peak ops simultaneously resident during the streamed runs — the
     /// memory bound streaming buys (strictly below `stream_total_ops`).
     pub stream_peak_resident_ops: usize,
+    /// Trace submitted to an in-process `fpraker-serve` server over
+    /// loopback TCP, every iteration a distinct trace (all cache misses:
+    /// upload + simulate).
+    pub serve_cold: Measurement,
+    /// The same trace resubmitted to the server (all content-addressed
+    /// cache hits: the header round trip alone, no upload, no simulation).
+    pub serve_cached: Measurement,
+    /// MACs per serve-bench job.
+    pub serve_trace_macs: u64,
+    /// Cache hits the server recorded across the serve measurements.
+    pub serve_cache_hits: u64,
 }
 
 impl SimulatorBench {
@@ -75,6 +92,22 @@ impl SimulatorBench {
     /// loaded (medians; ≈1.0 means streaming is free at this trace size).
     pub fn stream_overhead(&self) -> f64 {
         self.stream_streamed.median_ns as f64 / self.stream_inmemory.median_ns.max(1) as f64
+    }
+
+    /// Service throughput on cold submissions (upload + simulate),
+    /// jobs per second at the median.
+    pub fn serve_cold_jobs_per_sec(&self) -> f64 {
+        1e9 / self.serve_cold.median_ns.max(1) as f64
+    }
+
+    /// Service throughput on cache hits, jobs per second at the median.
+    pub fn serve_cached_jobs_per_sec(&self) -> f64 {
+        1e9 / self.serve_cached.median_ns.max(1) as f64
+    }
+
+    /// How much faster a cache hit is than a cold submission (medians).
+    pub fn serve_cache_speedup(&self) -> f64 {
+        self.serve_cold.median_ns as f64 / self.serve_cached.median_ns.max(1) as f64
     }
 }
 
@@ -176,6 +209,56 @@ pub fn simulator_measurements(iters: u32) -> SimulatorBench {
     );
     std::fs::remove_file(&path).ok();
 
+    // Service benchmark: an in-process server on a loopback port. Cold
+    // submissions use a distinct trace per iteration (seed varies) so
+    // every job uploads and simulates; cached submissions resubmit one
+    // trace so every job is a content-addressed hit. One extra cold
+    // variant covers the harness's untimed warm-up call.
+    let serve_ops = if smoke_mode() { 4 } else { 12 };
+    let serve_spec = |seed: u64| SyntheticTraceSpec {
+        model: format!("serve-bench-{seed}"),
+        ops: serve_ops,
+        m: 16,
+        n: 16,
+        k: 32,
+        zero_fraction: 0.4,
+        seed,
+    };
+    let serve_trace_macs = serve_spec(0).macs();
+    let cold_variants: Vec<Vec<u8>> = (0..=u64::from(iters))
+        .map(|i| {
+            let mut bytes = Vec::new();
+            serve_spec(0xC01D + i).write_to(&mut bytes).expect("encode");
+            bytes
+        })
+        .collect();
+    let server = Server::start(ServerConfig {
+        jobs: 1,
+        threads_per_job: 1,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback for the serve bench");
+    let client = Client::connect(server.local_addr()).expect("resolve loopback");
+    let mut next_cold = 0usize;
+    let serve_cold = bench("serve/submit_cold", iters, Some(serve_trace_macs), || {
+        let response = client
+            .submit_encoded(&cold_variants[next_cold], "fpraker")
+            .expect("cold submission");
+        assert!(!response.cached, "cold submissions must simulate");
+        next_cold += 1;
+        response
+    });
+    let warm_bytes = &cold_variants[0]; // warmed up by the untimed call
+    let serve_cached = bench("serve/submit_cached", iters, Some(serve_trace_macs), || {
+        let response = client
+            .submit_encoded(warm_bytes, "fpraker")
+            .expect("cached submission");
+        assert!(response.cached, "resubmissions must hit the cache");
+        response
+    });
+    let serve_cache_hits = server.cache_stats().hits;
+    server.shutdown();
+
     SimulatorBench {
         threads,
         macs,
@@ -190,6 +273,10 @@ pub fn simulator_measurements(iters: u32) -> SimulatorBench {
         stream_total_ops: u64::from(spec.ops),
         stream_window: window,
         stream_peak_resident_ops: peak,
+        serve_cold,
+        serve_cached,
+        serve_trace_macs,
+        serve_cache_hits,
     }
 }
 
@@ -225,6 +312,15 @@ mod tests {
             b.stream_peak_resident_ops,
             b.stream_total_ops
         );
+        // Service entries: jobs flowed, the cache was hit, and a hit is
+        // never slower than a cold simulate-and-upload round trip.
+        assert_eq!(b.serve_cold.name, "serve/submit_cold");
+        assert_eq!(b.serve_cached.name, "serve/submit_cached");
+        assert!(b.serve_cold_jobs_per_sec() > 0.0);
+        assert!(b.serve_cached_jobs_per_sec() > 0.0);
+        assert!(b.serve_cache_hits >= 1);
+        assert!(b.serve_cache_speedup() > 0.0);
+        assert_eq!(b.serve_cold.elements, Some(b.serve_trace_macs));
     }
 
     #[test]

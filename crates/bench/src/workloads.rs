@@ -210,18 +210,21 @@ impl SyntheticTraceSpec {
     }
 
     /// Streams the trace into `w` through the incremental writer, one op
-    /// resident at a time. Returns the number of ops written.
+    /// resident at a time. Returns the number of ops written and the
+    /// FNV-1a content digest of the stream (hashed for free by the
+    /// writer; the service layer's cache key, also usable for dedup).
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from the writer.
-    pub fn write_to<W: io::Write>(&self, w: W) -> io::Result<u32> {
+    pub fn write_to<W: io::Write>(&self, w: W) -> io::Result<(u32, u64)> {
         let mut writer = codec::Writer::new(w, &self.model, 50, self.ops)?;
         for i in 0..self.ops {
             writer.write_op(&self.op(i))?;
         }
+        let digest = writer.digest();
         writer.finish()?;
-        Ok(self.ops)
+        Ok((self.ops, digest))
     }
 
     /// Materializes the whole trace in memory (the comparison path for
@@ -241,10 +244,14 @@ mod tests {
     fn synthetic_spec_streams_exactly_its_materialized_trace() {
         let spec = SyntheticTraceSpec::stream_bench(7);
         let mut bytes = Vec::new();
-        assert_eq!(spec.write_to(&mut bytes).unwrap(), 7);
+        let (ops, digest) = spec.write_to(&mut bytes).unwrap();
+        assert_eq!(ops, 7);
         let decoded = codec::decode(&bytes).unwrap();
         assert_eq!(decoded, spec.trace());
         assert_eq!(decoded.macs(), spec.macs());
+        // The streamed digest is the trace's content digest.
+        assert_eq!(digest, fpraker_trace::Fnv64::digest_of(&bytes));
+        assert_eq!(digest, decoded.content_digest());
         // Index-seeded generation: the same op twice is the same op.
         assert_eq!(spec.op(3), spec.op(3));
         assert_ne!(spec.op(3).a, spec.op(4).a);

@@ -1,0 +1,63 @@
+//! `fpraker-served` — the trace-simulation daemon.
+//!
+//! Hosts a [`fpraker_serve::Server`] until killed. Usage:
+//!
+//! ```text
+//! fpraker-served [--addr HOST:PORT] [--jobs N] [--threads N] \
+//!                [--window N] [--cache N]
+//! ```
+//!
+//! Defaults: `--addr 127.0.0.1:4270`, 2 concurrent jobs, engine workers
+//! auto (one per core per job), auto stream window, 64 cached results.
+
+use std::process::exit;
+
+use fpraker_serve::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fpraker-served [--addr HOST:PORT] [--jobs N] [--threads N] \
+         [--window N] [--cache N]"
+    );
+    exit(2);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let Some(v) = value else {
+        eprintln!("{flag} needs a value");
+        usage();
+    };
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("{flag}: cannot parse {v:?}");
+        usage();
+    })
+}
+
+fn main() {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:4270".into(),
+        ..ServerConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--addr" => config.addr = parse(&flag, args.next()),
+            "--jobs" => config.jobs = parse(&flag, args.next()),
+            "--threads" => config.threads_per_job = parse(&flag, args.next()),
+            "--window" => config.stream_window = parse(&flag, args.next()),
+            "--cache" => config.cache_entries = parse(&flag, args.next()),
+            _ => usage(),
+        }
+    }
+    let jobs = config.jobs.max(1);
+    let server = Server::start(config).unwrap_or_else(|e| {
+        eprintln!("cannot start server: {e}");
+        exit(1);
+    });
+    println!(
+        "fpraker-served listening on {} ({jobs} concurrent jobs; machines: {})",
+        server.local_addr(),
+        fpraker_sim::machine_names().join(", ")
+    );
+    server.join();
+}

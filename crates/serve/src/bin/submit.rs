@@ -1,0 +1,139 @@
+//! `fpraker-submit` — submits a trace file to a running `fpraker-served`
+//! and prints the result summary.
+//!
+//! ```text
+//! fpraker-submit --trace FILE [--addr HOST:PORT] [--machine NAME]
+//!                [--verify] [--expect-cached] [--per-op]
+//! ```
+//!
+//! `--verify` also decodes the trace locally, simulates it with
+//! [`fpraker_sim::Engine::run`], and exits non-zero unless the server's
+//! per-op results are identical — the end-to-end determinism check CI
+//! runs. `--expect-cached` exits non-zero unless the server answered from
+//! its content-addressed cache.
+
+use std::process::exit;
+
+use fpraker_serve::Client;
+use fpraker_sim::{resolve_machine, Engine};
+use fpraker_trace::codec;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fpraker-submit --trace FILE [--addr HOST:PORT] [--machine NAME] \
+         [--verify] [--expect-cached] [--per-op]"
+    );
+    exit(2);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:4270".to_string();
+    let mut trace_path: Option<String> = None;
+    let mut machine = "fpraker".to_string();
+    let mut verify = false;
+    let mut expect_cached = false;
+    let mut per_op = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--addr" => addr = args.next().unwrap_or_else(|| usage()),
+            "--trace" => trace_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--machine" => machine = args.next().unwrap_or_else(|| usage()),
+            "--verify" => verify = true,
+            "--expect-cached" => expect_cached = true,
+            "--per-op" => per_op = true,
+            _ => usage(),
+        }
+    }
+    let Some(trace_path) = trace_path else {
+        usage()
+    };
+
+    let client = Client::connect(&addr).unwrap_or_else(|e| {
+        eprintln!("cannot resolve {addr}: {e}");
+        exit(1);
+    });
+    let response = client
+        .submit_file(&trace_path, &machine)
+        .unwrap_or_else(|e| {
+            eprintln!("submission failed: {e}");
+            exit(1);
+        });
+    let r = &response.result;
+    println!(
+        "{} on {}: {} ops, {} cycles ({} compute), {} MACs, {:.1} pJ, peak {} resident ops{}",
+        trace_path,
+        r.spec,
+        r.ops.len(),
+        r.cycles,
+        r.compute_cycles,
+        r.macs,
+        r.energy_pj,
+        r.peak_resident_ops,
+        if response.cached { " [cached]" } else { "" }
+    );
+    if per_op {
+        for (i, op) in r.ops.iter().enumerate() {
+            println!(
+                "  op {i}: {:?} {} cycles ({} compute), {} MACs, {:.1} pJ",
+                op.phase, op.cycles, op.compute_cycles, op.macs, op.energy_pj
+            );
+        }
+    }
+
+    if expect_cached && !response.cached {
+        eprintln!("expected a cache hit but the server simulated the job");
+        exit(1);
+    }
+
+    if verify {
+        let bytes = std::fs::read(&trace_path).unwrap_or_else(|e| {
+            eprintln!("cannot read {trace_path}: {e}");
+            exit(1);
+        });
+        let trace = codec::decode(&bytes).unwrap_or_else(|e| {
+            eprintln!("cannot decode {trace_path}: {e}");
+            exit(1);
+        });
+        let Some((label, cfg)) = resolve_machine(&machine) else {
+            eprintln!("unknown machine {machine:?}");
+            exit(1);
+        };
+        let local = Engine::new().run(label, &trace, &cfg);
+        let mut mismatches = 0u32;
+        if local.ops.len() != r.ops.len() {
+            eprintln!(
+                "verify: server returned {} ops, local run has {}",
+                r.ops.len(),
+                local.ops.len()
+            );
+            mismatches += 1;
+        }
+        for (i, (ours, theirs)) in local.ops.iter().zip(&r.ops).enumerate() {
+            if ours.cycles != theirs.cycles
+                || ours.compute_cycles != theirs.compute_cycles
+                || ours.macs != theirs.macs
+            {
+                eprintln!(
+                    "verify: op {i} differs (local {}/{}/{} vs served {}/{}/{})",
+                    ours.cycles,
+                    ours.compute_cycles,
+                    ours.macs,
+                    theirs.cycles,
+                    theirs.compute_cycles,
+                    theirs.macs
+                );
+                mismatches += 1;
+            }
+        }
+        if local.cycles() != r.cycles || local.macs() != r.macs {
+            eprintln!("verify: run summary differs");
+            mismatches += 1;
+        }
+        if mismatches > 0 {
+            eprintln!("verify FAILED: {mismatches} mismatch(es)");
+            exit(1);
+        }
+        println!("verify OK: served results identical to a local Engine::run");
+    }
+}

@@ -1,0 +1,244 @@
+//! Content-addressed LRU cache of completed simulation results.
+//!
+//! A job is identified by what it computes, not by who submitted it: the
+//! key is the pair (trace content digest, machine spec name). The value is
+//! the job's serialized result payload ([`crate::protocol::encode_result`]
+//! output), stored behind an [`Arc`] so replaying a hit to a client is a
+//! pointer clone — repeated submissions of the same trace are served
+//! without re-simulating and bit-identically to the first run.
+//!
+//! The cache is bounded by entry count and evicts least-recently-*used*
+//! (hits refresh recency). All operations take one mutex; entries are
+//! immutable once inserted.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
+
+/// The content address of a job: what was simulated, on which machine.
+#[derive(Clone, Debug, Hash, PartialEq, Eq)]
+pub struct CacheKey {
+    /// FNV-1a digest of the trace's encoded bytes
+    /// ([`fpraker_trace::digest`]).
+    pub digest: u64,
+    /// Machine spec name (registry-resolved, stored lowercased so
+    /// `FPRaker` and `fpraker` address the same entry).
+    pub spec: String,
+}
+
+impl CacheKey {
+    /// Builds a key, normalizing the spec name.
+    pub fn new(digest: u64, spec: &str) -> Self {
+        CacheKey {
+            digest,
+            spec: spec.trim().to_ascii_lowercase(),
+        }
+    }
+}
+
+/// Counters describing cache effectiveness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that did not.
+    pub misses: u64,
+    /// Entries currently held.
+    pub entries: usize,
+    /// Maximum entries held at once.
+    pub capacity: usize,
+}
+
+struct Inner {
+    map: HashMap<CacheKey, Entry>,
+    /// Recency index: stamp → key, mirrored with each entry's `stamp`.
+    /// Stamps come from the monotonic `clock` (unique per operation), so
+    /// the first entry is always the least recently used — eviction and
+    /// recency refresh are O(log n), never a map scan.
+    by_stamp: BTreeMap<u64, CacheKey>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+struct Entry {
+    payload: Arc<Vec<u8>>,
+    stamp: u64,
+}
+
+/// A bounded, thread-safe, content-addressed LRU result cache.
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` results (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                by_stamp: BTreeMap::new(),
+                clock: 0,
+                hits: 0,
+                misses: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Looks up a result, counting a hit (and refreshing recency) or a
+    /// miss.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<Vec<u8>>> {
+        self.lookup(key, true)
+    }
+
+    /// Re-checks a key whose miss was already counted (the server's
+    /// post-permit double-check): a find still counts as a hit — the job
+    /// ends up served from the cache — but absence is not counted again,
+    /// so each job records at most one miss.
+    pub fn recheck(&self, key: &CacheKey) -> Option<Arc<Vec<u8>>> {
+        self.lookup(key, false)
+    }
+
+    fn lookup(&self, key: &CacheKey, count_miss: bool) -> Option<Arc<Vec<u8>>> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.clock += 1;
+        let clock = inner.clock;
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                let old_stamp = std::mem::replace(&mut entry.stamp, clock);
+                let payload = Arc::clone(&entry.payload);
+                inner.by_stamp.remove(&old_stamp);
+                inner.by_stamp.insert(clock, key.clone());
+                inner.hits += 1;
+                Some(payload)
+            }
+            None => {
+                if count_miss {
+                    inner.misses += 1;
+                }
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) a result, evicting the least recently used
+    /// entry if the cache is full. Concurrent inserts of the same key are
+    /// benign: payloads for a key are deterministic, so last-write-wins
+    /// replaces equal bytes.
+    pub fn insert(&self, key: CacheKey, payload: Arc<Vec<u8>>) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.clock += 1;
+        let stamp = inner.clock;
+        if let Some(old) = inner.map.insert(key.clone(), Entry { payload, stamp }) {
+            inner.by_stamp.remove(&old.stamp);
+        }
+        inner.by_stamp.insert(stamp, key);
+        while inner.map.len() > self.capacity {
+            let (_, oldest) = inner
+                .by_stamp
+                .pop_first()
+                .expect("over-capacity cache has a least recent entry");
+            inner.map.remove(&oldest);
+        }
+    }
+
+    /// Current effectiveness counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().unwrap();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            entries: inner.map.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(b: u8) -> Arc<Vec<u8>> {
+        Arc::new(vec![b; 4])
+    }
+
+    #[test]
+    fn hit_after_insert_and_stats_count() {
+        let cache = ResultCache::new(4);
+        let key = CacheKey::new(7, "fpraker");
+        assert!(cache.get(&key).is_none());
+        cache.insert(key.clone(), payload(1));
+        assert_eq!(cache.get(&key).unwrap().as_slice(), &[1, 1, 1, 1]);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn recheck_counts_hits_but_never_misses() {
+        let cache = ResultCache::new(4);
+        let key = CacheKey::new(3, "m");
+        assert!(cache.get(&key).is_none()); // 1 miss
+        assert!(cache.recheck(&key).is_none()); // not another miss
+        cache.insert(key.clone(), payload(2));
+        assert!(cache.recheck(&key).is_some()); // 1 hit
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn spec_name_is_normalized_and_digest_distinguishes() {
+        let cache = ResultCache::new(4);
+        cache.insert(CacheKey::new(1, " FPRaker "), payload(9));
+        assert!(cache.get(&CacheKey::new(1, "fpraker")).is_some());
+        assert!(cache.get(&CacheKey::new(2, "fpraker")).is_none());
+        assert!(cache.get(&CacheKey::new(1, "baseline")).is_none());
+    }
+
+    #[test]
+    fn eviction_is_least_recently_used() {
+        let cache = ResultCache::new(2);
+        let (a, b, c) = (
+            CacheKey::new(1, "m"),
+            CacheKey::new(2, "m"),
+            CacheKey::new(3, "m"),
+        );
+        cache.insert(a.clone(), payload(1));
+        cache.insert(b.clone(), payload(2));
+        // Touch `a`, making `b` the LRU entry, then overflow.
+        assert!(cache.get(&a).is_some());
+        cache.insert(c.clone(), payload(3));
+        assert!(cache.get(&a).is_some(), "recently used entry survives");
+        assert!(cache.get(&b).is_none(), "LRU entry was evicted");
+        assert!(cache.get(&c).is_some());
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_recency_and_keeps_the_index_consistent() {
+        let cache = ResultCache::new(2);
+        let (a, b, c) = (
+            CacheKey::new(1, "m"),
+            CacheKey::new(2, "m"),
+            CacheKey::new(3, "m"),
+        );
+        cache.insert(a.clone(), payload(1));
+        cache.insert(b.clone(), payload(2));
+        // Re-inserting `a` replaces its payload and makes `b` the LRU.
+        cache.insert(a.clone(), payload(7));
+        cache.insert(c.clone(), payload(3));
+        assert_eq!(cache.get(&a).unwrap().as_slice(), &[7, 7, 7, 7]);
+        assert!(cache.get(&b).is_none(), "stale entry was evicted");
+        assert!(cache.get(&c).is_some());
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let cache = ResultCache::new(0);
+        let key = CacheKey::new(5, "m");
+        cache.insert(key.clone(), payload(5));
+        assert!(cache.get(&key).is_some());
+        assert_eq!(cache.stats().capacity, 1);
+    }
+}

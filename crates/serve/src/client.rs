@@ -1,0 +1,270 @@
+//! Client library for the trace-simulation service.
+//!
+//! A [`Client`] is an address; every submission opens one connection,
+//! performs one half-duplex job exchange (see [`crate::protocol`]), and
+//! closes. Submissions identify their trace by content digest up front, so
+//! a server-side cache hit is answered **without uploading the trace at
+//! all** — resubmitting a large trace costs one small header frame.
+//!
+//! Traces can be submitted from memory ([`Client::submit_trace`] /
+//! [`Client::submit_encoded`]) or streamed from disk
+//! ([`Client::submit_file`], two passes: one to digest, one to upload in
+//! bounded chunks — the trace is never loaded whole).
+
+use std::fs::File;
+use std::io::{BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::path::Path;
+use std::time::Duration;
+
+use fpraker_trace::digest::Fnv64;
+use fpraker_trace::{codec, Trace};
+
+use crate::protocol::{
+    self, read_frame, tag, write_frame, JobResult, ServeError, ServerStats, Submit, TRACE_CHUNK,
+};
+
+/// A server response: the job's result plus whether it was served from the
+/// content-addressed cache.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobResponse {
+    /// `true` when the server replayed a cached result (no simulation, and
+    /// — when detected at submission time — no upload either).
+    pub cached: bool,
+    /// The simulated (or replayed) result.
+    pub result: JobResult,
+}
+
+/// A handle on a `fpraker-serve` server.
+///
+/// ```no_run
+/// use fpraker_serve::Client;
+/// use fpraker_trace::Trace;
+///
+/// let client = Client::connect("127.0.0.1:4270").unwrap();
+/// let response = client.submit_trace(&Trace::new("m", 0), "fpraker").unwrap();
+/// println!("cycles: {}", response.result.cycles);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Client {
+    addr: SocketAddr,
+    io_timeout: Option<Duration>,
+}
+
+impl Client {
+    /// Resolves the server address. No connection is made yet — each
+    /// request opens its own.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `addr` does not resolve to any socket address.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ServeError> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| ServeError::Protocol("address resolved to nothing".into()))?;
+        Ok(Client {
+            addr,
+            io_timeout: Some(Duration::from_secs(600)),
+        })
+    }
+
+    /// Overrides the per-request socket timeout (`None` blocks forever).
+    /// The default is 600 s — long enough for a cold simulation of a large
+    /// trace, short enough that a dead server fails the call.
+    pub fn io_timeout(mut self, timeout: Option<Duration>) -> Client {
+        self.io_timeout = timeout;
+        self
+    }
+
+    fn open(&self) -> Result<TcpStream, ServeError> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_read_timeout(self.io_timeout)?;
+        stream.set_write_timeout(self.io_timeout)?;
+        stream.set_nodelay(true).ok();
+        Ok(stream)
+    }
+
+    /// Submits an in-memory trace for simulation on the named machine
+    /// spec (see `fpraker_sim::machine_names`).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, protocol violations, or a server-side error (unknown
+    /// spec, undecodable trace, …) reported as [`ServeError::Remote`].
+    pub fn submit_trace(&self, trace: &Trace, spec: &str) -> Result<JobResponse, ServeError> {
+        let bytes = codec::encode(trace);
+        self.submit_encoded(&bytes, spec)
+    }
+
+    /// Submits an already-encoded trace (the exact
+    /// [`fpraker_trace::codec`] byte stream).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::submit_trace`].
+    pub fn submit_encoded(&self, bytes: &[u8], spec: &str) -> Result<JobResponse, ServeError> {
+        self.submit_stream(
+            Fnv64::digest_of(bytes),
+            bytes.len() as u64,
+            spec,
+            &mut &bytes[..],
+        )
+    }
+
+    /// Streams a trace file to the server without loading it: pass one
+    /// computes the digest and length, pass two uploads in
+    /// [`TRACE_CHUNK`]-byte frames (and only if the server does not
+    /// already hold the result).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::submit_trace`], plus file-open/read failures.
+    pub fn submit_file<P: AsRef<Path>>(
+        &self,
+        path: P,
+        spec: &str,
+    ) -> Result<JobResponse, ServeError> {
+        let path = path.as_ref();
+        let mut digest = Fnv64::new();
+        let mut len: u64 = 0;
+        let mut reader = BufReader::new(File::open(path)?);
+        let mut chunk = vec![0u8; TRACE_CHUNK];
+        loop {
+            let n = reader.read(&mut chunk)?;
+            if n == 0 {
+                break;
+            }
+            digest.update(&chunk[..n]);
+            len += n as u64;
+        }
+        let mut upload = BufReader::new(File::open(path)?);
+        self.submit_stream(digest.value(), len, spec, &mut upload)
+    }
+
+    /// The shared submission path: header first, upload only on demand.
+    fn submit_stream<R: Read>(
+        &self,
+        digest: u64,
+        trace_bytes: u64,
+        spec: &str,
+        trace: &mut R,
+    ) -> Result<JobResponse, ServeError> {
+        if u16::try_from(spec.len()).is_err() {
+            return Err(ServeError::Protocol(format!(
+                "machine spec of {} bytes exceeds the u16 length prefix",
+                spec.len()
+            )));
+        }
+        let mut stream = self.open()?;
+        let submit = Submit {
+            spec: spec.to_string(),
+            digest,
+            trace_bytes,
+        };
+        write_frame(&mut stream, tag::SUBMIT, &submit.encode())?;
+        stream.flush()?;
+        match self.read_response(&mut stream)? {
+            Response::Result(r) => Ok(r),
+            Response::NeedTrace => {
+                if let Err(e) = self.upload(&mut stream, trace) {
+                    // The server may have rejected the upload mid-stream;
+                    // prefer its verdict over our broken pipe.
+                    return match self.read_response(&mut stream) {
+                        Ok(Response::Result(r)) => Ok(r),
+                        Err(remote @ ServeError::Remote(_)) => Err(remote),
+                        _ => Err(e),
+                    };
+                }
+                match self.read_response(&mut stream)? {
+                    Response::Result(r) => Ok(r),
+                    Response::NeedTrace => Err(ServeError::Protocol(
+                        "server asked for the trace twice".into(),
+                    )),
+                }
+            }
+        }
+    }
+
+    fn upload<R: Read>(&self, stream: &mut TcpStream, trace: &mut R) -> Result<(), ServeError> {
+        let mut chunk = vec![0u8; TRACE_CHUNK];
+        loop {
+            let n = trace.read(&mut chunk)?;
+            if n == 0 {
+                break;
+            }
+            write_frame(stream, tag::TRACE_DATA, &chunk[..n])?;
+        }
+        write_frame(stream, tag::TRACE_END, &[])?;
+        stream.flush()?;
+        Ok(())
+    }
+
+    fn read_response(&self, stream: &mut TcpStream) -> Result<Response, ServeError> {
+        let (frame_tag, payload) = read_frame(stream)?;
+        match frame_tag {
+            tag::NEED_TRACE => Ok(Response::NeedTrace),
+            tag::RESULT => {
+                let (&cached, result_payload) = payload
+                    .split_first()
+                    .ok_or_else(|| ServeError::Protocol("empty result frame".into()))?;
+                Ok(Response::Result(JobResponse {
+                    cached: cached != 0,
+                    result: protocol::decode_result(result_payload)?,
+                }))
+            }
+            other => Err(failure_response(other, payload)),
+        }
+    }
+
+    /// Fetches the server's job and cache counters.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or protocol violations.
+    pub fn stats(&self) -> Result<ServerStats, ServeError> {
+        let mut stream = self.open()?;
+        write_frame(&mut stream, tag::STATS, &protocol::encode_stats_request())?;
+        stream.flush()?;
+        let (frame_tag, payload) = read_frame(&mut stream)?;
+        match frame_tag {
+            tag::STATS_RESULT => ServerStats::decode(&payload),
+            other => Err(failure_response(other, payload)),
+        }
+    }
+}
+
+/// Turns a non-success response frame into the matching error: a server
+/// `ERROR` frame becomes [`ServeError::Remote`], anything else is a
+/// protocol violation.
+fn failure_response(frame_tag: u8, payload: Vec<u8>) -> ServeError {
+    if frame_tag == tag::ERROR {
+        ServeError::Remote(String::from_utf8_lossy(&payload).into_owned())
+    } else {
+        ServeError::Protocol(format!("unexpected response tag {frame_tag:#04x}"))
+    }
+}
+
+enum Response {
+    NeedTrace,
+    Result(JobResponse),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_resolves_and_sets_timeout() {
+        let client = Client::connect("127.0.0.1:1").unwrap().io_timeout(None);
+        assert_eq!(client.addr.port(), 1);
+        assert!(client.io_timeout.is_none());
+    }
+
+    #[test]
+    fn connect_rejects_unresolvable() {
+        // An empty iterator of addresses.
+        let empty: &[SocketAddr] = &[];
+        assert!(Client::connect(empty).is_err());
+    }
+}

@@ -1,0 +1,64 @@
+//! `fpraker-serve` — the service layer of the FPRaker reproduction: a
+//! concurrent trace-simulation server with content-addressed result
+//! caching.
+//!
+//! The papers frame PEs like FPRaker as *shared infrastructure* that many
+//! workloads dispatch onto. This crate turns the one-shot simulator into
+//! exactly that: a long-lived multi-client TCP service (std::net only)
+//! that accepts simulation jobs over a length-framed wire protocol,
+//! streams each uploaded trace **straight into**
+//! [`fpraker_sim::Engine::run_source`] without materializing it, and
+//! returns per-op cycle/energy reports plus a run summary.
+//!
+//! * [`protocol`] — the wire format: framed messages whose trace payload
+//!   is the unmodified [`fpraker_trace::codec`] byte stream, so there is
+//!   one trace codec end to end.
+//! * [`cache`] — the content-addressed LRU result cache, keyed by
+//!   (trace digest, machine spec): repeated submissions of the same trace
+//!   are answered bit-identically without re-simulating — and, because
+//!   clients declare the digest up front, without re-uploading.
+//! * [`server`] — the accept loop and the bounded job pool: at most
+//!   `jobs` simulations in flight, each with `threads_per_job` engine
+//!   workers, whatever the client count.
+//! * [`client`] — the client library the `fpraker-submit` binary (and the
+//!   benches and tests) are built on.
+//!
+//! Machine specs are names (`"fpraker"`, `"baseline"`, `"pragmatic"`)
+//! resolved through the [`fpraker_sim::resolve_machine`] registry, so the
+//! service simulates anything the registry knows.
+//!
+//! # In-process round trip
+//!
+//! ```
+//! use fpraker_serve::{Client, Server, ServerConfig};
+//! use fpraker_trace::Trace;
+//!
+//! let server = Server::start(ServerConfig::default()).unwrap();
+//! let client = Client::connect(server.local_addr()).unwrap();
+//!
+//! let trace = Trace::new("quickstart", 0);
+//! let cold = client.submit_trace(&trace, "fpraker").unwrap();
+//! let warm = client.submit_trace(&trace, "fpraker").unwrap();
+//! assert!(!cold.cached);
+//! assert!(warm.cached);
+//! assert_eq!(cold.result, warm.result);
+//! server.shutdown();
+//! ```
+//!
+//! The binaries are the same pieces as a daemon/CLI pair: `fpraker-served`
+//! hosts a [`Server`]; `fpraker-submit` drives a [`Client`] at a trace
+//! file, optionally verifying the response against a local
+//! [`fpraker_sim::Engine::run`].
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{CacheKey, CacheStats, ResultCache};
+pub use client::{Client, JobResponse};
+pub use protocol::{JobResult, OpReport, ServeError, ServerStats};
+pub use server::{Server, ServerConfig};

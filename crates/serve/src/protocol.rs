@@ -1,0 +1,553 @@
+//! The length-framed wire protocol between `fpraker-serve` clients and
+//! the server.
+//!
+//! Every message is one **frame**: a tag byte, a `u32` little-endian
+//! payload length, then the payload. Frames are capped at
+//! [`MAX_FRAME_LEN`] bytes so a corrupt or hostile length prefix cannot
+//! force a huge allocation; trace uploads of any size are split across
+//! many [`tag::TRACE_DATA`] frames instead. The trace payload itself is
+//! the unmodified [`fpraker_trace::codec`] byte stream — the server feeds
+//! the reassembled frames straight into an incremental
+//! [`fpraker_trace::codec::Reader`], so there is exactly one trace codec
+//! end to end.
+//!
+//! A job is one half-duplex exchange on a fresh connection:
+//!
+//! ```text
+//! client                                server
+//!   ── SUBMIT {spec, digest, len} ──▶
+//!                                     (cache hit)
+//!   ◀── RESULT {cached=1, payload} ──
+//!                                     (cache miss)
+//!   ◀── NEED_TRACE ─────────────────
+//!   ── TRACE_DATA × n ──────────────▶  (streamed into the simulator)
+//!   ── TRACE_END ───────────────────▶
+//!   ◀── RESULT {cached=0, payload} ──
+//! ```
+//!
+//! A [`tag::STATS`] request (instead of `SUBMIT`) returns server counters.
+//! Any violation is answered with a [`tag::ERROR`] frame carrying a UTF-8
+//! message, after which the server closes the connection — but keeps
+//! accepting new ones.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+use std::io::{Read, Write};
+
+use fpraker_energy::EnergyModel;
+use fpraker_sim::{Machine, RunResult};
+use fpraker_trace::{DecodeError, Phase};
+
+/// Magic bytes opening every [`tag::SUBMIT`]/[`tag::STATS`] payload, so
+/// the server can reject non-protocol traffic with a clear error.
+pub const PROTOCOL_MAGIC: &[u8; 4] = b"FPRS";
+/// Wire protocol version.
+pub const PROTOCOL_VERSION: u8 = 1;
+/// Hard cap on a single frame's payload (4 MiB). Larger uploads are
+/// chunked; a length prefix above this is a protocol error, mirroring the
+/// trace codec's bounded-allocation discipline.
+pub const MAX_FRAME_LEN: u32 = 4 << 20;
+/// Chunk size clients use when streaming trace bytes (64 KiB).
+pub const TRACE_CHUNK: usize = 64 << 10;
+
+/// Frame tags. Client→server tags have the high bit clear, server→client
+/// tags have it set.
+pub mod tag {
+    /// Client→server: job submission header (spec, digest, byte length).
+    pub const SUBMIT: u8 = 0x01;
+    /// Client→server: a chunk of the trace's codec byte stream.
+    pub const TRACE_DATA: u8 = 0x02;
+    /// Client→server: end of the trace byte stream (empty payload).
+    pub const TRACE_END: u8 = 0x03;
+    /// Client→server: server-counters request (empty payload after magic).
+    pub const STATS: u8 = 0x04;
+    /// Server→client: cache miss — stream the trace now (empty payload).
+    pub const NEED_TRACE: u8 = 0x81;
+    /// Server→client: the job's result payload, prefixed by a cached flag.
+    pub const RESULT: u8 = 0x82;
+    /// Server→client: UTF-8 error message; the connection closes after.
+    pub const ERROR: u8 = 0x83;
+    /// Server→client: server counters.
+    pub const STATS_RESULT: u8 = 0x84;
+}
+
+/// Everything that can go wrong on either side of the protocol.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket-level failure (includes mid-upload disconnects).
+    Io(io::Error),
+    /// The peer violated the protocol (bad tag, oversized frame, …).
+    Protocol(String),
+    /// The server answered with an [`tag::ERROR`] frame.
+    Remote(String),
+    /// The uploaded trace failed to decode.
+    Trace(DecodeError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+            ServeError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ServeError::Remote(m) => write!(f, "server error: {m}"),
+            ServeError::Trace(e) => write!(f, "trace error: {e}"),
+        }
+    }
+}
+
+impl Error for ServeError {}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<DecodeError> for ServeError {
+    fn from(e: DecodeError) -> Self {
+        ServeError::Trace(e)
+    }
+}
+
+/// Writes one frame: tag, `u32` length, payload.
+///
+/// # Errors
+///
+/// Rejects payloads above [`MAX_FRAME_LEN`] (callers chunk instead);
+/// otherwise propagates I/O errors.
+pub fn write_frame<W: Write>(w: &mut W, tag: u8, payload: &[u8]) -> Result<(), ServeError> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&l| l <= MAX_FRAME_LEN)
+        .ok_or_else(|| ServeError::Protocol(format!("frame of {} bytes", payload.len())))?;
+    w.write_all(&[tag])?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// Reads one frame, enforcing [`MAX_FRAME_LEN`] *before* allocating.
+///
+/// # Errors
+///
+/// `Protocol` on an oversized length prefix, `Io` on socket failures
+/// (including a peer that disconnected mid-frame).
+pub fn read_frame<R: Read>(r: &mut R) -> Result<(u8, Vec<u8>), ServeError> {
+    let mut head = [0u8; 5];
+    r.read_exact(&mut head)?;
+    let tag = head[0];
+    let len = u32::from_le_bytes([head[1], head[2], head[3], head[4]]);
+    if len > MAX_FRAME_LEN {
+        return Err(ServeError::Protocol(format!(
+            "length prefix {len} exceeds the {MAX_FRAME_LEN}-byte frame cap"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok((tag, payload))
+}
+
+/// A parsed [`tag::SUBMIT`] payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Submit {
+    /// Machine spec name, resolved through `fpraker_sim::resolve_machine`.
+    pub spec: String,
+    /// FNV-1a content digest of the trace's encoded bytes
+    /// ([`fpraker_trace::digest`]).
+    pub digest: u64,
+    /// Exact length of the encoded trace in bytes.
+    pub trace_bytes: u64,
+}
+
+impl Submit {
+    /// Serializes the submission header.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec name exceeds the u16 length prefix (65535
+    /// bytes) — silently wrapping the length would corrupt the payload.
+    /// [`crate::Client`] validates spec names before encoding, so library
+    /// users never hit this.
+    pub fn encode(&self) -> Vec<u8> {
+        u16::try_from(self.spec.len()).expect("spec name exceeds the u16 length prefix");
+        let mut out = Vec::with_capacity(4 + 1 + 8 + 8 + 2 + self.spec.len());
+        out.extend_from_slice(PROTOCOL_MAGIC);
+        out.push(PROTOCOL_VERSION);
+        out.extend_from_slice(&self.digest.to_le_bytes());
+        out.extend_from_slice(&self.trace_bytes.to_le_bytes());
+        out.extend_from_slice(&(self.spec.len() as u16).to_le_bytes());
+        out.extend_from_slice(self.spec.as_bytes());
+        out
+    }
+
+    /// Parses a submission header, validating magic and version.
+    ///
+    /// # Errors
+    ///
+    /// `Protocol` on bad magic, unsupported version, or a malformed
+    /// payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, ServeError> {
+        let mut c = Cursor::new(payload);
+        check_preamble(&mut c)?;
+        let digest = c.u64()?;
+        let trace_bytes = c.u64()?;
+        let spec = c.string()?;
+        c.finish()?;
+        Ok(Submit {
+            spec,
+            digest,
+            trace_bytes,
+        })
+    }
+}
+
+/// Validates the `FPRS` magic + version preamble of a request payload.
+fn check_preamble(c: &mut Cursor<'_>) -> Result<(), ServeError> {
+    let magic = c.bytes(4)?;
+    if magic != PROTOCOL_MAGIC {
+        return Err(ServeError::Protocol("bad protocol magic".into()));
+    }
+    let version = c.u8()?;
+    if version != PROTOCOL_VERSION {
+        return Err(ServeError::Protocol(format!(
+            "unsupported protocol version {version}"
+        )));
+    }
+    Ok(())
+}
+
+/// Encodes a [`tag::STATS`] request payload (magic + version only).
+pub fn encode_stats_request() -> Vec<u8> {
+    let mut out = Vec::with_capacity(5);
+    out.extend_from_slice(PROTOCOL_MAGIC);
+    out.push(PROTOCOL_VERSION);
+    out
+}
+
+/// Parses a [`tag::STATS`] request payload.
+///
+/// # Errors
+///
+/// `Protocol` on bad magic/version or trailing bytes.
+pub fn decode_stats_request(payload: &[u8]) -> Result<(), ServeError> {
+    let mut c = Cursor::new(payload);
+    check_preamble(&mut c)?;
+    c.finish()
+}
+
+/// Server counters returned by a [`tag::STATS`] request.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Simulations actually run (cache misses carried to completion).
+    pub jobs_completed: u64,
+    /// Result-cache hits.
+    pub cache_hits: u64,
+    /// Result-cache misses.
+    pub cache_misses: u64,
+    /// Entries currently cached.
+    pub cache_entries: u64,
+    /// Cache capacity in entries.
+    pub cache_capacity: u64,
+}
+
+impl ServerStats {
+    /// Serializes the counters.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(40);
+        for v in [
+            self.jobs_completed,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_entries,
+            self.cache_capacity,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses the counters.
+    ///
+    /// # Errors
+    ///
+    /// `Protocol` on a malformed payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, ServeError> {
+        let mut c = Cursor::new(payload);
+        let stats = ServerStats {
+            jobs_completed: c.u64()?,
+            cache_hits: c.u64()?,
+            cache_misses: c.u64()?,
+            cache_entries: c.u64()?,
+            cache_capacity: c.u64()?,
+        };
+        c.finish()?;
+        Ok(stats)
+    }
+}
+
+/// One op's simulated outcome as reported to clients.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OpReport {
+    /// Training phase tag (`None` for untagged ops).
+    pub phase: Option<Phase>,
+    /// Op latency in cycles (`max(compute, memory)`).
+    pub cycles: u64,
+    /// Compute-only cycles.
+    pub compute_cycles: u64,
+    /// MAC count.
+    pub macs: u64,
+    /// Energy of the op in picojoules under the paper's Table III model.
+    pub energy_pj: f64,
+}
+
+/// A whole job's result as reported to clients: run summary plus per-op
+/// cycle/energy reports, in trace order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobResult {
+    /// The *canonical* machine spec the job ran on: the registry name,
+    /// lowercased and trimmed. May differ in case from what was submitted
+    /// (`FPRaker` → `fpraker`) — canonicalizing here is what lets a
+    /// cached payload replay bit-identically to every client, however
+    /// they spelled the spec.
+    pub spec: String,
+    /// Total cycles (ops execute back to back).
+    pub cycles: u64,
+    /// Total compute-only cycles.
+    pub compute_cycles: u64,
+    /// Total MACs.
+    pub macs: u64,
+    /// Golden-check failures (0 when checking is off).
+    pub golden_failures: u64,
+    /// Total energy in picojoules under the paper's Table III model.
+    pub energy_pj: f64,
+    /// Most ops simultaneously resident while the server streamed the
+    /// trace through the simulator (the bounded-window evidence).
+    pub peak_resident_ops: u64,
+    /// Per-op reports, in trace order.
+    pub ops: Vec<OpReport>,
+}
+
+fn phase_to_tag(phase: Option<Phase>) -> u8 {
+    match phase {
+        Some(Phase::AxW) => 0,
+        Some(Phase::AxG) => 1,
+        Some(Phase::GxW) => 2,
+        None => 0xFF,
+    }
+}
+
+fn phase_from_tag(tag: u8) -> Result<Option<Phase>, ServeError> {
+    match tag {
+        0 => Ok(Some(Phase::AxW)),
+        1 => Ok(Some(Phase::AxG)),
+        2 => Ok(Some(Phase::GxW)),
+        0xFF => Ok(None),
+        other => Err(ServeError::Protocol(format!("bad phase tag {other}"))),
+    }
+}
+
+/// Builds the result payload for a completed run. Deterministic: the same
+/// [`RunResult`] always serializes to the same bytes, which is what lets
+/// the cache replay a stored payload bit-identically to every client.
+pub fn encode_result(
+    spec: &str,
+    run: &RunResult,
+    peak_resident_ops: u64,
+    model: &EnergyModel,
+) -> Vec<u8> {
+    let energy = |counts| match run.machine {
+        Machine::FpRaker => model.fpraker_energy(counts).total_pj(),
+        Machine::Baseline => model.baseline_energy(counts).total_pj(),
+    };
+    let mut out = Vec::with_capacity(64 + run.ops.len() * 33);
+    out.extend_from_slice(&(spec.len() as u16).to_le_bytes());
+    out.extend_from_slice(spec.as_bytes());
+    out.extend_from_slice(&run.cycles().to_le_bytes());
+    out.extend_from_slice(&run.compute_cycles().to_le_bytes());
+    out.extend_from_slice(&run.macs().to_le_bytes());
+    out.extend_from_slice(&run.golden_failures().to_le_bytes());
+    let total_counts = run.counts();
+    out.extend_from_slice(&energy(&total_counts).to_bits().to_le_bytes());
+    out.extend_from_slice(&peak_resident_ops.to_le_bytes());
+    out.extend_from_slice(&(run.ops.len() as u32).to_le_bytes());
+    for op in &run.ops {
+        out.push(phase_to_tag(op.phase));
+        out.extend_from_slice(&op.cycles.to_le_bytes());
+        out.extend_from_slice(&op.compute_cycles.to_le_bytes());
+        out.extend_from_slice(&op.macs.to_le_bytes());
+        out.extend_from_slice(&energy(&op.counts).to_bits().to_le_bytes());
+    }
+    out
+}
+
+/// Parses a result payload.
+///
+/// # Errors
+///
+/// `Protocol` on any malformed field or trailing bytes.
+pub fn decode_result(payload: &[u8]) -> Result<JobResult, ServeError> {
+    let mut c = Cursor::new(payload);
+    let spec = c.string()?;
+    let cycles = c.u64()?;
+    let compute_cycles = c.u64()?;
+    let macs = c.u64()?;
+    let golden_failures = c.u64()?;
+    let energy_pj = f64::from_bits(c.u64()?);
+    let peak_resident_ops = c.u64()?;
+    let op_count = c.u32()? as usize;
+    let mut ops = Vec::with_capacity(op_count.min(1 << 16));
+    for _ in 0..op_count {
+        ops.push(OpReport {
+            phase: phase_from_tag(c.u8()?)?,
+            cycles: c.u64()?,
+            compute_cycles: c.u64()?,
+            macs: c.u64()?,
+            energy_pj: f64::from_bits(c.u64()?),
+        });
+    }
+    c.finish()?;
+    Ok(JobResult {
+        spec,
+        cycles,
+        compute_cycles,
+        macs,
+        golden_failures,
+        energy_pj,
+        peak_resident_ops,
+        ops,
+    })
+}
+
+/// Bounds-checked little-endian payload reader.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, at: 0 }
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], ServeError> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| ServeError::Protocol("truncated payload".into()))?;
+        let s = &self.buf[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ServeError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ServeError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ServeError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String, ServeError> {
+        let len = u16::from_le_bytes(self.bytes(2)?.try_into().unwrap()) as usize;
+        let bytes = self.bytes(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| ServeError::Protocol("invalid utf-8 in payload".into()))
+    }
+
+    fn finish(&mut self) -> Result<(), ServeError> {
+        if self.at != self.buf.len() {
+            return Err(ServeError::Protocol(format!(
+                "{} trailing payload bytes",
+                self.buf.len() - self.at
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, tag::SUBMIT, b"hello").unwrap();
+        write_frame(&mut buf, tag::TRACE_END, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(
+            read_frame(&mut r).unwrap(),
+            (tag::SUBMIT, b"hello".to_vec())
+        );
+        assert_eq!(read_frame(&mut r).unwrap(), (tag::TRACE_END, Vec::new()));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocating() {
+        let mut buf = vec![tag::TRACE_DATA];
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        match read_frame(&mut &buf[..]) {
+            Err(ServeError::Protocol(m)) => assert!(m.contains("length prefix"), "{m}"),
+            other => panic!("expected protocol error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn submit_round_trips_and_rejects_corruption() {
+        let s = Submit {
+            spec: "fpraker".into(),
+            digest: 0xDEAD_BEEF_CAFE_F00D,
+            trace_bytes: 12345,
+        };
+        let mut enc = s.encode();
+        assert_eq!(Submit::decode(&enc).unwrap(), s);
+        enc[0] = b'X';
+        assert!(Submit::decode(&enc).is_err());
+        assert!(Submit::decode(&s.encode()[..5]).is_err());
+    }
+
+    #[test]
+    fn stats_round_trip() {
+        let s = ServerStats {
+            jobs_completed: 3,
+            cache_hits: 2,
+            cache_misses: 1,
+            cache_entries: 1,
+            cache_capacity: 64,
+        };
+        assert_eq!(ServerStats::decode(&s.encode()).unwrap(), s);
+        assert!(ServerStats::decode(&s.encode()[..7]).is_err());
+        decode_stats_request(&encode_stats_request()).unwrap();
+        assert!(decode_stats_request(b"junk!").is_err());
+    }
+
+    #[test]
+    fn result_payload_round_trips() {
+        use fpraker_sim::{AcceleratorConfig, Engine, Machine};
+        use fpraker_trace::Trace;
+
+        let run = Engine::with_threads(1).run(
+            Machine::FpRaker,
+            &Trace::new("empty", 0),
+            &AcceleratorConfig::fpraker_paper(),
+        );
+        let payload = encode_result("fpraker", &run, 0, &EnergyModel::paper());
+        let parsed = decode_result(&payload).unwrap();
+        assert_eq!(parsed.spec, "fpraker");
+        assert_eq!(parsed.cycles, 0);
+        assert_eq!(parsed.ops.len(), 0);
+        // Determinism: encoding twice yields identical bytes.
+        assert_eq!(
+            payload,
+            encode_result("fpraker", &run, 0, &EnergyModel::paper())
+        );
+        assert!(decode_result(&payload[..payload.len() - 1]).is_err());
+    }
+}

@@ -1,0 +1,486 @@
+//! The trace-simulation server: accept loop, bounded job pool, and the
+//! per-connection protocol state machine.
+//!
+//! Each connection is one job (or one stats query). The handler parses the
+//! [`crate::protocol::Submit`] header, resolves the machine spec through
+//! the `fpraker_sim` registry, and consults the content-addressed
+//! [`ResultCache`]; on a miss it asks the client for the trace and pipes
+//! the incoming [`crate::protocol::tag::TRACE_DATA`] frames **straight
+//! into** an incremental [`codec::Reader`] driving
+//! [`Engine::run_source`] — the upload is simulated as it arrives, under
+//! the engine's bounded op window, and is never materialized.
+//!
+//! Simulations are dispatched across a bounded job pool: a counting
+//! semaphore of `jobs` permits, each job running the shared engine with
+//! `threads_per_job` workers, so the server's total worker budget is
+//! `jobs × threads_per_job` regardless of how many clients connect
+//! (`threads_per_job = 0` resolves to one worker per core per job — see
+//! [`ServerConfig::threads_per_job`]).
+//! Protocol violations are answered with an error frame and close only
+//! that connection; the accept loop keeps serving.
+
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use fpraker_energy::EnergyModel;
+use fpraker_sim::{resolve_machine, Engine};
+use fpraker_trace::codec;
+
+use crate::cache::{CacheKey, CacheStats, ResultCache};
+use crate::protocol::{
+    self, read_frame, tag, write_frame, ServeError, ServerStats, Submit, MAX_FRAME_LEN,
+};
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Address to bind (use port 0 for an ephemeral port in tests).
+    pub addr: String,
+    /// Maximum simulations in flight at once (the job pool's permit
+    /// count); further jobs queue on the semaphore. Clamped to ≥ 1.
+    pub jobs: usize,
+    /// Engine workers per job. The server's total worker budget is
+    /// `jobs × threads_per_job`. `0` resolves to one worker per core *per
+    /// job* — convenient on a mostly-idle box, but with `jobs > 1` it
+    /// oversubscribes the cores; set an explicit value to hold a fixed
+    /// budget.
+    pub threads_per_job: usize,
+    /// Streaming window per job (`0` = the engine default of 2× workers).
+    pub stream_window: usize,
+    /// Result-cache capacity in entries.
+    pub cache_entries: usize,
+    /// Per-connection socket timeout (`None` = block forever). Bounds how
+    /// long a stalled client can pin a connection thread.
+    pub io_timeout: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            jobs: 2,
+            threads_per_job: 0,
+            stream_window: 0,
+            cache_entries: 64,
+            io_timeout: Some(Duration::from_secs(60)),
+        }
+    }
+}
+
+/// Counting semaphore bounding concurrent simulations.
+struct Semaphore {
+    permits: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Semaphore {
+    fn new(permits: usize) -> Self {
+        Semaphore {
+            permits: Mutex::new(permits),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) {
+        let mut p = self.permits.lock().unwrap();
+        while *p == 0 {
+            p = self.cv.wait(p).unwrap();
+        }
+        *p -= 1;
+    }
+
+    fn release(&self) {
+        *self.permits.lock().unwrap() += 1;
+        self.cv.notify_one();
+    }
+}
+
+/// Releases a job permit on drop, so every exit path (including errors)
+/// returns the slot to the pool.
+struct JobPermit<'a>(&'a Semaphore);
+
+impl Drop for JobPermit<'_> {
+    fn drop(&mut self) {
+        self.0.release();
+    }
+}
+
+struct Shared {
+    cache: ResultCache,
+    jobs: Semaphore,
+    engine: Engine,
+    energy: EnergyModel,
+    io_timeout: Option<Duration>,
+    shutdown: AtomicBool,
+    jobs_completed: AtomicU64,
+}
+
+/// A running trace-simulation server.
+///
+/// [`Server::start`] binds and returns immediately; the accept loop runs
+/// on a background thread until [`Server::shutdown`] (or process exit).
+///
+/// ```
+/// use fpraker_serve::{Server, ServerConfig};
+///
+/// let server = Server::start(ServerConfig::default()).unwrap();
+/// let addr = server.local_addr(); // ephemeral port, ready for clients
+/// assert_ne!(addr.port(), 0);
+/// server.shutdown();
+/// ```
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `config.addr` and starts accepting clients.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure (address in use, permission, …).
+    pub fn start(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            cache: ResultCache::new(config.cache_entries),
+            jobs: Semaphore::new(config.jobs.max(1)),
+            engine: Engine::with_threads(config.threads_per_job)
+                .stream_window(config.stream_window),
+            energy: EnergyModel::paper(),
+            io_timeout: config.io_timeout,
+            shutdown: AtomicBool::new(false),
+            jobs_completed: AtomicU64::new(0),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else {
+                    // Persistent accept failures (e.g. fd exhaustion under
+                    // EMFILE) would otherwise busy-spin this loop; back off
+                    // briefly and retry.
+                    std::thread::sleep(Duration::from_millis(20));
+                    continue;
+                };
+                let conn_shared = Arc::clone(&accept_shared);
+                std::thread::spawn(move || {
+                    // A failed connection only ever fails itself.
+                    let _ = handle_connection(stream, &conn_shared);
+                });
+            }
+        });
+        Ok(Server {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address the server is listening on (with the resolved port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Result-cache effectiveness counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// The counters a [`tag::STATS`] request reports.
+    pub fn stats(&self) -> ServerStats {
+        server_stats(&self.shared)
+    }
+
+    /// Blocks until the accept loop exits. The loop runs until the
+    /// process dies, so daemons use this to park the main thread.
+    pub fn join(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Stops accepting connections and joins the accept thread. In-flight
+    /// connections finish on their own threads. (Dropping the server does
+    /// the same.)
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        let Some(t) = self.accept_thread.take() else {
+            return;
+        };
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = t.join();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn server_stats(shared: &Shared) -> ServerStats {
+    let cache = shared.cache.stats();
+    ServerStats {
+        jobs_completed: shared.jobs_completed.load(Ordering::SeqCst),
+        cache_hits: cache.hits,
+        cache_misses: cache.misses,
+        cache_entries: cache.entries as u64,
+        cache_capacity: cache.capacity as u64,
+    }
+}
+
+/// Sends an error frame (best-effort; the peer may already be gone).
+fn send_error(stream: &mut TcpStream, message: &str) {
+    let _ = write_frame(stream, tag::ERROR, message.as_bytes());
+    let _ = stream.flush();
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Shared) -> Result<(), ServeError> {
+    stream.set_read_timeout(shared.io_timeout)?;
+    stream.set_write_timeout(shared.io_timeout)?;
+    stream.set_nodelay(true).ok();
+
+    let (req_tag, payload) = match read_frame(&mut stream) {
+        Ok(frame) => frame,
+        Err(e) => {
+            send_error(&mut stream, &e.to_string());
+            return Err(e);
+        }
+    };
+    match req_tag {
+        tag::STATS => {
+            if let Err(e) = protocol::decode_stats_request(&payload) {
+                send_error(&mut stream, &e.to_string());
+                return Err(e);
+            }
+            write_frame(
+                &mut stream,
+                tag::STATS_RESULT,
+                &server_stats(shared).encode(),
+            )?;
+            Ok(())
+        }
+        tag::SUBMIT => {
+            let submit = match Submit::decode(&payload) {
+                Ok(s) => s,
+                Err(e) => {
+                    send_error(&mut stream, &e.to_string());
+                    return Err(e);
+                }
+            };
+            match handle_job(&mut stream, shared, &submit) {
+                Ok(()) => Ok(()),
+                Err(e) => {
+                    send_error(&mut stream, &e.to_string());
+                    Err(e)
+                }
+            }
+        }
+        other => {
+            let e = ServeError::Protocol(format!("unexpected frame tag {other:#04x}"));
+            send_error(&mut stream, &e.to_string());
+            Err(e)
+        }
+    }
+}
+
+/// Replays a cached payload as a `RESULT{cached=1}` frame.
+fn send_result(stream: &mut TcpStream, cached: bool, payload: &[u8]) -> Result<(), ServeError> {
+    let mut framed = Vec::with_capacity(1 + payload.len());
+    framed.push(u8::from(cached));
+    framed.extend_from_slice(payload);
+    write_frame(stream, tag::RESULT, &framed)?;
+    stream.flush()?;
+    Ok(())
+}
+
+fn handle_job(stream: &mut TcpStream, shared: &Shared, submit: &Submit) -> Result<(), ServeError> {
+    let Some((machine, cfg)) = resolve_machine(&submit.spec) else {
+        return Err(ServeError::Protocol(format!(
+            "unknown machine spec {:?} (known: {})",
+            submit.spec,
+            fpraker_sim::machine_names().join(", ")
+        )));
+    };
+    let key = CacheKey::new(submit.digest, &submit.spec);
+    if let Some(hit) = shared.cache.get(&key) {
+        return send_result(stream, true, &hit);
+    }
+    // Miss: take a job slot. Another job for the same content may finish
+    // while we wait, so re-check before asking for the upload (with
+    // `jobs` permits, up to `jobs` racing clients can still slip past
+    // this and simulate the same content — a bounded duplication, never
+    // a correctness issue since payloads are deterministic).
+    shared.jobs.acquire();
+    let _permit = JobPermit(&shared.jobs);
+    if let Some(hit) = shared.cache.recheck(&key) {
+        return send_result(stream, true, &hit);
+    }
+    write_frame(stream, tag::NEED_TRACE, &[])?;
+    stream.flush()?;
+
+    // Stream the upload straight through the decoder into the simulator:
+    // frames → BodyReader → codec::Reader (which hashes every byte it
+    // consumes) → Engine::run_source.
+    let mut body = BodyReader::new(stream);
+    let mut reader = codec::Reader::new(&mut body)?;
+    let run = shared.engine.run_source(machine, &mut reader, &cfg)?;
+    let (consumed, digest) = (reader.offset(), reader.digest());
+    drop(reader);
+    body.finish()?;
+    // The upload ended exactly where the decoder stopped, so its digest
+    // and offset describe the whole upload.
+    if consumed != submit.trace_bytes {
+        return Err(ServeError::Protocol(format!(
+            "trace was {consumed} bytes but the submission declared {}",
+            submit.trace_bytes
+        )));
+    }
+    if digest != submit.digest {
+        return Err(ServeError::Protocol(format!(
+            "trace digest {digest:#018x} does not match the declared {:#018x}",
+            submit.digest
+        )));
+    }
+
+    let payload = Arc::new(protocol::encode_result(
+        &key.spec,
+        &run.result,
+        run.peak_resident_ops as u64,
+        &shared.energy,
+    ));
+    shared.cache.insert(key, Arc::clone(&payload));
+    shared.jobs_completed.fetch_add(1, Ordering::SeqCst);
+    send_result(stream, false, &payload)
+}
+
+/// Reassembles `TRACE_DATA` frames into one [`io::Read`] stream (EOF at
+/// `TRACE_END`). Digest and length verification of the upload belong to
+/// the wrapping [`codec::Reader`], which hashes and counts every byte it
+/// consumes — once [`BodyReader::finish`] succeeds, the decoder saw the
+/// entire upload.
+struct BodyReader<'a> {
+    stream: &'a mut TcpStream,
+    buf: Vec<u8>,
+    pos: usize,
+    done: bool,
+}
+
+impl<'a> BodyReader<'a> {
+    fn new(stream: &'a mut TcpStream) -> Self {
+        BodyReader {
+            stream,
+            buf: Vec::new(),
+            pos: 0,
+            done: false,
+        }
+    }
+
+    /// Pulls the next data frame, returning `false` at `TRACE_END`.
+    fn next_frame(&mut self) -> io::Result<bool> {
+        debug_assert!(self.pos == self.buf.len() && !self.done);
+        loop {
+            let (frame_tag, payload) = read_frame(self.stream).map_err(|e| match e {
+                ServeError::Io(io) => io,
+                other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+            })?;
+            match frame_tag {
+                tag::TRACE_DATA => {
+                    if payload.is_empty() {
+                        continue; // tolerate empty chunks
+                    }
+                    self.buf = payload;
+                    self.pos = 0;
+                    return Ok(true);
+                }
+                tag::TRACE_END => {
+                    self.done = true;
+                    return Ok(false);
+                }
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unexpected frame tag {other:#04x} inside a trace upload"),
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Confirms the upload ends exactly where the decoder stopped: any
+    /// unconsumed bytes are an immediate protocol error — the rest of a
+    /// malformed upload is *not* read (a client streaming surplus data
+    /// cannot pin the connection), otherwise the closing `TRACE_END`
+    /// frame is consumed.
+    fn finish(&mut self) -> Result<(), ServeError> {
+        let trailing = |n: usize| {
+            Err(ServeError::Protocol(format!(
+                "at least {n} bytes after the declared trace"
+            )))
+        };
+        if self.pos < self.buf.len() {
+            return trailing(self.buf.len() - self.pos);
+        }
+        if !self.done && self.next_frame().map_err(ServeError::Io)? {
+            return trailing(self.buf.len());
+        }
+        Ok(())
+    }
+}
+
+impl io::Read for BodyReader<'_> {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        if self.pos == self.buf.len() && (self.done || !self.next_frame()?) {
+            return Ok(0);
+        }
+        let n = out.len().min(self.buf.len() - self.pos);
+        out[..n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+// MAX_FRAME_LEN is part of this module's contract with clients chunking
+// uploads; referenced here so the doc link stays checked.
+const _: () = assert!(MAX_FRAME_LEN as usize > protocol::TRACE_CHUNK);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn semaphore_bounds_and_releases() {
+        let sem = Semaphore::new(2);
+        sem.acquire();
+        sem.acquire();
+        {
+            let p = sem.permits.lock().unwrap();
+            assert_eq!(*p, 0);
+        }
+        sem.release();
+        sem.acquire(); // would deadlock if release was lost
+        sem.release();
+        sem.release();
+    }
+
+    #[test]
+    fn server_binds_ephemeral_port_and_shuts_down() {
+        let server = Server::start(ServerConfig::default()).unwrap();
+        assert_ne!(server.local_addr().port(), 0);
+        assert_eq!(server.cache_stats().hits, 0);
+        server.shutdown();
+    }
+}

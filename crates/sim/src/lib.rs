@@ -74,6 +74,7 @@
 mod config;
 mod engine;
 mod op;
+mod registry;
 mod run;
 mod sched;
 
@@ -84,6 +85,7 @@ pub use fpraker_core::{
 };
 pub use fpraker_trace::{DecodeError, TraceSource};
 pub use op::{pe_dot_with_reference, simulate_op, OpOutcome};
+pub use registry::{machine_names, resolve_machine, MachineSpec, MACHINE_SPECS};
 pub use run::{
     energy_efficiency, simulate_trace_baseline, simulate_trace_fpraker, speedup, Machine,
     RunResult, StreamRun,

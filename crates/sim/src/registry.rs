@@ -1,0 +1,109 @@
+//! Named machine specifications — the registry behind textual machine
+//! selection.
+//!
+//! Binaries, the service layer (`fpraker-serve`) and scripts select an
+//! accelerator by *name* rather than by constructing a
+//! [`crate::AcceleratorConfig`] in code. The registry maps each name to
+//! the energy-accounting family ([`Machine`]) plus the paper configuration
+//! it denotes, so every entry point resolves specs identically:
+//!
+//! | name | machine | configuration |
+//! |---|---|---|
+//! | `fpraker` | [`Machine::FpRaker`] | [`AcceleratorConfig::fpraker_paper`] (36 tiles, Table II) |
+//! | `baseline` | [`Machine::Baseline`] | [`AcceleratorConfig::baseline_paper`] (8 bit-parallel tiles) |
+//! | `pragmatic` | [`Machine::FpRaker`] | [`AcceleratorConfig::pragmatic_paper`] (bfloat16 Bit-Pragmatic, 20 tiles) |
+//!
+//! ```
+//! use fpraker_sim::{machine_names, resolve_machine, Machine};
+//!
+//! let (machine, cfg) = resolve_machine("fpraker").unwrap();
+//! assert_eq!(machine, Machine::FpRaker);
+//! assert_eq!(cfg.tiles, 36);
+//! assert!(resolve_machine("tpu").is_none());
+//! assert!(machine_names().contains(&"baseline"));
+//! ```
+
+use crate::config::AcceleratorConfig;
+use crate::run::Machine;
+
+/// One registry entry: a spec name, its energy-accounting family, the
+/// configuration it denotes, and a one-line description (for `--help`
+/// output and error messages).
+#[derive(Clone, Copy, Debug)]
+pub struct MachineSpec {
+    /// The name clients submit (e.g. over the `fpraker-serve` protocol).
+    pub name: &'static str,
+    /// Which energy accounting family the config belongs to.
+    pub machine: Machine,
+    /// Builds the accelerator configuration this name denotes — carried
+    /// on the entry so adding a machine cannot desynchronize name and
+    /// config.
+    pub config: fn() -> AcceleratorConfig,
+    /// Human-readable summary of the configuration.
+    pub summary: &'static str,
+}
+
+/// Every named machine the registry resolves, in presentation order.
+pub const MACHINE_SPECS: [MachineSpec; 3] = [
+    MachineSpec {
+        name: "fpraker",
+        machine: Machine::FpRaker,
+        config: AcceleratorConfig::fpraker_paper,
+        summary: "FPRaker accelerator, 36 term-serial tiles (Table II)",
+    },
+    MachineSpec {
+        name: "baseline",
+        machine: Machine::Baseline,
+        config: AcceleratorConfig::baseline_paper,
+        summary: "bit-parallel bfloat16 baseline, 8 tiles (Table II)",
+    },
+    MachineSpec {
+        name: "pragmatic",
+        machine: Machine::FpRaker,
+        config: AcceleratorConfig::pragmatic_paper,
+        summary: "bfloat16 Bit-Pragmatic point of comparison, 20 tiles (Section I)",
+    },
+];
+
+/// The names [`resolve_machine`] accepts, in presentation order.
+pub fn machine_names() -> Vec<&'static str> {
+    MACHINE_SPECS.iter().map(|s| s.name).collect()
+}
+
+/// Resolves a machine spec name (case-insensitive) to its energy family
+/// and paper configuration; `None` for unknown names.
+pub fn resolve_machine(name: &str) -> Option<(Machine, AcceleratorConfig)> {
+    let spec = MACHINE_SPECS
+        .iter()
+        .find(|s| s.name.eq_ignore_ascii_case(name.trim()))?;
+    Some((spec.machine, (spec.config)()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registered_name_resolves() {
+        for spec in MACHINE_SPECS {
+            let (machine, _) = resolve_machine(spec.name).expect(spec.name);
+            assert_eq!(machine, spec.machine);
+        }
+        assert_eq!(machine_names().len(), MACHINE_SPECS.len());
+    }
+
+    #[test]
+    fn resolution_is_case_insensitive_and_trims() {
+        assert!(resolve_machine(" FPRaker ").is_some());
+        assert!(resolve_machine("BASELINE").is_some());
+        assert!(resolve_machine("").is_none());
+        assert!(resolve_machine("unknown").is_none());
+    }
+
+    #[test]
+    fn configs_match_the_paper_tables() {
+        assert_eq!(resolve_machine("fpraker").unwrap().1.tiles, 36);
+        assert_eq!(resolve_machine("baseline").unwrap().1.tiles, 8);
+        assert_eq!(resolve_machine("pragmatic").unwrap().1.tiles, 20);
+    }
+}

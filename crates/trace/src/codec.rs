@@ -21,10 +21,12 @@
 use std::error::Error;
 use std::fmt;
 use std::io;
+use std::io::{Read as _, Write as _};
 
 use bytes::Bytes;
 use fpraker_num::Bf16;
 
+use crate::digest::{DigestRead, DigestWrite};
 use crate::format::{Phase, TensorKind, Trace, TraceOp};
 
 /// Magic bytes identifying a trace file.
@@ -98,7 +100,7 @@ impl Error for DecodeError {}
 /// assert_eq!(codec::decode(&out).unwrap(), trace);
 /// ```
 pub struct Writer<W: io::Write> {
-    w: W,
+    w: DigestWrite<W>,
     declared_ops: u32,
     written_ops: u32,
 }
@@ -110,7 +112,8 @@ impl<W: io::Write> Writer<W> {
     /// # Errors
     ///
     /// Propagates I/O errors from the underlying writer.
-    pub fn new(mut w: W, model: &str, progress_pct: u32, ops: u32) -> io::Result<Self> {
+    pub fn new(w: W, model: &str, progress_pct: u32, ops: u32) -> io::Result<Self> {
+        let mut w = DigestWrite::new(w);
         w.write_all(MAGIC)?;
         w.write_all(&[VERSION])?;
         write_string(&mut w, model)?;
@@ -121,6 +124,15 @@ impl<W: io::Write> Writer<W> {
             declared_ops: ops,
             written_ops: 0,
         })
+    }
+
+    /// The [`crate::digest::Fnv64`] content digest of every byte written
+    /// so far (header included). After [`Writer::finish`] would succeed,
+    /// this is the whole trace's content digest — equal to
+    /// [`Trace::content_digest`] of the equivalent in-memory trace and to
+    /// [`Reader::digest`] after reading the stream back.
+    pub fn digest(&self) -> u64 {
+        self.w.digest()
     }
 
     /// Appends one op to the stream.
@@ -174,7 +186,7 @@ impl<W: io::Write> Writer<W> {
             ));
         }
         self.w.flush()?;
-        Ok(self.w)
+        Ok(self.w.into_inner())
     }
 }
 
@@ -224,7 +236,7 @@ fn write_bf16s<W: io::Write>(w: &mut W, values: &[Bf16]) -> io::Result<()> {
 /// assert!(reader.next_op().unwrap().is_none());
 /// ```
 pub struct Reader<R: io::Read> {
-    r: R,
+    r: DigestRead<R>,
     offset: u64,
     model: String,
     progress_pct: u32,
@@ -241,7 +253,7 @@ impl<R: io::Read> Reader<R> {
     /// version, a truncated header, or an I/O failure.
     pub fn new(r: R) -> Result<Self, DecodeError> {
         let mut reader = Reader {
-            r,
+            r: DigestRead::new(r),
             offset: 0,
             model: String::new(),
             progress_pct: 0,
@@ -343,9 +355,17 @@ impl<R: io::Read> Reader<R> {
         }))
     }
 
+    /// The [`crate::digest::Fnv64`] content digest of every byte consumed
+    /// so far. Once the trace is exhausted (`next_op` returned `None`)
+    /// this is the whole trace's content digest — equal to
+    /// [`Writer::digest`] on the producing side.
+    pub fn digest(&self) -> u64 {
+        self.r.digest()
+    }
+
     /// Returns the underlying reader (positioned after the last op read).
     pub fn into_inner(self) -> R {
-        self.r
+        self.r.into_inner()
     }
 
     fn fill(&mut self, out: &mut [u8], what: &str) -> Result<(), DecodeError> {
@@ -554,6 +574,29 @@ mod tests {
         }
         assert_eq!(r.next_op().unwrap(), None);
         assert_eq!(r.next_op().unwrap(), None, "exhausted reader stays None");
+    }
+
+    #[test]
+    fn writer_and_reader_report_the_same_content_digest() {
+        let tr = sample_trace();
+        let mut out = Vec::new();
+        let mut w = Writer::new(&mut out, &tr.model, tr.progress_pct, tr.ops.len() as u32).unwrap();
+        for op in &tr.ops {
+            w.write_op(op).unwrap();
+        }
+        let wrote = w.digest();
+        w.finish().unwrap();
+        assert_eq!(wrote, crate::digest::Fnv64::digest_of(&out));
+        assert_eq!(wrote, tr.content_digest());
+
+        let mut r = Reader::new(&out[..]).unwrap();
+        while r.next_op().unwrap().is_some() {}
+        assert_eq!(r.digest(), wrote);
+
+        // Different content, different digest.
+        let mut other = sample_trace();
+        other.ops[0].a[0] = Bf16::from_f32(123.0);
+        assert_ne!(other.content_digest(), wrote);
     }
 
     #[test]

@@ -1,0 +1,230 @@
+//! Streaming content digests of encoded traces.
+//!
+//! The service layer (`fpraker-serve`) caches simulation results by trace
+//! *content*: two uploads with the same encoded bytes are the same job.
+//! The digest is a 64-bit FNV-1a hash over the exact byte stream the
+//! [`crate::codec`] produces, computed incrementally — the
+//! [`crate::codec::Writer`] and [`crate::codec::Reader`] both hash every
+//! byte as it passes through, so the digest of a trace of any length costs
+//! no extra pass and no extra memory. It is also useful standalone, e.g.
+//! for deduplicating trace files on disk.
+//!
+//! FNV-1a is not cryptographic; it identifies content among cooperating
+//! clients, it does not defend against adversarial collisions.
+//!
+//! ```
+//! use fpraker_trace::{codec, digest::Fnv64, Trace};
+//!
+//! let trace = Trace::new("m", 10);
+//! let bytes = codec::encode(&trace);
+//! assert_eq!(Fnv64::digest_of(&bytes), trace.content_digest());
+//! ```
+
+use std::io;
+
+use crate::codec;
+use crate::format::Trace;
+
+/// Incremental 64-bit FNV-1a hasher.
+///
+/// ```
+/// use fpraker_trace::digest::Fnv64;
+///
+/// let mut h = Fnv64::new();
+/// h.update(b"fpr");
+/// h.update(b"aker");
+/// assert_eq!(h.value(), Fnv64::digest_of(b"fpraker"));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fnv64 {
+    /// A fresh hasher (FNV-1a offset basis).
+    pub fn new() -> Self {
+        Fnv64 { state: FNV_OFFSET }
+    }
+
+    /// Absorbs `bytes` into the running digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut s = self.state;
+        for &b in bytes {
+            s = (s ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        self.state = s;
+    }
+
+    /// The digest of everything absorbed so far.
+    pub fn value(&self) -> u64 {
+        self.state
+    }
+
+    /// One-shot digest of a byte slice.
+    pub fn digest_of(bytes: &[u8]) -> u64 {
+        let mut h = Fnv64::new();
+        h.update(bytes);
+        h.value()
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+/// An [`io::Write`] adapter that hashes every byte actually written.
+///
+/// [`crate::codec::Writer`] wraps its sink in one of these, which is what
+/// makes the digest incremental: bytes are hashed as they stream out, so
+/// the trace never needs a second pass.
+pub struct DigestWrite<W: io::Write> {
+    inner: W,
+    digest: Fnv64,
+}
+
+impl<W: io::Write> DigestWrite<W> {
+    /// Wraps a sink with a fresh hasher.
+    pub fn new(inner: W) -> Self {
+        DigestWrite {
+            inner,
+            digest: Fnv64::new(),
+        }
+    }
+
+    /// Digest of the bytes written so far.
+    pub fn digest(&self) -> u64 {
+        self.digest.value()
+    }
+
+    /// Returns the underlying sink.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: io::Write> io::Write for DigestWrite<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.digest.update(&buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// An [`io::Read`] adapter that hashes every byte actually read — the
+/// decoding-side counterpart of [`DigestWrite`], used by
+/// [`crate::codec::Reader`].
+pub struct DigestRead<R: io::Read> {
+    inner: R,
+    digest: Fnv64,
+}
+
+impl<R: io::Read> DigestRead<R> {
+    /// Wraps a source with a fresh hasher.
+    pub fn new(inner: R) -> Self {
+        DigestRead {
+            inner,
+            digest: Fnv64::new(),
+        }
+    }
+
+    /// Digest of the bytes read so far.
+    pub fn digest(&self) -> u64 {
+        self.digest.value()
+    }
+
+    /// Returns the underlying source.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+impl<R: io::Read> io::Read for DigestRead<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.digest.update(&buf[..n]);
+        Ok(n)
+    }
+}
+
+impl Trace {
+    /// The content digest of this trace: the FNV-1a hash of its encoded
+    /// byte stream, identical to what [`crate::codec::Writer::digest`]
+    /// reports after writing it and [`crate::codec::Reader::digest`] after
+    /// reading it back. Costs one encoding pass through a discarding sink
+    /// (no allocation of the encoded bytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an op's operand lengths are inconsistent with its
+    /// dimensions (such an op has no valid encoding) — the same contract
+    /// as [`crate::codec::encode`].
+    pub fn content_digest(&self) -> u64 {
+        let mut writer = codec::Writer::new(
+            io::sink(),
+            &self.model,
+            self.progress_pct,
+            self.ops.len() as u32,
+        )
+        .expect("writing to a sink cannot fail");
+        for op in &self.ops {
+            writer.write_op(op).expect("trace op must be encodable");
+        }
+        let digest = writer.digest();
+        writer.finish().expect("declared op count was honored");
+        digest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Classic FNV-1a 64 test vectors.
+        assert_eq!(Fnv64::digest_of(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(Fnv64::digest_of(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(Fnv64::digest_of(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn split_updates_match_one_shot() {
+        let mut h = Fnv64::new();
+        h.update(b"hello ");
+        h.update(b"");
+        h.update(b"world");
+        assert_eq!(h.value(), Fnv64::digest_of(b"hello world"));
+    }
+
+    #[test]
+    fn write_and_read_adapters_agree() {
+        let mut out = Vec::new();
+        let mut w = DigestWrite::new(&mut out);
+        w.write_all(b"some trace bytes").unwrap();
+        let wrote = w.digest();
+
+        let mut r = DigestRead::new(&out[..]);
+        let mut back = Vec::new();
+        r.read_to_end(&mut back).unwrap();
+        assert_eq!(back, out);
+        assert_eq!(r.digest(), wrote);
+        assert_eq!(wrote, Fnv64::digest_of(&out));
+    }
+
+    #[test]
+    fn trace_content_digest_matches_encoded_bytes() {
+        let trace = Trace::new("digest-me", 42);
+        let bytes = codec::encode(&trace);
+        assert_eq!(trace.content_digest(), Fnv64::digest_of(&bytes));
+    }
+}

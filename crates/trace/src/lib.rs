@@ -14,6 +14,10 @@
 //!   [`codec::Writer`]/[`codec::Reader`] pair over `io::Write`/`io::Read`
 //!   (hand-rolled; the offline dependency set has no serde format crate),
 //!   with whole-trace [`codec::encode`]/[`codec::decode`] wrappers;
+//! * [`digest`] — streaming FNV-1a content digests of the encoded form,
+//!   hashed for free by [`codec::Writer`]/[`codec::Reader`] as bytes pass
+//!   through (the service layer's content-addressed cache key, also useful
+//!   for trace dedup);
 //! * [`stats`] — value sparsity (Fig. 1a), term sparsity (Fig. 1b),
 //!   ideal-speedup potential (Fig. 2 / Eq. 4) and exponent histograms
 //!   (Fig. 6), all computable in one pass over any [`TraceSource`].
@@ -39,10 +43,12 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod digest;
 mod format;
 mod source;
 pub mod stats;
 
 pub use codec::DecodeError;
+pub use digest::Fnv64;
 pub use format::{Phase, TensorKind, Trace, TraceOp};
 pub use source::{TraceOps, TraceSource};

@@ -48,6 +48,20 @@ pub trait TraceSource {
     /// Returns [`DecodeError`] when the underlying stream is truncated,
     /// corrupt, or fails to read. In-memory sources never error.
     fn next_op(&mut self) -> Result<Option<TraceOp>, DecodeError>;
+
+    /// The [`crate::digest::Fnv64`] content digest of this trace's encoded
+    /// form, when the source can provide one — the content-addressed cache
+    /// key used by the service layer, also useful for trace dedup.
+    ///
+    /// Semantics by implementation: a [`Reader`] reports the digest of the
+    /// bytes consumed *so far* (the whole-trace digest once exhausted,
+    /// incrementally hashed for free); [`TraceOps`] reports the
+    /// whole-trace digest up front at the cost of one encoding pass
+    /// ([`Trace::content_digest`]). Sources that cannot know their digest
+    /// return `None` (the default).
+    fn content_digest(&self) -> Option<u64> {
+        None
+    }
 }
 
 impl<S: TraceSource + ?Sized> TraceSource for &mut S {
@@ -66,6 +80,10 @@ impl<S: TraceSource + ?Sized> TraceSource for &mut S {
     fn next_op(&mut self) -> Result<Option<TraceOp>, DecodeError> {
         (**self).next_op()
     }
+
+    fn content_digest(&self) -> Option<u64> {
+        (**self).content_digest()
+    }
 }
 
 impl<R: io::Read> TraceSource for Reader<R> {
@@ -83,6 +101,10 @@ impl<R: io::Read> TraceSource for Reader<R> {
 
     fn next_op(&mut self) -> Result<Option<TraceOp>, DecodeError> {
         Reader::next_op(self)
+    }
+
+    fn content_digest(&self) -> Option<u64> {
+        Some(self.digest())
     }
 }
 
@@ -124,6 +146,10 @@ impl TraceSource for TraceOps<'_> {
             self.next += 1;
         }
         Ok(op)
+    }
+
+    fn content_digest(&self) -> Option<u64> {
+        Some(self.trace.content_digest())
     }
 }
 
@@ -193,6 +219,18 @@ mod tests {
                 break;
             }
         }
+    }
+
+    #[test]
+    fn source_digests_agree_between_reader_and_in_memory() {
+        let tr = two_op_trace();
+        let bytes = codec::encode(&tr);
+        let mut reader = codec::Reader::new(&bytes[..]).unwrap();
+        while TraceSource::next_op(&mut reader).unwrap().is_some() {}
+        // Exhausted reader: digest of the whole stream; in-memory source:
+        // whole-trace digest up front. Both equal Trace::content_digest.
+        assert_eq!(reader.content_digest(), Some(tr.content_digest()));
+        assert_eq!(tr.source().content_digest(), Some(tr.content_digest()));
     }
 
     #[test]

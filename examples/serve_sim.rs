@@ -1,0 +1,99 @@
+//! The trace-simulation service, end to end in one process: start a
+//! server on an ephemeral loopback port, submit the same trace from
+//! several concurrent clients on two machine specs, and watch the
+//! content-addressed cache turn repeats into header-only round trips.
+//!
+//! Run with: `cargo run --release --example serve_sim`
+
+use std::sync::Arc;
+
+use fpraker::serve::{Client, Server, ServerConfig};
+use fpraker::sim::{resolve_machine, Engine};
+use fpraker::trace::{Phase, TensorKind, Trace, TraceOp};
+
+fn demo_trace() -> Trace {
+    let mut tr = Trace::new("serve-demo", 50);
+    for i in 0..4usize {
+        let (m, n, k) = (16, 16, 32);
+        tr.ops.push(TraceOp {
+            layer: format!("layer{i}"),
+            phase: [Phase::AxW, Phase::GxW, Phase::AxG][i % 3],
+            m,
+            n,
+            k,
+            a: (0..m * k)
+                .map(|j| fpraker::num::Bf16::from_f32(((i + j) % 7) as f32 * 0.25 - 0.75))
+                .collect(),
+            b: (0..n * k)
+                .map(|j| fpraker::num::Bf16::from_f32(1.0 / ((i + j) % 9 + 1) as f32))
+                .collect(),
+            a_kind: TensorKind::Activation,
+            b_kind: TensorKind::Weight,
+            a_dup: 1.0,
+            b_dup: 1.0,
+            out_dup: 1.0,
+        });
+    }
+    tr
+}
+
+fn main() {
+    // A server with a 2-job pool: at most two simulations in flight,
+    // however many clients connect.
+    let server = Server::start(ServerConfig {
+        jobs: 2,
+        ..ServerConfig::default()
+    })
+    .expect("bind a loopback port");
+    let addr = server.local_addr();
+    println!("server listening on {addr}");
+
+    let trace = Arc::new(demo_trace());
+    println!(
+        "trace: {} ops, {} MACs, content digest {:#018x}",
+        trace.ops.len(),
+        trace.macs(),
+        trace.content_digest()
+    );
+
+    // Four concurrent clients, two machine specs. The first submission of
+    // each spec simulates; every repeat is served from the cache without
+    // re-uploading the trace.
+    let mut handles = Vec::new();
+    for client_id in 0..4 {
+        let trace = Arc::clone(&trace);
+        handles.push(std::thread::spawn(move || {
+            let client = Client::connect(addr).expect("resolve server address");
+            let spec = ["fpraker", "baseline"][client_id % 2];
+            let response = client.submit_trace(&trace, spec).expect("submission");
+            (client_id, spec, response)
+        }));
+    }
+    for handle in handles {
+        let (client_id, spec, response) = handle.join().expect("client thread");
+        let r = &response.result;
+        println!(
+            "client {client_id} [{spec:8}] {} cycles, {} MACs, {:.1} pJ{}",
+            r.cycles,
+            r.macs,
+            r.energy_pj,
+            if response.cached {
+                " (served from cache)"
+            } else {
+                " (simulated)"
+            }
+        );
+        // Served results are bit-identical to running the engine locally.
+        let (label, cfg) = resolve_machine(spec).expect("registered spec");
+        let local = Engine::new().run(label, &trace, &cfg);
+        assert_eq!(r.cycles, local.cycles());
+        assert_eq!(r.macs, local.macs());
+    }
+
+    let stats = server.stats();
+    println!(
+        "server: {} simulation(s) run, {} cache hit(s), {} miss(es), {} entry(ies) cached",
+        stats.jobs_completed, stats.cache_hits, stats.cache_misses, stats.cache_entries
+    );
+    server.shutdown();
+}

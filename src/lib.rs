@@ -21,6 +21,7 @@
 //! | [`mem`] | `fpraker-mem` | BDC compression, containers, transposer, DRAM |
 //! | [`sim`] | `fpraker-sim` | the accelerator-level simulator |
 //! | [`energy`] | `fpraker-energy` | Table III area/power + event energies |
+//! | [`serve`] | `fpraker-serve` | the trace-simulation service (TCP server, client, result cache) |
 //!
 //! # Quick start
 //!
@@ -47,6 +48,7 @@ pub use fpraker_dnn as dnn;
 pub use fpraker_energy as energy;
 pub use fpraker_mem as mem;
 pub use fpraker_num as num;
+pub use fpraker_serve as serve;
 pub use fpraker_sim as sim;
 pub use fpraker_tensor as tensor;
 pub use fpraker_trace as trace;
