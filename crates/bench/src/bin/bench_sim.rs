@@ -47,6 +47,19 @@ fn main() {
         b.stream_total_ops, b.stream_peak_resident_ops, b.stream_total_ops, b.stream_window
     );
     println!(
+        "parallel segment decode of a {}-op indexed trace ({} segments): {:.2}x over one sequential cursor",
+        b.decode_total_ops,
+        b.decode_segments,
+        b.decode_speedup()
+    );
+    println!(
+        "dnn trace capture ({} ops): streamed-to-disk holds {} peak operand bytes vs {} in memory ({:.0}x less)",
+        b.capture_ops,
+        b.capture_peak_bytes_streamed,
+        b.capture_peak_bytes_inmemory,
+        b.capture_memory_ratio()
+    );
+    println!(
         "service over loopback TCP: {:.1} cold jobs/s vs {:.1} cached jobs/s ({:.1}x from the content-addressed cache, {} hits recorded)",
         b.serve_cold_jobs_per_sec(),
         b.serve_cached_jobs_per_sec(),
@@ -68,6 +81,28 @@ fn main() {
         json,
         "  \"stream_peak_resident_ops\": {},",
         b.stream_peak_resident_ops
+    )
+    .unwrap();
+    writeln!(json, "  \"decode_speedup\": {:.4},", b.decode_speedup()).unwrap();
+    writeln!(json, "  \"decode_total_ops\": {},", b.decode_total_ops).unwrap();
+    writeln!(json, "  \"decode_segments\": {},", b.decode_segments).unwrap();
+    writeln!(json, "  \"capture_ops\": {},", b.capture_ops).unwrap();
+    writeln!(
+        json,
+        "  \"capture_peak_bytes_inmemory\": {},",
+        b.capture_peak_bytes_inmemory
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"capture_peak_bytes_streamed\": {},",
+        b.capture_peak_bytes_streamed
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"capture_memory_ratio\": {:.4},",
+        b.capture_memory_ratio()
     )
     .unwrap();
     writeln!(json, "  \"serve_trace_macs\": {},", b.serve_trace_macs).unwrap();
@@ -99,6 +134,10 @@ fn main() {
         &b.parallel_ops,
         &b.stream_streamed,
         &b.stream_inmemory,
+        &b.decode_serial,
+        &b.decode_parallel,
+        &b.capture_inmemory,
+        &b.capture_streamed,
         &b.serve_cold,
         &b.serve_cached,
     ]

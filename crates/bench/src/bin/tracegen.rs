@@ -6,13 +6,16 @@
 //!
 //! ```text
 //! cargo run --release -p fpraker-bench --bin tracegen -- OUT.trace \
-//!     [--ops N] [--m M] [--n N] [--k K] [--zeros F] [--seed S] [--model NAME]
+//!     [--ops N] [--m M] [--n N] [--k K] [--zeros F] [--seed S] [--model NAME] \
+//!     [--index] [--index-stride S]
 //! ```
 //!
 //! Defaults: 256 ops of 16×16×32 with 40% zeros, seed 0x5EED, model
 //! `tracegen`. The written file decodes with `fpraker_trace::codec` and
 //! simulates with `fpraker_sim::Engine::run_source` without ever being
-//! fully loaded.
+//! fully loaded. `--index` appends the index footer (stride
+//! `--index-stride`, default auto), making the file seekable and enabling
+//! `Engine::run_indexed`'s parallel segment decode.
 
 use std::fs::File;
 use std::io::BufWriter;
@@ -23,7 +26,7 @@ use fpraker_bench::workloads::SyntheticTraceSpec;
 fn usage() -> ! {
     eprintln!(
         "usage: tracegen OUT.trace [--ops N] [--m M] [--n N] [--k K] \
-         [--zeros F] [--seed S] [--model NAME]"
+         [--zeros F] [--seed S] [--model NAME] [--index] [--index-stride S]"
     );
     exit(2);
 }
@@ -53,6 +56,8 @@ fn main() {
         zero_fraction: 0.4,
         seed: 0x5EED,
     };
+    let mut index = false;
+    let mut index_stride = 0u32; // 0 = auto
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--ops" => spec.ops = parse(&flag, args.next()),
@@ -62,6 +67,11 @@ fn main() {
             "--zeros" => spec.zero_fraction = parse(&flag, args.next()),
             "--seed" => spec.seed = parse(&flag, args.next()),
             "--model" => spec.model = parse(&flag, args.next()),
+            "--index" => index = true,
+            "--index-stride" => {
+                index = true;
+                index_stride = parse(&flag, args.next());
+            }
             _ => usage(),
         }
     }
@@ -74,7 +84,13 @@ fn main() {
         eprintln!("cannot create {out_path}: {e}");
         exit(1);
     });
-    let (ops, digest) = spec.write_to(BufWriter::new(file)).unwrap_or_else(|e| {
+    let sink = BufWriter::new(file);
+    let (ops, digest) = if index {
+        spec.write_indexed_to(sink, index_stride)
+    } else {
+        spec.write_to(sink)
+    }
+    .unwrap_or_else(|e| {
         eprintln!("write failed: {e}");
         exit(1);
     });
@@ -86,5 +102,12 @@ fn main() {
         spec.k,
         spec.macs()
     );
+    if index {
+        let segments = fpraker_trace::IndexedTraceFile::open(&out_path)
+            .ok()
+            .map(|f| f.segments().len())
+            .unwrap_or(0);
+        println!("index footer: {segments} segments (parallel decode via Engine::run_indexed)");
+    }
     println!("content digest: {digest:#018x} (the fpraker-serve cache key for this trace)");
 }

@@ -16,9 +16,10 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::PathBuf;
 
+use fpraker_dnn::{models, Engine as DnnEngine, FileTraceSink};
 use fpraker_serve::{Client, Server, ServerConfig};
 use fpraker_sim::{simulate_op, AcceleratorConfig, Engine, FpRakerMachine, Machine};
-use fpraker_trace::codec;
+use fpraker_trace::{codec, IndexedTraceFile};
 
 use crate::harness::{bench, Measurement};
 use crate::workloads::{many_small_ops_bench_trace, synthetic_bench_trace, SyntheticTraceSpec};
@@ -63,6 +64,28 @@ pub struct SimulatorBench {
     /// Peak ops simultaneously resident during the streamed runs — the
     /// memory bound streaming buys (strictly below `stream_total_ops`).
     pub stream_peak_resident_ops: usize,
+    /// An indexed disk trace simulated with one sequential decode cursor
+    /// (`codec::Reader` → the bounded-window streaming path).
+    pub decode_serial: Measurement,
+    /// The same indexed disk trace simulated with one decode cursor per
+    /// segment group (`Engine::run_indexed` parallel segment decode).
+    pub decode_parallel: Measurement,
+    /// Ops in the indexed decode trace.
+    pub decode_total_ops: u64,
+    /// Segments its index footer carries.
+    pub decode_segments: usize,
+    /// One training mini-batch captured into an in-memory `Trace`
+    /// (`Workload::capture_trace`).
+    pub capture_inmemory: Measurement,
+    /// The same capture recorded straight to disk through the codec
+    /// writer (`Workload::capture_trace_to` + `FileTraceSink`, indexed).
+    pub capture_streamed: Measurement,
+    /// Ops per capture.
+    pub capture_ops: u64,
+    /// Peak operand bytes the in-memory capture holds (the whole trace).
+    pub capture_peak_bytes_inmemory: u64,
+    /// Peak operand bytes the streamed capture holds (one op).
+    pub capture_peak_bytes_streamed: u64,
     /// Trace submitted to an in-process `fpraker-serve` server over
     /// loopback TCP, every iteration a distinct trace (all cache misses:
     /// upload + simulate).
@@ -92,6 +115,18 @@ impl SimulatorBench {
     /// loaded (medians; ≈1.0 means streaming is free at this trace size).
     pub fn stream_overhead(&self) -> f64 {
         self.stream_streamed.median_ns as f64 / self.stream_inmemory.median_ns.max(1) as f64
+    }
+
+    /// Wall-clock speedup of parallel segment decode over the single
+    /// sequential decode cursor on the indexed disk trace (medians).
+    pub fn decode_speedup(&self) -> f64 {
+        self.decode_serial.median_ns as f64 / self.decode_parallel.median_ns.max(1) as f64
+    }
+
+    /// How much less operand memory the streamed capture holds at its
+    /// peak than the in-memory capture (whole trace ÷ one op).
+    pub fn capture_memory_ratio(&self) -> f64 {
+        self.capture_peak_bytes_inmemory as f64 / self.capture_peak_bytes_streamed.max(1) as f64
     }
 
     /// Service throughput on cold submissions (upload + simulate),
@@ -209,6 +244,88 @@ pub fn simulator_measurements(iters: u32) -> SimulatorBench {
     );
     std::fs::remove_file(&path).ok();
 
+    // Decode benchmark: the same synthetic trace written *indexed*, then
+    // simulated with one sequential decode cursor vs one cursor per
+    // segment group. On one core both degenerate; on multi-core the
+    // parallel cursors stop the worker pool starving on a single reader.
+    let decode_spec = SyntheticTraceSpec::stream_bench(if smoke_mode() { 12 } else { 96 });
+    let decode_path: PathBuf =
+        std::env::temp_dir().join(format!("fpraker_decode_bench_{}.trace", std::process::id()));
+    let file = BufWriter::new(File::create(&decode_path).expect("create decode bench trace"));
+    decode_spec
+        .write_indexed_to(file, (decode_spec.ops / 8).max(1))
+        .expect("write decode bench trace");
+    let decode_segments = IndexedTraceFile::open(&decode_path)
+        .expect("reopen decode bench trace")
+        .segments()
+        .len();
+    let decode_serial = bench(
+        &format!("fpraker/decode_serial_threads_{threads}"),
+        iters,
+        Some(decode_spec.macs()),
+        || {
+            let reader = codec::Reader::new(BufReader::new(
+                File::open(&decode_path).expect("open decode bench trace"),
+            ))
+            .expect("decode bench trace header");
+            Engine::new()
+                .run_source(Machine::FpRaker, reader, &cfg)
+                .expect("decode bench trace is well-formed")
+        },
+    );
+    let decode_parallel = bench(
+        &format!("fpraker/decode_parallel_threads_{threads}"),
+        iters,
+        Some(decode_spec.macs()),
+        || {
+            Engine::new()
+                .run_indexed(Machine::FpRaker, &decode_path, &cfg)
+                .expect("decode bench trace is well-formed")
+        },
+    );
+    std::fs::remove_file(&decode_path).ok();
+
+    // Capture benchmark: one training mini-batch recorded as a trace,
+    // in-memory (`capture_trace` materializes the whole `Trace`) vs
+    // streamed to disk through the codec writer (`capture_trace_to`
+    // holds one op). The peak-byte figures are the operand buffers each
+    // mode keeps resident at its worst moment.
+    let mut capture_workload = models::build("ncf");
+    let mut capture_engine = DnnEngine::f32();
+    let reference_capture = capture_workload.capture_trace(&mut capture_engine, 50);
+    let capture_ops = reference_capture.ops.len() as u64;
+    let op_bytes = |op: &fpraker_trace::TraceOp| 2 * (op.a.len() + op.b.len()) as u64;
+    let capture_peak_bytes_inmemory: u64 = reference_capture.ops.iter().map(op_bytes).sum();
+    let capture_peak_bytes_streamed: u64 = reference_capture
+        .ops
+        .iter()
+        .map(op_bytes)
+        .max()
+        .unwrap_or(0);
+    let capture_inmemory = bench(
+        "dnn/capture_inmemory",
+        iters,
+        Some(reference_capture.macs()),
+        || capture_workload.capture_trace(&mut capture_engine, 50),
+    );
+    let capture_path: PathBuf = std::env::temp_dir().join(format!(
+        "fpraker_capture_bench_{}.trace",
+        std::process::id()
+    ));
+    let capture_streamed = bench(
+        "dnn/capture_streamed",
+        iters,
+        Some(reference_capture.macs()),
+        || {
+            let sink = FileTraceSink::create_indexed(&capture_path, "ncf", 50, 0)
+                .expect("create capture bench trace");
+            capture_workload
+                .capture_trace_to(&mut capture_engine, Box::new(sink))
+                .expect("streamed capture")
+        },
+    );
+    std::fs::remove_file(&capture_path).ok();
+
     // Service benchmark: an in-process server on a loopback port. Cold
     // submissions use a distinct trace per iteration (seed varies) so
     // every job uploads and simulates; cached submissions resubmit one
@@ -273,6 +390,15 @@ pub fn simulator_measurements(iters: u32) -> SimulatorBench {
         stream_total_ops: u64::from(spec.ops),
         stream_window: window,
         stream_peak_resident_ops: peak,
+        decode_serial,
+        decode_parallel,
+        decode_total_ops: u64::from(decode_spec.ops),
+        decode_segments,
+        capture_inmemory,
+        capture_streamed,
+        capture_ops,
+        capture_peak_bytes_inmemory,
+        capture_peak_bytes_streamed,
         serve_cold,
         serve_cached,
         serve_trace_macs,
@@ -312,6 +438,24 @@ mod tests {
             b.stream_peak_resident_ops,
             b.stream_total_ops
         );
+        // Decode entries: the indexed trace actually carried segments and
+        // both decode modes ran it.
+        assert!(b.decode_serial.name.contains("decode_serial"));
+        assert!(b.decode_parallel.name.contains("decode_parallel"));
+        assert!(b.decode_segments > 1, "indexed trace must have segments");
+        assert!(b.decode_total_ops > 0);
+        assert!(b.decode_speedup() > 0.0);
+        // Capture entries: ops were recorded, and streaming holds at most
+        // one op's operands where the in-memory capture holds them all.
+        assert_eq!(b.capture_inmemory.name, "dnn/capture_inmemory");
+        assert_eq!(b.capture_streamed.name, "dnn/capture_streamed");
+        assert!(b.capture_ops > 1);
+        assert!(b.capture_peak_bytes_streamed > 0);
+        assert!(
+            b.capture_peak_bytes_streamed < b.capture_peak_bytes_inmemory,
+            "streamed capture must hold less than the whole trace"
+        );
+        assert!(b.capture_memory_ratio() > 1.0);
         // Service entries: jobs flowed, the cache was hit, and a hit is
         // never slower than a cold simulate-and-upload round trip.
         assert_eq!(b.serve_cold.name, "serve/submit_cold");

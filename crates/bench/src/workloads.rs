@@ -227,6 +227,25 @@ impl SyntheticTraceSpec {
         Ok((self.ops, digest))
     }
 
+    /// [`SyntheticTraceSpec::write_to`] plus an index footer at `stride`
+    /// (`0` = auto): the written file supports `codec::IndexedReader`
+    /// seeking and `Engine::run_indexed` parallel segment decode. The
+    /// returned digest covers the **whole indexed file** (footer
+    /// included) — the digest a client submitting the file declares.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_indexed_to<W: io::Write>(&self, w: W, stride: u32) -> io::Result<(u32, u64)> {
+        let mut sink = fpraker_trace::digest::DigestWrite::new(w);
+        let mut writer = codec::Writer::new(&mut sink, &self.model, 50, self.ops)?;
+        for i in 0..self.ops {
+            writer.write_op(&self.op(i))?;
+        }
+        writer.finish_indexed(stride)?;
+        Ok((self.ops, sink.digest()))
+    }
+
     /// Materializes the whole trace in memory (the comparison path for
     /// the streaming benchmark and tests).
     pub fn trace(&self) -> Trace {
@@ -255,6 +274,22 @@ mod tests {
         // Index-seeded generation: the same op twice is the same op.
         assert_eq!(spec.op(3), spec.op(3));
         assert_ne!(spec.op(3).a, spec.op(4).a);
+    }
+
+    #[test]
+    fn indexed_synthetic_trace_decodes_and_indexes() {
+        let spec = SyntheticTraceSpec::stream_bench(9);
+        let mut bytes = Vec::new();
+        let (ops, digest) = spec.write_indexed_to(&mut bytes, 2).unwrap();
+        assert_eq!(ops, 9);
+        // The declared digest covers the whole indexed file.
+        assert_eq!(digest, fpraker_trace::Fnv64::digest_of(&bytes));
+        // decode() skips the footer; the ops are the plain spec's.
+        assert_eq!(codec::decode(&bytes).unwrap(), spec.trace());
+        let reader =
+            codec::IndexedReader::new(std::io::Cursor::new(bytes)).expect("indexed header");
+        assert!(reader.has_index());
+        assert_eq!(reader.segments().iter().map(|s| s.ops).sum::<u32>(), 9);
     }
 
     #[test]

@@ -10,10 +10,24 @@
 //!    the PE code path, as the paper did by overriding `mad()` in PlaidML),
 //! 3. optionally captures the operands as a [`TraceOp`] for the simulator
 //!    (the paper's PyTorch-hook trace collection, Section V-A).
+//!
+//! Capture is **sink-driven**: every recorded op goes to a [`TraceSink`].
+//! The built-in in-memory sink backs the classic
+//! [`Engine::arm_capture`]/[`Engine::take_trace`] pair; a
+//! [`FileTraceSink`] records straight through the incremental
+//! [`fpraker_trace::codec::GrowingWriter`] to disk (optionally indexed),
+//! so training can capture traces of any length without ever holding a
+//! `Trace` in RAM.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Seek, Write};
+use std::path::Path;
 
 use fpraker_core::{BaselinePe, Pe, PeConfig};
 use fpraker_num::Bf16;
 use fpraker_tensor::{matmul_nt, Tensor};
+use fpraker_trace::codec::GrowingWriter;
 use fpraker_trace::{Phase, TensorKind, Trace, TraceOp};
 
 /// Which arithmetic implements the MACs.
@@ -35,11 +49,162 @@ impl Arithmetic {
     }
 }
 
-/// Trace-capture state: when armed, every GEMM is recorded.
-#[derive(Debug, Default)]
-pub struct Capture {
-    armed: bool,
-    ops: Vec<TraceOp>,
+/// Where captured GEMMs go — the extension point that lets training
+/// record traces without materializing them.
+///
+/// The engine hands each recorded op to the armed sink as soon as the
+/// GEMM runs; a sink that writes through the incremental codec (see
+/// [`FileTraceSink`]) therefore holds at most the op being encoded,
+/// whatever the capture length. [`TraceSink::finish`] is called once,
+/// from [`Engine::finish_capture`], to finalize whatever the sink was
+/// writing (patch the op count, append the index footer, flush).
+pub trait TraceSink {
+    /// Records one captured op.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures from streaming sinks. The engine stores the first
+    /// error and stops recording; it surfaces from
+    /// [`Engine::finish_capture`] (a GEMM cannot fail because the trace
+    /// disk filled up).
+    fn record(&mut self, op: TraceOp) -> io::Result<()>;
+
+    /// Finalizes the sink, returning the number of ops it recorded.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures while finalizing.
+    fn finish(self: Box<Self>) -> io::Result<u64>;
+}
+
+/// A [`TraceSink`] that streams every captured op straight to disk
+/// through [`GrowingWriter`] — the op count is unknown until capture
+/// ends, which is exactly what the growing writer's deferred header
+/// count is for. Optionally finishes with an index footer so the
+/// captured file supports seeking and parallel segment decode. A thin
+/// newtype over [`WriterTraceSink`], which owns the one sink
+/// implementation.
+pub struct FileTraceSink(WriterTraceSink<BufWriter<File>>);
+
+impl FileTraceSink {
+    /// Creates (truncating) a trace file and writes its header.
+    ///
+    /// # Errors
+    ///
+    /// File-creation or header-write failures.
+    pub fn create(path: impl AsRef<Path>, model: &str, progress_pct: u32) -> io::Result<Self> {
+        Self::new(path, model, progress_pct, None)
+    }
+
+    /// Like [`FileTraceSink::create`], but [`TraceSink::finish`] appends
+    /// an index footer at the given stride (`0` = auto) — the captured
+    /// file then feeds `Engine::run_indexed` directly.
+    ///
+    /// # Errors
+    ///
+    /// As [`FileTraceSink::create`].
+    pub fn create_indexed(
+        path: impl AsRef<Path>,
+        model: &str,
+        progress_pct: u32,
+        stride: u32,
+    ) -> io::Result<Self> {
+        Self::new(path, model, progress_pct, Some(stride))
+    }
+
+    fn new(
+        path: impl AsRef<Path>,
+        model: &str,
+        progress_pct: u32,
+        index_stride: Option<u32>,
+    ) -> io::Result<Self> {
+        let file = BufWriter::new(File::create(path)?);
+        Ok(FileTraceSink(WriterTraceSink::new(
+            file,
+            model,
+            progress_pct,
+            index_stride,
+        )?))
+    }
+}
+
+impl TraceSink for FileTraceSink {
+    fn record(&mut self, op: TraceOp) -> io::Result<()> {
+        self.0.record(op)
+    }
+
+    fn finish(self: Box<Self>) -> io::Result<u64> {
+        Box::new(self.0).finish()
+    }
+}
+
+/// Any `Write + Seek` sink streamed through [`GrowingWriter`] — the
+/// implementation behind [`FileTraceSink`], usable directly for
+/// in-memory buffers, sockets with spooling, or custom stores.
+pub struct WriterTraceSink<W: Write + Seek + 'static> {
+    writer: GrowingWriter<W>,
+    index_stride: Option<u32>,
+}
+
+impl<W: Write + Seek + 'static> WriterTraceSink<W> {
+    /// Starts a capture stream on `w` (`index_stride`: `None` = no
+    /// footer, `Some(0)` = auto stride).
+    ///
+    /// # Errors
+    ///
+    /// Header-write failures.
+    pub fn new(
+        w: W,
+        model: &str,
+        progress_pct: u32,
+        index_stride: Option<u32>,
+    ) -> io::Result<Self> {
+        Ok(WriterTraceSink {
+            writer: GrowingWriter::new(w, model, progress_pct)?,
+            index_stride,
+        })
+    }
+}
+
+impl<W: Write + Seek + 'static> TraceSink for WriterTraceSink<W> {
+    fn record(&mut self, op: TraceOp) -> io::Result<()> {
+        self.writer.write_op(&op)
+    }
+
+    fn finish(self: Box<Self>) -> io::Result<u64> {
+        let ops = match self.index_stride {
+            Some(stride) => self.writer.finish_indexed(stride)?,
+            None => self.writer.finish()?,
+        };
+        Ok(u64::from(ops))
+    }
+}
+
+/// Trace-capture state: disarmed, recording into the in-memory sink
+/// (the classic [`Engine::take_trace`] path), or recording through a
+/// caller-provided [`TraceSink`].
+enum Capture {
+    Off,
+    Memory(Vec<TraceOp>),
+    Sink {
+        sink: Box<dyn TraceSink>,
+        ops: u64,
+        /// First record failure; recording stops and the error surfaces
+        /// from [`Engine::finish_capture`].
+        failed: Option<io::Error>,
+    },
+}
+
+impl fmt::Debug for Capture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Capture::Off => write!(f, "Capture::Off"),
+            Capture::Memory(ops) => write!(f, "Capture::Memory({} ops)", ops.len()),
+            Capture::Sink { ops, failed, .. } => {
+                write!(f, "Capture::Sink({ops} ops, failed: {})", failed.is_some())
+            }
+        }
+    }
 }
 
 /// The engine threaded through every layer's forward and backward pass.
@@ -56,7 +221,7 @@ impl Engine {
     pub fn new(arithmetic: Arithmetic) -> Self {
         Engine {
             arithmetic,
-            capture: Capture::default(),
+            capture: Capture::Off,
             macs: 0,
         }
     }
@@ -71,25 +236,79 @@ impl Engine {
         self.arithmetic
     }
 
-    /// Arms trace capture: subsequent GEMMs are recorded until
+    /// Arms in-memory trace capture: subsequent GEMMs are recorded until
     /// [`Engine::take_trace`].
     pub fn arm_capture(&mut self) {
-        self.capture.armed = true;
-        self.capture.ops.clear();
+        self.capture = Capture::Memory(Vec::new());
+    }
+
+    /// Arms capture through a caller-provided sink: subsequent GEMMs are
+    /// recorded into it — one op at a time, nothing retained — until
+    /// [`Engine::finish_capture`]. Use a [`FileTraceSink`] to record
+    /// straight to disk.
+    pub fn arm_capture_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.capture = Capture::Sink {
+            sink,
+            ops: 0,
+            failed: None,
+        };
     }
 
     /// `true` while GEMMs are being recorded.
     pub fn capturing(&self) -> bool {
-        self.capture.armed
+        !matches!(self.capture, Capture::Off)
     }
 
-    /// Disarms capture and returns the recorded ops as a [`Trace`].
+    /// Disarms in-memory capture and returns the recorded ops as a
+    /// [`Trace`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if capture was armed with [`Engine::arm_capture_sink`] —
+    /// a streaming capture has no in-memory trace to take; call
+    /// [`Engine::finish_capture`] instead.
     pub fn take_trace(&mut self, model: impl Into<String>, progress_pct: u32) -> Trace {
-        self.capture.armed = false;
+        let ops = match std::mem::replace(&mut self.capture, Capture::Off) {
+            Capture::Memory(ops) => ops,
+            Capture::Off => Vec::new(),
+            Capture::Sink { .. } => {
+                panic!("capture was armed with a sink; use Engine::finish_capture")
+            }
+        };
         Trace {
             model: model.into(),
             progress_pct,
-            ops: std::mem::take(&mut self.capture.ops),
+            ops,
+        }
+    }
+
+    /// Disarms sink capture and finalizes the sink, returning the number
+    /// of ops recorded.
+    ///
+    /// # Errors
+    ///
+    /// The first error the sink reported while recording (recording
+    /// stopped there), or the finalization failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capture was not armed with
+    /// [`Engine::arm_capture_sink`].
+    pub fn finish_capture(&mut self) -> io::Result<u64> {
+        match std::mem::replace(&mut self.capture, Capture::Off) {
+            Capture::Sink {
+                sink,
+                ops,
+                failed: None,
+            } => {
+                let finished = sink.finish()?;
+                debug_assert_eq!(finished, ops);
+                Ok(finished)
+            }
+            Capture::Sink {
+                failed: Some(e), ..
+            } => Err(e),
+            _ => panic!("capture was not armed with a sink; use Engine::take_trace"),
         }
     }
 
@@ -148,8 +367,8 @@ impl Engine {
             (a, b)
         };
 
-        if self.capture.armed {
-            self.capture.ops.push(TraceOp {
+        if self.capturing() {
+            let op = TraceOp {
                 layer: layer.to_string(),
                 phase,
                 m,
@@ -162,7 +381,15 @@ impl Engine {
                 a_dup: dups[0].max(1.0),
                 b_dup: dups[1].max(1.0),
                 out_dup: dups[2].max(1.0),
-            });
+            };
+            match &mut self.capture {
+                Capture::Memory(ops) => ops.push(op),
+                Capture::Sink { sink, ops, failed } if failed.is_none() => match sink.record(op) {
+                    Ok(()) => *ops += 1,
+                    Err(e) => *failed = Some(e),
+                },
+                _ => {}
+            }
         }
 
         match self.arithmetic {
@@ -271,6 +498,78 @@ mod tests {
         assert!(op.validate().is_ok());
         assert!(!e.capturing());
         assert_eq!(e.macs, 24);
+    }
+
+    #[test]
+    fn sink_capture_streams_the_same_ops_as_memory_capture() {
+        let run = |e: &mut Engine| {
+            let a = Tensor::from_vec(vec![2, 3], vec![1.0; 6]);
+            let bt = Tensor::from_vec(vec![4, 3], vec![0.5; 12]);
+            for phase in [Phase::AxW, Phase::GxW] {
+                let _ = e.gemm_nt(
+                    "fc",
+                    phase,
+                    &a,
+                    &bt,
+                    TensorKind::Activation,
+                    TensorKind::Weight,
+                );
+            }
+        };
+        let mut mem = Engine::f32();
+        mem.arm_capture();
+        run(&mut mem);
+        let reference = mem.take_trace("m", 10);
+
+        let path = std::env::temp_dir().join(format!(
+            "fpraker_dnn_sink_capture_{}.trace",
+            std::process::id()
+        ));
+        let mut streamed = Engine::f32();
+        streamed.arm_capture_sink(Box::new(
+            FileTraceSink::create_indexed(&path, "m", 10, 1).unwrap(),
+        ));
+        assert!(streamed.capturing());
+        run(&mut streamed);
+        assert_eq!(streamed.finish_capture().unwrap(), 2);
+        assert!(!streamed.capturing());
+
+        // The streamed bytes decode to exactly the in-memory capture, and
+        // the footer indexes them.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(fpraker_trace::codec::decode(&bytes).unwrap(), reference);
+        let reader = fpraker_trace::codec::IndexedReader::new(std::io::Cursor::new(bytes)).unwrap();
+        assert!(reader.has_index());
+        assert_eq!(reader.segments().len(), 2);
+    }
+
+    #[test]
+    fn sink_record_failure_surfaces_from_finish_capture() {
+        struct FailingSink;
+        impl TraceSink for FailingSink {
+            fn record(&mut self, _op: TraceOp) -> std::io::Result<()> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn finish(self: Box<Self>) -> std::io::Result<u64> {
+                Ok(0)
+            }
+        }
+        let mut e = Engine::f32();
+        e.arm_capture_sink(Box::new(FailingSink));
+        let a = Tensor::from_vec(vec![1, 2], vec![1.0; 2]);
+        let b = Tensor::from_vec(vec![1, 2], vec![1.0; 2]);
+        // The GEMM itself still succeeds; the error is stored.
+        let _ = e.gemm_nt(
+            "x",
+            Phase::AxW,
+            &a,
+            &b,
+            TensorKind::Activation,
+            TensorKind::Weight,
+        );
+        let err = e.finish_capture().unwrap_err();
+        assert!(err.to_string().contains("disk full"));
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub use act::{Dropout, Gelu, PactRelu, Relu, Sigmoid, Tanh};
 pub use attention::SelfAttention;
 pub use conv::{BatchNorm2d, Conv2d, MaxPool2d};
 pub use dense::{Embedding, Linear};
-pub use engine::{Arithmetic, Engine};
+pub use engine::{Arithmetic, Engine, FileTraceSink, TraceSink, WriterTraceSink};
 pub use layer::{Flatten, Layer, Param, Residual, Sequential};
 pub use optim::Sgd;
 pub use quant::{quantize_symmetric, Pruner};

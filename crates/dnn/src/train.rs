@@ -7,7 +7,7 @@
 use fpraker_trace::Trace;
 
 use crate::data::Dataset;
-use crate::engine::Engine;
+use crate::engine::{Engine, TraceSink};
 use crate::layer::{Layer, Sequential};
 use crate::loss::{accuracy, cross_entropy};
 use crate::optim::Sgd;
@@ -109,11 +109,38 @@ impl Workload {
         let (x, labels) = self.data.batch(0, self.batch_size);
         self.net.zero_grads();
         engine.arm_capture();
-        let logits = self.net.forward(engine, &x, true);
-        let (_, grad) = cross_entropy(&logits, &labels);
+        self.capture_pass(engine, &x, &labels);
+        engine.take_trace(self.name, progress_pct)
+    }
+
+    /// Like [`Workload::capture_trace`], but records through a
+    /// [`TraceSink`] instead of materializing a [`Trace`]: each GEMM is
+    /// handed to the sink as it runs, so capturing straight to disk (a
+    /// [`crate::FileTraceSink`] over the incremental codec writer) holds
+    /// at most one op in memory whatever the model size. Returns the
+    /// number of ops recorded.
+    ///
+    /// # Errors
+    ///
+    /// The sink's first record failure, or its finalization failure.
+    pub fn capture_trace_to(
+        &mut self,
+        engine: &mut Engine,
+        sink: Box<dyn TraceSink>,
+    ) -> std::io::Result<u64> {
+        let (x, labels) = self.data.batch(0, self.batch_size);
+        self.net.zero_grads();
+        engine.arm_capture_sink(sink);
+        self.capture_pass(engine, &x, &labels);
+        engine.finish_capture()
+    }
+
+    /// The shared forward+backward pass both capture entry points run.
+    fn capture_pass(&mut self, engine: &mut Engine, x: &fpraker_tensor::Tensor, labels: &[usize]) {
+        let logits = self.net.forward(engine, x, true);
+        let (_, grad) = cross_entropy(&logits, labels);
         let _ = self.net.backward(engine, &grad);
         self.net.zero_grads();
-        engine.take_trace(self.name, progress_pct)
     }
 }
 
@@ -208,6 +235,25 @@ mod tests {
             );
         }
         assert!(trace.macs() > 10_000);
+    }
+
+    #[test]
+    fn capture_trace_to_streams_the_same_trace_as_capture_trace() {
+        use crate::engine::FileTraceSink;
+
+        let mut w = models::build("ncf");
+        let mut e = Engine::f32();
+        let reference = w.capture_trace(&mut e, 0);
+        let path =
+            std::env::temp_dir().join(format!("fpraker_capture_to_{}.trace", std::process::id()));
+        let sink = FileTraceSink::create_indexed(&path, "ncf", 0, 0).unwrap();
+        let ops = w.capture_trace_to(&mut e, Box::new(sink)).unwrap();
+        assert_eq!(ops as usize, reference.ops.len());
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        // Bit-for-bit the same capture, never materialized on the way out.
+        let decoded = fpraker_trace::codec::decode(&bytes).unwrap();
+        assert_eq!(decoded, reference);
     }
 
     #[test]

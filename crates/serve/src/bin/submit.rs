@@ -4,26 +4,36 @@
 //! ```text
 //! fpraker-submit --trace FILE [--addr HOST:PORT] [--machine NAME]
 //!                [--verify] [--expect-cached] [--per-op]
+//! fpraker-submit --list-machines
 //! ```
 //!
-//! `--verify` also decodes the trace locally, simulates it with
+//! `--verify` also decodes the trace locally (indexed files included —
+//! the footer is skipped), simulates it with
 //! [`fpraker_sim::Engine::run`], and exits non-zero unless the server's
 //! per-op results are identical — the end-to-end determinism check CI
 //! runs. `--expect-cached` exits non-zero unless the server answered from
-//! its content-addressed cache.
+//! its content-addressed cache. `--list-machines` prints every machine
+//! spec the registry resolves and exits.
 
 use std::process::exit;
 
 use fpraker_serve::Client;
-use fpraker_sim::{resolve_machine, Engine};
+use fpraker_sim::{resolve_machine, Engine, MACHINE_SPECS};
 use fpraker_trace::codec;
 
 fn usage() -> ! {
     eprintln!(
         "usage: fpraker-submit --trace FILE [--addr HOST:PORT] [--machine NAME] \
-         [--verify] [--expect-cached] [--per-op]"
+         [--verify] [--expect-cached] [--per-op]\n       fpraker-submit --list-machines"
     );
     exit(2);
+}
+
+fn list_machines() -> ! {
+    for spec in MACHINE_SPECS {
+        println!("{:<10} {}", spec.name, spec.summary);
+    }
+    exit(0);
 }
 
 fn main() {
@@ -42,6 +52,7 @@ fn main() {
             "--verify" => verify = true,
             "--expect-cached" => expect_cached = true,
             "--per-op" => per_op = true,
+            "--list-machines" => list_machines(),
             _ => usage(),
         }
     }

@@ -21,7 +21,8 @@ use fpraker_trace::digest::Fnv64;
 use fpraker_trace::{codec, Trace};
 
 use crate::protocol::{
-    self, read_frame, tag, write_frame, JobResult, ServeError, ServerStats, Submit, TRACE_CHUNK,
+    self, read_frame, tag, write_frame, JobResult, ServeError, ServerStats, StatsSubmit, Submit,
+    TraceStatsReport, TRACE_CHUNK,
 };
 
 /// A server response: the job's result plus whether it was served from the
@@ -33,6 +34,16 @@ pub struct JobResponse {
     pub cached: bool,
     /// The simulated (or replayed) result.
     pub result: JobResult,
+}
+
+/// A trace-statistics job's response: the report plus whether it came
+/// from the content-addressed cache.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StatsResponse {
+    /// `true` when the server replayed a cached report.
+    pub cached: bool,
+    /// The computed (or replayed) statistics.
+    pub report: TraceStatsReport,
 }
 
 /// A handle on a `fpraker-serve` server.
@@ -126,20 +137,9 @@ impl Client {
         spec: &str,
     ) -> Result<JobResponse, ServeError> {
         let path = path.as_ref();
-        let mut digest = Fnv64::new();
-        let mut len: u64 = 0;
-        let mut reader = BufReader::new(File::open(path)?);
-        let mut chunk = vec![0u8; TRACE_CHUNK];
-        loop {
-            let n = reader.read(&mut chunk)?;
-            if n == 0 {
-                break;
-            }
-            digest.update(&chunk[..n]);
-            len += n as u64;
-        }
+        let (digest, len) = digest_file(path)?;
         let mut upload = BufReader::new(File::open(path)?);
-        self.submit_stream(digest.value(), len, spec, &mut upload)
+        self.submit_stream(digest, len, spec, &mut upload)
     }
 
     /// The shared submission path: header first, upload only on demand.
@@ -217,6 +217,75 @@ impl Client {
         }
     }
 
+    /// Submits a **trace-statistics job** over an already-encoded trace:
+    /// the server folds the single-pass `TraceStatistics` collector over
+    /// the streamed upload and returns the Fig. 1/2/6 counts. Results are
+    /// content-cached like simulations — resubmitting the same bytes is
+    /// answered without uploading.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::submit_trace`].
+    pub fn submit_stats_encoded(&self, bytes: &[u8]) -> Result<StatsResponse, ServeError> {
+        self.stats_stream(Fnv64::digest_of(bytes), bytes.len() as u64, &mut &bytes[..])
+    }
+
+    /// [`Client::submit_stats_encoded`] for a trace file, streamed in two
+    /// passes like [`Client::submit_file`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::submit_file`].
+    pub fn submit_stats_file<P: AsRef<Path>>(&self, path: P) -> Result<StatsResponse, ServeError> {
+        let (digest, len) = digest_file(path.as_ref())?;
+        let mut upload = BufReader::new(File::open(path.as_ref())?);
+        self.stats_stream(digest, len, &mut upload)
+    }
+
+    fn stats_stream<R: Read>(
+        &self,
+        digest: u64,
+        trace_bytes: u64,
+        trace: &mut R,
+    ) -> Result<StatsResponse, ServeError> {
+        let mut stream = self.open()?;
+        let submit = StatsSubmit {
+            digest,
+            trace_bytes,
+        };
+        write_frame(&mut stream, tag::SUBMIT_STATS, &submit.encode())?;
+        stream.flush()?;
+        match self.read_stats_response(&mut stream)? {
+            StatsReply::Result(r) => Ok(*r),
+            StatsReply::NeedTrace => {
+                self.upload(&mut stream, trace)?;
+                match self.read_stats_response(&mut stream)? {
+                    StatsReply::Result(r) => Ok(*r),
+                    StatsReply::NeedTrace => Err(ServeError::Protocol(
+                        "server asked for the trace twice".into(),
+                    )),
+                }
+            }
+        }
+    }
+
+    fn read_stats_response(&self, stream: &mut TcpStream) -> Result<StatsReply, ServeError> {
+        let (frame_tag, payload) = read_frame(stream)?;
+        match frame_tag {
+            tag::NEED_TRACE => Ok(StatsReply::NeedTrace),
+            tag::TRACE_STATS_RESULT => {
+                let (&cached, report_payload) = payload
+                    .split_first()
+                    .ok_or_else(|| ServeError::Protocol("empty stats result frame".into()))?;
+                Ok(StatsReply::Result(Box::new(StatsResponse {
+                    cached: cached != 0,
+                    report: TraceStatsReport::decode(report_payload)?,
+                })))
+            }
+            other => Err(failure_response(other, payload)),
+        }
+    }
+
     /// Fetches the server's job and cache counters.
     ///
     /// # Errors
@@ -248,6 +317,28 @@ fn failure_response(frame_tag: u8, payload: Vec<u8>) -> ServeError {
 enum Response {
     NeedTrace,
     Result(JobResponse),
+}
+
+enum StatsReply {
+    NeedTrace,
+    Result(Box<StatsResponse>),
+}
+
+/// One digesting pass over a file: `(digest, length)`.
+fn digest_file(path: &Path) -> Result<(u64, u64), ServeError> {
+    let mut digest = Fnv64::new();
+    let mut len: u64 = 0;
+    let mut reader = BufReader::new(File::open(path)?);
+    let mut chunk = vec![0u8; TRACE_CHUNK];
+    loop {
+        let n = reader.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        digest.update(&chunk[..n]);
+        len += n as u64;
+    }
+    Ok((digest.value(), len))
 }
 
 #[cfg(test)]

@@ -59,6 +59,8 @@ pub mod protocol;
 pub mod server;
 
 pub use cache::{CacheKey, CacheStats, ResultCache};
-pub use client::{Client, JobResponse};
-pub use protocol::{JobResult, OpReport, ServeError, ServerStats};
+pub use client::{Client, JobResponse, StatsResponse};
+pub use protocol::{
+    JobResult, KindStats, OpReport, PhaseStats, ServeError, ServerStats, TraceStatsReport,
+};
 pub use server::{Server, ServerConfig};

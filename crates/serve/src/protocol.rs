@@ -62,6 +62,11 @@ pub mod tag {
     pub const TRACE_END: u8 = 0x03;
     /// Client→server: server-counters request (empty payload after magic).
     pub const STATS: u8 = 0x04;
+    /// Client→server: trace-statistics job submission (digest, byte
+    /// length) — the upload handshake of [`SUBMIT`] — but
+    /// the server folds `fpraker_trace::stats::TraceStatistics` over the
+    /// stream instead of simulating it.
+    pub const SUBMIT_STATS: u8 = 0x05;
     /// Server→client: cache miss — stream the trace now (empty payload).
     pub const NEED_TRACE: u8 = 0x81;
     /// Server→client: the job's result payload, prefixed by a cached flag.
@@ -70,6 +75,9 @@ pub mod tag {
     pub const ERROR: u8 = 0x83;
     /// Server→client: server counters.
     pub const STATS_RESULT: u8 = 0x84;
+    /// Server→client: a trace-statistics job's result payload, prefixed
+    /// by a cached flag.
+    pub const TRACE_STATS_RESULT: u8 = 0x85;
 }
 
 /// Everything that can go wrong on either side of the protocol.
@@ -202,6 +210,46 @@ impl Submit {
     }
 }
 
+/// A parsed [`tag::SUBMIT_STATS`] payload: a job identified by content
+/// alone (no machine spec — statistics are a property of the trace).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StatsSubmit {
+    /// FNV-1a content digest of the trace's encoded bytes.
+    pub digest: u64,
+    /// Exact length of the encoded trace in bytes.
+    pub trace_bytes: u64,
+}
+
+impl StatsSubmit {
+    /// Serializes the submission header.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + 1 + 8 + 8);
+        out.extend_from_slice(PROTOCOL_MAGIC);
+        out.push(PROTOCOL_VERSION);
+        out.extend_from_slice(&self.digest.to_le_bytes());
+        out.extend_from_slice(&self.trace_bytes.to_le_bytes());
+        out
+    }
+
+    /// Parses a submission header, validating magic and version.
+    ///
+    /// # Errors
+    ///
+    /// `Protocol` on bad magic, unsupported version, or a malformed
+    /// payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, ServeError> {
+        let mut c = Cursor::new(payload);
+        check_preamble(&mut c)?;
+        let digest = c.u64()?;
+        let trace_bytes = c.u64()?;
+        c.finish()?;
+        Ok(StatsSubmit {
+            digest,
+            trace_bytes,
+        })
+    }
+}
+
 /// Validates the `FPRS` magic + version preamble of a request payload.
 fn check_preamble(c: &mut Cursor<'_>) -> Result<(), ServeError> {
     let magic = c.bytes(4)?;
@@ -283,6 +331,214 @@ impl ServerStats {
         };
         c.finish()?;
         Ok(stats)
+    }
+}
+
+/// Per-tensor-kind statistics of a served trace-statistics job: the raw
+/// integer counts behind the paper's Fig. 1 (value/term sparsity) and
+/// Fig. 6 (exponent histogram) for one tensor kind. Integers end to end,
+/// so cached replays are bit-identical by construction.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct KindStats {
+    /// Weighted values observed.
+    pub values: u64,
+    /// Weighted zero values.
+    pub zeros: u64,
+    /// Weighted significand digit slots (8 per value).
+    pub slots: u64,
+    /// Weighted non-zero terms after canonical encoding.
+    pub terms: u64,
+    /// Unweighted values in the exponent histogram.
+    pub exp_total: u64,
+    /// Unweighted zero values (no exponent).
+    pub exp_zeros: u64,
+    /// `(unbiased exponent, count)` pairs, ascending.
+    pub exponents: Vec<(i32, u64)>,
+}
+
+impl KindStats {
+    /// Fraction of values that are zero (Fig. 1a).
+    pub fn value_sparsity(&self) -> f64 {
+        if self.values == 0 {
+            0.0
+        } else {
+            self.zeros as f64 / self.values as f64
+        }
+    }
+
+    /// Fraction of digit slots carrying no term (Fig. 1b).
+    pub fn term_sparsity(&self) -> f64 {
+        if self.slots == 0 {
+            0.0
+        } else {
+            1.0 - self.terms as f64 / self.slots as f64
+        }
+    }
+}
+
+/// Per-phase ideal-speedup counts of a served trace-statistics job
+/// (Fig. 2 / Eq. 4).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Phase name (`AxW`, `AxG`, `GxW`).
+    pub phase: String,
+    /// Weighted digit slots of the serial operands.
+    pub slots: u64,
+    /// Weighted non-zero terms.
+    pub terms: u64,
+    /// MACs in the phase.
+    pub macs: u64,
+}
+
+impl PhaseStats {
+    /// Eq. 4: `#MACs / (term_occupancy × #MACs)`.
+    pub fn potential_speedup(&self) -> f64 {
+        let occupancy = if self.slots == 0 {
+            1.0
+        } else {
+            self.terms as f64 / self.slots as f64
+        };
+        if occupancy <= 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / occupancy
+        }
+    }
+}
+
+/// A trace-statistics job's result: everything
+/// `fpraker_trace::stats::TraceStatistics` computes, flattened to exact
+/// integer counts for the wire. Built with [`TraceStatsReport::from_stats`]
+/// on the server; compare a served report against a local
+/// `TraceStatistics` the same way.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceStatsReport {
+    /// Activation statistics.
+    pub activation: KindStats,
+    /// Weight statistics.
+    pub weight: KindStats,
+    /// Gradient statistics.
+    pub gradient: KindStats,
+    /// Per-phase potential, in phase-name order.
+    pub phases: Vec<PhaseStats>,
+}
+
+impl TraceStatsReport {
+    /// Flattens a computed `TraceStatistics` into the wire report.
+    pub fn from_stats(stats: &fpraker_trace::stats::TraceStatistics) -> Self {
+        use fpraker_trace::TensorKind;
+
+        let kind = |k: TensorKind| {
+            let s = stats.sparsity.kind(k);
+            let (_, hist) = stats
+                .exponents
+                .iter()
+                .find(|(hk, _)| *hk == k)
+                .expect("all three kinds present");
+            KindStats {
+                values: s.values,
+                zeros: s.zeros,
+                slots: s.slots,
+                terms: s.terms,
+                exp_total: hist.total,
+                exp_zeros: hist.zeros,
+                exponents: hist.counts().collect(),
+            }
+        };
+        TraceStatsReport {
+            activation: kind(TensorKind::Activation),
+            weight: kind(TensorKind::Weight),
+            gradient: kind(TensorKind::Gradient),
+            phases: stats
+                .potential
+                .iter()
+                .map(|(name, p)| PhaseStats {
+                    phase: (*name).to_string(),
+                    slots: p.slots,
+                    terms: p.terms,
+                    macs: p.macs,
+                })
+                .collect(),
+        }
+    }
+
+    /// Serializes the report. Deterministic: the same statistics always
+    /// encode to the same bytes (the cache-replay invariant).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(256);
+        for k in [&self.activation, &self.weight, &self.gradient] {
+            for v in [
+                k.values,
+                k.zeros,
+                k.slots,
+                k.terms,
+                k.exp_total,
+                k.exp_zeros,
+            ] {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            out.extend_from_slice(&(k.exponents.len() as u32).to_le_bytes());
+            for &(e, c) in &k.exponents {
+                out.extend_from_slice(&e.to_le_bytes());
+                out.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&(self.phases.len() as u32).to_le_bytes());
+        for p in &self.phases {
+            out.extend_from_slice(&(p.phase.len() as u16).to_le_bytes());
+            out.extend_from_slice(p.phase.as_bytes());
+            for v in [p.slots, p.terms, p.macs] {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parses a report payload.
+    ///
+    /// # Errors
+    ///
+    /// `Protocol` on any malformed field or trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<Self, ServeError> {
+        let mut c = Cursor::new(payload);
+        let mut kinds = [
+            KindStats::default(),
+            KindStats::default(),
+            KindStats::default(),
+        ];
+        for k in &mut kinds {
+            k.values = c.u64()?;
+            k.zeros = c.u64()?;
+            k.slots = c.u64()?;
+            k.terms = c.u64()?;
+            k.exp_total = c.u64()?;
+            k.exp_zeros = c.u64()?;
+            let n = c.u32()? as usize;
+            let mut exps = Vec::with_capacity(n.min(1 << 12));
+            for _ in 0..n {
+                let e = i32::from_le_bytes(c.bytes(4)?.try_into().unwrap());
+                exps.push((e, c.u64()?));
+            }
+            k.exponents = exps;
+        }
+        let n = c.u32()? as usize;
+        let mut phases = Vec::with_capacity(n.min(16));
+        for _ in 0..n {
+            phases.push(PhaseStats {
+                phase: c.string()?,
+                slots: c.u64()?,
+                terms: c.u64()?,
+                macs: c.u64()?,
+            });
+        }
+        c.finish()?;
+        let [activation, weight, gradient] = kinds;
+        Ok(TraceStatsReport {
+            activation,
+            weight,
+            gradient,
+            phases,
+        })
     }
 }
 
@@ -526,6 +782,28 @@ mod tests {
         assert!(ServerStats::decode(&s.encode()[..7]).is_err());
         decode_stats_request(&encode_stats_request()).unwrap();
         assert!(decode_stats_request(b"junk!").is_err());
+    }
+
+    #[test]
+    fn stats_submit_and_report_round_trip() {
+        use fpraker_num::encode::Encoding;
+        use fpraker_trace::stats::TraceStatistics;
+        use fpraker_trace::Trace;
+
+        let s = StatsSubmit {
+            digest: 0xABCD_EF01_2345_6789,
+            trace_bytes: 777,
+        };
+        assert_eq!(StatsSubmit::decode(&s.encode()).unwrap(), s);
+        assert!(StatsSubmit::decode(&s.encode()[..8]).is_err());
+
+        let stats = TraceStatistics::from_trace(&Trace::new("m", 0), Encoding::Canonical);
+        let report = TraceStatsReport::from_stats(&stats);
+        let payload = report.encode();
+        assert_eq!(TraceStatsReport::decode(&payload).unwrap(), report);
+        // Determinism: encoding twice yields identical bytes.
+        assert_eq!(payload, report.encode());
+        assert!(TraceStatsReport::decode(&payload[..payload.len() - 1]).is_err());
     }
 
     #[test]

@@ -27,13 +27,22 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use fpraker_energy::EnergyModel;
+use fpraker_num::encode::Encoding;
 use fpraker_sim::{resolve_machine, Engine};
-use fpraker_trace::codec;
+use fpraker_trace::codec::{self, IndexFooter, MAX_FOOTER_LEN};
+use fpraker_trace::digest::Fnv64;
+use fpraker_trace::stats::TraceStatistics;
+use fpraker_trace::TraceSource;
 
 use crate::cache::{CacheKey, CacheStats, ResultCache};
 use crate::protocol::{
-    self, read_frame, tag, write_frame, ServeError, ServerStats, Submit, MAX_FRAME_LEN,
+    self, read_frame, tag, write_frame, ServeError, ServerStats, StatsSubmit, Submit,
+    TraceStatsReport, MAX_FRAME_LEN,
 };
+
+/// The pseudo machine-spec under which trace-statistics results are
+/// cached. Starts with `#` so it can never collide with a registry name.
+const STATS_SPEC: &str = "#stats";
 
 /// Server tuning knobs.
 #[derive(Clone, Debug)]
@@ -289,6 +298,22 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) -> Result<(), Serve
                 }
             }
         }
+        tag::SUBMIT_STATS => {
+            let submit = match StatsSubmit::decode(&payload) {
+                Ok(s) => s,
+                Err(e) => {
+                    send_error(&mut stream, &e.to_string());
+                    return Err(e);
+                }
+            };
+            match handle_stats_job(&mut stream, shared, &submit) {
+                Ok(()) => Ok(()),
+                Err(e) => {
+                    send_error(&mut stream, &e.to_string());
+                    Err(e)
+                }
+            }
+        }
         other => {
             let e = ServeError::Protocol(format!("unexpected frame tag {other:#04x}"));
             send_error(&mut stream, &e.to_string());
@@ -297,14 +322,125 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) -> Result<(), Serve
     }
 }
 
-/// Replays a cached payload as a `RESULT{cached=1}` frame.
-fn send_result(stream: &mut TcpStream, cached: bool, payload: &[u8]) -> Result<(), ServeError> {
+/// Replays a payload as a `{cached, payload}` frame under the given tag
+/// ([`tag::RESULT`] for simulations, [`tag::TRACE_STATS_RESULT`] for
+/// statistics jobs).
+fn send_result(
+    stream: &mut TcpStream,
+    result_tag: u8,
+    cached: bool,
+    payload: &[u8],
+) -> Result<(), ServeError> {
     let mut framed = Vec::with_capacity(1 + payload.len());
     framed.push(u8::from(cached));
     framed.extend_from_slice(payload);
-    write_frame(stream, tag::RESULT, &framed)?;
+    write_frame(stream, result_tag, &framed)?;
     stream.flush()?;
     Ok(())
+}
+
+/// Drains whatever the decoder left unconsumed — legal only when it is
+/// exactly one valid index footer (indexed uploads carry one after the
+/// ops; the decoder stops at the declared op count and never reads it).
+/// The footer bytes are folded into the upload digest so the declared
+/// whole-file digest still verifies. Returns `(extra bytes, digest of the
+/// whole upload)`.
+fn drain_index_footer(body: &mut BodyReader, ops_digest: u64) -> Result<(u64, u64), ServeError> {
+    use std::io::Read as _;
+
+    let mut hasher = Fnv64::resume(ops_digest);
+    let mut extra = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        let n = body.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        hasher.update(&chunk[..n]);
+        extra.extend_from_slice(&chunk[..n]);
+        if extra.len() as u64 > MAX_FOOTER_LEN {
+            return Err(ServeError::Protocol(format!(
+                "more than {MAX_FOOTER_LEN} bytes after the declared ops \
+                 cannot be an index footer"
+            )));
+        }
+    }
+    if !extra.is_empty() && IndexFooter::parse(&extra).is_none() {
+        return Err(ServeError::Protocol(format!(
+            "{} bytes after the ops are not a valid index footer",
+            extra.len()
+        )));
+    }
+    Ok((extra.len() as u64, hasher.value()))
+}
+
+/// Validates that the upload matched its submission header: the declared
+/// byte length and whole-upload digest.
+fn check_upload(
+    consumed: u64,
+    digest: u64,
+    declared_bytes: u64,
+    declared_digest: u64,
+) -> Result<(), ServeError> {
+    if consumed != declared_bytes {
+        return Err(ServeError::Protocol(format!(
+            "trace was {consumed} bytes but the submission declared {declared_bytes}"
+        )));
+    }
+    if digest != declared_digest {
+        return Err(ServeError::Protocol(format!(
+            "trace digest {digest:#018x} does not match the declared {declared_digest:#018x}"
+        )));
+    }
+    Ok(())
+}
+
+/// The shared lifecycle of every content-addressed job (simulation or
+/// statistics): cache hit → answer; miss → take a job slot, re-check the
+/// cache (another job for the same content may have finished while we
+/// waited; with `jobs` permits up to `jobs` racing clients can still slip
+/// past — a bounded duplication, never a correctness issue since payloads
+/// are deterministic), ask for the upload, fold it through `work`, drain
+/// and validate any index footer, verify the declared length/digest, and
+/// cache + send the deterministic payload.
+fn serve_content_job(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    key: CacheKey,
+    result_tag: u8,
+    declared_bytes: u64,
+    declared_digest: u64,
+    work: impl FnOnce(&mut dyn TraceSource) -> Result<Vec<u8>, ServeError>,
+) -> Result<(), ServeError> {
+    if let Some(hit) = shared.cache.get(&key) {
+        return send_result(stream, result_tag, true, &hit);
+    }
+    shared.jobs.acquire();
+    let _permit = JobPermit(&shared.jobs);
+    if let Some(hit) = shared.cache.recheck(&key) {
+        return send_result(stream, result_tag, true, &hit);
+    }
+    write_frame(stream, tag::NEED_TRACE, &[])?;
+    stream.flush()?;
+
+    // Stream the upload straight through the decoder into the job:
+    // frames → BodyReader → codec::Reader (which hashes every byte it
+    // consumes) → `work`.
+    let mut body = BodyReader::new(stream);
+    let mut reader = codec::Reader::new(&mut body)?;
+    let payload = work(&mut reader)?;
+    let (consumed, ops_digest) = (reader.offset(), reader.digest());
+    drop(reader);
+    // An indexed upload carries a footer the decoder never reads; drain
+    // and validate it, extending the digest over it.
+    let (extra, digest) = drain_index_footer(&mut body, ops_digest)?;
+    body.finish()?;
+    check_upload(consumed + extra, digest, declared_bytes, declared_digest)?;
+
+    let payload = Arc::new(payload);
+    shared.cache.insert(key, Arc::clone(&payload));
+    shared.jobs_completed.fetch_add(1, Ordering::SeqCst);
+    send_result(stream, result_tag, false, &payload)
 }
 
 fn handle_job(stream: &mut TcpStream, shared: &Shared, submit: &Submit) -> Result<(), ServeError> {
@@ -316,55 +452,47 @@ fn handle_job(stream: &mut TcpStream, shared: &Shared, submit: &Submit) -> Resul
         )));
     };
     let key = CacheKey::new(submit.digest, &submit.spec);
-    if let Some(hit) = shared.cache.get(&key) {
-        return send_result(stream, true, &hit);
-    }
-    // Miss: take a job slot. Another job for the same content may finish
-    // while we wait, so re-check before asking for the upload (with
-    // `jobs` permits, up to `jobs` racing clients can still slip past
-    // this and simulate the same content — a bounded duplication, never
-    // a correctness issue since payloads are deterministic).
-    shared.jobs.acquire();
-    let _permit = JobPermit(&shared.jobs);
-    if let Some(hit) = shared.cache.recheck(&key) {
-        return send_result(stream, true, &hit);
-    }
-    write_frame(stream, tag::NEED_TRACE, &[])?;
-    stream.flush()?;
+    let spec = key.spec.clone();
+    serve_content_job(
+        stream,
+        shared,
+        key,
+        tag::RESULT,
+        submit.trace_bytes,
+        submit.digest,
+        |source| {
+            let run = shared.engine.run_source(machine, source, &cfg)?;
+            Ok(protocol::encode_result(
+                &spec,
+                &run.result,
+                run.peak_resident_ops as u64,
+                &shared.energy,
+            ))
+        },
+    )
+}
 
-    // Stream the upload straight through the decoder into the simulator:
-    // frames → BodyReader → codec::Reader (which hashes every byte it
-    // consumes) → Engine::run_source.
-    let mut body = BodyReader::new(stream);
-    let mut reader = codec::Reader::new(&mut body)?;
-    let run = shared.engine.run_source(machine, &mut reader, &cfg)?;
-    let (consumed, digest) = (reader.offset(), reader.digest());
-    drop(reader);
-    body.finish()?;
-    // The upload ended exactly where the decoder stopped, so its digest
-    // and offset describe the whole upload.
-    if consumed != submit.trace_bytes {
-        return Err(ServeError::Protocol(format!(
-            "trace was {consumed} bytes but the submission declared {}",
-            submit.trace_bytes
-        )));
-    }
-    if digest != submit.digest {
-        return Err(ServeError::Protocol(format!(
-            "trace digest {digest:#018x} does not match the declared {:#018x}",
-            submit.digest
-        )));
-    }
-
-    let payload = Arc::new(protocol::encode_result(
-        &key.spec,
-        &run.result,
-        run.peak_resident_ops as u64,
-        &shared.energy,
-    ));
-    shared.cache.insert(key, Arc::clone(&payload));
-    shared.jobs_completed.fetch_add(1, Ordering::SeqCst);
-    send_result(stream, false, &payload)
+/// A trace-statistics job: the same handshake and cache as a simulation
+/// job, but the upload is folded through the single-pass
+/// [`TraceStatistics`] collector instead of the engine — the Fig. 1/2/6
+/// figures served as infrastructure.
+fn handle_stats_job(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    submit: &StatsSubmit,
+) -> Result<(), ServeError> {
+    serve_content_job(
+        stream,
+        shared,
+        CacheKey::new(submit.digest, STATS_SPEC),
+        tag::TRACE_STATS_RESULT,
+        submit.trace_bytes,
+        submit.digest,
+        |source| {
+            let stats = TraceStatistics::from_source(source, Encoding::Canonical)?;
+            Ok(TraceStatsReport::from_stats(&stats).encode())
+        },
+    )
 }
 
 /// Reassembles `TRACE_DATA` frames into one [`io::Read`] stream (EOF at

@@ -87,6 +87,106 @@ fn assert_matches_local(result: &fpraker_serve::JobResult, local: &RunResult, sp
     }
 }
 
+/// Encodes a trace with an index footer appended.
+fn encode_indexed(tr: &Trace, stride: u32) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut w = codec::Writer::new(&mut out, &tr.model, tr.progress_pct, tr.ops.len() as u32)
+        .expect("header");
+    for op in &tr.ops {
+        w.write_op(op).expect("op");
+    }
+    w.finish_indexed(stride).expect("footer");
+    out
+}
+
+#[test]
+fn indexed_payloads_are_accepted_digest_verified_and_bit_identical() {
+    let server = start_server(1);
+    let client = Client::connect(server.local_addr()).unwrap();
+    let trace = test_trace(77, 6);
+    let spec = "fpraker";
+    let (_, cfg) = resolve_machine(spec).unwrap();
+    let local = Engine::with_threads(1).run(Machine::FpRaker, &trace, &cfg);
+
+    // An indexed upload (footer after the ops) simulates like a plain one.
+    let indexed = encode_indexed(&trace, 2);
+    let response = client.submit_encoded(&indexed, spec).unwrap();
+    assert!(!response.cached);
+    assert_matches_local(&response.result, &local, spec);
+
+    // Resubmitting the same indexed bytes hits the content cache.
+    let again = client.submit_encoded(&indexed, spec).unwrap();
+    assert!(again.cached);
+    assert_eq!(again.result, response.result);
+
+    // The plain encoding is different content (different digest): it
+    // simulates separately — to the identical result.
+    let plain = codec::encode(&trace).to_vec();
+    let plain_response = client.submit_encoded(&plain, spec).unwrap();
+    assert!(!plain_response.cached);
+    assert_matches_local(&plain_response.result, &local, spec);
+
+    // A lying digest over indexed bytes is rejected and does not poison
+    // the cache; trailing garbage that is not a footer is rejected too.
+    let mut tampered = indexed.clone();
+    let last = tampered.len() - 1;
+    tampered[last] ^= 0xFF; // breaks the footer magic
+    match client.submit_encoded(&tampered, spec) {
+        Err(ServeError::Remote(m)) => {
+            assert!(m.contains("footer") || m.contains("digest"), "{m}")
+        }
+        other => panic!("tampered footer accepted: {other:?}"),
+    }
+    // The server is still serving afterwards.
+    assert!(client.submit_encoded(&indexed, spec).unwrap().cached);
+}
+
+#[test]
+fn stats_jobs_compute_single_pass_statistics_over_the_streamed_upload() {
+    use fpraker_num::encode::Encoding;
+    use fpraker_serve::TraceStatsReport;
+    use fpraker_trace::stats::TraceStatistics;
+
+    let server = start_server(1);
+    let client = Client::connect(server.local_addr()).unwrap();
+    let trace = test_trace(123, 5);
+    let bytes = codec::encode(&trace).to_vec();
+    let local = TraceStatistics::from_trace(&trace, Encoding::Canonical);
+    let expected = TraceStatsReport::from_stats(&local);
+
+    // Cold: the server folds the stream and reports exact counts.
+    let response = client.submit_stats_encoded(&bytes).unwrap();
+    assert!(!response.cached);
+    assert_eq!(response.report, expected);
+    // The figures derived from the report match the local collector.
+    assert_eq!(
+        response.report.activation.value_sparsity(),
+        local.sparsity.activation.value_sparsity()
+    );
+    for p in &response.report.phases {
+        let l = &local.potential[p.phase.as_str()];
+        assert_eq!(p.macs, l.macs);
+        assert_eq!(p.potential_speedup(), l.potential_speedup());
+    }
+
+    // Warm: content-cached, bit-identical replay.
+    let again = client.submit_stats_encoded(&bytes).unwrap();
+    assert!(again.cached);
+    assert_eq!(again.report, expected);
+
+    // Indexed upload: accepted (footer drained and digest-verified),
+    // different content digest → its own cache entry, same statistics.
+    let indexed = encode_indexed(&trace, 2);
+    let from_indexed = client.submit_stats_encoded(&indexed).unwrap();
+    assert!(!from_indexed.cached);
+    assert_eq!(from_indexed.report, expected);
+
+    // Stats and simulation results of the same bytes do not collide in
+    // the cache: a simulation of the plain bytes is still a cold miss.
+    let sim = client.submit_encoded(&bytes, "fpraker").unwrap();
+    assert!(!sim.cached);
+}
+
 #[test]
 fn concurrent_clients_get_bit_identical_results_with_cache_hits() {
     let server = start_server(2);

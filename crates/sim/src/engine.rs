@@ -17,8 +17,10 @@
 //! assert_eq!(run.cycles(), 0);
 //! ```
 
+use std::path::Path;
+
 use fpraker_core::{BaselineMachine, FpRakerMachine, MachineModel};
-use fpraker_trace::{DecodeError, Trace, TraceSource};
+use fpraker_trace::{DecodeError, IndexedTraceFile, Trace, TraceSource};
 
 use crate::config::AcceleratorConfig;
 use crate::op::resolve_threads;
@@ -238,6 +240,16 @@ impl Engine {
     /// counterpart of [`Engine::simulate_trace_with`], with the same
     /// `label` semantics.
     ///
+    /// When the source advertises an index
+    /// ([`TraceSource::segment_cursors`] returns more than one cursor —
+    /// e.g. an [`IndexedTraceFile`] over a `finish_indexed` trace) and the
+    /// worker budget allows, decoding itself is parallelized: one cursor
+    /// per segment group feeds the shared op×block pool concurrently, so
+    /// a single reader thread no longer starves the workers. Results stay
+    /// **bit-identical** to the sequential path (ops are folded in global
+    /// trace order); only wall-clock and the residency bound change —
+    /// peak residency is `window` ops *per cursor* on the parallel path.
+    ///
     /// # Errors
     ///
     /// Propagates the source's [`DecodeError`].
@@ -247,12 +259,28 @@ impl Engine {
         mut source: S,
         cfg: &AcceleratorConfig,
     ) -> Result<StreamRun, DecodeError> {
-        let sched = sched::simulate_source_scheduled::<M, _>(
-            &mut source,
-            cfg,
-            self.threads,
-            self.resolved_window(),
-        )?;
+        let window = self.resolved_window();
+        if self.resolved_threads() > 1 {
+            if let Some(cursors) = source.segment_cursors(self.resolved_threads()) {
+                if cursors.len() > 1 {
+                    let sched = sched::simulate_segments_scheduled::<M>(
+                        cursors,
+                        cfg,
+                        self.threads,
+                        window,
+                    )?;
+                    return Ok(StreamRun {
+                        result: RunResult {
+                            machine: label,
+                            ops: sched.outcomes,
+                        },
+                        peak_resident_ops: sched.peak_resident_ops,
+                    });
+                }
+            }
+        }
+        let sched =
+            sched::simulate_source_scheduled::<M, _>(&mut source, cfg, self.threads, window)?;
         Ok(StreamRun {
             result: RunResult {
                 machine: label,
@@ -260,6 +288,53 @@ impl Engine {
             },
             peak_resident_ops: sched.peak_resident_ops,
         })
+    }
+
+    /// Simulates an **indexed trace file** with parallel segment decode:
+    /// opens the file, reads its index footer, and — when the footer is
+    /// usable and the budget allows — decodes independent segments on
+    /// concurrent cursors feeding the shared op×block scheduler. Files
+    /// without a (valid) footer degrade to the sequential streaming path;
+    /// either way the [`RunResult`] is bit-identical to [`Engine::run`]
+    /// on the decoded trace at every worker count.
+    ///
+    /// ```no_run
+    /// use fpraker_sim::{AcceleratorConfig, Engine, Machine};
+    ///
+    /// let run = Engine::new()
+    ///     .run_indexed(Machine::FpRaker, "big.trace", &AcceleratorConfig::fpraker_paper())
+    ///     .unwrap();
+    /// println!("{} cycles", run.result.cycles());
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] if the file cannot be opened, its header is
+    /// invalid, or an op fails to decode.
+    pub fn run_indexed<P: AsRef<Path>>(
+        &self,
+        machine: Machine,
+        path: P,
+        cfg: &AcceleratorConfig,
+    ) -> Result<StreamRun, DecodeError> {
+        let source = IndexedTraceFile::open(path.as_ref())?;
+        self.run_source(machine, source, cfg)
+    }
+
+    /// [`Engine::run_indexed`] for any [`MachineModel`], with
+    /// [`Engine::simulate_trace_with`]'s `label` semantics.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::run_indexed`].
+    pub fn stream_indexed_with<M: MachineModel, P: AsRef<Path>>(
+        &self,
+        label: Machine,
+        path: P,
+        cfg: &AcceleratorConfig,
+    ) -> Result<StreamRun, DecodeError> {
+        let source = IndexedTraceFile::open(path.as_ref())?;
+        self.stream_source_with::<M, _>(label, source, cfg)
     }
 }
 

@@ -38,13 +38,13 @@
 //! to the in-memory path at every worker count
 //! (`crates/sim/tests/streaming.rs`).
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 
 use fpraker_core::MachineModel;
-use fpraker_trace::{DecodeError, TraceOp, TraceSource};
+use fpraker_trace::{DecodeError, SegmentCursor, TraceOp, TraceSource};
 
 use crate::config::AcceleratorConfig;
 use crate::op::{
@@ -431,6 +431,217 @@ pub(crate) fn simulate_source_scheduled<M: MachineModel, S: TraceSource>(
         queue.close();
         run
     })
+}
+
+/// Shared state of the parallel-segment-decode path: ops decoded by any
+/// cursor, keyed by global op index, plus the fold watermark the decoders
+/// pace themselves against.
+struct SegShare {
+    state: Mutex<SegState>,
+    /// One condvar for every rendezvous on `state`: decoders announcing a
+    /// planned op, workers announcing an op's last unit, the folder
+    /// advancing the watermark, and abort.
+    cv: Condvar,
+}
+
+struct SegState {
+    /// Planned-but-unfolded ops by global index.
+    ready: BTreeMap<u64, Arc<InFlightOp>>,
+    /// Ops folded so far — every op below this index is done.
+    folded: u64,
+    /// Decode errors by the global index of the op that failed. The folder
+    /// reports the error at the first op (in trace order) it cannot fold,
+    /// which is exactly the error sequential decode would have hit first.
+    errors: BTreeMap<u64, DecodeError>,
+    /// Ops currently resident (planned, not folded) across all cursors.
+    resident: usize,
+    peak: usize,
+    /// Folder bailed out; decoders drop their remaining work and exit.
+    abort: bool,
+}
+
+/// Worker loop of the segmented path — [`stream_worker`] with the op-done
+/// signal routed to the segment share (the folder waits there, not on the
+/// unit queue).
+fn segment_worker<M: MachineModel>(queue: &StreamQueue, share: &SegShare, cfg: &AcceleratorConfig) {
+    loop {
+        let unit = {
+            let mut st = queue.state.lock().expect("queue lock poisoned");
+            loop {
+                if let Some(u) = st.units.pop_front() {
+                    break u;
+                }
+                if st.closed {
+                    return;
+                }
+                st = queue.work.wait(st).expect("queue lock poisoned");
+            }
+        };
+        let acc = run_unit::<M>(&unit.op.plan, cfg, unit.lo, unit.hi);
+        *unit.op.slots[unit.slot].lock().expect("slot lock poisoned") = Some(acc);
+        if unit.op.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = share.state.lock().expect("share lock poisoned");
+            share.cv.notify_all();
+        }
+    }
+}
+
+/// Decoder loop: drains one segment cursor, planning and enqueueing each
+/// op, pacing itself so at most `window` of *its* ops are unfolded.
+fn segment_decoder(
+    cursor: &mut SegmentCursor,
+    cfg: &AcceleratorConfig,
+    budget: usize,
+    window: usize,
+    queue: &StreamQueue,
+    share: &SegShare,
+) {
+    let mut mine: VecDeque<u64> = VecDeque::new();
+    for i in cursor.first_op..cursor.first_op + cursor.ops {
+        // Window pacing: wait until fewer than `window` of this cursor's
+        // ops are unfolded (the fold watermark retires them in order).
+        {
+            let mut st = share.state.lock().expect("share lock poisoned");
+            loop {
+                if st.abort {
+                    return;
+                }
+                while mine.front().is_some_and(|&f| f < st.folded) {
+                    mine.pop_front();
+                }
+                if mine.len() < window {
+                    break;
+                }
+                st = share.cv.wait(st).expect("share lock poisoned");
+            }
+        }
+        // Decode, plan and enqueue outside the share lock; only the
+        // bookkeeping (op announced / error recorded) takes it.
+        let planned = match cursor.source.next_op() {
+            Ok(Some(op)) => Ok(enqueue_op(op, cfg, budget, queue)),
+            Ok(None) => Err(DecodeError::at(
+                0,
+                "segment cursor ended before its declared op count",
+            )),
+            Err(e) => Err(e),
+        };
+        let mut st = share.state.lock().expect("share lock poisoned");
+        match planned {
+            Ok(in_flight) => {
+                st.ready.insert(i, in_flight);
+                st.resident += 1;
+                st.peak = st.peak.max(st.resident);
+                share.cv.notify_all();
+                mine.push_back(i);
+            }
+            Err(e) => {
+                st.errors.insert(i, e);
+                share.cv.notify_all();
+                return;
+            }
+        }
+    }
+}
+
+/// Simulates a trace from parallel segment cursors — the decode-side
+/// counterpart of the op×block execution pool. Each cursor decodes its
+/// contiguous op range on its own thread; all of them feed one shared
+/// unit queue and worker pool; the calling thread folds ops **in global
+/// trace order**, so the result is bit-identical to the sequential
+/// streaming path (and therefore to [`simulate_ops_scheduled`]) at every
+/// worker count.
+///
+/// Peak residency is bounded by `window` ops *per cursor* (each cursor
+/// paces itself against the fold watermark independently), so memory is
+/// `window × cursors` ops at worst — the price of keeping every decode
+/// thread busy while the fold drains in trace order.
+pub(crate) fn simulate_segments_scheduled<M: MachineModel>(
+    mut cursors: Vec<SegmentCursor>,
+    cfg: &AcceleratorConfig,
+    threads: usize,
+    window: usize,
+) -> Result<StreamSchedule, DecodeError> {
+    let budget = resolve_threads(threads).max(2);
+    let window = window.max(1);
+    let total: u64 = cursors.iter().map(|c| c.ops).sum();
+    let queue = StreamQueue::new();
+    let share = SegShare {
+        state: Mutex::new(SegState {
+            ready: BTreeMap::new(),
+            folded: 0,
+            errors: BTreeMap::new(),
+            resident: 0,
+            peak: 0,
+            abort: false,
+        }),
+        cv: Condvar::new(),
+    };
+
+    let run = thread::scope(|scope| {
+        for _ in 0..budget {
+            scope.spawn(|| segment_worker::<M>(&queue, &share, cfg));
+        }
+        for cursor in &mut cursors {
+            scope.spawn(|| segment_decoder(cursor, cfg, budget, window, &queue, &share));
+        }
+
+        // Fold in global trace order on the calling thread.
+        let mut outcomes = Vec::with_capacity(total.min(1 << 20) as usize);
+        let mut error = None;
+        for i in 0..total {
+            let done = {
+                let mut st = share.state.lock().expect("share lock poisoned");
+                loop {
+                    if let Some(e) = st.errors.get(&i) {
+                        error = Some(e.clone());
+                        st.abort = true;
+                        share.cv.notify_all();
+                        break None;
+                    }
+                    if let Some(arc) = st.ready.get(&i) {
+                        if arc.remaining.load(Ordering::Acquire) == 0 {
+                            let arc = st.ready.remove(&i).expect("checked present");
+                            st.resident -= 1;
+                            break Some(arc);
+                        }
+                    }
+                    st = share.cv.wait(st).expect("share lock poisoned");
+                }
+            };
+            let Some(done) = done else { break };
+            let mut acc = BlockAccum::new(cfg.tiles);
+            for slot in &done.slots {
+                let partial = slot
+                    .lock()
+                    .expect("slot lock poisoned")
+                    .take()
+                    .expect("completed op deposited every unit");
+                acc.merge(&partial);
+            }
+            outcomes.push(finish_op::<M>(&done.plan, cfg, acc));
+            let mut st = share.state.lock().expect("share lock poisoned");
+            st.folded = i + 1;
+            share.cv.notify_all();
+        }
+        let peak = share.state.lock().expect("share lock poisoned").peak;
+        // Always close the queue — also on an error — so workers drain
+        // and the scope's implicit join cannot deadlock; `abort` already
+        // released any window-blocked decoders.
+        {
+            let mut st = share.state.lock().expect("share lock poisoned");
+            st.abort = true;
+            share.cv.notify_all();
+        }
+        queue.close();
+        match error {
+            Some(e) => Err(e),
+            None => Ok(StreamSchedule {
+                outcomes,
+                peak_resident_ops: peak,
+            }),
+        }
+    });
+    run
 }
 
 #[cfg(test)]

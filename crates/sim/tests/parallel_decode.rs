@@ -1,0 +1,320 @@
+//! Parallel segment decode determinism: simulating an **indexed** trace
+//! with one decode cursor per segment group must produce a `RunResult`
+//! bit-identical to `Engine::run` on the fully loaded trace and to the
+//! sequential streaming path — at 1, 2 and 8 workers, with golden
+//! checking on — and damaged footers must degrade to sequential decode
+//! without changing a single result.
+
+use std::fs::File;
+use std::io::BufWriter;
+
+use fpraker_num::reference::SplitMix64;
+use fpraker_num::Bf16;
+use fpraker_sim::{AcceleratorConfig, Engine, Machine, OpOutcome, RunResult};
+use fpraker_trace::{codec, IndexedBytes, Phase, TensorKind, Trace, TraceOp, TraceSource};
+use proptest::prelude::*;
+
+/// A trace mixing large fan-out ops with tiny GEMMs — enough ops that a
+/// small index stride yields many segments.
+fn mixed_trace(count: usize) -> Trace {
+    let mut rng = SplitMix64::new(0x1DE7);
+    let mut tr = Trace::new("parallel-decode", 50);
+    let phases = [Phase::AxW, Phase::GxW, Phase::AxG];
+    for i in 0..count {
+        let (m, n, k) = if i % 6 == 0 {
+            (32, 24, 16)
+        } else {
+            (8 + (i % 3) * 4, 8, 8)
+        };
+        let zero_pct = (i % 4) as f64 * 0.2;
+        let gen = |rng: &mut SplitMix64, count: usize| -> Vec<Bf16> {
+            (0..count)
+                .map(|_| {
+                    if rng.next_f64() < zero_pct {
+                        Bf16::ZERO
+                    } else {
+                        rng.bf16_in_range(4)
+                    }
+                })
+                .collect()
+        };
+        tr.ops.push(TraceOp {
+            layer: format!("l{i}"),
+            phase: phases[i % 3],
+            m,
+            n,
+            k,
+            a: gen(&mut rng, m * k),
+            b: gen(&mut rng, n * k),
+            a_kind: TensorKind::Activation,
+            b_kind: TensorKind::Weight,
+            a_dup: 1.0,
+            b_dup: 1.0,
+            out_dup: 1.0,
+        });
+    }
+    tr
+}
+
+fn encode_indexed(tr: &Trace, stride: u32) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut w = codec::Writer::new(&mut out, &tr.model, tr.progress_pct, tr.ops.len() as u32)
+        .expect("header");
+    for op in &tr.ops {
+        w.write_op(op).expect("op");
+    }
+    w.finish_indexed(stride).expect("footer");
+    out
+}
+
+fn assert_ops_identical(a: &OpOutcome, b: &OpOutcome, what: &str) {
+    assert_eq!(a.layer, b.layer, "{what}: layer");
+    assert_eq!(a.cycles, b.cycles, "{what}: cycles");
+    assert_eq!(a.compute_cycles, b.compute_cycles, "{what}: compute");
+    assert_eq!(a.mem_cycles, b.mem_cycles, "{what}: memory");
+    assert_eq!(a.stats, b.stats, "{what}: stats");
+    assert_eq!(a.counts, b.counts, "{what}: counts");
+    assert_eq!(a.traffic, b.traffic, "{what}: traffic");
+    assert_eq!(a.sram_bytes, b.sram_bytes, "{what}: sram");
+    assert_eq!(a.golden_failures, b.golden_failures, "{what}: golden");
+}
+
+fn assert_runs_identical(a: &RunResult, b: &RunResult, what: &str) {
+    assert_eq!(a.ops.len(), b.ops.len(), "{what}: op count");
+    for (i, (x, y)) in a.ops.iter().zip(&b.ops).enumerate() {
+        assert_ops_identical(x, y, &format!("{what} op{i}"));
+    }
+}
+
+/// The tentpole invariant: parallel segment decode == `Engine::run`, bit
+/// for bit, at 1, 2 and 8 workers (golden checking on), through both the
+/// in-memory and the on-disk indexed sources.
+#[test]
+fn parallel_decode_is_bit_identical_to_in_memory_at_1_2_and_8_workers() {
+    let trace = mixed_trace(24);
+    let bytes = encode_indexed(&trace, 2);
+    let mut cfg = AcceleratorConfig::fpraker_paper();
+    cfg.check_golden = true;
+    cfg.tiles = 4;
+
+    let path = std::env::temp_dir().join(format!(
+        "fpraker_parallel_decode_{}.trace",
+        std::process::id()
+    ));
+    std::fs::write(&path, &bytes).expect("write indexed trace");
+
+    for workers in [1usize, 2, 8] {
+        let engine = Engine::with_threads(workers).stream_window(3);
+        let in_memory = engine.run(Machine::FpRaker, &trace, &cfg);
+
+        let source = IndexedBytes::new(bytes.clone()).expect("header");
+        assert!(source.has_index());
+        let streamed = engine
+            .run_source(Machine::FpRaker, source, &cfg)
+            .expect("indexed bytes");
+        assert_runs_identical(
+            &streamed.result,
+            &in_memory,
+            &format!("{workers} workers, bytes"),
+        );
+        assert_eq!(streamed.result.golden_failures(), 0);
+
+        let from_file = engine
+            .run_indexed(Machine::FpRaker, &path, &cfg)
+            .expect("indexed file");
+        assert_runs_identical(
+            &from_file.result,
+            &in_memory,
+            &format!("{workers} workers, file"),
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// Segment cursors are actually handed out in parallel form (more than
+/// one), and the sequential streaming run over the very same bytes agrees.
+#[test]
+fn segmented_and_sequential_streaming_agree() {
+    let trace = mixed_trace(18);
+    let bytes = encode_indexed(&trace, 3);
+    let cfg = AcceleratorConfig::fpraker_paper();
+    let engine = Engine::with_threads(4).stream_window(2);
+
+    let source = IndexedBytes::new(bytes.clone()).expect("header");
+    let cursors = source.segment_cursors(4).expect("indexed source");
+    assert!(cursors.len() > 1, "expected parallel cursors");
+    assert_eq!(cursors.iter().map(|c| c.ops).sum::<u64>(), 18);
+
+    let segmented = engine
+        .run_source(Machine::FpRaker, source, &cfg)
+        .expect("segmented");
+    let sequential = engine
+        .run_source(
+            Machine::FpRaker,
+            codec::Reader::new(&bytes[..]).expect("header"),
+            &cfg,
+        )
+        .expect("sequential");
+    assert_runs_identical(&segmented.result, &sequential.result, "segmented vs stream");
+    // Parallel decode bounds residency per cursor, not globally.
+    assert!(segmented.peak_resident_ops <= 2 * cursors_len_bound(18, 3, 4));
+}
+
+fn cursors_len_bound(ops: u32, stride: u32, limit: usize) -> usize {
+    (ops.div_ceil(stride) as usize).min(limit)
+}
+
+/// A corrupted or truncated footer degrades to sequential decode with
+/// identical results — and a baseline-machine run agrees too.
+#[test]
+fn damaged_footer_degrades_without_changing_results() {
+    let trace = mixed_trace(12);
+    let good = encode_indexed(&trace, 2);
+    let plain_len = codec::encode(&trace).len();
+    let cfg = AcceleratorConfig::fpraker_paper();
+    let engine = Engine::with_threads(4);
+    let reference = engine.run(Machine::FpRaker, &trace, &cfg);
+
+    // Corrupt the middle of the footer table and truncate half of it.
+    let mut corrupted = good.clone();
+    let mid = plain_len + (good.len() - plain_len) / 2;
+    corrupted[mid] ^= 0x5A;
+    let truncated = good[..mid].to_vec();
+    for bytes in [corrupted, truncated] {
+        let source = IndexedBytes::new(bytes).expect("header still valid");
+        assert!(!source.has_index(), "damaged footer must not index");
+        assert!(source.segment_cursors(4).is_none());
+        let run = engine
+            .run_source(Machine::FpRaker, source, &cfg)
+            .expect("degraded run");
+        assert_runs_identical(&run.result, &reference, "degraded");
+    }
+
+    // Pre-PR-5 files (no footer at all) still run, streamed or indexed.
+    let plain = codec::encode(&trace).to_vec();
+    let source = IndexedBytes::new(plain).expect("plain header");
+    assert!(!source.has_index());
+    let run = engine
+        .run_source(Machine::FpRaker, source, &cfg)
+        .expect("plain run");
+    assert_runs_identical(&run.result, &reference, "pre-footer file");
+
+    let bl_cfg = AcceleratorConfig::baseline_paper();
+    let bl_ref = engine.run(Machine::Baseline, &trace, &bl_cfg);
+    let bl = engine
+        .run_source(
+            Machine::Baseline,
+            IndexedBytes::new(encode_indexed(&trace, 2)).expect("header"),
+            &bl_cfg,
+        )
+        .expect("baseline indexed");
+    assert_runs_identical(&bl.result, &bl_ref, "baseline indexed");
+}
+
+/// A trace truncated mid-op errors cleanly from the parallel path at
+/// every worker count (no hang, no panic), like the sequential path.
+#[test]
+fn truncated_op_stream_errors_cleanly_from_parallel_decode() {
+    let trace = mixed_trace(12);
+    let bytes = encode_indexed(&trace, 2);
+    let plain_len = codec::encode(&trace).len();
+    // Cut inside the op region, then re-append the *original* footer so
+    // the index still parses and points (partly) past the cut.
+    let mut cut = bytes[..plain_len * 2 / 3].to_vec();
+    cut.extend_from_slice(&bytes[plain_len..]);
+    for workers in [2usize, 8] {
+        let engine = Engine::with_threads(workers).stream_window(2);
+        let source = IndexedBytes::new(cut.clone()).expect("header");
+        let err = engine
+            .run_source(
+                Machine::FpRaker,
+                source,
+                &AcceleratorConfig::fpraker_paper(),
+            )
+            .expect_err("truncated ops must error");
+        assert!(err.to_string().contains("at byte"), "{workers}: {err}");
+    }
+}
+
+/// An on-disk indexed round trip through a `BufWriter`-backed
+/// `GrowingWriter` (the capture path) simulates identically.
+#[test]
+fn growing_writer_file_round_trips_through_run_indexed() {
+    let trace = mixed_trace(10);
+    let path = std::env::temp_dir().join(format!(
+        "fpraker_growing_decode_{}.trace",
+        std::process::id()
+    ));
+    {
+        let file = BufWriter::new(File::create(&path).expect("create"));
+        let mut w =
+            codec::GrowingWriter::new(file, &trace.model, trace.progress_pct).expect("header");
+        for op in &trace.ops {
+            w.write_op(op).expect("op");
+        }
+        assert_eq!(w.finish_indexed(2).expect("finish"), 10);
+    }
+    let cfg = AcceleratorConfig::fpraker_paper();
+    let engine = Engine::with_threads(4);
+    let run = engine
+        .run_indexed(Machine::FpRaker, &path, &cfg)
+        .expect("run indexed");
+    std::fs::remove_file(&path).ok();
+    assert_runs_identical(
+        &run.result,
+        &engine.run(Machine::FpRaker, &trace, &cfg),
+        "growing writer file",
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Arbitrary op mixes, strides and worker counts: the parallel path
+    /// always folds to the in-memory result.
+    #[test]
+    fn parallel_decode_matches_in_memory_for_arbitrary_traces(
+        count in 4usize..14,
+        stride in 1u32..5,
+        workers in 2usize..9,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let mut tr = Trace::new("prop", 10);
+        for i in 0..count {
+            let (m, n, k) = (4 + (i % 3) * 4, 4 + (i % 2) * 8, 8);
+            tr.ops.push(TraceOp {
+                layer: format!("p{i}"),
+                phase: [Phase::AxW, Phase::GxW, Phase::AxG][i % 3],
+                m,
+                n,
+                k,
+                a: (0..m * k).map(|_| rng.bf16_in_range(3)).collect(),
+                b: (0..n * k).map(|_| rng.bf16_in_range(3)).collect(),
+                a_kind: TensorKind::Activation,
+                b_kind: TensorKind::Weight,
+                a_dup: 1.0,
+                b_dup: 1.0,
+                out_dup: 1.0,
+            });
+        }
+        let bytes = encode_indexed(&tr, stride);
+        let cfg = AcceleratorConfig::fpraker_paper();
+        let engine = Engine::with_threads(workers).stream_window(2);
+        let in_memory = engine.run(Machine::FpRaker, &tr, &cfg);
+        let streamed = engine
+            .run_source(
+                Machine::FpRaker,
+                IndexedBytes::new(bytes).expect("header"),
+                &cfg,
+            )
+            .expect("indexed run");
+        prop_assert_eq!(streamed.result.ops.len(), in_memory.ops.len());
+        for (s, m) in streamed.result.ops.iter().zip(&in_memory.ops) {
+            prop_assert_eq!(s.cycles, m.cycles);
+            prop_assert_eq!(s.compute_cycles, m.compute_cycles);
+            prop_assert_eq!(&s.stats, &m.stats);
+            prop_assert_eq!(&s.counts, &m.counts);
+        }
+    }
+}

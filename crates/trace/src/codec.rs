@@ -17,6 +17,30 @@
 //! through `Writer`→`Reader`, and truncating the byte stream at *every*
 //! prefix length yields a [`DecodeError`] (with the byte offset of the
 //! failure), never a panic.
+//!
+//! # The index footer
+//!
+//! [`Writer::finish_indexed`] (and [`GrowingWriter::finish_indexed`], the
+//! deferred-op-count writer used by streaming trace capture) appends an
+//! optional footer after the last op:
+//!
+//! ```text
+//! ┌──────────────────────────── footer ────────────────────────────┐
+//! │ entry × count: op_index u32 | byte_offset u64    (12 B each)   │
+//! │ stride u32 | entry_count u32                                   │
+//! │ table_digest u64        FNV-1a over everything above           │
+//! │ footer_len u32          whole footer, = 12·count + 24          │
+//! │ INDEX_MAGIC  b"FPRX"                                           │
+//! └────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Entry `k` records where op `k × stride` begins, so a seekable reader
+//! ([`IndexedReader`]) can jump near any op and decode forward, and the
+//! simulator can decode disjoint segments on parallel cursors. The footer
+//! is invisible to readers that stop after the header's declared op count
+//! (every pre-footer consumer does), and a truncated or corrupted footer
+//! degrades cleanly: the magic/length/digest checks fail and the reader
+//! falls back to sequential decode of the unchanged op stream.
 
 use std::error::Error;
 use std::fmt;
@@ -33,6 +57,16 @@ use crate::format::{Phase, TensorKind, Trace, TraceOp};
 pub const MAGIC: &[u8; 4] = b"FPRK";
 /// Current codec version.
 pub const VERSION: u8 = 1;
+/// Magic bytes closing an optional index footer (the last four bytes of
+/// an indexed trace file). See [the footer layout](self#the-index-footer).
+pub const INDEX_MAGIC: &[u8; 4] = b"FPRX";
+/// Upper bound on a well-formed footer's byte length: the writer caps its
+/// offset tracking at 2^16 entries, so no honest footer is larger, and
+/// readers can reject a hostile trailing-length field before buffering.
+pub const MAX_FOOTER_LEN: u64 = 24 + 12 * (MAX_TRACKED_OFFSETS as u64);
+/// The writer keeps at most this many op offsets; when the cap is hit the
+/// tracking granularity doubles (see [`Writer::finish_indexed`]).
+const MAX_TRACKED_OFFSETS: usize = 1 << 16;
 
 /// Operand values are written/read through a bounded scratch buffer so a
 /// corrupt header claiming a huge operand cannot force a huge allocation
@@ -103,6 +137,7 @@ pub struct Writer<W: io::Write> {
     w: DigestWrite<W>,
     declared_ops: u32,
     written_ops: u32,
+    offsets: OffsetTrack,
 }
 
 impl<W: io::Write> Writer<W> {
@@ -114,15 +149,12 @@ impl<W: io::Write> Writer<W> {
     /// Propagates I/O errors from the underlying writer.
     pub fn new(w: W, model: &str, progress_pct: u32, ops: u32) -> io::Result<Self> {
         let mut w = DigestWrite::new(w);
-        w.write_all(MAGIC)?;
-        w.write_all(&[VERSION])?;
-        write_string(&mut w, model)?;
-        w.write_all(&progress_pct.to_le_bytes())?;
-        w.write_all(&ops.to_le_bytes())?;
+        write_header(&mut w, model, progress_pct, ops)?;
         Ok(Writer {
             w,
             declared_ops: ops,
             written_ops: 0,
+            offsets: OffsetTrack::new(),
         })
     }
 
@@ -151,21 +183,23 @@ impl<W: io::Write> Writer<W> {
                 format!("trace header declared {} ops", self.declared_ops),
             ));
         }
-        if let Err(e) = op.validate() {
-            return Err(io::Error::new(io::ErrorKind::InvalidInput, e));
-        }
-        write_string(&mut self.w, &op.layer)?;
-        self.w
-            .write_all(&[op.phase.to_tag(), op.a_kind.to_tag(), op.b_kind.to_tag()])?;
-        self.w.write_all(&(op.m as u32).to_le_bytes())?;
-        self.w.write_all(&(op.n as u32).to_le_bytes())?;
-        self.w.write_all(&(op.k as u32).to_le_bytes())?;
-        self.w.write_all(&op.a_dup.to_le_bytes())?;
-        self.w.write_all(&op.b_dup.to_le_bytes())?;
-        self.w.write_all(&op.out_dup.to_le_bytes())?;
-        write_bf16s(&mut self.w, &op.a)?;
-        write_bf16s(&mut self.w, &op.b)?;
+        self.offsets
+            .record(self.written_ops, self.w.bytes_written());
+        encode_op(&mut self.w, op)?;
         self.written_ops += 1;
+        Ok(())
+    }
+
+    fn check_promise(&self) -> io::Result<()> {
+        if self.written_ops != self.declared_ops {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "trace header declared {} ops but {} were written",
+                    self.declared_ops, self.written_ops
+                ),
+            ));
+        }
         Ok(())
     }
 
@@ -176,15 +210,36 @@ impl<W: io::Write> Writer<W> {
     /// Fails with [`io::ErrorKind::InvalidInput`] if fewer ops were
     /// written than the header declared; otherwise propagates I/O errors.
     pub fn finish(mut self) -> io::Result<W> {
-        if self.written_ops != self.declared_ops {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                format!(
-                    "trace header declared {} ops but {} were written",
-                    self.declared_ops, self.written_ops
-                ),
-            ));
-        }
+        self.check_promise()?;
+        self.w.flush()?;
+        Ok(self.w.into_inner())
+    }
+
+    /// Ends the stream like [`Writer::finish`], then appends an **index
+    /// footer**: a table of every `stride`-th op's byte offset that lets
+    /// [`IndexedReader`] seek to any op and decode independent segments in
+    /// parallel. `stride = 0` picks a stride automatically (about 64
+    /// segments). Readers that stop after the declared op count (the plain
+    /// [`Reader`], any pre-footer consumer) never see the footer, so
+    /// indexed files remain valid non-indexed traces.
+    ///
+    /// The writer tracks op offsets in bounded memory: when 2^16 offsets
+    /// accumulate the tracking granularity doubles, so the effective
+    /// stride is `stride` rounded up to a multiple of that granularity
+    /// and footers stay under [`MAX_FOOTER_LEN`] for traces of any length.
+    ///
+    /// Note the returned [`Writer::digest`] *before* calling this if you
+    /// need the digest of the ops alone; bytes written for the footer are
+    /// hashed too, so afterwards the digest covers the whole indexed file
+    /// (what [`crate::digest::Fnv64`] over the file's bytes reports).
+    ///
+    /// # Errors
+    ///
+    /// As [`Writer::finish`].
+    pub fn finish_indexed(mut self, stride: u32) -> io::Result<W> {
+        self.check_promise()?;
+        let (stride, entries) = self.offsets.entries_for(stride, self.declared_ops);
+        write_footer(&mut self.w, stride, &entries)?;
         self.w.flush()?;
         Ok(self.w.into_inner())
     }
@@ -213,6 +268,309 @@ fn write_bf16s<W: io::Write>(w: &mut W, values: &[Bf16]) -> io::Result<()> {
         w.write_all(&buf)?;
     }
     Ok(())
+}
+
+/// Writes the stream header: magic, version, model, progress, op count.
+fn write_header<W: io::Write>(
+    w: &mut W,
+    model: &str,
+    progress_pct: u32,
+    ops: u32,
+) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&[VERSION])?;
+    write_string(w, model)?;
+    w.write_all(&progress_pct.to_le_bytes())?;
+    w.write_all(&ops.to_le_bytes())
+}
+
+/// Encodes one op record — the single op serialization both writers share.
+fn encode_op<W: io::Write>(w: &mut W, op: &TraceOp) -> io::Result<()> {
+    if let Err(e) = op.validate() {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, e));
+    }
+    write_string(w, &op.layer)?;
+    w.write_all(&[op.phase.to_tag(), op.a_kind.to_tag(), op.b_kind.to_tag()])?;
+    w.write_all(&(op.m as u32).to_le_bytes())?;
+    w.write_all(&(op.n as u32).to_le_bytes())?;
+    w.write_all(&(op.k as u32).to_le_bytes())?;
+    w.write_all(&op.a_dup.to_le_bytes())?;
+    w.write_all(&op.b_dup.to_le_bytes())?;
+    w.write_all(&op.out_dup.to_le_bytes())?;
+    write_bf16s(w, &op.a)?;
+    write_bf16s(w, &op.b)
+}
+
+/// One index-footer entry: op `op` starts at byte `offset` of the stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// Index of the op in the trace.
+    pub op: u32,
+    /// Byte offset of the op's first byte, from the start of the stream.
+    pub offset: u64,
+}
+
+/// A parsed index footer: the stride the table was written at plus the
+/// entries themselves (entry `k` covers op `k × stride`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IndexFooter {
+    /// Ops between consecutive table entries.
+    pub stride: u32,
+    /// The segment table, in op order.
+    pub entries: Vec<IndexEntry>,
+}
+
+impl IndexFooter {
+    /// Parses a byte slice that must be *exactly* one footer (trailing
+    /// magic, matching length field, matching table digest). Returns
+    /// `None` — never panics — on anything malformed; structural
+    /// integrity is covered by the digest, so a `Some` footer is what the
+    /// writer produced.
+    pub fn parse(buf: &[u8]) -> Option<IndexFooter> {
+        let len = buf.len();
+        if len < 24 || len as u64 > MAX_FOOTER_LEN || &buf[len - 4..] != INDEX_MAGIC {
+            return None;
+        }
+        let stored_len = u32::from_le_bytes(buf[len - 8..len - 4].try_into().ok()?);
+        if stored_len as usize != len {
+            return None;
+        }
+        let stored_digest = u64::from_le_bytes(buf[len - 16..len - 8].try_into().ok()?);
+        let table = &buf[..len - 16];
+        if crate::digest::Fnv64::digest_of(table) != stored_digest {
+            return None;
+        }
+        let count = u32::from_le_bytes(table[table.len() - 4..].try_into().ok()?) as usize;
+        let stride = u32::from_le_bytes(table[table.len() - 8..table.len() - 4].try_into().ok()?);
+        let entry_bytes = table.len() - 8;
+        if stride == 0 || !entry_bytes.is_multiple_of(12) || entry_bytes / 12 != count {
+            return None;
+        }
+        let entries = table[..entry_bytes]
+            .chunks_exact(12)
+            .map(|c| IndexEntry {
+                op: u32::from_le_bytes(c[..4].try_into().unwrap()),
+                offset: u64::from_le_bytes(c[4..].try_into().unwrap()),
+            })
+            .collect();
+        Some(IndexFooter { stride, entries })
+    }
+}
+
+/// Serializes a footer: table, stride, entry count, digest, length, magic.
+fn write_footer<W: io::Write>(w: &mut W, stride: u32, entries: &[IndexEntry]) -> io::Result<()> {
+    let mut table = Vec::with_capacity(entries.len() * 12 + 8);
+    for e in entries {
+        table.extend_from_slice(&e.op.to_le_bytes());
+        table.extend_from_slice(&e.offset.to_le_bytes());
+    }
+    table.extend_from_slice(&stride.to_le_bytes());
+    table.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    let digest = crate::digest::Fnv64::digest_of(&table);
+    let footer_len = (table.len() + 16) as u32;
+    w.write_all(&table)?;
+    w.write_all(&digest.to_le_bytes())?;
+    w.write_all(&footer_len.to_le_bytes())?;
+    w.write_all(INDEX_MAGIC)
+}
+
+/// Bounded-memory op-offset tracking for [`Writer::finish_indexed`]: at
+/// most [`MAX_TRACKED_OFFSETS`] offsets are ever held; past that the
+/// granularity doubles (keeping every other recorded offset).
+struct OffsetTrack {
+    offsets: Vec<u64>,
+    granularity: u32,
+}
+
+impl OffsetTrack {
+    fn new() -> Self {
+        OffsetTrack {
+            offsets: Vec::new(),
+            granularity: 1,
+        }
+    }
+
+    fn record(&mut self, op_index: u32, offset: u64) {
+        if !op_index.is_multiple_of(self.granularity) {
+            return;
+        }
+        if self.offsets.len() == MAX_TRACKED_OFFSETS {
+            let mut i = 0usize;
+            self.offsets.retain(|_| {
+                let keep = i.is_multiple_of(2);
+                i += 1;
+                keep
+            });
+            self.granularity *= 2;
+            if !op_index.is_multiple_of(self.granularity) {
+                return;
+            }
+        }
+        self.offsets.push(offset);
+    }
+
+    /// Resolves a requested stride (0 = auto, about 64 segments) against
+    /// the tracking granularity and returns `(effective stride, entries)`.
+    /// Strides past the trace length clamp (one entry); the rounding is
+    /// done in u64 so no caller-supplied stride can overflow.
+    fn entries_for(&self, stride: u32, total_ops: u32) -> (u32, Vec<IndexEntry>) {
+        let requested = if stride == 0 {
+            (total_ops / 64).max(1)
+        } else {
+            stride.min(total_ops.max(1))
+        };
+        let gran = u64::from(self.granularity);
+        let eff = u64::from(requested).div_ceil(gran) * gran;
+        let step = (eff / gran) as usize;
+        let entries = self
+            .offsets
+            .iter()
+            .step_by(step.max(1))
+            .enumerate()
+            .map(|(k, &offset)| IndexEntry {
+                // Every entry indexes a recorded op, so k·eff < total_ops
+                // always fits; the min is pure defense.
+                op: (k as u64 * eff).min(u64::from(u32::MAX)) as u32,
+                offset,
+            })
+            .collect();
+        (eff.min(u64::from(u32::MAX)) as u32, entries)
+    }
+}
+
+/// Byte-counting [`io::Write`] adapter — the offset tracking
+/// [`GrowingWriter`] needs without [`DigestWrite`]'s per-byte hashing
+/// (a growing stream's digest is unknowable anyway: the op count is
+/// patched after the bytes are hashed).
+struct CountWrite<W: io::Write> {
+    inner: W,
+    written: u64,
+}
+
+impl<W: io::Write> io::Write for CountWrite<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Incremental trace serializer for streams whose **op count is unknown
+/// up front** — the capture-side counterpart of [`Writer`].
+///
+/// The header's op count is written as a placeholder and patched when the
+/// stream is finished, which is why the sink must also [`io::Seek`] (a
+/// file; [`std::io::Cursor`] in tests). Because the patch rewrites a byte
+/// already emitted, a `GrowingWriter` deliberately has **no `digest()`**:
+/// the digest of the final bytes cannot be known while they stream. Hash
+/// the finished file if its content digest is needed.
+///
+/// `fpraker-dnn` records training traces through this type (via its
+/// `TraceSink`), so capture never holds more than the op being written.
+///
+/// ```
+/// use std::io::Cursor;
+/// use fpraker_trace::{codec, Trace};
+///
+/// let mut buf = Cursor::new(Vec::new());
+/// let w = codec::GrowingWriter::new(&mut buf, "grown", 25).unwrap();
+/// let ops = w.finish().unwrap();
+/// assert_eq!(ops, 0);
+/// assert_eq!(codec::decode(buf.get_ref()).unwrap(), Trace::new("grown", 25));
+/// ```
+pub struct GrowingWriter<W: io::Write + io::Seek> {
+    w: CountWrite<W>,
+    count_pos: u64,
+    written_ops: u32,
+    offsets: OffsetTrack,
+}
+
+impl<W: io::Write + io::Seek> GrowingWriter<W> {
+    /// Starts a trace stream with a placeholder op count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn new(w: W, model: &str, progress_pct: u32) -> io::Result<Self> {
+        let mut w = CountWrite {
+            inner: w,
+            written: 0,
+        };
+        write_header(&mut w, model, progress_pct, 0)?;
+        let count_pos = w.written - 4;
+        Ok(GrowingWriter {
+            w,
+            count_pos,
+            written_ops: 0,
+            offsets: OffsetTrack::new(),
+        })
+    }
+
+    /// Appends one op to the stream.
+    ///
+    /// # Errors
+    ///
+    /// As [`Writer::write_op`], except there is no declared count to
+    /// exceed — only the `u32` op-count field itself bounds the stream.
+    pub fn write_op(&mut self, op: &TraceOp) -> io::Result<()> {
+        if self.written_ops == u32::MAX {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "trace op count exceeds the u32 header field",
+            ));
+        }
+        self.offsets.record(self.written_ops, self.w.written);
+        encode_op(&mut self.w, op)?;
+        self.written_ops += 1;
+        Ok(())
+    }
+
+    /// Ops written so far.
+    pub fn ops_written(&self) -> u32 {
+        self.written_ops
+    }
+
+    /// Patches the real op count into the header, leaving the cursor at
+    /// the end of the stream.
+    fn patch_count(self) -> io::Result<(u32, W)> {
+        let ops = self.written_ops;
+        let mut w = self.w.inner;
+        w.flush()?;
+        w.seek(io::SeekFrom::Start(self.count_pos))?;
+        w.write_all(&ops.to_le_bytes())?;
+        w.seek(io::SeekFrom::End(0))?;
+        w.flush()?;
+        Ok((ops, w))
+    }
+
+    /// Ends the stream: patches the header's op count, flushes, and
+    /// returns `(ops written, the underlying writer)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors (writing, seeking, or flushing).
+    pub fn finish(self) -> io::Result<u32> {
+        self.patch_count().map(|(ops, _)| ops)
+    }
+
+    /// Ends the stream like [`GrowingWriter::finish`], then appends an
+    /// index footer — the same footer [`Writer::finish_indexed`] writes,
+    /// with the same `stride` semantics (`0` = auto).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn finish_indexed(self, stride: u32) -> io::Result<u32> {
+        let (eff, entries) = self.offsets.entries_for(stride, self.written_ops);
+        let (ops, mut w) = self.patch_count()?;
+        write_footer(&mut w, eff, &entries)?;
+        w.flush()?;
+        Ok(ops)
+    }
 }
 
 /// Incremental trace decoder over any [`io::Read`].
@@ -276,6 +634,22 @@ impl<R: io::Read> Reader<R> {
         reader.progress_pct = reader.read_u32("progress")?;
         reader.total_ops = reader.read_u32("op count")?;
         Ok(reader)
+    }
+
+    /// A reader positioned mid-stream — [`IndexedReader`] builds one of
+    /// these after seeking to an indexed op offset. `offset` is the
+    /// absolute byte position of `r`, so decode errors still report true
+    /// file offsets. The digest is meaningless from a mid-stream resume
+    /// and is not exposed by the indexed reader.
+    pub(crate) fn resume(r: R, total_ops: u32, read_ops: u32, offset: u64) -> Self {
+        Reader {
+            r: DigestRead::new(r),
+            offset,
+            model: String::new(),
+            progress_pct: 0,
+            total_ops,
+            read_ops,
+        }
     }
 
     /// Model name from the header.
@@ -458,11 +832,15 @@ pub fn encode(trace: &Trace) -> Bytes {
 
 /// Deserializes a whole trace — a thin wrapper over [`Reader`].
 ///
+/// Indexed traces decode too: bytes after the declared ops are accepted
+/// when (and only when) they are exactly one valid index footer, which is
+/// simply skipped — `decode` never uses the index.
+///
 /// # Errors
 ///
 /// Returns [`DecodeError`] on wrong magic/version, truncated input,
-/// inconsistent lengths, or trailing bytes, reporting the byte offset of
-/// the failure.
+/// inconsistent lengths, or trailing bytes that are not a valid index
+/// footer, reporting the byte offset of the failure.
 pub fn decode(input: &[u8]) -> Result<Trace, DecodeError> {
     let mut slice = input;
     let mut reader = Reader::new(&mut slice)?;
@@ -473,7 +851,7 @@ pub fn decode(input: &[u8]) -> Result<Trace, DecodeError> {
     let model = reader.model().to_string();
     let progress_pct = reader.progress_pct();
     drop(reader);
-    if !slice.is_empty() {
+    if !slice.is_empty() && IndexFooter::parse(slice).is_none() {
         return Err(DecodeError::at(
             (input.len() - slice.len()) as u64,
             format!("{} trailing bytes", slice.len()),
@@ -484,6 +862,272 @@ pub fn decode(input: &[u8]) -> Result<Trace, DecodeError> {
         progress_pct,
         ops,
     })
+}
+
+/// One independently decodable slice of an indexed trace: `ops` ops
+/// starting at op `first_op`, whose encoding begins at `byte_offset`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceSegment {
+    /// Global index of the segment's first op.
+    pub first_op: u32,
+    /// Number of ops in the segment.
+    pub ops: u32,
+    /// Byte offset of the segment's first op, from the start of the
+    /// stream.
+    pub byte_offset: u64,
+}
+
+/// Random-access trace decoder over any seekable input.
+///
+/// `IndexedReader::new` reads the header, then looks for an [index
+/// footer](self#the-index-footer) at the end of the input. A valid footer
+/// enables [`IndexedReader::seek_to_op`] (jump near any op, then decode
+/// forward) and [`IndexedReader::segments`] (the independently decodable
+/// slices the simulator's parallel segment decode fans out over). A
+/// missing, truncated, or corrupt footer **degrades cleanly**: the reader
+/// still works, as a purely sequential decoder with a single segment —
+/// never an error, never different ops.
+///
+/// `IndexedReader` implements [`crate::TraceSource`], decoding forward
+/// from wherever it is positioned.
+///
+/// ```
+/// use std::io::Cursor;
+/// use fpraker_trace::{codec, Trace};
+///
+/// let bytes = codec::encode(&Trace::new("seekable", 10));
+/// let reader = codec::IndexedReader::new(Cursor::new(bytes.to_vec())).unwrap();
+/// assert_eq!(reader.model(), "seekable");
+/// assert!(!reader.has_index()); // plain file: one sequential segment
+/// assert_eq!(reader.segments().len(), 0); // no ops, no segments
+/// ```
+pub struct IndexedReader<R: io::Read + io::Seek> {
+    r: R,
+    model: String,
+    progress_pct: u32,
+    total_ops: u32,
+    header_len: u64,
+    index: Option<IndexFooter>,
+    /// Index of the next op a sequential read yields.
+    next_op: u32,
+    /// Absolute byte offset of the next op.
+    offset: u64,
+}
+
+impl<R: io::Read + io::Seek> IndexedReader<R> {
+    /// Reads the header and probes for an index footer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on a bad header or an I/O failure while
+    /// probing. Footer problems are *not* errors — they disable the
+    /// index ([`IndexedReader::has_index`] returns `false`).
+    pub fn new(mut r: R) -> Result<Self, DecodeError> {
+        r.seek(io::SeekFrom::Start(0))
+            .map_err(|e| DecodeError::at(0, format!("seek failed: {e}")))?;
+        let header = Reader::new(&mut r)?;
+        let (model, progress_pct, total_ops, header_len) = (
+            header.model().to_string(),
+            header.progress_pct(),
+            header.total_ops(),
+            header.offset(),
+        );
+        drop(header);
+        let stream_len = r
+            .seek(io::SeekFrom::End(0))
+            .map_err(|e| DecodeError::at(0, format!("seek failed: {e}")))?;
+        let index = probe_footer(&mut r, stream_len, header_len, total_ops)
+            .map_err(|e| DecodeError::at(stream_len, format!("io error probing footer: {e}")))?;
+        r.seek(io::SeekFrom::Start(header_len))
+            .map_err(|e| DecodeError::at(header_len, format!("seek failed: {e}")))?;
+        Ok(IndexedReader {
+            r,
+            model,
+            progress_pct,
+            total_ops,
+            header_len,
+            index,
+            next_op: 0,
+            offset: header_len,
+        })
+    }
+
+    /// Model name from the header.
+    pub fn model(&self) -> &str {
+        &self.model
+    }
+
+    /// Training progress (percent) from the header.
+    pub fn progress_pct(&self) -> u32 {
+        self.progress_pct
+    }
+
+    /// Total ops the header declared.
+    pub fn total_ops(&self) -> u32 {
+        self.total_ops
+    }
+
+    /// Whether a valid index footer was found. Without one the reader is
+    /// sequential-only (seeking backwards rewinds to the header and
+    /// rescans) and [`IndexedReader::segments`] is a single segment.
+    pub fn has_index(&self) -> bool {
+        self.index.is_some()
+    }
+
+    /// The parsed footer, when one was found and validated.
+    pub fn index(&self) -> Option<&IndexFooter> {
+        self.index.as_ref()
+    }
+
+    /// The independently decodable segments of this trace, in op order:
+    /// one per index entry (empty for an empty trace; a single whole-trace
+    /// segment when there is no usable index). Consecutive segments are
+    /// byte-adjacent, so a cursor can decode straight through several.
+    pub fn segments(&self) -> Vec<TraceSegment> {
+        if self.total_ops == 0 {
+            return Vec::new();
+        }
+        let Some(index) = &self.index else {
+            return vec![TraceSegment {
+                first_op: 0,
+                ops: self.total_ops,
+                byte_offset: self.header_len,
+            }];
+        };
+        index
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(k, e)| {
+                let next = index
+                    .entries
+                    .get(k + 1)
+                    .map_or(self.total_ops, |n| n.op.min(self.total_ops));
+                TraceSegment {
+                    first_op: e.op,
+                    ops: next - e.op,
+                    byte_offset: e.offset,
+                }
+            })
+            .filter(|s| s.ops > 0)
+            .collect()
+    }
+
+    /// Positions the reader so the next [`crate::TraceSource::next_op`]
+    /// pull yields op `n` (or end-of-trace for `n == total_ops`). With an
+    /// index this seeks to the nearest preceding entry and decodes
+    /// forward at most `stride` ops; without one it rescans from wherever
+    /// is closest.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] if `n` is past the trace or the skipped-over ops
+    /// fail to decode.
+    pub fn seek_to_op(&mut self, n: u32) -> Result<(), DecodeError> {
+        if n > self.total_ops {
+            return Err(DecodeError::at(
+                self.offset,
+                format!("op {n} is past the {}-op trace", self.total_ops),
+            ));
+        }
+        // The cheapest valid starting point: the current position when it
+        // is at or before the target, else the nearest index entry, else
+        // the header.
+        let mut start = (0u32, self.header_len);
+        if let Some(index) = &self.index {
+            if let Some(e) = index.entries.iter().rev().find(|e| e.op <= n) {
+                start = (e.op, e.offset);
+            }
+        }
+        if self.next_op <= n && self.next_op >= start.0 {
+            start = (self.next_op, self.offset);
+        }
+        if start != (self.next_op, self.offset) {
+            self.r
+                .seek(io::SeekFrom::Start(start.1))
+                .map_err(|e| DecodeError::at(start.1, format!("seek failed: {e}")))?;
+            self.next_op = start.0;
+            self.offset = start.1;
+        }
+        while self.next_op < n {
+            // Decode and discard the in-between ops. A lying index entry
+            // surfaces here as an ordinary DecodeError with an offset.
+            if self.decode_next()?.is_none() {
+                return Err(DecodeError::at(self.offset, "trace ended while seeking"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Index of the op the next sequential read yields.
+    pub fn next_op_index(&self) -> u32 {
+        self.next_op
+    }
+
+    pub(crate) fn decode_next(&mut self) -> Result<Option<TraceOp>, DecodeError> {
+        let mut inner = Reader::resume(&mut self.r, self.total_ops, self.next_op, self.offset);
+        let op = inner.next_op()?;
+        self.offset = inner.offset();
+        if op.is_some() {
+            self.next_op += 1;
+        }
+        Ok(op)
+    }
+}
+
+/// Probes the trailing bytes of a stream for a valid footer; `Ok(None)`
+/// for anything missing or malformed (the clean degrade path).
+fn probe_footer<R: io::Read + io::Seek>(
+    r: &mut R,
+    stream_len: u64,
+    header_len: u64,
+    total_ops: u32,
+) -> io::Result<Option<IndexFooter>> {
+    if stream_len < header_len + 24 {
+        return Ok(None);
+    }
+    let mut tail = [0u8; 8];
+    r.seek(io::SeekFrom::Start(stream_len - 8))?;
+    r.read_exact(&mut tail)?;
+    if &tail[4..] != INDEX_MAGIC {
+        return Ok(None);
+    }
+    let footer_len = u64::from(u32::from_le_bytes(tail[..4].try_into().unwrap()));
+    if !(24..=MAX_FOOTER_LEN).contains(&footer_len) || footer_len > stream_len - header_len {
+        return Ok(None);
+    }
+    let mut buf = vec![0u8; footer_len as usize];
+    r.seek(io::SeekFrom::Start(stream_len - footer_len))?;
+    r.read_exact(&mut buf)?;
+    let Some(footer) = IndexFooter::parse(&buf) else {
+        return Ok(None);
+    };
+    // The digest vouches for the table's integrity, not its consistency
+    // with *this* stream; validate the shape so a footer pasted from
+    // another file cannot cause out-of-range seeks.
+    let data_end = stream_len - footer_len;
+    let mut prev: Option<&IndexEntry> = None;
+    for (k, e) in footer.entries.iter().enumerate() {
+        let in_order = prev.is_none_or(|p| e.op > p.op && e.offset > p.offset);
+        if e.op != k as u32 * footer.stride
+            || e.op >= total_ops
+            || e.offset < header_len
+            || e.offset >= data_end
+            || !in_order
+        {
+            return Ok(None);
+        }
+        prev = Some(e);
+    }
+    if total_ops > 0
+        && !footer
+            .entries
+            .first()
+            .is_some_and(|e| e.op == 0 && e.offset == header_len)
+    {
+        return Ok(None);
+    }
+    Ok(Some(footer))
 }
 
 #[cfg(test)]
@@ -687,6 +1331,183 @@ mod tests {
         let err = decode(&bytes).unwrap_err();
         assert!(err.to_string().contains("trailing"));
         assert_eq!(err.offset(), (bytes.len() - 1) as u64);
+    }
+
+    fn many_op_trace(count: usize) -> Trace {
+        let mut tr = Trace::new("indexed", 40);
+        let base = sample_trace();
+        for i in 0..count {
+            let mut op = base.ops[i % 2].clone();
+            op.layer = format!("l{i}");
+            tr.ops.push(op);
+        }
+        tr
+    }
+
+    fn encode_indexed(tr: &Trace, stride: u32) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut w = Writer::new(&mut out, &tr.model, tr.progress_pct, tr.ops.len() as u32).unwrap();
+        for op in &tr.ops {
+            w.write_op(op).unwrap();
+        }
+        w.finish_indexed(stride).unwrap();
+        out
+    }
+
+    #[test]
+    fn indexed_stream_is_plain_stream_plus_footer() {
+        let tr = many_op_trace(9);
+        let plain = encode(&tr).to_vec();
+        let indexed = encode_indexed(&tr, 2);
+        assert!(indexed.len() > plain.len());
+        assert_eq!(&indexed[..plain.len()], &plain[..]);
+        assert_eq!(&indexed[indexed.len() - 4..], INDEX_MAGIC);
+        // decode() skips a valid footer; the ops are unchanged.
+        assert_eq!(decode(&indexed).unwrap(), tr);
+        // The plain Reader never sees the footer.
+        let mut r = Reader::new(&indexed[..]).unwrap();
+        let mut n = 0;
+        while r.next_op().unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 9);
+    }
+
+    #[test]
+    fn indexed_reader_parses_the_footer_and_segments_cover_every_op() {
+        let tr = many_op_trace(9);
+        let bytes = encode_indexed(&tr, 2);
+        let reader = IndexedReader::new(io::Cursor::new(bytes)).unwrap();
+        assert!(reader.has_index());
+        let footer = reader.index().unwrap();
+        assert_eq!(footer.stride, 2);
+        assert_eq!(footer.entries.len(), 5); // ops 0, 2, 4, 6, 8
+        let segments = reader.segments();
+        assert_eq!(segments.len(), 5);
+        let mut next = 0u32;
+        for s in &segments {
+            assert_eq!(s.first_op, next);
+            next += s.ops;
+        }
+        assert_eq!(next, 9);
+    }
+
+    #[test]
+    fn seek_to_op_yields_the_same_op_as_sequential_decode() {
+        let tr = many_op_trace(9);
+        let bytes = encode_indexed(&tr, 3);
+        let mut reader = IndexedReader::new(io::Cursor::new(bytes.clone())).unwrap();
+        for &target in &[7usize, 0, 4, 8, 3, 3] {
+            reader.seek_to_op(target as u32).unwrap();
+            let op = reader.decode_next().unwrap().expect("op exists");
+            assert_eq!(op, tr.ops[target], "op {target}");
+        }
+        // Seeking to the end yields end-of-trace; past it errors.
+        reader.seek_to_op(9).unwrap();
+        assert_eq!(reader.decode_next().unwrap(), None);
+        assert!(reader.seek_to_op(10).is_err());
+        // A reader without an index seeks too (by rescanning).
+        let plain = encode(&tr).to_vec();
+        let mut reader = IndexedReader::new(io::Cursor::new(plain)).unwrap();
+        assert!(!reader.has_index());
+        reader.seek_to_op(5).unwrap();
+        assert_eq!(reader.decode_next().unwrap().unwrap(), tr.ops[5]);
+        reader.seek_to_op(1).unwrap();
+        assert_eq!(reader.decode_next().unwrap().unwrap(), tr.ops[1]);
+    }
+
+    #[test]
+    fn corrupt_or_truncated_footers_degrade_to_sequential_decode() {
+        let tr = many_op_trace(6);
+        let good = encode_indexed(&tr, 2);
+        let plain_len = encode(&tr).len();
+        // Flip every footer byte in turn, and truncate at every footer
+        // prefix: the reader must never error, never index, never panic —
+        // and must still decode the identical ops.
+        for cut in plain_len..good.len() {
+            let truncated = good[..cut].to_vec();
+            let mut r = IndexedReader::new(io::Cursor::new(truncated)).unwrap();
+            assert!(!r.has_index(), "cut at {cut} kept the index");
+            let mut ops = Vec::new();
+            while let Some(op) = r.decode_next().unwrap() {
+                ops.push(op);
+            }
+            assert_eq!(ops, tr.ops, "cut at {cut}");
+        }
+        for flip in plain_len..good.len() {
+            let mut bad = good.clone();
+            bad[flip] ^= 0xFF;
+            let mut r = IndexedReader::new(io::Cursor::new(bad)).unwrap();
+            assert!(!r.has_index(), "flip at {flip} kept the index");
+            let mut n = 0;
+            while r.decode_next().unwrap().is_some() {
+                n += 1;
+            }
+            assert_eq!(n, 6, "flip at {flip}");
+        }
+    }
+
+    #[test]
+    fn growing_writer_matches_declared_count_writer_byte_for_byte() {
+        let tr = many_op_trace(5);
+        let exact = encode(&tr).to_vec();
+        let mut buf = io::Cursor::new(Vec::new());
+        let mut w = GrowingWriter::new(&mut buf, &tr.model, tr.progress_pct).unwrap();
+        for op in &tr.ops {
+            w.write_op(op).unwrap();
+        }
+        assert_eq!(w.ops_written(), 5);
+        assert_eq!(w.finish().unwrap(), 5);
+        assert_eq!(buf.into_inner(), exact);
+
+        // And the indexed variant matches the indexed exact-count writer.
+        let indexed = encode_indexed(&tr, 2);
+        let mut buf = io::Cursor::new(Vec::new());
+        let mut w = GrowingWriter::new(&mut buf, &tr.model, tr.progress_pct).unwrap();
+        for op in &tr.ops {
+            w.write_op(op).unwrap();
+        }
+        assert_eq!(w.finish_indexed(2).unwrap(), 5);
+        assert_eq!(buf.into_inner(), indexed);
+    }
+
+    #[test]
+    fn auto_stride_indexes_long_traces_in_bounded_entries() {
+        let tr = many_op_trace(130);
+        let bytes = encode_indexed(&tr, 0); // auto: ~64 segments
+        let reader = IndexedReader::new(io::Cursor::new(bytes)).unwrap();
+        let footer = reader.index().expect("auto stride still indexes");
+        assert_eq!(footer.stride, 2); // 130 / 64 = 2
+        assert_eq!(footer.entries.len(), 65);
+        assert_eq!(reader.segments().iter().map(|s| s.ops).sum::<u32>(), 130);
+    }
+
+    #[test]
+    fn empty_trace_can_be_indexed() {
+        let tr = Trace::new("empty", 0);
+        let bytes = encode_indexed(&tr, 4);
+        assert_eq!(decode(&bytes).unwrap(), tr);
+        let reader = IndexedReader::new(io::Cursor::new(bytes)).unwrap();
+        assert!(reader.has_index());
+        assert!(reader.segments().is_empty());
+    }
+
+    #[test]
+    fn foreign_footer_with_out_of_range_offsets_is_rejected() {
+        // A digest-valid footer whose offsets do not fit this stream must
+        // not enable the index (it would seek into garbage).
+        let tr = many_op_trace(4);
+        let mut bytes = encode(&tr).to_vec();
+        let bogus = [
+            IndexEntry { op: 0, offset: 13 }, // != header_len
+            IndexEntry {
+                op: 2,
+                offset: 1 << 40,
+            },
+        ];
+        write_footer(&mut bytes, 2, &bogus).unwrap();
+        let reader = IndexedReader::new(io::Cursor::new(bytes)).unwrap();
+        assert!(!reader.has_index());
     }
 
     #[test]

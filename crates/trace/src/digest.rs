@@ -49,6 +49,16 @@ impl Fnv64 {
         Fnv64 { state: FNV_OFFSET }
     }
 
+    /// Resumes hashing from a previously observed digest value. FNV-1a's
+    /// running state *is* its digest, so a stream can be hashed across
+    /// several readers: hash a prefix, note [`Fnv64::value`], and resume
+    /// the suffix here — the service layer uses this to extend a
+    /// [`crate::codec::Reader`]'s digest over an index footer the decoder
+    /// never consumes.
+    pub fn resume(state: u64) -> Self {
+        Fnv64 { state }
+    }
+
     /// Absorbs `bytes` into the running digest.
     pub fn update(&mut self, bytes: &[u8]) {
         let mut s = self.state;
@@ -85,6 +95,7 @@ impl Default for Fnv64 {
 pub struct DigestWrite<W: io::Write> {
     inner: W,
     digest: Fnv64,
+    written: u64,
 }
 
 impl<W: io::Write> DigestWrite<W> {
@@ -93,12 +104,20 @@ impl<W: io::Write> DigestWrite<W> {
         DigestWrite {
             inner,
             digest: Fnv64::new(),
+            written: 0,
         }
     }
 
     /// Digest of the bytes written so far.
     pub fn digest(&self) -> u64 {
         self.digest.value()
+    }
+
+    /// Bytes written so far — the byte offset the next write lands at,
+    /// which is how [`crate::codec::Writer`] records op offsets for the
+    /// index footer.
+    pub fn bytes_written(&self) -> u64 {
+        self.written
     }
 
     /// Returns the underlying sink.
@@ -111,6 +130,7 @@ impl<W: io::Write> io::Write for DigestWrite<W> {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
         let n = self.inner.write(buf)?;
         self.digest.update(&buf[..n]);
+        self.written += n as u64;
         Ok(n)
     }
 

@@ -48,7 +48,7 @@ mod format;
 mod source;
 pub mod stats;
 
-pub use codec::DecodeError;
+pub use codec::{DecodeError, TraceSegment};
 pub use digest::Fnv64;
 pub use format::{Phase, TensorKind, Trace, TraceOp};
-pub use source::{TraceOps, TraceSource};
+pub use source::{IndexedBytes, IndexedTraceFile, SegmentCursor, TraceOps, TraceSource};

@@ -18,9 +18,12 @@
 //! soon as they are folded, so peak memory is bounded by the consumer's
 //! window, not the trace length.
 
+use std::fs::File;
 use std::io;
+use std::path::PathBuf;
+use std::sync::Arc;
 
-use crate::codec::{DecodeError, Reader};
+use crate::codec::{DecodeError, IndexedReader, Reader, TraceSegment};
 use crate::format::{Trace, TraceOp};
 
 /// A stream of trace ops with a header — the simulator's input contract.
@@ -62,6 +65,35 @@ pub trait TraceSource {
     fn content_digest(&self) -> Option<u64> {
         None
     }
+
+    /// When the trace is backed by a seekable, **indexed** store, returns
+    /// up to `limit` independent decode cursors that together cover every
+    /// op exactly once, in trace order — the hook behind the simulator's
+    /// parallel segment decode (`Engine::run_source` probes this before
+    /// falling back to sequential `next_op` pulls).
+    ///
+    /// The default — and any source that cannot reopen its underlying
+    /// bytes (sockets, in-memory iterators, plain [`Reader`]s) — returns
+    /// `None`. Implementations ([`IndexedTraceFile`], [`IndexedBytes`])
+    /// return `None` rather than erroring when the index is unusable, so
+    /// callers always have the sequential path to degrade to.
+    fn segment_cursors(&self, limit: usize) -> Option<Vec<SegmentCursor>> {
+        let _ = limit;
+        None
+    }
+}
+
+/// One cursor of a parallel segment decode: a boxed source yielding
+/// exactly the `ops` ops starting at global op `first_op`, plus where they
+/// sit in the trace. Handed out by
+/// [`TraceSource::segment_cursors`].
+pub struct SegmentCursor {
+    /// Global index of the first op this cursor yields.
+    pub first_op: u64,
+    /// Number of ops this cursor yields.
+    pub ops: u64,
+    /// The positioned decode cursor.
+    pub source: Box<dyn TraceSource + Send>,
 }
 
 impl<S: TraceSource + ?Sized> TraceSource for &mut S {
@@ -84,6 +116,10 @@ impl<S: TraceSource + ?Sized> TraceSource for &mut S {
     fn content_digest(&self) -> Option<u64> {
         (**self).content_digest()
     }
+
+    fn segment_cursors(&self, limit: usize) -> Option<Vec<SegmentCursor>> {
+        (**self).segment_cursors(limit)
+    }
 }
 
 impl<R: io::Read> TraceSource for Reader<R> {
@@ -105,6 +141,252 @@ impl<R: io::Read> TraceSource for Reader<R> {
 
     fn content_digest(&self) -> Option<u64> {
         Some(self.digest())
+    }
+}
+
+/// An [`IndexedReader`] as a source: decodes forward from wherever it is
+/// positioned (after [`IndexedReader::seek_to_op`], from that op). No
+/// content digest — a seekable reader does not consume its bytes in one
+/// ordered pass.
+impl<R: io::Read + io::Seek> TraceSource for IndexedReader<R> {
+    fn model(&self) -> &str {
+        IndexedReader::model(self)
+    }
+
+    fn progress_pct(&self) -> u32 {
+        IndexedReader::progress_pct(self)
+    }
+
+    fn ops_remaining(&self) -> Option<u64> {
+        Some(u64::from(self.total_ops() - self.next_op_index()))
+    }
+
+    fn next_op(&mut self) -> Result<Option<TraceOp>, DecodeError> {
+        IndexedReader::decode_next(self)
+    }
+}
+
+/// Caps a source at a fixed number of ops — how a segment cursor stops at
+/// its segment boundary while the underlying reader could decode on.
+struct OpLimited<S: TraceSource> {
+    inner: S,
+    remaining: u64,
+}
+
+impl<S: TraceSource> TraceSource for OpLimited<S> {
+    fn model(&self) -> &str {
+        self.inner.model()
+    }
+
+    fn progress_pct(&self) -> u32 {
+        self.inner.progress_pct()
+    }
+
+    fn ops_remaining(&self) -> Option<u64> {
+        Some(self.remaining)
+    }
+
+    fn next_op(&mut self) -> Result<Option<TraceOp>, DecodeError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        let op = self.inner.next_op()?;
+        if op.is_some() {
+            self.remaining -= 1;
+        }
+        Ok(op)
+    }
+}
+
+/// Builds at most `limit` positioned decode cursors over byte-adjacent
+/// segments: each reopened handle seeks **straight to its group's byte
+/// offset** and resumes decoding there (no footer re-probe, no skipped-op
+/// scan), capped at the group's op count. Shared by every indexed-store
+/// source; any reopen/seek failure degrades to `None` (the caller's
+/// sequential path).
+fn cursors_over<R, F>(
+    segments: &[TraceSegment],
+    total_ops: u32,
+    limit: usize,
+    reopen: F,
+) -> Option<Vec<SegmentCursor>>
+where
+    R: io::Read + io::Seek + Send + 'static,
+    F: Fn() -> Option<R>,
+{
+    let groups = group_segments(segments, limit);
+    let mut cursors = Vec::with_capacity(groups.len());
+    for group in groups {
+        let mut handle = reopen()?;
+        io::Seek::seek(&mut handle, io::SeekFrom::Start(group.byte_offset)).ok()?;
+        let reader = Reader::resume(handle, total_ops, group.first_op, group.byte_offset);
+        cursors.push(SegmentCursor {
+            first_op: u64::from(group.first_op),
+            ops: u64::from(group.ops),
+            source: Box::new(OpLimited {
+                inner: reader,
+                remaining: u64::from(group.ops),
+            }),
+        });
+    }
+    Some(cursors)
+}
+
+/// Partitions byte-adjacent segments into at most `limit` contiguous
+/// groups of roughly equal op counts; returns `(first_op, ops,
+/// byte_offset)` per group.
+fn group_segments(segments: &[TraceSegment], limit: usize) -> Vec<TraceSegment> {
+    let total: u64 = segments.iter().map(|s| u64::from(s.ops)).sum();
+    let limit = limit.max(1) as u64;
+    let target = total.div_ceil(limit).max(1);
+    let mut groups: Vec<TraceSegment> = Vec::new();
+    let mut open: Option<(TraceSegment, u64)> = None;
+    for &seg in segments {
+        match &mut open {
+            Some((group, ops)) if *ops < target => {
+                group.ops += seg.ops;
+                *ops += u64::from(seg.ops);
+            }
+            _ => {
+                if let Some((group, _)) = open.take() {
+                    groups.push(group);
+                }
+                open = Some((seg, u64::from(seg.ops)));
+            }
+        }
+    }
+    if let Some((group, _)) = open {
+        groups.push(group);
+    }
+    groups
+}
+
+/// A trace **file** with a valid or absent index, reopenable for parallel
+/// segment decode: the [`TraceSource`] impl decodes sequentially through
+/// one buffered handle, while [`TraceSource::segment_cursors`] opens one
+/// independent handle per contiguous segment group (only when the file
+/// actually carries a usable index).
+///
+/// This is what `fpraker_sim::Engine::run_indexed` opens; handing one to
+/// `Engine::run_source` gets parallel decode automatically.
+pub struct IndexedTraceFile {
+    path: PathBuf,
+    reader: IndexedReader<io::BufReader<File>>,
+}
+
+impl IndexedTraceFile {
+    /// Opens a trace file and probes its index footer.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] if the file cannot be opened or its header is
+    /// invalid. An unusable *footer* is not an error (see
+    /// [`IndexedReader`]).
+    pub fn open(path: impl Into<PathBuf>) -> Result<Self, DecodeError> {
+        let path = path.into();
+        let file = File::open(&path)
+            .map_err(|e| DecodeError::at(0, format!("cannot open {}: {e}", path.display())))?;
+        let reader = IndexedReader::new(io::BufReader::new(file))?;
+        Ok(IndexedTraceFile { path, reader })
+    }
+
+    /// Whether the file carries a usable index.
+    pub fn has_index(&self) -> bool {
+        self.reader.has_index()
+    }
+
+    /// The file's independently decodable segments (see
+    /// [`IndexedReader::segments`]).
+    pub fn segments(&self) -> Vec<TraceSegment> {
+        self.reader.segments()
+    }
+}
+
+impl TraceSource for IndexedTraceFile {
+    fn model(&self) -> &str {
+        self.reader.model()
+    }
+
+    fn progress_pct(&self) -> u32 {
+        self.reader.progress_pct()
+    }
+
+    fn ops_remaining(&self) -> Option<u64> {
+        TraceSource::ops_remaining(&self.reader)
+    }
+
+    fn next_op(&mut self) -> Result<Option<TraceOp>, DecodeError> {
+        TraceSource::next_op(&mut self.reader)
+    }
+
+    fn segment_cursors(&self, limit: usize) -> Option<Vec<SegmentCursor>> {
+        if !self.reader.has_index() {
+            return None;
+        }
+        cursors_over(
+            &self.reader.segments(),
+            self.reader.total_ops(),
+            limit,
+            || File::open(&self.path).ok().map(io::BufReader::new),
+        )
+    }
+}
+
+/// An in-memory encoded trace with index support — [`IndexedTraceFile`]'s
+/// RAM-backed sibling (tests, benchmarks, payloads already in memory).
+/// Cursors share the same bytes via [`Arc`], so `segment_cursors` costs
+/// no copies.
+pub struct IndexedBytes {
+    bytes: Arc<[u8]>,
+    reader: IndexedReader<io::Cursor<Arc<[u8]>>>,
+}
+
+impl IndexedBytes {
+    /// Wraps encoded trace bytes and probes their index footer.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] on an invalid header; an unusable footer is not an
+    /// error.
+    pub fn new(bytes: impl Into<Arc<[u8]>>) -> Result<Self, DecodeError> {
+        let bytes: Arc<[u8]> = bytes.into();
+        let reader = IndexedReader::new(io::Cursor::new(Arc::clone(&bytes)))?;
+        Ok(IndexedBytes { bytes, reader })
+    }
+
+    /// Whether the bytes carry a usable index.
+    pub fn has_index(&self) -> bool {
+        self.reader.has_index()
+    }
+}
+
+impl TraceSource for IndexedBytes {
+    fn model(&self) -> &str {
+        self.reader.model()
+    }
+
+    fn progress_pct(&self) -> u32 {
+        self.reader.progress_pct()
+    }
+
+    fn ops_remaining(&self) -> Option<u64> {
+        TraceSource::ops_remaining(&self.reader)
+    }
+
+    fn next_op(&mut self) -> Result<Option<TraceOp>, DecodeError> {
+        TraceSource::next_op(&mut self.reader)
+    }
+
+    fn segment_cursors(&self, limit: usize) -> Option<Vec<SegmentCursor>> {
+        if !self.reader.has_index() {
+            return None;
+        }
+        cursors_over(
+            &self.reader.segments(),
+            self.reader.total_ops(),
+            limit,
+            || Some(io::Cursor::new(Arc::clone(&self.bytes))),
+        )
     }
 }
 

@@ -222,6 +222,13 @@ impl ExponentHistogram {
         }
     }
 
+    /// Iterates `(exponent, count)` pairs in ascending order — the raw
+    /// counts behind [`ExponentHistogram::fractions`] (the service layer
+    /// serializes these, so served statistics stay exact integers).
+    pub fn counts(&self) -> impl Iterator<Item = (i32, u64)> + '_ {
+        self.counts.iter().map(|(&e, &c)| (e, c))
+    }
+
     /// Iterates `(exponent, fraction-of-total)` pairs in ascending order.
     pub fn fractions(&self) -> impl Iterator<Item = (i32, f64)> + '_ {
         let total = self.total.max(1) as f64;

@@ -121,6 +121,80 @@ proptest! {
     }
 
     #[test]
+    fn indexed_traces_round_trip_and_seek_anywhere(
+        ops in prop::collection::vec(arb_op(), 0..6),
+        stride in 1u32..4,
+        probe in any::<usize>(),
+    ) {
+        let trace = Trace { model: "idx".into(), progress_pct: 9, ops };
+        let mut bytes = Vec::new();
+        let mut w = codec::Writer::new(
+            &mut bytes, &trace.model, trace.progress_pct, trace.ops.len() as u32,
+        ).unwrap();
+        for op in &trace.ops {
+            w.write_op(op).unwrap();
+        }
+        w.finish_indexed(stride).unwrap();
+        // decode() skips the footer; the ops are unchanged.
+        prop_assert_eq!(&codec::decode(&bytes).unwrap(), &trace);
+        // The indexed reader indexes, its segments tile the trace, and
+        // seeking to an arbitrary op decodes exactly that op.
+        let mut r = codec::IndexedReader::new(std::io::Cursor::new(bytes)).unwrap();
+        prop_assert!(r.has_index());
+        let segments = r.segments();
+        let mut next = 0u32;
+        for s in &segments {
+            prop_assert_eq!(s.first_op, next);
+            next += s.ops;
+        }
+        prop_assert_eq!(next as usize, trace.ops.len());
+        if !trace.ops.is_empty() {
+            let target = probe % trace.ops.len();
+            r.seek_to_op(target as u32).unwrap();
+            let got = fpraker_trace::TraceSource::next_op(&mut r).unwrap().unwrap();
+            prop_assert_eq!(&got, &trace.ops[target]);
+        }
+    }
+
+    #[test]
+    fn footer_damage_at_every_prefix_errors_cleanly_or_degrades_to_identical_ops(
+        ops in prop::collection::vec(arb_op(), 1..4),
+        stride in 1u32..3,
+        flip in any::<u8>(),
+    ) {
+        let trace = Trace { model: "dmg".into(), progress_pct: 3, ops };
+        let plain_len = codec::encode(&trace).len();
+        let mut bytes = Vec::new();
+        let mut w = codec::Writer::new(
+            &mut bytes, &trace.model, trace.progress_pct, trace.ops.len() as u32,
+        ).unwrap();
+        for op in &trace.ops {
+            w.write_op(op).unwrap();
+        }
+        w.finish_indexed(stride).unwrap();
+        // Truncate the footer at every prefix length, and flip one byte at
+        // every footer position: the indexed reader must never panic and
+        // never index a damaged footer — the decoded ops are identical.
+        let mut variants: Vec<Vec<u8>> = (plain_len..bytes.len())
+            .map(|cut| bytes[..cut].to_vec())
+            .collect();
+        for at in plain_len..bytes.len() {
+            let mut v = bytes.clone();
+            v[at] ^= flip | 1; // always a real change
+            variants.push(v);
+        }
+        for v in variants {
+            let mut r = codec::IndexedReader::new(std::io::Cursor::new(v)).unwrap();
+            prop_assert!(!r.has_index());
+            let mut got = Vec::new();
+            while let Some(op) = fpraker_trace::TraceSource::next_op(&mut r).unwrap() {
+                got.push(op);
+            }
+            prop_assert_eq!(&got, &trace.ops);
+        }
+    }
+
+    #[test]
     fn streamed_statistics_match_in_memory_statistics(
         ops in prop::collection::vec(arb_op(), 0..4),
     ) {

@@ -1,7 +1,8 @@
-//! Streaming traces end to end: write a trace to disk one op at a time,
-//! compute its statistics in a single streaming pass, then simulate it
-//! through the bounded-window streaming engine and check the result is
-//! bit-identical to the fully-loaded run.
+//! Streaming traces end to end: write a trace to disk one op at a time
+//! **with an index footer**, compute its statistics in a single streaming
+//! pass, seek straight to an arbitrary op, then simulate it through both
+//! the bounded-window streaming engine and the parallel segment decoder
+//! and check every result is bit-identical to the fully-loaded run.
 //!
 //! ```sh
 //! cargo run --release --example stream_trace
@@ -57,15 +58,21 @@ fn main() {
         std::process::id()
     ));
 
-    // 1. Stream the trace to disk: one op resident at a time.
+    // 1. Stream the trace to disk: one op resident at a time, finishing
+    //    with an index footer (every 8th op's byte offset) so the file
+    //    supports seeking and parallel decode. Readers that predate the
+    //    footer simply never read it.
     let file = BufWriter::new(File::create(&path).expect("create trace file"));
     let mut writer = codec::Writer::new(file, "stream-example", 50, OPS).expect("header");
     for i in 0..OPS {
         writer.write_op(&make_op(i)).expect("write op");
     }
-    writer.finish().expect("finish");
+    writer.finish_indexed(8).expect("finish");
     let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
-    println!("wrote {OPS} ops ({bytes} bytes) to {}", path.display());
+    println!(
+        "wrote {OPS} ops ({bytes} bytes, indexed) to {}",
+        path.display()
+    );
 
     // 2. Single-pass statistics over the file (Figs. 1/2/6 in one read).
     let reader =
@@ -93,12 +100,40 @@ fn main() {
     );
     assert!(streamed.peak_resident_ops <= 4);
 
-    // 4. The fully-loaded run is bit-identical.
+    // 4. Random access: the index jumps near any op without decoding
+    //    what precedes it.
+    let mut seeker =
+        codec::IndexedReader::new(File::open(&path).expect("open")).expect("indexed header");
+    println!(
+        "index: {} segments over {} ops",
+        seeker.segments().len(),
+        seeker.total_ops()
+    );
+    seeker.seek_to_op(OPS - 3).expect("seek");
+    let op = fpraker::trace::TraceSource::next_op(&mut seeker)
+        .expect("decode")
+        .expect("op exists");
+    println!("op {} reached by seek: layer {:?}", OPS - 3, op.layer);
+
+    // 5. Parallel segment decode: one cursor per segment group feeds the
+    //    worker pool concurrently — no single reader thread bottleneck.
+    let parallel = engine
+        .run_indexed(Machine::FpRaker, &path, &cfg)
+        .expect("parallel decode run");
+    println!(
+        "parallel decode: {} cycles over {} ops",
+        parallel.result.cycles(),
+        parallel.result.ops.len(),
+    );
+
+    // 6. The fully-loaded run is bit-identical to both.
     let loaded = codec::decode(&std::fs::read(&path).expect("read")).expect("decode");
     let in_memory = engine.run(Machine::FpRaker, &loaded, &cfg);
     assert_eq!(in_memory.cycles(), streamed.result.cycles());
     assert_eq!(in_memory.stats(), streamed.result.stats());
-    println!("in-memory run matches bit for bit");
+    assert_eq!(in_memory.cycles(), parallel.result.cycles());
+    assert_eq!(in_memory.stats(), parallel.result.stats());
+    println!("in-memory, streamed and parallel-decode runs match bit for bit");
 
     std::fs::remove_file(&path).ok();
 }
