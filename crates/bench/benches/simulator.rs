@@ -13,6 +13,12 @@ use fpraker_bench::simbench::simulator_measurements;
 fn main() {
     let b = simulator_measurements(10);
     println!(
+        "PE hot loop: fast path {:.2}x scalar, encode LUT {:.2}x, planned tile {:.2}x",
+        b.pe_set_speedup(),
+        b.pe_encode_speedup(),
+        b.pe_tile_speedup()
+    );
+    println!(
         "parallel speedup at {} thread(s): {:.2}x",
         b.threads,
         b.parallel_speedup()

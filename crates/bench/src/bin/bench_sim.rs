@@ -38,6 +38,13 @@ fn main() {
     let speedup = b.parallel_speedup();
     let ops_speedup = b.parallel_ops_speedup();
     let stream_overhead = b.stream_overhead();
+    println!(
+        "PE hot loop over {} sets: fast path {:.2}x the scalar reference; encode LUT {:.2}x encode_terms; planned tile block {:.2}x the scalar tile",
+        b.pe_sets,
+        b.pe_set_speedup(),
+        b.pe_encode_speedup(),
+        b.pe_tile_speedup()
+    );
     println!("parallel speedup at {} thread(s): {speedup:.2}x", b.threads);
     println!(
         "op-level scheduling speedup on the many-small-ops trace: {ops_speedup:.2}x (serial ops vs parallel ops)"
@@ -125,8 +132,23 @@ fn main() {
     )
     .unwrap();
     writeln!(json, "  \"serve_cache_hits\": {},", b.serve_cache_hits).unwrap();
+    writeln!(json, "  \"pe_sets\": {},", b.pe_sets).unwrap();
+    writeln!(json, "  \"pe_set_speedup\": {:.4},", b.pe_set_speedup()).unwrap();
+    writeln!(
+        json,
+        "  \"pe_encode_speedup\": {:.4},",
+        b.pe_encode_speedup()
+    )
+    .unwrap();
+    writeln!(json, "  \"pe_tile_speedup\": {:.4},", b.pe_tile_speedup()).unwrap();
     writeln!(json, "  \"measurements\": [").unwrap();
     let entries: Vec<String> = [
+        &b.pe_set,
+        &b.pe_set_scalar,
+        &b.pe_encode,
+        &b.pe_encode_compute,
+        &b.pe_planned_tile,
+        &b.pe_tile_scalar,
         &b.seq,
         &b.par,
         &b.baseline,

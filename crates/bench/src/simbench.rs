@@ -16,7 +16,11 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::PathBuf;
 
+use fpraker_core::{Pe, PeConfig, Tile, TileConfig};
 use fpraker_dnn::{models, Engine as DnnEngine, FileTraceSink};
+use fpraker_num::encode::{encode_terms, lut_terms, Encoding};
+use fpraker_num::reference::SplitMix64;
+use fpraker_num::Bf16;
 use fpraker_serve::{Client, Server, ServerConfig};
 use fpraker_sim::{simulate_op, AcceleratorConfig, Engine, FpRakerMachine, Machine};
 use fpraker_trace::{codec, IndexedTraceFile};
@@ -97,6 +101,27 @@ pub struct SimulatorBench {
     pub serve_trace_macs: u64,
     /// Cache hits the server recorded across the serve measurements.
     pub serve_cache_hits: u64,
+    /// Sets per iteration of the PE hot-loop measurements.
+    pub pe_sets: u64,
+    /// The PE hot loop on the LUT/SoA fast path: `pe_sets` fixed random
+    /// 8-lane sets through `Pe::process_set`.
+    pub pe_set: Measurement,
+    /// The same sets through the pinned scalar reference path
+    /// (`Pe::process_set_scalar`: per-set `encode_terms` + heap lane state).
+    pub pe_set_scalar: Measurement,
+    /// Term encoding through the precomputed 256-entry tables (all 256
+    /// significands × both encodings, repeated per iteration).
+    pub pe_encode: Measurement,
+    /// The same encodings computed from scratch with `encode_terms`.
+    pub pe_encode_compute: Measurement,
+    /// An 8×8 tile block on the fast path: each column's shared A set is
+    /// planned once and fed to all 8 PE rows.
+    pub pe_planned_tile: Measurement,
+    /// The same tile block with every PE on the scalar reference path
+    /// (each PE re-encodes the shared A set itself).
+    pub pe_tile_scalar: Measurement,
+    /// Sets per stream in the tile measurements.
+    pub pe_tile_sets: u64,
 }
 
 impl SimulatorBench {
@@ -144,6 +169,24 @@ impl SimulatorBench {
     pub fn serve_cache_speedup(&self) -> f64 {
         self.serve_cold.median_ns as f64 / self.serve_cached.median_ns.max(1) as f64
     }
+
+    /// PE hot-loop speedup of the fast path over the scalar reference
+    /// (medians).
+    pub fn pe_set_speedup(&self) -> f64 {
+        self.pe_set_scalar.median_ns as f64 / self.pe_set.median_ns.max(1) as f64
+    }
+
+    /// Term-encode speedup of the LUT over computing encodings from
+    /// scratch (medians).
+    pub fn pe_encode_speedup(&self) -> f64 {
+        self.pe_encode_compute.median_ns as f64 / self.pe_encode.median_ns.max(1) as f64
+    }
+
+    /// Tile-block speedup of shared A-set planning over per-PE scalar
+    /// re-encoding (medians).
+    pub fn pe_tile_speedup(&self) -> f64 {
+        self.pe_tile_scalar.median_ns as f64 / self.pe_planned_tile.median_ns.max(1) as f64
+    }
 }
 
 /// Times the fixed synthetic trace on both machines at 1 thread and at the
@@ -151,6 +194,100 @@ impl SimulatorBench {
 /// fan-out vs the op×block scheduler (each measurement prints its summary
 /// line).
 pub fn simulator_measurements(iters: u32) -> SimulatorBench {
+    // PE micro-benchmarks: the hot loop every end-to-end number below
+    // multiplies. Fixed random operand sets (deterministic seed), timed on
+    // the LUT/SoA fast path vs the pinned scalar reference; the term-encode
+    // LUT vs computing encodings from scratch; and one tile block with
+    // shared A-set planning vs per-PE scalar re-encoding.
+    let pe_cfg = PeConfig::paper();
+    let pe_sets: u64 = if smoke_mode() { 512 } else { 4096 };
+    let mut pe_rng = SplitMix64::new(0x9E37);
+    let mut gen_operands = |n: usize| -> Vec<Bf16> {
+        (0..n)
+            .map(|_| {
+                if pe_rng.next_u64().is_multiple_of(10) {
+                    Bf16::ZERO
+                } else {
+                    pe_rng.bf16_in_range(6)
+                }
+            })
+            .collect()
+    };
+    let pe_inputs: Vec<(Vec<Bf16>, Vec<Bf16>)> = (0..pe_sets)
+        .map(|_| (gen_operands(pe_cfg.lanes), gen_operands(pe_cfg.lanes)))
+        .collect();
+    let pe_macs = pe_sets * pe_cfg.lanes as u64;
+    let mut fast_pe = Pe::new(pe_cfg);
+    let pe_set = bench("fpraker/pe_set", iters, Some(pe_macs), || {
+        fast_pe.reset_output();
+        let mut cycles = 0u64;
+        for (a, b) in &pe_inputs {
+            cycles += fast_pe.process_set(a, b).cycles;
+        }
+        cycles
+    });
+    let mut scalar_pe = Pe::new(PeConfig::paper_scalar_reference());
+    let pe_set_scalar = bench("fpraker/pe_set_scalar", iters, Some(pe_macs), || {
+        scalar_pe.reset_output();
+        let mut cycles = 0u64;
+        for (a, b) in &pe_inputs {
+            cycles += scalar_pe.process_set_scalar(a, b).cycles;
+        }
+        cycles
+    });
+
+    // 64 passes over all 256 significands × both encodings per iteration.
+    const ENCODE_REPS: u64 = 64;
+    let encode_count = ENCODE_REPS * 256 * 2;
+    let pe_encode = bench("fpraker/pe_encode", iters, Some(encode_count), || {
+        let mut total = 0usize;
+        for _ in 0..ENCODE_REPS {
+            for enc in [Encoding::Canonical, Encoding::RawBits] {
+                for s in 0..=255u8 {
+                    total += lut_terms(s, enc).len();
+                }
+            }
+        }
+        total
+    });
+    let pe_encode_compute = bench(
+        "fpraker/pe_encode_compute",
+        iters,
+        Some(encode_count),
+        || {
+            let mut total = 0usize;
+            for _ in 0..ENCODE_REPS {
+                for enc in [Encoding::Canonical, Encoding::RawBits] {
+                    for s in 0..=255u8 {
+                        total += encode_terms(s, enc).len();
+                    }
+                }
+            }
+            total
+        },
+    );
+
+    let tile_cfg = TileConfig::paper();
+    let pe_tile_sets: u64 = if smoke_mode() { 8 } else { 32 };
+    let tile_a: Vec<Vec<Bf16>> = (0..tile_cfg.cols)
+        .map(|_| gen_operands(pe_tile_sets as usize * tile_cfg.pe.lanes))
+        .collect();
+    let tile_b: Vec<Vec<Bf16>> = (0..tile_cfg.rows)
+        .map(|_| gen_operands(pe_tile_sets as usize * tile_cfg.pe.lanes))
+        .collect();
+    let tile_macs = tile_cfg.num_pes() as u64 * pe_tile_sets * tile_cfg.pe.lanes as u64;
+    let mut fast_tile = Tile::new(tile_cfg);
+    let pe_planned_tile = bench("fpraker/pe_planned_tile", iters, Some(tile_macs), || {
+        fast_tile.run_block(&tile_a, &tile_b).cycles
+    });
+    let mut scalar_tile = Tile::new(TileConfig {
+        pe: PeConfig::paper_scalar_reference(),
+        ..tile_cfg
+    });
+    let pe_tile_scalar = bench("fpraker/pe_tile_scalar", iters, Some(tile_macs), || {
+        scalar_tile.run_block(&tile_a, &tile_b).cycles
+    });
+
     let trace = synthetic_bench_trace();
     let macs = trace.macs();
     let threads = Engine::new().resolved_threads();
@@ -403,6 +540,14 @@ pub fn simulator_measurements(iters: u32) -> SimulatorBench {
         serve_cached,
         serve_trace_macs,
         serve_cache_hits,
+        pe_sets,
+        pe_set,
+        pe_set_scalar,
+        pe_encode,
+        pe_encode_compute,
+        pe_planned_tile,
+        pe_tile_scalar,
+        pe_tile_sets,
     }
 }
 
@@ -465,6 +610,23 @@ mod tests {
         assert!(b.serve_cache_hits >= 1);
         assert!(b.serve_cache_speedup() > 0.0);
         assert_eq!(b.serve_cold.elements, Some(b.serve_trace_macs));
+        // PE micro-bench entries: both datapaths ran the same work, the
+        // encode pair processed the same count, and the speedup ratios are
+        // well-formed.
+        assert_eq!(b.pe_set.name, "fpraker/pe_set");
+        assert_eq!(b.pe_set_scalar.name, "fpraker/pe_set_scalar");
+        assert_eq!(b.pe_set.elements, Some(b.pe_sets * 8));
+        assert_eq!(b.pe_set.elements, b.pe_set_scalar.elements);
+        assert_eq!(b.pe_encode.name, "fpraker/pe_encode");
+        assert_eq!(b.pe_encode_compute.name, "fpraker/pe_encode_compute");
+        assert_eq!(b.pe_encode.elements, b.pe_encode_compute.elements);
+        assert_eq!(b.pe_planned_tile.name, "fpraker/pe_planned_tile");
+        assert_eq!(b.pe_tile_scalar.name, "fpraker/pe_tile_scalar");
+        assert_eq!(b.pe_planned_tile.elements, b.pe_tile_scalar.elements);
+        assert!(b.pe_tile_sets > 0);
+        assert!(b.pe_set_speedup() > 0.0);
+        assert!(b.pe_encode_speedup() > 0.0);
+        assert!(b.pe_tile_speedup() > 0.0);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 use fpraker_num::{Bf16, ChunkedAccumulator};
 
 use crate::config::PeConfig;
+use crate::pe::MAX_LANES;
 use crate::stats::{ExecStats, TermStats};
 
 /// A bit-parallel fused-MAC PE: `lanes` full multipliers feeding an adder
@@ -43,7 +44,17 @@ impl BaselinePe {
     /// `ob_skip` fields of the configuration are ignored (the unit is
     /// bit-parallel); the accumulator geometry and chunk size are honoured
     /// so that numerics match FPRaker's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured lane count exceeds
+    /// [`MAX_LANES`](crate::MAX_LANES).
     pub fn new(cfg: PeConfig) -> Self {
+        assert!(
+            cfg.lanes <= MAX_LANES,
+            "PE configured with {} lanes exceeds MAX_LANES ({MAX_LANES})",
+            cfg.lanes
+        );
         BaselinePe {
             cfg,
             acc: ChunkedAccumulator::new(cfg.accum, cfg.chunk_size),
@@ -131,14 +142,16 @@ impl BaselinePe {
         self.reset_output();
         let lanes = self.cfg.lanes;
         let mut cycles = 0;
-        let mut buf_a = vec![Bf16::ZERO; lanes];
-        let mut buf_b = vec![Bf16::ZERO; lanes];
+        // Fixed-size stack scratch (lanes ≤ MAX_LANES is a construction
+        // invariant), so padding a partial tail set allocates nothing.
+        let mut buf_a = [Bf16::ZERO; MAX_LANES];
+        let mut buf_b = [Bf16::ZERO; MAX_LANES];
         for (ca, cb) in a.chunks(lanes).zip(b.chunks(lanes)) {
             buf_a[..ca.len()].copy_from_slice(ca);
-            buf_a[ca.len()..].fill(Bf16::ZERO);
+            buf_a[ca.len()..lanes].fill(Bf16::ZERO);
             buf_b[..cb.len()].copy_from_slice(cb);
-            buf_b[cb.len()..].fill(Bf16::ZERO);
-            cycles += self.process_set(&buf_a, &buf_b);
+            buf_b[cb.len()..lanes].fill(Bf16::ZERO);
+            cycles += self.process_set(&buf_a[..lanes], &buf_b[..lanes]);
         }
         (self.read_output(), cycles)
     }

@@ -21,6 +21,16 @@ pub struct PeConfig {
     /// Whether out-of-bounds terms are skipped (can be disabled for the
     /// Fig. 11 / Fig. 16 ablations).
     pub ob_skip: bool,
+    /// Route [`Pe::process_set`](crate::Pe::process_set) through the pinned
+    /// scalar reference implementation instead of the LUT/SoA fast path.
+    ///
+    /// The two paths are bit-identical (values, cycles and statistics) —
+    /// the scalar path exists as the arbiter of correctness for the fast
+    /// path and is cross-checked by the equivalence suites. It can also be
+    /// forced globally with the `FPRAKER_SCALAR_REFERENCE` environment
+    /// variable (any non-empty value other than `0`), which CI uses to run
+    /// the test suites over both datapaths.
+    pub scalar_reference: bool,
 }
 
 impl PeConfig {
@@ -34,6 +44,15 @@ impl PeConfig {
             accum: AccumConfig::paper(),
             chunk_size: 64,
             ob_skip: true,
+            scalar_reference: false,
+        }
+    }
+
+    /// The paper's PE routed through the scalar reference datapath.
+    pub const fn paper_scalar_reference() -> Self {
+        PeConfig {
+            scalar_reference: true,
+            ..Self::paper()
         }
     }
 }
@@ -95,6 +114,17 @@ impl TileConfig {
     /// Number of PEs in the tile.
     pub const fn num_pes(&self) -> usize {
         self.rows * self.cols
+    }
+
+    /// Rows per exponent-sharing group: 2 when pairs share an exponent
+    /// block, otherwise 1. The tile's fixed per-group scratch is sized
+    /// against this (and checked at [`Tile::new`](crate::Tile::new)).
+    pub const fn group_rows(&self) -> usize {
+        if self.share_exponent_block {
+            2
+        } else {
+            1
+        }
     }
 
     /// Peak MAC throughput per cycle if every lane issued every cycle.

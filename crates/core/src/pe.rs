@@ -27,12 +27,54 @@
 //! 4. reduces the issued, shifted `B` significands through the adder tree
 //!    into the accumulator, then normalizes it (which may raise `e_acc` and
 //!    push later terms out of bounds — see the paper's Fig. 5, cycle 5).
+//!
+//! # Fast path and scalar reference
+//!
+//! Two bit-identical implementations of that schedule exist:
+//!
+//! * the **fast path** ([`Pe::process_planned`], driven by a
+//!   [`PlannedSet`]): term encoding is an index into the precomputed
+//!   256-entry tables of [`fpraker_num::encode::term_table`], lane state is
+//!   fixed-capacity structure-of-arrays scratch owned by the PE (no heap
+//!   allocation per set), and the per-cycle loop walks an active-lane
+//!   bitmask. A [`PlannedSet`] captures the A-side work (encoding, exponent,
+//!   sign, validation) once, so a tile can plan each shared A set a single
+//!   time and feed it to every PE in the column;
+//! * the **scalar reference** ([`Pe::process_set_scalar`]): the original
+//!   straight-line model, kept as the arbiter of correctness. The
+//!   equivalence suites cross-check cycles, lane-cycle attribution, term
+//!   statistics and accumulator bits between the two paths; the golden and
+//!   determinism suites pin both against exact references.
+//!
+//! [`Pe::process_set`] routes to the fast path unless
+//! [`PeConfig::scalar_reference`] is set or the `FPRAKER_SCALAR_REFERENCE`
+//! environment variable forces the reference path process-wide (CI runs the
+//! test suites both ways).
 
-use fpraker_num::encode::{encode_terms, Terms};
+use std::sync::OnceLock;
+
+use fpraker_num::encode::{encode_terms, term_table, Encoding, Term, Terms};
 use fpraker_num::{Bf16, ChunkedAccumulator};
 
 use crate::config::PeConfig;
 use crate::stats::{ExecStats, LaneCycles, TermStats};
+
+/// The maximum lane count the allocation-free PE scratch supports.
+///
+/// The paper's PE has 8 lanes; the fixed-capacity lane state leaves
+/// headroom for wider design-space sweeps. [`Pe::new`] rejects
+/// configurations beyond this bound with a clear message.
+pub const MAX_LANES: usize = 16;
+
+/// Whether `FPRAKER_SCALAR_REFERENCE` forces the scalar reference path
+/// process-wide (read once; any non-empty value other than `0` counts).
+fn env_scalar_reference() -> bool {
+    static FORCED: OnceLock<bool> = OnceLock::new();
+    *FORCED.get_or_init(|| {
+        std::env::var("FPRAKER_SCALAR_REFERENCE")
+            .is_ok_and(|v| !v.trim().is_empty() && v.trim() != "0")
+    })
+}
 
 /// Outcome of processing one set of value pairs on a PE.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -44,6 +86,88 @@ pub struct SetOutcome {
     pub lane_cycles: LaneCycles,
     /// Term bookkeeping for the set.
     pub terms: TermStats,
+}
+
+/// The A-side plan of one set: everything [`Pe::process_planned`] needs
+/// about the serial operands, derived once and shareable across PEs.
+///
+/// In a tile, every PE of a column processes the same A set (Section IV-C:
+/// the column shares the A stream and its term encoders). Planning the set
+/// once — encoding each significand through the term LUT, capturing
+/// exponents and signs, validating operands — and handing the plan to each
+/// PE amortizes that work across `rows` PEs, exactly as the shared hardware
+/// encoders do.
+///
+/// # Example
+///
+/// ```
+/// use fpraker_core::{Pe, PeConfig, PlannedSet};
+/// use fpraker_num::Bf16;
+///
+/// let cfg = PeConfig::paper();
+/// let a = vec![Bf16::from_f32(1.5); 8];
+/// let b = vec![Bf16::ONE; 8];
+/// let plan = PlannedSet::plan(&a, cfg.encoding);
+/// let mut pe = Pe::new(cfg);
+/// let planned = pe.process_planned(&plan, &b);
+/// let mut reference = Pe::new(cfg);
+/// assert_eq!(planned, reference.process_set(&a, &b));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct PlannedSet {
+    lanes: usize,
+    /// Per-lane term encodings, references into the static term tables.
+    terms: [&'static Terms; MAX_LANES],
+    /// Per-lane A exponents (unbiased; unset for zero lanes).
+    a_exp: [i32; MAX_LANES],
+    /// Bitmask of negative A values.
+    a_sign: u32,
+    /// Bitmask of zero A values (whole-MAC skip regardless of B).
+    a_zero: u32,
+}
+
+impl PlannedSet {
+    /// Plans one A set: encodes every significand through the term LUT and
+    /// captures exponents, signs and zero-ness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is longer than [`MAX_LANES`] or contains a non-finite
+    /// value.
+    pub fn plan(a: &[Bf16], encoding: Encoding) -> PlannedSet {
+        let lanes = a.len();
+        assert!(
+            lanes <= MAX_LANES,
+            "set of {lanes} lanes exceeds MAX_LANES ({MAX_LANES})"
+        );
+        let table = term_table(encoding);
+        let mut plan = PlannedSet {
+            lanes,
+            terms: [&table[0]; MAX_LANES],
+            a_exp: [0; MAX_LANES],
+            a_sign: 0,
+            a_zero: 0,
+        };
+        for (i, &ai) in a.iter().enumerate() {
+            assert!(ai.is_finite(), "non-finite operand");
+            if ai.is_zero() {
+                plan.a_zero |= 1 << i;
+            } else {
+                plan.terms[i] = &table[ai.significand() as usize];
+                plan.a_exp[i] = ai.exponent();
+                if ai.sign() {
+                    plan.a_sign |= 1 << i;
+                }
+            }
+        }
+        plan
+    }
+
+    /// The number of lanes this plan covers.
+    #[inline]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
 }
 
 /// One FPRaker processing element with its output accumulator.
@@ -67,9 +191,45 @@ pub struct Pe {
     cfg: PeConfig,
     acc: ChunkedAccumulator,
     stats: ExecStats,
+    /// Resolved datapath choice (config flag or env override).
+    use_scalar: bool,
+    /// Reusable structure-of-arrays lane state for the fast path.
+    scratch: LaneScratch,
 }
 
-/// Per-lane working state while draining a set.
+/// Fixed-capacity structure-of-arrays lane state for the fast path,
+/// owned by the PE so processing a set allocates nothing.
+#[derive(Clone, Debug)]
+struct LaneScratch {
+    /// Per-lane term slices (into the static term tables).
+    terms: [&'static [Term]; MAX_LANES],
+    /// Per-lane next-term index.
+    cursor: [u8; MAX_LANES],
+    /// Per-lane term count.
+    len: [u8; MAX_LANES],
+    /// Per-lane product exponent `Ae + Be`.
+    abe: [i32; MAX_LANES],
+    /// Per-lane B significand with hidden bit.
+    bsig: [u64; MAX_LANES],
+    /// Bitmask of negative products (A sign XOR B sign).
+    neg: u32,
+}
+
+impl LaneScratch {
+    const fn new() -> Self {
+        const EMPTY: &[Term] = &[];
+        LaneScratch {
+            terms: [EMPTY; MAX_LANES],
+            cursor: [0; MAX_LANES],
+            len: [0; MAX_LANES],
+            abe: [0; MAX_LANES],
+            bsig: [0; MAX_LANES],
+            neg: 0,
+        }
+    }
+}
+
+/// Per-lane working state of the scalar reference path.
 #[derive(Clone, Copy, Debug)]
 struct Lane {
     terms: Terms,
@@ -86,17 +246,34 @@ struct Lane {
 
 impl Pe {
     /// Creates a PE with a zeroed accumulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured lane count exceeds [`MAX_LANES`].
     pub fn new(cfg: PeConfig) -> Self {
+        assert!(
+            cfg.lanes <= MAX_LANES,
+            "PE configured with {} lanes exceeds MAX_LANES ({MAX_LANES})",
+            cfg.lanes
+        );
         Pe {
             cfg,
             acc: ChunkedAccumulator::new(cfg.accum, cfg.chunk_size),
             stats: ExecStats::default(),
+            use_scalar: cfg.scalar_reference || env_scalar_reference(),
+            scratch: LaneScratch::new(),
         }
     }
 
     /// The PE's configuration.
     pub fn config(&self) -> &PeConfig {
         &self.cfg
+    }
+
+    /// `true` if this PE routes [`Pe::process_set`] through the scalar
+    /// reference path (config flag or `FPRAKER_SCALAR_REFERENCE`).
+    pub fn uses_scalar_reference(&self) -> bool {
+        self.use_scalar
     }
 
     /// Cumulative statistics since construction or [`Pe::take_stats`].
@@ -129,12 +306,173 @@ impl Pe {
     /// `Σ a[i] * b[i]` into the output accumulator and returning the cycle
     /// schedule outcome.
     ///
+    /// Routes to the LUT/SoA fast path unless the scalar reference path is
+    /// selected ([`PeConfig::scalar_reference`] or the
+    /// `FPRAKER_SCALAR_REFERENCE` environment variable); both are
+    /// bit-identical in values, cycles and statistics.
+    ///
     /// # Panics
     ///
     /// Panics if `a` or `b` are not exactly `lanes` long, or if any operand
     /// is non-finite (training data contains no infinities or NaNs; the
     /// hardware does not handle them).
     pub fn process_set(&mut self, a: &[Bf16], b: &[Bf16]) -> SetOutcome {
+        if self.use_scalar {
+            return self.process_set_scalar(a, b);
+        }
+        assert_eq!(a.len(), self.cfg.lanes, "A operand count");
+        let plan = PlannedSet::plan(a, self.cfg.encoding);
+        self.process_planned(&plan, b)
+    }
+
+    /// Processes one set whose A side was planned ahead with
+    /// [`PlannedSet::plan`] — the allocation-free fast path.
+    ///
+    /// A tile plans each shared A set once per column and feeds the plan to
+    /// every PE in that column, amortizing term encoding and operand
+    /// validation across the rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan's lane count or `b`'s length differ from the
+    /// configured lane count, or if any B operand is non-finite.
+    pub fn process_planned(&mut self, plan: &PlannedSet, b: &[Bf16]) -> SetOutcome {
+        let lanes = self.cfg.lanes;
+        assert_eq!(plan.lanes, lanes, "A operand count");
+        assert_eq!(b.len(), lanes, "B operand count");
+        let ob_skip = self.cfg.ob_skip;
+        let window = self.cfg.max_shift_window;
+
+        let mut outcome = SetOutcome::default();
+        outcome.terms.macs = lanes as u64;
+
+        // Load the lane state (SoA scratch owned by the PE; nothing is
+        // heap-allocated per set).
+        let s = &mut self.scratch;
+        s.neg = 0;
+        let mut active: u32 = 0;
+        let mut max_abe = i32::MIN;
+        for (i, &bi) in b.iter().enumerate() {
+            assert!(bi.is_finite(), "non-finite operand");
+            if plan.a_zero & (1 << i) != 0 || bi.is_zero() {
+                // Zero *value*: the pair produces no terms at all. A naive
+                // bit-serial unit would still grind through 8 digit slots.
+                outcome.terms.zero_value_macs += 1;
+                outcome.terms.zero_skipped += 8;
+                continue;
+            }
+            let terms = plan.terms[i];
+            outcome.terms.zero_skipped += 8u64.saturating_sub(terms.len() as u64);
+            let abe = plan.a_exp[i] + bi.exponent();
+            max_abe = max_abe.max(abe);
+            s.terms[i] = terms.as_slice();
+            s.cursor[i] = 0;
+            s.len[i] = terms.len() as u8;
+            s.abe[i] = abe;
+            s.bsig[i] = bi.significand() as u64;
+            if ((plan.a_sign >> i) & 1 != 0) ^ bi.sign() {
+                s.neg |= 1 << i;
+            }
+            active |= 1 << i;
+        }
+
+        self.acc.count_macs(lanes as u32);
+
+        if active == 0 {
+            // Nothing to accumulate; the set still occupies the PE for the
+            // minimum one cycle (Section IV-A: "the minimum effective number
+            // of cycles for processing the 8 MACs will be 1 cycle").
+            outcome.cycles = 1;
+            outcome.lane_cycles.no_term += lanes as u64;
+            self.finish_set(outcome);
+            return outcome;
+        }
+
+        // Block 1 — exponent: compute emax and align the accumulator.
+        let acc = self.acc.inner_mut();
+        acc.begin_set(max_abe);
+
+        // Blocks 2 and 3 — stream terms through the shift&reduce window,
+        // walking only the active-lane bitmask.
+        loop {
+            // One pass over the active lanes: terminate out-of-bounds lanes
+            // (k grows monotonically within a lane, so the first
+            // out-of-bounds term ends it) and find the base offset. The
+            // accumulator exponent is constant across this pass.
+            let e = acc.exponent();
+            let mut base = i32::MAX;
+            let mut m = active;
+            while m != 0 {
+                let i = m.trailing_zeros() as usize;
+                m &= m - 1;
+                let k = e - s.abe[i] + s.terms[i][s.cursor[i] as usize].shift as i32;
+                if ob_skip && acc.is_out_of_bounds(k) {
+                    outcome.terms.ob_skipped += (s.len[i] - s.cursor[i]) as u64;
+                    active &= !(1 << i);
+                } else if k < base {
+                    base = k;
+                }
+            }
+            if active == 0 {
+                break;
+            }
+
+            // Issue every active lane within the shift window; the others
+            // stall. Retired lanes idle out the rest of the set (no term).
+            outcome.lane_cycles.no_term += (lanes as u32 - active.count_ones()) as u64;
+            let mut m = active;
+            while m != 0 {
+                let i = m.trailing_zeros() as usize;
+                m &= m - 1;
+                let term = s.terms[i][s.cursor[i] as usize];
+                // Re-read the accumulator exponent per lane: accumulating
+                // into an emptied register re-adopts its exponent mid-loop.
+                let k = acc.exponent() - s.abe[i] + term.shift as i32;
+                if (k - base) as u32 <= window {
+                    acc.add_scaled(
+                        ((s.neg >> i) & 1 != 0) ^ term.neg,
+                        s.bsig[i],
+                        s.abe[i] - term.shift as i32 - 7,
+                    );
+                    s.cursor[i] += 1;
+                    if s.cursor[i] == s.len[i] {
+                        active &= !(1 << i);
+                    }
+                    outcome.lane_cycles.useful += 1;
+                    outcome.terms.processed += 1;
+                } else {
+                    outcome.lane_cycles.shift_range += 1;
+                }
+            }
+
+            // The accumulator is normalized (and rounded) every accumulation
+            // step; this can raise e_acc mid-set and push later terms out of
+            // bounds (paper Fig. 5, cycle 5).
+            acc.normalize();
+            outcome.cycles += 1;
+        }
+
+        if outcome.cycles == 0 {
+            // Every lane terminated out-of-bounds before issuing anything;
+            // the set still occupies the PE for the minimum one cycle.
+            outcome.cycles = 1;
+            outcome.lane_cycles.no_term += lanes as u64;
+        }
+        self.finish_set(outcome);
+        outcome
+    }
+
+    /// The pinned scalar reference implementation of [`Pe::process_set`]:
+    /// per-set term encoding via [`encode_terms`] and array-of-structs lane
+    /// state, exactly as originally modelled. The fast path is cross-checked
+    /// against this — cycles, lane-cycle attribution, term statistics and
+    /// accumulator bits must all be equal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` are not exactly `lanes` long or contain a
+    /// non-finite value.
+    pub fn process_set_scalar(&mut self, a: &[Bf16], b: &[Bf16]) -> SetOutcome {
         let lanes = self.cfg.lanes;
         assert_eq!(a.len(), lanes, "A operand count");
         assert_eq!(b.len(), lanes, "B operand count");
@@ -267,14 +605,16 @@ impl Pe {
         self.reset_output();
         let lanes = self.cfg.lanes;
         let mut cycles = 0;
-        let mut buf_a = vec![Bf16::ZERO; lanes];
-        let mut buf_b = vec![Bf16::ZERO; lanes];
+        // Fixed-size stack scratch (lanes ≤ MAX_LANES is a construction
+        // invariant), so padding a partial tail set allocates nothing.
+        let mut buf_a = [Bf16::ZERO; MAX_LANES];
+        let mut buf_b = [Bf16::ZERO; MAX_LANES];
         for (ca, cb) in a.chunks(lanes).zip(b.chunks(lanes)) {
             buf_a[..ca.len()].copy_from_slice(ca);
-            buf_a[ca.len()..].fill(Bf16::ZERO);
+            buf_a[ca.len()..lanes].fill(Bf16::ZERO);
             buf_b[..cb.len()].copy_from_slice(cb);
-            buf_b[cb.len()..].fill(Bf16::ZERO);
-            cycles += self.process_set(&buf_a, &buf_b).cycles;
+            buf_b[cb.len()..lanes].fill(Bf16::ZERO);
+            cycles += self.process_set(&buf_a[..lanes], &buf_b[..lanes]).cycles;
         }
         (self.read_output(), cycles)
     }
@@ -308,6 +648,7 @@ mod tests {
             },
             chunk_size: 64,
             ob_skip: true,
+            scalar_reference: false,
         }
     }
 
@@ -356,6 +697,71 @@ mod tests {
     }
 
     #[test]
+    fn fast_path_matches_scalar_reference_on_fig5() {
+        for theta in [12, 6, 3, 0] {
+            let (a, b) = fig5_inputs();
+            let mut fast = Pe::new(fig5_config(theta));
+            let mut scalar = Pe::new(PeConfig {
+                scalar_reference: true,
+                ..fig5_config(theta)
+            });
+            let fo = fast.process_set(&a, &b);
+            let so = scalar.process_set_scalar(&a, &b);
+            assert_eq!(fo, so, "θ = {theta}: outcome diverged");
+            assert_eq!(fast.output_f64(), scalar.output_f64());
+            assert_eq!(fast.read_output(), scalar.read_output());
+            assert_eq!(fast.stats(), scalar.stats());
+        }
+    }
+
+    #[test]
+    fn planned_set_shared_across_pes_matches_per_pe_encoding() {
+        // One plan feeding several PEs (the tile's column sharing) must be
+        // indistinguishable from each PE encoding the set itself.
+        let mut rng = SplitMix64::new(0x517);
+        let cfg = PeConfig::paper();
+        for _ in 0..50 {
+            let a: Vec<Bf16> = (0..8).map(|_| rng.bf16_in_range(6)).collect();
+            let plan = PlannedSet::plan(&a, cfg.encoding);
+            assert_eq!(plan.lanes(), 8);
+            for row in 0..4 {
+                let b: Vec<Bf16> = (0..8)
+                    .map(|_| {
+                        if rng.next_u64() % 4 == row {
+                            Bf16::ZERO
+                        } else {
+                            rng.bf16_in_range(6)
+                        }
+                    })
+                    .collect();
+                let mut planned = Pe::new(cfg);
+                let mut direct = Pe::new(cfg);
+                let po = planned.process_planned(&plan, &b);
+                let diro = direct.process_set(&a, &b);
+                assert_eq!(po, diro);
+                assert_eq!(planned.output_f64(), direct.output_f64());
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_reference_flag_is_honoured() {
+        assert!(Pe::new(PeConfig::paper_scalar_reference()).uses_scalar_reference());
+        let scalar = Pe::new(PeConfig::paper_scalar_reference());
+        let mut fast = Pe::new(PeConfig::paper());
+        // Under FPRAKER_SCALAR_REFERENCE both report scalar; otherwise the
+        // default config must take the fast path.
+        if !scalar.uses_scalar_reference() {
+            panic!("flagged PE must use the scalar path");
+        }
+        let a = vec![bf(1.5); 8];
+        let b = vec![bf(1.25); 8];
+        let mut flagged = Pe::new(PeConfig::paper_scalar_reference());
+        assert_eq!(flagged.process_set(&a, &b), fast.process_set(&a, &b));
+        assert_eq!(flagged.read_output(), fast.read_output());
+    }
+
+    #[test]
     fn zero_values_cost_one_cycle() {
         let mut pe = Pe::new(PeConfig::paper());
         let outcome = pe.process_set(&[Bf16::ZERO; 8], &[bf(1.0); 8]);
@@ -397,6 +803,17 @@ mod tests {
                 "round {round}: out {out} vs exact {exact} ({err} magnitude-scale ulps)"
             );
         }
+    }
+
+    #[test]
+    fn dot_handles_lengths_that_are_not_lane_multiples() {
+        // The tail set is zero-padded through the fixed-size scratch.
+        let mut pe = Pe::new(PeConfig::paper());
+        let a: Vec<Bf16> = (1..=11).map(|i| bf(i as f32)).collect();
+        let b = vec![bf(1.0); 11];
+        let (out, cycles) = pe.dot(&a, &b);
+        assert_eq!(out.to_f32(), 66.0);
+        assert!(cycles >= 2);
     }
 
     #[test]
@@ -496,6 +913,15 @@ mod tests {
     fn wrong_lane_count_panics() {
         let mut pe = Pe::new(PeConfig::paper());
         let _ = pe.process_set(&[Bf16::ONE], &[Bf16::ONE]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_LANES")]
+    fn oversized_lane_config_panics() {
+        let _ = Pe::new(PeConfig {
+            lanes: MAX_LANES + 1,
+            ..PeConfig::paper()
+        });
     }
 
     #[test]

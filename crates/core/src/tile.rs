@@ -24,8 +24,13 @@
 use fpraker_num::Bf16;
 
 use crate::config::TileConfig;
-use crate::pe::Pe;
+use crate::pe::{Pe, PlannedSet};
 use crate::stats::ExecStats;
+
+/// The most rows an exponent-sharing group can have; the per-group span
+/// scratch in [`Tile::run_block`] is sized by this, and [`Tile::new`]
+/// asserts the configured geometry fits.
+const MAX_GROUP_ROWS: usize = 2;
 
 /// Result of streaming one output block through a tile.
 #[derive(Clone, Debug)]
@@ -75,9 +80,18 @@ impl Tile {
     ///
     /// # Panics
     ///
-    /// Panics if `rows` or `cols` is zero.
+    /// Panics if `rows` or `cols` is zero, or if the exponent-group
+    /// geometry exceeds the tile's fixed per-group scratch
+    /// (`MAX_GROUP_ROWS` rows).
     pub fn new(cfg: TileConfig) -> Self {
         assert!(cfg.rows > 0 && cfg.cols > 0, "tile must have PEs");
+        assert!(
+            cfg.group_rows() <= MAX_GROUP_ROWS,
+            "exponent-sharing groups of {} rows exceed the tile's per-group \
+             span scratch (MAX_GROUP_ROWS = {MAX_GROUP_ROWS}); widen \
+             MAX_GROUP_ROWS in tile.rs to support this geometry",
+            cfg.group_rows()
+        );
         Tile {
             pes: vec![Pe::new(cfg.pe); cfg.rows * cfg.cols],
             cfg,
@@ -129,8 +143,18 @@ impl Tile {
         //     buffers);
         //   * B coupling: a group may run at most `b_runahead` sets ahead
         //     of the slowest column on its rows (B broadcast buffers).
-        let group_rows: usize = if self.cfg.share_exponent_block { 2 } else { 1 };
+        let group_rows = self.cfg.group_rows();
         let groups = rows.div_ceil(group_rows);
+        // All PEs share one config, so one probe decides the datapath: on
+        // the fast path each column's shared A set is planned once (term
+        // encoding, exponents, signs, validation) and every PE row consumes
+        // the planned form — the column's shared term encoders of
+        // Section IV-C. The scalar reference path re-encodes per PE, as the
+        // original model did.
+        let use_planned = self
+            .pes
+            .first()
+            .is_some_and(|pe| !pe.uses_scalar_reference());
         let mut stats = ExecStats::default();
         // Previous-set finish time per (column, group).
         let mut prev_finish = vec![0u64; cols * groups];
@@ -144,6 +168,7 @@ impl Tile {
         for s in 0..num_sets {
             for c in 0..cols {
                 let a_set = &a_streams[c][s * lanes..(s + 1) * lanes];
+                let plan = use_planned.then(|| PlannedSet::plan(a_set, self.cfg.pe.encoding));
                 let a_gate = if groups > 1 && s > a_slip {
                     col_front[c][s - 1 - a_slip]
                 } else {
@@ -162,13 +187,17 @@ impl Tile {
                     stats.lane_cycles.inter_pe += (start - prev) * (rows_here * lanes) as u64;
 
                     let mut natural = 0u64;
-                    let mut spans = [0u64; 2];
+                    let mut spans = [0u64; MAX_GROUP_ROWS];
                     for (i, r) in (g * group_rows..(g + 1) * group_rows)
                         .take(rows_here)
                         .enumerate()
                     {
                         let b_set = &b_streams[r][s * lanes..(s + 1) * lanes];
-                        let outcome = self.pes[r * cols + c].process_set(a_set, b_set);
+                        let pe = &mut self.pes[r * cols + c];
+                        let outcome = match &plan {
+                            Some(p) => pe.process_planned(p, b_set),
+                            None => pe.process_set(a_set, b_set),
+                        };
                         stats.lane_cycles += outcome.lane_cycles;
                         stats.terms += outcome.terms;
                         stats.sets += 1;

@@ -1,0 +1,158 @@
+//! Fast-path ⇄ scalar-reference equivalence suite.
+//!
+//! The LUT/SoA fast path of [`Pe::process_planned`] must be *bit-identical*
+//! to the pinned scalar reference ([`Pe::process_set_scalar`]): same cycle
+//! counts, same lane-cycle attribution, same term statistics and the same
+//! accumulator bits — over random operands, zero densities, θ values, both
+//! encodings and with out-of-bounds skipping on or off. The tile-level
+//! check pins the shared A-side planning against per-PE encoding.
+
+use fpraker_core::{Pe, PeConfig, PlannedSet, Tile, TileConfig};
+use fpraker_num::encode::Encoding;
+use fpraker_num::reference::SplitMix64;
+use fpraker_num::{AccumConfig, Bf16};
+use proptest::prelude::*;
+
+fn arb_operands() -> impl Strategy<Value = (Vec<Bf16>, Vec<Bf16>)> {
+    (any::<u64>(), 0u32..=80, 1i32..12).prop_map(|(seed, zero_pct, spread)| {
+        let mut rng = SplitMix64::new(seed);
+        let mut gen = |n: usize| -> Vec<Bf16> {
+            (0..n)
+                .map(|_| {
+                    if rng.next_u64() % 100 < zero_pct as u64 {
+                        Bf16::ZERO
+                    } else {
+                        rng.bf16_in_range(spread)
+                    }
+                })
+                .collect()
+        };
+        (gen(8), gen(8))
+    })
+}
+
+fn arb_config() -> impl Strategy<Value = PeConfig> {
+    (0i32..=14, any::<bool>(), any::<bool>()).prop_map(|(theta, ob_skip, raw)| PeConfig {
+        encoding: if raw {
+            Encoding::RawBits
+        } else {
+            Encoding::Canonical
+        },
+        accum: AccumConfig {
+            ob_threshold: theta,
+            ..AccumConfig::paper()
+        },
+        ob_skip,
+        ..PeConfig::paper()
+    })
+}
+
+/// Runs the same set sequence through a fast-path PE and a scalar-reference
+/// PE and asserts complete observable equality.
+fn assert_paths_equal(cfg: PeConfig, sets: &[(Vec<Bf16>, Vec<Bf16>)]) {
+    let mut fast = Pe::new(cfg);
+    let mut scalar = Pe::new(cfg);
+    for (a, b) in sets {
+        let plan = PlannedSet::plan(a, cfg.encoding);
+        let fo = fast.process_planned(&plan, b);
+        let so = scalar.process_set_scalar(a, b);
+        assert_eq!(fo, so, "set outcome diverged (cycles/lane_cycles/terms)");
+        assert_eq!(
+            fast.output_f64(),
+            scalar.output_f64(),
+            "accumulator bits diverged"
+        );
+    }
+    assert_eq!(fast.read_output(), scalar.read_output());
+    assert_eq!(fast.stats(), scalar.stats(), "cumulative stats diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// One random set, random θ / encoding / OB-skip: everything equal.
+    #[test]
+    fn fast_path_matches_scalar_on_one_set(
+        (a, b) in arb_operands(),
+        cfg in arb_config(),
+    ) {
+        assert_paths_equal(cfg, &[(a, b)]);
+    }
+
+    /// A run of sets through one accumulator (exercising chunk folds and
+    /// mid-dot exponent adoption): everything equal, cumulatively.
+    #[test]
+    fn fast_path_matches_scalar_across_a_dot(
+        sets in prop::collection::vec(arb_operands(), 1..12),
+        cfg in arb_config(),
+    ) {
+        assert_paths_equal(cfg, &sets);
+    }
+
+    /// `process_set` on a default-config PE routes to the fast path and is
+    /// still bit-identical to the scalar reference.
+    #[test]
+    fn dispatching_process_set_matches_scalar((a, b) in arb_operands()) {
+        let cfg = PeConfig::paper();
+        let mut routed = Pe::new(cfg);
+        let mut scalar = Pe::new(cfg);
+        let ro = routed.process_set(&a, &b);
+        let so = scalar.process_set_scalar(&a, &b);
+        prop_assert_eq!(ro, so);
+        prop_assert_eq!(routed.output_f64(), scalar.output_f64());
+    }
+
+    /// Whole-tile equivalence: a tile of scalar-reference PEs and a tile of
+    /// fast-path PEs (with shared A-set planning) must produce identical
+    /// outputs, cycle counts and statistics.
+    #[test]
+    fn tile_with_shared_planning_matches_scalar_tile(
+        seed in any::<u64>(),
+        sets in 1usize..4,
+        share in any::<bool>(),
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let fast_cfg = TileConfig {
+            rows: 3,
+            cols: 2,
+            share_exponent_block: share,
+            ..TileConfig::paper()
+        };
+        let scalar_cfg = TileConfig {
+            pe: PeConfig { scalar_reference: true, ..fast_cfg.pe },
+            ..fast_cfg
+        };
+        let a: Vec<Vec<Bf16>> = (0..2)
+            .map(|_| (0..sets * 8).map(|_| rng.bf16_in_range(5)).collect())
+            .collect();
+        let b: Vec<Vec<Bf16>> = (0..3)
+            .map(|_| (0..sets * 8).map(|_| rng.bf16_in_range(5)).collect())
+            .collect();
+        let fast = Tile::new(fast_cfg).run_block(&a, &b);
+        let scalar = Tile::new(scalar_cfg).run_block(&a, &b);
+        prop_assert_eq!(&fast.outputs, &scalar.outputs, "outputs diverged");
+        prop_assert_eq!(fast.cycles, scalar.cycles, "timing diverged");
+        prop_assert_eq!(fast.stats, scalar.stats, "stats diverged");
+    }
+}
+
+/// Non-finite A operands are rejected at plan time with the same message
+/// the scalar path uses.
+#[test]
+#[should_panic(expected = "non-finite operand")]
+fn planning_rejects_non_finite() {
+    let mut a = vec![Bf16::ONE; 8];
+    a[3] = Bf16::from_f32(f32::INFINITY);
+    let _ = PlannedSet::plan(&a, Encoding::Canonical);
+}
+
+/// Non-finite B operands are rejected by the fast path with the same
+/// message the scalar path uses.
+#[test]
+#[should_panic(expected = "non-finite operand")]
+fn fast_path_rejects_non_finite_b() {
+    let plan = PlannedSet::plan(&[Bf16::ONE; 8], Encoding::Canonical);
+    let mut b = vec![Bf16::ONE; 8];
+    b[5] = Bf16::from_f32(f32::NAN);
+    let _ = Pe::new(PeConfig::paper()).process_planned(&plan, &b);
+}

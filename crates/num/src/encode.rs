@@ -111,7 +111,7 @@ impl Terms {
     ///
     /// Panics if the sequence is full ([`MAX_TERMS`]).
     #[inline]
-    pub fn push(&mut self, t: Term) {
+    pub const fn push(&mut self, t: Term) {
         assert!((self.len as usize) < MAX_TERMS, "term sequence overflow");
         self.buf[self.len as usize] = t;
         self.len += 1;
@@ -180,7 +180,7 @@ pub enum Encoding {
 /// assert_eq!(r.len(), 4);
 /// assert_eq!(r.value(), 1.875);
 /// ```
-pub fn encode_terms(significand: u8, encoding: Encoding) -> Terms {
+pub const fn encode_terms(significand: u8, encoding: Encoding) -> Terms {
     match encoding {
         Encoding::Canonical => encode_csd(significand),
         Encoding::RawBits => encode_raw(significand),
@@ -188,9 +188,11 @@ pub fn encode_terms(significand: u8, encoding: Encoding) -> Terms {
 }
 
 /// Raw bit-serial encoding: one positive term per set bit, MSB first.
-pub fn encode_raw(significand: u8) -> Terms {
+pub const fn encode_raw(significand: u8) -> Terms {
     let mut out = Terms::EMPTY;
-    for bit in (0..8).rev() {
+    let mut bit = 8usize;
+    while bit > 0 {
+        bit -= 1;
         if significand & (1 << bit) != 0 {
             out.push(Term::new(7 - bit as i8, false));
         }
@@ -205,7 +207,7 @@ pub fn encode_raw(significand: u8) -> Terms {
 /// * no two adjacent digit positions are both non-zero,
 /// * the number of terms is minimal over all signed-digit representations,
 ///   and never exceeds the raw bit count.
-pub fn encode_csd(significand: u8) -> Terms {
+pub const fn encode_csd(significand: u8) -> Terms {
     // Standard NAF construction, LSB first, then reversed into MSB order.
     let mut m = significand as i32;
     let mut digits = [0i8; 10];
@@ -222,7 +224,9 @@ pub fn encode_csd(significand: u8) -> Terms {
         pos += 1;
     }
     let mut out = Terms::EMPTY;
-    for bit in (0..pos).rev() {
+    let mut bit = pos;
+    while bit > 0 {
+        bit -= 1;
         let d = digits[bit];
         if d != 0 {
             // Bit position `bit` corresponds to weight 2^(bit-7) relative to
@@ -231,6 +235,59 @@ pub fn encode_csd(significand: u8) -> Terms {
         }
     }
     out
+}
+
+/// A full 256-entry term table built at compile time from
+/// [`encode_terms`].
+const fn build_term_table(encoding: Encoding) -> [Terms; 256] {
+    let mut table = [Terms::EMPTY; 256];
+    let mut m = 0usize;
+    while m < 256 {
+        table[m] = encode_terms(m as u8, encoding);
+        m += 1;
+    }
+    table
+}
+
+/// Precomputed canonical signed-digit encodings of all 256 significands.
+static CSD_TERM_TABLE: [Terms; 256] = build_term_table(Encoding::Canonical);
+
+/// Precomputed raw bit-serial encodings of all 256 significands.
+static RAW_TERM_TABLE: [Terms; 256] = build_term_table(Encoding::RawBits);
+
+/// The precomputed 256-entry term table for an encoding.
+///
+/// Both tables are built at compile time by running [`encode_terms`] over
+/// every possible 8-bit significand, so `term_table(e)[m as usize]` is
+/// guaranteed identical to `encode_terms(m, e)` — an invariant the
+/// exhaustive equivalence tests pin. The PE fast path encodes by indexing
+/// these tables instead of re-deriving terms per set.
+#[inline]
+pub fn term_table(encoding: Encoding) -> &'static [Terms; 256] {
+    match encoding {
+        Encoding::Canonical => &CSD_TERM_TABLE,
+        Encoding::RawBits => &RAW_TERM_TABLE,
+    }
+}
+
+/// Looks up the encoding of one significand in the precomputed table.
+///
+/// Semantically identical to [`encode_terms`] but O(1): encoding becomes
+/// an index into a 256-entry static table.
+///
+/// # Example
+///
+/// ```
+/// use fpraker_num::encode::{encode_terms, lut_terms, Encoding};
+///
+/// for m in 0u16..=255 {
+///     assert_eq!(*lut_terms(m as u8, Encoding::Canonical),
+///                encode_terms(m as u8, Encoding::Canonical));
+/// }
+/// ```
+#[inline]
+pub fn lut_terms(significand: u8, encoding: Encoding) -> &'static Terms {
+    &term_table(encoding)[significand as usize]
 }
 
 /// Counts the terms a significand encodes to, without materializing them.
@@ -387,6 +444,33 @@ mod tests {
                 "CSD not minimal for {m:#b}"
             );
         }
+    }
+
+    #[test]
+    fn lut_matches_encode_terms_for_all_significands_and_encodings() {
+        // The PE fast path replaces per-set `encode_terms` calls with table
+        // indexing; this pins every entry of both tables to the computed
+        // encoding, so the two can never drift.
+        for m in 0u16..=255 {
+            for enc in [Encoding::Canonical, Encoding::RawBits] {
+                assert_eq!(
+                    *lut_terms(m as u8, enc),
+                    encode_terms(m as u8, enc),
+                    "LUT entry differs from encode_terms for {m:#010b} under {enc:?}"
+                );
+                assert_eq!(
+                    term_table(enc)[m as usize],
+                    encode_terms(m as u8, enc),
+                    "table entry differs for {m:#010b} under {enc:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lut_zero_entry_is_empty() {
+        assert!(lut_terms(0, Encoding::Canonical).is_empty());
+        assert!(lut_terms(0, Encoding::RawBits).is_empty());
     }
 
     #[test]
