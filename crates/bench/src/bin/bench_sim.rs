@@ -1,9 +1,11 @@
 //! Machine-readable simulator benchmark: times the fixed synthetic trace
 //! at 1 thread and at the machine's core count, the many-small-ops trace
 //! under both scheduling modes, a disk-backed trace streamed vs fully
-//! loaded (`fpraker/stream_*`), and the trace-simulation service cold vs
-//! cached (`serve/*`), and writes `BENCH_sim.json` so future PRs have a
-//! wall-clock trajectory to regress against.
+//! loaded (`fpraker/stream_*`), the trace-simulation service cold vs
+//! cached (`serve/*`), and the shard coordinator fanning an indexed
+//! trace across 1/2/4 loopback workers (`shard/*`), and writes
+//! `BENCH_sim.json` so future PRs have a wall-clock trajectory to
+//! regress against.
 //!
 //! Usage: `cargo run --release -p fpraker-bench --bin bench_sim [out.json]`
 //! (default output path: `BENCH_sim.json` in the current directory).
@@ -73,6 +75,13 @@ fn main() {
         b.serve_cache_speedup(),
         b.serve_cache_hits
     );
+    println!(
+        "sharded service ({} shards at 4 workers): 2 workers {:.2}x, 4 workers {:.2}x over one worker; merge fold costs {:.4}x of a 1-worker run",
+        b.shard_shards,
+        b.shard_scaling_2(),
+        b.shard_scaling_4(),
+        b.shard_merge_overhead()
+    );
 
     let mut json = String::from("{\n");
     writeln!(json, "  \"benchmark\": \"fpraker_sim synthetic trace\",").unwrap();
@@ -132,6 +141,16 @@ fn main() {
     )
     .unwrap();
     writeln!(json, "  \"serve_cache_hits\": {},", b.serve_cache_hits).unwrap();
+    writeln!(json, "  \"shard_trace_macs\": {},", b.shard_trace_macs).unwrap();
+    writeln!(json, "  \"shard_shards\": {},", b.shard_shards).unwrap();
+    writeln!(json, "  \"shard_scaling_2\": {:.4},", b.shard_scaling_2()).unwrap();
+    writeln!(json, "  \"shard_scaling_4\": {:.4},", b.shard_scaling_4()).unwrap();
+    writeln!(
+        json,
+        "  \"shard_merge_overhead\": {:.4},",
+        b.shard_merge_overhead()
+    )
+    .unwrap();
     writeln!(json, "  \"pe_sets\": {},", b.pe_sets).unwrap();
     writeln!(json, "  \"pe_set_speedup\": {:.4},", b.pe_set_speedup()).unwrap();
     writeln!(
@@ -162,6 +181,10 @@ fn main() {
         &b.capture_streamed,
         &b.serve_cold,
         &b.serve_cached,
+        &b.shard_workers_1,
+        &b.shard_workers_2,
+        &b.shard_workers_4,
+        &b.shard_merge,
     ]
     .iter()
     .map(|m| json_entry(m))

@@ -6,7 +6,10 @@
 //! Includes the `serve/*` service measurements: jobs submitted to an
 //! in-process `fpraker-serve` server over loopback TCP, cold (distinct
 //! trace per job: upload + simulate) vs cached (same trace: a
-//! content-addressed hit answered without upload or simulation).
+//! content-addressed hit answered without upload or simulation). The
+//! `shard/*` measurements fan an indexed trace across 1/2/4 loopback
+//! workers through the shard coordinator and time the ordered merge
+//! fold on its own.
 //!
 //! Set `FPRAKER_BENCH_SMOKE=1` to shrink the disk-backed streaming and
 //! service benchmarks to tiny traces — CI uses this so the full round
@@ -15,13 +18,17 @@
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use fpraker_core::{Pe, PeConfig, Tile, TileConfig};
 use fpraker_dnn::{models, Engine as DnnEngine, FileTraceSink};
+use fpraker_energy::EnergyModel;
 use fpraker_num::encode::{encode_terms, lut_terms, Encoding};
 use fpraker_num::reference::SplitMix64;
 use fpraker_num::Bf16;
-use fpraker_serve::{Client, Server, ServerConfig};
+use fpraker_serve::protocol::{decode_result, encode_result};
+use fpraker_serve::shard::merge_job_results;
+use fpraker_serve::{Client, Server, ServerConfig, ShardCoordinator, ShardPlan};
 use fpraker_sim::{simulate_op, AcceleratorConfig, Engine, FpRakerMachine, Machine};
 use fpraker_trace::{codec, IndexedTraceFile};
 
@@ -101,6 +108,22 @@ pub struct SimulatorBench {
     pub serve_trace_macs: u64,
     /// Cache hits the server recorded across the serve measurements.
     pub serve_cache_hits: u64,
+    /// An indexed trace fanned by the shard coordinator across 1 loopback
+    /// worker (a single whole-trace shard — the distributed baseline every
+    /// scaling ratio divides by).
+    pub shard_workers_1: Measurement,
+    /// The same fan-out across 2 single-job workers (segment-grouped
+    /// range shards, merged in global op order).
+    pub shard_workers_2: Measurement,
+    /// The same fan-out across 4 single-job workers.
+    pub shard_workers_4: Measurement,
+    /// The ordered merge fold alone, on pre-simulated wire-format
+    /// partials (no sockets, no simulation).
+    pub shard_merge: Measurement,
+    /// MACs per sharded job.
+    pub shard_trace_macs: u64,
+    /// Shards the 4-worker plan carved the trace into.
+    pub shard_shards: usize,
     /// Sets per iteration of the PE hot-loop measurements.
     pub pe_sets: u64,
     /// The PE hot loop on the LUT/SoA fast path: `pe_sets` fixed random
@@ -168,6 +191,25 @@ impl SimulatorBench {
     /// How much faster a cache hit is than a cold submission (medians).
     pub fn serve_cache_speedup(&self) -> f64 {
         self.serve_cold.median_ns as f64 / self.serve_cached.median_ns.max(1) as f64
+    }
+
+    /// Sharded-run wall-clock speedup of 2 workers over the 1-worker
+    /// whole-trace shard (medians).
+    pub fn shard_scaling_2(&self) -> f64 {
+        self.shard_workers_1.median_ns as f64 / self.shard_workers_2.median_ns.max(1) as f64
+    }
+
+    /// Sharded-run wall-clock speedup of 4 workers over the 1-worker
+    /// whole-trace shard (medians).
+    pub fn shard_scaling_4(&self) -> f64 {
+        self.shard_workers_1.median_ns as f64 / self.shard_workers_4.median_ns.max(1) as f64
+    }
+
+    /// The ordered merge fold as a fraction of a whole 1-worker sharded
+    /// run (medians) — how much of the distributed round trip the
+    /// coordinator's own bookkeeping costs.
+    pub fn shard_merge_overhead(&self) -> f64 {
+        self.shard_merge.median_ns as f64 / self.shard_workers_1.median_ns.max(1) as f64
     }
 
     /// PE hot-loop speedup of the fast path over the scalar reference
@@ -513,6 +555,97 @@ pub fn simulator_measurements(iters: u32) -> SimulatorBench {
     let serve_cache_hits = server.cache_stats().hits;
     server.shutdown();
 
+    // Shard benchmark: the coordinator `fpraker-shard` wraps, fanning an
+    // indexed trace across 1/2/4 single-job loopback workers. Every
+    // iteration plans and submits a distinct trace (seed varies) against
+    // fresh-cache servers, so each timed run is the distributed cold path
+    // end to end: partition, range submission, upload, simulation, and
+    // the ordered merge. `shard/merge` then times the merge fold alone on
+    // pre-simulated wire-format partials, isolating the coordinator's own
+    // bookkeeping from the simulation it orchestrates.
+    let shard_ops: u32 = if smoke_mode() { 8 } else { 24 };
+    let shard_spec = |seed: u64| SyntheticTraceSpec {
+        model: format!("shard-bench-{seed}"),
+        ops: shard_ops,
+        m: 16,
+        n: 16,
+        k: 32,
+        zero_fraction: 0.4,
+        seed,
+    };
+    let shard_trace_macs = shard_spec(0).macs();
+    let shard_stride = (shard_ops / 4).max(1);
+    // One distinct indexed trace per call (timed and warm-up alike) per
+    // worker count, so no sharded run ever hits a warm cache.
+    let shard_variants: Vec<Arc<[u8]>> = (0..3 * (u64::from(iters) + 1))
+        .map(|i| {
+            let mut bytes = Vec::new();
+            shard_spec(0x5AAD + i)
+                .write_indexed_to(&mut bytes, shard_stride)
+                .expect("encode shard bench trace");
+            Arc::from(bytes)
+        })
+        .collect();
+    let mut next_shard = 0usize;
+    let mut run_shards = |workers: usize| -> (Measurement, usize) {
+        let servers: Vec<Server> = (0..workers)
+            .map(|_| {
+                Server::start(ServerConfig {
+                    jobs: 1,
+                    threads_per_job: 1,
+                    ..ServerConfig::default()
+                })
+                .expect("bind loopback for the shard bench")
+            })
+            .collect();
+        let coord =
+            ShardCoordinator::new(servers.iter().map(|s| s.local_addr().to_string()).collect());
+        let mut shards_used = 0usize;
+        let m = bench(
+            &format!("shard/workers_{workers}"),
+            iters,
+            Some(shard_trace_macs),
+            || {
+                let plan = ShardPlan::from_bytes(shard_variants[next_shard].clone(), workers)
+                    .expect("plan shard bench trace");
+                next_shard += 1;
+                let run = coord.run(&plan, "fpraker").expect("sharded bench run");
+                assert!(
+                    run.shards.iter().all(|o| !o.cached),
+                    "cold sharded runs must simulate"
+                );
+                shards_used = run.shards.len();
+                run
+            },
+        );
+        for s in servers {
+            s.shutdown();
+        }
+        (m, shards_used)
+    };
+    let (shard_workers_1, _) = run_shards(1);
+    let (shard_workers_2, _) = run_shards(2);
+    let (shard_workers_4, shard_shards) = run_shards(4);
+
+    // Pre-simulate one trace's 4-way shards into the exact wire partials
+    // a worker would return, then time the merge fold alone.
+    let merge_plan =
+        ShardPlan::from_bytes(shard_variants[0].clone(), 4).expect("plan merge bench trace");
+    let energy_model = EnergyModel::paper();
+    let merge_partials: Vec<_> = (0..merge_plan.ranges().len())
+        .map(|i| {
+            let bytes = merge_plan.extract(i).expect("extract merge bench shard");
+            let trace = codec::decode(&bytes).expect("decode merge bench shard");
+            let run = Engine::with_threads(1).run(Machine::FpRaker, &trace, &cfg);
+            let payload = encode_result("fpraker", &run, trace.ops.len() as u64, &energy_model);
+            let partial = decode_result(&payload).expect("decode merge bench partial");
+            (u64::from(merge_plan.ranges()[i].first_op), partial)
+        })
+        .collect();
+    let shard_merge = bench("shard/merge", iters, Some(u64::from(shard_ops)), || {
+        merge_job_results(merge_partials.iter().cloned()).expect("merge bench partials")
+    });
+
     SimulatorBench {
         threads,
         macs,
@@ -540,6 +673,12 @@ pub fn simulator_measurements(iters: u32) -> SimulatorBench {
         serve_cached,
         serve_trace_macs,
         serve_cache_hits,
+        shard_workers_1,
+        shard_workers_2,
+        shard_workers_4,
+        shard_merge,
+        shard_trace_macs,
+        shard_shards,
         pe_sets,
         pe_set,
         pe_set_scalar,
@@ -610,6 +749,19 @@ mod tests {
         assert!(b.serve_cache_hits >= 1);
         assert!(b.serve_cache_speedup() > 0.0);
         assert_eq!(b.serve_cold.elements, Some(b.serve_trace_macs));
+        // Shard entries: the coordinator fanned real cold jobs at every
+        // worker count, the 4-worker plan actually split the trace, and
+        // the scaling/merge ratios are well-formed.
+        assert_eq!(b.shard_workers_1.name, "shard/workers_1");
+        assert_eq!(b.shard_workers_2.name, "shard/workers_2");
+        assert_eq!(b.shard_workers_4.name, "shard/workers_4");
+        assert_eq!(b.shard_merge.name, "shard/merge");
+        assert_eq!(b.shard_workers_1.elements, Some(b.shard_trace_macs));
+        assert_eq!(b.shard_workers_1.elements, b.shard_workers_4.elements);
+        assert!(b.shard_shards > 1, "4-worker plan must split the trace");
+        assert!(b.shard_scaling_2() > 0.0);
+        assert!(b.shard_scaling_4() > 0.0);
+        assert!(b.shard_merge_overhead() > 0.0);
         // PE micro-bench entries: both datapaths ran the same work, the
         // encode pair processed the same count, and the speedup ratios are
         // well-formed.

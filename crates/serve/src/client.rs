@@ -21,8 +21,8 @@ use fpraker_trace::digest::Fnv64;
 use fpraker_trace::{codec, Trace};
 
 use crate::protocol::{
-    self, read_frame, tag, write_frame, JobResult, ServeError, ServerStats, StatsSubmit, Submit,
-    TraceStatsReport, TRACE_CHUNK,
+    self, read_frame, tag, write_frame, JobResult, RangeSubmit, ServeError, ServerStats,
+    StatsSubmit, Submit, TraceStatsReport, TRACE_CHUNK,
 };
 
 /// A server response: the job's result plus whether it was served from the
@@ -214,6 +214,61 @@ impl Client {
                 }))
             }
             other => Err(failure_response(other, payload)),
+        }
+    }
+
+    /// Submits a **segment-range job**: `bytes` is a self-contained
+    /// sub-trace (a fresh header plus a raw op byte-range, as produced by
+    /// `fpraker_trace::codec::IndexedReader::extract_range`) covering the
+    /// global ops `first_op .. first_op + ops` of a sharded run. The
+    /// server re-checks the op count against the declaration; the result
+    /// is cached by content digest exactly like [`Client::submit_encoded`],
+    /// so re-submitting the same shard — a retry after a worker failure,
+    /// or a racing duplicate — is a warm cache hit.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::submit_trace`].
+    pub fn submit_range_encoded(
+        &self,
+        bytes: &[u8],
+        spec: &str,
+        first_op: u64,
+        ops: u64,
+    ) -> Result<JobResponse, ServeError> {
+        if u16::try_from(spec.len()).is_err() {
+            return Err(ServeError::Protocol(format!(
+                "machine spec of {} bytes exceeds the u16 length prefix",
+                spec.len()
+            )));
+        }
+        let mut stream = self.open()?;
+        let submit = RangeSubmit {
+            spec: spec.to_string(),
+            digest: Fnv64::digest_of(bytes),
+            trace_bytes: bytes.len() as u64,
+            first_op,
+            ops,
+        };
+        write_frame(&mut stream, tag::SUBMIT_RANGE, &submit.encode())?;
+        stream.flush()?;
+        match self.read_response(&mut stream)? {
+            Response::Result(r) => Ok(r),
+            Response::NeedTrace => {
+                if let Err(e) = self.upload(&mut stream, &mut &bytes[..]) {
+                    return match self.read_response(&mut stream) {
+                        Ok(Response::Result(r)) => Ok(r),
+                        Err(remote @ ServeError::Remote(_)) => Err(remote),
+                        _ => Err(e),
+                    };
+                }
+                match self.read_response(&mut stream)? {
+                    Response::Result(r) => Ok(r),
+                    Response::NeedTrace => Err(ServeError::Protocol(
+                        "server asked for the trace twice".into(),
+                    )),
+                }
+            }
         }
     }
 

@@ -22,6 +22,10 @@
 //!   workers, whatever the client count.
 //! * [`client`] — the client library the `fpraker-submit` binary (and the
 //!   benches and tests) are built on.
+//! * [`shard`] — the distributed shard coordinator: partition an indexed
+//!   trace into segment-range jobs, fan them across many workers with
+//!   retry and re-assignment, and merge the partial results in global op
+//!   order bit-identically to a single-machine run.
 //!
 //! Machine specs are names (`"fpraker"`, `"baseline"`, `"pragmatic"`)
 //! resolved through the [`fpraker_sim::resolve_machine`] registry, so the
@@ -45,10 +49,11 @@
 //! server.shutdown();
 //! ```
 //!
-//! The binaries are the same pieces as a daemon/CLI pair: `fpraker-served`
+//! The binaries are the same pieces as a daemon/CLI trio: `fpraker-served`
 //! hosts a [`Server`]; `fpraker-submit` drives a [`Client`] at a trace
 //! file, optionally verifying the response against a local
-//! [`fpraker_sim::Engine::run`].
+//! [`fpraker_sim::Engine::run`]; `fpraker-shard` drives a
+//! [`ShardCoordinator`] at an indexed trace and a worker list.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -57,6 +62,7 @@ pub mod cache;
 pub mod client;
 pub mod protocol;
 pub mod server;
+pub mod shard;
 
 pub use cache::{CacheKey, CacheStats, ResultCache};
 pub use client::{Client, JobResponse, StatsResponse};
@@ -64,3 +70,4 @@ pub use protocol::{
     JobResult, KindStats, OpReport, PhaseStats, ServeError, ServerStats, TraceStatsReport,
 };
 pub use server::{Server, ServerConfig};
+pub use shard::{ShardCoordinator, ShardError, ShardOutcome, ShardPlan, ShardRange, ShardedRun};

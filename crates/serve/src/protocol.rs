@@ -35,15 +35,18 @@ use std::fmt;
 use std::io;
 use std::io::{Read, Write};
 
-use fpraker_energy::EnergyModel;
+use fpraker_energy::{EnergyModel, EventCounts};
 use fpraker_sim::{Machine, RunResult};
 use fpraker_trace::{DecodeError, Phase};
 
 /// Magic bytes opening every [`tag::SUBMIT`]/[`tag::STATS`] payload, so
 /// the server can reject non-protocol traffic with a clear error.
 pub const PROTOCOL_MAGIC: &[u8; 4] = b"FPRS";
-/// Wire protocol version.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Wire protocol version. Version 2 added the segment-range submit
+/// ([`tag::SUBMIT_RANGE`]) and per-op [`EventCounts`] in result payloads
+/// (what lets a shard coordinator re-derive total energy from integer
+/// sums instead of adding per-shard floats).
+pub const PROTOCOL_VERSION: u8 = 2;
 /// Hard cap on a single frame's payload (4 MiB). Larger uploads are
 /// chunked; a length prefix above this is a protocol error, mirroring the
 /// trace codec's bounded-allocation discipline.
@@ -67,6 +70,14 @@ pub mod tag {
     /// the server folds `fpraker_trace::stats::TraceStatistics` over the
     /// stream instead of simulating it.
     pub const SUBMIT_STATS: u8 = 0x05;
+    /// Client→server: segment-range job submission — the upload handshake
+    /// of [`SUBMIT`], but the payload the client streams is a
+    /// self-contained **sub-trace** (a fresh header plus a raw byte-range
+    /// of ops extracted from an indexed trace), and the header declares
+    /// which global op range it covers so the server can cross-check the
+    /// decoded op count. Cache-keyed by content digest exactly like
+    /// [`SUBMIT`], so a retried shard is a warm cache hit.
+    pub const SUBMIT_RANGE: u8 = 0x06;
     /// Server→client: cache miss — stream the trace now (empty payload).
     pub const NEED_TRACE: u8 = 0x81;
     /// Server→client: the job's result payload, prefixed by a cached flag.
@@ -206,6 +217,72 @@ impl Submit {
             spec,
             digest,
             trace_bytes,
+        })
+    }
+}
+
+/// A parsed [`tag::SUBMIT_RANGE`] payload: a [`Submit`] plus the global
+/// op range the uploaded sub-trace covers. The range does not enter the
+/// cache key (content digest + spec already identify the work — identical
+/// shard bytes share a cache entry wherever they sit in a trace); it lets
+/// the server cross-check that the sub-trace really carries `ops` ops and
+/// lets the coordinator label the partial result for the ordered merge.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RangeSubmit {
+    /// Machine spec name, resolved through `fpraker_sim::resolve_machine`.
+    pub spec: String,
+    /// FNV-1a content digest of the **sub-trace's** encoded bytes.
+    pub digest: u64,
+    /// Exact length of the encoded sub-trace in bytes.
+    pub trace_bytes: u64,
+    /// Global index of the first op in the range.
+    pub first_op: u64,
+    /// Number of ops in the range.
+    pub ops: u64,
+}
+
+impl RangeSubmit {
+    /// Serializes the submission header.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec name exceeds the u16 length prefix, like
+    /// [`Submit::encode`].
+    pub fn encode(&self) -> Vec<u8> {
+        u16::try_from(self.spec.len()).expect("spec name exceeds the u16 length prefix");
+        let mut out = Vec::with_capacity(4 + 1 + 8 + 8 + 8 + 8 + 2 + self.spec.len());
+        out.extend_from_slice(PROTOCOL_MAGIC);
+        out.push(PROTOCOL_VERSION);
+        out.extend_from_slice(&self.digest.to_le_bytes());
+        out.extend_from_slice(&self.trace_bytes.to_le_bytes());
+        out.extend_from_slice(&self.first_op.to_le_bytes());
+        out.extend_from_slice(&self.ops.to_le_bytes());
+        out.extend_from_slice(&(self.spec.len() as u16).to_le_bytes());
+        out.extend_from_slice(self.spec.as_bytes());
+        out
+    }
+
+    /// Parses a submission header, validating magic and version.
+    ///
+    /// # Errors
+    ///
+    /// `Protocol` on bad magic, unsupported version, or a malformed
+    /// payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, ServeError> {
+        let mut c = Cursor::new(payload);
+        check_preamble(&mut c)?;
+        let digest = c.u64()?;
+        let trace_bytes = c.u64()?;
+        let first_op = c.u64()?;
+        let ops = c.u64()?;
+        let spec = c.string()?;
+        c.finish()?;
+        Ok(RangeSubmit {
+            spec,
+            digest,
+            trace_bytes,
+            first_op,
+            ops,
         })
     }
 }
@@ -555,6 +632,14 @@ pub struct OpReport {
     pub macs: u64,
     /// Energy of the op in picojoules under the paper's Table III model.
     pub energy_pj: f64,
+    /// Golden-check failures in the op (0 when checking is off).
+    pub golden_failures: u64,
+    /// Raw integer event counts of the op. Carrying these on the wire is
+    /// what makes partial results mergeable bit-exactly: a coordinator
+    /// sums them (integer addition is associative, f64 addition is not)
+    /// and applies the energy model once, reproducing the single-machine
+    /// total to the last mantissa bit.
+    pub counts: EventCounts,
 }
 
 /// A whole job's result as reported to clients: run summary plus per-op
@@ -616,7 +701,7 @@ pub fn encode_result(
         Machine::FpRaker => model.fpraker_energy(counts).total_pj(),
         Machine::Baseline => model.baseline_energy(counts).total_pj(),
     };
-    let mut out = Vec::with_capacity(64 + run.ops.len() * 33);
+    let mut out = Vec::with_capacity(64 + run.ops.len() * 105);
     out.extend_from_slice(&(spec.len() as u16).to_le_bytes());
     out.extend_from_slice(spec.as_bytes());
     out.extend_from_slice(&run.cycles().to_le_bytes());
@@ -633,6 +718,19 @@ pub fn encode_result(
         out.extend_from_slice(&op.compute_cycles.to_le_bytes());
         out.extend_from_slice(&op.macs.to_le_bytes());
         out.extend_from_slice(&energy(&op.counts).to_bits().to_le_bytes());
+        out.extend_from_slice(&op.golden_failures.to_le_bytes());
+        for v in [
+            op.counts.terms,
+            op.counts.pe_active_cycles,
+            op.counts.pe_stall_cycles,
+            op.counts.sets,
+            op.counts.a_values_encoded,
+            op.counts.baseline_pe_cycles,
+            op.counts.sram_bytes,
+            op.counts.dram_bytes,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
     }
     out
 }
@@ -660,6 +758,17 @@ pub fn decode_result(payload: &[u8]) -> Result<JobResult, ServeError> {
             compute_cycles: c.u64()?,
             macs: c.u64()?,
             energy_pj: f64::from_bits(c.u64()?),
+            golden_failures: c.u64()?,
+            counts: EventCounts {
+                terms: c.u64()?,
+                pe_active_cycles: c.u64()?,
+                pe_stall_cycles: c.u64()?,
+                sets: c.u64()?,
+                a_values_encoded: c.u64()?,
+                baseline_pe_cycles: c.u64()?,
+                sram_bytes: c.u64()?,
+                dram_bytes: c.u64()?,
+            },
         });
     }
     c.finish()?;
@@ -767,6 +876,62 @@ mod tests {
         enc[0] = b'X';
         assert!(Submit::decode(&enc).is_err());
         assert!(Submit::decode(&s.encode()[..5]).is_err());
+    }
+
+    #[test]
+    fn range_submit_round_trips_and_rejects_corruption() {
+        let s = RangeSubmit {
+            spec: "fpraker".into(),
+            digest: 0x1234_5678_9ABC_DEF0,
+            trace_bytes: 4096,
+            first_op: 17,
+            ops: 5,
+        };
+        let mut enc = s.encode();
+        assert_eq!(RangeSubmit::decode(&enc).unwrap(), s);
+        enc[0] = b'X';
+        assert!(RangeSubmit::decode(&enc).is_err());
+        assert!(RangeSubmit::decode(&s.encode()[..20]).is_err());
+        // A plain Submit payload is shorter and must not parse as a range.
+        let plain = Submit {
+            spec: "fpraker".into(),
+            digest: 1,
+            trace_bytes: 2,
+        };
+        assert!(RangeSubmit::decode(&plain.encode()).is_err());
+    }
+
+    #[test]
+    fn result_payload_carries_per_op_event_counts() {
+        use fpraker_num::Bf16;
+        use fpraker_sim::{AcceleratorConfig, Engine, Machine};
+        use fpraker_trace::{TensorKind, Trace, TraceOp};
+
+        let mut tr = Trace::new("m", 0);
+        tr.ops.push(TraceOp {
+            layer: "l0".into(),
+            phase: Phase::AxW,
+            m: 4,
+            n: 4,
+            k: 8,
+            a: (0..32).map(|i| Bf16::from_f32(i as f32 * 0.5)).collect(),
+            b: (0..32)
+                .map(|i| Bf16::from_f32(1.0 / (i + 1) as f32))
+                .collect(),
+            a_kind: TensorKind::Activation,
+            b_kind: TensorKind::Weight,
+            a_dup: 1.0,
+            b_dup: 1.0,
+            out_dup: 1.0,
+        });
+        let run =
+            Engine::with_threads(1).run(Machine::FpRaker, &tr, &AcceleratorConfig::fpraker_paper());
+        let payload = encode_result("fpraker", &run, 1, &EnergyModel::paper());
+        let parsed = decode_result(&payload).unwrap();
+        assert_eq!(parsed.ops.len(), 1);
+        assert_eq!(parsed.ops[0].counts, run.ops[0].counts);
+        assert_eq!(parsed.ops[0].golden_failures, run.ops[0].golden_failures);
+        assert!(parsed.ops[0].counts.terms > 0, "non-trivial op has terms");
     }
 
     #[test]

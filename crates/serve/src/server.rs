@@ -36,7 +36,7 @@ use fpraker_trace::TraceSource;
 
 use crate::cache::{CacheKey, CacheStats, ResultCache};
 use crate::protocol::{
-    self, read_frame, tag, write_frame, ServeError, ServerStats, StatsSubmit, Submit,
+    self, read_frame, tag, write_frame, RangeSubmit, ServeError, ServerStats, StatsSubmit, Submit,
     TraceStatsReport, MAX_FRAME_LEN,
 };
 
@@ -298,6 +298,22 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) -> Result<(), Serve
                 }
             }
         }
+        tag::SUBMIT_RANGE => {
+            let submit = match RangeSubmit::decode(&payload) {
+                Ok(s) => s,
+                Err(e) => {
+                    send_error(&mut stream, &e.to_string());
+                    return Err(e);
+                }
+            };
+            match handle_range_job(&mut stream, shared, &submit) {
+                Ok(()) => Ok(()),
+                Err(e) => {
+                    send_error(&mut stream, &e.to_string());
+                    Err(e)
+                }
+            }
+        }
         tag::SUBMIT_STATS => {
             let submit = match StatsSubmit::decode(&payload) {
                 Ok(s) => s,
@@ -462,6 +478,54 @@ fn handle_job(stream: &mut TcpStream, shared: &Shared, submit: &Submit) -> Resul
         submit.digest,
         |source| {
             let run = shared.engine.run_source(machine, source, &cfg)?;
+            Ok(protocol::encode_result(
+                &spec,
+                &run.result,
+                run.peak_resident_ops as u64,
+                &shared.energy,
+            ))
+        },
+    )
+}
+
+/// A segment-range job: identical to [`handle_job`] — same cache, same
+/// streaming decode, same deterministic payload — except the upload is a
+/// self-contained sub-trace of a sharded run, so the server additionally
+/// cross-checks that it decodes to exactly the declared op count (a
+/// coordinator that mislabels a shard gets an error, not a silently
+/// misaligned merge). The range itself stays out of the cache key:
+/// identical shard bytes are the same work wherever they sit.
+fn handle_range_job(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    submit: &RangeSubmit,
+) -> Result<(), ServeError> {
+    let Some((machine, cfg)) = resolve_machine(&submit.spec) else {
+        return Err(ServeError::Protocol(format!(
+            "unknown machine spec {:?} (known: {})",
+            submit.spec,
+            fpraker_sim::machine_names().join(", ")
+        )));
+    };
+    let key = CacheKey::new(submit.digest, &submit.spec);
+    let spec = key.spec.clone();
+    let declared_ops = submit.ops;
+    serve_content_job(
+        stream,
+        shared,
+        key,
+        tag::RESULT,
+        submit.trace_bytes,
+        submit.digest,
+        |source| {
+            let run = shared.engine.run_source(machine, source, &cfg)?;
+            if run.result.ops.len() as u64 != declared_ops {
+                return Err(ServeError::Protocol(format!(
+                    "range submission declared {declared_ops} ops but the \
+                     sub-trace carries {}",
+                    run.result.ops.len()
+                )));
+            }
             Ok(protocol::encode_result(
                 &spec,
                 &run.result,

@@ -84,6 +84,8 @@ fn assert_matches_local(result: &fpraker_serve::JobResult, local: &RunResult, sp
         assert_eq!(served.compute_cycles, ours.compute_cycles);
         assert_eq!(served.macs, ours.macs);
         assert_eq!(served.energy_pj.to_bits(), energy(&ours.counts).to_bits());
+        assert_eq!(served.golden_failures, ours.golden_failures);
+        assert_eq!(served.counts, ours.counts);
     }
 }
 

@@ -88,5 +88,5 @@ pub use op::{pe_dot_with_reference, simulate_op, OpOutcome};
 pub use registry::{machine_names, resolve_machine, MachineSpec, MACHINE_SPECS};
 pub use run::{
     energy_efficiency, simulate_trace_baseline, simulate_trace_fpraker, speedup, Machine,
-    RunResult, StreamRun,
+    MergeError, RunResult, StreamRun,
 };

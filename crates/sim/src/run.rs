@@ -126,7 +126,98 @@ impl RunResult {
     pub fn golden_failures(&self) -> u64 {
         self.ops.iter().map(|o| o.golden_failures).sum()
     }
+
+    /// Folds partial runs of disjoint, contiguous op ranges back into the
+    /// whole-trace result — the merge half of distributed sharding.
+    ///
+    /// Each partial is `(first_op, result)`: the result of simulating the
+    /// ops starting at global index `first_op`. Because per-op simulation
+    /// is independent and every [`RunResult`] aggregate is a deterministic
+    /// fold over `ops` in order, re-assembling the outcomes in global op
+    /// order reproduces the single-machine run **bit-identically** —
+    /// including energy, which is derived from the integer
+    /// [`EventCounts`] sum, never from adding per-partial floats (f64
+    /// addition is not associative; integer addition is).
+    ///
+    /// Partials may arrive in any order; they are sorted by `first_op`
+    /// here. The ranges must tile `0..total` exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`MergeError`] if no partials are given, the machines disagree, or
+    /// the ranges overlap or leave a gap.
+    pub fn merge_partials(
+        partials: impl IntoIterator<Item = (u64, RunResult)>,
+    ) -> Result<RunResult, MergeError> {
+        let mut parts: Vec<(u64, RunResult)> = partials.into_iter().collect();
+        parts.sort_by_key(|(first, _)| *first);
+        let (_, head) = parts.first().ok_or(MergeError::Empty)?;
+        let machine = head.machine;
+        let mut ops = Vec::with_capacity(parts.iter().map(|(_, p)| p.ops.len()).sum());
+        let mut next = 0u64;
+        for (first, part) in parts {
+            if part.machine != machine {
+                return Err(MergeError::MachineMismatch {
+                    expected: machine,
+                    found: part.machine,
+                });
+            }
+            if first != next {
+                return Err(MergeError::NotContiguous {
+                    expected: next,
+                    found: first,
+                });
+            }
+            next += part.ops.len() as u64;
+            ops.extend(part.ops);
+        }
+        Ok(RunResult { machine, ops })
+    }
 }
+
+/// Why a set of partial runs cannot be folded into one
+/// (see [`RunResult::merge_partials`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MergeError {
+    /// No partials were given — there is no machine to attribute, so an
+    /// empty merge is ambiguous rather than an empty run.
+    Empty,
+    /// Two partials simulated different machines; their outcomes are not
+    /// comparable, let alone concatenable.
+    MachineMismatch {
+        /// Machine of the first (lowest-`first_op`) partial.
+        expected: Machine,
+        /// The disagreeing partial's machine.
+        found: Machine,
+    },
+    /// Sorted by `first_op`, a partial does not start exactly where the
+    /// previous one ended: the ranges overlap or leave a gap, so the
+    /// merged result would silently diverge from the unsharded run.
+    NotContiguous {
+        /// Where the next partial had to start.
+        expected: u64,
+        /// Where it actually started.
+        found: u64,
+    },
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::Empty => write!(f, "no partial runs to merge"),
+            MergeError::MachineMismatch { expected, found } => {
+                write!(f, "partial runs mix machines: {expected:?} vs {found:?}")
+            }
+            MergeError::NotContiguous { expected, found } => write!(
+                f,
+                "partial runs are not contiguous: expected a partial starting \
+                 at op {expected}, found op {found} (overlap or gap)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
 
 /// The result of a streamed simulation ([`Engine::run_source`]): the
 /// ordinary [`RunResult`] plus what streaming adds — how much of the

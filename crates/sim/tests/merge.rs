@@ -1,0 +1,290 @@
+//! Partial-run fold determinism: `RunResult::merge_partials` over runs of
+//! disjoint contiguous sub-traces must reproduce the whole-trace
+//! `Engine::run` bit-identically — integer aggregates equal, energy equal
+//! to the last mantissa bit (it is derived from the summed integer event
+//! counts, never from adding per-partial floats) — in any completion
+//! order, for any partition, on either machine. This is the invariant the
+//! distributed shard coordinator's merge rests on.
+
+use fpraker_energy::EnergyModel;
+use fpraker_num::reference::SplitMix64;
+use fpraker_num::Bf16;
+use fpraker_sim::{AcceleratorConfig, Engine, Machine, MergeError, RunResult};
+use fpraker_trace::{Phase, TensorKind, Trace, TraceOp};
+use proptest::prelude::*;
+
+fn mixed_trace(count: usize, seed: u64) -> Trace {
+    let mut rng = SplitMix64::new(seed);
+    let mut tr = Trace::new("merge-test", 35);
+    let phases = [Phase::AxW, Phase::GxW, Phase::AxG];
+    for i in 0..count {
+        let (m, n, k) = (4 + (i % 3) * 8, 4 + (i % 2) * 4, 8);
+        let zero_pct = (i % 4) as f64 * 0.2;
+        let gen = |rng: &mut SplitMix64, count: usize| -> Vec<Bf16> {
+            (0..count)
+                .map(|_| {
+                    if rng.next_f64() < zero_pct {
+                        Bf16::ZERO
+                    } else {
+                        rng.bf16_in_range(4)
+                    }
+                })
+                .collect()
+        };
+        tr.ops.push(TraceOp {
+            layer: format!("l{i}"),
+            phase: phases[i % 3],
+            m,
+            n,
+            k,
+            a: gen(&mut rng, m * k),
+            b: gen(&mut rng, n * k),
+            a_kind: TensorKind::Activation,
+            b_kind: TensorKind::Weight,
+            a_dup: 1.0,
+            b_dup: 1.0,
+            out_dup: 1.0,
+        });
+    }
+    tr
+}
+
+/// The op range `[first, first + ops)` of `tr` as a standalone trace —
+/// what a shard worker would decode from a segment-range extract.
+fn sub_trace(tr: &Trace, first: usize, ops: usize) -> Trace {
+    let mut sub = Trace::new(&tr.model, tr.progress_pct);
+    sub.ops = tr.ops[first..first + ops].to_vec();
+    sub
+}
+
+/// Splits `0..total` at the given interior cut points into
+/// `(first_op, ops)` ranges.
+fn ranges_from_cuts(total: usize, cuts: &[usize]) -> Vec<(usize, usize)> {
+    let mut bounds = vec![0];
+    bounds.extend(cuts.iter().copied());
+    bounds.push(total);
+    bounds.windows(2).map(|w| (w[0], w[1] - w[0])).collect()
+}
+
+fn assert_bit_identical(merged: &RunResult, whole: &RunResult, what: &str) {
+    assert_eq!(merged.ops.len(), whole.ops.len(), "{what}: op count");
+    assert_eq!(merged.cycles(), whole.cycles(), "{what}: cycles");
+    assert_eq!(
+        merged.compute_cycles(),
+        whole.compute_cycles(),
+        "{what}: compute cycles"
+    );
+    assert_eq!(merged.macs(), whole.macs(), "{what}: macs");
+    assert_eq!(
+        merged.golden_failures(),
+        whole.golden_failures(),
+        "{what}: golden failures"
+    );
+    assert_eq!(merged.counts(), whole.counts(), "{what}: event counts");
+    assert_eq!(merged.stats(), whole.stats(), "{what}: exec stats");
+    let model = EnergyModel::paper();
+    assert_eq!(
+        merged.energy(&model).total_pj().to_bits(),
+        whole.energy(&model).total_pj().to_bits(),
+        "{what}: energy bits"
+    );
+    for (i, (m, w)) in merged.ops.iter().zip(&whole.ops).enumerate() {
+        assert_eq!(m.layer, w.layer, "{what} op{i}: layer");
+        assert_eq!(m.cycles, w.cycles, "{what} op{i}: cycles");
+        assert_eq!(m.counts, w.counts, "{what} op{i}: counts");
+    }
+}
+
+#[test]
+fn merged_sub_trace_runs_bit_equal_the_whole_run_on_both_machines() {
+    let tr = mixed_trace(12, 0x5EED);
+    for (machine, cfg) in [
+        (Machine::FpRaker, AcceleratorConfig::fpraker_paper()),
+        (Machine::Baseline, AcceleratorConfig::baseline_paper()),
+    ] {
+        let engine = Engine::with_threads(2);
+        let whole = engine.run(machine, &tr, &cfg);
+        for cuts in [vec![], vec![5], vec![3, 7], vec![1, 2, 3, 11]] {
+            let partials: Vec<(u64, RunResult)> = ranges_from_cuts(12, &cuts)
+                .into_iter()
+                .map(|(first, ops)| {
+                    (
+                        first as u64,
+                        engine.run(machine, &sub_trace(&tr, first, ops), &cfg),
+                    )
+                })
+                .collect();
+            let merged = RunResult::merge_partials(partials).expect("contiguous merge");
+            assert_bit_identical(&merged, &whole, &format!("{machine:?} cuts {cuts:?}"));
+        }
+    }
+}
+
+#[test]
+fn merge_accepts_partials_in_any_order() {
+    let tr = mixed_trace(9, 7);
+    let cfg = AcceleratorConfig::fpraker_paper();
+    let engine = Engine::with_threads(1);
+    let whole = engine.run(Machine::FpRaker, &tr, &cfg);
+    let mut partials: Vec<(u64, RunResult)> = ranges_from_cuts(9, &[2, 6])
+        .into_iter()
+        .map(|(first, ops)| {
+            (
+                first as u64,
+                engine.run(Machine::FpRaker, &sub_trace(&tr, first, ops), &cfg),
+            )
+        })
+        .collect();
+    partials.reverse();
+    partials.swap(0, 1);
+    let merged = RunResult::merge_partials(partials).expect("order must not matter");
+    assert_bit_identical(&merged, &whole, "reversed completion order");
+}
+
+#[test]
+fn merge_rejects_empty_gaps_overlaps_and_machine_mixes() {
+    let tr = mixed_trace(6, 1);
+    let cfg = AcceleratorConfig::fpraker_paper();
+    let engine = Engine::with_threads(1);
+    let run_range = |machine, first: usize, ops: usize| {
+        (
+            first as u64,
+            engine.run(machine, &sub_trace(&tr, first, ops), &cfg),
+        )
+    };
+
+    assert_eq!(
+        RunResult::merge_partials(Vec::new()).unwrap_err(),
+        MergeError::Empty
+    );
+
+    let gap = vec![
+        run_range(Machine::FpRaker, 0, 2),
+        run_range(Machine::FpRaker, 4, 2),
+    ];
+    assert_eq!(
+        RunResult::merge_partials(gap).unwrap_err(),
+        MergeError::NotContiguous {
+            expected: 2,
+            found: 4
+        }
+    );
+
+    let overlap = vec![
+        run_range(Machine::FpRaker, 0, 4),
+        run_range(Machine::FpRaker, 2, 4),
+    ];
+    assert_eq!(
+        RunResult::merge_partials(overlap).unwrap_err(),
+        MergeError::NotContiguous {
+            expected: 4,
+            found: 2
+        }
+    );
+
+    let mixed = vec![
+        run_range(Machine::FpRaker, 0, 3),
+        run_range(Machine::Baseline, 3, 3),
+    ];
+    assert_eq!(
+        RunResult::merge_partials(mixed).unwrap_err(),
+        MergeError::MachineMismatch {
+            expected: Machine::FpRaker,
+            found: Machine::Baseline
+        }
+    );
+
+    // A partial starting past 0 is itself non-contiguous.
+    let tail_only = vec![run_range(Machine::FpRaker, 2, 4)];
+    assert_eq!(
+        RunResult::merge_partials(tail_only).unwrap_err(),
+        MergeError::NotContiguous {
+            expected: 0,
+            found: 2
+        }
+    );
+}
+
+#[test]
+fn merging_one_partial_or_empty_ranges_is_exact() {
+    let tr = mixed_trace(5, 3);
+    let cfg = AcceleratorConfig::fpraker_paper();
+    let engine = Engine::with_threads(1);
+    let whole = engine.run(Machine::FpRaker, &tr, &cfg);
+
+    // Degenerate partition: one shard carrying everything.
+    let single = vec![(0u64, whole.clone())];
+    let merged = RunResult::merge_partials(single).expect("single partial");
+    assert_bit_identical(&merged, &whole, "single partial");
+
+    // Zero-op partials are legal fillers (an empty segment group).
+    let empty = Trace::new(&tr.model, tr.progress_pct);
+    let padded = vec![
+        (0u64, engine.run(Machine::FpRaker, &empty, &cfg)),
+        (0u64, whole.clone()),
+        (5u64, engine.run(Machine::FpRaker, &empty, &cfg)),
+    ];
+    let merged = RunResult::merge_partials(padded).expect("empty partials fold away");
+    assert_bit_identical(&merged, &whole, "zero-op partials");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random traces × random partitions × shuffled completion order: the
+    /// merged result always bit-equals the unsharded run. Partition width
+    /// sweeps 1..=count, covering the 1-worker (single shard) and
+    /// more-shards-than-ops extremes the coordinator also hits.
+    #[test]
+    fn merge_bit_equals_unsharded_for_random_partitions(
+        count in 2usize..10,
+        parts in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let tr = mixed_trace(count, seed);
+        let cfg = AcceleratorConfig::fpraker_paper();
+        let engine = Engine::with_threads(2);
+        let whole = engine.run(Machine::FpRaker, &tr, &cfg);
+
+        // Derive `parts - 1` random interior cut points from the seed.
+        let mut rng = SplitMix64::new(seed ^ 0xC07);
+        let mut cuts: Vec<usize> = (0..parts - 1)
+            .map(|_| 1 + (rng.next_u64() as usize) % (count - 1))
+            .collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+
+        let mut partials: Vec<(u64, RunResult)> = ranges_from_cuts(count, &cuts)
+            .into_iter()
+            .map(|(first, ops)| {
+                (
+                    first as u64,
+                    engine.run(Machine::FpRaker, &sub_trace(&tr, first, ops), &cfg),
+                )
+            })
+            .collect();
+
+        // Fisher–Yates with the same deterministic rng: completion order
+        // must not matter.
+        for i in (1..partials.len()).rev() {
+            let j = (rng.next_u64() as usize) % (i + 1);
+            partials.swap(i, j);
+        }
+
+        let merged = RunResult::merge_partials(partials).expect("contiguous merge");
+        prop_assert_eq!(merged.ops.len(), whole.ops.len());
+        prop_assert_eq!(merged.cycles(), whole.cycles());
+        prop_assert_eq!(merged.compute_cycles(), whole.compute_cycles());
+        prop_assert_eq!(merged.macs(), whole.macs());
+        prop_assert_eq!(merged.counts(), whole.counts());
+        let model = EnergyModel::paper();
+        prop_assert_eq!(
+            merged.energy(&model).total_pj().to_bits(),
+            whole.energy(&model).total_pj().to_bits()
+        );
+        for (m, w) in merged.ops.iter().zip(&whole.ops) {
+            prop_assert_eq!(m.cycles, w.cycles);
+            prop_assert_eq!(&m.counts, &w.counts);
+        }
+    }
+}

@@ -284,6 +284,23 @@ fn write_header<W: io::Write>(
     w.write_all(&ops.to_le_bytes())
 }
 
+/// Encodes a standalone stream header declaring `ops` upcoming ops — the
+/// building block of a **segment-range re-frame**: this header followed by
+/// the raw encoded bytes of any `ops` consecutive ops (see
+/// [`IndexedReader::extract_range`]) is itself a complete, valid trace
+/// stream. Distributed sharding uses exactly this to hand each worker a
+/// self-contained sub-trace without re-encoding a single op.
+///
+/// # Errors
+///
+/// Fails with [`io::ErrorKind::InvalidInput`] if `model` exceeds the u16
+/// length prefix.
+pub fn encode_header(model: &str, progress_pct: u32, ops: u32) -> io::Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(15 + model.len());
+    write_header(&mut out, model, progress_pct, ops)?;
+    Ok(out)
+}
+
 /// Encodes one op record — the single op serialization both writers share.
 fn encode_op<W: io::Write>(w: &mut W, op: &TraceOp) -> io::Result<()> {
     if let Err(e) = op.validate() {
@@ -908,6 +925,10 @@ pub struct IndexedReader<R: io::Read + io::Seek> {
     total_ops: u32,
     header_len: u64,
     index: Option<IndexFooter>,
+    /// Byte offset just past the last op when a valid footer pinned it
+    /// (the footer starts there); `None` without an index — the end of the
+    /// ops region is then only discoverable by decoding.
+    ops_end: Option<u64>,
     /// Index of the next op a sequential read yields.
     next_op: u32,
     /// Absolute byte offset of the next op.
@@ -936,8 +957,12 @@ impl<R: io::Read + io::Seek> IndexedReader<R> {
         let stream_len = r
             .seek(io::SeekFrom::End(0))
             .map_err(|e| DecodeError::at(0, format!("seek failed: {e}")))?;
-        let index = probe_footer(&mut r, stream_len, header_len, total_ops)
+        let probed = probe_footer(&mut r, stream_len, header_len, total_ops)
             .map_err(|e| DecodeError::at(stream_len, format!("io error probing footer: {e}")))?;
+        let (index, ops_end) = match probed {
+            Some((footer, footer_len)) => (Some(footer), Some(stream_len - footer_len)),
+            None => (None, None),
+        };
         r.seek(io::SeekFrom::Start(header_len))
             .map_err(|e| DecodeError::at(header_len, format!("seek failed: {e}")))?;
         Ok(IndexedReader {
@@ -947,6 +972,7 @@ impl<R: io::Read + io::Seek> IndexedReader<R> {
             total_ops,
             header_len,
             index,
+            ops_end,
             next_op: 0,
             offset: header_len,
         })
@@ -1064,6 +1090,93 @@ impl<R: io::Read + io::Seek> IndexedReader<R> {
         self.next_op
     }
 
+    /// Byte length of the stream header (the first op starts here).
+    pub fn header_len(&self) -> u64 {
+        self.header_len
+    }
+
+    /// The `[start, end)` byte range holding the encoded ops
+    /// `first_op .. first_op + ops`. With an index whose entries land on
+    /// the range's boundaries this is a pair of table lookups; otherwise
+    /// the in-between ops are decoded and discarded to find the offsets
+    /// (a lying index entry surfaces as a [`DecodeError`], never a wrong
+    /// range). The reader is left positioned at the end of the range.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] if the range is out of bounds or an op inside it
+    /// fails to decode.
+    pub fn byte_range_of(&mut self, first_op: u32, ops: u32) -> Result<(u64, u64), DecodeError> {
+        let past = first_op
+            .checked_add(ops)
+            .filter(|&end| end <= self.total_ops)
+            .ok_or_else(|| {
+                DecodeError::at(
+                    self.offset,
+                    format!(
+                        "range {first_op}+{ops} is past the {}-op trace",
+                        self.total_ops
+                    ),
+                )
+            })?;
+        self.seek_to_op(first_op)?;
+        let start = self.offset;
+        if past == self.total_ops {
+            if let Some(end) = self.ops_end {
+                return Ok((start, end));
+            }
+        }
+        self.seek_to_op(past)?;
+        Ok((start, self.offset))
+    }
+
+    /// **Segment-range extract**: writes a self-contained sub-trace —
+    /// a fresh header declaring exactly `ops` ops (same model and
+    /// progress), followed by the raw encoded bytes of ops
+    /// `first_op .. first_op + ops` copied verbatim from the stream — and
+    /// returns the number of bytes written. Decoding the output yields
+    /// exactly those ops, bit-identical to decoding them from the full
+    /// trace; this is how a shard coordinator frames one worker's slice
+    /// of an indexed trace without re-encoding any op.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] on an out-of-range request, an undecodable op at a
+    /// range boundary, or an I/O failure while copying.
+    pub fn extract_range<W: io::Write>(
+        &mut self,
+        first_op: u32,
+        ops: u32,
+        out: &mut W,
+    ) -> Result<u64, DecodeError> {
+        let (start, end) = self.byte_range_of(first_op, ops)?;
+        let header = encode_header(&self.model, self.progress_pct, ops)
+            .map_err(|e| DecodeError::at(0, format!("cannot encode sub-trace header: {e}")))?;
+        out.write_all(&header)
+            .map_err(|e| DecodeError::at(0, format!("write failed: {e}")))?;
+        self.r
+            .seek(io::SeekFrom::Start(start))
+            .map_err(|e| DecodeError::at(start, format!("seek failed: {e}")))?;
+        let mut remaining = end - start;
+        let mut chunk = [0u8; 16 * 1024];
+        let mut at = start;
+        while remaining > 0 {
+            let take = remaining.min(chunk.len() as u64) as usize;
+            self.r
+                .read_exact(&mut chunk[..take])
+                .map_err(|e| DecodeError::at(at, format!("read failed mid-range: {e}")))?;
+            out.write_all(&chunk[..take])
+                .map_err(|e| DecodeError::at(at, format!("write failed: {e}")))?;
+            at += take as u64;
+            remaining -= take as u64;
+        }
+        // The underlying handle moved; re-anchor the sequential cursor to
+        // the end of the range so later pulls stay consistent.
+        self.next_op = first_op + ops;
+        self.offset = end;
+        Ok(header.len() as u64 + (end - start))
+    }
+
     pub(crate) fn decode_next(&mut self) -> Result<Option<TraceOp>, DecodeError> {
         let mut inner = Reader::resume(&mut self.r, self.total_ops, self.next_op, self.offset);
         let op = inner.next_op()?;
@@ -1082,7 +1195,7 @@ fn probe_footer<R: io::Read + io::Seek>(
     stream_len: u64,
     header_len: u64,
     total_ops: u32,
-) -> io::Result<Option<IndexFooter>> {
+) -> io::Result<Option<(IndexFooter, u64)>> {
     if stream_len < header_len + 24 {
         return Ok(None);
     }
@@ -1127,7 +1240,7 @@ fn probe_footer<R: io::Read + io::Seek>(
     {
         return Ok(None);
     }
-    Ok(Some(footer))
+    Ok(Some((footer, footer_len)))
 }
 
 #[cfg(test)]
@@ -1414,6 +1527,66 @@ mod tests {
         assert_eq!(reader.decode_next().unwrap().unwrap(), tr.ops[5]);
         reader.seek_to_op(1).unwrap();
         assert_eq!(reader.decode_next().unwrap().unwrap(), tr.ops[1]);
+    }
+
+    #[test]
+    fn extract_range_yields_a_self_contained_bit_identical_sub_trace() {
+        let tr = many_op_trace(9);
+        for bytes in [encode_indexed(&tr, 2), encode(&tr).to_vec()] {
+            let mut reader = IndexedReader::new(io::Cursor::new(bytes)).unwrap();
+            for (first, ops) in [(0u32, 9u32), (0, 1), (3, 4), (8, 1), (2, 0), (9, 0)] {
+                let mut sub = Vec::new();
+                let wrote = reader.extract_range(first, ops, &mut sub).unwrap();
+                assert_eq!(wrote as usize, sub.len(), "{first}+{ops}");
+                let got = decode(&sub).expect("sub-trace decodes standalone");
+                assert_eq!(got.model, tr.model);
+                assert_eq!(got.progress_pct, tr.progress_pct);
+                assert_eq!(
+                    got.ops,
+                    tr.ops[first as usize..(first + ops) as usize],
+                    "{first}+{ops}"
+                );
+            }
+            // Extracting the whole range reproduces the plain encoding
+            // byte-for-byte (header matches, ops are raw copies).
+            let mut whole = Vec::new();
+            reader.extract_range(0, 9, &mut whole).unwrap();
+            assert_eq!(whole, encode(&tr).to_vec());
+            // The sequential cursor is re-anchored to the range end.
+            let mut tail = Vec::new();
+            reader.extract_range(4, 2, &mut tail).unwrap();
+            assert_eq!(reader.next_op_index(), 6);
+            assert_eq!(reader.decode_next().unwrap().unwrap(), tr.ops[6]);
+        }
+    }
+
+    #[test]
+    fn extracted_group_segments_tile_the_trace() {
+        let tr = many_op_trace(13);
+        let bytes = encode_indexed(&tr, 3);
+        let mut reader = IndexedReader::new(io::Cursor::new(bytes)).unwrap();
+        let groups = crate::group_segments(&reader.segments(), 4);
+        assert!(groups.len() > 1);
+        let mut rebuilt = Vec::new();
+        for g in &groups {
+            let mut sub = Vec::new();
+            reader.extract_range(g.first_op, g.ops, &mut sub).unwrap();
+            rebuilt.extend(decode(&sub).unwrap().ops);
+        }
+        assert_eq!(rebuilt, tr.ops);
+    }
+
+    #[test]
+    fn byte_range_of_rejects_out_of_bounds_ranges() {
+        let tr = many_op_trace(5);
+        let mut reader = IndexedReader::new(io::Cursor::new(encode_indexed(&tr, 2))).unwrap();
+        assert!(reader.byte_range_of(0, 6).is_err());
+        assert!(reader.byte_range_of(5, 1).is_err());
+        assert!(reader.byte_range_of(u32::MAX, 2).is_err(), "overflow");
+        let (start, end) = reader.byte_range_of(0, 5).unwrap();
+        assert_eq!(start, reader.header_len());
+        // The footer is excluded: the full-range end is the plain length.
+        assert_eq!(end, encode(&tr).len() as u64);
     }
 
     #[test]

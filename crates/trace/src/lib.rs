@@ -51,4 +51,6 @@ pub mod stats;
 pub use codec::{DecodeError, TraceSegment};
 pub use digest::Fnv64;
 pub use format::{Phase, TensorKind, Trace, TraceOp};
-pub use source::{IndexedBytes, IndexedTraceFile, SegmentCursor, TraceOps, TraceSource};
+pub use source::{
+    group_segments, IndexedBytes, IndexedTraceFile, SegmentCursor, TraceOps, TraceSource,
+};

@@ -234,8 +234,11 @@ where
 
 /// Partitions byte-adjacent segments into at most `limit` contiguous
 /// groups of roughly equal op counts; returns `(first_op, ops,
-/// byte_offset)` per group.
-fn group_segments(segments: &[TraceSegment], limit: usize) -> Vec<TraceSegment> {
+/// byte_offset)` per group. This is the same grouping
+/// [`TraceSource::segment_cursors`] uses for parallel decode, exposed so
+/// a shard coordinator can carve the identical contiguous op ranges when
+/// fanning one trace across workers.
+pub fn group_segments(segments: &[TraceSegment], limit: usize) -> Vec<TraceSegment> {
     let total: u64 = segments.iter().map(|s| u64::from(s.ops)).sum();
     let limit = limit.max(1) as u64;
     let target = total.div_ceil(limit).max(1);
