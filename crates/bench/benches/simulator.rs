@@ -13,10 +13,11 @@ use fpraker_bench::simbench::simulator_measurements;
 fn main() {
     let b = simulator_measurements(10);
     println!(
-        "PE hot loop: fast path {:.2}x scalar, encode LUT {:.2}x, planned tile {:.2}x",
+        "PE hot loop: planned path {:.2}x scalar, SWAR {:.2}x planned, encode LUT {:.2}x, SWAR tile {:.2}x planned tile",
         b.pe_set_speedup(),
+        b.pe_swar_speedup(),
         b.pe_encode_speedup(),
-        b.pe_tile_speedup()
+        b.pe_swar_tile_speedup()
     );
     println!(
         "parallel speedup at {} thread(s): {:.2}x",

@@ -21,8 +21,8 @@ fn json_entry(m: &Measurement) -> String {
     let mut s = String::new();
     write!(
         s,
-        "    {{\"name\": \"{}\", \"iters\": {}, \"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}",
-        m.name, m.iters, m.min_ns, m.median_ns, m.mean_ns
+        "    {{\"name\": \"{}\", \"iters\": {}, \"min_ns\": {}, \"median_ns\": {}, \"p90_ns\": {}, \"mean_ns\": {}",
+        m.name, m.iters, m.min_ns, m.median_ns, m.p90_ns, m.mean_ns
     )
     .unwrap();
     if let Some(e) = m.elements {
@@ -41,10 +41,12 @@ fn main() {
     let ops_speedup = b.parallel_ops_speedup();
     let stream_overhead = b.stream_overhead();
     println!(
-        "PE hot loop over {} sets: fast path {:.2}x the scalar reference; encode LUT {:.2}x encode_terms; planned tile block {:.2}x the scalar tile",
+        "PE hot loop over {} sets: planned path {:.2}x the scalar reference; SWAR {:.2}x the planned path; encode LUT {:.2}x encode_terms; SWAR tile {:.2}x the planned tile, planned tile {:.2}x the scalar tile",
         b.pe_sets,
         b.pe_set_speedup(),
+        b.pe_swar_speedup(),
         b.pe_encode_speedup(),
+        b.pe_swar_tile_speedup(),
         b.pe_tile_speedup()
     );
     println!("parallel speedup at {} thread(s): {speedup:.2}x", b.threads);
@@ -160,13 +162,22 @@ fn main() {
     )
     .unwrap();
     writeln!(json, "  \"pe_tile_speedup\": {:.4},", b.pe_tile_speedup()).unwrap();
+    writeln!(json, "  \"pe_swar_speedup\": {:.4},", b.pe_swar_speedup()).unwrap();
+    writeln!(
+        json,
+        "  \"pe_swar_tile_speedup\": {:.4},",
+        b.pe_swar_tile_speedup()
+    )
+    .unwrap();
     writeln!(json, "  \"measurements\": [").unwrap();
     let entries: Vec<String> = [
         &b.pe_set,
+        &b.pe_swar_set,
         &b.pe_set_scalar,
         &b.pe_encode,
         &b.pe_encode_compute,
         &b.pe_planned_tile,
+        &b.pe_swar_tile,
         &b.pe_tile_scalar,
         &b.seq,
         &b.par,

@@ -2,10 +2,10 @@
 //!
 //! The offline dependency set contains no criterion, so the `benches/`
 //! targets are plain `harness = false` binaries built on this module: each
-//! measurement runs a closure repeatedly, reports min/median/mean wall
-//! time and, when an element count is given, throughput. Timings are also
-//! collectable as [`Measurement`]s for machine-readable output
-//! (`BENCH_sim.json`).
+//! measurement runs a warm-up pass, then times a closure repeatedly and
+//! reports min/median/p90/mean wall time and, when an element count is
+//! given, throughput. Timings are also collectable as [`Measurement`]s for
+//! machine-readable output (`BENCH_sim.json`).
 
 use std::time::Instant;
 
@@ -20,6 +20,8 @@ pub struct Measurement {
     pub min_ns: u128,
     /// Median iteration wall time in nanoseconds.
     pub median_ns: u128,
+    /// 90th-percentile iteration wall time in nanoseconds (nearest-rank).
+    pub p90_ns: u128,
     /// Mean iteration wall time in nanoseconds.
     pub mean_ns: u128,
     /// Optional elements processed per iteration (for throughput).
@@ -36,10 +38,11 @@ impl Measurement {
     /// Renders one human-readable summary line.
     pub fn summary(&self) -> String {
         let mut line = format!(
-            "{:<40} {:>12} median  {:>12} min  {:>12} mean",
+            "{:<40} {:>12} median  {:>12} min  {:>12} p90  {:>12} mean",
             self.name,
             format_ns(self.median_ns),
             format_ns(self.min_ns),
+            format_ns(self.p90_ns),
             format_ns(self.mean_ns),
         );
         if let Some(t) = self.throughput() {
@@ -61,9 +64,24 @@ fn format_ns(ns: u128) -> String {
     }
 }
 
-/// Times `f` for `iters` iterations (after one untimed warm-up call) and
-/// prints the summary line. The closure's result is passed to
-/// `std::hint::black_box` so the work is not optimized away.
+/// Untimed warm-up calls [`bench()`] makes before sampling: enough to fault
+/// in code and data and settle the frequency governor, without dwarfing
+/// short runs. Exposed so callers feeding one distinct input per call can
+/// size their input pool to `iters + warmup_iters(iters)`.
+pub fn warmup_iters(iters: u32) -> u32 {
+    (iters / 4).clamp(1, 8)
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample vector.
+fn percentile(sorted: &[u128], pct: u32) -> u128 {
+    debug_assert!(!sorted.is_empty() && sorted.windows(2).all(|w| w[0] <= w[1]));
+    let rank = (sorted.len() * pct as usize).div_ceil(100);
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Times `f` for `iters` iterations after a warm-up pass and prints the
+/// summary line. The closure's result is passed to `std::hint::black_box`
+/// so the work is not optimized away.
 pub fn bench<T>(
     name: &str,
     iters: u32,
@@ -71,7 +89,9 @@ pub fn bench<T>(
     mut f: impl FnMut() -> T,
 ) -> Measurement {
     assert!(iters > 0, "at least one iteration");
-    std::hint::black_box(f());
+    for _ in 0..warmup_iters(iters) {
+        std::hint::black_box(f());
+    }
     let mut samples: Vec<u128> = Vec::with_capacity(iters as usize);
     for _ in 0..iters {
         let t = Instant::now();
@@ -84,6 +104,7 @@ pub fn bench<T>(
         iters,
         min_ns: samples[0],
         median_ns: samples[samples.len() / 2],
+        p90_ns: percentile(&samples, 90),
         mean_ns: samples.iter().sum::<u128>() / samples.len() as u128,
         elements,
     };
@@ -101,8 +122,34 @@ mod tests {
             std::hint::black_box((0..1000u64).sum::<u64>())
         });
         assert!(m.min_ns <= m.median_ns);
+        assert!(m.median_ns <= m.p90_ns);
         assert!(m.throughput().unwrap() > 0.0);
         assert_eq!(m.iters, 5);
+    }
+
+    #[test]
+    fn summary_reports_all_statistics() {
+        let m = bench("test/summary", 3, None, || std::hint::black_box(1u64));
+        let s = m.summary();
+        for stat in ["median", "min", "p90", "mean"] {
+            assert!(s.contains(stat), "{s}");
+        }
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v: Vec<u128> = (1..=10).collect();
+        assert_eq!(percentile(&v, 90), 9);
+        assert_eq!(percentile(&v, 100), 10);
+        assert_eq!(percentile(&v, 50), 5);
+        assert_eq!(percentile(&[7], 90), 7);
+    }
+
+    #[test]
+    fn warmup_scales_with_iters_but_is_bounded() {
+        assert_eq!(warmup_iters(1), 1);
+        assert_eq!(warmup_iters(10), 2);
+        assert_eq!(warmup_iters(100), 8);
     }
 
     #[test]

@@ -32,7 +32,7 @@ use fpraker_serve::{Client, Server, ServerConfig, ShardCoordinator, ShardPlan};
 use fpraker_sim::{simulate_op, AcceleratorConfig, Engine, FpRakerMachine, Machine};
 use fpraker_trace::{codec, IndexedTraceFile};
 
-use crate::harness::{bench, Measurement};
+use crate::harness::{bench, warmup_iters, Measurement};
 use crate::workloads::{many_small_ops_bench_trace, synthetic_bench_trace, SyntheticTraceSpec};
 
 /// Whether the smoke-mode env toggle (`FPRAKER_BENCH_SMOKE`) is set to a
@@ -126,9 +126,13 @@ pub struct SimulatorBench {
     pub shard_shards: usize,
     /// Sets per iteration of the PE hot-loop measurements.
     pub pe_sets: u64,
-    /// The PE hot loop on the LUT/SoA fast path: `pe_sets` fixed random
-    /// 8-lane sets through `Pe::process_set`.
+    /// The PE hot loop on the pre-SWAR LUT/SoA planned path: `pe_sets`
+    /// fixed random 8-lane sets through `Pe::process_set` with
+    /// `PeConfig::paper_planned()`.
     pub pe_set: Measurement,
+    /// The same sets through the SWAR bit-sliced datapath
+    /// (`Pe::process_planned_swar`, the default `PeConfig::paper()` route).
+    pub pe_swar_set: Measurement,
     /// The same sets through the pinned scalar reference path
     /// (`Pe::process_set_scalar`: per-set `encode_terms` + heap lane state).
     pub pe_set_scalar: Measurement,
@@ -137,9 +141,12 @@ pub struct SimulatorBench {
     pub pe_encode: Measurement,
     /// The same encodings computed from scratch with `encode_terms`.
     pub pe_encode_compute: Measurement,
-    /// An 8×8 tile block on the fast path: each column's shared A set is
-    /// planned once and fed to all 8 PE rows.
+    /// An 8×8 tile block on the pre-SWAR planned path: each column's
+    /// shared A set is planned once and fed to all 8 PE rows.
     pub pe_planned_tile: Measurement,
+    /// The same tile block with every PE row driven through the SWAR
+    /// datapath (shared planning plus packed per-cycle passes).
+    pub pe_swar_tile: Measurement,
     /// The same tile block with every PE on the scalar reference path
     /// (each PE re-encodes the shared A set itself).
     pub pe_tile_scalar: Measurement,
@@ -212,10 +219,22 @@ impl SimulatorBench {
         self.shard_merge.median_ns as f64 / self.shard_workers_1.median_ns.max(1) as f64
     }
 
-    /// PE hot-loop speedup of the fast path over the scalar reference
-    /// (medians).
+    /// PE hot-loop speedup of the planned fast path over the scalar
+    /// reference (medians).
     pub fn pe_set_speedup(&self) -> f64 {
         self.pe_set_scalar.median_ns as f64 / self.pe_set.median_ns.max(1) as f64
+    }
+
+    /// PE hot-loop speedup of the SWAR datapath over the pre-SWAR planned
+    /// path (medians).
+    pub fn pe_swar_speedup(&self) -> f64 {
+        self.pe_set.median_ns as f64 / self.pe_swar_set.median_ns.max(1) as f64
+    }
+
+    /// Tile-block speedup of the SWAR datapath over the planned path
+    /// (medians).
+    pub fn pe_swar_tile_speedup(&self) -> f64 {
+        self.pe_planned_tile.median_ns as f64 / self.pe_swar_tile.median_ns.max(1) as f64
     }
 
     /// Term-encode speedup of the LUT over computing encodings from
@@ -259,12 +278,21 @@ pub fn simulator_measurements(iters: u32) -> SimulatorBench {
         .map(|_| (gen_operands(pe_cfg.lanes), gen_operands(pe_cfg.lanes)))
         .collect();
     let pe_macs = pe_sets * pe_cfg.lanes as u64;
-    let mut fast_pe = Pe::new(pe_cfg);
+    let mut planned_pe = Pe::new(PeConfig::paper_planned());
     let pe_set = bench("fpraker/pe_set", iters, Some(pe_macs), || {
-        fast_pe.reset_output();
+        planned_pe.reset_output();
         let mut cycles = 0u64;
         for (a, b) in &pe_inputs {
-            cycles += fast_pe.process_set(a, b).cycles;
+            cycles += planned_pe.process_set(a, b).cycles;
+        }
+        cycles
+    });
+    let mut swar_pe = Pe::new(pe_cfg);
+    let pe_swar_set = bench("fpraker/pe_swar_set", iters, Some(pe_macs), || {
+        swar_pe.reset_output();
+        let mut cycles = 0u64;
+        for (a, b) in &pe_inputs {
+            cycles += swar_pe.process_set(a, b).cycles;
         }
         cycles
     });
@@ -318,9 +346,16 @@ pub fn simulator_measurements(iters: u32) -> SimulatorBench {
         .map(|_| gen_operands(pe_tile_sets as usize * tile_cfg.pe.lanes))
         .collect();
     let tile_macs = tile_cfg.num_pes() as u64 * pe_tile_sets * tile_cfg.pe.lanes as u64;
-    let mut fast_tile = Tile::new(tile_cfg);
+    let mut planned_tile = Tile::new(TileConfig {
+        pe: PeConfig::paper_planned(),
+        ..tile_cfg
+    });
     let pe_planned_tile = bench("fpraker/pe_planned_tile", iters, Some(tile_macs), || {
-        fast_tile.run_block(&tile_a, &tile_b).cycles
+        planned_tile.run_block(&tile_a, &tile_b).cycles
+    });
+    let mut swar_tile = Tile::new(tile_cfg);
+    let pe_swar_tile = bench("fpraker/pe_swar_tile", iters, Some(tile_macs), || {
+        swar_tile.run_block(&tile_a, &tile_b).cycles
     });
     let mut scalar_tile = Tile::new(TileConfig {
         pe: PeConfig::paper_scalar_reference(),
@@ -508,8 +543,8 @@ pub fn simulator_measurements(iters: u32) -> SimulatorBench {
     // Service benchmark: an in-process server on a loopback port. Cold
     // submissions use a distinct trace per iteration (seed varies) so
     // every job uploads and simulates; cached submissions resubmit one
-    // trace so every job is a content-addressed hit. One extra cold
-    // variant covers the harness's untimed warm-up call.
+    // trace so every job is a content-addressed hit. Extra cold variants
+    // cover the harness's untimed warm-up calls.
     let serve_ops = if smoke_mode() { 4 } else { 12 };
     let serve_spec = |seed: u64| SyntheticTraceSpec {
         model: format!("serve-bench-{seed}"),
@@ -521,7 +556,7 @@ pub fn simulator_measurements(iters: u32) -> SimulatorBench {
         seed,
     };
     let serve_trace_macs = serve_spec(0).macs();
-    let cold_variants: Vec<Vec<u8>> = (0..=u64::from(iters))
+    let cold_variants: Vec<Vec<u8>> = (0..u64::from(iters + warmup_iters(iters)))
         .map(|i| {
             let mut bytes = Vec::new();
             serve_spec(0xC01D + i).write_to(&mut bytes).expect("encode");
@@ -544,7 +579,7 @@ pub fn simulator_measurements(iters: u32) -> SimulatorBench {
         next_cold += 1;
         response
     });
-    let warm_bytes = &cold_variants[0]; // warmed up by the untimed call
+    let warm_bytes = &cold_variants[0]; // warmed up by the untimed calls
     let serve_cached = bench("serve/submit_cached", iters, Some(serve_trace_macs), || {
         let response = client
             .submit_encoded(warm_bytes, "fpraker")
@@ -577,7 +612,7 @@ pub fn simulator_measurements(iters: u32) -> SimulatorBench {
     let shard_stride = (shard_ops / 4).max(1);
     // One distinct indexed trace per call (timed and warm-up alike) per
     // worker count, so no sharded run ever hits a warm cache.
-    let shard_variants: Vec<Arc<[u8]>> = (0..3 * (u64::from(iters) + 1))
+    let shard_variants: Vec<Arc<[u8]>> = (0..3 * u64::from(iters + warmup_iters(iters)))
         .map(|i| {
             let mut bytes = Vec::new();
             shard_spec(0x5AAD + i)
@@ -681,10 +716,12 @@ pub fn simulator_measurements(iters: u32) -> SimulatorBench {
         shard_shards,
         pe_sets,
         pe_set,
+        pe_swar_set,
         pe_set_scalar,
         pe_encode,
         pe_encode_compute,
         pe_planned_tile,
+        pe_swar_tile,
         pe_tile_scalar,
         pe_tile_sets,
     }
@@ -766,17 +803,23 @@ mod tests {
         // encode pair processed the same count, and the speedup ratios are
         // well-formed.
         assert_eq!(b.pe_set.name, "fpraker/pe_set");
+        assert_eq!(b.pe_swar_set.name, "fpraker/pe_swar_set");
         assert_eq!(b.pe_set_scalar.name, "fpraker/pe_set_scalar");
         assert_eq!(b.pe_set.elements, Some(b.pe_sets * 8));
         assert_eq!(b.pe_set.elements, b.pe_set_scalar.elements);
+        assert_eq!(b.pe_set.elements, b.pe_swar_set.elements);
         assert_eq!(b.pe_encode.name, "fpraker/pe_encode");
         assert_eq!(b.pe_encode_compute.name, "fpraker/pe_encode_compute");
         assert_eq!(b.pe_encode.elements, b.pe_encode_compute.elements);
         assert_eq!(b.pe_planned_tile.name, "fpraker/pe_planned_tile");
+        assert_eq!(b.pe_swar_tile.name, "fpraker/pe_swar_tile");
         assert_eq!(b.pe_tile_scalar.name, "fpraker/pe_tile_scalar");
         assert_eq!(b.pe_planned_tile.elements, b.pe_tile_scalar.elements);
+        assert_eq!(b.pe_planned_tile.elements, b.pe_swar_tile.elements);
         assert!(b.pe_tile_sets > 0);
         assert!(b.pe_set_speedup() > 0.0);
+        assert!(b.pe_swar_speedup() > 0.0);
+        assert!(b.pe_swar_tile_speedup() > 0.0);
         assert!(b.pe_encode_speedup() > 0.0);
         assert!(b.pe_tile_speedup() > 0.0);
     }

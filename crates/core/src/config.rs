@@ -24,18 +24,32 @@ pub struct PeConfig {
     /// Route [`Pe::process_set`](crate::Pe::process_set) through the pinned
     /// scalar reference implementation instead of the LUT/SoA fast path.
     ///
-    /// The two paths are bit-identical (values, cycles and statistics) —
+    /// All datapaths are bit-identical (values, cycles and statistics) —
     /// the scalar path exists as the arbiter of correctness for the fast
-    /// path and is cross-checked by the equivalence suites. It can also be
+    /// paths and is cross-checked by the equivalence suites. It can also be
     /// forced globally with the `FPRAKER_SCALAR_REFERENCE` environment
     /// variable (any non-empty value other than `0`), which CI uses to run
-    /// the test suites over both datapaths.
+    /// the test suites over both datapaths. Takes precedence over
+    /// [`PeConfig::swar`].
     pub scalar_reference: bool,
+    /// Use the SWAR bit-sliced datapath
+    /// ([`Pe::process_planned_swar`](crate::Pe::process_planned_swar), the
+    /// default): packed per-lane term words from
+    /// [`fpraker_num::encode::packed_term_table`], branchless whole-set
+    /// per-cycle passes, and a batched accumulator fold per cycle. When
+    /// `false` (and `scalar_reference` is not set), sets run on the
+    /// pre-SWAR LUT/SoA planned path
+    /// ([`Pe::process_planned`](crate::Pe::process_planned)) instead. The
+    /// `FPRAKER_SWAR` environment variable overrides this process-wide:
+    /// `0` forces the planned path, any other non-empty value forces SWAR
+    /// (CI runs the suites a third time that way).
+    pub swar: bool,
 }
 
 impl PeConfig {
     /// The paper's PE: 8 lanes, Δ ≤ 3, canonical encoding, 4+12-bit
-    /// accumulator with θ = 12, chunk size 64, OB skipping on.
+    /// accumulator with θ = 12, chunk size 64, OB skipping on, SWAR
+    /// datapath.
     pub const fn paper() -> Self {
         PeConfig {
             lanes: 8,
@@ -45,6 +59,7 @@ impl PeConfig {
             chunk_size: 64,
             ob_skip: true,
             scalar_reference: false,
+            swar: true,
         }
     }
 
@@ -52,6 +67,14 @@ impl PeConfig {
     pub const fn paper_scalar_reference() -> Self {
         PeConfig {
             scalar_reference: true,
+            ..Self::paper()
+        }
+    }
+
+    /// The paper's PE routed through the pre-SWAR LUT/SoA planned path.
+    pub const fn paper_planned() -> Self {
+        PeConfig {
+            swar: false,
             ..Self::paper()
         }
     }

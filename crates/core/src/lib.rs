@@ -57,4 +57,4 @@ pub use config::{PeConfig, TileConfig};
 pub use machine::{BaselineMachine, FpRakerMachine, MachineBlock, MachineEvents, MachineModel};
 pub use pe::{Pe, PlannedSet, SetOutcome, MAX_LANES};
 pub use stats::{ExecStats, LaneCycles, TermStats};
-pub use tile::{BlockOutcome, Tile};
+pub use tile::{BlockOutcome, BlockPlans, Tile};

@@ -31,7 +31,7 @@ use fpraker_num::Bf16;
 use crate::baseline::BaselinePe;
 use crate::config::TileConfig;
 use crate::stats::ExecStats;
-use crate::tile::Tile;
+use crate::tile::{BlockPlans, Tile};
 
 /// The outcome of one output block on a machine.
 ///
@@ -142,6 +142,30 @@ pub trait MachineModel: Send {
     /// length, a multiple of the PE lane count.
     fn run_block(&mut self, a_streams: &[Vec<Bf16>], b_streams: &[Vec<Bf16>]) -> MachineBlock;
 
+    /// Pre-encodes the A-side work shared by every block that streams these
+    /// exact A streams (in the GEMM tiling, all blocks of a block row), for
+    /// use with [`MachineModel::run_block_planned`]. `None` (the default)
+    /// means this machine has no shareable A-side work and blocks should go
+    /// through [`MachineModel::run_block`].
+    fn plan_a_block(&self, a_streams: &[Vec<Bf16>]) -> Option<BlockPlans> {
+        let _ = a_streams;
+        None
+    }
+
+    /// [`MachineModel::run_block`] with A-side work pre-encoded by
+    /// [`MachineModel::plan_a_block`] for these exact A streams; must be
+    /// bit-identical to `run_block`. The default ignores the plans and
+    /// delegates.
+    fn run_block_planned(
+        &mut self,
+        a_streams: &[Vec<Bf16>],
+        plans: &BlockPlans,
+        b_streams: &[Vec<Bf16>],
+    ) -> MachineBlock {
+        let _ = plans;
+        self.run_block(a_streams, b_streams)
+    }
+
     /// Analytic fast path: the outcome of a block of `sets` k-sets without
     /// looking at values. Only meaningful when
     /// [`MachineModel::value_dependent`] is `false`.
@@ -188,6 +212,24 @@ impl MachineModel for FpRakerMachine {
 
     fn run_block(&mut self, a_streams: &[Vec<Bf16>], b_streams: &[Vec<Bf16>]) -> MachineBlock {
         let out = self.tile.run_block(a_streams, b_streams);
+        MachineBlock {
+            outputs: Some(out.outputs),
+            cycles: out.cycles,
+            stats: out.stats,
+        }
+    }
+
+    fn plan_a_block(&self, a_streams: &[Vec<Bf16>]) -> Option<BlockPlans> {
+        self.tile.plan_block(a_streams)
+    }
+
+    fn run_block_planned(
+        &mut self,
+        a_streams: &[Vec<Bf16>],
+        plans: &BlockPlans,
+        b_streams: &[Vec<Bf16>],
+    ) -> MachineBlock {
+        let out = self.tile.run_block_planned(a_streams, plans, b_streams);
         MachineBlock {
             outputs: Some(out.outputs),
             cycles: out.cycles,

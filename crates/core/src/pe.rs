@@ -28,33 +28,53 @@
 //!    into the accumulator, then normalizes it (which may raise `e_acc` and
 //!    push later terms out of bounds — see the paper's Fig. 5, cycle 5).
 //!
-//! # Fast path and scalar reference
+//! # SWAR datapath, planned fast path and scalar reference
 //!
-//! Two bit-identical implementations of that schedule exist:
+//! Three bit-identical implementations of that schedule exist:
 //!
-//! * the **fast path** ([`Pe::process_planned`], driven by a
-//!   [`PlannedSet`]): term encoding is an index into the precomputed
-//!   256-entry tables of [`fpraker_num::encode::term_table`], lane state is
-//!   fixed-capacity structure-of-arrays scratch owned by the PE (no heap
-//!   allocation per set), and the per-cycle loop walks an active-lane
-//!   bitmask. A [`PlannedSet`] captures the A-side work (encoding, exponent,
-//!   sign, validation) once, so a tile can plan each shared A set a single
-//!   time and feed it to every PE in the column;
+//! * the **SWAR path** ([`Pe::process_planned_swar`], the default): every
+//!   lane's whole term stream lives in one packed `u64`
+//!   ([`fpraker_num::encode::packed_term_table`]), alignment offsets,
+//!   remaining-term counts and pre-folded sign bits live in fixed packed
+//!   arrays, and each cycle is two whole-set passes — one branchless
+//!   min/compare sweep producing the out-of-bounds mask and the base
+//!   offset for all lanes at once, and one batched issue pass that folds
+//!   every in-window contribution into a single widened partial sum
+//!   committed with one accumulator update. An add landing on an emptied
+//!   register re-adopts the addend's exponent; the first such adoption per
+//!   cycle is folded analytically in the adopted frame, and only the rare
+//!   second adoption (exact cancellation mid-fold) rewinds and replays the
+//!   cycle on the per-lane sequence. Sets with only a couple of live
+//!   lanes dispatch to the per-lane planned path, which wins when the
+//!   packed passes have little to batch;
+//! * the **planned fast path** ([`Pe::process_planned`], selected with
+//!   [`PeConfig::swar`] `= false`): term encoding is an index into the
+//!   precomputed 256-entry tables of [`fpraker_num::encode::term_table`],
+//!   lane state is fixed-capacity structure-of-arrays scratch owned by the
+//!   PE (no heap allocation per set), and the per-cycle loop walks an
+//!   active-lane bitmask;
 //! * the **scalar reference** ([`Pe::process_set_scalar`]): the original
 //!   straight-line model, kept as the arbiter of correctness. The
 //!   equivalence suites cross-check cycles, lane-cycle attribution, term
-//!   statistics and accumulator bits between the two paths; the golden and
-//!   determinism suites pin both against exact references.
+//!   statistics and accumulator bits across all three paths; the golden
+//!   and determinism suites pin them against exact references.
 //!
-//! [`Pe::process_set`] routes to the fast path unless
+//! Both fast paths consume a [`PlannedSet`], which captures the A-side
+//! work (encoding, exponent, sign, validation) once so a tile can plan
+//! each shared A set a single time and feed it to every PE in the column.
+//!
+//! [`Pe::process_set`] routes to the SWAR path unless
 //! [`PeConfig::scalar_reference`] is set or the `FPRAKER_SCALAR_REFERENCE`
 //! environment variable forces the reference path process-wide (CI runs the
-//! test suites both ways).
+//! test suites all ways); `FPRAKER_SWAR=0` / [`PeConfig::swar`] `= false`
+//! select the planned path instead.
 
 use std::sync::OnceLock;
 
-use fpraker_num::encode::{encode_terms, term_table, Encoding, Term, Terms};
-use fpraker_num::{Bf16, ChunkedAccumulator};
+use fpraker_num::encode::{
+    encode_terms, packed_term_table, term_table, Encoding, PackedTerms, Term, Terms,
+};
+use fpraker_num::{round_shift_rne, Bf16, ChunkedAccumulator};
 
 use crate::config::PeConfig;
 use crate::stats::{ExecStats, LaneCycles, TermStats};
@@ -73,6 +93,23 @@ fn env_scalar_reference() -> bool {
     *FORCED.get_or_init(|| {
         std::env::var("FPRAKER_SCALAR_REFERENCE")
             .is_ok_and(|v| !v.trim().is_empty() && v.trim() != "0")
+    })
+}
+
+/// Process-wide `FPRAKER_SWAR` override (read once): `Some(false)` for `0`,
+/// `Some(true)` for any other non-empty value, `None` when unset/empty
+/// (defer to [`PeConfig::swar`]).
+fn env_swar() -> Option<bool> {
+    static FORCED: OnceLock<Option<bool>> = OnceLock::new();
+    *FORCED.get_or_init(|| {
+        std::env::var("FPRAKER_SWAR").ok().and_then(|v| {
+            let v = v.trim();
+            if v.is_empty() {
+                None
+            } else {
+                Some(v != "0")
+            }
+        })
     })
 }
 
@@ -113,11 +150,13 @@ pub struct SetOutcome {
 /// let mut reference = Pe::new(cfg);
 /// assert_eq!(planned, reference.process_set(&a, &b));
 /// ```
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PlannedSet {
     lanes: usize,
     /// Per-lane term encodings, references into the static term tables.
     terms: [&'static Terms; MAX_LANES],
+    /// Per-lane packed term words (the SWAR view of `terms`).
+    packed: [PackedTerms; MAX_LANES],
     /// Per-lane A exponents (unbiased; unset for zero lanes).
     a_exp: [i32; MAX_LANES],
     /// Bitmask of negative A values.
@@ -135,25 +174,45 @@ impl PlannedSet {
     /// Panics if `a` is longer than [`MAX_LANES`] or contains a non-finite
     /// value.
     pub fn plan(a: &[Bf16], encoding: Encoding) -> PlannedSet {
+        for &ai in a {
+            assert!(ai.is_finite(), "non-finite operand");
+        }
+        Self::plan_prevalidated(a, encoding)
+    }
+
+    /// Plans one A set whose operands the caller has already checked for
+    /// finiteness (e.g. a tile validating each shared A stream once per
+    /// block instead of once per column plan). Only the validation differs
+    /// from [`PlannedSet::plan`]; the resulting plan is identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is longer than [`MAX_LANES`]. Debug builds still check
+    /// finiteness.
+    pub fn plan_prevalidated(a: &[Bf16], encoding: Encoding) -> PlannedSet {
         let lanes = a.len();
         assert!(
             lanes <= MAX_LANES,
             "set of {lanes} lanes exceeds MAX_LANES ({MAX_LANES})"
         );
         let table = term_table(encoding);
+        let packed_table = packed_term_table(encoding);
         let mut plan = PlannedSet {
             lanes,
             terms: [&table[0]; MAX_LANES],
+            packed: [packed_table[0]; MAX_LANES],
             a_exp: [0; MAX_LANES],
             a_sign: 0,
             a_zero: 0,
         };
         for (i, &ai) in a.iter().enumerate() {
-            assert!(ai.is_finite(), "non-finite operand");
+            debug_assert!(ai.is_finite(), "non-finite operand");
             if ai.is_zero() {
                 plan.a_zero |= 1 << i;
             } else {
-                plan.terms[i] = &table[ai.significand() as usize];
+                let sig = ai.significand() as usize;
+                plan.terms[i] = &table[sig];
+                plan.packed[i] = packed_table[sig];
                 plan.a_exp[i] = ai.exponent();
                 if ai.sign() {
                     plan.a_sign |= 1 << i;
@@ -193,8 +252,17 @@ pub struct Pe {
     stats: ExecStats,
     /// Resolved datapath choice (config flag or env override).
     use_scalar: bool,
-    /// Reusable structure-of-arrays lane state for the fast path.
+    /// Resolved SWAR choice (`false` when the scalar reference wins).
+    use_swar: bool,
+    /// Reusable structure-of-arrays lane state for the planned fast path.
     scratch: LaneScratch,
+    /// Reusable packed lane state for the SWAR path.
+    swar: SwarScratch,
+    /// Cycles the SWAR path replayed on the per-lane fallback because the
+    /// batched fold would not have been bit-exact. Deliberately *not* part
+    /// of [`ExecStats`]: the stall taxonomy is datapath-invariant and
+    /// cross-checked for exact equality between paths.
+    swar_unstable_cycles: u64,
 }
 
 /// Fixed-capacity structure-of-arrays lane state for the fast path,
@@ -229,6 +297,176 @@ impl LaneScratch {
     }
 }
 
+/// All-ones-per-byte constant for the packed-byte (SWAR-proper) pass.
+const L8: u64 = 0x0101_0101_0101_0101;
+/// Per-byte sign-bit constant for the packed-byte pass.
+const H8: u64 = 0x8080_8080_8080_8080;
+/// Bias added to a lane's `k` so the packed byte stays non-negative.
+const KBIAS: i32 = 32;
+/// Largest biased `k` the packed byte representation admits. Leaves
+/// headroom below the `0x7F` dead-lane sentinel so every packed compare
+/// stays carry-free.
+const KCAP: u64 = 120;
+/// Dead-lane sentinel bytes: above every live byte, below the carry limit.
+const KDEAD: u64 = 0x7F7F_7F7F_7F7F_7F7F;
+/// Minimum live-lane count for the packed-byte cycle to pay off: the
+/// whole-set passes (OB movemask, min tournament, window compare, packed
+/// maintenance) are constant-cost per cycle, while the per-lane planned
+/// loop scales with live lanes — below this density the planned loop is
+/// faster. A pure performance dispatch; both paths are bit-identical.
+const SWAR_DENSE_MIN: u32 = 3;
+
+/// RNE-rounds away the low 7 bits of `x` — identical to
+/// `round_shift_rne(x, 7)` — branchlessly: `x >> 7` floors toward −∞ in
+/// value space, so adding `half − 1` plus the floor's parity bit rounds
+/// half-to-even for either sign. B significands are 8 bits, so every
+/// windowed SWAR contribution can pre-shift left by `7 + sh` (non-negative
+/// whenever `k ≤ frac_bits`, i.e. always under an OB threshold at or below
+/// the fraction width) and share this single constant-shift rounder,
+/// replacing a data-dependent shift-direction branch and the general
+/// rounder's sign/magnitude branches with four ALU ops.
+#[inline(always)]
+fn rne7(x: i64) -> i64 {
+    (x + 63 + ((x >> 7) & 1)) >> 7
+}
+
+/// Saturation sentinel for a live lane whose biased `k` overflows the byte
+/// range while already past the OB threshold: any value `≥ obt` (and below
+/// the `0x7F` dead sentinel) makes the next packed OB pass retire the lane
+/// exactly as the exact offset would, so its magnitude no longer matters.
+/// This keeps long-running accumulations (large `e_acc`, every `k ≫ θ`)
+/// on the packed cycle instead of dropping whole sets to the generic one.
+const KSAT: u64 = 126;
+
+/// Per-byte `x ≥ y`, reported in each byte's sign bit. Carry-free whenever
+/// `x_i + 128 − y_i ≤ 255` per byte — true for all uses here (`x ≤ 158`,
+/// `y ≥ 121` in the widest case; usually `x ≤ 127`, `y ≤ 128`).
+#[inline]
+fn swar_ge(x: u64, y: u64) -> u64 {
+    x.wrapping_add(H8 - y) & H8
+}
+
+/// Per-byte minimum for byte values `≤ 127`.
+#[inline]
+fn swar_min(a: u64, b: u64) -> u64 {
+    let m = swar_ge(a, b);
+    // Spread each sign bit to its full byte: 0x80 → 0xFF.
+    let m8 = (m - (m >> 7)) | m;
+    (b & m8) | (a & !m8)
+}
+
+/// Horizontal minimum of the eight bytes (values `≤ 127`): a three-round
+/// tournament whose low byte is the answer (the zero bytes the shifts pull
+/// in never feed positions the final byte reads).
+#[inline]
+fn swar_hmin(x: u64) -> u8 {
+    let x = swar_min(x, x >> 32);
+    let x = swar_min(x, x >> 16);
+    let x = swar_min(x, x >> 8);
+    (x & 0xFF) as u8
+}
+
+/// Gathers each byte's sign bit into one bit per lane (movemask).
+#[inline]
+fn swar_msb_bits(m: u64) -> u32 {
+    (((m >> 7) & L8).wrapping_mul(0x0102_0408_1020_4080) >> 56) as u32
+}
+
+/// Expands a lane bit mask into a per-byte mask (bit `i` → byte `i` of
+/// `0xFF`): replicate the mask into every byte, keep the diagonal bit
+/// (byte `i` keeps only bit `i`, so no two lanes ever share a product
+/// bit), then stretch each surviving bit over its byte.
+#[inline]
+fn swar_byte_mask(bits: u32) -> u64 {
+    let diag = u64::from(bits & 0xFF).wrapping_mul(L8) & 0x8040_2010_0804_0201;
+    // Nonzero-byte detect into the sign bit, then spread 0x80 → 0xFF.
+    let nz = (diag | ((diag & KDEAD) + KDEAD)) & H8;
+    (nz - (nz >> 7)) | nz
+}
+
+/// Fixed-capacity packed lane state for the SWAR path, owned by the PE so
+/// processing a set allocates nothing.
+///
+/// Each lane's remaining term stream is one `u64` of shift bytes plus one
+/// `u8` of sign bits (product sign already folded in), consumed low-end
+/// first: advancing a lane is `shifts >>= 8; negs >>= 1; rem -= 1`. The
+/// alignment offset is maintained incrementally as `d = shift − ABe`, so a
+/// cycle's `k_i = e_acc + d_i` is one add per lane; [`SwarScratch::pack_k`]
+/// additionally packs all eight biased offsets into one `u64` for the
+/// packed-byte compare pass.
+#[derive(Clone, Copy, Debug)]
+struct SwarScratch {
+    /// Remaining term shifts, current term in the low byte (as `i8`).
+    shifts: [u64; MAX_LANES],
+    /// Remaining term signs (product sign XOR term sign), current in bit 0.
+    negs: [u8; MAX_LANES],
+    /// Remaining term count.
+    rem: [u8; MAX_LANES],
+    /// Current `shift − ABe` (so `k = e_acc + d`); kept at 0 for inactive
+    /// lanes so the branchless pass stays overflow-free on them.
+    d: [i32; MAX_LANES],
+    /// Product exponent `Ae + Be` (for the per-lane fallback).
+    abe: [i32; MAX_LANES],
+    /// B significand with hidden bit.
+    bsig: [u64; MAX_LANES],
+}
+
+impl SwarScratch {
+    const fn new() -> Self {
+        SwarScratch {
+            shifts: [0; MAX_LANES],
+            negs: [0; MAX_LANES],
+            rem: [0; MAX_LANES],
+            d: [0; MAX_LANES],
+            abe: [0; MAX_LANES],
+            bsig: [0; MAX_LANES],
+        }
+    }
+
+    /// Packs every live lane's biased offset `k + KBIAS = e + d + KBIAS`
+    /// into one byte per lane (dead lanes hold the `0x7F` sentinel).
+    /// A lane above the byte range but already past the OB threshold is
+    /// pinned at [`KSAT`] — the next packed OB pass retires it exactly as
+    /// the out-of-range offset would. Returns `None` only when a live lane
+    /// is out of range *without* being OB-doomed (wide spread below θ, or
+    /// θ itself out of byte range), forcing the generic per-lane cycle.
+    #[inline]
+    fn pack_k(&self, active: u32, e: i32, obt: i32) -> Option<u64> {
+        let mut kb = KDEAD;
+        let mut m = active;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let mut kbyte = e + self.d[i] + KBIAS;
+            if kbyte as u64 > KCAP {
+                if kbyte >= obt && obt <= KSAT as i32 {
+                    kbyte = KSAT as i32;
+                } else {
+                    return None;
+                }
+            }
+            kb = (kb & !(0xFF << (8 * i))) | ((kbyte as u64) << (8 * i));
+        }
+        Some(kb)
+    }
+
+    /// Consumes lane `i`'s current term; returns `true` if the lane retired
+    /// (no terms left).
+    #[inline]
+    fn advance(&mut self, i: usize) -> bool {
+        self.shifts[i] >>= 8;
+        self.negs[i] >>= 1;
+        self.rem[i] -= 1;
+        if self.rem[i] == 0 {
+            self.d[i] = 0;
+            true
+        } else {
+            self.d[i] = (self.shifts[i] as i8) as i32 - self.abe[i];
+            false
+        }
+    }
+}
+
 /// Per-lane working state of the scalar reference path.
 #[derive(Clone, Copy, Debug)]
 struct Lane {
@@ -256,12 +494,17 @@ impl Pe {
             "PE configured with {} lanes exceeds MAX_LANES ({MAX_LANES})",
             cfg.lanes
         );
+        let use_scalar = cfg.scalar_reference || env_scalar_reference();
+        let use_swar = !use_scalar && env_swar().unwrap_or(cfg.swar);
         Pe {
             cfg,
             acc: ChunkedAccumulator::new(cfg.accum, cfg.chunk_size),
             stats: ExecStats::default(),
-            use_scalar: cfg.scalar_reference || env_scalar_reference(),
+            use_scalar,
+            use_swar,
             scratch: LaneScratch::new(),
+            swar: SwarScratch::new(),
+            swar_unstable_cycles: 0,
         }
     }
 
@@ -274,6 +517,20 @@ impl Pe {
     /// reference path (config flag or `FPRAKER_SCALAR_REFERENCE`).
     pub fn uses_scalar_reference(&self) -> bool {
         self.use_scalar
+    }
+
+    /// `true` if this PE routes [`Pe::process_set`] through the SWAR path
+    /// ([`PeConfig::swar`] or `FPRAKER_SWAR`; the scalar reference wins).
+    pub fn uses_swar(&self) -> bool {
+        self.use_swar
+    }
+
+    /// Cycles the SWAR path replayed per-lane because the batched fold
+    /// would not have been bit-exact (an add landing on an emptied register
+    /// re-adopting a different exponent). Purely diagnostic — values,
+    /// cycles and [`ExecStats`] are unaffected by which side ran.
+    pub fn swar_unstable_cycles(&self) -> u64 {
+        self.swar_unstable_cycles
     }
 
     /// Cumulative statistics since construction or [`Pe::take_stats`].
@@ -306,10 +563,11 @@ impl Pe {
     /// `Σ a[i] * b[i]` into the output accumulator and returning the cycle
     /// schedule outcome.
     ///
-    /// Routes to the LUT/SoA fast path unless the scalar reference path is
-    /// selected ([`PeConfig::scalar_reference`] or the
-    /// `FPRAKER_SCALAR_REFERENCE` environment variable); both are
-    /// bit-identical in values, cycles and statistics.
+    /// Routes to the SWAR path by default; [`PeConfig::swar`] `= false` (or
+    /// `FPRAKER_SWAR=0`) selects the LUT/SoA planned path, and the scalar
+    /// reference ([`PeConfig::scalar_reference`] or the
+    /// `FPRAKER_SCALAR_REFERENCE` environment variable) overrides both. All
+    /// three are bit-identical in values, cycles and statistics.
     ///
     /// # Panics
     ///
@@ -321,8 +579,14 @@ impl Pe {
             return self.process_set_scalar(a, b);
         }
         assert_eq!(a.len(), self.cfg.lanes, "A operand count");
-        let plan = PlannedSet::plan(a, self.cfg.encoding);
-        self.process_planned(&plan, b)
+        if self.use_swar {
+            // Fused plan+load: the SWAR lane scratch consumes the packed
+            // term words directly, so no intermediate plan is built.
+            self.process_set_swar(a, b)
+        } else {
+            let plan = PlannedSet::plan(a, self.cfg.encoding);
+            self.process_planned(&plan, b)
+        }
     }
 
     /// Processes one set whose A side was planned ahead with
@@ -450,6 +714,657 @@ impl Pe {
             // bounds (paper Fig. 5, cycle 5).
             acc.normalize();
             outcome.cycles += 1;
+        }
+
+        if outcome.cycles == 0 {
+            // Every lane terminated out-of-bounds before issuing anything;
+            // the set still occupies the PE for the minimum one cycle.
+            outcome.cycles = 1;
+            outcome.lane_cycles.no_term += lanes as u64;
+        }
+        self.finish_set(outcome);
+        outcome
+    }
+
+    /// Processes one planned set on the SWAR datapath — the default and
+    /// fastest path, bit-identical to [`Pe::process_planned`] and
+    /// [`Pe::process_set_scalar`] in values, cycles and statistics.
+    ///
+    /// Per cycle:
+    ///
+    /// 1. a branchless min/compare pass over the packed lane arrays
+    ///    computes every `k_i = e_acc + d_i`, the out-of-bounds mask and
+    ///    the base offset in one sweep (the exponent is constant across
+    ///    the pass, so no per-lane re-read is needed here);
+    /// 2. a batched issue pass folds every in-window lane's contribution —
+    ///    aligned and RNE-rounded exactly as
+    ///    [`Accumulator::add_scaled`](fpraker_num::Accumulator::add_scaled)
+    ///    would — into one widened partial sum, committed with a single
+    ///    register update and one `normalize()`.
+    ///
+    /// The fold assumes the accumulator exponent is constant across the
+    /// cycle. That breaks when an add lands on an *empty* running mantissa
+    /// with `k ≠ 0`: `add_scaled` then re-adopts the addend's exponent
+    /// (`e_acc ← ABe − shift = e_acc_old − k`), changing the alignment of
+    /// every later lane in the same cycle. The batch pass checks
+    /// `running == 0 && k != 0` before each fold step and handles a hit in
+    /// two tiers:
+    ///
+    /// * the **first** adoption of a cycle (an empty register meeting its
+    ///   first issued lane — every fresh accumulator and chunk boundary)
+    ///   stays batched: B significands are normalized, so the adopted
+    ///   exponent is known analytically (`e − k0`, placing the addend's
+    ///   MSB at the hidden position) and the rest of the cycle folds in
+    ///   the adopted frame, re-selecting later lanes against the unchanged
+    ///   pass-1 base exactly as the sequential adds would, then commits
+    ///   with [`Accumulator::set_batched`](fpraker_num::Accumulator::set_batched);
+    /// * a **second** adoption in the same cycle (exact cancellation
+    ///   mid-fold) is genuinely sequential: the walk's register-only undo
+    ///   log rewinds the lane state and the cycle replays through the
+    ///   per-lane sequence. [`Pe::swar_unstable_cycles`] counts these
+    ///   replays.
+    ///
+    /// The `k == 0` adoption is exponent-neutral and never leaves the
+    /// plain fold. Sparse sets (fewer live lanes than a small constant)
+    /// dispatch to [`Pe::process_planned`] up front — the packed passes
+    /// have constant per-cycle cost, the per-lane loop scales with live
+    /// lanes, and the two are bit-identical, so the dispatch is purely a
+    /// performance choice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan's lane count or `b`'s length differ from the
+    /// configured lane count, or if any B operand is non-finite.
+    pub fn process_planned_swar(&mut self, plan: &PlannedSet, b: &[Bf16]) -> SetOutcome {
+        let lanes = self.cfg.lanes;
+        assert_eq!(plan.lanes, lanes, "A operand count");
+        assert_eq!(b.len(), lanes, "B operand count");
+
+        // Sparse sets amortize the packed passes poorly — the per-lane
+        // planned loop walks only live lanes and wins below a handful of
+        // them. The two paths are bit-identical, so this is purely a
+        // performance dispatch.
+        let mut live = 0u32;
+        for (i, &bi) in b.iter().enumerate() {
+            if plan.a_zero & (1 << i) == 0 && !bi.is_zero() {
+                live |= 1 << i;
+            }
+        }
+        if live.count_ones() < SWAR_DENSE_MIN {
+            return self.process_planned(plan, b);
+        }
+
+        let mut outcome = SetOutcome::default();
+        outcome.terms.macs = lanes as u64;
+
+        // Load the packed lane state (scratch owned by the PE; nothing is
+        // heap-allocated per set).
+        let s = &mut self.swar;
+        let mut active: u32 = 0;
+        let mut max_abe = i32::MIN;
+        for (i, &bi) in b.iter().enumerate() {
+            assert!(bi.is_finite(), "non-finite operand");
+            // Inactive lanes keep d = 0 so the branchless pass stays
+            // overflow-free on them.
+            s.d[i] = 0;
+            if plan.a_zero & (1 << i) != 0 || bi.is_zero() {
+                // Zero *value*: the pair produces no terms at all. A naive
+                // bit-serial unit would still grind through 8 digit slots.
+                outcome.terms.zero_value_macs += 1;
+                outcome.terms.zero_skipped += 8;
+                continue;
+            }
+            let p = plan.packed[i];
+            outcome.terms.zero_skipped += 8u64.saturating_sub(p.len as u64);
+            let abe = plan.a_exp[i] + bi.exponent();
+            max_abe = max_abe.max(abe);
+            s.shifts[i] = p.shifts;
+            // Fold the product sign into the term signs once: bit j of
+            // `negs` is then the issued sign of term j directly. (Garbage
+            // in the bits beyond `len` is never consumed.)
+            let lane_neg = ((plan.a_sign >> i) & 1 != 0) ^ bi.sign();
+            s.negs[i] = p.negs ^ 0u8.wrapping_sub(lane_neg as u8);
+            s.rem[i] = p.len;
+            s.abe[i] = abe;
+            s.bsig[i] = bi.significand() as u64;
+            s.d[i] = (p.shifts as i8) as i32 - abe;
+            active |= 1 << i;
+        }
+
+        self.swar_run(active, max_abe, outcome)
+    }
+
+    /// The SWAR entry of [`Pe::process_set`]: plans and loads in one fused
+    /// pass, streaming each A significand's packed term word straight into
+    /// the lane scratch without materializing a [`PlannedSet`]. Produces
+    /// exactly the state [`Pe::process_planned_swar`] loads from a plan, so
+    /// the shared cycle engine keeps all three datapaths bit-identical.
+    fn process_set_swar(&mut self, a: &[Bf16], b: &[Bf16]) -> SetOutcome {
+        let lanes = self.cfg.lanes;
+        assert_eq!(a.len(), lanes, "A operand count");
+        for &ai in a {
+            assert!(ai.is_finite(), "non-finite operand");
+        }
+        assert_eq!(b.len(), lanes, "B operand count");
+
+        // Same sparsity dispatch as [`Pe::process_planned_swar`].
+        let mut live_n = 0u32;
+        for (&ai, &bi) in a.iter().zip(b) {
+            live_n += u32::from(!ai.is_zero() && !bi.is_zero());
+        }
+        if live_n < SWAR_DENSE_MIN {
+            let plan = PlannedSet::plan(a, self.cfg.encoding);
+            return self.process_planned(&plan, b);
+        }
+        let packed_table = packed_term_table(self.cfg.encoding);
+
+        let mut outcome = SetOutcome::default();
+        outcome.terms.macs = lanes as u64;
+
+        let s = &mut self.swar;
+        let mut active: u32 = 0;
+        let mut max_abe = i32::MIN;
+        for (i, (&ai, &bi)) in a.iter().zip(b).enumerate() {
+            assert!(bi.is_finite(), "non-finite operand");
+            s.d[i] = 0;
+            if ai.is_zero() || bi.is_zero() {
+                outcome.terms.zero_value_macs += 1;
+                outcome.terms.zero_skipped += 8;
+                continue;
+            }
+            let p = packed_table[ai.significand() as usize];
+            outcome.terms.zero_skipped += 8u64.saturating_sub(p.len as u64);
+            let abe = ai.exponent() + bi.exponent();
+            max_abe = max_abe.max(abe);
+            s.shifts[i] = p.shifts;
+            let lane_neg = ai.sign() ^ bi.sign();
+            s.negs[i] = p.negs ^ 0u8.wrapping_sub(lane_neg as u8);
+            s.rem[i] = p.len;
+            s.abe[i] = abe;
+            s.bsig[i] = bi.significand() as u64;
+            s.d[i] = (p.shifts as i8) as i32 - abe;
+            active |= 1 << i;
+        }
+
+        self.swar_run(active, max_abe, outcome)
+    }
+
+    /// The SWAR cycle engine shared by [`Pe::process_planned_swar`] and the
+    /// fused [`Pe::process_set`] entry: runs the loaded lane scratch to
+    /// retirement and finishes the set.
+    fn swar_run(&mut self, mut active: u32, max_abe: i32, mut outcome: SetOutcome) -> SetOutcome {
+        let lanes = self.cfg.lanes;
+        let window = self.cfg.max_shift_window;
+        // θ folded to "never" when OB skipping is disabled, keeping the
+        // compare pass branchless either way.
+        let theta = if self.cfg.ob_skip {
+            self.cfg.accum.ob_threshold
+        } else {
+            i32::MAX
+        };
+        // Contribution alignment: add_scaled shifts by
+        // pow − (e_acc − frac) = (frac − 7) − k for an 8-bit B significand.
+        let shift_base = self.cfg.accum.frac_bits as i32 - 7;
+        let s = &mut self.swar;
+
+        self.acc.count_macs(lanes as u32);
+
+        if active == 0 {
+            // Nothing to accumulate; the set still occupies the PE for the
+            // minimum one cycle (Section IV-A: "the minimum effective number
+            // of cycles for processing the 8 MACs will be 1 cycle").
+            outcome.cycles = 1;
+            outcome.lane_cycles.no_term += lanes as u64;
+            self.finish_set(outcome);
+            return outcome;
+        }
+
+        // Block 1 — exponent: compute emax and align the accumulator.
+        let acc = self.acc.inner_mut();
+        acc.begin_set(max_abe);
+
+        // Packed-byte mode: every live lane's biased k in one byte of `kb`.
+        // Drops to the generic per-lane cycle (and re-enters when it can)
+        // whenever the byte range can't represent the state — more than 8
+        // lanes, wide exponent spreads, or the post-cancellation sentinel
+        // exponent.
+        // OB threshold in biased-byte space: `k > θ` becomes `kb ≥ obt`.
+        // Clamping to [0, 128] keeps the compare carry-free while staying
+        // exact: at 0 every live byte fires (θ below the representable
+        // range ⇒ all live lanes are out of bounds), and at 128 none does
+        // (live bytes cap at KCAP; a lane that would cross θ without
+        // saturating first crosses KCAP and drops the set to the generic
+        // cycle). With OB skipping off the threshold folds to "never",
+        // which also disables KSAT saturation (`128 > KSAT`).
+        let obt_i: i32 = if self.cfg.ob_skip {
+            i64::from(self.cfg.accum.ob_threshold)
+                .saturating_add(i64::from(KBIAS) + 1)
+                .clamp(0, 128) as i32
+        } else {
+            128
+        };
+        let obt_b = L8 * obt_i as u64;
+        let mut kb = 0u64;
+        let mut packed_ok = lanes <= 8;
+        if packed_ok {
+            match s.pack_k(active, acc.exponent(), obt_i) {
+                Some(v) => kb = v,
+                None => packed_ok = false,
+            }
+        }
+
+        // Blocks 2 and 3 — stream terms through the shift&reduce window,
+        // two whole-set passes per cycle.
+        loop {
+            if active == 0 {
+                // Every lane retired by exhausting its terms in the
+                // previous (already counted) cycle; the set is done.
+                break;
+            }
+            if packed_ok {
+                // ---- Packed cycle: all-lane decisions on u64 bytes. ----
+                let e = acc.exponent();
+                debug_assert_eq!(s.pack_k(active, e, obt_i), Some(kb), "stale packed k");
+
+                // Pass 1 — out-of-bounds mask, base offset and issue
+                // window for all lanes at once, branchlessly.
+                let ob_bits = swar_msb_bits(swar_ge(kb, obt_b)) & active;
+                if ob_bits != 0 {
+                    // Rare slow lane: charge the skipped terms and retire.
+                    let mut m = ob_bits;
+                    while m != 0 {
+                        let i = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        outcome.terms.ob_skipped += s.rem[i] as u64;
+                        s.d[i] = 0;
+                        kb |= 0x7F << (8 * i);
+                    }
+                    active &= !ob_bits;
+                    if active == 0 {
+                        break;
+                    }
+                }
+                let (minb, sel);
+                if active & (active - 1) == 0 {
+                    // Single live lane: it is its own base and always in
+                    // window, so the tournament min and the packed window
+                    // compare collapse away.
+                    minb = ((kb >> (8 * active.trailing_zeros())) & 0xFF) as u8;
+                    sel = active;
+                } else {
+                    minb = swar_hmin(kb);
+                    let thr = (u64::from(minb) + 1 + u64::from(window)).min(128);
+                    sel = !swar_msb_bits(swar_ge(kb, L8 * thr)) & active;
+                }
+
+                // Retired lanes idle out the rest of the set (no term).
+                outcome.lane_cycles.no_term += (lanes as u32 - active.count_ones()) as u64;
+
+                // Pass 2 — one fused walk over the selected lanes: fold
+                // each contribution — aligned and rounded exactly as
+                // add_scaled would — into one widened partial sum and
+                // advance the lane in the same step, watching for the
+                // empty-register adoption that would move the pass-start
+                // exponent. The walk keeps a register-only undo log (the
+                // shifted-out shift byte is recoverable from the kb
+                // snapshot; only the consumed sign bits need saving) so
+                // the rare adoption hit can rewind and replay per-lane.
+                let mant0 = acc.mantissa();
+                let mut r = mant0;
+                let mut unstable = false;
+                let mut adopted = false;
+                let kb0 = kb;
+                let active0 = active;
+                let packed_ok0 = packed_ok;
+                let mut done = 0u32;
+                let mut sign_log = 0u32;
+                let mut m = sel;
+                while m != 0 {
+                    let i = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let k = ((kb0 >> (8 * i)) & 0xFF) as i32 - KBIAS;
+                    if r == 0 && k != 0 {
+                        if done == 0 {
+                            // Empty register meeting its first issued lane
+                            // off the hidden position (every fresh
+                            // accumulator and chunk boundary): the adopted
+                            // exponent is known analytically, so the cycle
+                            // still folds batched — in the adopted frame,
+                            // below.
+                            adopted = true;
+                        } else {
+                            // Mid-cycle exact cancellation: rewind and
+                            // replay per lane.
+                            unstable = true;
+                        }
+                        break;
+                    }
+                    let neg = s.negs[i] & 1;
+                    let mag = s.bsig[i] as i64;
+                    let signed = if neg != 0 { -mag } else { mag };
+                    // Pre-shift by 7 so one branchless constant rounder
+                    // covers both shift directions; `t ≥ 0` always holds
+                    // under the paper config (`k ≤ θ ≤ frac_bits`), so the
+                    // remaining branch is perfectly predicted.
+                    let t = shift_base - k + 7;
+                    let c = if t >= 0 {
+                        debug_assert!(t < 55, "contribution alignment overflow (t={t})");
+                        rne7(signed << t)
+                    } else {
+                        round_shift_rne(signed, (7 - t) as u32)
+                    };
+                    r += c;
+                    // Advance in the same walk.
+                    done |= 1 << i;
+                    sign_log |= u32::from(neg) << i;
+                    let d_old = s.d[i];
+                    if s.advance(i) {
+                        active &= !(1 << i);
+                        kb |= 0x7F << (8 * i);
+                    } else {
+                        // Same exponent, strictly larger shift: the biased
+                        // byte moves by the shift delta.
+                        let delta = (s.d[i] - d_old) as u64;
+                        kb = kb.wrapping_add(delta << (8 * i));
+                        let byte = (kb >> (8 * i)) & 0xFF;
+                        if byte > KCAP {
+                            if byte as i32 >= obt_i && obt_i <= KSAT as i32 {
+                                // Past θ anyway: pin to the saturation
+                                // sentinel; the next OB pass retires it.
+                                kb = (kb & !(0xFF << (8 * i))) | (KSAT << (8 * i));
+                            } else {
+                                packed_ok = false;
+                            }
+                        }
+                    }
+                }
+
+                let mut replayed = false;
+                if adopted {
+                    // Empty register, first issued lane at k0 ≠ 0: the
+                    // per-lane sequence would adopt e′ = e − k0 on that add
+                    // (bsig is normalized — MSB at bit 7 — so the adopted
+                    // exponent places it at the hidden position), shifting
+                    // every later lane's offset by k0 within the same
+                    // cycle. Fold the cycle in the adopted frame instead
+                    // of replaying per lane: the adopting lane lands at
+                    // shift_base exactly; each later active lane is
+                    // re-selected live against the unchanged pass-1 base,
+                    // exactly as the sequential adds would.
+                    let base = i32::from(minb) - KBIAS;
+                    let i0 = sel.trailing_zeros() as usize;
+                    let k0 = ((kb0 >> (8 * i0)) & 0xFF) as i32 - KBIAS;
+                    // Every active lane below the adopting one is an
+                    // unselected stall in either frame.
+                    let mut stall_n = (active0 & ((1u32 << i0) - 1)).count_ones() as u64;
+                    let mut useful_n = 1u64;
+                    let neg0 = s.negs[i0] & 1;
+                    let mag0 = s.bsig[i0] as i64;
+                    r = (if neg0 != 0 { -mag0 } else { mag0 }) << shift_base;
+                    done |= 1 << i0;
+                    sign_log |= u32::from(neg0) << i0;
+                    if s.advance(i0) {
+                        active &= !(1 << i0);
+                    }
+                    let mut m = active0 & !((2u32 << i0) - 1);
+                    while m != 0 {
+                        let i = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        let k = ((kb0 >> (8 * i)) & 0xFF) as i32 - KBIAS - k0;
+                        if (k - base) as u32 <= window {
+                            if r == 0 && k != 0 {
+                                // Second adoption (exact cancellation in
+                                // the adopted frame): rewind and replay.
+                                unstable = true;
+                                break;
+                            }
+                            let neg = s.negs[i] & 1;
+                            let mag = s.bsig[i] as i64;
+                            let signed = if neg != 0 { -mag } else { mag };
+                            let t = shift_base - k + 7;
+                            let c = if t >= 0 {
+                                debug_assert!(t < 55, "contribution alignment overflow (t={t})");
+                                rne7(signed << t)
+                            } else {
+                                round_shift_rne(signed, (7 - t) as u32)
+                            };
+                            r += c;
+                            done |= 1 << i;
+                            sign_log |= u32::from(neg) << i;
+                            if s.advance(i) {
+                                active &= !(1 << i);
+                            }
+                            useful_n += 1;
+                        } else {
+                            stall_n += 1;
+                        }
+                    }
+                    if !unstable {
+                        self.swar_unstable_cycles += 1;
+                        acc.set_batched(r, e - k0);
+                        outcome.lane_cycles.record_issue(useful_n, stall_n);
+                        outcome.terms.processed += useful_n;
+                        // kb was left stale in the adopted frame; the
+                        // maintenance step below re-packs it.
+                        replayed = true;
+                    }
+                }
+                if unstable {
+                    // The walk touched no accumulator state — rewind the
+                    // advanced lanes from the undo log, then replay the
+                    // cycle with live per-lane adds, which handle the
+                    // adoption exactly.
+                    self.swar_unstable_cycles += 1;
+                    replayed = true;
+                    kb = kb0;
+                    active = active0;
+                    packed_ok = packed_ok0;
+                    let mut m = done;
+                    while m != 0 {
+                        let i = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        // k = e − ABe + shift, so the consumed shift byte
+                        // falls out of the kb snapshot.
+                        let k = ((kb0 >> (8 * i)) & 0xFF) as i32 - KBIAS;
+                        let shift = k - e + s.abe[i];
+                        s.rem[i] += 1;
+                        s.shifts[i] = (s.shifts[i] << 8) | u64::from(shift as i8 as u8);
+                        s.negs[i] = (s.negs[i] << 1) | ((sign_log >> i) & 1) as u8;
+                        s.d[i] = shift - s.abe[i];
+                    }
+                    let base = i32::from(minb) - KBIAS;
+                    let mut m = active;
+                    while m != 0 {
+                        let i = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        let shift = (s.shifts[i] as i8) as i32;
+                        let k = acc.exponent() - s.abe[i] + shift;
+                        if (k - base) as u32 <= window {
+                            acc.add_scaled(s.negs[i] & 1 != 0, s.bsig[i], s.abe[i] - shift - 7);
+                            if s.advance(i) {
+                                active &= !(1 << i);
+                            }
+                            outcome.lane_cycles.useful += 1;
+                            outcome.terms.processed += 1;
+                        } else {
+                            outcome.lane_cycles.shift_range += 1;
+                        }
+                    }
+                } else if !adopted {
+                    // Single register update retires the whole cycle.
+                    acc.add_batched(r - mant0);
+                    let issued = sel.count_ones() as u64;
+                    let stalled = active0.count_ones() as u64 - issued;
+                    outcome.lane_cycles.record_issue(issued, stalled);
+                    outcome.terms.processed += issued;
+                }
+
+                // The accumulator is normalized (and rounded) every
+                // accumulation step; this can raise e_acc mid-set and push
+                // later terms out of bounds (paper Fig. 5, cycle 5).
+                acc.normalize();
+                outcome.cycles += 1;
+
+                // Keep kb in step with the (possibly moved) exponent.
+                if active != 0 && packed_ok {
+                    if acc.mantissa() == 0 {
+                        // Sentinel exponent after full cancellation; the
+                        // generic cycle re-adopts, then packing resumes.
+                        packed_ok = false;
+                    } else {
+                        let de = acc.exponent() - e;
+                        if !replayed && de == 0 {
+                            // Common case: exponent held, kb already exact.
+                        } else if !replayed && (1..=KBIAS).contains(&de) {
+                            // Broadcast the raise onto the live bytes and
+                            // re-check the cap (bytes stay ≤ 158, so the
+                            // packed compare is still carry-free). Lanes
+                            // pushed over the cap are past θ in every
+                            // practical config — saturate them rather than
+                            // abandoning the packed cycle.
+                            kb = kb.wrapping_add((L8 * de as u64) & swar_byte_mask(active));
+                            let mut over = swar_msb_bits(swar_ge(kb, L8 * (KCAP + 1))) & active;
+                            while over != 0 {
+                                let i = over.trailing_zeros() as usize;
+                                over &= over - 1;
+                                let byte = (kb >> (8 * i)) & 0xFF;
+                                if byte as i32 >= obt_i && obt_i <= KSAT as i32 {
+                                    kb = (kb & !(0xFF << (8 * i))) | (KSAT << (8 * i));
+                                } else {
+                                    packed_ok = false;
+                                }
+                            }
+                        } else {
+                            // Replay advanced lanes at a moved exponent, or
+                            // the exponent fell (cancellation): re-pack.
+                            match s.pack_k(active, acc.exponent(), obt_i) {
+                                Some(v) => kb = v,
+                                None => packed_ok = false,
+                            }
+                        }
+                    }
+                }
+                continue;
+            }
+
+            // ---- Generic cycle: per-lane i32 state, any lane count and
+            // exponent range (including the post-cancellation sentinel). ----
+
+            // Pass 1 — min/compare: k, the out-of-bounds mask and the base
+            // offset for every lane in one branchless sweep.
+            let e = acc.exponent();
+            let mut base = i32::MAX;
+            let mut ob_mask = 0u32;
+            for i in 0..lanes {
+                let live = active & (1 << i) != 0;
+                let k = e + s.d[i];
+                let ob = live && k > theta;
+                ob_mask |= (ob as u32) << i;
+                let k_eff = if live && !ob { k } else { i32::MAX };
+                base = base.min(k_eff);
+            }
+            if ob_mask != 0 {
+                // Rare slow lane: charge the skipped terms and retire.
+                let mut m = ob_mask;
+                while m != 0 {
+                    let i = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    outcome.terms.ob_skipped += s.rem[i] as u64;
+                    s.d[i] = 0;
+                }
+                active &= !ob_mask;
+            }
+            if active == 0 {
+                // Every lane retired out-of-bounds; the set is done.
+                break;
+            }
+
+            // Retired lanes idle out the rest of the set (no term).
+            outcome.lane_cycles.no_term += (lanes as u32 - active.count_ones()) as u64;
+
+            // Pass 2 — batched issue: fold every in-window contribution
+            // into one widened partial sum against the pass-start exponent,
+            // watching for the empty-register adoption that would move it.
+            let mant0 = acc.mantissa();
+            let mut r = mant0;
+            let mut issue_mask = 0u32;
+            let mut unstable = false;
+            for i in 0..lanes {
+                if active & (1 << i) == 0 {
+                    continue;
+                }
+                let k = e + s.d[i];
+                if (k - base) as u32 > window {
+                    continue;
+                }
+                if r == 0 && k != 0 {
+                    unstable = true;
+                    break;
+                }
+                let mag = s.bsig[i] as i64;
+                let signed = if s.negs[i] & 1 != 0 { -mag } else { mag };
+                let t = shift_base - k + 7;
+                let c = if t >= 0 {
+                    debug_assert!(t < 55, "contribution alignment overflow (t={t})");
+                    rne7(signed << t)
+                } else {
+                    round_shift_rne(signed, (7 - t) as u32)
+                };
+                r += c;
+                issue_mask |= 1 << i;
+            }
+
+            if unstable {
+                // The batch pass mutated nothing — replay the cycle with
+                // live per-lane adds, which handle the adoption exactly.
+                self.swar_unstable_cycles += 1;
+                let mut m = active;
+                while m != 0 {
+                    let i = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let shift = (s.shifts[i] as i8) as i32;
+                    let k = acc.exponent() - s.abe[i] + shift;
+                    if (k - base) as u32 <= window {
+                        acc.add_scaled(s.negs[i] & 1 != 0, s.bsig[i], s.abe[i] - shift - 7);
+                        if s.advance(i) {
+                            active &= !(1 << i);
+                        }
+                        outcome.lane_cycles.useful += 1;
+                        outcome.terms.processed += 1;
+                    } else {
+                        outcome.lane_cycles.shift_range += 1;
+                    }
+                }
+            } else {
+                // Single register update retires the whole cycle.
+                acc.add_batched(r - mant0);
+                let issued = issue_mask.count_ones() as u64;
+                let stalled = active.count_ones() as u64 - issued;
+                outcome.lane_cycles.record_issue(issued, stalled);
+                outcome.terms.processed += issued;
+                let mut m = issue_mask;
+                while m != 0 {
+                    let i = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    if s.advance(i) {
+                        active &= !(1 << i);
+                    }
+                }
+            }
+
+            // The accumulator is normalized (and rounded) every accumulation
+            // step; this can raise e_acc mid-set and push later terms out of
+            // bounds (paper Fig. 5, cycle 5).
+            acc.normalize();
+            outcome.cycles += 1;
+
+            // Re-enter packed mode as soon as the state fits bytes again.
+            if lanes <= 8 && active != 0 && acc.mantissa() != 0 {
+                if let Some(v) = s.pack_k(active, acc.exponent(), obt_i) {
+                    kb = v;
+                    packed_ok = true;
+                }
+            }
         }
 
         if outcome.cycles == 0 {
@@ -649,6 +1564,7 @@ mod tests {
             chunk_size: 64,
             ob_skip: true,
             scalar_reference: false,
+            swar: true,
         }
     }
 
@@ -700,17 +1616,130 @@ mod tests {
     fn fast_path_matches_scalar_reference_on_fig5() {
         for theta in [12, 6, 3, 0] {
             let (a, b) = fig5_inputs();
-            let mut fast = Pe::new(fig5_config(theta));
+            let mut swar = Pe::new(fig5_config(theta));
+            let mut planned = Pe::new(PeConfig {
+                swar: false,
+                ..fig5_config(theta)
+            });
             let mut scalar = Pe::new(PeConfig {
                 scalar_reference: true,
                 ..fig5_config(theta)
             });
-            let fo = fast.process_set(&a, &b);
+            let wo = swar.process_set(&a, &b);
+            let fo = planned.process_set(&a, &b);
             let so = scalar.process_set_scalar(&a, &b);
-            assert_eq!(fo, so, "θ = {theta}: outcome diverged");
-            assert_eq!(fast.output_f64(), scalar.output_f64());
-            assert_eq!(fast.read_output(), scalar.read_output());
-            assert_eq!(fast.stats(), scalar.stats());
+            assert_eq!(wo, so, "θ = {theta}: SWAR outcome diverged");
+            assert_eq!(fo, so, "θ = {theta}: planned outcome diverged");
+            assert_eq!(swar.output_f64(), scalar.output_f64());
+            assert_eq!(planned.output_f64(), scalar.output_f64());
+            assert_eq!(swar.read_output(), scalar.read_output());
+            assert_eq!(swar.stats(), scalar.stats());
+            assert_eq!(planned.stats(), scalar.stats());
+        }
+    }
+
+    #[test]
+    fn rne7_matches_the_general_rounder() {
+        for v in -70_000i64..=70_000 {
+            assert_eq!(rne7(v), round_shift_rne(v, 7), "v={v}");
+        }
+    }
+
+    #[test]
+    fn swar_flag_and_env_resolution() {
+        // The scalar reference wins over SWAR; FPRAKER_SWAR only matters
+        // when neither scalar flag is set (and may legitimately force
+        // either fast path in CI, so only the invariants are asserted).
+        let scalar = Pe::new(PeConfig::paper_scalar_reference());
+        assert!(!scalar.uses_swar(), "scalar reference must win over SWAR");
+        let planned = Pe::new(PeConfig::paper_planned());
+        let swar = Pe::new(PeConfig::paper());
+        if !planned.uses_scalar_reference() && env_swar().is_none() {
+            assert!(!planned.uses_swar());
+            assert!(swar.uses_swar());
+        }
+    }
+
+    #[test]
+    fn swar_unstable_cycle_falls_back_and_stays_exact() {
+        // Engineer a mid-cycle empty-register adoption: single-term
+        // products +1, −1 and +0.5 (×3) all issue in cycle 1 (k = 0, 0,
+        // 1, 1, 1 — within the window). Lanes 0 and 1 cancel exactly, so
+        // lane 2's add lands on an empty register with k = 1 ≠ 0 and
+        // re-adopts its exponent — the SWAR fold must detect this, replay
+        // the cycle per-lane, and still match the scalar reference
+        // bit-exactly. Five live lanes keep the set on the dense SWAR
+        // datapath (`SWAR_DENSE_MIN`) instead of the sparse-set delegate.
+        let mk = |cfg: PeConfig| {
+            let a: Vec<Bf16> = [1.0f32, 1.0, 0.5, 0.5, 0.5, 0.0, 0.0, 0.0]
+                .iter()
+                .map(|&x| Bf16::from_f32(x))
+                .collect();
+            let b: Vec<Bf16> = [1.0f32, -1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 0.0]
+                .iter()
+                .map(|&x| Bf16::from_f32(x))
+                .collect();
+            let mut pe = Pe::new(cfg);
+            let o = pe.process_set(&a, &b);
+            (pe, o)
+        };
+        let (swar, wo) = mk(PeConfig::paper());
+        let (scalar, so) = mk(PeConfig::paper_scalar_reference());
+        assert_eq!(wo, so);
+        assert_eq!(swar.output_f64(), scalar.output_f64());
+        assert_eq!(swar.read_output().to_f32(), 1.5);
+        if swar.uses_swar() {
+            assert!(
+                swar.swar_unstable_cycles() >= 1,
+                "engineered adoption cycle must hit the fallback"
+            );
+        }
+    }
+
+    #[test]
+    fn swar_chunk_fold_empty_register_keeps_fast_path() {
+        // Chunked accumulation empties the inner register every
+        // chunk_size MACs, so the next set's first add lands on an empty
+        // register. When the leading term sits at the significand MSB
+        // (1.0: single term, k = 0) the adoption is exponent-neutral and
+        // must NOT trip the fallback; a long uniform dot gives many such
+        // chunk boundaries.
+        let mut pe = Pe::new(PeConfig::paper());
+        let n = 512;
+        let a = vec![bf(1.0); n];
+        let b = vec![bf(1.0); n];
+        let (out, _) = pe.dot(&a, &b);
+        assert_eq!(out.to_f32(), 512.0);
+        if pe.uses_swar() {
+            assert_eq!(
+                pe.swar_unstable_cycles(),
+                0,
+                "k = 0 adoptions must stay on the batched path"
+            );
+        }
+    }
+
+    #[test]
+    fn swar_chunk_fold_off_msb_adoption_replays_and_stays_exact() {
+        // 1.5's leading CSD term is 2^1, one position above the MSB, so
+        // the first add after every chunk fold re-adopts at k = −1 — each
+        // boundary replays one cycle per lane and the result must still be
+        // bit-exact against the scalar reference.
+        let n = 512;
+        let a = vec![bf(1.5); n];
+        let b = vec![bf(1.0); n];
+        let mut swar = Pe::new(PeConfig::paper());
+        let mut scalar = Pe::new(PeConfig::paper_scalar_reference());
+        let (wo, wc) = swar.dot(&a, &b);
+        let (so, sc) = scalar.dot(&a, &b);
+        assert_eq!(wo.to_f32(), 768.0);
+        assert_eq!((wo, wc), (so, sc));
+        assert_eq!(swar.output_f64(), scalar.output_f64());
+        if swar.uses_swar() {
+            assert!(
+                swar.swar_unstable_cycles() >= 1,
+                "off-MSB adoptions at chunk boundaries must hit the fallback"
+            );
         }
     }
 

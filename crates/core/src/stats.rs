@@ -49,6 +49,17 @@ impl LaneCycles {
         }
     }
 
+    /// Records one whole-set issue pass: `useful` lanes issued a term and
+    /// `stalled` lanes sat out on the shift window. The SWAR datapath uses
+    /// this to retire a cycle's attribution from two popcounts; the
+    /// categories are exactly the ones the per-lane paths bump one at a
+    /// time, so the taxonomy stays datapath-invariant.
+    #[inline]
+    pub fn record_issue(&mut self, useful: u64, stalled: u64) {
+        self.useful += useful;
+        self.shift_range += stalled;
+    }
+
     /// The fractions of each category, in Fig. 15's order
     /// `[useful, no_term, shift_range, inter_pe, exponent]`.
     pub fn fractions(&self) -> [f64; 5] {

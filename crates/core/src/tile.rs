@@ -52,6 +52,18 @@ impl BlockOutcome {
     }
 }
 
+/// Pre-planned A-side term encodings for one block's A streams: one
+/// [`PlannedSet`] per (set, column), built once by [`Tile::plan_block`] and
+/// reusable across every block that shares those A streams (in the GEMM
+/// tiling, all `blocks_n` blocks of a block row). Planning is a pure
+/// function of the A operands and the encoding, so sharing it is exact.
+#[derive(Clone, Debug)]
+pub struct BlockPlans {
+    /// Flat `num_sets × cols`, indexed `[s * cols + c]`.
+    plans: Vec<PlannedSet>,
+    num_sets: usize,
+}
+
 /// A tile of FPRaker PEs.
 ///
 /// # Example
@@ -73,6 +85,38 @@ pub struct Tile {
     cfg: TileConfig,
     /// Row-major `rows × cols`.
     pes: Vec<Pe>,
+    /// Reusable max-plus timing scratch, kept across blocks so streaming
+    /// many blocks through one tile allocates nothing per block once the
+    /// vectors have grown to the block shape.
+    timing: TimingScratch,
+}
+
+/// The event-driven timing state of one block: previous-set finish times
+/// and the per-set coupling fronts. Owned by the tile and cleared/resized
+/// at the top of each [`Tile::run_block`].
+#[derive(Clone, Debug, Default)]
+struct TimingScratch {
+    /// Previous-set finish time per (column, group), flat `cols × groups`.
+    prev_finish: Vec<u64>,
+    /// Per-set A-coupling front (max finish over a column's groups), flat
+    /// `cols × num_sets`.
+    col_front: Vec<u64>,
+    /// Per-set B-coupling front (max finish over a group's columns), flat
+    /// `groups × num_sets`.
+    row_front: Vec<u64>,
+}
+
+impl TimingScratch {
+    /// Zeroes the scratch for a new block of the given shape, reusing the
+    /// existing allocations when they are large enough.
+    fn reset(&mut self, cols: usize, groups: usize, num_sets: usize) {
+        self.prev_finish.clear();
+        self.prev_finish.resize(cols * groups, 0);
+        self.col_front.clear();
+        self.col_front.resize(cols * num_sets, 0);
+        self.row_front.clear();
+        self.row_front.resize(groups * num_sets, 0);
+    }
 }
 
 impl Tile {
@@ -95,6 +139,7 @@ impl Tile {
         Tile {
             pes: vec![Pe::new(cfg.pe); cfg.rows * cfg.cols],
             cfg,
+            timing: TimingScratch::default(),
         }
     }
 
@@ -115,6 +160,95 @@ impl Tile {
     /// Panics if stream counts don't match the tile geometry or stream
     /// lengths are unequal / not multiples of the lane count.
     pub fn run_block(&mut self, a_streams: &[Vec<Bf16>], b_streams: &[Vec<Bf16>]) -> BlockOutcome {
+        match self.plan_block(a_streams) {
+            Some(plans) => self.run_block_inner(a_streams, Some(&plans), b_streams),
+            None => self.run_block_inner(a_streams, None, b_streams),
+        }
+    }
+
+    /// Plans the A-side term encodings for a block's A streams — the shared
+    /// column encoders of Section IV-C, hoisted so callers that stream many
+    /// blocks against the same A operands (all blocks of a GEMM block row)
+    /// encode them once. Returns `None` on the scalar reference path, which
+    /// re-encodes per PE as the original model did.
+    ///
+    /// A operands are validated here once instead of once per column set:
+    /// the planned runners consume `plan_prevalidated` output and skip the
+    /// redundant per-set sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream count doesn't match the tile's columns, stream
+    /// lengths are unequal / not multiples of the lane count, or any A
+    /// operand is non-finite.
+    pub fn plan_block(&self, a_streams: &[Vec<Bf16>]) -> Option<BlockPlans> {
+        let (cols, lanes) = (self.cfg.cols, self.cfg.pe.lanes);
+        let use_planned = self
+            .pes
+            .first()
+            .is_some_and(|pe| !pe.uses_scalar_reference());
+        if !use_planned {
+            return None;
+        }
+        assert_eq!(a_streams.len(), cols, "one A stream per column");
+        let len = a_streams.first().map_or(0, Vec::len);
+        for stream in a_streams {
+            assert_eq!(stream.len(), len, "stream length mismatch");
+            for &v in stream {
+                assert!(v.is_finite(), "non-finite operand");
+            }
+        }
+        assert_eq!(
+            len % lanes.max(1),
+            0,
+            "stream length must be a multiple of lanes"
+        );
+        let num_sets = len / lanes;
+        let mut plans = Vec::with_capacity(num_sets * cols);
+        for s in 0..num_sets {
+            for a_stream in a_streams {
+                plans.push(PlannedSet::plan_prevalidated(
+                    &a_stream[s * lanes..(s + 1) * lanes],
+                    self.cfg.pe.encoding,
+                ));
+            }
+        }
+        Some(BlockPlans { plans, num_sets })
+    }
+
+    /// [`Tile::run_block`] with A-side plans already built by
+    /// [`Tile::plan_block`] for these exact A streams — bit-identical to
+    /// `run_block`, minus the re-planning. Debug builds assert every plan
+    /// matches a fresh encoding of its A set.
+    ///
+    /// # Panics
+    ///
+    /// Panics as `run_block` does on malformed streams, and if the plans'
+    /// shape doesn't match the streams.
+    pub fn run_block_planned(
+        &mut self,
+        a_streams: &[Vec<Bf16>],
+        plans: &BlockPlans,
+        b_streams: &[Vec<Bf16>],
+    ) -> BlockOutcome {
+        debug_assert!(
+            self.pes
+                .first()
+                .is_some_and(|pe| !pe.uses_scalar_reference()),
+            "scalar-reference tiles re-encode per PE and take no plans"
+        );
+        self.run_block_inner(a_streams, Some(plans), b_streams)
+    }
+
+    /// The single block runner behind [`Tile::run_block`] and
+    /// [`Tile::run_block_planned`]: `plans` is `Some` on the planned/SWAR
+    /// datapaths and `None` on the scalar reference path.
+    fn run_block_inner(
+        &mut self,
+        a_streams: &[Vec<Bf16>],
+        plans: Option<&BlockPlans>,
+        b_streams: &[Vec<Bf16>],
+    ) -> BlockOutcome {
         let (rows, cols, lanes) = (self.cfg.rows, self.cfg.cols, self.cfg.pe.lanes);
         assert_eq!(a_streams.len(), cols, "one A stream per column");
         assert_eq!(b_streams.len(), rows, "one B stream per row");
@@ -146,41 +280,52 @@ impl Tile {
         let group_rows = self.cfg.group_rows();
         let groups = rows.div_ceil(group_rows);
         // All PEs share one config, so one probe decides the datapath: on
-        // the fast path each column's shared A set is planned once (term
-        // encoding, exponents, signs, validation) and every PE row consumes
-        // the planned form — the column's shared term encoders of
-        // Section IV-C. The scalar reference path re-encodes per PE, as the
-        // original model did.
-        let use_planned = self
-            .pes
-            .first()
-            .is_some_and(|pe| !pe.uses_scalar_reference());
+        // the fast paths each column's shared A set is planned once (term
+        // encoding, exponents, signs) and every PE row consumes the planned
+        // form — the column's shared term encoders of Section IV-C — through
+        // either the SWAR or the pre-SWAR planned loop. The scalar reference
+        // path re-encodes per PE, as the original model did.
+        let use_swar = self.pes.first().is_some_and(Pe::uses_swar);
+        if let Some(p) = plans {
+            assert_eq!(
+                p.num_sets, num_sets,
+                "plans built for a different block shape"
+            );
+            assert_eq!(p.plans.len(), num_sets * cols, "plan count mismatch");
+        }
         let mut stats = ExecStats::default();
-        // Previous-set finish time per (column, group).
-        let mut prev_finish = vec![0u64; cols * groups];
-        // Per-set fronts: max finish over groups of a column (A coupling)
-        // and max finish over columns of a group (B coupling).
-        let mut col_front = vec![vec![0u64; num_sets]; cols];
-        let mut row_front = vec![vec![0u64; num_sets]; groups];
+        self.timing.reset(cols, groups, num_sets);
         let a_slip = self.cfg.a_runahead;
         let b_slip = self.cfg.b_runahead;
 
         for s in 0..num_sets {
-            for c in 0..cols {
-                let a_set = &a_streams[c][s * lanes..(s + 1) * lanes];
-                let plan = use_planned.then(|| PlannedSet::plan(a_set, self.cfg.pe.encoding));
+            for (c, a_stream) in a_streams.iter().enumerate() {
+                let a_set = &a_stream[s * lanes..(s + 1) * lanes];
+                let plan = plans.map(|p| &p.plans[s * cols + c]);
+                // Planning is a pure function of (operands, encoding), so
+                // the shared plan is exactly what each row — and each block
+                // reusing these A streams — would have computed for itself.
+                #[cfg(debug_assertions)]
+                if let Some(p) = plan {
+                    debug_assert_eq!(
+                        *p,
+                        PlannedSet::plan_prevalidated(a_set, self.cfg.pe.encoding),
+                        "plans must be row- and block-invariant"
+                    );
+                }
                 let a_gate = if groups > 1 && s > a_slip {
-                    col_front[c][s - 1 - a_slip]
+                    self.timing.col_front[c * num_sets + (s - 1 - a_slip)]
                 } else {
                     0
                 };
                 for g in 0..groups {
                     let b_gate = if cols > 1 && s > b_slip {
-                        row_front[g][s - b_slip - 1] // release of set s-b_slip
+                        // Release of set s-b_slip.
+                        self.timing.row_front[g * num_sets + (s - b_slip - 1)]
                     } else {
                         0
                     };
-                    let prev = prev_finish[c * groups + g];
+                    let prev = self.timing.prev_finish[c * groups + g];
                     let start = prev.max(a_gate).max(b_gate);
                     let rows_here = ((g + 1) * group_rows).min(rows) - g * group_rows;
                     // Waiting on A/B coupling idles the whole group.
@@ -194,7 +339,8 @@ impl Tile {
                     {
                         let b_set = &b_streams[r][s * lanes..(s + 1) * lanes];
                         let pe = &mut self.pes[r * cols + c];
-                        let outcome = match &plan {
+                        let outcome = match plan {
+                            Some(p) if use_swar => pe.process_planned_swar(p, b_set),
                             Some(p) => pe.process_planned(p, b_set),
                             None => pe.process_set(a_set, b_set),
                         };
@@ -214,16 +360,18 @@ impl Tile {
                         stats.lane_cycles.exponent += (dur - natural) * lanes as u64;
                     }
                     let finish = start + dur;
-                    prev_finish[c * groups + g] = finish;
-                    col_front[c][s] = col_front[c][s].max(finish);
-                    row_front[g][s] = row_front[g][s].max(finish);
+                    self.timing.prev_finish[c * groups + g] = finish;
+                    let cf = &mut self.timing.col_front[c * num_sets + s];
+                    *cf = (*cf).max(finish);
+                    let rf = &mut self.timing.row_front[g * num_sets + s];
+                    *rf = (*rf).max(finish);
                 }
             }
         }
 
-        let cycles = prev_finish.iter().copied().max().unwrap_or(0);
+        let cycles = self.timing.prev_finish.iter().copied().max().unwrap_or(0);
         // Groups that finish before the block does idle out the tail.
-        for (i, &f) in prev_finish.iter().enumerate() {
+        for (i, &f) in self.timing.prev_finish.iter().enumerate() {
             let g = i % groups;
             let rows_here = ((g + 1) * group_rows).min(rows) - g * group_rows;
             stats.lane_cycles.inter_pe += (cycles - f) * (rows_here * lanes) as u64;
@@ -411,6 +559,48 @@ mod tests {
         let out = tile.run_block(&a, &b);
         assert_eq!(out.cycles, 0);
         assert!(out.outputs.iter().all(|o| *o == Bf16::ZERO));
+    }
+
+    #[test]
+    fn shared_plans_match_per_block_planning() {
+        // One plan_block against several different B blocks (the engine's
+        // block-row reuse pattern) must be bit-identical to letting each
+        // run_block plan for itself — outputs, cycles and statistics.
+        let mut rng = SplitMix64::new(0xD1CE);
+        let sets = 4;
+        let a: Vec<Vec<Bf16>> = (0..4).map(|_| rand_stream(&mut rng, sets, 8, 4)).collect();
+        let mut with_plans = small_tile(4, 4);
+        let mut without = small_tile(4, 4);
+        let Some(plans) = with_plans.plan_block(&a) else {
+            // FPRAKER_SCALAR_REFERENCE=1 forces the oracle path, which never
+            // plans; the engine falls back to run_block in that mode.
+            return;
+        };
+        for seed in 0..3 {
+            let b: Vec<Vec<Bf16>> = (0..4)
+                .map(|_| rand_stream(&mut rng, sets, 8, 3 + seed))
+                .collect();
+            let planned = with_plans.run_block_planned(&a, &plans, &b);
+            let fresh = without.run_block(&a, &b);
+            assert_eq!(planned.outputs, fresh.outputs, "seed {seed}");
+            assert_eq!(planned.cycles, fresh.cycles, "seed {seed}");
+            assert_eq!(planned.stats, fresh.stats, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn scalar_reference_tile_declines_to_plan() {
+        let tile = Tile::new(TileConfig {
+            pe: PeConfig::paper_scalar_reference(),
+            rows: 2,
+            cols: 2,
+            ..TileConfig::paper()
+        });
+        let a = vec![vec![Bf16::ONE; 8]; 2];
+        assert!(
+            tile.plan_block(&a).is_none(),
+            "scalar reference re-encodes per PE; block plans don't apply"
+        );
     }
 
     #[test]

@@ -1,11 +1,17 @@
 //! Fast-path ⇄ scalar-reference equivalence suite.
 //!
-//! The LUT/SoA fast path of [`Pe::process_planned`] must be *bit-identical*
-//! to the pinned scalar reference ([`Pe::process_set_scalar`]): same cycle
-//! counts, same lane-cycle attribution, same term statistics and the same
-//! accumulator bits — over random operands, zero densities, θ values, both
-//! encodings and with out-of-bounds skipping on or off. The tile-level
-//! check pins the shared A-side planning against per-PE encoding.
+//! Both fast paths — the SWAR datapath of [`Pe::process_planned_swar`] and
+//! the LUT/SoA planned path of [`Pe::process_planned`] — must be
+//! *bit-identical* to the pinned scalar reference
+//! ([`Pe::process_set_scalar`]): same cycle counts, same lane-cycle
+//! attribution, same term statistics and the same accumulator bits — over
+//! random operands, zero densities, cancellation-heavy mirrored lanes,
+//! θ values, shift windows (including Δ = 0), both encodings and with
+//! out-of-bounds skipping on or off. The tile-level check pins the shared
+//! A-side planning and the SWAR row loop against per-PE scalar encoding,
+//! and deterministic corner tests cover the cycles the SWAR fold must
+//! survive: OB skip racing lane retirement, and the accumulator emptying
+//! mid-set and re-adopting an addend's exponent.
 
 use fpraker_core::{Pe, PeConfig, PlannedSet, Tile, TileConfig};
 use fpraker_num::encode::Encoding;
@@ -14,65 +20,103 @@ use fpraker_num::{AccumConfig, Bf16};
 use proptest::prelude::*;
 
 fn arb_operands() -> impl Strategy<Value = (Vec<Bf16>, Vec<Bf16>)> {
-    (any::<u64>(), 0u32..=80, 1i32..12).prop_map(|(seed, zero_pct, spread)| {
-        let mut rng = SplitMix64::new(seed);
-        let mut gen = |n: usize| -> Vec<Bf16> {
-            (0..n)
-                .map(|_| {
-                    if rng.next_u64() % 100 < zero_pct as u64 {
-                        Bf16::ZERO
-                    } else {
-                        rng.bf16_in_range(spread)
-                    }
-                })
-                .collect()
-        };
-        (gen(8), gen(8))
-    })
+    (any::<u64>(), 0u32..=80, 1i32..12, any::<bool>()).prop_map(
+        |(seed, zero_pct, spread, mirror)| {
+            let mut rng = SplitMix64::new(seed);
+            let mut gen = |n: usize| -> Vec<Bf16> {
+                (0..n)
+                    .map(|_| {
+                        if rng.next_u64() % 100 < zero_pct as u64 {
+                            Bf16::ZERO
+                        } else {
+                            rng.bf16_in_range(spread)
+                        }
+                    })
+                    .collect()
+            };
+            let (mut a, mut b) = (gen(8), gen(8));
+            if mirror {
+                // Cancellation-heavy shape: lanes 4..8 mirror lanes 0..4
+                // with the product sign flipped, so the running mantissa
+                // crosses (and often lands exactly on) zero mid-cycle —
+                // the empty-register adoptions the SWAR fold must detect.
+                for i in 0..4 {
+                    a[i + 4] = a[i];
+                    b[i + 4] = -b[i];
+                }
+            }
+            (a, b)
+        },
+    )
 }
 
 fn arb_config() -> impl Strategy<Value = PeConfig> {
-    (0i32..=14, any::<bool>(), any::<bool>()).prop_map(|(theta, ob_skip, raw)| PeConfig {
-        encoding: if raw {
-            Encoding::RawBits
-        } else {
-            Encoding::Canonical
-        },
-        accum: AccumConfig {
-            ob_threshold: theta,
-            ..AccumConfig::paper()
-        },
-        ob_skip,
-        ..PeConfig::paper()
+    (0i32..=14, any::<bool>(), any::<bool>(), 0u32..=4).prop_map(|(theta, ob_skip, raw, window)| {
+        PeConfig {
+            encoding: if raw {
+                Encoding::RawBits
+            } else {
+                Encoding::Canonical
+            },
+            accum: AccumConfig {
+                ob_threshold: theta,
+                ..AccumConfig::paper()
+            },
+            ob_skip,
+            max_shift_window: window,
+            ..PeConfig::paper()
+        }
     })
 }
 
-/// Runs the same set sequence through a fast-path PE and a scalar-reference
-/// PE and asserts complete observable equality.
+/// Runs the same set sequence through a SWAR PE, a planned-path PE and a
+/// scalar-reference PE and asserts complete observable equality.
 fn assert_paths_equal(cfg: PeConfig, sets: &[(Vec<Bf16>, Vec<Bf16>)]) {
-    let mut fast = Pe::new(cfg);
+    let mut swar = Pe::new(cfg);
+    let mut planned = Pe::new(cfg);
     let mut scalar = Pe::new(cfg);
     for (a, b) in sets {
         let plan = PlannedSet::plan(a, cfg.encoding);
-        let fo = fast.process_planned(&plan, b);
+        let wo = swar.process_planned_swar(&plan, b);
+        let fo = planned.process_planned(&plan, b);
         let so = scalar.process_set_scalar(a, b);
-        assert_eq!(fo, so, "set outcome diverged (cycles/lane_cycles/terms)");
+        assert_eq!(wo, so, "SWAR outcome diverged (cycles/lane_cycles/terms)");
         assert_eq!(
-            fast.output_f64(),
+            fo, so,
+            "planned outcome diverged (cycles/lane_cycles/terms)"
+        );
+        assert_eq!(
+            swar.output_f64(),
             scalar.output_f64(),
-            "accumulator bits diverged"
+            "SWAR accumulator bits diverged"
+        );
+        assert_eq!(
+            planned.output_f64(),
+            scalar.output_f64(),
+            "planned accumulator bits diverged"
         );
     }
-    assert_eq!(fast.read_output(), scalar.read_output());
-    assert_eq!(fast.stats(), scalar.stats(), "cumulative stats diverged");
+    assert_eq!(swar.read_output(), scalar.read_output());
+    assert_eq!(planned.read_output(), scalar.read_output());
+    assert_eq!(
+        swar.stats(),
+        scalar.stats(),
+        "SWAR cumulative stats diverged"
+    );
+    assert_eq!(
+        planned.stats(),
+        scalar.stats(),
+        "planned cumulative stats diverged"
+    );
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
-    /// One random set, random θ / encoding / OB-skip: everything equal.
+    /// One random set, random θ / encoding / OB-skip / window: everything
+    /// equal across all three datapaths.
     #[test]
-    fn fast_path_matches_scalar_on_one_set(
+    fn fast_paths_match_scalar_on_one_set(
         (a, b) in arb_operands(),
         cfg in arb_config(),
     ) {
@@ -82,14 +126,14 @@ proptest! {
     /// A run of sets through one accumulator (exercising chunk folds and
     /// mid-dot exponent adoption): everything equal, cumulatively.
     #[test]
-    fn fast_path_matches_scalar_across_a_dot(
+    fn fast_paths_match_scalar_across_a_dot(
         sets in prop::collection::vec(arb_operands(), 1..12),
         cfg in arb_config(),
     ) {
         assert_paths_equal(cfg, &sets);
     }
 
-    /// `process_set` on a default-config PE routes to the fast path and is
+    /// `process_set` on a default-config PE routes to the SWAR path and is
     /// still bit-identical to the scalar reference.
     #[test]
     fn dispatching_process_set_matches_scalar((a, b) in arb_operands()) {
@@ -102,9 +146,24 @@ proptest! {
         prop_assert_eq!(routed.output_f64(), scalar.output_f64());
     }
 
-    /// Whole-tile equivalence: a tile of scalar-reference PEs and a tile of
-    /// fast-path PEs (with shared A-set planning) must produce identical
-    /// outputs, cycle counts and statistics.
+    /// A shift window of zero (only base-offset lanes issue each cycle) is
+    /// the maximal-stall corner for the batched issue pass.
+    #[test]
+    fn window_zero_matches_scalar(
+        sets in prop::collection::vec(arb_operands(), 1..6),
+        theta in 0i32..=14,
+    ) {
+        let cfg = PeConfig {
+            max_shift_window: 0,
+            accum: AccumConfig { ob_threshold: theta, ..AccumConfig::paper() },
+            ..PeConfig::paper()
+        };
+        assert_paths_equal(cfg, &sets);
+    }
+
+    /// Whole-tile equivalence: a scalar-reference tile, a planned-path tile
+    /// and a SWAR tile (both with shared A-set planning) must produce
+    /// identical outputs, cycle counts and statistics.
     #[test]
     fn tile_with_shared_planning_matches_scalar_tile(
         seed in any::<u64>(),
@@ -112,15 +171,19 @@ proptest! {
         share in any::<bool>(),
     ) {
         let mut rng = SplitMix64::new(seed);
-        let fast_cfg = TileConfig {
+        let swar_cfg = TileConfig {
             rows: 3,
             cols: 2,
             share_exponent_block: share,
             ..TileConfig::paper()
         };
+        let planned_cfg = TileConfig {
+            pe: PeConfig { swar: false, ..swar_cfg.pe },
+            ..swar_cfg
+        };
         let scalar_cfg = TileConfig {
-            pe: PeConfig { scalar_reference: true, ..fast_cfg.pe },
-            ..fast_cfg
+            pe: PeConfig { scalar_reference: true, ..swar_cfg.pe },
+            ..swar_cfg
         };
         let a: Vec<Vec<Bf16>> = (0..2)
             .map(|_| (0..sets * 8).map(|_| rng.bf16_in_range(5)).collect())
@@ -128,12 +191,67 @@ proptest! {
         let b: Vec<Vec<Bf16>> = (0..3)
             .map(|_| (0..sets * 8).map(|_| rng.bf16_in_range(5)).collect())
             .collect();
-        let fast = Tile::new(fast_cfg).run_block(&a, &b);
+        let swar = Tile::new(swar_cfg).run_block(&a, &b);
+        let planned = Tile::new(planned_cfg).run_block(&a, &b);
         let scalar = Tile::new(scalar_cfg).run_block(&a, &b);
-        prop_assert_eq!(&fast.outputs, &scalar.outputs, "outputs diverged");
-        prop_assert_eq!(fast.cycles, scalar.cycles, "timing diverged");
-        prop_assert_eq!(fast.stats, scalar.stats, "stats diverged");
+        prop_assert_eq!(&swar.outputs, &scalar.outputs, "SWAR outputs diverged");
+        prop_assert_eq!(swar.cycles, scalar.cycles, "SWAR timing diverged");
+        prop_assert_eq!(swar.stats, scalar.stats, "SWAR stats diverged");
+        prop_assert_eq!(&planned.outputs, &scalar.outputs, "planned outputs diverged");
+        prop_assert_eq!(planned.cycles, scalar.cycles, "planned timing diverged");
+        prop_assert_eq!(planned.stats, scalar.stats, "planned stats diverged");
     }
+}
+
+/// OB skip racing lane retirement in the same cycle: with θ = 0, lane 0
+/// (product exponent 0) issues its only term and retires in cycle 1 while
+/// lane 1 (product exponent −2, so k = 2 > θ) is OB-terminated in that same
+/// cycle's compare pass. One cycle, one processed term, one skipped term —
+/// on all three datapaths.
+#[test]
+fn ob_skip_racing_retirement_matches_scalar() {
+    let cfg = PeConfig {
+        accum: AccumConfig {
+            ob_threshold: 0,
+            ..AccumConfig::paper()
+        },
+        ..PeConfig::paper()
+    };
+    let mut a = vec![Bf16::ZERO; 8];
+    let mut b = vec![Bf16::ZERO; 8];
+    a[0] = Bf16::ONE;
+    b[0] = Bf16::ONE;
+    a[1] = Bf16::from_f32(0.25);
+    b[1] = Bf16::ONE;
+    assert_paths_equal(cfg, &[(a.clone(), b.clone())]);
+    let mut pe = Pe::new(cfg);
+    let o = pe.process_set(&a, &b);
+    assert_eq!(o.cycles, 1, "retirement and OB termination share cycle 1");
+    assert_eq!(o.terms.processed, 1);
+    assert_eq!(o.terms.ob_skipped, 1);
+}
+
+/// The accumulator emptying mid-set and re-adopting an addend's exponent:
+/// lanes 0 and 1 cancel exactly, so lane 2's add lands on an empty register
+/// at a different exponent (the SWAR fold's unstable case), and the next
+/// set re-adopts again from empty. All three datapaths must agree across
+/// the whole sequence.
+#[test]
+fn mid_set_empty_and_readopt_matches_scalar() {
+    let f = |x: f32| Bf16::from_f32(x);
+    let cancel_a: Vec<Bf16> = [1.0, 1.0, 0.5, 0.0, 0.0, 0.0, 0.0, 0.0].map(f).to_vec();
+    let cancel_b: Vec<Bf16> = [1.0, -1.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0].map(f).to_vec();
+    let full_cancel_b: Vec<Bf16> = [1.0, -1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0].map(f).to_vec();
+    let follow_a: Vec<Bf16> = [1.5, 0.75, 3.0, 0.0, 0.0, 0.0, 0.0, 0.0].map(f).to_vec();
+    let follow_b = vec![Bf16::ONE; 8];
+    // Mid-cycle cancellation, a set that drains the register to exactly
+    // zero, then a fresh adoption from empty.
+    let sets = vec![
+        (cancel_a.clone(), cancel_b),
+        (cancel_a, full_cancel_b),
+        (follow_a, follow_b),
+    ];
+    assert_paths_equal(PeConfig::paper(), &sets);
 }
 
 /// Non-finite A operands are rejected at plan time with the same message
@@ -146,8 +264,8 @@ fn planning_rejects_non_finite() {
     let _ = PlannedSet::plan(&a, Encoding::Canonical);
 }
 
-/// Non-finite B operands are rejected by the fast path with the same
-/// message the scalar path uses.
+/// Non-finite B operands are rejected by the planned fast path with the
+/// same message the scalar path uses.
 #[test]
 #[should_panic(expected = "non-finite operand")]
 fn fast_path_rejects_non_finite_b() {
@@ -155,4 +273,14 @@ fn fast_path_rejects_non_finite_b() {
     let mut b = vec![Bf16::ONE; 8];
     b[5] = Bf16::from_f32(f32::NAN);
     let _ = Pe::new(PeConfig::paper()).process_planned(&plan, &b);
+}
+
+/// Non-finite B operands are rejected by the SWAR path too.
+#[test]
+#[should_panic(expected = "non-finite operand")]
+fn swar_path_rejects_non_finite_b() {
+    let plan = PlannedSet::plan(&[Bf16::ONE; 8], Encoding::Canonical);
+    let mut b = vec![Bf16::ONE; 8];
+    b[5] = Bf16::from_f32(f32::NAN);
+    let _ = Pe::new(PeConfig::paper()).process_planned_swar(&plan, &b);
 }

@@ -186,6 +186,7 @@ impl Accumulator {
     /// accumulator exponent and the largest product exponent), aligns the
     /// register to it (right shift with RNE — the `acc_shift` path in
     /// Fig. 3), and returns it.
+    #[inline]
     pub fn begin_set(&mut self, max_product_exp: i32) -> i32 {
         if self.mant == 0 {
             self.eacc = max_product_exp;
@@ -206,6 +207,7 @@ impl Accumulator {
     ///
     /// This is the primitive both the term-serial PE (8-bit `Bm` shifted by
     /// `k`) and the bit-parallel baseline (16-bit full product) build on.
+    #[inline]
     pub fn add_scaled(&mut self, neg: bool, sig: u64, pow: i32) {
         if sig == 0 {
             return;
@@ -229,6 +231,40 @@ impl Accumulator {
         self.mant += contrib;
     }
 
+    /// Commits a batch of pre-aligned contributions in one mantissa update.
+    ///
+    /// `delta` must be the exact integer sum of contributions that
+    /// [`Accumulator::add_scaled`] would have added one by one — each
+    /// already aligned (and RNE-rounded) to the register's current LSB
+    /// weight — under the guarantee that no individual add would have hit
+    /// an empty register with a different adoption exponent (integer
+    /// addition is associative, so the fold is then bit-identical to the
+    /// sequential adds). The PE's SWAR datapath uses this to retire a whole
+    /// cycle's issued lanes with a single register update; it falls back to
+    /// per-lane [`Accumulator::add_scaled`] whenever the guarantee cannot
+    /// be established.
+    #[inline]
+    pub fn add_batched(&mut self, delta: i64) {
+        self.mant += delta;
+    }
+
+    /// Commits a batch whose first contribution landed on an empty
+    /// register: the register adopts `exponent` (what the first
+    /// [`Accumulator::add_scaled`] of the sequence would have adopted) and
+    /// `mant` must be the exact fold of every contribution, each aligned
+    /// (and RNE-rounded) against that adopted exponent. The caller owns
+    /// the same associativity guarantee as [`Accumulator::add_batched`].
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the register is actually empty.
+    #[inline]
+    pub fn set_batched(&mut self, mant: i64, exponent: i32) {
+        debug_assert_eq!(self.mant, 0, "set_batched needs an empty register");
+        self.mant = mant;
+        self.eacc = exponent;
+    }
+
     /// Adds the contents of another extended register (used when folding a
     /// chunk partial sum into the running total — Sakr et al.'s chunked
     /// accumulation).
@@ -244,6 +280,7 @@ impl Accumulator {
     /// Renormalizes so the leading one sits at the hidden position, with RNE
     /// on any right shift (the paper normalizes and rounds the register at
     /// each accumulation step).
+    #[inline]
     pub fn normalize(&mut self) {
         if self.mant == 0 {
             self.eacc = i32::MIN / 2;
@@ -363,6 +400,7 @@ impl ChunkedAccumulator {
 
     /// Records `n` MAC operations; folds the chunk into the outer register
     /// when the chunk boundary is crossed.
+    #[inline]
     pub fn count_macs(&mut self, n: u32) {
         self.macs_in_chunk += n;
         if self.macs_in_chunk >= self.chunk_size {
@@ -572,6 +610,22 @@ mod tests {
     #[should_panic(expected = "chunk size must be positive")]
     fn zero_chunk_size_panics() {
         let _ = ChunkedAccumulator::new(AccumConfig::paper(), 0);
+    }
+
+    #[test]
+    fn add_batched_matches_sequential_adds() {
+        // Contributions pre-aligned to the register's LSB weight, summed
+        // and committed in one update, must equal the one-by-one adds.
+        let mut seq = Accumulator::new(AccumConfig::paper());
+        seq.add_scaled(false, 0x90, -7);
+        seq.normalize();
+        let mut batched = seq;
+        let contribs: [i64; 3] = [5 << 3, -(7 << 2), 9];
+        for &c in &contribs {
+            seq.add_batched(c);
+        }
+        batched.add_batched(contribs.iter().sum());
+        assert_eq!(seq, batched);
     }
 
     #[test]

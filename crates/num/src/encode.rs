@@ -290,6 +290,111 @@ pub fn lut_terms(significand: u8, encoding: Encoding) -> &'static Terms {
     &term_table(encoding)[significand as usize]
 }
 
+/// A packed, SWAR-friendly view of one significand's term encoding.
+///
+/// All of an encoding's shift distances live in one `u64` — term `j`'s
+/// shift occupies byte `j` as an `i8`, most-significant term in the low
+/// byte — and the term signs in one `u8` bitmask (bit `j` set when term
+/// `j` is subtracted). A consumer streams the encoding with plain integer
+/// ops: the current term's shift is the low byte (`shifts as i8`), its
+/// sign is bit 0 of `negs`, and advancing to the next term is
+/// `shifts >>= 8; negs >>= 1`. No slice indexing, no cursor bookkeeping —
+/// this is the per-lane state layout of the PE's SWAR datapath.
+///
+/// # Example
+///
+/// ```
+/// use fpraker_num::encode::{encode_terms, packed_term_table, Encoding};
+///
+/// let m = 0b1111_0000; // 1.875 = +2^1 - 2^-3 under CSD
+/// let p = packed_term_table(Encoding::Canonical)[m as usize];
+/// let t = encode_terms(m, Encoding::Canonical);
+/// assert_eq!(p.len as usize, t.len());
+/// assert_eq!(p.shifts as i8, -1);         // first term: +2^1
+/// assert_eq!((p.shifts >> 8) as i8, 3);   // second term: -2^-3
+/// assert_eq!(p.negs, 0b10);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PackedTerms {
+    /// Term shifts, one `i8` per byte, most-significant term in byte 0.
+    /// Bytes at and beyond `len` are zero.
+    pub shifts: u64,
+    /// Bitmask of subtracted terms (bit `j` = term `j` is negative).
+    pub negs: u8,
+    /// Number of terms (`0..=MAX_TERMS`).
+    pub len: u8,
+}
+
+impl PackedTerms {
+    /// Packs a term sequence into the SWAR layout.
+    pub const fn pack(terms: &Terms) -> PackedTerms {
+        let mut shifts = 0u64;
+        let mut negs = 0u8;
+        let mut j = 0usize;
+        while j < terms.len as usize {
+            let t = terms.buf[j];
+            shifts |= ((t.shift as u8) as u64) << (8 * j);
+            if t.neg {
+                negs |= 1 << j;
+            }
+            j += 1;
+        }
+        PackedTerms {
+            shifts,
+            negs,
+            len: terms.len,
+        }
+    }
+
+    /// Unpacks term `j` (for tests and cross-checking; the PE streams the
+    /// packed words directly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.len`.
+    pub fn term(&self, j: usize) -> Term {
+        assert!(j < self.len as usize, "term index out of range");
+        Term {
+            shift: (self.shifts >> (8 * j)) as i8,
+            neg: (self.negs >> j) & 1 != 0,
+        }
+    }
+}
+
+/// A full 256-entry packed term table built at compile time from the
+/// [`Terms`] table of the same encoding.
+const fn build_packed_table(encoding: Encoding) -> [PackedTerms; 256] {
+    let mut table = [PackedTerms {
+        shifts: 0,
+        negs: 0,
+        len: 0,
+    }; 256];
+    let mut m = 0usize;
+    while m < 256 {
+        table[m] = PackedTerms::pack(&encode_terms(m as u8, encoding));
+        m += 1;
+    }
+    table
+}
+
+/// Precomputed packed canonical signed-digit encodings.
+static CSD_PACKED_TABLE: [PackedTerms; 256] = build_packed_table(Encoding::Canonical);
+
+/// Precomputed packed raw bit-serial encodings.
+static RAW_PACKED_TABLE: [PackedTerms; 256] = build_packed_table(Encoding::RawBits);
+
+/// The precomputed 256-entry *packed* term table for an encoding — the
+/// SWAR counterpart of [`term_table`]. Entry `m` packs exactly the terms
+/// of `encode_terms(m, encoding)` (an invariant the exhaustive tests pin),
+/// so the two views can never drift.
+#[inline]
+pub fn packed_term_table(encoding: Encoding) -> &'static [PackedTerms; 256] {
+    match encoding {
+        Encoding::Canonical => &CSD_PACKED_TABLE,
+        Encoding::RawBits => &RAW_PACKED_TABLE,
+    }
+}
+
 /// Counts the terms a significand encodes to, without materializing them.
 ///
 /// Used by the statistics pipeline when measuring term sparsity (Fig. 1b)
@@ -471,6 +576,51 @@ mod tests {
     fn lut_zero_entry_is_empty() {
         assert!(lut_terms(0, Encoding::Canonical).is_empty());
         assert!(lut_terms(0, Encoding::RawBits).is_empty());
+    }
+
+    #[test]
+    fn packed_table_matches_encode_terms_for_all_significands() {
+        // The SWAR datapath streams the packed tables; every entry must
+        // unpack to exactly the terms `encode_terms` derives.
+        for m in 0u16..=255 {
+            for enc in [Encoding::Canonical, Encoding::RawBits] {
+                let t = encode_terms(m as u8, enc);
+                let p = packed_term_table(enc)[m as usize];
+                assert_eq!(p.len as usize, t.len(), "{m:#010b} under {enc:?}");
+                for (j, &term) in t.iter().enumerate() {
+                    assert_eq!(p.term(j), term, "term {j} of {m:#010b} under {enc:?}");
+                }
+                // Bytes beyond `len` are zero, so shifting the word right
+                // as terms are consumed never exposes stale shifts.
+                if t.len() < 8 {
+                    assert_eq!(p.shifts >> (8 * t.len()), 0, "{m:#010b}");
+                    assert_eq!(p.negs >> t.len(), 0, "{m:#010b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_streaming_consumes_terms_msb_first() {
+        // Advancing the packed view with shifts is equivalent to walking
+        // the slice: low byte = current shift, bit 0 = current sign.
+        let t = encode_csd(0b1011_0111);
+        let mut p = PackedTerms::pack(&t);
+        for term in t.iter() {
+            assert_eq!(p.shifts as i8, term.shift);
+            assert_eq!(p.negs & 1 != 0, term.neg);
+            p.shifts >>= 8;
+            p.negs >>= 1;
+            p.len -= 1;
+        }
+        assert_eq!(p, PackedTerms::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "term index out of range")]
+    fn packed_term_index_out_of_range_panics() {
+        let p = PackedTerms::pack(&encode_csd(0x80));
+        let _ = p.term(1);
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Property-based tests of the numerics substrate.
 
-use fpraker_num::encode::{encode_csd, encode_raw, encode_terms, Encoding};
+use fpraker_num::encode::{
+    encode_csd, encode_raw, encode_terms, packed_term_table, Encoding, PackedTerms,
+};
 use fpraker_num::reference::{dot_f64, dot_magnitude_f64, error_mag_ulps};
 use fpraker_num::{round_shift_rne, AccumConfig, Accumulator, Bf16, ChunkedAccumulator};
 use proptest::prelude::*;
@@ -49,6 +51,28 @@ proptest! {
         for w in c.as_slice().windows(2) {
             prop_assert!((w[0].shift - w[1].shift).abs() >= 2);
         }
+    }
+
+    /// The packed SWAR view agrees term-for-term with the unpacked table,
+    /// both by indexed access and by the low-byte streaming discipline the
+    /// PE uses (`shifts >>= 8; negs >>= 1`).
+    #[test]
+    fn packed_table_streams_the_same_terms(m in 0u8..=255, raw in any::<bool>()) {
+        let enc = if raw { Encoding::RawBits } else { Encoding::Canonical };
+        let terms = encode_terms(m, enc);
+        let p = packed_term_table(enc)[m as usize];
+        prop_assert_eq!(p, PackedTerms::pack(&terms));
+        prop_assert_eq!(p.len as usize, terms.len());
+        let mut stream = p;
+        for (j, t) in terms.iter().enumerate() {
+            prop_assert_eq!(p.term(j), *t);
+            prop_assert_eq!(stream.shifts as i8, t.shift);
+            prop_assert_eq!(stream.negs & 1 != 0, t.neg);
+            stream.shifts >>= 8;
+            stream.negs >>= 1;
+        }
+        // Shift bytes beyond the term count are zero padding.
+        prop_assert_eq!(stream.shifts, 0);
     }
 
     #[test]

@@ -58,14 +58,21 @@ fn padded_sets(k: usize, lanes: usize) -> usize {
     k.div_ceil(lanes)
 }
 
-/// Builds the padded operand stream for logical row `row` of an `rows×k`
-/// operand (all-zero beyond the edge).
-fn stream_for(data: &[Bf16], rows: usize, k: usize, row: usize, k_padded: usize) -> Vec<Bf16> {
-    let mut out = vec![Bf16::ZERO; k_padded];
+/// Fills `out` with the padded operand stream for logical row `row` of an
+/// `rows×k` operand (all-zero beyond the edge), reusing its allocation.
+fn fill_stream(
+    out: &mut Vec<Bf16>,
+    data: &[Bf16],
+    rows: usize,
+    k: usize,
+    row: usize,
+    k_padded: usize,
+) {
+    out.clear();
     if row < rows {
-        out[..k].copy_from_slice(&data[row * k..(row + 1) * k]);
+        out.extend_from_slice(&data[row * k..(row + 1) * k]);
     }
-    out
+    out.resize(k_padded, Bf16::ZERO);
 }
 
 fn offchip_bytes(values: &[Bf16], bdc_enabled: bool, dup: f32) -> u64 {
@@ -134,22 +141,32 @@ fn run_block_range<M: MachineModel>(
     let tile_cfg = *machine.tile_config();
     let (rows, cols) = (tile_cfg.rows, tile_cfg.cols);
     let mut acc = BlockAccum::new(cfg.tiles);
-    // Blocks are visited in row-major order, so the A streams (a function
-    // of `bi` alone) are reused across the `blocks_n` blocks of a row.
-    let mut a_streams: Vec<Vec<Bf16>> = Vec::new();
+    // Blocks are visited in row-major order, so the A-side work (a function
+    // of `bi` alone) is redone only when the block row changes: the A
+    // streams are refilled and — for machines with shareable A-side
+    // encoding — planned once for all `blocks_n` blocks of the row. The B
+    // stream buffers are refilled in place every block, so the whole range
+    // reuses one set of allocations.
+    let mut a_streams: Vec<Vec<Bf16>> = vec![Vec::new(); cols];
+    let mut b_streams: Vec<Vec<Bf16>> = vec![Vec::new(); rows];
+    let mut a_plans: Option<fpraker_core::BlockPlans> = None;
     let mut cached_bi = usize::MAX;
     for idx in lo..hi {
         let (bi, bj) = (idx / blocks_n, idx % blocks_n);
         if bi != cached_bi {
-            a_streams = (0..cols)
-                .map(|c| stream_for(&op.a, op.m, op.k, bi * cols + c, k_padded))
-                .collect();
+            for (c, buf) in a_streams.iter_mut().enumerate() {
+                fill_stream(buf, &op.a, op.m, op.k, bi * cols + c, k_padded);
+            }
+            a_plans = machine.plan_a_block(&a_streams);
             cached_bi = bi;
         }
-        let b_streams: Vec<Vec<Bf16>> = (0..rows)
-            .map(|r| stream_for(&op.b, op.n, op.k, bj * rows + r, k_padded))
-            .collect();
-        let out = machine.run_block(&a_streams, &b_streams);
+        for (r, buf) in b_streams.iter_mut().enumerate() {
+            fill_stream(buf, &op.b, op.n, op.k, bj * rows + r, k_padded);
+        }
+        let out = match &a_plans {
+            Some(plans) => machine.run_block_planned(&a_streams, plans, &b_streams),
+            None => machine.run_block(&a_streams, &b_streams),
+        };
         acc.tile_cycles[idx % cfg.tiles] += out.cycles;
         acc.stats += out.stats;
         if cfg.check_golden {
