@@ -51,6 +51,14 @@ fn main() {
     );
     println!("parallel speedup at {} thread(s): {speedup:.2}x", b.threads);
     println!(
+        "telemetry hot-path overhead: {:.4}x (stage split: decode {:.0}%, plan {:.0}%, run_unit {:.0}%, fold {:.0}%)",
+        b.telemetry_overhead(),
+        100.0 * b.telemetry.stage_fraction(b.telemetry.decode_ns),
+        100.0 * b.telemetry.stage_fraction(b.telemetry.plan_ns),
+        100.0 * b.telemetry.stage_fraction(b.telemetry.run_unit_ns),
+        100.0 * b.telemetry.stage_fraction(b.telemetry.fold_ns)
+    );
+    println!(
         "op-level scheduling speedup on the many-small-ops trace: {ops_speedup:.2}x (serial ops vs parallel ops)"
     );
     println!(
@@ -91,6 +99,36 @@ fn main() {
     writeln!(json, "  \"small_ops_trace_macs\": {},", b.small_ops_macs).unwrap();
     writeln!(json, "  \"threads\": {},", b.threads).unwrap();
     writeln!(json, "  \"parallel_speedup\": {speedup:.4},").unwrap();
+    writeln!(
+        json,
+        "  \"telemetry_overhead\": {:.4},",
+        b.telemetry_overhead()
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"telemetry/stage_decode\": {:.4},",
+        b.telemetry.stage_fraction(b.telemetry.decode_ns)
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"telemetry/stage_plan\": {:.4},",
+        b.telemetry.stage_fraction(b.telemetry.plan_ns)
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"telemetry/stage_run_unit\": {:.4},",
+        b.telemetry.stage_fraction(b.telemetry.run_unit_ns)
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"telemetry/stage_fold\": {:.4},",
+        b.telemetry.stage_fraction(b.telemetry.fold_ns)
+    )
+    .unwrap();
     writeln!(json, "  \"parallel_ops_speedup\": {ops_speedup:.4},").unwrap();
     writeln!(json, "  \"stream_overhead\": {stream_overhead:.4},").unwrap();
     writeln!(json, "  \"stream_total_ops\": {},", b.stream_total_ops).unwrap();
@@ -180,6 +218,7 @@ fn main() {
         &b.pe_swar_tile,
         &b.pe_tile_scalar,
         &b.seq,
+        &b.seq_telemetry_off,
         &b.par,
         &b.baseline,
         &b.serial_ops,

@@ -112,6 +112,55 @@ pub fn bench<T>(
     m
 }
 
+/// Times two closures with their iterations interleaved (A, B, A, B, …)
+/// after warming both up, and prints both summary lines.
+///
+/// Back-to-back [`bench`] calls put each closure's samples in one
+/// contiguous block of wall time, so slow drift (frequency scaling,
+/// thermal, a noisy neighbour) lands entirely on one side and pollutes
+/// any A/B ratio. Interleaving spreads both sides across the same drift,
+/// which is what makes small ratios — like the telemetry overhead
+/// budget — measurable at all.
+pub fn bench_pair<A, B>(
+    name_a: &str,
+    name_b: &str,
+    iters: u32,
+    elements: Option<u64>,
+    mut fa: impl FnMut() -> A,
+    mut fb: impl FnMut() -> B,
+) -> (Measurement, Measurement) {
+    assert!(iters > 0, "at least one iteration");
+    for _ in 0..warmup_iters(iters) {
+        std::hint::black_box(fa());
+        std::hint::black_box(fb());
+    }
+    let mut samples_a: Vec<u128> = Vec::with_capacity(iters as usize);
+    let mut samples_b: Vec<u128> = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let t = Instant::now();
+        std::hint::black_box(fa());
+        samples_a.push(t.elapsed().as_nanos());
+        let t = Instant::now();
+        std::hint::black_box(fb());
+        samples_b.push(t.elapsed().as_nanos());
+    }
+    let finish = |name: &str, mut samples: Vec<u128>| {
+        samples.sort_unstable();
+        let m = Measurement {
+            name: name.to_string(),
+            iters,
+            min_ns: samples[0],
+            median_ns: samples[samples.len() / 2],
+            p90_ns: percentile(&samples, 90),
+            mean_ns: samples.iter().sum::<u128>() / samples.len() as u128,
+            elements,
+        };
+        println!("{}", m.summary());
+        m
+    };
+    (finish(name_a, samples_a), finish(name_b, samples_b))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,6 +183,23 @@ mod tests {
         for stat in ["median", "min", "p90", "mean"] {
             assert!(s.contains(stat), "{s}");
         }
+    }
+
+    #[test]
+    fn bench_pair_reports_both_sides() {
+        let (a, b) = bench_pair(
+            "test/pair_a",
+            "test/pair_b",
+            4,
+            Some(10),
+            || std::hint::black_box((0..100u64).sum::<u64>()),
+            || std::hint::black_box((0..200u64).sum::<u64>()),
+        );
+        assert_eq!((a.iters, b.iters), (4, 4));
+        assert!(a.min_ns <= a.median_ns);
+        assert!(b.min_ns <= b.median_ns);
+        assert_eq!(a.name, "test/pair_a");
+        assert_eq!(b.name, "test/pair_b");
     }
 
     #[test]

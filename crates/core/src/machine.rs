@@ -178,6 +178,14 @@ pub trait MachineModel: Send {
     /// for the energy model. `blocks` and `sets_per_block` describe the
     /// tiling the statistics came from.
     fn events(&self, stats: &ExecStats, blocks: u64, sets_per_block: u64) -> MachineEvents;
+
+    /// Cycles this machine instance spent on the SWAR packed path with an
+    /// unstable lane occupancy, accumulated across every block it has run.
+    /// Purely observational (the simulator surfaces it as a telemetry
+    /// counter); `0` for machines without a SWAR datapath.
+    fn swar_unstable_cycles(&self) -> u64 {
+        0
+    }
 }
 
 /// The FPRaker machine: a term-serial [`Tile`], cycle faithful and value
@@ -250,6 +258,10 @@ impl MachineModel for FpRakerMachine {
             a_values_encoded: stats.sets / rows * lanes,
             baseline_pe_cycles: 0,
         }
+    }
+
+    fn swar_unstable_cycles(&self) -> u64 {
+        self.tile.swar_unstable_cycles()
     }
 }
 

@@ -148,6 +148,13 @@ impl Tile {
         &self.cfg
     }
 
+    /// Total cycles the tile's PEs spent on the SWAR packed path with an
+    /// unstable lane occupancy (see [`Pe::swar_unstable_cycles`]), summed
+    /// over every PE and every block this tile instance has run.
+    pub fn swar_unstable_cycles(&self) -> u64 {
+        self.pes.iter().map(Pe::swar_unstable_cycles).sum()
+    }
+
     /// Streams one output block through the tile.
     ///
     /// `a_streams` has one flat stream per column and `b_streams` one per

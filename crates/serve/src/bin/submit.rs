@@ -4,6 +4,7 @@
 //! ```text
 //! fpraker-submit --trace FILE [--addr HOST:PORT] [--machine NAME]
 //!                [--verify] [--expect-cached] [--per-op]
+//! fpraker-submit --metrics [--addr HOST:PORT]
 //! fpraker-submit --list-machines
 //! ```
 //!
@@ -12,8 +13,10 @@
 //! [`fpraker_sim::Engine::run`], and exits non-zero unless the server's
 //! per-op results are identical — the end-to-end determinism check CI
 //! runs. `--expect-cached` exits non-zero unless the server answered from
-//! its content-addressed cache. `--list-machines` prints every machine
-//! spec the registry resolves and exits.
+//! its content-addressed cache. `--metrics` fetches the server's
+//! Prometheus-style telemetry text and prints it verbatim.
+//! `--list-machines` prints every machine spec the registry resolves and
+//! exits.
 
 use std::process::exit;
 
@@ -24,7 +27,9 @@ use fpraker_trace::codec;
 fn usage() -> ! {
     eprintln!(
         "usage: fpraker-submit --trace FILE [--addr HOST:PORT] [--machine NAME] \
-         [--verify] [--expect-cached] [--per-op]\n       fpraker-submit --list-machines"
+         [--verify] [--expect-cached] [--per-op]\n       \
+         fpraker-submit --metrics [--addr HOST:PORT]\n       \
+         fpraker-submit --list-machines"
     );
     exit(2);
 }
@@ -43,6 +48,7 @@ fn main() {
     let mut verify = false;
     let mut expect_cached = false;
     let mut per_op = false;
+    let mut metrics = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -52,9 +58,22 @@ fn main() {
             "--verify" => verify = true,
             "--expect-cached" => expect_cached = true,
             "--per-op" => per_op = true,
+            "--metrics" => metrics = true,
             "--list-machines" => list_machines(),
             _ => usage(),
         }
+    }
+    if metrics {
+        let client = Client::connect(&addr).unwrap_or_else(|e| {
+            eprintln!("cannot resolve {addr}: {e}");
+            exit(1);
+        });
+        let text = client.metrics().unwrap_or_else(|e| {
+            eprintln!("metrics request failed: {e}");
+            exit(1);
+        });
+        print!("{text}");
+        exit(0);
     }
     let Some(trace_path) = trace_path else {
         usage()

@@ -140,6 +140,7 @@ impl ResultCache {
                 .pop_first()
                 .expect("over-capacity cache has a least recent entry");
             inner.map.remove(&oldest);
+            fpraker_telemetry::counter!("serve_cache_evictions_total").inc();
         }
     }
 

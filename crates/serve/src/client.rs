@@ -356,6 +356,30 @@ impl Client {
             other => Err(failure_response(other, payload)),
         }
     }
+
+    /// Fetches the server's runtime telemetry as Prometheus-style
+    /// exposition text: the [`ServerStats`] counters plus every metric
+    /// the server process has registered (request latency histograms,
+    /// queue gauges, stage timings, ...).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, protocol violations, or a non-UTF-8 body.
+    pub fn metrics(&self) -> Result<String, ServeError> {
+        let mut stream = self.open()?;
+        write_frame(
+            &mut stream,
+            tag::METRICS,
+            &protocol::encode_metrics_request(),
+        )?;
+        stream.flush()?;
+        let (frame_tag, payload) = read_frame(&mut stream)?;
+        match frame_tag {
+            tag::METRICS_RESULT => String::from_utf8(payload)
+                .map_err(|_| ServeError::Protocol("metrics body is not UTF-8".into())),
+            other => Err(failure_response(other, payload)),
+        }
+    }
 }
 
 /// Turns a non-success response frame into the matching error: a server

@@ -78,6 +78,9 @@ pub mod tag {
     /// decoded op count. Cache-keyed by content digest exactly like
     /// [`SUBMIT`], so a retried shard is a warm cache hit.
     pub const SUBMIT_RANGE: u8 = 0x06;
+    /// Client→server: telemetry-metrics request (empty payload after
+    /// magic). Answered with [`METRICS_RESULT`].
+    pub const METRICS: u8 = 0x07;
     /// Server→client: cache miss — stream the trace now (empty payload).
     pub const NEED_TRACE: u8 = 0x81;
     /// Server→client: the job's result payload, prefixed by a cached flag.
@@ -89,6 +92,9 @@ pub mod tag {
     /// Server→client: a trace-statistics job's result payload, prefixed
     /// by a cached flag.
     pub const TRACE_STATS_RESULT: u8 = 0x85;
+    /// Server→client: Prometheus-style UTF-8 metrics text (the server's
+    /// runtime telemetry plus its [`super::ServerStats`] counters).
+    pub const METRICS_RESULT: u8 = 0x86;
 }
 
 /// Everything that can go wrong on either side of the protocol.
@@ -356,6 +362,25 @@ pub fn encode_stats_request() -> Vec<u8> {
 ///
 /// `Protocol` on bad magic/version or trailing bytes.
 pub fn decode_stats_request(payload: &[u8]) -> Result<(), ServeError> {
+    let mut c = Cursor::new(payload);
+    check_preamble(&mut c)?;
+    c.finish()
+}
+
+/// Encodes a [`tag::METRICS`] request payload (magic + version only).
+pub fn encode_metrics_request() -> Vec<u8> {
+    let mut out = Vec::with_capacity(5);
+    out.extend_from_slice(PROTOCOL_MAGIC);
+    out.push(PROTOCOL_VERSION);
+    out
+}
+
+/// Parses a [`tag::METRICS`] request payload.
+///
+/// # Errors
+///
+/// `Protocol` on bad magic/version or trailing bytes.
+pub fn decode_metrics_request(payload: &[u8]) -> Result<(), ServeError> {
     let mut c = Cursor::new(payload);
     check_preamble(&mut c)?;
     c.finish()
@@ -947,6 +972,13 @@ mod tests {
         assert!(ServerStats::decode(&s.encode()[..7]).is_err());
         decode_stats_request(&encode_stats_request()).unwrap();
         assert!(decode_stats_request(b"junk!").is_err());
+    }
+
+    #[test]
+    fn metrics_request_round_trips() {
+        decode_metrics_request(&encode_metrics_request()).unwrap();
+        assert!(decode_metrics_request(b"junk!").is_err());
+        assert!(decode_metrics_request(&encode_metrics_request()[..4]).is_err());
     }
 
     #[test]

@@ -24,7 +24,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use fpraker_energy::EnergyModel;
 use fpraker_num::encode::Encoding;
@@ -154,6 +154,7 @@ impl Server {
     ///
     /// Propagates the bind failure (address in use, permission, …).
     pub fn start(config: ServerConfig) -> io::Result<Server> {
+        fpraker_telemetry::init();
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
@@ -208,6 +209,13 @@ impl Server {
         server_stats(&self.shared)
     }
 
+    /// The Prometheus-style text a [`tag::METRICS`] request returns: the
+    /// server's own counters followed by the process-global telemetry
+    /// registry.
+    pub fn metrics_text(&self) -> String {
+        render_metrics(&self.shared)
+    }
+
     /// Blocks until the accept loop exits. The loop runs until the
     /// process dies, so daemons use this to park the main thread.
     pub fn join(mut self) {
@@ -251,6 +259,49 @@ fn server_stats(shared: &Shared) -> ServerStats {
     }
 }
 
+/// Composes the [`tag::METRICS`] response text: the [`ServerStats`]
+/// counters rendered as Prometheus lines (these come from the server's
+/// own structs, so they are live even when the telemetry crate is
+/// compiled out) followed by the full process-global telemetry registry.
+fn render_metrics(shared: &Shared) -> String {
+    use std::fmt::Write as _;
+
+    let s = server_stats(shared);
+    let mut out = String::new();
+    for (name, value) in [
+        ("serve_jobs_completed_total", s.jobs_completed),
+        ("serve_cache_hits_total", s.cache_hits),
+        ("serve_cache_misses_total", s.cache_misses),
+    ] {
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in [
+        ("serve_cache_entries", s.cache_entries),
+        ("serve_cache_capacity", s.cache_capacity),
+    ] {
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    out.push_str(&fpraker_telemetry::render_prometheus());
+    out
+}
+
+/// The per-request latency histogram for a `(job kind, cache outcome)`
+/// pair — a fixed set of label variants so every call site resolves to a
+/// `&'static` handle.
+fn request_histogram(job: &'static str, cached: bool) -> &'static fpraker_telemetry::Histogram {
+    use fpraker_telemetry::histogram;
+    match (job, cached) {
+        ("sim", false) => histogram!("serve_request_seconds{job=\"sim\",cache=\"cold\"}"),
+        ("sim", true) => histogram!("serve_request_seconds{job=\"sim\",cache=\"hit\"}"),
+        ("range", false) => histogram!("serve_request_seconds{job=\"range\",cache=\"cold\"}"),
+        ("range", true) => histogram!("serve_request_seconds{job=\"range\",cache=\"hit\"}"),
+        (_, false) => histogram!("serve_request_seconds{job=\"stats\",cache=\"cold\"}"),
+        (_, true) => histogram!("serve_request_seconds{job=\"stats\",cache=\"hit\"}"),
+    }
+}
+
 /// Sends an error frame (best-effort; the peer may already be gone).
 fn send_error(stream: &mut TcpStream, message: &str) {
     let _ = write_frame(stream, tag::ERROR, message.as_bytes());
@@ -258,6 +309,8 @@ fn send_error(stream: &mut TcpStream, message: &str) {
 }
 
 fn handle_connection(mut stream: TcpStream, shared: &Shared) -> Result<(), ServeError> {
+    let _active = fpraker_telemetry::gauge!("serve_active_connections").inc_scoped();
+    fpraker_telemetry::counter!("serve_requests_total").inc();
     stream.set_read_timeout(shared.io_timeout)?;
     stream.set_write_timeout(shared.io_timeout)?;
     stream.set_nodelay(true).ok();
@@ -279,6 +332,18 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) -> Result<(), Serve
                 &mut stream,
                 tag::STATS_RESULT,
                 &server_stats(shared).encode(),
+            )?;
+            Ok(())
+        }
+        tag::METRICS => {
+            if let Err(e) = protocol::decode_metrics_request(&payload) {
+                send_error(&mut stream, &e.to_string());
+                return Err(e);
+            }
+            write_frame(
+                &mut stream,
+                tag::METRICS_RESULT,
+                render_metrics(shared).as_bytes(),
             )?;
             Ok(())
         }
@@ -352,6 +417,8 @@ fn send_result(
     framed.extend_from_slice(payload);
     write_frame(stream, result_tag, &framed)?;
     stream.flush()?;
+    // Frame header (tag + u32 length) plus payload.
+    fpraker_telemetry::counter!("serve_bytes_out_total").add(5 + framed.len() as u64);
     Ok(())
 }
 
@@ -419,21 +486,37 @@ fn check_upload(
 /// are deterministic), ask for the upload, fold it through `work`, drain
 /// and validate any index footer, verify the declared length/digest, and
 /// cache + send the deterministic payload.
+#[allow(clippy::too_many_arguments)]
 fn serve_content_job(
     stream: &mut TcpStream,
     shared: &Shared,
     key: CacheKey,
     result_tag: u8,
+    job: &'static str,
     declared_bytes: u64,
     declared_digest: u64,
     work: impl FnOnce(&mut dyn TraceSource) -> Result<Vec<u8>, ServeError>,
 ) -> Result<(), ServeError> {
+    let started = fpraker_telemetry::enabled().then(Instant::now);
+    // The latency sample lands *before* the result bytes go out, so a
+    // client that reads its response and immediately asks for METRICS
+    // sees its own request in the histograms.
+    let finish = |cached: bool| {
+        if let Some(t) = started {
+            request_histogram(job, cached).record_duration(t.elapsed());
+        }
+    };
     if let Some(hit) = shared.cache.get(&key) {
+        finish(true);
         return send_result(stream, result_tag, true, &hit);
     }
-    shared.jobs.acquire();
+    {
+        let _wait = fpraker_telemetry::span!("serve_semaphore_wait");
+        shared.jobs.acquire();
+    }
     let _permit = JobPermit(&shared.jobs);
     if let Some(hit) = shared.cache.recheck(&key) {
+        finish(true);
         return send_result(stream, result_tag, true, &hit);
     }
     write_frame(stream, tag::NEED_TRACE, &[])?;
@@ -456,6 +539,7 @@ fn serve_content_job(
     let payload = Arc::new(payload);
     shared.cache.insert(key, Arc::clone(&payload));
     shared.jobs_completed.fetch_add(1, Ordering::SeqCst);
+    finish(false);
     send_result(stream, result_tag, false, &payload)
 }
 
@@ -474,6 +558,7 @@ fn handle_job(stream: &mut TcpStream, shared: &Shared, submit: &Submit) -> Resul
         shared,
         key,
         tag::RESULT,
+        "sim",
         submit.trace_bytes,
         submit.digest,
         |source| {
@@ -515,6 +600,7 @@ fn handle_range_job(
         shared,
         key,
         tag::RESULT,
+        "range",
         submit.trace_bytes,
         submit.digest,
         |source| {
@@ -550,6 +636,7 @@ fn handle_stats_job(
         shared,
         CacheKey::new(submit.digest, STATS_SPEC),
         tag::TRACE_STATS_RESULT,
+        "stats",
         submit.trace_bytes,
         submit.digest,
         |source| {
@@ -594,6 +681,7 @@ impl<'a> BodyReader<'a> {
                     if payload.is_empty() {
                         continue; // tolerate empty chunks
                     }
+                    fpraker_telemetry::counter!("serve_bytes_in_total").add(payload.len() as u64);
                     self.buf = payload;
                     self.pos = 0;
                     return Ok(true);

@@ -371,9 +371,14 @@ impl ShardCoordinator {
         let mut last = String::new();
         for attempt in 0..self.max_attempts {
             if attempt > 0 {
+                fpraker_telemetry::counter!("shard_retries_total").inc();
+                fpraker_telemetry::counter!("shard_backoff_sleeps_total").inc();
                 std::thread::sleep(self.backoff * (1 << (attempt - 1).min(8)));
             }
             let worker = (shard + attempt) % self.workers.len();
+            if worker != shard % self.workers.len() {
+                fpraker_telemetry::counter!("shard_reassignments_total").inc();
+            }
             match self.try_worker(&self.workers[worker], &bytes, spec, range) {
                 Ok((cached, result)) => {
                     return Ok((
@@ -408,6 +413,7 @@ impl ShardCoordinator {
         spec: &str,
         range: ShardRange,
     ) -> Result<(bool, JobResult), String> {
+        let _submit = fpraker_telemetry::span!("shard_submit");
         let client = Client::connect(addr)
             .map_err(|e| format!("{addr}: {e}"))?
             .io_timeout(self.io_timeout);
@@ -464,6 +470,7 @@ fn validate_partial(result: &JobResult, range: ShardRange) -> Result<(), String>
 pub fn merge_job_results(
     partials: impl IntoIterator<Item = (u64, JobResult)>,
 ) -> Result<JobResult, String> {
+    let _merge = fpraker_telemetry::span!("shard_merge");
     let mut parts: Vec<(u64, JobResult)> = partials.into_iter().collect();
     parts.sort_by_key(|(first, _)| *first);
     let (_, head) = parts.first().ok_or("no partial results to merge")?;

@@ -337,6 +337,51 @@ fn stats_round_trip_over_the_wire() {
 }
 
 #[test]
+fn metrics_round_trip_over_the_wire() {
+    let server = start_server(1);
+    let client = Client::connect(server.local_addr()).unwrap();
+    let trace = test_trace(23, 2);
+    client.submit_trace(&trace, "fpraker").unwrap();
+    client.submit_trace(&trace, "fpraker").unwrap();
+    let text = client.metrics().unwrap();
+    // The ServerStats counters are always present, telemetry on or off.
+    assert!(text.contains("# TYPE serve_jobs_completed_total counter"));
+    assert!(text.contains("serve_jobs_completed_total 1"));
+    assert!(text.contains("serve_cache_hits_total 1"));
+    assert!(text.contains("serve_cache_misses_total 1"));
+    // The in-process accessor renders the same ServerStats counters
+    // (gauges like active connections may legitimately differ between
+    // the two render instants, so only the stable lines are compared).
+    let local = server.metrics_text();
+    assert!(local.contains("serve_jobs_completed_total 1"));
+    assert!(local.contains("serve_cache_hits_total 1"));
+    // Every line is either a comment or `name[{labels}] value`.
+    for line in text.lines() {
+        assert!(
+            line.starts_with("# ") || line.split_whitespace().count() == 2,
+            "unparseable metrics line: {line:?}"
+        );
+    }
+    if fpraker_telemetry::compiled() {
+        // The metrics connection itself counts, so ≥ 3 requests total.
+        let requests = text
+            .lines()
+            .find_map(|l| l.strip_prefix("serve_requests_total "))
+            .expect("serve_requests_total present")
+            .parse::<u64>()
+            .unwrap();
+        assert!(requests >= 3, "requests_total = {requests}");
+        // One cold sim request and one cache hit each landed a latency
+        // sample in the labelled request histograms.
+        assert!(text.contains("serve_request_seconds_count{job=\"sim\",cache=\"cold\"} 1"));
+        assert!(text.contains("serve_request_seconds_count{job=\"sim\",cache=\"hit\"} 1"));
+        // The cold simulation exercised the engine's fold stage.
+        assert!(text.contains("sim_fold_seconds_count"));
+    }
+    server.shutdown();
+}
+
+#[test]
 fn mixed_case_specs_share_one_cache_entry_and_report_the_canonical_name() {
     let server = start_server(1);
     let client = Client::connect(server.local_addr()).unwrap();

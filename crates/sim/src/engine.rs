@@ -27,6 +27,70 @@ use crate::op::resolve_threads;
 use crate::run::{Machine, RunResult, StreamRun};
 use crate::sched;
 
+/// Wall-clock telemetry for one engine run: where the host time went,
+/// by pipeline stage.
+///
+/// Produced by [`Engine::run_with_telemetry`] as the *delta* of the
+/// process-global stage histograms (`sim_decode_seconds`,
+/// `sim_plan_seconds`, `sim_run_unit_seconds`, `sim_fold_seconds`)
+/// across the run. Stage times are summed over all worker threads, so
+/// [`EngineTelemetry::run_unit_ns`] routinely exceeds
+/// [`EngineTelemetry::wall_ns`] on parallel runs. The metrics are
+/// process-global: engine runs *concurrent with this one in the same
+/// process* bleed into the deltas, and the deltas are all zero when
+/// telemetry is runtime-disabled or compiled out. Telemetry is strictly
+/// observational — the [`RunResult`] is bit-identical with or without it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineTelemetry {
+    /// Wall-clock nanoseconds for the whole run (measured locally, so
+    /// nonzero even when telemetry is disabled).
+    pub wall_ns: u64,
+    /// Nanoseconds spent decoding trace ops (zero for in-memory traces,
+    /// which need no decode).
+    pub decode_ns: u64,
+    /// Nanoseconds spent planning ops (serial-policy resolution, tiling).
+    pub plan_ns: u64,
+    /// Nanoseconds spent executing block-range work units, summed across
+    /// worker threads.
+    pub run_unit_ns: u64,
+    /// Nanoseconds spent folding unit partials into op outcomes.
+    pub fold_ns: u64,
+    /// Work units executed.
+    pub units: u64,
+}
+
+impl EngineTelemetry {
+    /// Total stage-attributed nanoseconds (decode + plan + run-unit +
+    /// fold) — the denominator for the per-stage fractions.
+    pub fn stage_total_ns(&self) -> u64 {
+        self.decode_ns + self.plan_ns + self.run_unit_ns + self.fold_ns
+    }
+
+    /// The fraction of stage-attributed time spent in one stage (pass a
+    /// field like [`EngineTelemetry::fold_ns`]); 0 when no stage time was
+    /// recorded.
+    pub fn stage_fraction(&self, stage_ns: u64) -> f64 {
+        let total = self.stage_total_ns();
+        if total == 0 {
+            0.0
+        } else {
+            stage_ns as f64 / total as f64
+        }
+    }
+}
+
+/// Snapshot of the global stage histograms: per-stage summed nanoseconds
+/// plus the run-unit count.
+fn stage_snapshot() -> [u64; 5] {
+    [
+        fpraker_telemetry::histogram!("sim_decode_seconds").sum(),
+        fpraker_telemetry::histogram!("sim_plan_seconds").sum(),
+        fpraker_telemetry::histogram!("sim_run_unit_seconds").sum(),
+        fpraker_telemetry::histogram!("sim_fold_seconds").sum(),
+        fpraker_telemetry::histogram!("sim_run_unit_seconds").count(),
+    ]
+}
+
 /// A reusable, parallel trace-simulation engine.
 ///
 /// One engine value is a worker budget (plus a streaming window, see
@@ -191,10 +255,54 @@ impl Engine {
         trace: &Trace,
         cfg: &AcceleratorConfig,
     ) -> RunResult {
-        RunResult {
+        fpraker_telemetry::init();
+        let result = RunResult {
             machine: label,
             ops: sched::simulate_ops_scheduled::<M>(&trace.ops, cfg, self.threads),
-        }
+        };
+        // Best-effort profile export (only when FPRAKER_TRACE_OUT is set);
+        // an unwritable path must not fail the simulation.
+        let _ = fpraker_telemetry::flush_chrome_trace();
+        result
+    }
+
+    /// [`Engine::run`] plus an [`EngineTelemetry`] describing where the
+    /// host wall-clock went, captured as this run's delta of the global
+    /// stage histograms. The [`RunResult`] is bit-identical to
+    /// [`Engine::run`]'s — telemetry never influences simulation.
+    ///
+    /// ```
+    /// use fpraker_sim::{AcceleratorConfig, Engine, Machine};
+    /// use fpraker_trace::Trace;
+    ///
+    /// let (run, telem) = Engine::with_threads(2).run_with_telemetry(
+    ///     Machine::FpRaker,
+    ///     &Trace::new("empty", 0),
+    ///     &AcceleratorConfig::fpraker_paper(),
+    /// );
+    /// assert_eq!(run.cycles(), 0);
+    /// assert_eq!(telem.units, 0); // an empty trace schedules no units
+    /// ```
+    pub fn run_with_telemetry(
+        &self,
+        machine: Machine,
+        trace: &Trace,
+        cfg: &AcceleratorConfig,
+    ) -> (RunResult, EngineTelemetry) {
+        let before = stage_snapshot();
+        let start = std::time::Instant::now();
+        let result = self.run(machine, trace, cfg);
+        let wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let after = stage_snapshot();
+        let telemetry = EngineTelemetry {
+            wall_ns,
+            decode_ns: after[0].saturating_sub(before[0]),
+            plan_ns: after[1].saturating_sub(before[1]),
+            run_unit_ns: after[2].saturating_sub(before[2]),
+            fold_ns: after[3].saturating_sub(before[3]),
+            units: after[4].saturating_sub(before[4]),
+        };
+        (result, telemetry)
     }
 
     /// Simulates a [`TraceSource`] on one of the built-in machines under
@@ -259,6 +367,18 @@ impl Engine {
         mut source: S,
         cfg: &AcceleratorConfig,
     ) -> Result<StreamRun, DecodeError> {
+        fpraker_telemetry::init();
+        let run = self.stream_source_inner::<M, S>(label, &mut source, cfg);
+        let _ = fpraker_telemetry::flush_chrome_trace();
+        run
+    }
+
+    fn stream_source_inner<M: MachineModel, S: TraceSource>(
+        &self,
+        label: Machine,
+        source: &mut S,
+        cfg: &AcceleratorConfig,
+    ) -> Result<StreamRun, DecodeError> {
         let window = self.resolved_window();
         if self.resolved_threads() > 1 {
             if let Some(cursors) = source.segment_cursors(self.resolved_threads()) {
@@ -279,8 +399,7 @@ impl Engine {
                 }
             }
         }
-        let sched =
-            sched::simulate_source_scheduled::<M, _>(&mut source, cfg, self.threads, window)?;
+        let sched = sched::simulate_source_scheduled::<M, _>(source, cfg, self.threads, window)?;
         Ok(StreamRun {
             result: RunResult {
                 machine: label,

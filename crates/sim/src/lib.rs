@@ -79,7 +79,7 @@ mod run;
 mod sched;
 
 pub use config::{AcceleratorConfig, SerialPolicy};
-pub use engine::Engine;
+pub use engine::{Engine, EngineTelemetry};
 pub use fpraker_core::{
     BaselineMachine, FpRakerMachine, MachineBlock, MachineEvents, MachineModel,
 };

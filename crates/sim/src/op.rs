@@ -225,6 +225,7 @@ pub(crate) struct OpPlan<'a> {
 /// Stage 1 of [`simulate_op`]: resolves the serial policy and per-layer θ
 /// override, and tiles the GEMM into output blocks.
 pub(crate) fn plan_op<'a>(op: &'a TraceOp, cfg: &AcceleratorConfig) -> OpPlan<'a> {
+    let _span = fpraker_telemetry::span!("sim_plan");
     let op: Cow<'a, TraceOp> = if serial_is_a(op, cfg) {
         Cow::Borrowed(op)
     } else {
@@ -237,6 +238,7 @@ pub(crate) fn plan_op<'a>(op: &'a TraceOp, cfg: &AcceleratorConfig) -> OpPlan<'a
 /// policy swap moves the operand buffers instead of cloning them, and the
 /// resulting plan has no borrow tying it to a trace.
 pub(crate) fn plan_owned_op(op: TraceOp, cfg: &AcceleratorConfig) -> OpPlan<'static> {
+    let _span = fpraker_telemetry::span!("sim_plan");
     let op = if serial_is_a(&op, cfg) {
         op
     } else {
@@ -290,8 +292,9 @@ pub(crate) fn run_unit<M: MachineModel>(
     lo: usize,
     hi: usize,
 ) -> BlockAccum {
+    let _span = fpraker_telemetry::span!("sim_run_unit");
     let mut machine = M::from_tile(plan.tile_cfg);
-    if machine.value_dependent() {
+    let acc = if machine.value_dependent() {
         run_block_range(
             &mut machine,
             &plan.op,
@@ -311,7 +314,12 @@ pub(crate) fn run_unit<M: MachineModel>(
             acc.stats += out.stats;
         }
         acc
-    }
+    };
+    // The machine is fresh per unit, so its accumulated SWAR-unstable
+    // cycles are exactly this unit's contribution.
+    fpraker_telemetry::counter!("pe_swar_unstable_cycles_total")
+        .add(machine.swar_unstable_cycles());
+    acc
 }
 
 /// Simulates one GEMM on machine `M` — the single driver behind every
@@ -356,6 +364,7 @@ pub(crate) fn finish_op<M: MachineModel>(
     cfg: &AcceleratorConfig,
     acc: BlockAccum,
 ) -> OpOutcome {
+    let _span = fpraker_telemetry::span!("sim_fold");
     let op = &*plan.op;
     let (rows, cols) = (plan.tile_cfg.rows, plan.tile_cfg.cols);
     let (ksets, k_padded, blocks) = (plan.ksets, plan.k_padded, plan.blocks);

@@ -42,6 +42,7 @@ use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
+use std::time::Instant;
 
 use fpraker_core::MachineModel;
 use fpraker_trace::{DecodeError, SegmentCursor, TraceOp, TraceSource};
@@ -50,6 +51,16 @@ use crate::config::AcceleratorConfig;
 use crate::op::{
     finish_op, plan_op, plan_owned_op, resolve_threads, run_unit, BlockAccum, OpOutcome, OpPlan,
 };
+
+/// Adds the nanoseconds elapsed since `start` to `counter`. `start` is
+/// `None` when telemetry was disabled at interval entry (the pattern is
+/// `fpraker_telemetry::enabled().then(Instant::now)`, so the disabled
+/// path never reads the clock).
+fn add_elapsed_ns(counter: &'static fpraker_telemetry::Counter, start: Option<Instant>) {
+    if let Some(t) = start {
+        counter.add(u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
+}
 
 /// One schedulable unit: a contiguous block range of one op.
 struct WorkUnit {
@@ -150,8 +161,15 @@ pub(crate) fn simulate_ops_scheduled<M: MachineModel>(
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(unit) = units.get(i) else { break };
+                fpraker_telemetry::gauge!("sim_queue_depth")
+                    .set(units.len().saturating_sub(i + 1) as i64);
+                let busy = fpraker_telemetry::enabled().then(Instant::now);
                 let acc = run_unit::<M>(&plans[unit.op], cfg, unit.lo, unit.hi);
                 *slots[i].lock().expect("slot lock poisoned") = Some(acc);
+                add_elapsed_ns(
+                    fpraker_telemetry::counter!("sim_worker_busy_ns_total"),
+                    busy,
+                );
             });
         }
     });
@@ -261,10 +279,12 @@ impl StreamQueue {
 /// op's last unit lands. Exits when the queue is closed and empty.
 fn stream_worker<M: MachineModel>(queue: &StreamQueue, cfg: &AcceleratorConfig) {
     loop {
+        let idle = fpraker_telemetry::enabled().then(Instant::now);
         let unit = {
             let mut st = queue.state.lock().expect("queue lock poisoned");
             loop {
                 if let Some(u) = st.units.pop_front() {
+                    fpraker_telemetry::gauge!("sim_queue_depth").set(st.units.len() as i64);
                     break u;
                 }
                 if st.closed {
@@ -273,8 +293,17 @@ fn stream_worker<M: MachineModel>(queue: &StreamQueue, cfg: &AcceleratorConfig) 
                 st = queue.work.wait(st).expect("queue lock poisoned");
             }
         };
+        add_elapsed_ns(
+            fpraker_telemetry::counter!("sim_worker_idle_ns_total"),
+            idle,
+        );
+        let busy = fpraker_telemetry::enabled().then(Instant::now);
         let acc = run_unit::<M>(&unit.op.plan, cfg, unit.lo, unit.hi);
         *unit.op.slots[unit.slot].lock().expect("slot lock poisoned") = Some(acc);
+        add_elapsed_ns(
+            fpraker_telemetry::counter!("sim_worker_busy_ns_total"),
+            busy,
+        );
         if unit.op.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Last unit of this op: wake the folder. Taking the state lock
             // orders the notify after the folder's wait, so no wakeup is
@@ -321,6 +350,7 @@ fn enqueue_op(
                 hi,
             });
         }
+        fpraker_telemetry::gauge!("sim_queue_depth").set(st.units.len() as i64);
     }
     queue.work.notify_all();
     in_flight
@@ -343,10 +373,15 @@ fn pump_source<M: MachineModel, S: TraceSource>(
     loop {
         // Refill: decode and plan ahead while the window has room.
         while !drained && in_flight.len() < window {
-            match source.next_op()? {
+            let decoded = {
+                let _span = fpraker_telemetry::span!("sim_decode");
+                source.next_op()?
+            };
+            match decoded {
                 Some(op) => {
                     in_flight.push_back(enqueue_op(op, cfg, budget, queue));
                     peak = peak.max(in_flight.len());
+                    fpraker_telemetry::gauge!("sim_window_occupancy").set(in_flight.len() as i64);
                 }
                 None => drained = true,
             }
@@ -364,6 +399,7 @@ fn pump_source<M: MachineModel, S: TraceSource>(
             }
         }
         let done = in_flight.pop_front().expect("front exists");
+        fpraker_telemetry::gauge!("sim_window_occupancy").set(in_flight.len() as i64);
         let mut acc = BlockAccum::new(cfg.tiles);
         for slot in &done.slots {
             let partial = slot
@@ -404,7 +440,12 @@ pub(crate) fn simulate_source_scheduled<M: MachineModel, S: TraceSource>(
     if budget <= 1 {
         let mut outcomes = Vec::new();
         let mut peak = 0;
-        while let Some(op) = source.next_op()? {
+        loop {
+            let decoded = {
+                let _span = fpraker_telemetry::span!("sim_decode");
+                source.next_op()?
+            };
+            let Some(op) = decoded else { break };
             peak = 1;
             let plan = plan_owned_op(op, cfg);
             let acc = if plan.blocks > 0 {
@@ -465,10 +506,12 @@ struct SegState {
 /// unit queue).
 fn segment_worker<M: MachineModel>(queue: &StreamQueue, share: &SegShare, cfg: &AcceleratorConfig) {
     loop {
+        let idle = fpraker_telemetry::enabled().then(Instant::now);
         let unit = {
             let mut st = queue.state.lock().expect("queue lock poisoned");
             loop {
                 if let Some(u) = st.units.pop_front() {
+                    fpraker_telemetry::gauge!("sim_queue_depth").set(st.units.len() as i64);
                     break u;
                 }
                 if st.closed {
@@ -477,8 +520,17 @@ fn segment_worker<M: MachineModel>(queue: &StreamQueue, share: &SegShare, cfg: &
                 st = queue.work.wait(st).expect("queue lock poisoned");
             }
         };
+        add_elapsed_ns(
+            fpraker_telemetry::counter!("sim_worker_idle_ns_total"),
+            idle,
+        );
+        let busy = fpraker_telemetry::enabled().then(Instant::now);
         let acc = run_unit::<M>(&unit.op.plan, cfg, unit.lo, unit.hi);
         *unit.op.slots[unit.slot].lock().expect("slot lock poisoned") = Some(acc);
+        add_elapsed_ns(
+            fpraker_telemetry::counter!("sim_worker_busy_ns_total"),
+            busy,
+        );
         if unit.op.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             let _guard = share.state.lock().expect("share lock poisoned");
             share.cv.notify_all();
@@ -517,7 +569,11 @@ fn segment_decoder(
         }
         // Decode, plan and enqueue outside the share lock; only the
         // bookkeeping (op announced / error recorded) takes it.
-        let planned = match cursor.source.next_op() {
+        let decoded = {
+            let _span = fpraker_telemetry::span!("sim_decode");
+            cursor.source.next_op()
+        };
+        let planned = match decoded {
             Ok(Some(op)) => Ok(enqueue_op(op, cfg, budget, queue)),
             Ok(None) => Err(DecodeError::at(
                 0,
@@ -531,6 +587,7 @@ fn segment_decoder(
                 st.ready.insert(i, in_flight);
                 st.resident += 1;
                 st.peak = st.peak.max(st.resident);
+                fpraker_telemetry::gauge!("sim_window_occupancy").set(st.resident as i64);
                 share.cv.notify_all();
                 mine.push_back(i);
             }
@@ -602,6 +659,8 @@ pub(crate) fn simulate_segments_scheduled<M: MachineModel>(
                         if arc.remaining.load(Ordering::Acquire) == 0 {
                             let arc = st.ready.remove(&i).expect("checked present");
                             st.resident -= 1;
+                            fpraker_telemetry::gauge!("sim_window_occupancy")
+                                .set(st.resident as i64);
                             break Some(arc);
                         }
                     }

@@ -138,6 +138,42 @@ fn mixed_large_and_small_ops_are_identical_across_worker_counts() {
     }
 }
 
+/// The observability invariant: telemetry observes the run and never
+/// influences it. Runtime-disabling telemetry (and, on the CI leg that
+/// builds with `telemetry-off`, compiling it out entirely) must leave
+/// every run bit-identical at 1, 2 and 8 workers, golden checking on.
+#[test]
+fn telemetry_on_off_runs_are_bit_identical() {
+    let trace = fan_out_trace();
+    let mut cfg = AcceleratorConfig::fpraker_paper();
+    cfg.check_golden = true;
+    cfg.tiles = 4;
+    let golden: Vec<RunResult> = [1, 2, 8]
+        .iter()
+        .map(|&t| Engine::with_threads(t).run(Machine::FpRaker, &trace, &cfg))
+        .collect();
+    assert_eq!(golden[0].golden_failures(), 0, "golden check");
+    // Same engine, telemetry runtime-disabled: identical results. When
+    // the suite is compiled with `telemetry-off` this exercises the
+    // compiled-out no-op path instead — same assertion either way.
+    fpraker_telemetry::set_enabled(false);
+    let off: Vec<RunResult> = [1, 2, 8]
+        .iter()
+        .map(|&t| Engine::with_threads(t).run(Machine::FpRaker, &trace, &cfg))
+        .collect();
+    fpraker_telemetry::set_enabled(true);
+    for ((threads, on), off) in [1, 2, 8].iter().zip(&golden).zip(&off) {
+        assert_runs_identical(on, off, &format!("telemetry off, {threads} workers"));
+    }
+    // And the instrumented telemetry API itself: run_with_telemetry
+    // returns the very same results as run.
+    for (threads, on) in [1usize, 2, 8].iter().zip(&golden) {
+        let (run, _tel) =
+            Engine::with_threads(*threads).run_with_telemetry(Machine::FpRaker, &trace, &cfg);
+        assert_runs_identical(on, &run, &format!("run_with_telemetry, {threads} workers"));
+    }
+}
+
 #[test]
 fn thread_count_does_not_leak_into_derived_metrics() {
     let trace = fan_out_trace();

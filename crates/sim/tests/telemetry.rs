@@ -1,0 +1,117 @@
+//! Telemetry observability of the engine: stage timings surface through
+//! [`EngineTelemetry`], and the PE's SWAR-unstable-cycle fallback counter
+//! is visible as a process metric. These tests read the process-global
+//! registry, so they live in their own integration-test binary (one
+//! process) and never run concurrently with other registry readers.
+
+use std::sync::{Mutex, MutexGuard};
+
+use fpraker_core::{Pe, PeConfig};
+use fpraker_num::Bf16;
+use fpraker_sim::{AcceleratorConfig, Engine, Machine};
+use fpraker_trace::{Phase, TensorKind, Trace, TraceOp};
+
+/// Serializes the tests: they share the process-global registry and the
+/// runtime enable flag, so concurrent runs would see each other's
+/// counter movement.
+static TELEMETRY_LOCK: Mutex<()> = Mutex::new(());
+
+fn exclusive() -> MutexGuard<'static, ()> {
+    TELEMETRY_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn bf(vals: &[f32]) -> Vec<Bf16> {
+    vals.iter().map(|&v| Bf16::from_f32(v)).collect()
+}
+
+/// A 1×1×8 GEMM holding the engineered cancel-then-adopt set from the PE
+/// unit suite: lanes +1 and −1 cancel exactly, so the third lane's add
+/// lands on an empty accumulator with a non-zero column offset and must
+/// re-adopt its exponent — the SWAR fold detects the unstable cycle and
+/// replays it per-lane.
+fn cancel_then_adopt_trace() -> Trace {
+    let mut tr = Trace::new("swar-unstable", 50);
+    tr.ops.push(TraceOp {
+        layer: "engineered".into(),
+        phase: Phase::AxW,
+        m: 1,
+        n: 1,
+        k: 8,
+        a: bf(&[1.0, 1.0, 0.5, 0.5, 0.5, 0.0, 0.0, 0.0]),
+        b: bf(&[1.0, -1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 0.0]),
+        a_kind: TensorKind::Activation,
+        b_kind: TensorKind::Weight,
+        a_dup: 1.0,
+        b_dup: 1.0,
+        out_dup: 1.0,
+    });
+    tr
+}
+
+#[test]
+fn swar_unstable_cycles_surface_as_a_counter() {
+    let _x = exclusive();
+    let counter = fpraker_telemetry::counter!("pe_swar_unstable_cycles_total");
+    let trace = cancel_then_adopt_trace();
+    let mut cfg = AcceleratorConfig::fpraker_paper();
+    cfg.check_golden = true;
+    let before = counter.get();
+    let run = Engine::with_threads(1).run(Machine::FpRaker, &trace, &cfg);
+    assert_eq!(run.golden_failures(), 0, "fallback must stay bit-exact");
+    let delta = counter.get() - before;
+    if fpraker_telemetry::compiled() && Pe::new(PeConfig::paper()).uses_swar() {
+        assert!(
+            delta >= 1,
+            "engineered cancel-then-adopt cycle must increment the \
+             unstable-cycle counter (delta = {delta})"
+        );
+    } else {
+        assert_eq!(delta, 0, "counter must stay flat when compiled out");
+    }
+}
+
+#[test]
+fn engine_telemetry_reports_stage_time_without_touching_results() {
+    let _x = exclusive();
+    let trace = cancel_then_adopt_trace();
+    let cfg = AcceleratorConfig::fpraker_paper();
+    let plain = Engine::with_threads(2).run(Machine::FpRaker, &trace, &cfg);
+    let (run, tel) = Engine::with_threads(2).run_with_telemetry(Machine::FpRaker, &trace, &cfg);
+    // Observing the run must not perturb it.
+    assert_eq!(run.cycles(), plain.cycles());
+    assert_eq!(run.macs(), plain.macs());
+    assert_eq!(run.ops.len(), plain.ops.len());
+    assert_eq!(tel.units, if fpraker_telemetry::compiled() { 1 } else { 0 });
+    if fpraker_telemetry::compiled() {
+        assert!(tel.wall_ns > 0, "wall clock always ticks");
+        assert!(
+            tel.plan_ns > 0 && tel.run_unit_ns > 0 && tel.fold_ns > 0,
+            "every stage of a non-empty run takes time: {tel:?}"
+        );
+        assert_eq!(tel.decode_ns, 0, "in-memory traces are never decoded");
+        let total = tel.stage_total_ns();
+        let f: f64 = [tel.plan_ns, tel.run_unit_ns, tel.fold_ns]
+            .iter()
+            .map(|&ns| tel.stage_fraction(ns))
+            .sum();
+        assert!(total > 0 && (f - 1.0).abs() < 1e-9, "fractions sum to 1");
+    }
+}
+
+#[test]
+fn disabling_telemetry_freezes_counters_and_results_stay_identical() {
+    let _x = exclusive();
+    let trace = cancel_then_adopt_trace();
+    let cfg = AcceleratorConfig::fpraker_paper();
+    let on = Engine::with_threads(1).run(Machine::FpRaker, &trace, &cfg);
+    let counter = fpraker_telemetry::counter!("pe_swar_unstable_cycles_total");
+    fpraker_telemetry::set_enabled(false);
+    let before = counter.get();
+    let off = Engine::with_threads(1).run(Machine::FpRaker, &trace, &cfg);
+    let frozen = counter.get() == before;
+    fpraker_telemetry::set_enabled(true);
+    assert!(frozen, "a disabled counter must not move");
+    assert_eq!(on.cycles(), off.cycles());
+    assert_eq!(on.macs(), off.macs());
+    assert_eq!(on.counts(), off.counts());
+}

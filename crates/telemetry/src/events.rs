@@ -1,0 +1,249 @@
+//! The bounded span event ring and its Chrome `trace_event` exporter.
+//!
+//! When event recording is enabled ([`enable_events`], or automatically
+//! when `FPRAKER_TRACE_OUT` is set — see [`crate::init`]), every completed
+//! [`crate::Span`] deposits one `(name, lane, start, duration)` event into
+//! a fixed-capacity ring buffer that overwrites its oldest entries, so
+//! profiling memory is bounded however long the process runs. The ring
+//! drains to Chrome `trace_event` JSON — complete (`"ph":"X"`) events on
+//! one lane per recording thread — loadable in `chrome://tracing` or
+//! [Perfetto](https://ui.perfetto.dev).
+
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Default event capacity [`crate::init`] uses when `FPRAKER_TRACE_OUT`
+/// enables recording.
+pub const DEFAULT_EVENT_CAPACITY: usize = 65_536;
+
+/// One completed span occurrence.
+#[derive(Clone, Copy, Debug)]
+struct Event {
+    /// Span name (a code literal — no escaping needed beyond the basics).
+    name: &'static str,
+    /// Recording thread's lane number (Chrome `tid`).
+    lane: u64,
+    /// Start, nanoseconds since the process telemetry epoch.
+    start_ns: u64,
+    /// Duration in nanoseconds.
+    dur_ns: u64,
+}
+
+/// Overwrite-oldest ring storage. `events` grows to `capacity` once, then
+/// `next` wraps; `dropped` counts overwritten events.
+struct Ring {
+    events: Vec<Event>,
+    capacity: usize,
+    next: usize,
+    dropped: u64,
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static RING: Mutex<Ring> = Mutex::new(Ring {
+    events: Vec::new(),
+    capacity: 0,
+    next: 0,
+    dropped: 0,
+});
+static NEXT_LANE: AtomicU64 = AtomicU64::new(1);
+
+fn ring() -> std::sync::MutexGuard<'static, Ring> {
+    RING.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// The process telemetry epoch all event timestamps are relative to
+/// (first use wins).
+fn epoch() -> Instant {
+    use std::sync::OnceLock;
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// This thread's stable event lane (Chrome `tid`), assigned on first use.
+fn lane() -> u64 {
+    use std::cell::Cell;
+    thread_local! {
+        static LANE: Cell<u64> = const { Cell::new(0) };
+    }
+    LANE.with(|l| {
+        let v = l.get();
+        if v != 0 {
+            v
+        } else {
+            let v = NEXT_LANE.fetch_add(1, Ordering::Relaxed);
+            l.set(v);
+            v
+        }
+    })
+}
+
+/// Starts recording span events into a fresh ring of `capacity` entries
+/// (clamped to at least 1). Any previously buffered events are discarded.
+pub fn enable_events(capacity: usize) {
+    #[cfg(feature = "telemetry-off")]
+    {
+        let _ = capacity;
+    }
+    #[cfg(not(feature = "telemetry-off"))]
+    {
+        let mut r = ring();
+        r.events.clear();
+        r.capacity = capacity.max(1);
+        r.next = 0;
+        r.dropped = 0;
+        drop(r);
+        ACTIVE.store(true, Ordering::Release);
+    }
+}
+
+/// Stops recording and discards buffered events.
+pub fn disable_events() {
+    ACTIVE.store(false, Ordering::Release);
+    let mut r = ring();
+    r.events.clear();
+    r.capacity = 0;
+    r.next = 0;
+    r.dropped = 0;
+}
+
+/// Whether span events are currently being recorded.
+pub fn events_enabled() -> bool {
+    ACTIVE.load(Ordering::Acquire)
+}
+
+/// Number of events currently buffered (testing/diagnostics).
+pub fn event_count() -> usize {
+    ring().events.len()
+}
+
+/// Deposits one completed span occurrence, if recording is active.
+pub(crate) fn record(name: &'static str, start: Instant, dur: Duration) {
+    if !events_enabled() {
+        return;
+    }
+    let event = Event {
+        name,
+        lane: lane(),
+        start_ns: u64::try_from(start.saturating_duration_since(epoch()).as_nanos())
+            .unwrap_or(u64::MAX),
+        dur_ns: u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX),
+    };
+    let mut r = ring();
+    if r.capacity == 0 {
+        return;
+    }
+    if r.events.len() < r.capacity {
+        r.events.push(event);
+    } else {
+        let slot = r.next;
+        r.events[slot] = event;
+        r.dropped += 1;
+    }
+    r.next = (r.next + 1) % r.capacity;
+}
+
+/// Escapes the characters JSON string literals cannot carry raw.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the buffered events as a Chrome `trace_event` JSON document:
+/// one `"ph":"X"` complete event per span (microsecond timestamps), plus
+/// a `thread_name` metadata event per lane so Perfetto labels the rows.
+pub fn chrome_trace_json() -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let r = ring();
+    // Oldest-first: the slice from `next` wraps around when full.
+    let (tail, head) = if r.events.len() == r.capacity && r.capacity > 0 {
+        r.events.split_at(r.next)
+    } else {
+        (&r.events[..], &[][..])
+    };
+    let ordered = head.iter().chain(tail.iter());
+    let mut lanes: Vec<u64> = Vec::new();
+    let mut first = true;
+    for e in ordered {
+        if !lanes.contains(&e.lane) {
+            lanes.push(e.lane);
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"fpraker\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3}}}",
+            json_escape(e.name),
+            e.lane,
+            e.start_ns as f64 / 1e3,
+            e.dur_ns as f64 / 1e3,
+        ));
+    }
+    lanes.sort_unstable();
+    for lane in lanes {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{lane},\"args\":{{\"name\":\"lane-{lane}\"}}}}"
+        ));
+    }
+    drop(r);
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// Writes [`chrome_trace_json`] to `w`.
+pub fn write_chrome_trace(w: &mut impl Write) -> io::Result<()> {
+    w.write_all(chrome_trace_json().as_bytes())
+}
+
+#[cfg(all(test, not(feature = "telemetry-off")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_overwrites_oldest_and_exports_in_order() {
+        enable_events(4);
+        let t0 = epoch();
+        for i in 0..6u64 {
+            record(
+                "ring_test",
+                t0 + Duration::from_micros(i),
+                Duration::from_nanos(500),
+            );
+        }
+        assert_eq!(event_count(), 4);
+        let json = chrome_trace_json();
+        // Events 0 and 1 were overwritten; 2..6 remain, oldest first.
+        let positions: Vec<usize> = (2..6)
+            .map(|i| {
+                json.find(&format!("\"ts\":{}.000", i))
+                    .unwrap_or_else(|| panic!("missing event {i} in {json}"))
+            })
+            .collect();
+        assert!(positions.windows(2).all(|w| w[0] < w[1]), "{positions:?}");
+        assert!(!json.contains("\"ts\":0.000"));
+        assert!(json.contains("thread_name"));
+        disable_events();
+        assert_eq!(event_count(), 0);
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("\n"), "\\u000a");
+    }
+}

@@ -1,0 +1,290 @@
+//! Lock-free runtime telemetry for the FPRaker reproduction.
+//!
+//! The simulator's *architectural* counters (`ExecStats`, `TermStats`)
+//! say where the modelled machine's cycles went; this crate says where
+//! the **wall clock** went. It provides:
+//!
+//! * **Counters, gauges and log2 histograms** ([`Counter`], [`Gauge`],
+//!   [`Histogram`]) — relaxed-atomic, lock-free, allocation-free on the
+//!   hot path — behind a process-global named registry. The [`counter!`],
+//!   [`gauge!`] and [`histogram!`] macros cache a `&'static` handle in a
+//!   per-call-site static, so after the first touch a metric update is a
+//!   flag load plus a `fetch_add`.
+//! * **Scoped timing spans** ([`Span`], via [`span!`]): RAII, monotonic
+//!   clock, feeding the span's histogram and (optionally) a bounded
+//!   ring-buffer event log.
+//! * **Prometheus-style text exposition** ([`render_prometheus`]) — what
+//!   the `fpraker-serve` `METRICS` protocol frame returns.
+//! * **Chrome `trace_event` export**: set `FPRAKER_TRACE_OUT=path` and
+//!   every instrumented engine run drains the event ring to a JSON file
+//!   loadable in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev),
+//!   one lane per recording thread.
+//!
+//! # The no-influence invariant
+//!
+//! Telemetry observes; it never reads or steers simulation state. Results
+//! are bit-identical with telemetry enabled (the default), disabled at
+//! runtime ([`set_enabled`]`(false)`), and compiled out entirely (the
+//! `telemetry-off` cargo feature turns every operation into a no-op and
+//! [`compiled`] into `false`). The simulator's determinism suite pins
+//! this.
+//!
+//! ```
+//! use fpraker_telemetry as telemetry;
+//!
+//! telemetry::counter!("example_requests_total").inc();
+//! telemetry::gauge!("example_queue_depth").set(3);
+//! {
+//!     let _span = telemetry::span!("example_stage");
+//! } // records into `example_stage_seconds`
+//! let text = telemetry::render_prometheus();
+//! if telemetry::compiled() {
+//!     assert!(text.contains("example_requests_total 1"));
+//!     assert!(text.contains("example_stage_seconds_count"));
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod events;
+mod metrics;
+mod registry;
+mod span;
+
+#[cfg(not(feature = "telemetry-off"))]
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+pub use events::{
+    chrome_trace_json, disable_events, enable_events, event_count, events_enabled,
+    write_chrome_trace, DEFAULT_EVENT_CAPACITY,
+};
+pub use metrics::{Counter, Gauge, GaugeGuard, Histogram, HISTOGRAM_BUCKETS};
+pub use registry::render_prometheus;
+pub use span::Span;
+
+/// Whether telemetry is compiled in (`true` unless the `telemetry-off`
+/// feature is enabled). Tests use this to skip assertions about counter
+/// movement on the no-op build.
+pub const fn compiled() -> bool {
+    cfg!(not(feature = "telemetry-off"))
+}
+
+#[cfg(not(feature = "telemetry-off"))]
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Whether telemetry is currently recording. `false` permanently when
+/// compiled out.
+#[inline]
+pub fn enabled() -> bool {
+    #[cfg(feature = "telemetry-off")]
+    {
+        false
+    }
+    #[cfg(not(feature = "telemetry-off"))]
+    {
+        ENABLED.load(Ordering::Relaxed)
+    }
+}
+
+/// Turns telemetry recording on or off at runtime (process-wide). A no-op
+/// when compiled out. Disabling does not clear already-recorded values.
+pub fn set_enabled(on: bool) {
+    #[cfg(feature = "telemetry-off")]
+    let _ = on;
+    #[cfg(not(feature = "telemetry-off"))]
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// The Chrome-trace output path from `FPRAKER_TRACE_OUT`, if the variable
+/// is set and non-empty (read once per process).
+pub fn trace_out_path() -> Option<&'static std::path::Path> {
+    static PATH: OnceLock<Option<std::path::PathBuf>> = OnceLock::new();
+    PATH.get_or_init(|| {
+        std::env::var_os("FPRAKER_TRACE_OUT")
+            .filter(|v| !v.is_empty())
+            .map(std::path::PathBuf::from)
+    })
+    .as_deref()
+}
+
+/// Idempotent process initialization: if `FPRAKER_TRACE_OUT` is set,
+/// starts span event recording ([`enable_events`] with
+/// [`DEFAULT_EVENT_CAPACITY`]). Instrumented entry points (the engine,
+/// the server) call this; calling it again is free.
+pub fn init() {
+    static INIT: OnceLock<()> = OnceLock::new();
+    INIT.get_or_init(|| {
+        if compiled() && trace_out_path().is_some() {
+            enable_events(DEFAULT_EVENT_CAPACITY);
+        }
+    });
+}
+
+/// Writes the Chrome trace JSON to the `FPRAKER_TRACE_OUT` path if the
+/// variable is set and event recording is active. Returns whether a file
+/// was written. Instrumented entry points call this after each run, so
+/// the file always holds the most recent ring contents.
+pub fn flush_chrome_trace() -> std::io::Result<bool> {
+    let Some(path) = trace_out_path() else {
+        return Ok(false);
+    };
+    if !events_enabled() {
+        return Ok(false);
+    }
+    std::fs::write(path, chrome_trace_json())?;
+    Ok(true)
+}
+
+/// A per-call-site cache for a registered [`Counter`] handle — created by
+/// the [`counter!`] macro, not used directly.
+#[derive(Debug)]
+pub struct CounterSlot {
+    name: &'static str,
+    cell: OnceLock<&'static Counter>,
+}
+
+impl CounterSlot {
+    /// A new, unresolved slot for the named counter.
+    pub const fn new(name: &'static str) -> Self {
+        CounterSlot {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The registered counter (registering it on first use).
+    pub fn get(&'static self) -> &'static Counter {
+        #[cfg(feature = "telemetry-off")]
+        {
+            let _ = (self.name, &self.cell);
+            &registry::noop::COUNTER
+        }
+        #[cfg(not(feature = "telemetry-off"))]
+        {
+            self.cell.get_or_init(|| registry::counter(self.name))
+        }
+    }
+}
+
+/// A per-call-site cache for a registered [`Gauge`] handle — created by
+/// the [`gauge!`] macro, not used directly.
+#[derive(Debug)]
+pub struct GaugeSlot {
+    name: &'static str,
+    cell: OnceLock<&'static Gauge>,
+}
+
+impl GaugeSlot {
+    /// A new, unresolved slot for the named gauge.
+    pub const fn new(name: &'static str) -> Self {
+        GaugeSlot {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The registered gauge (registering it on first use).
+    pub fn get(&'static self) -> &'static Gauge {
+        #[cfg(feature = "telemetry-off")]
+        {
+            let _ = (self.name, &self.cell);
+            &registry::noop::GAUGE
+        }
+        #[cfg(not(feature = "telemetry-off"))]
+        {
+            self.cell.get_or_init(|| registry::gauge(self.name))
+        }
+    }
+}
+
+/// A per-call-site cache for a registered [`Histogram`] handle — created
+/// by the [`histogram!`] macro, not used directly.
+#[derive(Debug)]
+pub struct HistogramSlot {
+    name: &'static str,
+    cell: OnceLock<&'static Histogram>,
+}
+
+impl HistogramSlot {
+    /// A new, unresolved slot for the named histogram.
+    pub const fn new(name: &'static str) -> Self {
+        HistogramSlot {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The registered histogram (registering it on first use).
+    pub fn get(&'static self) -> &'static Histogram {
+        #[cfg(feature = "telemetry-off")]
+        {
+            let _ = (self.name, &self.cell);
+            &registry::noop::HISTOGRAM
+        }
+        #[cfg(not(feature = "telemetry-off"))]
+        {
+            self.cell.get_or_init(|| registry::histogram(self.name))
+        }
+    }
+}
+
+/// A `&'static Counter` for the named metric, registered on first use and
+/// cached per call site. The name must be a string literal (optionally
+/// with inline Prometheus labels).
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static SLOT: $crate::CounterSlot = $crate::CounterSlot::new($name);
+        SLOT.get()
+    }};
+}
+
+/// A `&'static Gauge` for the named metric, registered on first use and
+/// cached per call site.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static SLOT: $crate::GaugeSlot = $crate::GaugeSlot::new($name);
+        SLOT.get()
+    }};
+}
+
+/// A `&'static Histogram` for the named metric, registered on first use
+/// and cached per call site.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static SLOT: $crate::HistogramSlot = $crate::HistogramSlot::new($name);
+        SLOT.get()
+    }};
+}
+
+/// Enters a [`Span`] named by a string literal, recording into the
+/// histogram `<name>_seconds` on drop. Bind the result (`let _span = ...`)
+/// so the span covers the intended scope.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::Span::enter($name, $crate::histogram!(concat!($name, "_seconds")))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn compiled_reflects_the_feature() {
+        assert_eq!(super::compiled(), cfg!(not(feature = "telemetry-off")));
+    }
+
+    #[cfg(not(feature = "telemetry-off"))]
+    #[test]
+    fn macro_slots_resolve_to_one_instance() {
+        let a = crate::counter!("lib_slot_test_total");
+        a.inc();
+        let b = crate::counter!("lib_slot_test_total");
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(b.get(), 1);
+    }
+}

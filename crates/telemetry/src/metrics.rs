@@ -1,0 +1,279 @@
+//! Lock-free metric primitives: counters, gauges and fixed-bucket log2
+//! histograms.
+//!
+//! Every operation is a handful of relaxed atomic instructions guarded by
+//! the process-wide [`crate::enabled`] flag — no locks, no allocation, no
+//! syscalls on the hot path. Under the `telemetry-off` feature the write
+//! operations compile to nothing and the read operations report zeros.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of fixed log2 buckets in a [`Histogram`].
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A monotonically increasing event count.
+///
+/// ```
+/// let c = fpraker_telemetry::Counter::new();
+/// c.inc();
+/// c.add(2);
+/// if fpraker_telemetry::compiled() {
+///     assert_eq!(c.get(), 3);
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub const fn new() -> Self {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` (wrapping, like every atomic counter).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        #[cfg(not(feature = "telemetry-off"))]
+        if crate::enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+        #[cfg(feature = "telemetry-off")]
+        let _ = n;
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous signed level (queue depth, active connections,
+/// window occupancy).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub const fn new() -> Self {
+        Gauge {
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// Sets the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        #[cfg(not(feature = "telemetry-off"))]
+        if crate::enabled() {
+            self.value.store(v, Ordering::Relaxed);
+        }
+        #[cfg(feature = "telemetry-off")]
+        let _ = v;
+    }
+
+    /// Adds `n` to the level (negative to subtract).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        #[cfg(not(feature = "telemetry-off"))]
+        if crate::enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+        #[cfg(feature = "telemetry-off")]
+        let _ = n;
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Raises the level by one and returns a guard that lowers it on drop
+    /// — the RAII shape for "active X" gauges with early-return paths.
+    pub fn inc_scoped(&'static self) -> GaugeGuard {
+        self.inc();
+        GaugeGuard { gauge: self }
+    }
+
+    /// The current level.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Lowers the owning [`Gauge`] by one when dropped
+/// (see [`Gauge::inc_scoped`]).
+#[derive(Debug)]
+pub struct GaugeGuard {
+    gauge: &'static Gauge,
+}
+
+impl Drop for GaugeGuard {
+    fn drop(&mut self) {
+        self.gauge.dec();
+    }
+}
+
+/// A fixed-bucket log2 histogram: bucket `i` counts values whose bit
+/// length is `i` (bucket 0 counts zeros), so recording is one
+/// `leading_zeros` plus three relaxed atomic adds — lock-free and
+/// allocation-free however many threads hammer it.
+///
+/// By repo convention histograms record **nanoseconds** and are named
+/// `*_seconds`; the Prometheus exposition divides by 10⁹.
+///
+/// ```
+/// let h = fpraker_telemetry::Histogram::new();
+/// h.record(0);
+/// h.record(1000);
+/// if fpraker_telemetry::compiled() {
+///     assert_eq!(h.count(), 2);
+///     assert_eq!(h.sum(), 1000);
+/// }
+/// ```
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// A zeroed histogram.
+    pub const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)] // array-init seed
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: [ZERO; HISTOGRAM_BUCKETS],
+        }
+    }
+
+    /// The bucket a value lands in: its bit length (0 for 0), clamped to
+    /// the last bucket.
+    pub fn bucket_index(value: u64) -> usize {
+        ((u64::BITS - value.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// The largest value bucket `i` holds (`2^i − 1`), or `None` for the
+    /// unbounded last bucket.
+    pub fn bucket_upper_bound(i: usize) -> Option<u64> {
+        (i + 1 < HISTOGRAM_BUCKETS).then(|| (1u64 << i) - 1)
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        #[cfg(not(feature = "telemetry-off"))]
+        if crate::enabled() {
+            self.count.fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(value, Ordering::Relaxed);
+            self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        }
+        #[cfg(feature = "telemetry-off")]
+        let _ = value;
+    }
+
+    /// Records a duration as nanoseconds (saturating at `u64::MAX`).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// A snapshot of the per-bucket counts. Concurrent recording may make
+    /// the snapshot momentarily lag [`Histogram::count`]; it never loses
+    /// completed increments.
+    pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        let mut out = [0u64; HISTOGRAM_BUCKETS];
+        for (o, b) in out.iter_mut().zip(&self.buckets) {
+            *o = b.load(Ordering::Relaxed);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_bit_length() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 63);
+        assert_eq!(Histogram::bucket_index(u64::MAX >> 1), 63);
+    }
+
+    #[test]
+    fn bucket_bounds_cover_their_indices() {
+        for i in 0..HISTOGRAM_BUCKETS - 1 {
+            let hi = Histogram::bucket_upper_bound(i).unwrap();
+            assert_eq!(Histogram::bucket_index(hi), i);
+            if hi > 0 {
+                assert_eq!(Histogram::bucket_index(hi + 1), i + 1);
+            }
+        }
+        assert!(Histogram::bucket_upper_bound(HISTOGRAM_BUCKETS - 1).is_none());
+    }
+
+    #[cfg(not(feature = "telemetry-off"))]
+    #[test]
+    fn counter_gauge_histogram_round_trip() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(7);
+        g.dec();
+        assert_eq!(g.get(), 6);
+        let h = Histogram::new();
+        h.record(0);
+        h.record(5);
+        h.record(5);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 10);
+        let buckets = h.bucket_counts();
+        assert_eq!(buckets[0], 1);
+        assert_eq!(buckets[Histogram::bucket_index(5)], 2);
+    }
+}

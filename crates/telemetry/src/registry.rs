@@ -1,0 +1,253 @@
+//! The process-global named metric registry and its Prometheus-style
+//! text exposition.
+//!
+//! Metrics are registered on first use (via the [`crate::counter!`],
+//! [`crate::gauge!`] and [`crate::histogram!`] macros, whose per-call-site
+//! statics cache the `&'static` handle), so registration cost — one mutex
+//! acquisition and one leaked allocation — is paid once per call site,
+//! never on the hot path. Names may carry Prometheus labels inline
+//! (`serve_request_seconds{job="sim",cache="cold"}`); the renderer groups
+//! label variants under one metric family.
+
+#[cfg(not(feature = "telemetry-off"))]
+use std::collections::BTreeMap;
+#[cfg(not(feature = "telemetry-off"))]
+use std::fmt::Write as _;
+#[cfg(not(feature = "telemetry-off"))]
+use std::sync::{Mutex, OnceLock};
+
+use crate::metrics::{Counter, Gauge, Histogram};
+
+/// One registered metric, by kind.
+#[cfg(not(feature = "telemetry-off"))]
+enum Handle {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+#[cfg(not(feature = "telemetry-off"))]
+impl Handle {
+    fn kind(&self) -> &'static str {
+        match self {
+            Handle::Counter(_) => "counter",
+            Handle::Gauge(_) => "gauge",
+            Handle::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[cfg(not(feature = "telemetry-off"))]
+type Registry = Mutex<BTreeMap<&'static str, Handle>>;
+
+#[cfg(not(feature = "telemetry-off"))]
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+#[cfg(not(feature = "telemetry-off"))]
+fn lock() -> std::sync::MutexGuard<'static, BTreeMap<&'static str, Handle>> {
+    // Telemetry must never take the process down: recover from poison.
+    registry()
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Looks up or registers the named counter.
+///
+/// # Panics
+///
+/// Panics if the name is already registered as a different metric kind —
+/// a programming error at the call site.
+#[cfg(not(feature = "telemetry-off"))]
+pub(crate) fn counter(name: &'static str) -> &'static Counter {
+    let mut map = lock();
+    match map
+        .entry(name)
+        .or_insert_with(|| Handle::Counter(Box::leak(Box::new(Counter::new()))))
+    {
+        Handle::Counter(c) => c,
+        other => panic!("metric `{name}` is a {}, not a counter", other.kind()),
+    }
+}
+
+/// Looks up or registers the named gauge (see [`counter`] for panics).
+#[cfg(not(feature = "telemetry-off"))]
+pub(crate) fn gauge(name: &'static str) -> &'static Gauge {
+    let mut map = lock();
+    match map
+        .entry(name)
+        .or_insert_with(|| Handle::Gauge(Box::leak(Box::new(Gauge::new()))))
+    {
+        Handle::Gauge(g) => g,
+        other => panic!("metric `{name}` is a {}, not a gauge", other.kind()),
+    }
+}
+
+/// Looks up or registers the named histogram (see [`counter`] for panics).
+#[cfg(not(feature = "telemetry-off"))]
+pub(crate) fn histogram(name: &'static str) -> &'static Histogram {
+    let mut map = lock();
+    match map
+        .entry(name)
+        .or_insert_with(|| Handle::Histogram(Box::leak(Box::new(Histogram::new()))))
+    {
+        Handle::Histogram(h) => h,
+        other => panic!("metric `{name}` is a {}, not a histogram", other.kind()),
+    }
+}
+
+/// Shared no-op instances the macros hand out when telemetry is compiled
+/// out — every call site collapses onto these, and every operation on
+/// them is a no-op.
+#[cfg(feature = "telemetry-off")]
+pub(crate) mod noop {
+    use super::{Counter, Gauge, Histogram};
+
+    pub(crate) static COUNTER: Counter = Counter::new();
+    pub(crate) static GAUGE: Gauge = Gauge::new();
+    pub(crate) static HISTOGRAM: Histogram = Histogram::new();
+}
+
+/// Splits `fam{labels}` into the family name and the brace-less labels.
+#[cfg(not(feature = "telemetry-off"))]
+fn split_name(name: &str) -> (&str, Option<&str>) {
+    match name.find('{') {
+        Some(i) => (
+            &name[..i],
+            Some(name[i + 1..].strip_suffix('}').unwrap_or(&name[i + 1..])),
+        ),
+        None => (name, None),
+    }
+}
+
+/// Joins a metric suffix line's label set: the name's own labels plus an
+/// optional extra `le` pair.
+#[cfg(not(feature = "telemetry-off"))]
+fn labelled(family: &str, suffix: &str, labels: Option<&str>, le: Option<&str>) -> String {
+    let mut s = format!("{family}{suffix}");
+    match (labels, le) {
+        (None, None) => {}
+        (Some(l), None) => {
+            let _ = write!(s, "{{{l}}}");
+        }
+        (None, Some(le)) => {
+            let _ = write!(s, "{{le=\"{le}\"}}");
+        }
+        (Some(l), Some(le)) => {
+            let _ = write!(s, "{{{l},le=\"{le}\"}}");
+        }
+    }
+    s
+}
+
+/// Renders every registered metric as Prometheus-style text exposition.
+///
+/// Counters and gauges render as single sample lines; histograms render
+/// cumulative `_bucket` lines (nanosecond bucket bounds expressed in
+/// seconds, per the `*_seconds` naming convention), `_sum` (seconds) and
+/// `_count`. Label variants of one family share a single `# TYPE` line.
+/// The snapshot is per-metric atomic but not cross-metric atomic:
+/// concurrent recording may be visible in one metric and not another.
+pub fn render_prometheus() -> String {
+    #[cfg(feature = "telemetry-off")]
+    {
+        "# telemetry compiled out (feature telemetry-off)\n".to_string()
+    }
+    #[cfg(not(feature = "telemetry-off"))]
+    {
+        let map = lock();
+        let mut out = String::new();
+        let mut last_family = "";
+        for (name, handle) in map.iter() {
+            let (family, labels) = split_name(name);
+            if family != last_family {
+                let _ = writeln!(out, "# TYPE {family} {}", handle.kind());
+                last_family = family;
+            }
+            match handle {
+                Handle::Counter(c) => {
+                    let _ = writeln!(out, "{} {}", labelled(family, "", labels, None), c.get());
+                }
+                Handle::Gauge(g) => {
+                    let _ = writeln!(out, "{} {}", labelled(family, "", labels, None), g.get());
+                }
+                Handle::Histogram(h) => {
+                    let buckets = h.bucket_counts();
+                    let last_nonzero = buckets.iter().rposition(|&b| b > 0).unwrap_or(0);
+                    let mut cumulative = 0u64;
+                    for (i, &b) in buckets.iter().enumerate().take(last_nonzero + 1) {
+                        cumulative += b;
+                        if let Some(hi) = Histogram::bucket_upper_bound(i) {
+                            let le = format!("{}", hi as f64 / 1e9);
+                            let _ = writeln!(
+                                out,
+                                "{} {cumulative}",
+                                labelled(family, "_bucket", labels, Some(&le))
+                            );
+                        }
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{} {}",
+                        labelled(family, "_bucket", labels, Some("+Inf")),
+                        h.count()
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{} {}",
+                        labelled(family, "_sum", labels, None),
+                        h.sum() as f64 / 1e9
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{} {}",
+                        labelled(family, "_count", labels, None),
+                        h.count()
+                    );
+                }
+            }
+        }
+        if out.is_empty() {
+            out.push_str("# no metrics registered\n");
+        }
+        out
+    }
+}
+
+#[cfg(all(test, not(feature = "telemetry-off")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_name_handles_labels() {
+        assert_eq!(split_name("plain"), ("plain", None));
+        assert_eq!(split_name("fam{a=\"b\"}"), ("fam", Some("a=\"b\"")));
+    }
+
+    #[test]
+    fn registration_is_idempotent_and_kind_checked() {
+        let a = counter("test_registry_counter_total");
+        let b = counter("test_registry_counter_total");
+        assert!(std::ptr::eq(a, b));
+        let result = std::panic::catch_unwind(|| gauge("test_registry_counter_total"));
+        assert!(result.is_err(), "kind mismatch must panic");
+    }
+
+    #[test]
+    fn exposition_renders_all_kinds() {
+        counter("test_render_total").add(3);
+        gauge("test_render_depth").set(-2);
+        histogram("test_render_seconds").record(1_000_000_000);
+        let text = render_prometheus();
+        assert!(text.contains("# TYPE test_render_total counter"));
+        assert!(text.contains("test_render_total 3"));
+        assert!(text.contains("# TYPE test_render_depth gauge"));
+        assert!(text.contains("test_render_depth -2"));
+        assert!(text.contains("# TYPE test_render_seconds histogram"));
+        assert!(text.contains("test_render_seconds_count 1"));
+        assert!(text.contains("test_render_seconds_sum 1"));
+        assert!(text.contains("test_render_seconds_bucket{le=\"+Inf\"} 1"));
+    }
+}

@@ -1,0 +1,69 @@
+//! RAII timing spans.
+
+use std::time::Instant;
+
+use crate::metrics::Histogram;
+
+/// A scoped wall-clock timing span over the monotonic clock.
+///
+/// Entering a span reads `Instant::now()` once (and nothing at all when
+/// telemetry is runtime-disabled or compiled out); dropping it records the
+/// elapsed nanoseconds into the span's histogram and, when event recording
+/// is active, deposits one event into the ring buffer for the Chrome
+/// trace export. Spans never touch the state of the code they time — the
+/// no-influence invariant the determinism suite pins.
+///
+/// The [`crate::span!`] macro is the usual entry point; it derives the
+/// histogram name from the span name:
+///
+/// ```
+/// let _span = fpraker_telemetry::span!("doc_example_stage");
+/// // ... timed work ...
+/// drop(_span); // records into `doc_example_stage_seconds`
+/// ```
+#[derive(Debug)]
+#[must_use = "a span times its scope; dropping it immediately records nothing useful"]
+pub struct Span {
+    start: Option<Instant>,
+    name: &'static str,
+    hist: &'static Histogram,
+}
+
+impl Span {
+    /// Enters a span that records into `hist` (and into the event ring as
+    /// `name`) when dropped. When telemetry is runtime-disabled or
+    /// compiled out, the returned span is inert and never reads the clock.
+    #[inline]
+    pub fn enter(name: &'static str, hist: &'static Histogram) -> Span {
+        Span {
+            start: crate::enabled().then(Instant::now),
+            name,
+            hist,
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let dur = start.elapsed();
+            self.hist.record_duration(dur);
+            crate::events::record(self.name, start, dur);
+        }
+    }
+}
+
+#[cfg(all(test, not(feature = "telemetry-off")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_into_its_histogram() {
+        static HIST: Histogram = Histogram::new();
+        {
+            let _span = Span::enter("span_unit_test", &HIST);
+            std::hint::black_box(());
+        }
+        assert_eq!(HIST.count(), 1);
+    }
+}

@@ -1,0 +1,282 @@
+//! Concurrency and export-format tests that want a whole process to
+//! themselves: an 8-thread increment hammer against one histogram (no
+//! update may be lost) and a schema check of the `FPRAKER_TRACE_OUT`
+//! Chrome `trace_event` export, driven through the real env-var path.
+
+#![cfg(not(feature = "telemetry-off"))]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use fpraker_telemetry as telemetry;
+
+/// 8 threads hammer one histogram (and one counter, for a cross-check)
+/// concurrently; the final count, sum and per-bucket totals must account
+/// for every single recorded value.
+#[test]
+fn concurrent_histogram_updates_lose_nothing() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 50_000;
+    let h = telemetry::histogram!("test_hammer_seconds");
+    let c = telemetry::counter!("test_hammer_total");
+    let base_count = h.count();
+    let base_sum = h.sum();
+    let base_c = c.get();
+    let go = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let go = Arc::clone(&go);
+            scope.spawn(move || {
+                while !go.load(Ordering::Acquire) {
+                    std::hint::spin_loop();
+                }
+                for i in 0..PER_THREAD {
+                    // Values spread over many log2 buckets, deterministic
+                    // per thread so the expected sum is closed-form.
+                    h.record(t * PER_THREAD + i);
+                    c.inc();
+                }
+            });
+        }
+        go.store(true, Ordering::Release);
+    });
+    let n = THREADS * PER_THREAD;
+    assert_eq!(h.count() - base_count, n, "histogram count");
+    // Σ 0..(8·50_000 - 1) — every recorded value landed in the sum.
+    assert_eq!(h.sum() - base_sum, n * (n - 1) / 2, "histogram sum");
+    assert_eq!(c.get() - base_c, n, "counter");
+    let buckets = h.bucket_counts();
+    assert_eq!(
+        buckets.iter().sum::<u64>(),
+        h.count(),
+        "buckets fold to count"
+    );
+    // 400k distinct values cannot fit one log2 bucket.
+    assert!(buckets.iter().filter(|&&b| b > 0).count() >= 10);
+}
+
+/// A minimal JSON reader, enough to schema-check the trace export
+/// without a serde dependency: parses one value, returning the rest.
+mod json {
+    #[derive(Debug, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Num(f64),
+        Str(String),
+        Arr(Vec<Value>),
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+        pub fn as_num(&self) -> Option<f64> {
+            match self {
+                Value::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+    }
+
+    pub fn parse(s: &str) -> Result<Value, String> {
+        let (v, rest) = value(s.trim_start())?;
+        if !rest.trim_start().is_empty() {
+            return Err(format!("trailing garbage: {rest:.40}"));
+        }
+        Ok(v)
+    }
+
+    fn value(s: &str) -> Result<(Value, &str), String> {
+        let s = s.trim_start();
+        match s.as_bytes().first() {
+            Some(b'{') => object(s),
+            Some(b'[') => array(s),
+            Some(b'"') => string(s).map(|(v, r)| (Value::Str(v), r)),
+            Some(b't') => literal(s, "true", Value::Bool(true)),
+            Some(b'f') => literal(s, "false", Value::Bool(false)),
+            Some(b'n') => literal(s, "null", Value::Null),
+            Some(_) => number(s),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal<'a>(s: &'a str, lit: &str, v: Value) -> Result<(Value, &'a str), String> {
+        s.strip_prefix(lit)
+            .map(|rest| (v, rest))
+            .ok_or_else(|| format!("bad literal at {s:.20}"))
+    }
+
+    fn number(s: &str) -> Result<(Value, &str), String> {
+        let end = s
+            .find(|c: char| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
+            .unwrap_or(s.len());
+        let n: f64 = s[..end].parse().map_err(|e| format!("bad number: {e}"))?;
+        Ok((Value::Num(n), &s[end..]))
+    }
+
+    fn string(s: &str) -> Result<(String, &str), String> {
+        let mut out = String::new();
+        let mut chars = s[1..].char_indices();
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '"' => return Ok((out, &s[1 + i + 1..])),
+                '\\' => match chars.next().map(|(_, e)| e) {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let (_, h) = chars.next().ok_or("truncated \\u escape")?;
+                            code = code * 16 + h.to_digit(16).ok_or("bad \\u digit")?;
+                        }
+                        out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                c => out.push(c),
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn array(s: &str) -> Result<(Value, &str), String> {
+        let mut rest = s[1..].trim_start();
+        let mut items = Vec::new();
+        if let Some(r) = rest.strip_prefix(']') {
+            return Ok((Value::Arr(items), r));
+        }
+        loop {
+            let (v, r) = value(rest)?;
+            items.push(v);
+            rest = r.trim_start();
+            if let Some(r) = rest.strip_prefix(',') {
+                rest = r.trim_start();
+            } else if let Some(r) = rest.strip_prefix(']') {
+                return Ok((Value::Arr(items), r));
+            } else {
+                return Err(format!("expected , or ] at {rest:.20}"));
+            }
+        }
+    }
+
+    fn object(s: &str) -> Result<(Value, &str), String> {
+        let mut rest = s[1..].trim_start();
+        let mut fields = Vec::new();
+        if let Some(r) = rest.strip_prefix('}') {
+            return Ok((Value::Obj(fields), r));
+        }
+        loop {
+            if !rest.starts_with('"') {
+                return Err(format!("expected key at {rest:.20}"));
+            }
+            let (k, r) = string(rest)?;
+            rest = r
+                .trim_start()
+                .strip_prefix(':')
+                .ok_or_else(|| format!("expected : after key {k:?}"))?;
+            let (v, r) = value(rest)?;
+            fields.push((k, v));
+            rest = r.trim_start();
+            if let Some(r) = rest.strip_prefix(',') {
+                rest = r.trim_start();
+            } else if let Some(r) = rest.strip_prefix('}') {
+                return Ok((Value::Obj(fields), r));
+            } else {
+                return Err(format!("expected , or }} at {rest:.20}"));
+            }
+        }
+    }
+}
+
+/// Drives the real export path — `FPRAKER_TRACE_OUT` env var, `init()`,
+/// spans, `flush_chrome_trace()` — then parses the written file and
+/// checks the Chrome `trace_event` schema: a `traceEvents` array whose
+/// complete events carry name/cat/ph/pid/tid/ts/dur and whose metadata
+/// events name every lane that appears.
+#[test]
+fn trace_out_writes_schema_valid_chrome_json() {
+    let path = std::env::temp_dir().join(format!("fpraker_trace_test_{}.json", std::process::id()));
+    // Read-once caching in `trace_out_path` is per process; this test
+    // binary makes no other telemetry calls before this point.
+    std::env::set_var("FPRAKER_TRACE_OUT", &path);
+    telemetry::init();
+    assert_eq!(
+        telemetry::trace_out_path(),
+        Some(path.as_path()),
+        "env var must resolve to the export path"
+    );
+    for _ in 0..3 {
+        let _span = telemetry::span!("test_export_stage");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    std::thread::spawn(|| {
+        let _span = telemetry::span!("test_export_other_lane");
+    })
+    .join()
+    .unwrap();
+    assert!(telemetry::flush_chrome_trace().unwrap(), "file written");
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    let doc = json::parse(&text).expect("export must be valid JSON");
+    let json::Value::Arr(events) = doc.get("traceEvents").expect("traceEvents") else {
+        panic!("traceEvents must be an array")
+    };
+    let mut lanes_seen = Vec::new();
+    let mut lanes_named = Vec::new();
+    let mut spans = 0;
+    for e in events {
+        let ph = e.get("ph").and_then(json::Value::as_str).expect("ph");
+        let tid = e.get("tid").and_then(json::Value::as_num).expect("tid") as u64;
+        match ph {
+            "X" => {
+                spans += 1;
+                assert!(e.get("name").and_then(json::Value::as_str).is_some());
+                assert_eq!(e.get("cat").and_then(json::Value::as_str), Some("fpraker"));
+                assert_eq!(e.get("pid").and_then(json::Value::as_num), Some(1.0));
+                assert!(e.get("ts").and_then(json::Value::as_num).unwrap() >= 0.0);
+                assert!(e.get("dur").and_then(json::Value::as_num).unwrap() >= 0.0);
+                if !lanes_seen.contains(&tid) {
+                    lanes_seen.push(tid);
+                }
+            }
+            "M" => {
+                assert_eq!(
+                    e.get("name").and_then(json::Value::as_str),
+                    Some("thread_name")
+                );
+                let args = e.get("args").expect("metadata args");
+                assert_eq!(
+                    args.get("name").and_then(json::Value::as_str),
+                    Some(format!("lane-{tid}").as_str())
+                );
+                lanes_named.push(tid);
+            }
+            other => panic!("unexpected event phase {other:?}"),
+        }
+    }
+    assert!(spans >= 4, "3 main-thread spans + 1 other-lane span");
+    assert!(lanes_seen.len() >= 2, "two threads give two lanes");
+    for lane in &lanes_seen {
+        assert!(lanes_named.contains(lane), "lane {lane} must be named");
+    }
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(json::Value::as_str),
+        Some("ms")
+    );
+}
