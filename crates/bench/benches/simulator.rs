@@ -34,4 +34,10 @@ fn main() {
         b.serve_cached_jobs_per_sec(),
         b.serve_cache_speedup()
     );
+    println!(
+        "pipelined service: {:.1} mixed jobs/s over {} connections ({:.2}x over serial submission)",
+        b.serve_pipelined_mixed_jobs_per_sec(),
+        b.serve_pipelined_connections,
+        b.serve_pipelined_speedup()
+    );
 }

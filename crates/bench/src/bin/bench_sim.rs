@@ -86,6 +86,16 @@ fn main() {
         b.serve_cache_hits
     );
     println!(
+        "pipelined service ({} jobs over {} connections): {:.1} cold jobs/s, {:.1} cached jobs/s, {:.1} mixed jobs/s vs {:.1} serial mixed jobs/s ({:.2}x from pipelining)",
+        b.serve_pipelined_jobs,
+        b.serve_pipelined_connections,
+        b.serve_pipelined_cold_jobs_per_sec(),
+        b.serve_pipelined_cached_jobs_per_sec(),
+        b.serve_pipelined_mixed_jobs_per_sec(),
+        b.serve_submit_mixed_jobs_per_sec(),
+        b.serve_pipelined_speedup()
+    );
+    println!(
         "sharded service ({} shards at 4 workers): 2 workers {:.2}x, 4 workers {:.2}x over one worker; merge fold costs {:.4}x of a 1-worker run",
         b.shard_shards,
         b.shard_scaling_2(),
@@ -181,6 +191,48 @@ fn main() {
     )
     .unwrap();
     writeln!(json, "  \"serve_cache_hits\": {},", b.serve_cache_hits).unwrap();
+    writeln!(
+        json,
+        "  \"serve_pipelined_jobs\": {},",
+        b.serve_pipelined_jobs
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"serve_pipelined_connections\": {},",
+        b.serve_pipelined_connections
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"serve_pipelined_cold_jobs_per_sec\": {:.4},",
+        b.serve_pipelined_cold_jobs_per_sec()
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"serve_pipelined_cached_jobs_per_sec\": {:.4},",
+        b.serve_pipelined_cached_jobs_per_sec()
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"serve_pipelined_mixed_jobs_per_sec\": {:.4},",
+        b.serve_pipelined_mixed_jobs_per_sec()
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"serve_submit_mixed_jobs_per_sec\": {:.4},",
+        b.serve_submit_mixed_jobs_per_sec()
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"serve_pipelined_speedup\": {:.4},",
+        b.serve_pipelined_speedup()
+    )
+    .unwrap();
     writeln!(json, "  \"shard_trace_macs\": {},", b.shard_trace_macs).unwrap();
     writeln!(json, "  \"shard_shards\": {},", b.shard_shards).unwrap();
     writeln!(json, "  \"shard_scaling_2\": {:.4},", b.shard_scaling_2()).unwrap();
@@ -231,6 +283,10 @@ fn main() {
         &b.capture_streamed,
         &b.serve_cold,
         &b.serve_cached,
+        &b.serve_submit_mixed,
+        &b.serve_pipelined_cold,
+        &b.serve_pipelined_cached,
+        &b.serve_pipelined_mixed,
         &b.shard_workers_1,
         &b.shard_workers_2,
         &b.shard_workers_4,

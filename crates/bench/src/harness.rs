@@ -115,7 +115,7 @@ pub fn bench<T>(
 /// Times two closures with their iterations interleaved (A, B, A, B, …)
 /// after warming both up, and prints both summary lines.
 ///
-/// Back-to-back [`bench`] calls put each closure's samples in one
+/// Back-to-back [`bench()`] calls put each closure's samples in one
 /// contiguous block of wall time, so slow drift (frequency scaling,
 /// thermal, a noisy neighbour) lands entirely on one side and pollutes
 /// any A/B ratio. Interleaving spreads both sides across the same drift,

@@ -7,6 +7,10 @@
 //! in-process `fpraker-serve` server over loopback TCP, cold (distinct
 //! trace per job: upload + simulate) vs cached (same trace: a
 //! content-addressed hit answered without upload or simulation). The
+//! `serve/pipelined_*` measurements drive the same job pool through the
+//! tagged v3 protocol — whole mixed cold/cached batches in flight across
+//! 4 connections — against the serial one-job-at-a-time
+//! `serve/submit_mixed` baseline. The
 //! `shard/*` measurements fan an indexed trace across 1/2/4 loopback
 //! workers through the shard coordinator and time the ordered merge
 //! fold on its own.
@@ -15,6 +19,7 @@
 //! service benchmarks to tiny traces — CI uses this so the full round
 //! trips are exercised on every push without inflating the run.
 
+use std::collections::VecDeque;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::PathBuf;
@@ -28,7 +33,9 @@ use fpraker_num::reference::SplitMix64;
 use fpraker_num::Bf16;
 use fpraker_serve::protocol::{decode_result, encode_result};
 use fpraker_serve::shard::merge_job_results;
-use fpraker_serve::{Client, Server, ServerConfig, ShardCoordinator, ShardPlan};
+use fpraker_serve::{
+    Client, JobOptions, PipelinedConnection, Server, ServerConfig, ShardCoordinator, ShardPlan,
+};
 use fpraker_sim::{
     simulate_op, AcceleratorConfig, Engine, EngineTelemetry, FpRakerMachine, Machine,
 };
@@ -116,6 +123,24 @@ pub struct SimulatorBench {
     pub serve_trace_macs: u64,
     /// Cache hits the server recorded across the serve measurements.
     pub serve_cache_hits: u64,
+    /// Jobs per batch in the pipelined service measurements (each
+    /// `serve/pipelined_*` iteration submits one whole batch).
+    pub serve_pipelined_jobs: u64,
+    /// Concurrent tagged-protocol connections the pipelined batches fan
+    /// across.
+    pub serve_pipelined_connections: u64,
+    /// The mixed half-cold/half-cached batch submitted one job at a time
+    /// over a single v2 connection — the serial baseline
+    /// [`SimulatorBench::serve_pipelined_speedup`] divides by.
+    pub serve_submit_mixed: Measurement,
+    /// A batch of distinct cold jobs kept in flight across the pipelined
+    /// connections (tagged v3 frames, out-of-order completion).
+    pub serve_pipelined_cold: Measurement,
+    /// The same batch shape with every job a content-addressed cache hit.
+    pub serve_pipelined_cached: Measurement,
+    /// Mixed traffic: cold and cached jobs interleaved across the
+    /// pipelined connections.
+    pub serve_pipelined_mixed: Measurement,
     /// An indexed trace fanned by the shard coordinator across 1 loopback
     /// worker (a single whole-trace shard — the distributed baseline every
     /// scaling ratio divides by).
@@ -213,6 +238,37 @@ impl SimulatorBench {
     /// How much faster a cache hit is than a cold submission (medians).
     pub fn serve_cache_speedup(&self) -> f64 {
         self.serve_cold.median_ns as f64 / self.serve_cached.median_ns.max(1) as f64
+    }
+
+    /// Pipelined cold throughput, jobs per second at the median batch
+    /// time.
+    pub fn serve_pipelined_cold_jobs_per_sec(&self) -> f64 {
+        self.serve_pipelined_jobs as f64 * 1e9 / self.serve_pipelined_cold.median_ns.max(1) as f64
+    }
+
+    /// Pipelined cache-hit throughput, jobs per second at the median
+    /// batch time.
+    pub fn serve_pipelined_cached_jobs_per_sec(&self) -> f64 {
+        self.serve_pipelined_jobs as f64 * 1e9 / self.serve_pipelined_cached.median_ns.max(1) as f64
+    }
+
+    /// Pipelined mixed-traffic throughput, jobs per second at the median
+    /// batch time.
+    pub fn serve_pipelined_mixed_jobs_per_sec(&self) -> f64 {
+        self.serve_pipelined_jobs as f64 * 1e9 / self.serve_pipelined_mixed.median_ns.max(1) as f64
+    }
+
+    /// Serial mixed-traffic throughput, jobs per second at the median
+    /// batch time (the baseline the pipelined speedup divides by).
+    pub fn serve_submit_mixed_jobs_per_sec(&self) -> f64 {
+        self.serve_pipelined_jobs as f64 * 1e9 / self.serve_submit_mixed.median_ns.max(1) as f64
+    }
+
+    /// Wall-clock speedup of the pipelined mixed batch over the same
+    /// batch submitted serially over one connection (medians).
+    pub fn serve_pipelined_speedup(&self) -> f64 {
+        self.serve_submit_mixed.median_ns as f64
+            / self.serve_pipelined_mixed.median_ns.max(1) as f64
     }
 
     /// Sharded-run wall-clock speedup of 2 workers over the 1-worker
@@ -635,6 +691,213 @@ pub fn simulator_measurements(iters: u32) -> SimulatorBench {
     let serve_cache_hits = server.cache_stats().hits;
     server.shutdown();
 
+    // Pipelined service benchmark: the same job pool, now driven through
+    // the tagged v3 protocol with many jobs in flight per connection.
+    // Each iteration submits one batch of `pipe_jobs` jobs striped across
+    // 4 persistent `PipelinedConnection`s (a bounded in-flight window per
+    // connection, one driver thread each) against a 2-job server.
+    // `pipelined_cold` uses a distinct trace per job, `pipelined_cached`
+    // resubmits one warm trace, and `pipelined_mixed` interleaves the
+    // two; the same mixed batch submitted one job at a time over a single
+    // v2 connection (`serve/submit_mixed`) is the serial baseline
+    // `serve_pipelined_speedup` divides by. The cache is sized to hold
+    // every variant so the warm trace is never evicted mid-measurement.
+    let pipe_jobs: u64 = if smoke_mode() { 8 } else { 16 };
+    let pipe_conns: usize = 4;
+    const PIPE_WINDOW: usize = 4;
+    let pipe_spec = |seed: u64| SyntheticTraceSpec {
+        model: format!("pipe-bench-{seed}"),
+        ops: serve_ops,
+        m: 16,
+        n: 16,
+        k: 32,
+        zero_fraction: 0.4,
+        seed,
+    };
+    let encode_pipe = |seed: u64| {
+        let mut bytes = Vec::new();
+        pipe_spec(seed)
+            .write_to(&mut bytes)
+            .expect("encode pipelined bench trace");
+        bytes
+    };
+    let pipe_warm = encode_pipe(0x3A93);
+    // Cold pool: every cold job of every batch (timed and warm-up alike)
+    // consumes one distinct variant, so no cold job ever hits the cache.
+    // Per round: a full cold batch plus half-cold batches for the serial
+    // and pipelined mixed measurements.
+    let pipe_rounds = u64::from(iters + warmup_iters(iters));
+    let pipe_cold_pool: Vec<Vec<u8>> = (0..pipe_rounds * 2 * pipe_jobs)
+        .map(|i| encode_pipe(0x41B0 + i))
+        .collect();
+    let mut next_pipe_cold = 0usize;
+    let pipe_server = Server::start(ServerConfig {
+        jobs: 2,
+        threads_per_job: 1,
+        cache_entries: pipe_cold_pool.len() + 16,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback for the pipelined bench");
+    let pipe_addr = pipe_server.local_addr();
+    let serial_client = Client::connect(pipe_addr).expect("serial baseline client");
+    let warm_response = serial_client
+        .submit_encoded(&pipe_warm, "fpraker")
+        .expect("warm the pipelined cache");
+    assert!(!warm_response.cached, "the warm trace must be fresh");
+    let conns: Vec<PipelinedConnection> = (0..pipe_conns)
+        .map(|_| PipelinedConnection::connect(pipe_addr).expect("pipelined bench connect"))
+        .collect();
+    // Submits one batch striped over all pipelined connections, each
+    // driver thread keeping up to PIPE_WINDOW jobs in flight; returns how
+    // many jobs were answered from the cache.
+    let run_batch = |payloads: &[&[u8]]| -> u64 {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = conns
+                .iter()
+                .enumerate()
+                .map(|(t, conn)| {
+                    scope.spawn(move || {
+                        let mut cached = 0u64;
+                        let mut window = VecDeque::with_capacity(PIPE_WINDOW);
+                        for payload in payloads.iter().skip(t).step_by(pipe_conns) {
+                            if window.len() == PIPE_WINDOW {
+                                let done: fpraker_serve::JobResponse = window
+                                    .pop_front()
+                                    .map(fpraker_serve::PendingJob::wait)
+                                    .unwrap()
+                                    .expect("pipelined bench job");
+                                cached += u64::from(done.cached);
+                            }
+                            window.push_back(
+                                conn.start_encoded(payload, "fpraker", JobOptions::default())
+                                    .expect("start pipelined bench job"),
+                            );
+                        }
+                        for job in window {
+                            cached += u64::from(job.wait().expect("pipelined bench job").cached);
+                        }
+                        cached
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("pipelined bench driver thread"))
+                .sum()
+        })
+    };
+    let pipe_batch_macs = pipe_jobs * serve_trace_macs;
+    let serve_pipelined_cold = bench("serve/pipelined_cold", iters, Some(pipe_batch_macs), || {
+        let batch: Vec<&[u8]> = pipe_cold_pool[next_pipe_cold..next_pipe_cold + pipe_jobs as usize]
+            .iter()
+            .map(Vec::as_slice)
+            .collect();
+        next_pipe_cold += pipe_jobs as usize;
+        let cached = run_batch(&batch);
+        assert_eq!(cached, 0, "cold pipelined jobs must simulate");
+    });
+    let serve_pipelined_cached = bench(
+        "serve/pipelined_cached",
+        iters,
+        Some(pipe_batch_macs),
+        || {
+            let batch: Vec<&[u8]> = (0..pipe_jobs).map(|_| pipe_warm.as_slice()).collect();
+            let cached = run_batch(&batch);
+            assert_eq!(cached, pipe_jobs, "warm pipelined jobs must hit the cache");
+        },
+    );
+    // The mixed workload both the serial baseline and the pipelined
+    // measurement submit: cold and cached jobs interleaved.
+    let next_mixed_batch = |pool: &mut usize| -> Vec<usize> {
+        let cold_base = *pool;
+        *pool += (pipe_jobs / 2) as usize;
+        (0..pipe_jobs as usize)
+            .map(|j| {
+                if j % 2 == 0 {
+                    cold_base + j / 2
+                } else {
+                    usize::MAX
+                }
+            })
+            .collect()
+    };
+    let serve_submit_mixed = bench("serve/submit_mixed", iters, Some(pipe_batch_macs), || {
+        let mut cached = 0u64;
+        for idx in next_mixed_batch(&mut next_pipe_cold) {
+            let payload = if idx == usize::MAX {
+                pipe_warm.as_slice()
+            } else {
+                pipe_cold_pool[idx].as_slice()
+            };
+            let response = serial_client
+                .submit_encoded(payload, "fpraker")
+                .expect("serial mixed submission");
+            cached += u64::from(response.cached);
+        }
+        assert_eq!(cached, pipe_jobs / 2, "the warm half must hit the cache");
+    });
+    let serve_pipelined_mixed = bench(
+        "serve/pipelined_mixed",
+        iters,
+        Some(pipe_batch_macs),
+        || {
+            let batch: Vec<&[u8]> = next_mixed_batch(&mut next_pipe_cold)
+                .into_iter()
+                .map(|idx| {
+                    if idx == usize::MAX {
+                        pipe_warm.as_slice()
+                    } else {
+                        pipe_cold_pool[idx].as_slice()
+                    }
+                })
+                .collect();
+            let cached = run_batch(&batch);
+            assert!(
+                cached >= pipe_jobs / 2,
+                "the warm half of a mixed batch must hit the cache"
+            );
+        },
+    );
+    // Untimed determinism check: fresh cold traces plus the warm one
+    // through a pipelined connection, every response compared whole
+    // against a local Engine::run rendered through the same wire codec.
+    let verify_energy = EnergyModel::paper();
+    for bytes in (0..4)
+        .map(|i| encode_pipe(0x7E57 + i))
+        .chain(std::iter::once(pipe_warm.clone()))
+    {
+        let response = conns[0]
+            .start_encoded(&bytes, "fpraker", JobOptions::default())
+            .expect("start pipelined verify job")
+            .wait()
+            .expect("pipelined verify job");
+        let trace = codec::decode(&bytes).expect("decode pipelined verify trace");
+        let local = Engine::with_threads(1).run(Machine::FpRaker, &trace, &cfg);
+        let mut local_wire = decode_result(&encode_result(
+            "fpraker",
+            &local,
+            trace.ops.len() as u64,
+            &verify_energy,
+        ))
+        .expect("decode local verify result");
+        // peak_resident_ops is a streaming-window watermark, not a
+        // simulation outcome: the server streams uploads through a
+        // bounded window while the local run holds the whole trace.
+        local_wire.peak_resident_ops = response.result.peak_resident_ops;
+        assert_eq!(
+            response.result, local_wire,
+            "pipelined results must be bit-identical to a local run"
+        );
+    }
+    let pipe_stats = pipe_server.stats();
+    assert_eq!(
+        pipe_stats.busy_rejections, 0,
+        "the pipelined bench must stay under the BUSY queue depth"
+    );
+    drop(conns);
+    let _ = serial_client;
+    pipe_server.shutdown();
+
     // Shard benchmark: the coordinator `fpraker-shard` wraps, fanning an
     // indexed trace across 1/2/4 single-job loopback workers. Every
     // iteration plans and submits a distinct trace (seed varies) against
@@ -755,6 +1018,12 @@ pub fn simulator_measurements(iters: u32) -> SimulatorBench {
         serve_cached,
         serve_trace_macs,
         serve_cache_hits,
+        serve_pipelined_jobs: pipe_jobs,
+        serve_pipelined_connections: pipe_conns as u64,
+        serve_submit_mixed,
+        serve_pipelined_cold,
+        serve_pipelined_cached,
+        serve_pipelined_mixed,
         shard_workers_1,
         shard_workers_2,
         shard_workers_4,
@@ -849,6 +1118,36 @@ mod tests {
         assert!(b.serve_cache_hits >= 1);
         assert!(b.serve_cache_speedup() > 0.0);
         assert_eq!(b.serve_cold.elements, Some(b.serve_trace_macs));
+        // Pipelined entries: batches flowed over ≥4 tagged connections,
+        // every measurement timed the same batch shape, and the
+        // throughput/speedup ratios are well-formed.
+        assert_eq!(b.serve_pipelined_cold.name, "serve/pipelined_cold");
+        assert_eq!(b.serve_pipelined_cached.name, "serve/pipelined_cached");
+        assert_eq!(b.serve_pipelined_mixed.name, "serve/pipelined_mixed");
+        assert_eq!(b.serve_submit_mixed.name, "serve/submit_mixed");
+        assert!(b.serve_pipelined_connections >= 4);
+        assert!(b.serve_pipelined_jobs >= 2 * b.serve_pipelined_connections);
+        assert_eq!(
+            b.serve_pipelined_cold.elements,
+            Some(b.serve_pipelined_jobs * b.serve_trace_macs)
+        );
+        assert_eq!(
+            b.serve_pipelined_cold.elements,
+            b.serve_pipelined_cached.elements
+        );
+        assert_eq!(
+            b.serve_pipelined_cold.elements,
+            b.serve_pipelined_mixed.elements
+        );
+        assert_eq!(
+            b.serve_pipelined_cold.elements,
+            b.serve_submit_mixed.elements
+        );
+        assert!(b.serve_pipelined_cold_jobs_per_sec() > 0.0);
+        assert!(b.serve_pipelined_cached_jobs_per_sec() > 0.0);
+        assert!(b.serve_pipelined_mixed_jobs_per_sec() > 0.0);
+        assert!(b.serve_submit_mixed_jobs_per_sec() > 0.0);
+        assert!(b.serve_pipelined_speedup() > 0.0);
         // Shard entries: the coordinator fanned real cold jobs at every
         // worker count, the 4-worker plan actually split the trace, and
         // the scaling/merge ratios are well-formed.

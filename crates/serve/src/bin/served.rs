@@ -4,11 +4,18 @@
 //!
 //! ```text
 //! fpraker-served [--addr HOST:PORT] [--jobs N] [--threads N] \
-//!                [--window N] [--cache N]
+//!                [--window N] [--cache N] [--cache-bytes N] \
+//!                [--cache-dir PATH] [--queue-depth N] \
+//!                [--busy-retry-ms N]
 //! ```
 //!
 //! Defaults: `--addr 127.0.0.1:4270`, 2 concurrent jobs, engine workers
-//! auto (one per core per job), auto stream window, 64 cached results.
+//! auto (one per core per job), auto stream window, 64 cached results,
+//! no byte ceiling, memory-only cache, 64 queued tagged jobs before
+//! `BUSY`, 100 ms retry hint. With `--cache-dir` the result cache is
+//! persisted to disk (one digest-verified file per entry, written
+//! atomically), so a restarted daemon answers previously-computed
+//! digests without re-simulating.
 
 use std::process::exit;
 
@@ -17,7 +24,8 @@ use fpraker_serve::{Server, ServerConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: fpraker-served [--addr HOST:PORT] [--jobs N] [--threads N] \
-         [--window N] [--cache N]"
+         [--window N] [--cache N] [--cache-bytes N] [--cache-dir PATH] \
+         [--queue-depth N] [--busy-retry-ms N]"
     );
     exit(2);
 }
@@ -46,18 +54,29 @@ fn main() {
             "--threads" => config.threads_per_job = parse(&flag, args.next()),
             "--window" => config.stream_window = parse(&flag, args.next()),
             "--cache" => config.cache_entries = parse(&flag, args.next()),
+            "--cache-bytes" => config.cache_bytes = parse(&flag, args.next()),
+            "--cache-dir" => {
+                config.cache_dir = Some(parse::<std::path::PathBuf>(&flag, args.next()));
+            }
+            "--queue-depth" => config.queue_depth = parse(&flag, args.next()),
+            "--busy-retry-ms" => config.busy_retry_ms = parse(&flag, args.next()),
             _ => usage(),
         }
     }
     let jobs = config.jobs.max(1);
+    let cache_dir = config.cache_dir.clone();
     let server = Server::start(config).unwrap_or_else(|e| {
         eprintln!("cannot start server: {e}");
         exit(1);
     });
     println!(
-        "fpraker-served listening on {} ({jobs} concurrent jobs; machines: {})",
+        "fpraker-served listening on {} ({jobs} concurrent jobs; machines: {}{})",
         server.local_addr(),
-        fpraker_sim::machine_names().join(", ")
+        fpraker_sim::machine_names().join(", "),
+        match &cache_dir {
+            Some(dir) => format!("; disk cache: {}", dir.display()),
+            None => String::new(),
+        }
     );
     server.join();
 }

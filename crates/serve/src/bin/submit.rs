@@ -4,6 +4,8 @@
 //! ```text
 //! fpraker-submit --trace FILE [--addr HOST:PORT] [--machine NAME]
 //!                [--verify] [--expect-cached] [--per-op]
+//!                [--jobs N] [--concurrency C] [--distinct]
+//!                [--priority P] [--deadline-ms D]
 //! fpraker-submit --metrics [--addr HOST:PORT]
 //! fpraker-submit --list-machines
 //! ```
@@ -17,6 +19,18 @@
 //! Prometheus-style telemetry text and prints it verbatim.
 //! `--list-machines` prints every machine spec the registry resolves and
 //! exits.
+//!
+//! With `--jobs N` (and optionally `--concurrency C`, default 1) the
+//! tool becomes a load generator: the trace is submitted `N` times over
+//! `C` pipelined v3 connections — several jobs in flight per connection,
+//! completions demultiplexed out of order — and aggregate throughput
+//! (jobs/s) plus nearest-rank latency percentiles are printed. With
+//! `--distinct` every job gets a unique variant of the trace (the model
+//! name is suffixed, changing the content digest) so every job is a cold
+//! simulation; without it, job 1 is cold and the rest are cache hits —
+//! the mixed warm/cold regime a fleet actually serves. `BUSY`
+//! backpressure is retried after the server's hint. `--verify` and
+//! `--expect-cached` apply to every job.
 
 use std::process::exit;
 
@@ -27,7 +41,8 @@ use fpraker_trace::codec;
 fn usage() -> ! {
     eprintln!(
         "usage: fpraker-submit --trace FILE [--addr HOST:PORT] [--machine NAME] \
-         [--verify] [--expect-cached] [--per-op]\n       \
+         [--verify] [--expect-cached] [--per-op] [--jobs N] [--concurrency C] \
+         [--distinct] [--priority P] [--deadline-ms D]\n       \
          fpraker-submit --metrics [--addr HOST:PORT]\n       \
          fpraker-submit --list-machines"
     );
@@ -41,6 +56,17 @@ fn list_machines() -> ! {
     exit(0);
 }
 
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let Some(v) = value else {
+        eprintln!("{flag} needs a value");
+        usage();
+    };
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("{flag}: cannot parse {v:?}");
+        usage();
+    })
+}
+
 fn main() {
     let mut addr = "127.0.0.1:4270".to_string();
     let mut trace_path: Option<String> = None;
@@ -49,6 +75,11 @@ fn main() {
     let mut expect_cached = false;
     let mut per_op = false;
     let mut metrics = false;
+    let mut jobs: usize = 1;
+    let mut concurrency: usize = 1;
+    let mut distinct = false;
+    let mut options = fpraker_serve::JobOptions::default();
+    let mut load_gen = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -59,6 +90,20 @@ fn main() {
             "--expect-cached" => expect_cached = true,
             "--per-op" => per_op = true,
             "--metrics" => metrics = true,
+            "--jobs" => {
+                jobs = parse(&flag, args.next());
+                load_gen = true;
+            }
+            "--concurrency" => {
+                concurrency = parse(&flag, args.next());
+                load_gen = true;
+            }
+            "--distinct" => {
+                distinct = true;
+                load_gen = true;
+            }
+            "--priority" => options.priority = parse(&flag, args.next()),
+            "--deadline-ms" => options.deadline_ms = parse(&flag, args.next()),
             "--list-machines" => list_machines(),
             _ => usage(),
         }
@@ -78,6 +123,19 @@ fn main() {
     let Some(trace_path) = trace_path else {
         usage()
     };
+    if load_gen {
+        run_load_gen(&LoadGen {
+            addr,
+            trace_path,
+            machine,
+            jobs: jobs.max(1),
+            concurrency: concurrency.max(1),
+            distinct,
+            options,
+            verify,
+            expect_cached,
+        });
+    }
 
     let client = Client::connect(&addr).unwrap_or_else(|e| {
         eprintln!("cannot resolve {addr}: {e}");
@@ -166,4 +224,233 @@ fn main() {
         }
         println!("verify OK: served results identical to a local Engine::run");
     }
+}
+
+struct LoadGen {
+    addr: String,
+    trace_path: String,
+    machine: String,
+    jobs: usize,
+    concurrency: usize,
+    distinct: bool,
+    options: fpraker_serve::JobOptions,
+    verify: bool,
+    expect_cached: bool,
+}
+
+/// How many jobs each connection keeps in flight at once. Deep enough to
+/// overlap upload, queueing and simulation; shallow enough that latency
+/// percentiles still mean something.
+const INFLIGHT_PER_CONNECTION: usize = 4;
+
+/// How often a `BUSY` job is retried before the run gives up on it.
+const MAX_BUSY_RETRIES: u32 = 1000;
+
+/// The load-generation mode: `jobs` submissions of the trace (all the
+/// same content, or one distinct variant per job) spread over
+/// `concurrency` pipelined connections, with a bounded in-flight window
+/// per connection, aggregate throughput, and nearest-rank latency
+/// percentiles. Exits the process.
+fn run_load_gen(cfg: &LoadGen) -> ! {
+    use fpraker_serve::{PipelinedConnection, ServeError};
+    use std::time::Instant;
+
+    let bytes = std::fs::read(&cfg.trace_path).unwrap_or_else(|e| {
+        eprintln!("cannot read {}: {e}", cfg.trace_path);
+        exit(1);
+    });
+    // Distinct mode re-frames the trace once per job with a suffixed
+    // model name: different bytes → different content digest → every job
+    // is a cold simulation. Payload index i belongs to job i; in shared
+    // mode every job submits payload 0.
+    let payloads: Vec<Vec<u8>> = if cfg.distinct {
+        let trace = codec::decode(&bytes).unwrap_or_else(|e| {
+            eprintln!("cannot decode {}: {e}", cfg.trace_path);
+            exit(1);
+        });
+        (0..cfg.jobs)
+            .map(|i| {
+                let mut variant = trace.clone();
+                variant.model = format!("{}#{i}", trace.model);
+                codec::encode(&variant).to_vec()
+            })
+            .collect()
+    } else {
+        vec![bytes]
+    };
+    let payload_of = |job: usize| &payloads[if cfg.distinct { job } else { 0 }];
+
+    struct JobRecord {
+        job: usize,
+        latency: std::time::Duration,
+        cached: bool,
+        result: Option<fpraker_serve::JobResult>,
+    }
+
+    let started = Instant::now();
+    let records: Vec<JobRecord> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.concurrency)
+            .map(|t| {
+                let payloads = &payloads;
+                scope.spawn(move || -> Result<Vec<JobRecord>, String> {
+                    let conn = PipelinedConnection::connect(&cfg.addr)
+                        .map_err(|e| format!("cannot connect to {}: {e}", cfg.addr))?;
+                    let my_jobs: Vec<usize> = (t..cfg.jobs).step_by(cfg.concurrency).collect();
+                    let mut records = Vec::with_capacity(my_jobs.len());
+                    let mut window: std::collections::VecDeque<(
+                        usize,
+                        Instant,
+                        fpraker_serve::PendingJob<'_>,
+                    )> = std::collections::VecDeque::new();
+                    let complete =
+                        |(job, t0, pending): (usize, Instant, fpraker_serve::PendingJob<'_>),
+                         records: &mut Vec<JobRecord>|
+                         -> Result<(), String> {
+                            // Busy jobs are retried in place after the
+                            // server's hint; the retry restarts the clock on
+                            // the wire but not on the recorded latency —
+                            // backpressure waits are part of what a client
+                            // experiences.
+                            let mut pending = pending;
+                            let mut retries = 0u32;
+                            let response = loop {
+                                match pending.wait() {
+                                    Err(ServeError::Busy { retry_after_ms })
+                                        if retries < MAX_BUSY_RETRIES =>
+                                    {
+                                        retries += 1;
+                                        std::thread::sleep(std::time::Duration::from_millis(
+                                            u64::from(retry_after_ms),
+                                        ));
+                                        let bytes = &payloads[if cfg.distinct { job } else { 0 }];
+                                        pending = conn
+                                            .start_encoded(bytes, &cfg.machine, cfg.options)
+                                            .map_err(|e| format!("job {job}: {e}"))?;
+                                    }
+                                    Err(e) => return Err(format!("job {job}: {e}")),
+                                    Ok(r) => break r,
+                                }
+                            };
+                            records.push(JobRecord {
+                                job,
+                                latency: t0.elapsed(),
+                                cached: response.cached,
+                                result: (cfg.verify || cfg.distinct).then_some(response.result),
+                            });
+                            Ok(())
+                        };
+                    for job in my_jobs {
+                        if window.len() >= INFLIGHT_PER_CONNECTION {
+                            let oldest = window.pop_front().expect("window is non-empty");
+                            complete(oldest, &mut records)?;
+                        }
+                        let t0 = Instant::now();
+                        let pending = conn
+                            .start_encoded(payload_of(job), &cfg.machine, cfg.options)
+                            .map_err(|e| format!("job {job}: {e}"))?;
+                        window.push_back((job, t0, pending));
+                    }
+                    for entry in window {
+                        complete(entry, &mut records)?;
+                    }
+                    Ok(records)
+                })
+            })
+            .collect();
+        let mut all = Vec::with_capacity(cfg.jobs);
+        let mut failed = false;
+        for h in handles {
+            match h.join().expect("load-gen thread panicked") {
+                Ok(mut records) => all.append(&mut records),
+                Err(e) => {
+                    eprintln!("{e}");
+                    failed = true;
+                }
+            }
+        }
+        if failed {
+            exit(1);
+        }
+        all
+    });
+    let wall = started.elapsed();
+
+    let cached = records.iter().filter(|r| r.cached).count();
+    let mut latencies: Vec<std::time::Duration> = records.iter().map(|r| r.latency).collect();
+    latencies.sort_unstable();
+    // Nearest-rank percentile over the sorted latencies.
+    let pct = |p: usize| {
+        latencies[(p * latencies.len())
+            .div_ceil(100)
+            .clamp(1, latencies.len())
+            - 1]
+    };
+    println!(
+        "{}: {} jobs over {} connections in {:.3} s -> {:.1} jobs/s ({} cached, {} cold)",
+        cfg.trace_path,
+        cfg.jobs,
+        cfg.concurrency,
+        wall.as_secs_f64(),
+        cfg.jobs as f64 / wall.as_secs_f64(),
+        cached,
+        cfg.jobs - cached,
+    );
+    println!(
+        "latency p50 {:.1} ms, p90 {:.1} ms, p99 {:.1} ms",
+        pct(50).as_secs_f64() * 1e3,
+        pct(90).as_secs_f64() * 1e3,
+        pct(99).as_secs_f64() * 1e3,
+    );
+
+    if cfg.expect_cached && cached != cfg.jobs {
+        eprintln!(
+            "expected every job cached but {} were simulated",
+            cfg.jobs - cached
+        );
+        exit(1);
+    }
+
+    if cfg.verify {
+        let Some((label, engine_cfg)) = resolve_machine(&cfg.machine) else {
+            eprintln!("unknown machine {:?}", cfg.machine);
+            exit(1);
+        };
+        let engine = Engine::new();
+        let mut mismatches = 0u32;
+        // One local reference run per distinct payload; every served
+        // result must match it bit-for-bit.
+        let distinct_payloads = if cfg.distinct { cfg.jobs } else { 1 };
+        let locals: Vec<_> = (0..distinct_payloads)
+            .map(|i| {
+                let trace = codec::decode(&payloads[i]).unwrap_or_else(|e| {
+                    eprintln!("cannot decode payload {i}: {e}");
+                    exit(1);
+                });
+                engine.run(label, &trace, &engine_cfg)
+            })
+            .collect();
+        for record in &records {
+            let local = &locals[if cfg.distinct { record.job } else { 0 }];
+            let served = record.result.as_ref().expect("verify keeps results");
+            let ops_match = local.ops.len() == served.ops.len()
+                && local.ops.iter().zip(&served.ops).all(|(ours, theirs)| {
+                    ours.cycles == theirs.cycles
+                        && ours.compute_cycles == theirs.compute_cycles
+                        && ours.macs == theirs.macs
+                });
+            if !ops_match || local.cycles() != served.cycles || local.macs() != served.macs {
+                eprintln!("verify: job {} differs from the local run", record.job);
+                mismatches += 1;
+            }
+        }
+        if mismatches > 0 {
+            eprintln!("verify FAILED: {mismatches} mismatch(es)");
+            exit(1);
+        }
+        println!(
+            "verify OK: all {} served results identical to local Engine::run",
+            records.len()
+        );
+    }
+    exit(0);
 }

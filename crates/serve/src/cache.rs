@@ -1,4 +1,5 @@
-//! Content-addressed LRU cache of completed simulation results.
+//! Content-addressed LRU cache of completed simulation results, with an
+//! optional disk tier that survives restarts.
 //!
 //! A job is identified by what it computes, not by who submitted it: the
 //! key is the pair (trace content digest, machine spec name). The value is
@@ -7,12 +8,41 @@
 //! pointer clone — repeated submissions of the same trace are served
 //! without re-simulating and bit-identically to the first run.
 //!
-//! The cache is bounded by entry count and evicts least-recently-*used*
-//! (hits refresh recency). All operations take one mutex; entries are
-//! immutable once inserted.
+//! The in-memory tier is bounded by entry count (and optionally by
+//! resident payload bytes) and evicts least-recently-*used* (hits refresh
+//! recency). All memory operations take one mutex; entries are immutable
+//! once inserted.
+//!
+//! # Disk tier
+//!
+//! With a cache directory configured ([`ResultCache::with_options`]),
+//! every insert is also written through to one file per (digest, spec)
+//! pair, named `{digest:016x}-{fnv(spec):016x}.res`. Writes are atomic —
+//! the payload lands in a temp file in the same directory which is then
+//! renamed over the final name — so a crash mid-write never leaves a
+//! half-written entry, and a `kill -9` after the rename is durable. A
+//! memory miss falls through to the disk tier; a loaded file is verified
+//! (magic, key match, trailing FNV digest of the payload) before being
+//! promoted back into memory, so a corrupt or truncated file is treated
+//! as a miss and re-simulated rather than replayed. Memory eviction never
+//! deletes disk files: the disk tier is the durable superset that lets a
+//! restarted server answer warm.
 
 use std::collections::{BTreeMap, HashMap};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+use fpraker_trace::digest::Fnv64;
+
+/// Magic + version opening every disk-cache file.
+const DISK_MAGIC: &[u8; 4] = b"FPRC";
+const DISK_VERSION: u8 = 1;
+
+/// Uniquifies temp-file names within the process so concurrent inserts
+/// never write through each other's temp files.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// The content address of a job: what was simulated, on which machine.
 #[derive(Clone, Debug, Hash, PartialEq, Eq)]
@@ -33,19 +63,40 @@ impl CacheKey {
             spec: spec.trim().to_ascii_lowercase(),
         }
     }
+
+    /// The key's disk-tier file name: digest plus an FNV of the
+    /// normalized spec, both fixed-width hex so names sort stably.
+    fn file_name(&self) -> String {
+        format!(
+            "{:016x}-{:016x}.res",
+            self.digest,
+            Fnv64::digest_of(self.spec.as_bytes())
+        )
+    }
 }
 
 /// Counters describing cache effectiveness.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups that found an entry.
+    /// Lookups that found an entry (in memory or on disk).
     pub hits: u64,
     /// Lookups that did not.
     pub misses: u64,
-    /// Entries currently held.
+    /// Hits served by promoting a disk-tier file back into memory
+    /// (already included in `hits`).
+    pub disk_hits: u64,
+    /// Entries currently held in memory.
     pub entries: usize,
-    /// Maximum entries held at once.
+    /// Maximum entries held in memory at once.
     pub capacity: usize,
+    /// Entries evicted from memory under LRU pressure. Counted here (not
+    /// just in telemetry) so evictions racing a post-wait re-check are
+    /// visible to `ServerStats` too.
+    pub evictions: u64,
+    /// Result-payload bytes currently resident in memory.
+    pub resident_bytes: u64,
+    /// Resident-byte ceiling (0 = bounded by entry count alone).
+    pub capacity_bytes: u64,
 }
 
 struct Inner {
@@ -58,6 +109,9 @@ struct Inner {
     clock: u64,
     hits: u64,
     misses: u64,
+    disk_hits: u64,
+    evictions: u64,
+    resident_bytes: u64,
 }
 
 struct Entry {
@@ -65,15 +119,34 @@ struct Entry {
     stamp: u64,
 }
 
-/// A bounded, thread-safe, content-addressed LRU result cache.
+/// A bounded, thread-safe, content-addressed LRU result cache with an
+/// optional write-through disk tier.
 pub struct ResultCache {
     inner: Mutex<Inner>,
     capacity: usize,
+    /// Resident-byte ceiling for the memory tier (0 = none).
+    capacity_bytes: u64,
+    /// Disk-tier directory; `None` keeps the cache memory-only.
+    disk: Option<PathBuf>,
 }
 
 impl ResultCache {
-    /// A cache holding at most `capacity` results (clamped to ≥ 1).
+    /// A memory-only cache holding at most `capacity` results (clamped to
+    /// ≥ 1).
     pub fn new(capacity: usize) -> Self {
+        Self::with_options(capacity, 0, None)
+    }
+
+    /// A cache bounded by `capacity` entries and (if non-zero)
+    /// `capacity_bytes` resident payload bytes, optionally backed by a
+    /// disk tier under `disk`. The directory is created eagerly so the
+    /// first insert cannot fail on a missing path.
+    pub fn with_options(capacity: usize, capacity_bytes: u64, disk: Option<PathBuf>) -> Self {
+        if let Some(dir) = &disk {
+            // Best-effort: an unusable directory degrades to memory-only
+            // behavior at write time rather than failing job submission.
+            let _ = std::fs::create_dir_all(dir);
+        }
         ResultCache {
             inner: Mutex::new(Inner {
                 map: HashMap::new(),
@@ -81,9 +154,19 @@ impl ResultCache {
                 clock: 0,
                 hits: 0,
                 misses: 0,
+                disk_hits: 0,
+                evictions: 0,
+                resident_bytes: 0,
             }),
             capacity: capacity.max(1),
+            capacity_bytes,
+            disk,
         }
+    }
+
+    /// The disk-tier directory, if one is configured.
+    pub fn disk_dir(&self) -> Option<&Path> {
+        self.disk.as_deref()
     }
 
     /// Looks up a result, counting a hit (and refreshing recency) or a
@@ -101,6 +184,27 @@ impl ResultCache {
     }
 
     fn lookup(&self, key: &CacheKey, count_miss: bool) -> Option<Arc<Vec<u8>>> {
+        if let Some(payload) = self.memory_lookup(key) {
+            return Some(payload);
+        }
+        // Fall through to the disk tier: a verified load is promoted back
+        // into memory and counts as a (disk) hit, so a restarted server
+        // answers warm without re-simulating.
+        if let Some(payload) = self.load_from_disk(key) {
+            self.insert_memory(key.clone(), Arc::clone(&payload));
+            let mut inner = self.inner.lock().unwrap();
+            inner.hits += 1;
+            inner.disk_hits += 1;
+            fpraker_telemetry::counter!("serve_cache_disk_hits_total").inc();
+            return Some(payload);
+        }
+        if count_miss {
+            self.inner.lock().unwrap().misses += 1;
+        }
+        None
+    }
+
+    fn memory_lookup(&self, key: &CacheKey) -> Option<Arc<Vec<u8>>> {
         let mut inner = self.inner.lock().unwrap();
         inner.clock += 1;
         let clock = inner.clock;
@@ -113,35 +217,84 @@ impl ResultCache {
                 inner.hits += 1;
                 Some(payload)
             }
-            None => {
-                if count_miss {
-                    inner.misses += 1;
-                }
-                None
-            }
+            None => None,
         }
     }
 
-    /// Inserts (or refreshes) a result, evicting the least recently used
-    /// entry if the cache is full. Concurrent inserts of the same key are
-    /// benign: payloads for a key are deterministic, so last-write-wins
-    /// replaces equal bytes.
+    /// Inserts (or refreshes) a result, evicting least recently used
+    /// entries while the cache is over its entry or byte budget, and
+    /// writing through to the disk tier when one is configured.
+    /// Concurrent inserts of the same key are benign: payloads for a key
+    /// are deterministic, so last-write-wins replaces equal bytes.
     pub fn insert(&self, key: CacheKey, payload: Arc<Vec<u8>>) {
+        // Disk write happens outside the memory lock: file I/O must not
+        // serialize concurrent lookups.
+        self.write_to_disk(&key, &payload);
+        self.insert_memory(key, payload);
+    }
+
+    fn insert_memory(&self, key: CacheKey, payload: Arc<Vec<u8>>) {
         let mut inner = self.inner.lock().unwrap();
         inner.clock += 1;
         let stamp = inner.clock;
+        inner.resident_bytes += payload.len() as u64;
         if let Some(old) = inner.map.insert(key.clone(), Entry { payload, stamp }) {
             inner.by_stamp.remove(&old.stamp);
+            inner.resident_bytes -= old.payload.len() as u64;
         }
         inner.by_stamp.insert(stamp, key);
-        while inner.map.len() > self.capacity {
+        // The byte budget stops evicting at one entry: a single payload
+        // larger than the ceiling is still cached (a cache of one beats a
+        // cache of none).
+        while inner.map.len() > self.capacity
+            || (self.capacity_bytes > 0
+                && inner.resident_bytes > self.capacity_bytes
+                && inner.map.len() > 1)
+        {
             let (_, oldest) = inner
                 .by_stamp
                 .pop_first()
                 .expect("over-capacity cache has a least recent entry");
-            inner.map.remove(&oldest);
-            fpraker_telemetry::counter!("serve_cache_evictions_total").inc();
+            let evicted = inner
+                .map
+                .remove(&oldest)
+                .expect("recency index mirrors the map");
+            inner.resident_bytes -= evicted.payload.len() as u64;
+            inner.evictions += 1;
         }
+    }
+
+    /// Writes one entry's disk file atomically: temp file in the same
+    /// directory, then rename. Best-effort — a failed write leaves the
+    /// memory tier authoritative and the previous file (if any) intact.
+    fn write_to_disk(&self, key: &CacheKey, payload: &[u8]) {
+        let Some(dir) = &self.disk else { return };
+        let final_path = dir.join(key.file_name());
+        let tmp_path = dir.join(format!(
+            ".{}.{}-{}.tmp",
+            key.file_name(),
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let written = (|| -> std::io::Result<()> {
+            let mut f = std::fs::File::create(&tmp_path)?;
+            f.write_all(&encode_disk_entry(key, payload))?;
+            f.sync_all()?;
+            std::fs::rename(&tmp_path, &final_path)
+        })();
+        if written.is_err() {
+            let _ = std::fs::remove_file(&tmp_path);
+            fpraker_telemetry::counter!("serve_cache_disk_write_errors_total").inc();
+        }
+    }
+
+    /// Loads and verifies one entry from the disk tier. Any mismatch —
+    /// missing file, bad magic, wrong key, corrupt payload digest — is a
+    /// miss, never an error: the server simply re-simulates.
+    fn load_from_disk(&self, key: &CacheKey) -> Option<Arc<Vec<u8>>> {
+        let dir = self.disk.as_ref()?;
+        let bytes = std::fs::read(dir.join(key.file_name())).ok()?;
+        decode_disk_entry(key, &bytes).map(Arc::new)
     }
 
     /// Current effectiveness counters.
@@ -150,10 +303,66 @@ impl ResultCache {
         CacheStats {
             hits: inner.hits,
             misses: inner.misses,
+            disk_hits: inner.disk_hits,
             entries: inner.map.len(),
             capacity: self.capacity,
+            evictions: inner.evictions,
+            resident_bytes: inner.resident_bytes,
+            capacity_bytes: self.capacity_bytes,
         }
     }
+}
+
+/// Disk file layout: magic, version, trace digest, spec, payload length,
+/// payload, then an FNV-1a digest of the payload bytes. The trailing
+/// digest (not the file length) is what detects torn or bit-rotted
+/// payloads on load.
+fn encode_disk_entry(key: &CacheKey, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + 1 + 8 + 2 + key.spec.len() + 8 + payload.len() + 8);
+    out.extend_from_slice(DISK_MAGIC);
+    out.push(DISK_VERSION);
+    out.extend_from_slice(&key.digest.to_le_bytes());
+    out.extend_from_slice(&(key.spec.len() as u16).to_le_bytes());
+    out.extend_from_slice(key.spec.as_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&Fnv64::digest_of(payload).to_le_bytes());
+    out
+}
+
+/// Parses and verifies a disk file against the key it should hold.
+fn decode_disk_entry(key: &CacheKey, bytes: &[u8]) -> Option<Vec<u8>> {
+    let rest = bytes.strip_prefix(DISK_MAGIC.as_slice())?;
+    let (&version, rest) = rest.split_first()?;
+    if version != DISK_VERSION {
+        return None;
+    }
+    if rest.len() < 8 + 2 {
+        return None;
+    }
+    let (digest, rest) = rest.split_at(8);
+    if u64::from_le_bytes(digest.try_into().unwrap()) != key.digest {
+        return None;
+    }
+    let (spec_len, rest) = rest.split_at(2);
+    let spec_len = u16::from_le_bytes(spec_len.try_into().unwrap()) as usize;
+    if rest.len() < spec_len + 8 {
+        return None;
+    }
+    let (spec, rest) = rest.split_at(spec_len);
+    if spec != key.spec.as_bytes() {
+        return None;
+    }
+    let (payload_len, rest) = rest.split_at(8);
+    let payload_len = usize::try_from(u64::from_le_bytes(payload_len.try_into().unwrap())).ok()?;
+    if rest.len() != payload_len + 8 {
+        return None;
+    }
+    let (payload, digest) = rest.split_at(payload_len);
+    if u64::from_le_bytes(digest.try_into().unwrap()) != Fnv64::digest_of(payload) {
+        return None;
+    }
+    Some(payload.to_vec())
 }
 
 #[cfg(test)]
@@ -162,6 +371,16 @@ mod tests {
 
     fn payload(b: u8) -> Arc<Vec<u8>> {
         Arc::new(vec![b; 4])
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "fpraker_cache_test_{tag}_{}_{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
     }
 
     #[test]
@@ -173,6 +392,7 @@ mod tests {
         assert_eq!(cache.get(&key).unwrap().as_slice(), &[1, 1, 1, 1]);
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!(stats.resident_bytes, 4);
     }
 
     #[test]
@@ -197,7 +417,7 @@ mod tests {
     }
 
     #[test]
-    fn eviction_is_least_recently_used() {
+    fn eviction_is_least_recently_used_and_counted() {
         let cache = ResultCache::new(2);
         let (a, b, c) = (
             CacheKey::new(1, "m"),
@@ -212,7 +432,10 @@ mod tests {
         assert!(cache.get(&a).is_some(), "recently used entry survives");
         assert!(cache.get(&b).is_none(), "LRU entry was evicted");
         assert!(cache.get(&c).is_some());
-        assert_eq!(cache.stats().entries, 2);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1, "eviction shows up in CacheStats");
+        assert_eq!(stats.resident_bytes, 8);
     }
 
     #[test]
@@ -241,5 +464,75 @@ mod tests {
         cache.insert(key.clone(), payload(5));
         assert!(cache.get(&key).is_some());
         assert_eq!(cache.stats().capacity, 1);
+    }
+
+    #[test]
+    fn byte_budget_evicts_but_never_below_one_entry() {
+        let cache = ResultCache::with_options(100, 10, None);
+        let (a, b) = (CacheKey::new(1, "m"), CacheKey::new(2, "m"));
+        cache.insert(a.clone(), Arc::new(vec![1; 8]));
+        cache.insert(b.clone(), Arc::new(vec![2; 8]));
+        // 16 resident bytes > 10: the LRU entry goes.
+        assert!(cache.get(&a).is_none());
+        assert!(cache.get(&b).is_some());
+        assert_eq!(cache.stats().resident_bytes, 8);
+        // One oversized payload stays resident despite busting the budget.
+        let big = CacheKey::new(3, "m");
+        cache.insert(big.clone(), Arc::new(vec![3; 64]));
+        assert!(cache.get(&big).is_some());
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn disk_tier_round_trips_and_survives_a_fresh_cache() {
+        let dir = temp_dir("roundtrip");
+        let key = CacheKey::new(0xABCD, "fpraker");
+        {
+            let cache = ResultCache::with_options(4, 0, Some(dir.clone()));
+            cache.insert(key.clone(), Arc::new(vec![7; 32]));
+        }
+        // A brand-new cache (fresh process, conceptually) answers warm.
+        let cache = ResultCache::with_options(4, 0, Some(dir.clone()));
+        assert_eq!(cache.get(&key).unwrap().as_slice(), &[7; 32]);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.disk_hits, stats.misses), (1, 1, 0));
+        // The promoted entry now hits in memory (disk_hits stays put).
+        assert!(cache.get(&key).is_some());
+        assert_eq!(cache.stats().disk_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_or_mismatched_disk_files_are_misses() {
+        let dir = temp_dir("corrupt");
+        let key = CacheKey::new(0x1234, "fpraker");
+        let cache = ResultCache::with_options(4, 0, Some(dir.clone()));
+        cache.insert(key.clone(), Arc::new(vec![9; 16]));
+        let path = dir.join(key.file_name());
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a payload bit: the trailing FNV digest no longer matches.
+        let len = bytes.len();
+        bytes[len - 12] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let fresh = ResultCache::with_options(4, 0, Some(dir.clone()));
+        assert!(fresh.get(&key).is_none(), "corrupt file must not replay");
+        assert_eq!(fresh.stats().misses, 1);
+        // A different key never reads another key's file.
+        assert!(fresh.get(&CacheKey::new(0x9999, "fpraker")).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn memory_eviction_keeps_the_disk_tier() {
+        let dir = temp_dir("evict");
+        let cache = ResultCache::with_options(1, 0, Some(dir.clone()));
+        let (a, b) = (CacheKey::new(1, "m"), CacheKey::new(2, "m"));
+        cache.insert(a.clone(), payload(1));
+        cache.insert(b.clone(), payload(2)); // evicts `a` from memory
+        assert_eq!(cache.stats().evictions, 1);
+        // …but `a` comes back from disk (evicting `b` in turn).
+        assert_eq!(cache.get(&a).unwrap().as_slice(), &[1, 1, 1, 1]);
+        assert_eq!(cache.stats().disk_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

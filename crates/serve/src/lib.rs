@@ -65,9 +65,13 @@ pub mod server;
 pub mod shard;
 
 pub use cache::{CacheKey, CacheStats, ResultCache};
-pub use client::{Client, JobResponse, StatsResponse};
-pub use protocol::{
-    JobResult, KindStats, OpReport, PhaseStats, ServeError, ServerStats, TraceStatsReport,
+pub use client::{
+    submit_with_retry, Client, JobOptions, JobResponse, PendingJob, PipelinedConnection,
+    StatsResponse,
 };
-pub use server::{Server, ServerConfig};
+pub use protocol::{
+    JobKind, JobResult, JobSubmit, KindStats, OpReport, PhaseStats, ServeError, ServerStats,
+    TraceStatsReport,
+};
+pub use server::{Server, ServerConfig, DEFAULT_PRIORITY};
 pub use shard::{ShardCoordinator, ShardError, ShardOutcome, ShardPlan, ShardRange, ShardedRun};

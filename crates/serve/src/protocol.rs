@@ -29,6 +29,38 @@
 //! Any violation is answered with a [`tag::ERROR`] frame carrying a UTF-8
 //! message, after which the server closes the connection — but keeps
 //! accepting new ones.
+//!
+//! # Protocol v3: tagged frames and pipelining
+//!
+//! Version 3 multiplexes many jobs over one connection. A
+//! [`tag::SUBMIT_JOB`] frame carries a client-chosen `job_id` plus a
+//! priority and an optional deadline; every server response for that job
+//! ([`tag::JOB_NEED_TRACE`], [`tag::JOB_RESULT`], [`tag::JOB_ERROR`],
+//! [`tag::BUSY`]) echoes the id back, so responses may arrive in any
+//! order and a reader thread on the client demuxes them into per-job
+//! channels:
+//!
+//! ```text
+//! client                                      server
+//!   ── SUBMIT_JOB {id=1, …} ───────▶
+//!   ── SUBMIT_JOB {id=2, …} ───────▶
+//!   ◀── JOB_RESULT {id=2, cached=1} ──        (id 2 was warm)
+//!   ◀── JOB_NEED_TRACE {id=1} ──────
+//!   ── JOB_DATA {id=1} × n ────────▶
+//!   ── JOB_DATA_END {id=1} ────────▶
+//!   ── SUBMIT_JOB {id=3, …} ───────▶          (pipelined behind the upload)
+//!   ◀── BUSY {id=3, retry_after_ms} ──        (pool saturated past the queue depth)
+//!   ◀── JOB_RESULT {id=1, cached=0} ──
+//! ```
+//!
+//! Upload chunks are tagged too ([`tag::JOB_DATA`]/[`tag::JOB_DATA_END`]
+//! carry the `job_id`), so uploads for different jobs may interleave.
+//! [`tag::CANCEL`] drops a *queued* job (answered with a
+//! [`tag::JOB_ERROR`] carrying [`job_error::CANCELLED`]) and is a no-op
+//! for a running or unknown one. A job whose deadline lapses while
+//! queued is answered with [`job_error::DEADLINE`]. Untagged v2 frames
+//! remain valid on the same port and are served with the old serial
+//! semantics (conceptually `job_id 0`), so v2 clients keep working.
 
 use std::error::Error;
 use std::fmt;
@@ -45,8 +77,15 @@ pub const PROTOCOL_MAGIC: &[u8; 4] = b"FPRS";
 /// Wire protocol version. Version 2 added the segment-range submit
 /// ([`tag::SUBMIT_RANGE`]) and per-op [`EventCounts`] in result payloads
 /// (what lets a shard coordinator re-derive total energy from integer
-/// sums instead of adding per-shard floats).
-pub const PROTOCOL_VERSION: u8 = 2;
+/// sums instead of adding per-shard floats). Version 3 added tagged
+/// frames: job ids, priorities, deadlines, cancellation and explicit
+/// `BUSY` backpressure, so one connection can carry many jobs in flight.
+pub const PROTOCOL_VERSION: u8 = 3;
+/// The oldest protocol version the server still accepts. Untagged v2
+/// frames are served with serial semantics, and the v2-dialect encoders
+/// below keep stamping this version so their requests stay valid against
+/// v2 servers too.
+pub const LEGACY_PROTOCOL_VERSION: u8 = 2;
 /// Hard cap on a single frame's payload (4 MiB). Larger uploads are
 /// chunked; a length prefix above this is a protocol error, mirroring the
 /// trace codec's bounded-allocation discipline.
@@ -95,6 +134,53 @@ pub mod tag {
     /// Server→client: Prometheus-style UTF-8 metrics text (the server's
     /// runtime telemetry plus its [`super::ServerStats`] counters).
     pub const METRICS_RESULT: u8 = 0x86;
+    /// Client→server (v3): tagged job submission — a client-chosen
+    /// `job_id`, a priority, an optional deadline and the job kind
+    /// (simulate / segment-range / trace-statistics). Decoded by
+    /// [`super::JobSubmit::decode`].
+    pub const SUBMIT_JOB: u8 = 0x10;
+    /// Client→server (v3): a chunk of one job's trace byte stream,
+    /// prefixed by the `job_id` it belongs to.
+    pub const JOB_DATA: u8 = 0x12;
+    /// Client→server (v3): end of one job's trace byte stream (payload is
+    /// the `job_id` alone).
+    pub const JOB_DATA_END: u8 = 0x13;
+    /// Client→server (v3): cancel a queued job. Drops it from the queue
+    /// (the job answers with [`super::job_error::CANCELLED`]); a no-op
+    /// for running or unknown jobs.
+    pub const CANCEL: u8 = 0x14;
+    /// Server→client (v3): one job's result payload — `job_id`, cached
+    /// flag, then the same result payload as [`RESULT`].
+    pub const JOB_RESULT: u8 = 0x90;
+    /// Server→client (v3): one trace-statistics job's result payload —
+    /// `job_id`, cached flag, then the same payload as
+    /// [`TRACE_STATS_RESULT`].
+    pub const JOB_STATS_RESULT: u8 = 0x91;
+    /// Server→client (v3): cache miss for one job — stream its trace now
+    /// (payload is the `job_id`).
+    pub const JOB_NEED_TRACE: u8 = 0x92;
+    /// Server→client (v3): one job failed — `job_id`, a
+    /// [`super::job_error`] code byte, then a UTF-8 message. Only that
+    /// job dies; the connection and its other in-flight jobs are
+    /// unaffected.
+    pub const JOB_ERROR: u8 = 0x93;
+    /// Server→client (v3): explicit backpressure — the job pool is
+    /// saturated past the configured queue depth, retry after the carried
+    /// hint (`job_id` + `retry_after_ms`). The job was not queued.
+    pub const BUSY: u8 = 0x94;
+}
+
+/// Error codes carried by a [`tag::JOB_ERROR`] frame, so clients can
+/// distinguish *why* a job died without parsing the message text.
+pub mod job_error {
+    /// The job itself failed (bad spec, digest mismatch, corrupt trace…).
+    pub const GENERIC: u8 = 0;
+    /// The job was cancelled by a [`super::tag::CANCEL`] frame while
+    /// still queued.
+    pub const CANCELLED: u8 = 1;
+    /// The job's deadline lapsed before it reached the front of the
+    /// queue.
+    pub const DEADLINE: u8 = 2;
 }
 
 /// Everything that can go wrong on either side of the protocol.
@@ -108,6 +194,16 @@ pub enum ServeError {
     Remote(String),
     /// The uploaded trace failed to decode.
     Trace(DecodeError),
+    /// The server answered [`tag::BUSY`]: the job pool is saturated past
+    /// its queue depth. Retry after the carried hint.
+    Busy {
+        /// Server's suggested wait before retrying, in milliseconds.
+        retry_after_ms: u32,
+    },
+    /// The job was cancelled while queued ([`job_error::CANCELLED`]).
+    Cancelled,
+    /// The job's deadline lapsed before it ran ([`job_error::DEADLINE`]).
+    DeadlineExpired,
 }
 
 impl fmt::Display for ServeError {
@@ -117,6 +213,11 @@ impl fmt::Display for ServeError {
             ServeError::Protocol(m) => write!(f, "protocol error: {m}"),
             ServeError::Remote(m) => write!(f, "server error: {m}"),
             ServeError::Trace(e) => write!(f, "trace error: {e}"),
+            ServeError::Busy { retry_after_ms } => {
+                write!(f, "server busy: retry after {retry_after_ms} ms")
+            }
+            ServeError::Cancelled => write!(f, "job cancelled while queued"),
+            ServeError::DeadlineExpired => write!(f, "job deadline expired while queued"),
         }
     }
 }
@@ -198,7 +299,7 @@ impl Submit {
         u16::try_from(self.spec.len()).expect("spec name exceeds the u16 length prefix");
         let mut out = Vec::with_capacity(4 + 1 + 8 + 8 + 2 + self.spec.len());
         out.extend_from_slice(PROTOCOL_MAGIC);
-        out.push(PROTOCOL_VERSION);
+        out.push(LEGACY_PROTOCOL_VERSION);
         out.extend_from_slice(&self.digest.to_le_bytes());
         out.extend_from_slice(&self.trace_bytes.to_le_bytes());
         out.extend_from_slice(&(self.spec.len() as u16).to_le_bytes());
@@ -258,7 +359,7 @@ impl RangeSubmit {
         u16::try_from(self.spec.len()).expect("spec name exceeds the u16 length prefix");
         let mut out = Vec::with_capacity(4 + 1 + 8 + 8 + 8 + 8 + 2 + self.spec.len());
         out.extend_from_slice(PROTOCOL_MAGIC);
-        out.push(PROTOCOL_VERSION);
+        out.push(LEGACY_PROTOCOL_VERSION);
         out.extend_from_slice(&self.digest.to_le_bytes());
         out.extend_from_slice(&self.trace_bytes.to_le_bytes());
         out.extend_from_slice(&self.first_op.to_le_bytes());
@@ -308,7 +409,7 @@ impl StatsSubmit {
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(4 + 1 + 8 + 8);
         out.extend_from_slice(PROTOCOL_MAGIC);
-        out.push(PROTOCOL_VERSION);
+        out.push(LEGACY_PROTOCOL_VERSION);
         out.extend_from_slice(&self.digest.to_le_bytes());
         out.extend_from_slice(&self.trace_bytes.to_le_bytes());
         out
@@ -333,8 +434,269 @@ impl StatsSubmit {
     }
 }
 
-/// Validates the `FPRS` magic + version preamble of a request payload.
-fn check_preamble(c: &mut Cursor<'_>) -> Result<(), ServeError> {
+/// What a v3 tagged job asks the server to do. The three kinds mirror the
+/// untagged [`Submit`]/[`RangeSubmit`]/[`StatsSubmit`] headers — same
+/// fields, same cache keys — so a tagged job and its untagged twin share
+/// a cache entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobKind {
+    /// Full-trace simulation (the tagged [`Submit`]).
+    Sim {
+        /// Machine spec name, resolved through
+        /// `fpraker_sim::resolve_machine`.
+        spec: String,
+    },
+    /// Segment-range simulation (the tagged [`RangeSubmit`]).
+    Range {
+        /// Machine spec name.
+        spec: String,
+        /// Global index of the first op in the range.
+        first_op: u64,
+        /// Number of ops in the range.
+        ops: u64,
+    },
+    /// Trace statistics (the tagged [`StatsSubmit`]).
+    Stats,
+}
+
+impl JobKind {
+    fn tag(&self) -> u8 {
+        match self {
+            JobKind::Sim { .. } => 0,
+            JobKind::Range { .. } => 1,
+            JobKind::Stats => 2,
+        }
+    }
+}
+
+/// A parsed [`tag::SUBMIT_JOB`] payload: the v3 tagged job header.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobSubmit {
+    /// Client-chosen job id, echoed back in every response frame for the
+    /// job. Must not collide with another job in flight on the same
+    /// connection.
+    pub job_id: u64,
+    /// Scheduling priority (higher runs sooner; ties run in submission
+    /// order).
+    pub priority: u8,
+    /// Queueing deadline in milliseconds from receipt; `0` means none. A
+    /// job still queued when it lapses dies with [`job_error::DEADLINE`].
+    pub deadline_ms: u32,
+    /// FNV-1a content digest of the trace's encoded bytes.
+    pub digest: u64,
+    /// Exact length of the encoded trace in bytes.
+    pub trace_bytes: u64,
+    /// What to do with the trace.
+    pub kind: JobKind,
+}
+
+impl JobSubmit {
+    /// Serializes the tagged job header (always stamps version 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec name exceeds the u16 length prefix, like
+    /// [`Submit::encode`].
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + 1 + 8 + 1 + 4 + 1 + 8 + 8 + 32);
+        out.extend_from_slice(PROTOCOL_MAGIC);
+        out.push(PROTOCOL_VERSION);
+        out.extend_from_slice(&self.job_id.to_le_bytes());
+        out.push(self.priority);
+        out.extend_from_slice(&self.deadline_ms.to_le_bytes());
+        out.push(self.kind.tag());
+        out.extend_from_slice(&self.digest.to_le_bytes());
+        out.extend_from_slice(&self.trace_bytes.to_le_bytes());
+        match &self.kind {
+            JobKind::Sim { spec } => {
+                u16::try_from(spec.len()).expect("spec name exceeds the u16 length prefix");
+                out.extend_from_slice(&(spec.len() as u16).to_le_bytes());
+                out.extend_from_slice(spec.as_bytes());
+            }
+            JobKind::Range {
+                spec,
+                first_op,
+                ops,
+            } => {
+                u16::try_from(spec.len()).expect("spec name exceeds the u16 length prefix");
+                out.extend_from_slice(&first_op.to_le_bytes());
+                out.extend_from_slice(&ops.to_le_bytes());
+                out.extend_from_slice(&(spec.len() as u16).to_le_bytes());
+                out.extend_from_slice(spec.as_bytes());
+            }
+            JobKind::Stats => {}
+        }
+        out
+    }
+
+    /// Parses a tagged job header, validating magic and (exact) version.
+    ///
+    /// # Errors
+    ///
+    /// `Protocol` on bad magic, a non-v3 version byte, an unknown kind
+    /// tag, or a malformed payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, ServeError> {
+        let mut c = Cursor::new(payload);
+        check_v3_preamble(&mut c)?;
+        let job_id = c.u64()?;
+        let priority = c.u8()?;
+        let deadline_ms = c.u32()?;
+        let kind_tag = c.u8()?;
+        let digest = c.u64()?;
+        let trace_bytes = c.u64()?;
+        let kind = match kind_tag {
+            0 => JobKind::Sim { spec: c.string()? },
+            1 => {
+                let first_op = c.u64()?;
+                let ops = c.u64()?;
+                JobKind::Range {
+                    spec: c.string()?,
+                    first_op,
+                    ops,
+                }
+            }
+            2 => JobKind::Stats,
+            other => return Err(ServeError::Protocol(format!("bad job kind tag {other}"))),
+        };
+        c.finish()?;
+        Ok(JobSubmit {
+            job_id,
+            priority,
+            deadline_ms,
+            digest,
+            trace_bytes,
+            kind,
+        })
+    }
+}
+
+/// Encodes a [`tag::CANCEL`] payload.
+pub fn encode_cancel(job_id: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + 1 + 8);
+    out.extend_from_slice(PROTOCOL_MAGIC);
+    out.push(PROTOCOL_VERSION);
+    out.extend_from_slice(&job_id.to_le_bytes());
+    out
+}
+
+/// Parses a [`tag::CANCEL`] payload into the job id to cancel.
+///
+/// # Errors
+///
+/// `Protocol` on bad magic/version or a malformed payload.
+pub fn decode_cancel(payload: &[u8]) -> Result<u64, ServeError> {
+    let mut c = Cursor::new(payload);
+    check_v3_preamble(&mut c)?;
+    let job_id = c.u64()?;
+    c.finish()?;
+    Ok(job_id)
+}
+
+/// Prefixes a v3 per-job payload with its `job_id` (the layout of
+/// [`tag::JOB_DATA`]/[`tag::JOB_DATA_END`]/[`tag::JOB_NEED_TRACE`] and
+/// the header of every tagged response).
+pub fn encode_job_payload(job_id: u64, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + body.len());
+    out.extend_from_slice(&job_id.to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// Splits a v3 per-job payload into its `job_id` prefix and the rest.
+///
+/// # Errors
+///
+/// `Protocol` if the payload is shorter than the 8-byte id.
+pub fn split_job_payload(payload: &[u8]) -> Result<(u64, &[u8]), ServeError> {
+    if payload.len() < 8 {
+        return Err(ServeError::Protocol("truncated job payload".into()));
+    }
+    let (id, rest) = payload.split_at(8);
+    Ok((u64::from_le_bytes(id.try_into().unwrap()), rest))
+}
+
+/// Encodes a [`tag::BUSY`] payload.
+pub fn encode_busy(job_id: u64, retry_after_ms: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12);
+    out.extend_from_slice(&job_id.to_le_bytes());
+    out.extend_from_slice(&retry_after_ms.to_le_bytes());
+    out
+}
+
+/// Parses a [`tag::BUSY`] payload into `(job_id, retry_after_ms)`.
+///
+/// # Errors
+///
+/// `Protocol` on a malformed payload.
+pub fn decode_busy(payload: &[u8]) -> Result<(u64, u32), ServeError> {
+    let mut c = Cursor::new(payload);
+    let job_id = c.u64()?;
+    let retry_after_ms = c.u32()?;
+    c.finish()?;
+    Ok((job_id, retry_after_ms))
+}
+
+/// Encodes a [`tag::JOB_ERROR`] payload.
+pub fn encode_job_error(job_id: u64, code: u8, message: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(9 + message.len());
+    out.extend_from_slice(&job_id.to_le_bytes());
+    out.push(code);
+    out.extend_from_slice(message.as_bytes());
+    out
+}
+
+/// Parses a [`tag::JOB_ERROR`] payload into `(job_id, code, message)`.
+///
+/// # Errors
+///
+/// `Protocol` on a malformed payload or invalid UTF-8 in the message.
+pub fn decode_job_error(payload: &[u8]) -> Result<(u64, u8, String), ServeError> {
+    if payload.len() < 9 {
+        return Err(ServeError::Protocol("truncated job error payload".into()));
+    }
+    let job_id = u64::from_le_bytes(payload[..8].try_into().unwrap());
+    let code = payload[8];
+    let message = String::from_utf8(payload[9..].to_vec())
+        .map_err(|_| ServeError::Protocol("invalid utf-8 in job error".into()))?;
+    Ok((job_id, code, message))
+}
+
+/// Maps a [`tag::JOB_ERROR`] frame to the [`ServeError`] a client should
+/// surface: the cancel / deadline codes become their typed variants,
+/// everything else is a [`ServeError::Remote`].
+pub fn job_error_to_serve_error(code: u8, message: String) -> ServeError {
+    match code {
+        job_error::CANCELLED => ServeError::Cancelled,
+        job_error::DEADLINE => ServeError::DeadlineExpired,
+        _ => ServeError::Remote(message),
+    }
+}
+
+/// Validates the `FPRS` magic + version preamble of a request payload and
+/// returns the negotiated version. Versions [`LEGACY_PROTOCOL_VERSION`]
+/// through [`PROTOCOL_VERSION`] are accepted on the untagged v2 frames —
+/// that range *is* the version negotiation: a v2 client's preamble parses
+/// on a v3 server, and anything newer (or older) is rejected with a clear
+/// error.
+fn check_preamble(c: &mut Cursor<'_>) -> Result<u8, ServeError> {
+    let magic = c.bytes(4)?;
+    if magic != PROTOCOL_MAGIC {
+        return Err(ServeError::Protocol("bad protocol magic".into()));
+    }
+    let version = c.u8()?;
+    if !(LEGACY_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
+        return Err(ServeError::Protocol(format!(
+            "unsupported protocol version {version} (supported: \
+             {LEGACY_PROTOCOL_VERSION}..={PROTOCOL_VERSION})"
+        )));
+    }
+    Ok(version)
+}
+
+/// Validates the preamble of a v3-only payload: the version must be
+/// exactly [`PROTOCOL_VERSION`] — tagged frames did not exist before v3,
+/// so a v2 version byte inside one is a contradiction worth rejecting.
+fn check_v3_preamble(c: &mut Cursor<'_>) -> Result<(), ServeError> {
     let magic = c.bytes(4)?;
     if magic != PROTOCOL_MAGIC {
         return Err(ServeError::Protocol("bad protocol magic".into()));
@@ -342,7 +704,7 @@ fn check_preamble(c: &mut Cursor<'_>) -> Result<(), ServeError> {
     let version = c.u8()?;
     if version != PROTOCOL_VERSION {
         return Err(ServeError::Protocol(format!(
-            "unsupported protocol version {version}"
+            "tagged frames require protocol version {PROTOCOL_VERSION}, got {version}"
         )));
     }
     Ok(())
@@ -352,7 +714,7 @@ fn check_preamble(c: &mut Cursor<'_>) -> Result<(), ServeError> {
 pub fn encode_stats_request() -> Vec<u8> {
     let mut out = Vec::with_capacity(5);
     out.extend_from_slice(PROTOCOL_MAGIC);
-    out.push(PROTOCOL_VERSION);
+    out.push(LEGACY_PROTOCOL_VERSION);
     out
 }
 
@@ -371,7 +733,7 @@ pub fn decode_stats_request(payload: &[u8]) -> Result<(), ServeError> {
 pub fn encode_metrics_request() -> Vec<u8> {
     let mut out = Vec::with_capacity(5);
     out.extend_from_slice(PROTOCOL_MAGIC);
-    out.push(PROTOCOL_VERSION);
+    out.push(LEGACY_PROTOCOL_VERSION);
     out
 }
 
@@ -399,38 +761,76 @@ pub struct ServerStats {
     pub cache_entries: u64,
     /// Cache capacity in entries.
     pub cache_capacity: u64,
+    /// Entries evicted from the in-memory cache (LRU pressure). Counted
+    /// in [`super::CacheStats`] itself so evictions racing a post-wait
+    /// re-check are visible here too.
+    pub cache_evictions: u64,
+    /// Result-payload bytes currently resident in the in-memory cache.
+    pub cache_resident_bytes: u64,
+    /// Resident-byte ceiling of the in-memory cache (0 = unbounded).
+    pub cache_capacity_bytes: u64,
+    /// Jobs holding a pool permit right now (acquired, not yet finished).
+    pub jobs_in_flight: u64,
+    /// Jobs waiting in the priority queue right now.
+    pub jobs_queued: u64,
+    /// Jobs refused with [`tag::BUSY`] because the queue was saturated.
+    pub busy_rejections: u64,
+    /// Queued jobs dropped by a [`tag::CANCEL`] frame.
+    pub jobs_cancelled: u64,
+    /// Queued jobs whose deadline lapsed before they ran.
+    pub jobs_deadline_expired: u64,
 }
 
 impl ServerStats {
     /// Serializes the counters.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(40);
+        let mut out = Vec::with_capacity(13 * 8);
         for v in [
             self.jobs_completed,
             self.cache_hits,
             self.cache_misses,
             self.cache_entries,
             self.cache_capacity,
+            self.cache_evictions,
+            self.cache_resident_bytes,
+            self.cache_capacity_bytes,
+            self.jobs_in_flight,
+            self.jobs_queued,
+            self.busy_rejections,
+            self.jobs_cancelled,
+            self.jobs_deadline_expired,
         ] {
             out.extend_from_slice(&v.to_le_bytes());
         }
         out
     }
 
-    /// Parses the counters.
+    /// Parses the counters. Accepts the v2 40-byte payload too (a v3
+    /// client talking to a v2 server sees zeros for the newer counters).
     ///
     /// # Errors
     ///
     /// `Protocol` on a malformed payload.
     pub fn decode(payload: &[u8]) -> Result<Self, ServeError> {
         let mut c = Cursor::new(payload);
-        let stats = ServerStats {
+        let mut stats = ServerStats {
             jobs_completed: c.u64()?,
             cache_hits: c.u64()?,
             cache_misses: c.u64()?,
             cache_entries: c.u64()?,
             cache_capacity: c.u64()?,
+            ..ServerStats::default()
         };
+        if payload.len() > 40 {
+            stats.cache_evictions = c.u64()?;
+            stats.cache_resident_bytes = c.u64()?;
+            stats.cache_capacity_bytes = c.u64()?;
+            stats.jobs_in_flight = c.u64()?;
+            stats.jobs_queued = c.u64()?;
+            stats.busy_rejections = c.u64()?;
+            stats.jobs_cancelled = c.u64()?;
+            stats.jobs_deadline_expired = c.u64()?;
+        }
         c.finish()?;
         Ok(stats)
     }
@@ -967,11 +1367,114 @@ mod tests {
             cache_misses: 1,
             cache_entries: 1,
             cache_capacity: 64,
+            cache_evictions: 9,
+            cache_resident_bytes: 4096,
+            cache_capacity_bytes: 1 << 20,
+            jobs_in_flight: 2,
+            jobs_queued: 5,
+            busy_rejections: 7,
+            jobs_cancelled: 1,
+            jobs_deadline_expired: 4,
         };
         assert_eq!(ServerStats::decode(&s.encode()).unwrap(), s);
         assert!(ServerStats::decode(&s.encode()[..7]).is_err());
         decode_stats_request(&encode_stats_request()).unwrap();
         assert!(decode_stats_request(b"junk!").is_err());
+        // A v2 server's 40-byte payload still parses; new counters zero.
+        let legacy = &s.encode()[..40];
+        let parsed = ServerStats::decode(legacy).unwrap();
+        assert_eq!(parsed.jobs_completed, 3);
+        assert_eq!(parsed.cache_capacity, 64);
+        assert_eq!(parsed.cache_evictions, 0);
+        assert_eq!(parsed.jobs_queued, 0);
+    }
+
+    #[test]
+    fn job_submit_round_trips_all_kinds_and_rejects_v2_version_byte() {
+        for kind in [
+            JobKind::Sim {
+                spec: "fpraker".into(),
+            },
+            JobKind::Range {
+                spec: "baseline".into(),
+                first_op: 3,
+                ops: 9,
+            },
+            JobKind::Stats,
+        ] {
+            let j = JobSubmit {
+                job_id: 0x0123_4567_89AB_CDEF,
+                priority: 7,
+                deadline_ms: 1500,
+                digest: 0xDEAD_BEEF,
+                trace_bytes: 4096,
+                kind,
+            };
+            let mut enc = j.encode();
+            assert_eq!(JobSubmit::decode(&enc).unwrap(), j);
+            // Tagged frames are v3-only: a v2 version byte is rejected
+            // even though the untagged preamble would accept it.
+            enc[4] = LEGACY_PROTOCOL_VERSION;
+            match JobSubmit::decode(&enc) {
+                Err(ServeError::Protocol(m)) => assert!(m.contains("version"), "{m}"),
+                other => panic!("expected version rejection, got {other:?}"),
+            }
+            // And an unknown future version is rejected too.
+            enc[4] = PROTOCOL_VERSION + 1;
+            assert!(JobSubmit::decode(&enc).is_err());
+        }
+    }
+
+    #[test]
+    fn legacy_preamble_accepts_both_negotiated_versions() {
+        let s = Submit {
+            spec: "fpraker".into(),
+            digest: 1,
+            trace_bytes: 2,
+        };
+        let mut enc = s.encode();
+        assert_eq!(enc[4], LEGACY_PROTOCOL_VERSION);
+        assert_eq!(Submit::decode(&enc).unwrap(), s);
+        // The same untagged frame with a v3 version byte also parses…
+        enc[4] = PROTOCOL_VERSION;
+        assert_eq!(Submit::decode(&enc).unwrap(), s);
+        // …but versions outside the negotiated range are rejected.
+        enc[4] = PROTOCOL_VERSION + 1;
+        assert!(Submit::decode(&enc).is_err());
+        enc[4] = LEGACY_PROTOCOL_VERSION - 1;
+        assert!(Submit::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn cancel_busy_and_job_error_round_trip() {
+        assert_eq!(decode_cancel(&encode_cancel(42)).unwrap(), 42);
+        assert!(decode_cancel(b"junk").is_err());
+        assert_eq!(decode_busy(&encode_busy(7, 250)).unwrap(), (7, 250));
+        assert!(decode_busy(&encode_busy(7, 250)[..10]).is_err());
+        let (id, code, msg) =
+            decode_job_error(&encode_job_error(9, job_error::DEADLINE, "late")).unwrap();
+        assert_eq!((id, code, msg.as_str()), (9, job_error::DEADLINE, "late"));
+        assert!(matches!(
+            job_error_to_serve_error(job_error::CANCELLED, String::new()),
+            ServeError::Cancelled
+        ));
+        assert!(matches!(
+            job_error_to_serve_error(job_error::DEADLINE, String::new()),
+            ServeError::DeadlineExpired
+        ));
+        assert!(matches!(
+            job_error_to_serve_error(job_error::GENERIC, "boom".into()),
+            ServeError::Remote(m) if m == "boom"
+        ));
+    }
+
+    #[test]
+    fn job_payload_prefix_round_trips() {
+        let p = encode_job_payload(0xAABB, b"chunk");
+        let (id, rest) = split_job_payload(&p).unwrap();
+        assert_eq!(id, 0xAABB);
+        assert_eq!(rest, b"chunk");
+        assert!(split_job_payload(&p[..7]).is_err());
     }
 
     #[test]

@@ -1,34 +1,49 @@
 //! The trace-simulation server: accept loop, bounded job pool, and the
 //! per-connection protocol state machine.
 //!
-//! Each connection is one job (or one stats query). The handler parses the
-//! [`crate::protocol::Submit`] header, resolves the machine spec through
-//! the `fpraker_sim` registry, and consults the content-addressed
-//! [`ResultCache`]; on a miss it asks the client for the trace and pipes
-//! the incoming [`crate::protocol::tag::TRACE_DATA`] frames **straight
-//! into** an incremental [`codec::Reader`] driving
-//! [`Engine::run_source`] — the upload is simulated as it arrives, under
-//! the engine's bounded op window, and is never materialized.
+//! A connection is a frame loop. Untagged v2 frames keep their serial
+//! semantics: the handler parses the [`crate::protocol::Submit`] header,
+//! resolves the machine spec through the `fpraker_sim` registry, consults
+//! the content-addressed [`ResultCache`], and on a miss pipes the
+//! incoming [`crate::protocol::tag::TRACE_DATA`] frames **straight into**
+//! an incremental [`codec::Reader`] driving [`Engine::run_source`] — the
+//! upload is simulated as it arrives, under the engine's bounded op
+//! window, and is never materialized.
 //!
-//! Simulations are dispatched across a bounded job pool: a counting
-//! semaphore of `jobs` permits, each job running the shared engine with
-//! `threads_per_job` workers, so the server's total worker budget is
-//! `jobs × threads_per_job` regardless of how many clients connect
-//! (`threads_per_job = 0` resolves to one worker per core per job — see
-//! [`ServerConfig::threads_per_job`]).
-//! Protocol violations are answered with an error frame and close only
-//! that connection; the accept loop keeps serving.
+//! Tagged v3 frames multiplex: each [`crate::protocol::tag::SUBMIT_JOB`]
+//! is dispatched to its own job thread and the connection thread goes
+//! straight back to reading, so many jobs ride one connection with
+//! out-of-order completion. Responses are serialized through a shared
+//! write handle; upload chunks are routed to their job's bounded channel
+//! by `job_id`. Queued (not yet running) jobs can be cancelled or expire
+//! at their deadline; when the pool is saturated past
+//! [`ServerConfig::queue_depth`] waiting jobs, new tagged jobs are
+//! refused with an explicit `BUSY { retry_after_ms }` instead of queueing
+//! silently.
+//!
+//! Simulations are dispatched across a bounded job pool: a priority-aware
+//! counting semaphore of `jobs` permits, each job running the shared
+//! engine with `threads_per_job` workers, so the server's total worker
+//! budget is `jobs × threads_per_job` regardless of how many clients
+//! connect (`threads_per_job = 0` resolves to one worker per core per
+//! job — see [`ServerConfig::threads_per_job`]).
+//! Per-job failures are answered with a job-tagged error frame and kill
+//! only that job; connection-level protocol violations are answered with
+//! an error frame and close only that connection; the accept loop keeps
+//! serving.
 
-use std::io::{self, Write};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use fpraker_energy::EnergyModel;
 use fpraker_num::encode::Encoding;
-use fpraker_sim::{resolve_machine, Engine};
+use fpraker_sim::{resolve_machine, AcceleratorConfig, Engine, Machine};
 use fpraker_trace::codec::{self, IndexFooter, MAX_FOOTER_LEN};
 use fpraker_trace::digest::Fnv64;
 use fpraker_trace::stats::TraceStatistics;
@@ -36,13 +51,22 @@ use fpraker_trace::TraceSource;
 
 use crate::cache::{CacheKey, CacheStats, ResultCache};
 use crate::protocol::{
-    self, read_frame, tag, write_frame, RangeSubmit, ServeError, ServerStats, StatsSubmit, Submit,
-    TraceStatsReport, MAX_FRAME_LEN,
+    self, job_error, read_frame, tag, write_frame, JobKind, JobSubmit, RangeSubmit, ServeError,
+    ServerStats, StatsSubmit, Submit, TraceStatsReport, MAX_FRAME_LEN,
 };
 
 /// The pseudo machine-spec under which trace-statistics results are
 /// cached. Starts with `#` so it can never collide with a registry name.
 const STATS_SPEC: &str = "#stats";
+
+/// Priority assumed for untagged v2 jobs (the middle of the u8 range, so
+/// tagged jobs can explicitly rank above or below legacy traffic).
+pub const DEFAULT_PRIORITY: u8 = 100;
+
+/// Bounded upload channel per tagged job, in frames. Full channels push
+/// back on the connection's read loop, which pushes back on TCP — the
+/// same flow control a v2 upload gets from the socket itself.
+const UPLOAD_CHANNEL_FRAMES: usize = 32;
 
 /// Server tuning knobs.
 #[derive(Clone, Debug)]
@@ -62,8 +86,26 @@ pub struct ServerConfig {
     pub stream_window: usize,
     /// Result-cache capacity in entries.
     pub cache_entries: usize,
+    /// Resident-byte ceiling for the in-memory result cache (0 = bounded
+    /// by entry count alone).
+    pub cache_bytes: u64,
+    /// Disk tier for the result cache: one digest-verified file per
+    /// (digest, spec) entry, written atomically, so a restarted server
+    /// answers previously-computed digests warm. `None` keeps the cache
+    /// memory-only.
+    pub cache_dir: Option<PathBuf>,
+    /// Tagged jobs waiting in the queue beyond which new tagged
+    /// submissions are refused with `BUSY { retry_after_ms }` instead of
+    /// queueing. Untagged v2 jobs always queue (their protocol has no
+    /// `BUSY` frame).
+    pub queue_depth: usize,
+    /// The retry hint carried by `BUSY` responses, in milliseconds.
+    pub busy_retry_ms: u32,
     /// Per-connection socket timeout (`None` = block forever). Bounds how
-    /// long a stalled client can pin a connection thread.
+    /// long a stalled client can pin a connection thread. A connection
+    /// that has spoken v3 may idle indefinitely *between* frames (a
+    /// pipelined connection is persistent); the timeout still bounds
+    /// stalls inside a frame.
     pub io_timeout: Option<Duration>,
 }
 
@@ -75,57 +117,163 @@ impl Default for ServerConfig {
             threads_per_job: 0,
             stream_window: 0,
             cache_entries: 64,
+            cache_bytes: 0,
+            cache_dir: None,
+            queue_depth: 64,
+            busy_retry_ms: 100,
             io_timeout: Some(Duration::from_secs(60)),
         }
     }
 }
 
-/// Counting semaphore bounding concurrent simulations.
-struct Semaphore {
-    permits: Mutex<usize>,
+/// How one call to [`JobQueue::acquire`] ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Acquire {
+    /// A permit was taken; the caller must release it (via [`JobPermit`]).
+    Acquired,
+    /// The job's cancel flag was set while it waited.
+    Cancelled,
+    /// The job's deadline lapsed while it waited.
+    DeadlineExpired,
+}
+
+/// Priority-aware counting semaphore bounding concurrent simulations.
+///
+/// Waiters are ordered by `(priority desc, arrival seq asc)`; a freed
+/// permit always goes to the best waiter. A waiter can leave the queue
+/// early when its cancel flag is set (a [`tag::CANCEL`] frame) or its
+/// deadline lapses — both only ever apply to *queued* jobs, by
+/// construction: once `acquire` returns [`Acquire::Acquired`] the job is
+/// running and neither is consulted again.
+struct JobQueue {
+    state: Mutex<QueueState>,
     cv: Condvar,
 }
 
-impl Semaphore {
+struct QueueState {
+    permits: usize,
+    next_seq: u64,
+    /// `(priority, seq)` of every waiting job. Small (bounded by the
+    /// configured queue depth plus v2 traffic), so a linear scan beats
+    /// heap bookkeeping.
+    waiting: Vec<(u8, u64)>,
+}
+
+impl JobQueue {
     fn new(permits: usize) -> Self {
-        Semaphore {
-            permits: Mutex::new(permits),
+        JobQueue {
+            state: Mutex::new(QueueState {
+                permits,
+                next_seq: 0,
+                waiting: Vec::new(),
+            }),
             cv: Condvar::new(),
         }
     }
 
-    fn acquire(&self) {
-        let mut p = self.permits.lock().unwrap();
-        while *p == 0 {
-            p = self.cv.wait(p).unwrap();
+    fn acquire(&self, priority: u8, deadline: Option<Instant>, cancel: &AtomicBool) -> Acquire {
+        let _wait = fpraker_telemetry::span!("serve_semaphore_wait");
+        let mut s = self.state.lock().unwrap();
+        let seq = s.next_seq;
+        s.next_seq += 1;
+        s.waiting.push((priority, seq));
+        loop {
+            if cancel.load(Ordering::SeqCst) {
+                return self.leave(s, seq, Acquire::Cancelled);
+            }
+            let is_front = !s
+                .waiting
+                .iter()
+                .any(|&(p, q)| p > priority || (p == priority && q < seq));
+            if s.permits > 0 && is_front {
+                s.permits -= 1;
+                s.waiting.retain(|&(_, q)| q != seq);
+                // More permits may remain for the next-best waiter.
+                self.cv.notify_all();
+                return Acquire::Acquired;
+            }
+            s = match deadline {
+                None => self.cv.wait(s).unwrap(),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return self.leave(s, seq, Acquire::DeadlineExpired);
+                    }
+                    self.cv.wait_timeout(s, d - now).unwrap().0
+                }
+            };
         }
-        *p -= 1;
+    }
+
+    /// Removes a waiter without taking a permit, waking the rest (the
+    /// departing waiter may have been blocking the front of the queue).
+    fn leave(
+        &self,
+        mut s: std::sync::MutexGuard<'_, QueueState>,
+        seq: u64,
+        outcome: Acquire,
+    ) -> Acquire {
+        s.waiting.retain(|&(_, q)| q != seq);
+        drop(s);
+        self.cv.notify_all();
+        outcome
     }
 
     fn release(&self) {
-        *self.permits.lock().unwrap() += 1;
-        self.cv.notify_one();
+        self.state.lock().unwrap().permits += 1;
+        self.cv.notify_all();
+    }
+
+    /// Wakes all waiters so freshly-set cancel flags are observed.
+    fn poke(&self) {
+        self.cv.notify_all();
+    }
+
+    fn queued(&self) -> usize {
+        self.state.lock().unwrap().waiting.len()
+    }
+
+    /// Whether a new tagged job would be refused with `BUSY`: no permit
+    /// free and the waiting line already at the configured depth.
+    fn saturated(&self, depth: usize) -> bool {
+        let s = self.state.lock().unwrap();
+        s.permits == 0 && s.waiting.len() >= depth
     }
 }
 
-/// Releases a job permit on drop, so every exit path (including errors)
-/// returns the slot to the pool.
-struct JobPermit<'a>(&'a Semaphore);
+/// Releases a job permit (and the in-flight count) on drop, so every exit
+/// path — including errors — returns the slot to the pool.
+struct JobPermit<'a>(&'a Shared);
+
+impl<'a> JobPermit<'a> {
+    /// Wraps a permit that [`JobQueue::acquire`] already granted.
+    fn held(shared: &'a Shared) -> Self {
+        shared.jobs_in_flight.fetch_add(1, Ordering::SeqCst);
+        JobPermit(shared)
+    }
+}
 
 impl Drop for JobPermit<'_> {
     fn drop(&mut self) {
-        self.0.release();
+        self.0.jobs_in_flight.fetch_sub(1, Ordering::SeqCst);
+        self.0.queue.release();
     }
 }
 
 struct Shared {
     cache: ResultCache,
-    jobs: Semaphore,
+    queue: JobQueue,
     engine: Engine,
     energy: EnergyModel,
     io_timeout: Option<Duration>,
+    queue_depth: usize,
+    busy_retry_ms: u32,
     shutdown: AtomicBool,
     jobs_completed: AtomicU64,
+    jobs_in_flight: AtomicU64,
+    busy_rejections: AtomicU64,
+    jobs_cancelled: AtomicU64,
+    jobs_deadline_expired: AtomicU64,
 }
 
 /// A running trace-simulation server.
@@ -158,14 +306,24 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
-            cache: ResultCache::new(config.cache_entries),
-            jobs: Semaphore::new(config.jobs.max(1)),
+            cache: ResultCache::with_options(
+                config.cache_entries,
+                config.cache_bytes,
+                config.cache_dir.clone(),
+            ),
+            queue: JobQueue::new(config.jobs.max(1)),
             engine: Engine::with_threads(config.threads_per_job)
                 .stream_window(config.stream_window),
             energy: EnergyModel::paper(),
             io_timeout: config.io_timeout,
+            queue_depth: config.queue_depth,
+            busy_retry_ms: config.busy_retry_ms,
             shutdown: AtomicBool::new(false),
             jobs_completed: AtomicU64::new(0),
+            jobs_in_flight: AtomicU64::new(0),
+            busy_rejections: AtomicU64::new(0),
+            jobs_cancelled: AtomicU64::new(0),
+            jobs_deadline_expired: AtomicU64::new(0),
         });
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::spawn(move || {
@@ -256,6 +414,14 @@ fn server_stats(shared: &Shared) -> ServerStats {
         cache_misses: cache.misses,
         cache_entries: cache.entries as u64,
         cache_capacity: cache.capacity as u64,
+        cache_evictions: cache.evictions,
+        cache_resident_bytes: cache.resident_bytes,
+        cache_capacity_bytes: cache.capacity_bytes,
+        jobs_in_flight: shared.jobs_in_flight.load(Ordering::SeqCst),
+        jobs_queued: shared.queue.queued() as u64,
+        busy_rejections: shared.busy_rejections.load(Ordering::SeqCst),
+        jobs_cancelled: shared.jobs_cancelled.load(Ordering::SeqCst),
+        jobs_deadline_expired: shared.jobs_deadline_expired.load(Ordering::SeqCst),
     }
 }
 
@@ -272,6 +438,10 @@ fn render_metrics(shared: &Shared) -> String {
         ("serve_jobs_completed_total", s.jobs_completed),
         ("serve_cache_hits_total", s.cache_hits),
         ("serve_cache_misses_total", s.cache_misses),
+        ("serve_cache_evictions_total", s.cache_evictions),
+        ("serve_busy_rejections_total", s.busy_rejections),
+        ("serve_jobs_cancelled_total", s.jobs_cancelled),
+        ("serve_jobs_deadline_expired_total", s.jobs_deadline_expired),
     ] {
         let _ = writeln!(out, "# TYPE {name} counter");
         let _ = writeln!(out, "{name} {value}");
@@ -279,6 +449,10 @@ fn render_metrics(shared: &Shared) -> String {
     for (name, value) in [
         ("serve_cache_entries", s.cache_entries),
         ("serve_cache_capacity", s.cache_capacity),
+        ("serve_cache_resident_bytes", s.cache_resident_bytes),
+        ("serve_cache_capacity_bytes", s.cache_capacity_bytes),
+        ("serve_jobs_in_flight", s.jobs_in_flight),
+        ("serve_jobs_queued", s.jobs_queued),
     ] {
         let _ = writeln!(out, "# TYPE {name} gauge");
         let _ = writeln!(out, "{name} {value}");
@@ -302,124 +476,551 @@ fn request_histogram(job: &'static str, cached: bool) -> &'static fpraker_teleme
     }
 }
 
+/// The serialized write half of one connection. Job threads and the read
+/// loop interleave whole frames through this mutex; nothing writes to the
+/// socket outside it.
+type ConnWriter = Arc<Mutex<TcpStream>>;
+
 /// Sends an error frame (best-effort; the peer may already be gone).
-fn send_error(stream: &mut TcpStream, message: &str) {
-    let _ = write_frame(stream, tag::ERROR, message.as_bytes());
-    let _ = stream.flush();
+fn send_error(writer: &ConnWriter, message: &str) {
+    let mut w = writer.lock().unwrap();
+    let _ = write_frame(&mut *w, tag::ERROR, message.as_bytes());
+    let _ = w.flush();
 }
 
-fn handle_connection(mut stream: TcpStream, shared: &Shared) -> Result<(), ServeError> {
+/// One tagged job's connection-side state while it is in flight: the
+/// upload channel the read loop feeds and the cancel flag a
+/// [`tag::CANCEL`] frame sets.
+struct PendingJob {
+    data: mpsc::SyncSender<UploadMsg>,
+    cancel: Arc<AtomicBool>,
+}
+
+enum UploadMsg {
+    Data(Vec<u8>),
+    End,
+}
+
+type PendingMap = Arc<Mutex<HashMap<u64, PendingJob>>>;
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> Result<(), ServeError> {
     let _active = fpraker_telemetry::gauge!("serve_active_connections").inc_scoped();
-    fpraker_telemetry::counter!("serve_requests_total").inc();
     stream.set_read_timeout(shared.io_timeout)?;
     stream.set_write_timeout(shared.io_timeout)?;
     stream.set_nodelay(true).ok();
+    let writer: ConnWriter = Arc::new(Mutex::new(stream.try_clone()?));
+    let mut reader = stream;
+    let pending: PendingMap = Arc::default();
 
-    let (req_tag, payload) = match read_frame(&mut stream) {
-        Ok(frame) => frame,
-        Err(e) => {
-            send_error(&mut stream, &e.to_string());
-            return Err(e);
-        }
-    };
-    match req_tag {
-        tag::STATS => {
-            if let Err(e) = protocol::decode_stats_request(&payload) {
-                send_error(&mut stream, &e.to_string());
-                return Err(e);
-            }
-            write_frame(
-                &mut stream,
-                tag::STATS_RESULT,
-                &server_stats(shared).encode(),
-            )?;
-            Ok(())
-        }
-        tag::METRICS => {
-            if let Err(e) = protocol::decode_metrics_request(&payload) {
-                send_error(&mut stream, &e.to_string());
-                return Err(e);
-            }
-            write_frame(
-                &mut stream,
-                tag::METRICS_RESULT,
-                render_metrics(shared).as_bytes(),
-            )?;
-            Ok(())
-        }
-        tag::SUBMIT => {
-            let submit = match Submit::decode(&payload) {
-                Ok(s) => s,
-                Err(e) => {
-                    send_error(&mut stream, &e.to_string());
-                    return Err(e);
-                }
-            };
-            match handle_job(&mut stream, shared, &submit) {
-                Ok(()) => Ok(()),
-                Err(e) => {
-                    send_error(&mut stream, &e.to_string());
-                    Err(e)
-                }
-            }
-        }
-        tag::SUBMIT_RANGE => {
-            let submit = match RangeSubmit::decode(&payload) {
-                Ok(s) => s,
-                Err(e) => {
-                    send_error(&mut stream, &e.to_string());
-                    return Err(e);
-                }
-            };
-            match handle_range_job(&mut stream, shared, &submit) {
-                Ok(()) => Ok(()),
-                Err(e) => {
-                    send_error(&mut stream, &e.to_string());
-                    Err(e)
-                }
-            }
-        }
-        tag::SUBMIT_STATS => {
-            let submit = match StatsSubmit::decode(&payload) {
-                Ok(s) => s,
-                Err(e) => {
-                    send_error(&mut stream, &e.to_string());
-                    return Err(e);
-                }
-            };
-            match handle_stats_job(&mut stream, shared, &submit) {
-                Ok(()) => Ok(()),
-                Err(e) => {
-                    send_error(&mut stream, &e.to_string());
-                    Err(e)
-                }
-            }
-        }
-        other => {
-            let e = ServeError::Protocol(format!("unexpected frame tag {other:#04x}"));
-            send_error(&mut stream, &e.to_string());
+    let result = connection_loop(&mut reader, &writer, &pending, shared);
+    // The connection is gone: flag every still-pending job as cancelled
+    // (frees queue slots a dead client would otherwise hold) and drop the
+    // upload senders so running jobs see EOF instead of an io-timeout.
+    let mut map = pending.lock().unwrap();
+    for job in map.values() {
+        job.cancel.store(true, Ordering::SeqCst);
+    }
+    map.clear();
+    drop(map);
+    shared.queue.poke();
+    result
+}
+
+/// Reads one tag byte. Returns `None` on clean EOF. On a read timeout:
+/// a connection that has spoken v3 is persistent and may legitimately
+/// idle between frames, so the read retries; a v2 connection keeps the
+/// old behavior (a silent client is an error). A timeout can only split
+/// a *multi*-byte read, so retrying a 1-byte read never desynchronizes
+/// the frame stream.
+fn read_tag(reader: &mut TcpStream, pipelined: bool) -> Result<Option<u8>, ServeError> {
+    let mut byte = [0u8; 1];
+    loop {
+        match reader.read(&mut byte) {
+            Ok(0) => return Ok(None),
+            Ok(_) => return Ok(Some(byte[0])),
             Err(e)
+                if pipelined
+                    && matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+            {
+                continue;
+            }
+            Err(e) => return Err(ServeError::Io(e)),
         }
     }
 }
 
-/// Replays a payload as a `{cached, payload}` frame under the given tag
-/// ([`tag::RESULT`] for simulations, [`tag::TRACE_STATS_RESULT`] for
-/// statistics jobs).
-fn send_result(
-    stream: &mut TcpStream,
+/// Reads the length + payload that follow an already-consumed tag byte.
+fn read_rest_of_frame(reader: &mut TcpStream) -> Result<Vec<u8>, ServeError> {
+    let mut len_bytes = [0u8; 4];
+    reader.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME_LEN {
+        return Err(ServeError::Protocol(format!(
+            "length prefix {len} exceeds the {MAX_FRAME_LEN}-byte frame cap"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    reader.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+fn connection_loop(
+    reader: &mut TcpStream,
+    writer: &ConnWriter,
+    pending: &PendingMap,
+    shared: &Arc<Shared>,
+) -> Result<(), ServeError> {
+    // Whether this connection has spoken the v3 dialect yet (governs the
+    // idle-tolerance of `read_tag`).
+    let mut pipelined = false;
+    loop {
+        let Some(frame_tag) = read_tag(reader, pipelined)? else {
+            return Ok(()); // clean EOF: the client is done
+        };
+        let payload = match read_rest_of_frame(reader) {
+            Ok(p) => p,
+            Err(e) => {
+                send_error(writer, &e.to_string());
+                return Err(e);
+            }
+        };
+        if !matches!(frame_tag, tag::JOB_DATA | tag::JOB_DATA_END) {
+            fpraker_telemetry::counter!("serve_requests_total").inc();
+        }
+        match frame_tag {
+            tag::STATS => {
+                if let Err(e) = protocol::decode_stats_request(&payload) {
+                    send_error(writer, &e.to_string());
+                    return Err(e);
+                }
+                let mut w = writer.lock().unwrap();
+                write_frame(&mut *w, tag::STATS_RESULT, &server_stats(shared).encode())?;
+                w.flush()?;
+            }
+            tag::METRICS => {
+                if let Err(e) = protocol::decode_metrics_request(&payload) {
+                    send_error(writer, &e.to_string());
+                    return Err(e);
+                }
+                let mut w = writer.lock().unwrap();
+                write_frame(
+                    &mut *w,
+                    tag::METRICS_RESULT,
+                    render_metrics(shared).as_bytes(),
+                )?;
+                w.flush()?;
+            }
+            tag::SUBMIT => {
+                let submit = match Submit::decode(&payload) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        send_error(writer, &e.to_string());
+                        return Err(e);
+                    }
+                };
+                if let Err(e) = handle_job(reader, writer, shared, &submit) {
+                    send_error(writer, &e.to_string());
+                    return Err(e);
+                }
+            }
+            tag::SUBMIT_RANGE => {
+                let submit = match RangeSubmit::decode(&payload) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        send_error(writer, &e.to_string());
+                        return Err(e);
+                    }
+                };
+                if let Err(e) = handle_range_job(reader, writer, shared, &submit) {
+                    send_error(writer, &e.to_string());
+                    return Err(e);
+                }
+            }
+            tag::SUBMIT_STATS => {
+                let submit = match StatsSubmit::decode(&payload) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        send_error(writer, &e.to_string());
+                        return Err(e);
+                    }
+                };
+                if let Err(e) = handle_stats_job(reader, writer, shared, &submit) {
+                    send_error(writer, &e.to_string());
+                    return Err(e);
+                }
+            }
+            tag::SUBMIT_JOB => {
+                pipelined = true;
+                dispatch_tagged_job(writer, pending, shared, &payload)?;
+            }
+            tag::JOB_DATA | tag::JOB_DATA_END => {
+                // Undecodable routing info is a connection-level error;
+                // chunks for an id with no pending job (it already failed
+                // or finished) are stale and silently discarded.
+                let (job_id, chunk) = match protocol::split_job_payload(&payload) {
+                    Ok(split) => split,
+                    Err(e) => {
+                        send_error(writer, &e.to_string());
+                        return Err(e);
+                    }
+                };
+                let sender = pending
+                    .lock()
+                    .unwrap()
+                    .get(&job_id)
+                    .map(|job| job.data.clone());
+                if let Some(sender) = sender {
+                    fpraker_telemetry::counter!("serve_bytes_in_total").add(chunk.len() as u64);
+                    let msg = if frame_tag == tag::JOB_DATA {
+                        UploadMsg::Data(chunk.to_vec())
+                    } else {
+                        UploadMsg::End
+                    };
+                    // A dropped receiver means the job already died; its
+                    // remaining upload is discarded frame by frame.
+                    let _ = sender.send(msg);
+                }
+            }
+            tag::CANCEL => {
+                pipelined = true;
+                let job_id = match protocol::decode_cancel(&payload) {
+                    Ok(id) => id,
+                    Err(e) => {
+                        send_error(writer, &e.to_string());
+                        return Err(e);
+                    }
+                };
+                // Queued jobs observe the flag inside `acquire` and die
+                // with CANCELLED; running (or unknown) jobs are a no-op.
+                if let Some(job) = pending.lock().unwrap().get(&job_id) {
+                    job.cancel.store(true, Ordering::SeqCst);
+                }
+                shared.queue.poke();
+            }
+            other => {
+                let e = ServeError::Protocol(format!("unexpected frame tag {other:#04x}"));
+                send_error(writer, &e.to_string());
+                return Err(e);
+            }
+        }
+    }
+}
+
+/// What a tagged job will do once it holds a permit — the spec-resolution
+/// half of dispatch, done on the read loop so an unknown spec fails fast.
+enum TaggedWork {
+    Sim {
+        machine: Machine,
+        cfg: AcceleratorConfig,
+        spec: String,
+    },
+    Range {
+        machine: Machine,
+        cfg: AcceleratorConfig,
+        spec: String,
+        declared_ops: u64,
+    },
+    Stats,
+}
+
+impl TaggedWork {
+    fn label(&self) -> &'static str {
+        match self {
+            TaggedWork::Sim { .. } => "sim",
+            TaggedWork::Range { .. } => "range",
+            TaggedWork::Stats => "stats",
+        }
+    }
+
+    fn result_tag(&self) -> u8 {
+        match self {
+            TaggedWork::Stats => tag::JOB_STATS_RESULT,
+            _ => tag::JOB_RESULT,
+        }
+    }
+}
+
+/// Sends a `{job_id, cached, payload}` response frame for a tagged job.
+fn send_tagged_result(
+    writer: &ConnWriter,
     result_tag: u8,
+    job_id: u64,
     cached: bool,
     payload: &[u8],
 ) -> Result<(), ServeError> {
-    let mut framed = Vec::with_capacity(1 + payload.len());
+    let mut framed = Vec::with_capacity(9 + payload.len());
+    framed.extend_from_slice(&job_id.to_le_bytes());
     framed.push(u8::from(cached));
     framed.extend_from_slice(payload);
-    write_frame(stream, result_tag, &framed)?;
-    stream.flush()?;
-    // Frame header (tag + u32 length) plus payload.
+    let mut w = writer.lock().unwrap();
+    write_frame(&mut *w, result_tag, &framed)?;
+    w.flush()?;
     fpraker_telemetry::counter!("serve_bytes_out_total").add(5 + framed.len() as u64);
     Ok(())
+}
+
+/// Sends a job-tagged error frame (best-effort): only the job dies, the
+/// connection lives on.
+fn send_job_error(writer: &ConnWriter, job_id: u64, code: u8, message: &str) {
+    let mut w = writer.lock().unwrap();
+    let _ = write_frame(
+        &mut *w,
+        tag::JOB_ERROR,
+        &protocol::encode_job_error(job_id, code, message),
+    );
+    let _ = w.flush();
+}
+
+/// Handles one [`tag::SUBMIT_JOB`] frame on the read loop: parse, resolve
+/// the spec, answer cache hits inline, refuse with `BUSY` when saturated,
+/// otherwise register the job and hand it to its own thread. Never
+/// returns an error for job-level failures — those become [`tag::JOB_ERROR`]
+/// frames — only for a dead socket.
+fn dispatch_tagged_job(
+    writer: &ConnWriter,
+    pending: &PendingMap,
+    shared: &Arc<Shared>,
+    payload: &[u8],
+) -> Result<(), ServeError> {
+    let submit = match JobSubmit::decode(payload) {
+        Ok(s) => s,
+        Err(e) => {
+            // Attribute the failure to its job when the id is readable
+            // (magic intact, payload long enough), so one malformed
+            // submission cannot kill the other jobs on the wire. The id
+            // sits right after the 5-byte preamble.
+            if payload.len() >= 13 && payload[..4] == *protocol::PROTOCOL_MAGIC {
+                let job_id = u64::from_le_bytes(payload[5..13].try_into().unwrap());
+                send_job_error(writer, job_id, job_error::GENERIC, &e.to_string());
+                return Ok(());
+            }
+            send_error(writer, &e.to_string());
+            return Err(e);
+        }
+    };
+    let job_id = submit.job_id;
+    let (key, work) = match &submit.kind {
+        JobKind::Sim { spec } | JobKind::Range { spec, .. } => {
+            let Some((machine, cfg)) = resolve_machine(spec) else {
+                send_job_error(
+                    writer,
+                    job_id,
+                    job_error::GENERIC,
+                    &format!(
+                        "unknown machine spec {:?} (known: {})",
+                        spec,
+                        fpraker_sim::machine_names().join(", ")
+                    ),
+                );
+                return Ok(());
+            };
+            let key = CacheKey::new(submit.digest, spec);
+            let spec = key.spec.clone();
+            let work = match &submit.kind {
+                JobKind::Range { ops, .. } => TaggedWork::Range {
+                    machine,
+                    cfg,
+                    spec,
+                    declared_ops: *ops,
+                },
+                _ => TaggedWork::Sim { machine, cfg, spec },
+            };
+            (key, work)
+        }
+        JobKind::Stats => (CacheKey::new(submit.digest, STATS_SPEC), TaggedWork::Stats),
+    };
+
+    // Warm answers never touch the pool: reply straight from the read
+    // loop and move on to the next frame.
+    if let Some(hit) = shared.cache.get(&key) {
+        request_histogram(work.label(), true).record(0);
+        return send_tagged_result(writer, work.result_tag(), job_id, true, &hit);
+    }
+
+    // Explicit backpressure: a saturated pool refuses instead of queueing
+    // silently. The client sees BUSY and retries after the hint.
+    if shared.queue.saturated(shared.queue_depth) {
+        shared.busy_rejections.fetch_add(1, Ordering::SeqCst);
+        fpraker_telemetry::counter!("serve_busy_rejections_total").inc();
+        let mut w = writer.lock().unwrap();
+        write_frame(
+            &mut *w,
+            tag::BUSY,
+            &protocol::encode_busy(job_id, shared.busy_retry_ms),
+        )?;
+        w.flush()?;
+        return Ok(());
+    }
+
+    let cancel = Arc::new(AtomicBool::new(false));
+    let (data_tx, data_rx) = mpsc::sync_channel(UPLOAD_CHANNEL_FRAMES);
+    {
+        let mut map = pending.lock().unwrap();
+        if map.contains_key(&job_id) {
+            drop(map);
+            send_job_error(
+                writer,
+                job_id,
+                job_error::GENERIC,
+                &format!("job id {job_id} is already in flight on this connection"),
+            );
+            return Ok(());
+        }
+        map.insert(
+            job_id,
+            PendingJob {
+                data: data_tx,
+                cancel: Arc::clone(&cancel),
+            },
+        );
+    }
+
+    let writer = Arc::clone(writer);
+    let pending = Arc::clone(pending);
+    let shared = Arc::clone(shared);
+    std::thread::spawn(move || {
+        run_tagged_job(&writer, &shared, &submit, key, work, data_rx, &cancel);
+        pending.lock().unwrap().remove(&submit.job_id);
+    });
+    Ok(())
+}
+
+/// The job-thread half of a tagged job: queue (with priority, deadline
+/// and cancellation), re-check the cache, pull the upload through its
+/// channel, simulate, cache and answer. All failures are job-scoped.
+fn run_tagged_job(
+    writer: &ConnWriter,
+    shared: &Shared,
+    submit: &JobSubmit,
+    key: CacheKey,
+    work: TaggedWork,
+    data_rx: mpsc::Receiver<UploadMsg>,
+    cancel: &AtomicBool,
+) {
+    let started = Instant::now();
+    let deadline = (submit.deadline_ms > 0)
+        .then(|| started + Duration::from_millis(u64::from(submit.deadline_ms)));
+    match shared.queue.acquire(submit.priority, deadline, cancel) {
+        Acquire::Cancelled => {
+            shared.jobs_cancelled.fetch_add(1, Ordering::SeqCst);
+            fpraker_telemetry::counter!("serve_jobs_cancelled_total").inc();
+            send_job_error(writer, submit.job_id, job_error::CANCELLED, "cancelled");
+            return;
+        }
+        Acquire::DeadlineExpired => {
+            shared.jobs_deadline_expired.fetch_add(1, Ordering::SeqCst);
+            fpraker_telemetry::counter!("serve_jobs_deadline_expired_total").inc();
+            send_job_error(
+                writer,
+                submit.job_id,
+                job_error::DEADLINE,
+                &format!("deadline of {} ms expired while queued", submit.deadline_ms),
+            );
+            return;
+        }
+        Acquire::Acquired => {}
+    }
+    let permit = JobPermit::held(shared);
+    if let Some(hit) = shared.cache.recheck(&key) {
+        drop(permit);
+        request_histogram(work.label(), true).record_duration(started.elapsed());
+        let _ = send_tagged_result(writer, work.result_tag(), submit.job_id, true, &hit);
+        return;
+    }
+    let outcome = (|| -> Result<Vec<u8>, ServeError> {
+        {
+            let mut w = writer.lock().unwrap();
+            write_frame(&mut *w, tag::JOB_NEED_TRACE, &submit.job_id.to_le_bytes())?;
+            w.flush()?;
+        }
+        let mut body = ChannelBody::new(data_rx, shared.io_timeout);
+        run_upload(
+            &mut body,
+            submit.trace_bytes,
+            submit.digest,
+            |source| match &work {
+                TaggedWork::Sim { machine, cfg, spec } => {
+                    let run = shared.engine.run_source(*machine, source, cfg)?;
+                    Ok(protocol::encode_result(
+                        spec,
+                        &run.result,
+                        run.peak_resident_ops as u64,
+                        &shared.energy,
+                    ))
+                }
+                TaggedWork::Range {
+                    machine,
+                    cfg,
+                    spec,
+                    declared_ops,
+                } => {
+                    let run = shared.engine.run_source(*machine, source, cfg)?;
+                    if run.result.ops.len() as u64 != *declared_ops {
+                        return Err(ServeError::Protocol(format!(
+                            "range submission declared {declared_ops} ops but the \
+                             sub-trace carries {}",
+                            run.result.ops.len()
+                        )));
+                    }
+                    Ok(protocol::encode_result(
+                        spec,
+                        &run.result,
+                        run.peak_resident_ops as u64,
+                        &shared.energy,
+                    ))
+                }
+                TaggedWork::Stats => {
+                    let stats = TraceStatistics::from_source(source, Encoding::Canonical)?;
+                    Ok(TraceStatsReport::from_stats(&stats).encode())
+                }
+            },
+        )
+    })();
+    // Cache-insert while the permit is still held (the next waiter's
+    // re-check is what makes racing duplicates exactly-once), but send
+    // after release, so a client holding its result never observes the
+    // job still in flight.
+    let outcome = outcome.map(|payload| {
+        let payload = Arc::new(payload);
+        shared.cache.insert(key, Arc::clone(&payload));
+        shared.jobs_completed.fetch_add(1, Ordering::SeqCst);
+        payload
+    });
+    drop(permit);
+    match outcome {
+        Ok(payload) => {
+            request_histogram(work.label(), false).record_duration(started.elapsed());
+            let _ = send_tagged_result(writer, work.result_tag(), submit.job_id, false, &payload);
+        }
+        Err(e) => {
+            send_job_error(writer, submit.job_id, job_error::GENERIC, &e.to_string());
+        }
+    }
+}
+
+/// Streams one upload through the codec into `work` and verifies it
+/// against the declared length/digest: frames → body → [`codec::Reader`]
+/// (which hashes every byte it consumes) → `work`, then drain and
+/// validate any index footer.
+fn run_upload<B: UploadBody>(
+    body: &mut B,
+    declared_bytes: u64,
+    declared_digest: u64,
+    work: impl FnOnce(&mut dyn TraceSource) -> Result<Vec<u8>, ServeError>,
+) -> Result<Vec<u8>, ServeError> {
+    let mut reader = codec::Reader::new(&mut *body)?;
+    let payload = work(&mut reader)?;
+    let (consumed, ops_digest) = (reader.offset(), reader.digest());
+    drop(reader);
+    // An indexed upload carries a footer the decoder never reads; drain
+    // and validate it, extending the digest over it.
+    let (extra, digest) = drain_index_footer(body, ops_digest)?;
+    body.finish()?;
+    check_upload(consumed + extra, digest, declared_bytes, declared_digest)?;
+    Ok(payload)
 }
 
 /// Drains whatever the decoder left unconsumed — legal only when it is
@@ -428,9 +1029,7 @@ fn send_result(
 /// The footer bytes are folded into the upload digest so the declared
 /// whole-file digest still verifies. Returns `(extra bytes, digest of the
 /// whole upload)`.
-fn drain_index_footer(body: &mut BodyReader, ops_digest: u64) -> Result<(u64, u64), ServeError> {
-    use std::io::Read as _;
-
+fn drain_index_footer(body: &mut impl Read, ops_digest: u64) -> Result<(u64, u64), ServeError> {
     let mut hasher = Fnv64::resume(ops_digest);
     let mut extra = Vec::new();
     let mut chunk = [0u8; 4096];
@@ -478,17 +1077,40 @@ fn check_upload(
     Ok(())
 }
 
-/// The shared lifecycle of every content-addressed job (simulation or
-/// statistics): cache hit → answer; miss → take a job slot, re-check the
-/// cache (another job for the same content may have finished while we
-/// waited; with `jobs` permits up to `jobs` racing clients can still slip
-/// past — a bounded duplication, never a correctness issue since payloads
-/// are deterministic), ask for the upload, fold it through `work`, drain
-/// and validate any index footer, verify the declared length/digest, and
-/// cache + send the deterministic payload.
+/// Replays a payload as a `{cached, payload}` frame under the given tag
+/// ([`tag::RESULT`] for simulations, [`tag::TRACE_STATS_RESULT`] for
+/// statistics jobs).
+fn send_result(
+    writer: &ConnWriter,
+    result_tag: u8,
+    cached: bool,
+    payload: &[u8],
+) -> Result<(), ServeError> {
+    let mut framed = Vec::with_capacity(1 + payload.len());
+    framed.push(u8::from(cached));
+    framed.extend_from_slice(payload);
+    let mut w = writer.lock().unwrap();
+    write_frame(&mut *w, result_tag, &framed)?;
+    w.flush()?;
+    // Frame header (tag + u32 length) plus payload.
+    fpraker_telemetry::counter!("serve_bytes_out_total").add(5 + framed.len() as u64);
+    Ok(())
+}
+
+/// The shared lifecycle of every untagged (v2) content-addressed job
+/// (simulation or statistics): cache hit → answer; miss → take a job
+/// slot, re-check the cache (another job for the same content may have
+/// finished while we waited; with `jobs` permits up to `jobs` racing
+/// clients can still slip past — a bounded duplication, never a
+/// correctness issue since payloads are deterministic), ask for the
+/// upload, fold it through `work`, drain and validate any index footer,
+/// verify the declared length/digest, and cache + send the deterministic
+/// payload. Serial semantics: the connection thread carries the job end
+/// to end, exactly the v2 contract.
 #[allow(clippy::too_many_arguments)]
 fn serve_content_job(
-    stream: &mut TcpStream,
+    reader: &mut TcpStream,
+    writer: &ConnWriter,
     shared: &Shared,
     key: CacheKey,
     result_tag: u8,
@@ -508,42 +1130,49 @@ fn serve_content_job(
     };
     if let Some(hit) = shared.cache.get(&key) {
         finish(true);
-        return send_result(stream, result_tag, true, &hit);
+        return send_result(writer, result_tag, true, &hit);
+    }
+    let never_cancelled = AtomicBool::new(false);
+    match shared
+        .queue
+        .acquire(DEFAULT_PRIORITY, None, &never_cancelled)
+    {
+        Acquire::Acquired => {}
+        // No deadline and no cancel flag: the queue cannot refuse.
+        other => unreachable!("untagged acquire ended {other:?}"),
+    }
+    let permit = JobPermit::held(shared);
+    if let Some(hit) = shared.cache.recheck(&key) {
+        drop(permit);
+        finish(true);
+        return send_result(writer, result_tag, true, &hit);
     }
     {
-        let _wait = fpraker_telemetry::span!("serve_semaphore_wait");
-        shared.jobs.acquire();
+        let mut w = writer.lock().unwrap();
+        write_frame(&mut *w, tag::NEED_TRACE, &[])?;
+        w.flush()?;
     }
-    let _permit = JobPermit(&shared.jobs);
-    if let Some(hit) = shared.cache.recheck(&key) {
-        finish(true);
-        return send_result(stream, result_tag, true, &hit);
-    }
-    write_frame(stream, tag::NEED_TRACE, &[])?;
-    stream.flush()?;
 
-    // Stream the upload straight through the decoder into the job:
-    // frames → BodyReader → codec::Reader (which hashes every byte it
-    // consumes) → `work`.
-    let mut body = BodyReader::new(stream);
-    let mut reader = codec::Reader::new(&mut body)?;
-    let payload = work(&mut reader)?;
-    let (consumed, ops_digest) = (reader.offset(), reader.digest());
-    drop(reader);
-    // An indexed upload carries a footer the decoder never reads; drain
-    // and validate it, extending the digest over it.
-    let (extra, digest) = drain_index_footer(&mut body, ops_digest)?;
-    body.finish()?;
-    check_upload(consumed + extra, digest, declared_bytes, declared_digest)?;
-
+    let mut body = BodyReader::new(reader);
+    let payload = run_upload(&mut body, declared_bytes, declared_digest, work)?;
     let payload = Arc::new(payload);
+    // The insert must land while the permit is still held — the next
+    // waiter's post-permit re-check is what makes racing duplicates
+    // exactly-once. The *send* happens after release, so a client holding
+    // its result never observes the job still in flight.
     shared.cache.insert(key, Arc::clone(&payload));
     shared.jobs_completed.fetch_add(1, Ordering::SeqCst);
+    drop(permit);
     finish(false);
-    send_result(stream, result_tag, false, &payload)
+    send_result(writer, result_tag, false, &payload)
 }
 
-fn handle_job(stream: &mut TcpStream, shared: &Shared, submit: &Submit) -> Result<(), ServeError> {
+fn handle_job(
+    reader: &mut TcpStream,
+    writer: &ConnWriter,
+    shared: &Shared,
+    submit: &Submit,
+) -> Result<(), ServeError> {
     let Some((machine, cfg)) = resolve_machine(&submit.spec) else {
         return Err(ServeError::Protocol(format!(
             "unknown machine spec {:?} (known: {})",
@@ -554,7 +1183,8 @@ fn handle_job(stream: &mut TcpStream, shared: &Shared, submit: &Submit) -> Resul
     let key = CacheKey::new(submit.digest, &submit.spec);
     let spec = key.spec.clone();
     serve_content_job(
-        stream,
+        reader,
+        writer,
         shared,
         key,
         tag::RESULT,
@@ -581,7 +1211,8 @@ fn handle_job(stream: &mut TcpStream, shared: &Shared, submit: &Submit) -> Resul
 /// misaligned merge). The range itself stays out of the cache key:
 /// identical shard bytes are the same work wherever they sit.
 fn handle_range_job(
-    stream: &mut TcpStream,
+    reader: &mut TcpStream,
+    writer: &ConnWriter,
     shared: &Shared,
     submit: &RangeSubmit,
 ) -> Result<(), ServeError> {
@@ -596,7 +1227,8 @@ fn handle_range_job(
     let spec = key.spec.clone();
     let declared_ops = submit.ops;
     serve_content_job(
-        stream,
+        reader,
+        writer,
         shared,
         key,
         tag::RESULT,
@@ -627,12 +1259,14 @@ fn handle_range_job(
 /// [`TraceStatistics`] collector instead of the engine — the Fig. 1/2/6
 /// figures served as infrastructure.
 fn handle_stats_job(
-    stream: &mut TcpStream,
+    reader: &mut TcpStream,
+    writer: &ConnWriter,
     shared: &Shared,
     submit: &StatsSubmit,
 ) -> Result<(), ServeError> {
     serve_content_job(
-        stream,
+        reader,
+        writer,
         shared,
         CacheKey::new(submit.digest, STATS_SPEC),
         tag::TRACE_STATS_RESULT,
@@ -646,10 +1280,20 @@ fn handle_stats_job(
     )
 }
 
+/// An upload byte stream the codec can decode incrementally, with a
+/// trailing-bytes check once the decoder is done. Implemented by the v2
+/// [`BodyReader`] (frames read straight off the socket) and the v3
+/// [`ChannelBody`] (frames routed from the connection's read loop).
+trait UploadBody: Read {
+    /// Confirms the upload ends exactly where the decoder stopped: any
+    /// unconsumed bytes are an immediate protocol error.
+    fn finish(&mut self) -> Result<(), ServeError>;
+}
+
 /// Reassembles `TRACE_DATA` frames into one [`io::Read`] stream (EOF at
 /// `TRACE_END`). Digest and length verification of the upload belong to
 /// the wrapping [`codec::Reader`], which hashes and counts every byte it
-/// consumes — once [`BodyReader::finish`] succeeds, the decoder saw the
+/// consumes — once [`UploadBody::finish`] succeeds, the decoder saw the
 /// entire upload.
 struct BodyReader<'a> {
     stream: &'a mut TcpStream,
@@ -699,12 +1343,12 @@ impl<'a> BodyReader<'a> {
             }
         }
     }
+}
 
-    /// Confirms the upload ends exactly where the decoder stopped: any
-    /// unconsumed bytes are an immediate protocol error — the rest of a
-    /// malformed upload is *not* read (a client streaming surplus data
-    /// cannot pin the connection), otherwise the closing `TRACE_END`
-    /// frame is consumed.
+impl UploadBody for BodyReader<'_> {
+    /// The rest of a malformed upload is *not* read (a client streaming
+    /// surplus data cannot pin the connection); otherwise the closing
+    /// `TRACE_END` frame is consumed.
     fn finish(&mut self) -> Result<(), ServeError> {
         let trailing = |n: usize| {
             Err(ServeError::Protocol(format!(
@@ -721,9 +1365,97 @@ impl<'a> BodyReader<'a> {
     }
 }
 
-impl io::Read for BodyReader<'_> {
+impl Read for BodyReader<'_> {
     fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
         if self.pos == self.buf.len() && (self.done || !self.next_frame()?) {
+            return Ok(0);
+        }
+        let n = out.len().min(self.buf.len() - self.pos);
+        out[..n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// The v3 counterpart of [`BodyReader`]: upload chunks arrive through a
+/// bounded channel fed by the connection's read loop (routed by job id)
+/// instead of straight off the socket. EOF at the routed `JOB_DATA_END`;
+/// a dropped sender (the connection died) reads as a broken pipe.
+struct ChannelBody {
+    rx: mpsc::Receiver<UploadMsg>,
+    buf: Vec<u8>,
+    pos: usize,
+    done: bool,
+    timeout: Option<Duration>,
+}
+
+impl ChannelBody {
+    fn new(rx: mpsc::Receiver<UploadMsg>, timeout: Option<Duration>) -> Self {
+        ChannelBody {
+            rx,
+            buf: Vec::new(),
+            pos: 0,
+            done: false,
+            timeout,
+        }
+    }
+
+    /// Pulls the next routed chunk, returning `false` at `JOB_DATA_END`.
+    fn next_chunk(&mut self) -> io::Result<bool> {
+        debug_assert!(self.pos == self.buf.len() && !self.done);
+        loop {
+            let msg = match self.timeout {
+                Some(t) => self.rx.recv_timeout(t).map_err(|e| match e {
+                    mpsc::RecvTimeoutError::Timeout => io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "timed out waiting for upload frames",
+                    ),
+                    mpsc::RecvTimeoutError::Disconnected => {
+                        io::Error::new(io::ErrorKind::BrokenPipe, "connection closed mid-upload")
+                    }
+                })?,
+                None => self.rx.recv().map_err(|_| {
+                    io::Error::new(io::ErrorKind::BrokenPipe, "connection closed mid-upload")
+                })?,
+            };
+            match msg {
+                UploadMsg::Data(chunk) => {
+                    if chunk.is_empty() {
+                        continue; // tolerate empty chunks
+                    }
+                    self.buf = chunk;
+                    self.pos = 0;
+                    return Ok(true);
+                }
+                UploadMsg::End => {
+                    self.done = true;
+                    return Ok(false);
+                }
+            }
+        }
+    }
+}
+
+impl UploadBody for ChannelBody {
+    fn finish(&mut self) -> Result<(), ServeError> {
+        let trailing = |n: usize| {
+            Err(ServeError::Protocol(format!(
+                "at least {n} bytes after the declared trace"
+            )))
+        };
+        if self.pos < self.buf.len() {
+            return trailing(self.buf.len() - self.pos);
+        }
+        if !self.done && self.next_chunk().map_err(ServeError::Io)? {
+            return trailing(self.buf.len());
+        }
+        Ok(())
+    }
+}
+
+impl Read for ChannelBody {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        if self.pos == self.buf.len() && (self.done || !self.next_chunk()?) {
             return Ok(0);
         }
         let n = out.len().min(self.buf.len() - self.pos);
@@ -742,18 +1474,79 @@ mod tests {
     use super::*;
 
     #[test]
-    fn semaphore_bounds_and_releases() {
-        let sem = Semaphore::new(2);
-        sem.acquire();
-        sem.acquire();
+    fn queue_bounds_and_releases() {
+        let q = JobQueue::new(2);
+        let never = AtomicBool::new(false);
+        assert_eq!(q.acquire(0, None, &never), Acquire::Acquired);
+        assert_eq!(q.acquire(0, None, &never), Acquire::Acquired);
         {
-            let p = sem.permits.lock().unwrap();
-            assert_eq!(*p, 0);
+            let s = q.state.lock().unwrap();
+            assert_eq!(s.permits, 0);
         }
-        sem.release();
-        sem.acquire(); // would deadlock if release was lost
-        sem.release();
-        sem.release();
+        q.release();
+        // Would deadlock if the release was lost.
+        assert_eq!(q.acquire(0, None, &never), Acquire::Acquired);
+        q.release();
+        q.release();
+    }
+
+    #[test]
+    fn queue_respects_priority_then_arrival_order() {
+        let q = Arc::new(JobQueue::new(1));
+        let never = AtomicBool::new(false);
+        assert_eq!(q.acquire(0, None, &never), Acquire::Acquired);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        // Low-priority waiter arrives first, high-priority second; the
+        // permit must go to the high-priority one.
+        for (delay_ms, priority, name) in [(0u64, 1u8, "low"), (50, 9, "high")] {
+            let q = Arc::clone(&q);
+            let order = Arc::clone(&order);
+            handles.push(std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(delay_ms));
+                let never = AtomicBool::new(false);
+                assert_eq!(q.acquire(priority, None, &never), Acquire::Acquired);
+                order.lock().unwrap().push(name);
+                std::thread::sleep(Duration::from_millis(20));
+                q.release();
+            }));
+        }
+        // Let both enqueue before freeing the permit.
+        std::thread::sleep(Duration::from_millis(150));
+        q.release();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*order.lock().unwrap(), vec!["high", "low"]);
+    }
+
+    #[test]
+    fn queue_cancellation_and_deadline_release_waiters() {
+        let q = JobQueue::new(1);
+        let never = AtomicBool::new(false);
+        assert_eq!(q.acquire(0, None, &never), Acquire::Acquired);
+        // Pre-set cancel flag: observed before waiting.
+        let cancelled = AtomicBool::new(true);
+        assert_eq!(q.acquire(0, None, &cancelled), Acquire::Cancelled);
+        // Deadline in the past: expires immediately.
+        let past = Instant::now() - Duration::from_millis(1);
+        assert_eq!(q.acquire(0, Some(past), &never), Acquire::DeadlineExpired);
+        // Neither leaked a waiting entry or a permit.
+        assert_eq!(q.queued(), 0);
+        q.release();
+        assert_eq!(q.acquire(0, None, &never), Acquire::Acquired);
+        q.release();
+    }
+
+    #[test]
+    fn saturation_counts_waiters_only_when_out_of_permits() {
+        let q = JobQueue::new(1);
+        assert!(!q.saturated(0), "free permit is never saturated");
+        let never = AtomicBool::new(false);
+        assert_eq!(q.acquire(0, None, &never), Acquire::Acquired);
+        assert!(q.saturated(0), "no permit + depth 0 refuses immediately");
+        assert!(!q.saturated(1), "depth 1 admits one waiter");
+        q.release();
     }
 
     #[test]

@@ -48,7 +48,7 @@
 //! therefore never change a single bit of the merged result.
 
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use fpraker_energy::{EnergyModel, EventCounts};
@@ -56,8 +56,8 @@ use fpraker_sim::{resolve_machine, Machine};
 use fpraker_trace::codec::IndexedReader;
 use fpraker_trace::{group_segments, DecodeError};
 
-use crate::client::Client;
-use crate::protocol::JobResult;
+use crate::client::{JobOptions, PipelinedConnection};
+use crate::protocol::{JobResult, ServeError};
 
 /// Where the trace bytes live; shards are extracted on demand, so the
 /// coordinator never holds more than one in-flight shard per thread.
@@ -167,7 +167,7 @@ impl ShardPlan {
     ///
     /// A single whole-trace shard is the original bytes verbatim (footer
     /// included), so its digest — and therefore its cache entry — is
-    /// shared with plain [`Client::submit_encoded`] submissions of the
+    /// shared with plain [`crate::Client::submit_encoded`] submissions of the
     /// same trace. A proper sub-range is re-framed with a fresh header
     /// via [`IndexedReader::extract_range`].
     ///
@@ -273,8 +273,55 @@ pub struct ShardedRun {
     pub shards: Vec<ShardOutcome>,
 }
 
+/// One persistent pipelined connection per worker, shared by every
+/// shard submission (and every clone of the coordinator). Connections
+/// are opened lazily on first use and invalidated on transport-level
+/// failures, so a worker that dies and comes back is transparently
+/// re-dialed on the next attempt.
+#[derive(Debug, Default)]
+struct WorkerPool {
+    conns: Vec<Mutex<Option<Arc<PipelinedConnection>>>>,
+}
+
+impl WorkerPool {
+    fn new(workers: usize) -> Self {
+        WorkerPool {
+            conns: (0..workers).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// The worker's shared connection, dialing it if absent. The slot
+    /// lock is held across the dial, so concurrent shards for the same
+    /// worker wait for one connection instead of racing N dials.
+    fn get_or_connect(
+        &self,
+        worker: usize,
+        addr: &str,
+        io_timeout: Option<Duration>,
+    ) -> Result<Arc<PipelinedConnection>, ServeError> {
+        let mut slot = self.conns[worker].lock().unwrap();
+        if let Some(conn) = slot.as_ref() {
+            return Ok(Arc::clone(conn));
+        }
+        let conn = Arc::new(PipelinedConnection::connect_with_timeout(addr, io_timeout)?);
+        *slot = Some(Arc::clone(&conn));
+        Ok(conn)
+    }
+
+    /// Drops a worker's pooled connection *if it is still the one that
+    /// failed* — a concurrent re-dial by another shard is left alone.
+    fn invalidate(&self, worker: usize, failed: &Arc<PipelinedConnection>) {
+        let mut slot = self.conns[worker].lock().unwrap();
+        if slot.as_ref().is_some_and(|cur| Arc::ptr_eq(cur, failed)) {
+            *slot = None;
+        }
+    }
+}
+
 /// Fans shards of one trace across `fpraker-serve` workers and merges
-/// the partial results in global op order.
+/// the partial results in global op order. All shards bound for the
+/// same worker ride one pipelined connection (many jobs in flight,
+/// demultiplexed by job id) instead of a connection per shard.
 ///
 /// ```no_run
 /// use fpraker_serve::shard::{ShardCoordinator, ShardPlan};
@@ -293,17 +340,20 @@ pub struct ShardCoordinator {
     max_attempts: usize,
     backoff: Duration,
     io_timeout: Option<Duration>,
+    pool: Arc<WorkerPool>,
 }
 
 impl ShardCoordinator {
     /// A coordinator over the given worker addresses, with the default
     /// budget of 4 attempts per shard and a 50 ms initial backoff.
     pub fn new(workers: Vec<String>) -> Self {
+        let pool = Arc::new(WorkerPool::new(workers.len()));
         ShardCoordinator {
             workers,
             max_attempts: 4,
             backoff: Duration::from_millis(50),
             io_timeout: Some(Duration::from_secs(600)),
+            pool,
         }
     }
 
@@ -379,7 +429,7 @@ impl ShardCoordinator {
             if worker != shard % self.workers.len() {
                 fpraker_telemetry::counter!("shard_reassignments_total").inc();
             }
-            match self.try_worker(&self.workers[worker], &bytes, spec, range) {
+            match self.try_worker(worker, &bytes, spec, range) {
                 Ok((cached, result)) => {
                     return Ok((
                         ShardOutcome {
@@ -402,24 +452,49 @@ impl ShardCoordinator {
         })
     }
 
-    /// One submission attempt, with the response validated hard enough
-    /// that a corrupted-but-decodable partial is retried, not merged:
-    /// the op count must match the shard and every total must equal the
-    /// fold of the per-op reports it claims to summarize.
+    /// One submission attempt over the worker's shared pipelined
+    /// connection, with the response validated hard enough that a
+    /// corrupted-but-decodable partial is retried, not merged: the op
+    /// count must match the shard and every total must equal the fold of
+    /// the per-op reports it claims to summarize.
     fn try_worker(
         &self,
-        addr: &str,
+        worker: usize,
         bytes: &[u8],
         spec: &str,
         range: ShardRange,
     ) -> Result<(bool, JobResult), String> {
         let _submit = fpraker_telemetry::span!("shard_submit");
-        let client = Client::connect(addr)
-            .map_err(|e| format!("{addr}: {e}"))?
-            .io_timeout(self.io_timeout);
-        let response = client
-            .submit_range_encoded(bytes, spec, u64::from(range.first_op), u64::from(range.ops))
+        let addr = &self.workers[worker];
+        let conn = self
+            .pool
+            .get_or_connect(worker, addr, self.io_timeout)
             .map_err(|e| format!("{addr}: {e}"))?;
+        let response = conn.submit_range_encoded(
+            bytes,
+            spec,
+            u64::from(range.first_op),
+            u64::from(range.ops),
+            JobOptions::default(),
+        );
+        let response = match response {
+            Ok(r) => r,
+            Err(e) => {
+                // Job-scoped outcomes (a remote error, backpressure, …)
+                // leave the connection healthy; anything transport-level
+                // poisons it, so the retry dials fresh.
+                if !matches!(
+                    e,
+                    ServeError::Remote(_)
+                        | ServeError::Busy { .. }
+                        | ServeError::Cancelled
+                        | ServeError::DeadlineExpired
+                ) {
+                    self.pool.invalidate(worker, &conn);
+                }
+                return Err(format!("{addr}: {e}"));
+            }
+        };
         validate_partial(&response.result, range).map_err(|e| format!("{addr}: {e}"))?;
         Ok((response.cached, response.result))
     }
